@@ -1,0 +1,123 @@
+// E12 — Sections IV-C / IV-G: QoS-aware multi-query stream scheduling.
+//
+// Claim validated: with many continuous queries of heterogeneous
+// deadlines sharing one executor, deadline-aware policies (EDF,
+// least-slack) cut deadline misses by an order of magnitude vs
+// round-robin/FIFO; space-aware scheduling protects physical-space
+// tuples — the Sharaf-et-al. [69] direction the paper says "deserves
+// further investigation".
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "stream/scheduler.h"
+
+namespace {
+
+using namespace deluge;         // NOLINT
+using namespace deluge::stream; // NOLINT
+
+void BM_MultiQueryScheduling(benchmark::State& state) {
+  const SchedulingPolicy policy = SchedulingPolicy(state.range(0));
+  const int num_queries = int(state.range(1));
+
+  uint64_t misses = 0, processed = 0;
+  double p99 = 0;
+  for (auto _ : state) {
+    SimClock clock;
+    StreamScheduler sched(&clock, policy);
+    std::vector<std::unique_ptr<ContinuousQuery>> queries;
+    Rng rng(19);
+    for (int q = 0; q < num_queries; ++q) {
+      QosSpec qos;
+      // Deadlines from 1 ms (interactive) to 1 s (analytics).
+      qos.deadline = kMicrosPerMilli << rng.Uniform(11);
+      qos.weight = 1.0;
+      auto query = std::make_unique<ContinuousQuery>(
+          "q" + std::to_string(q), qos, /*cost=*/20 + rng.Uniform(80));
+      query->Sink([](const Tuple&) {});
+      sched.Register(query.get());
+      queries.push_back(std::move(query));
+    }
+    // Bursty-but-feasible arrivals: each burst transiently overloads the
+    // executor (queues build, ordering decisions matter), but the cycle
+    // average stays below capacity — the regime where deadline-aware
+    // policies shine and blind ones thrash.  (Under *sustained* overload
+    // every policy drowns and plain EDF famously degrades; admission
+    // control, not ordering, is the remedy there.)
+    for (int burst = 0; burst < 100; ++burst) {
+      for (int i = 0; i < 200; ++i) {
+        Tuple t;
+        t.event_time = clock.NowMicros();
+        t.space = rng.Bernoulli(0.5) ? Space::kPhysical : Space::kVirtual;
+        sched.Enqueue("q" + std::to_string(rng.Uniform(num_queries)),
+                      std::move(t));
+      }
+      for (int i = 0; i < 250 && sched.Step(); ++i) {
+      }
+    }
+    sched.RunUntilDrained();
+    QueryStats total = sched.TotalStats();
+    misses += total.deadline_misses;
+    processed += total.processed;
+    p99 = total.latency.P99();
+  }
+  state.counters["policy"] = double(state.range(0));
+  state.counters["queries"] = double(num_queries);
+  state.counters["miss_pct"] =
+      100.0 * double(misses) / double(std::max<uint64_t>(1, processed));
+  state.counters["p99_ms"] = p99 / double(kMicrosPerMilli);
+}
+// Args: {policy, #queries}.  Policies: 0=RR 1=FIFO 2=EDF 3=least-slack
+// 4=weighted 5=space-aware.
+BENCHMARK(BM_MultiQueryScheduling)
+    ->Args({0, 64})->Args({1, 64})->Args({2, 64})->Args({3, 64})
+    ->Args({2, 8})->Args({2, 256})
+    ->Unit(benchmark::kMillisecond);
+
+// Space-aware protection: latency of physical tuples under virtual flood.
+void BM_SpaceAwareProtection(benchmark::State& state) {
+  const SchedulingPolicy policy = SchedulingPolicy(state.range(0));
+  double phys_p99 = 0;
+  for (auto _ : state) {
+    SimClock clock;
+    StreamScheduler sched(&clock, policy);
+    QosSpec qos;
+    qos.deadline = 10 * kMicrosPerMilli;
+    ContinuousQuery phys("phys", qos, 30);
+    ContinuousQuery virt("virt", qos, 30);
+    phys.Sink([](const Tuple&) {});
+    virt.Sink([](const Tuple&) {});
+    sched.Register(&phys);
+    sched.Register(&virt);
+    Rng rng(23);
+    for (int i = 0; i < 20000; ++i) {
+      Tuple t;
+      t.event_time = clock.NowMicros();
+      // 10:1 virtual flood, arriving faster than one executor can drain.
+      if (rng.Bernoulli(0.9)) {
+        t.space = Space::kVirtual;
+        sched.Enqueue("virt", std::move(t));
+      } else {
+        t.space = Space::kPhysical;
+        sched.Enqueue("phys", std::move(t));
+      }
+      if (i % 2 == 0) sched.Step();
+    }
+    sched.RunUntilDrained();
+    phys_p99 = sched.stats_for("phys").latency.P99();
+  }
+  state.counters["policy"] = double(state.range(0));
+  state.counters["phys_p99_ms"] = phys_p99 / double(kMicrosPerMilli);
+}
+BENCHMARK(BM_SpaceAwareProtection)
+    ->Arg(int(SchedulingPolicy::kFifo))
+    ->Arg(int(SchedulingPolicy::kSpaceAware))
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,136 @@
+// E13 — Section IV-F: walkthrough visibility indexing (HDoV tree, [71]).
+//
+// Claims validated: (a) the visibility tree prunes to a tiny fraction of
+// the scene vs a full scan, with the win growing in scene size; (b) the
+// dynamic variant absorbs scene churn (which the original static HDoV
+// tree could not) at modest cost, recovered by periodic Rebuild.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "index/hdov_tree.h"
+
+namespace {
+
+using namespace deluge;         // NOLINT
+using namespace deluge::index;  // NOLINT
+
+const geo::AABB kScene({0, 0, 0}, {10000, 10000, 200});
+
+SceneObject RandomObject(EntityId id, Rng* rng) {
+  SceneObject o;
+  o.id = id;
+  o.position = {rng->UniformDouble(0, 10000), rng->UniformDouble(0, 10000),
+                rng->UniformDouble(0, 200)};
+  o.radius = rng->UniformDouble(0.2, 5.0);
+  o.full_bytes = 1 << 20;
+  o.low_bytes = 1 << 12;
+  return o;
+}
+
+void BM_VisibilityQuery(benchmark::State& state) {
+  const size_t scene_size = size_t(state.range(0));
+  Rng rng(3);
+  HdovTree tree(kScene, 16, 12);
+  for (EntityId id = 0; id < scene_size; ++id) {
+    tree.Insert(RandomObject(id, &rng));
+  }
+  uint64_t visible_total = 0, nodes_total = 0, queries = 0;
+  for (auto _ : state) {
+    geo::ViewRegion view;
+    view.eye = {rng.UniformDouble(1000, 9000), rng.UniformDouble(1000, 9000),
+                100};
+    view.radius = 300.0;
+    auto visible = tree.QueryVisible(view, 0.01);
+    visible_total += visible.size();
+    nodes_total += tree.last_nodes_visited();
+    ++queries;
+  }
+  state.SetItemsProcessed(int64_t(queries));
+  state.counters["scene_objects"] = double(scene_size);
+  state.counters["visible_per_query"] =
+      double(visible_total) / double(std::max<uint64_t>(1, queries));
+  state.counters["nodes_visited"] =
+      double(nodes_total) / double(std::max<uint64_t>(1, queries));
+}
+BENCHMARK(BM_VisibilityQuery)->Arg(10000)->Arg(100000)->Arg(400000)
+    ->Unit(benchmark::kMicrosecond);
+
+// Baseline: linear scan over all scene objects.
+void BM_VisibilityFullScan(benchmark::State& state) {
+  const size_t scene_size = size_t(state.range(0));
+  Rng rng(3);
+  std::vector<SceneObject> scene;
+  for (EntityId id = 0; id < scene_size; ++id) {
+    scene.push_back(RandomObject(id, &rng));
+  }
+  for (auto _ : state) {
+    geo::ViewRegion view;
+    view.eye = {rng.UniformDouble(1000, 9000), rng.UniformDouble(1000, 9000),
+                100};
+    view.radius = 300.0;
+    size_t visible = 0;
+    for (const auto& o : scene) {
+      if (!view.Contains(o.position)) continue;
+      double dist = std::max(geo::Distance(view.eye, o.position), 0.5);
+      if (o.radius / dist >= 0.01) ++visible;
+    }
+    benchmark::DoNotOptimize(visible);
+  }
+  state.counters["scene_objects"] = double(scene_size);
+}
+BENCHMARK(BM_VisibilityFullScan)->Arg(10000)->Arg(100000)->Arg(400000)
+    ->Unit(benchmark::kMicrosecond);
+
+// Dynamic churn ablation (design decision 1 in DESIGN.md): per-node
+// max-radius bounds only LOOSEN on removal, so after heavy churn stale
+// bounds defeat pruning until a Rebuild tightens them.  Scenario chosen
+// to expose it: the scene's few HUGE objects (stadium screens, blimps)
+// all start in one district, then churn scatters/moves them; queries in
+// the vacated district should prune by radius but the stale bounds say
+// "a 100 m object might be here".  Rebuild cost is excluded from timing.
+void BM_ChurnAndRebuild(benchmark::State& state) {
+  const bool rebuild = state.range(0) == 1;
+  Rng rng(5);
+  HdovTree tree(kScene, 16, 12);
+  const size_t kObjects = 100000;
+  for (EntityId id = 0; id < kObjects; ++id) {
+    SceneObject o = RandomObject(id, &rng);
+    if (id < 200) {
+      // Giant objects clustered in the north-east district.
+      o.radius = 100.0;
+      o.position = {9000 + rng.UniformDouble(0, 900),
+                    9000 + rng.UniformDouble(0, 900), 100};
+    }
+    tree.Insert(o);
+  }
+  // Churn: every giant object relocates far away (drops its old district
+  // to small-radius content, but the subtree bounds still read 100 m).
+  for (EntityId id = 0; id < 200; ++id) {
+    tree.Move(id, {rng.UniformDouble(0, 4000), rng.UniformDouble(0, 4000),
+                   100});
+  }
+  if (rebuild) tree.Rebuild();
+
+  uint64_t nodes_total = 0, queries = 0;
+  for (auto _ : state) {
+    geo::ViewRegion view;
+    // Query the vacated district with a high-DoV threshold that only
+    // giant objects could satisfy from afar.
+    view.eye = {9400 + rng.UniformDouble(-200, 200),
+                9400 + rng.UniformDouble(-200, 200), 100};
+    view.radius = 400.0;
+    auto visible = tree.QueryVisible(view, 0.5);
+    benchmark::DoNotOptimize(visible.data());
+    nodes_total += tree.last_nodes_visited();
+    ++queries;
+  }
+  state.counters["rebuild"] = double(state.range(0));
+  state.counters["nodes_visited"] =
+      double(nodes_total) / double(std::max<uint64_t>(1, queries));
+}
+BENCHMARK(BM_ChurnAndRebuild)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

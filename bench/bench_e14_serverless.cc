@@ -1,0 +1,94 @@
+// E14 — Section IV-E-3: serverless scheduling tradeoffs.
+//
+// Claims validated: keep-alive trades idle (provider) cost for cold-start
+// latency; the sweet spot depends on the arrival rate — sparse invokers
+// suffer cold starts at short keep-alives while dense invokers barely
+// notice (the "Serverless in the Wild" [68] policy space the paper cites).
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "runtime/serverless.h"
+
+namespace {
+
+using namespace deluge;           // NOLINT
+using namespace deluge::runtime;  // NOLINT
+
+void BM_KeepAliveSweep(benchmark::State& state) {
+  const Micros keep_alive = state.range(0) * kMicrosPerMilli;
+  const double mean_gap_ms = double(state.range(1));
+
+  double cold_pct = 0, p99_ms = 0, idle_cost = 0, billed = 0;
+  for (auto _ : state) {
+    net::Simulator sim;
+    ServerlessRuntime runtime(&sim, keep_alive);
+    FunctionSpec spec;
+    spec.name = "render-avatar";
+    spec.cold_start = 250 * kMicrosPerMilli;
+    spec.exec_time = 15 * kMicrosPerMilli;
+    spec.memory_mb = 256;
+    runtime.Register(spec);
+
+    Rng rng(29);
+    Micros t = 0;
+    for (int i = 0; i < 2000; ++i) {
+      t += Micros(rng.Exponential(1.0 / (mean_gap_ms * kMicrosPerMilli)));
+      sim.At(t, [&runtime] { runtime.Invoke("render-avatar"); });
+    }
+    sim.Run();
+    const auto& stats = runtime.stats_for("render-avatar");
+    cold_pct = 100.0 * stats.ColdStartRatio();
+    p99_ms = stats.latency.P99() / double(kMicrosPerMilli);
+    idle_cost = stats.idle_mb_ms;
+    billed = stats.billed_mb_ms;
+  }
+  state.counters["keepalive_ms"] = double(state.range(0));
+  state.counters["mean_gap_ms"] = mean_gap_ms;
+  state.counters["cold_pct"] = cold_pct;
+  state.counters["p99_ms"] = p99_ms;
+  state.counters["idle_mb_ms"] = idle_cost;
+  state.counters["billed_mb_ms"] = billed;
+}
+// Args: {keep-alive ms, mean inter-arrival ms}.
+BENCHMARK(BM_KeepAliveSweep)
+    ->Args({0, 100})->Args({100, 100})->Args({1000, 100})->Args({10000, 100})
+    ->Args({0, 2000})->Args({1000, 2000})->Args({10000, 2000})
+    ->Unit(benchmark::kMillisecond);
+
+// Serverless vs always-on provisioning: total MB-ms carried for the same
+// workload (pay-per-use vs a fixed instance held the whole time).
+void BM_ServerlessVsProvisioned(benchmark::State& state) {
+  const double mean_gap_ms = double(state.range(0));
+  double serverless_mb_ms = 0, provisioned_mb_ms = 0;
+  for (auto _ : state) {
+    net::Simulator sim;
+    ServerlessRuntime runtime(&sim, /*keep_alive=*/1000 * kMicrosPerMilli);
+    FunctionSpec spec;
+    spec.name = "f";
+    spec.memory_mb = 256;
+    runtime.Register(spec);
+    Rng rng(31);
+    Micros t = 0;
+    for (int i = 0; i < 1000; ++i) {
+      t += Micros(rng.Exponential(1.0 / (mean_gap_ms * kMicrosPerMilli)));
+      sim.At(t, [&runtime] { runtime.Invoke("f"); });
+    }
+    sim.Run();
+    const auto& stats = runtime.stats_for("f");
+    serverless_mb_ms = stats.billed_mb_ms + stats.idle_mb_ms;
+    provisioned_mb_ms =
+        256.0 * double(sim.Now()) / double(kMicrosPerMilli);
+  }
+  state.counters["mean_gap_ms"] = mean_gap_ms;
+  state.counters["serverless_mb_ms"] = serverless_mb_ms;
+  state.counters["provisioned_mb_ms"] = provisioned_mb_ms;
+  state.counters["savings_x"] =
+      provisioned_mb_ms / std::max(serverless_mb_ms, 1.0);
+}
+BENCHMARK(BM_ServerlessVsProvisioned)->Arg(50)->Arg(500)->Arg(5000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,124 @@
+// E16 (extension) — Section IV-H: learned components under data drift.
+//
+// Claim validated: "learning from a particular instance of dataset and
+// query patterns may only improve ... system performance temporarily.
+// The fact that databases are dynamic in nature may make the AI/ML
+// models and algorithms ineffective due to data and feature drift."
+// A drift-detecting adaptive model holds its error flat across concept
+// changes while a train-once model degrades permanently.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "ml/online_model.h"
+
+namespace {
+
+using namespace deluge;      // NOLINT
+using namespace deluge::ml;  // NOLINT
+
+std::vector<double> RandomConcept(Rng* rng, size_t dim) {
+  std::vector<double> w(dim);
+  for (auto& v : w) v = rng->UniformDouble(-3, 3);
+  return w;
+}
+
+// Workload-shift scenario: every `shift_every` samples the underlying
+// concept (think: query-pattern regime) changes entirely.
+void BM_DriftAdaptation(benchmark::State& state) {
+  const bool adaptive_enabled = state.range(0) == 1;
+  const int shift_every = int(state.range(1));
+  const size_t kDim = 6;
+
+  double frozen_tail_err = 0, live_tail_err = 0;
+  uint64_t resets = 0, tail_n = 0;
+  for (auto _ : state) {
+    Rng rng(19);
+    AdaptiveModel live(kDim, 0.05, PageHinkley(0.05, 15.0, 20));
+    OnlineLinearModel frozen(kDim, 0.05);
+    bool frozen_done = false;
+
+    auto concept_w = RandomConcept(&rng, kDim);
+    for (int i = 0; i < 12000; ++i) {
+      if (i > 0 && i % shift_every == 0) {
+        concept_w = RandomConcept(&rng, kDim);  // drift!
+      }
+      std::vector<double> x(kDim);
+      for (auto& v : x) v = rng.Gaussian(0, 1);
+      double y = 0;
+      for (size_t d = 0; d < kDim; ++d) y += concept_w[d] * x[d];
+      y += rng.Gaussian(0, 0.05);
+
+      double live_err;
+      if (adaptive_enabled) {
+        live_err = live.Observe(x, y);
+      } else {
+        live_err = std::fabs(live.model().Predict(x) - y);
+      }
+      // The frozen baseline trains only during the first regime.
+      double frozen_err = std::fabs(frozen.Predict(x) - y);
+      if (!frozen_done) {
+        frozen.Update(x, y);
+        if (i + 1 >= shift_every) frozen_done = true;
+      }
+      // Tail of each regime = steady state.
+      if (i % shift_every > shift_every * 3 / 4) {
+        live_tail_err += live_err;
+        frozen_tail_err += frozen_err;
+        ++tail_n;
+      }
+    }
+    resets += live.drift_resets();
+  }
+  state.counters["adaptive"] = double(state.range(0));
+  state.counters["shift_every"] = double(shift_every);
+  state.counters["live_tail_mae"] =
+      live_tail_err / double(std::max<uint64_t>(1, tail_n));
+  state.counters["frozen_tail_mae"] =
+      frozen_tail_err / double(std::max<uint64_t>(1, tail_n));
+  state.counters["drift_resets"] =
+      double(resets) / double(state.iterations());
+}
+// Args: {adaptive?, samples per regime}.
+BENCHMARK(BM_DriftAdaptation)
+    ->Args({1, 3000})->Args({0, 3000})
+    ->Args({1, 1500})->Args({0, 1500})
+    ->Unit(benchmark::kMillisecond);
+
+// Detector operating point: detection delay vs false alarms across
+// thresholds (the lambda sweep).
+void BM_DetectorOperatingPoint(benchmark::State& state) {
+  const double lambda = double(state.range(0));
+  double delay_sum = 0;
+  uint64_t false_alarms = 0, trials = 0;
+  for (auto _ : state) {
+    Rng rng(23);
+    PageHinkley ph(0.05, lambda, 30);
+    // 2000 stationary samples then a shift; measure detection delay.
+    int detected_at = -1;
+    for (int i = 0; i < 4000; ++i) {
+      double v = (i < 2000 ? 0.1 : 1.1) + std::fabs(rng.Gaussian(0, 0.05));
+      if (ph.Observe(v)) {
+        if (i < 2000) {
+          ++false_alarms;
+        } else if (detected_at < 0) {
+          detected_at = i;
+        }
+      }
+    }
+    if (detected_at >= 0) delay_sum += detected_at - 2000;
+    ++trials;
+  }
+  state.counters["lambda"] = lambda;
+  state.counters["mean_delay"] = delay_sum / double(std::max<uint64_t>(1, trials));
+  state.counters["false_alarms"] =
+      double(false_alarms) / double(std::max<uint64_t>(1, trials));
+}
+BENCHMARK(BM_DetectorOperatingPoint)->Arg(5)->Arg(15)->Arg(50)->Arg(150)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

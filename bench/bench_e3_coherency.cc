@@ -1,0 +1,113 @@
+// E3 — Section IV-C: coherency-bounded dissemination vs full refresh.
+//
+// Claim validated: tolerating a small bounded discrepancy slashes the
+// bandwidth of physical->virtual synchronization while the mirror error
+// stays below the contract.  Sweep the coherency bound (metres x10 to
+// keep integer args); bound 0 is the full-refresh baseline.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "consistency/coherency.h"
+#include "consistency/lod.h"
+#include "core/sensors.h"
+
+namespace {
+
+using namespace deluge;               // NOLINT
+using namespace deluge::consistency;  // NOLINT
+
+void BM_CoherencyBoundSweep(benchmark::State& state) {
+  const double bound = double(state.range(0)) / 10.0;  // metres
+  const geo::AABB world({0, 0, 0}, {2000, 2000, 100});
+
+  core::SensorFleetOptions fleet_opts;
+  fleet_opts.num_entities = 10000;
+  fleet_opts.max_speed = 5.0;
+  fleet_opts.gps_noise_stddev = 0.0;
+  core::SensorFleet fleet(world, fleet_opts);
+
+  CoherencyFilter filter({bound, 3600 * kMicrosPerSecond});
+  Micros now = 0;
+  for (auto _ : state) {
+    now += 100 * kMicrosPerMilli;
+    for (const auto& r : fleet.Tick(100 * kMicrosPerMilli, now)) {
+      filter.Offer(r.entity, r.position, r.t);
+    }
+  }
+  const auto& stats = filter.stats();
+  state.counters["bound_m"] = bound;
+  state.counters["suppression_pct"] = 100.0 * stats.SuppressionRatio();
+  state.counters["bytes_per_tick"] =
+      double(stats.bytes_sent) / double(std::max<int64_t>(1, state.iterations()));
+  state.counters["mean_error_m"] = stats.MeanDeviation();
+  state.counters["max_error_m"] = stats.deviation_max;
+}
+BENCHMARK(BM_CoherencyBoundSweep)
+    ->Arg(0)      // full refresh baseline
+    ->Arg(5)      // 0.5 m
+    ->Arg(10)     // 1 m
+    ->Arg(20)     // 2 m
+    ->Arg(50)     // 5 m
+    ->Arg(100)    // 10 m
+    ->Unit(benchmark::kMillisecond);
+
+// Ablation: time-bound (max staleness) forcing refreshes even at loose
+// value bounds — the knob trading bandwidth for freshness of idle
+// entities.
+void BM_StalenessBoundSweep(benchmark::State& state) {
+  const Micros staleness = state.range(0) * kMicrosPerMilli;
+  const geo::AABB world({0, 0, 0}, {2000, 2000, 100});
+  core::SensorFleetOptions fleet_opts;
+  fleet_opts.num_entities = 5000;
+  fleet_opts.max_speed = 0.3;  // mostly-idle crowd
+  fleet_opts.gps_noise_stddev = 0.0;
+  core::SensorFleet fleet(world, fleet_opts);
+  CoherencyFilter filter({5.0, staleness});
+  Micros now = 0;
+  for (auto _ : state) {
+    now += 100 * kMicrosPerMilli;
+    for (const auto& r : fleet.Tick(100 * kMicrosPerMilli, now)) {
+      filter.Offer(r.entity, r.position, r.t);
+    }
+  }
+  state.counters["staleness_ms"] = double(state.range(0));
+  state.counters["suppression_pct"] =
+      100.0 * filter.stats().SuppressionRatio();
+}
+BENCHMARK(BM_StalenessBoundSweep)->Arg(200)->Arg(1000)->Arg(5000)->Arg(60000)
+    ->Unit(benchmark::kMillisecond);
+
+// LOD degradation: utility captured vs link budget (Section IV-C's
+// "low resolution image/video may be used instead").
+void BM_LodUtilityVsBudget(benchmark::State& state) {
+  const uint64_t budget_kb = uint64_t(state.range(0));
+  Rng rng(7);
+  std::vector<LodCandidate> assets;
+  double max_utility = 0.0;
+  for (uint64_t i = 0; i < 500; ++i) {
+    LodCandidate c;
+    c.id = i;
+    c.low_bytes = 2048 + rng.Uniform(8192);
+    c.full_bytes = c.low_bytes * (4 + rng.Uniform(16));
+    c.importance = rng.UniformDouble(0.05, 1.0);
+    max_utility += c.importance;
+    assets.push_back(c);
+  }
+  LodSelector selector(0.4);
+  double utility = 0.0;
+  for (auto _ : state) {
+    auto choices = selector.Select(assets, budget_kb * 1024);
+    utility = LodSelector::TotalUtility(choices);
+    benchmark::DoNotOptimize(choices.data());
+  }
+  state.counters["budget_kb"] = double(budget_kb);
+  state.counters["utility_pct"] = 100.0 * utility / max_utility;
+}
+BENCHMARK(BM_LodUtilityVsBudget)
+    ->Arg(64)->Arg(256)->Arg(1024)->Arg(4096)->Arg(16384)->Arg(65536)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,122 @@
+// E5 — Section IV-E: publish/subscribe dissemination vs per-client
+// unicast polling as the audience grows.
+//
+// Claim validated: with N subscribers of whom only a fraction care about
+// any given event, broker-matched pub/sub sends O(matching) messages per
+// event while unicast polling sends O(N) per poll round — the gap widens
+// linearly with N, which is why the paper argues for pub/sub
+// architectures for cross-space dissemination.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "net/simulator.h"
+#include "pubsub/broker.h"
+
+namespace {
+
+using namespace deluge;          // NOLINT
+using namespace deluge::pubsub;  // NOLINT
+
+const geo::AABB kWorld({0, 0, 0}, {10000, 10000, 100});
+
+void BM_PubSubDissemination(benchmark::State& state) {
+  const size_t subscribers = size_t(state.range(0));
+  Rng rng(3);
+  uint64_t bytes_delivered = 0;
+  Broker broker(kWorld, 100.0,
+                [&](net::NodeId, const Event& e) { bytes_delivered += e.bytes; });
+  // Each subscriber watches a 200x200 m neighbourhood.
+  for (size_t i = 0; i < subscribers; ++i) {
+    Subscription sub;
+    sub.subscriber = net::NodeId(i);
+    geo::Vec3 c{rng.UniformDouble(0, 10000), rng.UniformDouble(0, 10000), 50};
+    sub.region = geo::AABB::Cube(c, 100);
+    broker.Subscribe(std::move(sub));
+  }
+  uint64_t events = 0;
+  for (auto _ : state) {
+    Event e;
+    e.topic = "mirror.position";
+    e.position = geo::Vec3{rng.UniformDouble(0, 10000),
+                           rng.UniformDouble(0, 10000), 50};
+    e.bytes = 256;
+    broker.Publish(e);
+    ++events;
+  }
+  state.SetItemsProcessed(int64_t(events));
+  state.counters["subscribers"] = double(subscribers);
+  state.counters["deliveries_per_event"] =
+      double(broker.stats().deliveries) / double(std::max<uint64_t>(1, events));
+  state.counters["candidates_per_event"] =
+      double(broker.stats().candidates_checked) /
+      double(std::max<uint64_t>(1, events));
+  state.counters["bytes_per_event"] =
+      double(bytes_delivered) / double(std::max<uint64_t>(1, events));
+}
+BENCHMARK(BM_PubSubDissemination)
+    ->Arg(100)->Arg(1000)->Arg(10000)->Arg(50000)
+    ->Unit(benchmark::kMicrosecond);
+
+// Baseline: every client polls the full event stream each round and
+// filters client-side — the "no broker" architecture.
+void BM_UnicastPollingBaseline(benchmark::State& state) {
+  const size_t subscribers = size_t(state.range(0));
+  Rng rng(3);
+  // Same interest model as above.
+  std::vector<geo::AABB> interests;
+  for (size_t i = 0; i < subscribers; ++i) {
+    geo::Vec3 c{rng.UniformDouble(0, 10000), rng.UniformDouble(0, 10000), 50};
+    interests.push_back(geo::AABB::Cube(c, 100));
+  }
+  uint64_t bytes_sent = 0;
+  uint64_t events = 0;
+  for (auto _ : state) {
+    geo::Vec3 pos{rng.UniformDouble(0, 10000), rng.UniformDouble(0, 10000),
+                  50};
+    // Unicast: the event goes to EVERY client; each filters locally.
+    size_t relevant = 0;
+    for (const auto& box : interests) {
+      bytes_sent += 256;
+      if (box.Contains(pos)) ++relevant;
+    }
+    benchmark::DoNotOptimize(relevant);
+    ++events;
+  }
+  state.SetItemsProcessed(int64_t(events));
+  state.counters["subscribers"] = double(subscribers);
+  state.counters["bytes_per_event"] =
+      double(bytes_sent) / double(std::max<uint64_t>(1, events));
+}
+BENCHMARK(BM_UnicastPollingBaseline)
+    ->Arg(100)->Arg(1000)->Arg(10000)->Arg(50000)
+    ->Unit(benchmark::kMicrosecond);
+
+// Overlay scaling: sharding topics across brokers divides matching work.
+void BM_BrokerOverlay(benchmark::State& state) {
+  const size_t brokers = size_t(state.range(0));
+  Rng rng(9);
+  BrokerOverlay overlay(brokers, kWorld, 100.0,
+                        [](net::NodeId, const Event&) {});
+  for (size_t i = 0; i < 10000; ++i) {
+    Subscription sub;
+    sub.subscriber = net::NodeId(i);
+    sub.topic = "topic" + std::to_string(rng.Uniform(64));
+    overlay.Subscribe(std::move(sub));
+  }
+  uint64_t delivered = 0;
+  for (auto _ : state) {
+    Event e;
+    e.topic = "topic" + std::to_string(rng.Uniform(64));
+    delivered += overlay.Publish(e);
+  }
+  state.counters["brokers"] = double(brokers);
+  state.counters["deliveries_per_event"] =
+      double(delivered) / double(std::max<int64_t>(1, state.iterations()));
+}
+BENCHMARK(BM_BrokerOverlay)->Arg(1)->Arg(4)->Arg(16)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,124 @@
+// E9 — Section IV-F: spatial index ablation under update-intensive
+// moving-object workloads.
+//
+// Claim validated: no single structure wins everywhere.  The grid and the
+// Morton-keyed B+-tree (ST2B-style, [22]) dominate on updates; the R-tree
+// is competitive on range queries but pays bounding-box maintenance on
+// every move — which is exactly why the paper calls for update-friendly
+// indexes for the metaverse's moving entities.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "index/grid_index.h"
+#include "index/morton_index.h"
+#include "index/rtree.h"
+
+namespace {
+
+using namespace deluge;         // NOLINT
+using namespace deluge::index;  // NOLINT
+
+const geo::AABB kWorld({0, 0, 0}, {10000, 10000, 100});
+
+std::unique_ptr<SpatialIndex> MakeIndex(int kind) {
+  switch (kind) {
+    case 0:
+      return std::make_unique<GridIndex>(kWorld, 100.0);
+    case 1:
+      return std::make_unique<RTree>(16);
+    default:
+      return std::make_unique<MortonIndex>(kWorld, 256);
+  }
+}
+
+// Mixed workload: `update_pct`% position updates, rest range queries.
+void BM_MixedWorkload(benchmark::State& state) {
+  const int kind = int(state.range(0));
+  const int update_pct = int(state.range(1));
+  auto index = MakeIndex(kind);
+  Rng rng(7);
+  const size_t kEntities = 50000;
+  std::vector<geo::Vec3> positions(kEntities);
+  for (EntityId id = 0; id < kEntities; ++id) {
+    positions[id] = {rng.UniformDouble(0, 10000), rng.UniformDouble(0, 10000),
+                     50};
+    index->Insert(id, positions[id]);
+  }
+  uint64_t ops = 0, results = 0;
+  for (auto _ : state) {
+    if (rng.Uniform(100) < uint64_t(update_pct)) {
+      EntityId id = rng.Uniform(kEntities);
+      positions[id] += {rng.UniformDouble(-10, 10),
+                        rng.UniformDouble(-10, 10), 0};
+      index->Update(id, positions[id]);
+    } else {
+      geo::Vec3 c{rng.UniformDouble(500, 9500), rng.UniformDouble(500, 9500),
+                  50};
+      auto hits = index->Range(geo::AABB::Cube(c, 200));
+      results += hits.size();
+    }
+    ++ops;
+  }
+  state.SetItemsProcessed(int64_t(ops));
+  state.SetLabel(index->name());
+  state.counters["kind"] = double(kind);
+  state.counters["update_pct"] = double(update_pct);
+  benchmark::DoNotOptimize(results);
+}
+// Args: {index kind (0=grid, 1=rtree, 2=morton), update %}.
+BENCHMARK(BM_MixedWorkload)
+    ->Args({0, 95})->Args({1, 95})->Args({2, 95})
+    ->Args({0, 50})->Args({1, 50})->Args({2, 50})
+    ->Args({0, 5})->Args({1, 5})->Args({2, 5})
+    ->Unit(benchmark::kMicrosecond);
+
+// Pure k-NN performance.
+void BM_Knn(benchmark::State& state) {
+  const int kind = int(state.range(0));
+  auto index = MakeIndex(kind);
+  Rng rng(9);
+  for (EntityId id = 0; id < 50000; ++id) {
+    index->Insert(id, {rng.UniformDouble(0, 10000),
+                       rng.UniformDouble(0, 10000), 50});
+  }
+  for (auto _ : state) {
+    geo::Vec3 q{rng.UniformDouble(0, 10000), rng.UniformDouble(0, 10000), 50};
+    auto hits = index->Nearest(q, 10);
+    benchmark::DoNotOptimize(hits.data());
+  }
+  state.SetLabel(index->name());
+  state.counters["kind"] = double(kind);
+}
+BENCHMARK(BM_Knn)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMicrosecond);
+
+// Skewed placement (everyone crowds the mall entrance): grid cells
+// overflow while trees adapt.
+void BM_SkewedRange(benchmark::State& state) {
+  const int kind = int(state.range(0));
+  auto index = MakeIndex(kind);
+  Rng rng(11);
+  for (EntityId id = 0; id < 50000; ++id) {
+    // 90% of entities inside one 200 m hotspot.
+    geo::Vec3 p = rng.Bernoulli(0.9)
+                      ? geo::Vec3{5000 + rng.Gaussian(0, 60),
+                                  5000 + rng.Gaussian(0, 60), 50}
+                      : geo::Vec3{rng.UniformDouble(0, 10000),
+                                  rng.UniformDouble(0, 10000), 50};
+    index->Insert(id, p);
+  }
+  for (auto _ : state) {
+    auto hits = index->Range(geo::AABB::Cube({5000, 5000, 50}, 100));
+    benchmark::DoNotOptimize(hits.data());
+  }
+  state.SetLabel(index->name());
+  state.counters["kind"] = double(kind);
+}
+BENCHMARK(BM_SkewedRange)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

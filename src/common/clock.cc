@@ -1,0 +1,18 @@
+#include "common/clock.h"
+
+#include <chrono>
+
+namespace deluge {
+
+Micros SystemClock::NowMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+SystemClock* SystemClock::Default() {
+  static SystemClock clock;
+  return &clock;
+}
+
+}  // namespace deluge

@@ -1,0 +1,63 @@
+#ifndef DELUGE_COMMON_CLOCK_H_
+#define DELUGE_COMMON_CLOCK_H_
+
+#include <cstdint>
+
+namespace deluge {
+
+/// Time in microseconds.  All Deluge components speak one time unit.
+using Micros = int64_t;
+
+constexpr Micros kMicrosPerMilli = 1000;
+constexpr Micros kMicrosPerSecond = 1000 * 1000;
+
+/// Abstract time source.
+///
+/// Production components read time through a `Clock*` so that the
+/// discrete-event simulator (`SimClock`) can drive them with virtual time,
+/// making tests and benchmarks deterministic and instantaneous regardless
+/// of the simulated timescale.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Current time in microseconds since an arbitrary epoch.
+  virtual Micros NowMicros() const = 0;
+};
+
+/// Wall-clock implementation (monotonic).
+class SystemClock : public Clock {
+ public:
+  Micros NowMicros() const override;
+
+  /// A process-wide instance (no destruction-order issues: trivially
+  /// destructible state only).
+  static SystemClock* Default();
+};
+
+/// Manually-advanced virtual clock for simulations and tests.
+///
+/// Not thread-safe by design: the discrete-event simulator is
+/// single-threaded (determinism beats parallelism for a simulator whose
+/// events take nanoseconds to execute).
+class SimClock : public Clock {
+ public:
+  explicit SimClock(Micros start = 0) : now_(start) {}
+
+  Micros NowMicros() const override { return now_; }
+
+  /// Moves time forward by `delta` (must be >= 0).
+  void Advance(Micros delta) { now_ += delta; }
+
+  /// Jumps to an absolute time (must be >= current time).
+  void AdvanceTo(Micros t) {
+    if (t > now_) now_ = t;
+  }
+
+ private:
+  Micros now_;
+};
+
+}  // namespace deluge
+
+#endif  // DELUGE_COMMON_CLOCK_H_

@@ -1,0 +1,25 @@
+#ifndef DELUGE_COMMON_HASH_H_
+#define DELUGE_COMMON_HASH_H_
+
+#include <cstdint>
+#include <cstddef>
+#include <string_view>
+
+namespace deluge {
+
+/// 64-bit FNV-1a hash of an arbitrary byte range.  Fast, non-cryptographic;
+/// used for hash partitioning, bloom filters, and sharding decisions.
+uint64_t Hash64(const void* data, size_t len, uint64_t seed = 0);
+
+/// Convenience overload for string-like data.
+inline uint64_t Hash64(std::string_view s, uint64_t seed = 0) {
+  return Hash64(s.data(), s.size(), seed);
+}
+
+/// Mixes a 64-bit integer (Stafford variant 13 finalizer) — good avalanche,
+/// used to derive independent hash functions from one value.
+uint64_t Mix64(uint64_t x);
+
+}  // namespace deluge
+
+#endif  // DELUGE_COMMON_HASH_H_

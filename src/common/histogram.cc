@@ -1,0 +1,98 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace deluge {
+
+namespace {
+// Bucket boundaries grow geometrically by ~1.125x; precomputed lazily.
+// Bucket i covers [kBounds[i-1], kBounds[i]).
+std::vector<int64_t> MakeBounds() {
+  std::vector<int64_t> bounds;
+  bounds.push_back(1);
+  while (bounds.back() < (int64_t{1} << 62)) {
+    int64_t next = bounds.back() + std::max<int64_t>(1, bounds.back() / 8);
+    bounds.push_back(next);
+  }
+  return bounds;
+}
+
+const std::vector<int64_t>& Bounds() {
+  static const std::vector<int64_t>& b = *new std::vector<int64_t>(MakeBounds());
+  return b;
+}
+}  // namespace
+
+Histogram::Histogram() : buckets_(Bounds().size() + 1, 0) {}
+
+size_t Histogram::BucketFor(int64_t value) {
+  const auto& bounds = Bounds();
+  // First bucket whose upper bound exceeds value.
+  auto it = std::upper_bound(bounds.begin(), bounds.end(), value);
+  return static_cast<size_t>(it - bounds.begin());
+}
+
+void Histogram::Record(int64_t value) { RecordMany(value, 1); }
+
+void Histogram::RecordMany(int64_t value, uint64_t count) {
+  if (count == 0) return;
+  if (value < 0) value = 0;
+  if (count_ == 0 || value < min_) min_ = value;
+  if (value > max_) max_ = value;
+  count_ += count;
+  sum_ += double(value) * double(count);
+  buckets_[BucketFor(value)] += count;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0;
+  max_ = 0;
+}
+
+double Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double target = p / 100.0 * double(count_);
+  const auto& bounds = Bounds();
+  double seen = 0.0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    double next = seen + double(buckets_[i]);
+    if (next >= target) {
+      const double lo = i == 0 ? 0.0 : double(bounds[i - 1]);
+      const double hi =
+          i < bounds.size() ? double(bounds[i]) : double(max_);
+      const double frac =
+          buckets_[i] == 0 ? 0.0 : (target - seen) / double(buckets_[i]);
+      double v = lo + frac * (hi - lo);
+      return std::clamp(v, double(min_), double(max_));
+    }
+    seen = next;
+  }
+  return double(max_);
+}
+
+std::string Histogram::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean=%.2f p50=%.1f p95=%.1f p99=%.1f max=%lld",
+                static_cast<unsigned long long>(count_), mean(), P50(), P95(),
+                P99(), static_cast<long long>(max_));
+  return buf;
+}
+
+}  // namespace deluge

@@ -1,0 +1,61 @@
+#ifndef DELUGE_COMMON_HISTOGRAM_H_
+#define DELUGE_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace deluge {
+
+/// Fixed-memory latency/size histogram with log-spaced buckets.
+///
+/// Records non-negative values (typically microseconds or bytes) and
+/// answers mean/percentile queries.  Percentiles are approximate: within a
+/// bucket the distribution is assumed uniform, which bounds relative error
+/// by the bucket growth factor (~12% here).  This is the standard
+/// storage-engine tradeoff (cf. RocksDB's histogram) — O(1) record cost,
+/// no allocation on the hot path.
+class Histogram {
+ public:
+  Histogram();
+
+  /// Adds one observation (values < 0 are clamped to 0).
+  void Record(int64_t value);
+
+  /// Adds `count` observations of `value`.
+  void RecordMany(int64_t value, uint64_t count);
+
+  /// Merges another histogram into this one.
+  void Merge(const Histogram& other);
+
+  /// Removes all observations.
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  int64_t min() const { return count_ == 0 ? 0 : min_; }
+  int64_t max() const { return max_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / double(count_); }
+
+  /// Approximate value at percentile `p` in [0, 100].
+  double Percentile(double p) const;
+
+  double P50() const { return Percentile(50.0); }
+  double P95() const { return Percentile(95.0); }
+  double P99() const { return Percentile(99.0); }
+
+  /// One-line summary "count=… mean=… p50=… p95=… p99=… max=…".
+  std::string ToString() const;
+
+ private:
+  static size_t BucketFor(int64_t value);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+};
+
+}  // namespace deluge
+
+#endif  // DELUGE_COMMON_HISTOGRAM_H_

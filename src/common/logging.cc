@@ -1,0 +1,51 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstring>
+
+namespace deluge {
+
+namespace {
+std::atomic<int> g_min_level{static_cast<int>(LogLevel::kWarn)};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
+}
+
+void LogImpl(LogLevel level, const char* file, int line, const char* fmt,
+             ...) {
+  if (static_cast<int>(level) <
+      g_min_level.load(std::memory_order_relaxed)) {
+    return;
+  }
+  const char* base = std::strrchr(file, '/');
+  base = base ? base + 1 : file;
+  char msg[1024];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(msg, sizeof(msg), fmt, ap);
+  va_end(ap);
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), base, line, msg);
+}
+
+}  // namespace deluge

@@ -1,0 +1,32 @@
+#ifndef DELUGE_COMMON_LOGGING_H_
+#define DELUGE_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <string>
+
+namespace deluge {
+
+/// Log severities in increasing order.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// printf-style logging to stderr with a severity prefix.  Cheap when the
+/// level is filtered out (one branch).
+void LogImpl(LogLevel level, const char* file, int line, const char* fmt, ...)
+    __attribute__((format(printf, 4, 5)));
+
+#define DELUGE_LOG_DEBUG(...) \
+  ::deluge::LogImpl(::deluge::LogLevel::kDebug, __FILE__, __LINE__, __VA_ARGS__)
+#define DELUGE_LOG_INFO(...) \
+  ::deluge::LogImpl(::deluge::LogLevel::kInfo, __FILE__, __LINE__, __VA_ARGS__)
+#define DELUGE_LOG_WARN(...) \
+  ::deluge::LogImpl(::deluge::LogLevel::kWarn, __FILE__, __LINE__, __VA_ARGS__)
+#define DELUGE_LOG_ERROR(...) \
+  ::deluge::LogImpl(::deluge::LogLevel::kError, __FILE__, __LINE__, __VA_ARGS__)
+
+}  // namespace deluge
+
+#endif  // DELUGE_COMMON_LOGGING_H_

@@ -1,0 +1,78 @@
+#ifndef DELUGE_COMMON_RNG_H_
+#define DELUGE_COMMON_RNG_H_
+
+#include <cstdint>
+#include <cmath>
+#include <vector>
+
+namespace deluge {
+
+/// Deterministic, seedable pseudo-random number generator.
+///
+/// All randomness in Deluge (workload generators, simulators, sampling, DP
+/// noise) flows through `Rng` so that every test and benchmark is exactly
+/// reproducible from its seed.  The core generator is xoshiro256**, seeded
+/// via splitmix64, which is fast and has excellent statistical quality for
+/// simulation purposes (not cryptographic use).
+class Rng {
+ public:
+  /// Constructs a generator whose entire stream is determined by `seed`.
+  explicit Rng(uint64_t seed = 42);
+
+  /// Next raw 64-bit draw.
+  uint64_t Next();
+
+  /// Uniform integer in [0, n).  `n` must be > 0.
+  uint64_t Uniform(uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive.  Requires lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// Standard normal draw (Box–Muller).
+  double Gaussian();
+
+  /// Normal draw with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev);
+
+  /// Exponential draw with the given rate (lambda > 0); mean is 1/lambda.
+  double Exponential(double lambda);
+
+  /// True with probability `p` (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Zipfian draw in [0, n) with skew `theta` in [0, 1); theta = 0 is
+  /// uniform, values near 1 are highly skewed.  Used for hot-key workloads.
+  uint64_t Zipf(uint64_t n, double theta);
+
+  /// Samples `k` distinct indices from [0, n) (reservoir sampling);
+  /// if k >= n returns all of [0, n).
+  std::vector<uint64_t> SampleWithoutReplacement(uint64_t n, uint64_t k);
+
+  /// Fisher–Yates shuffles `v` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(Uniform(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+  // Cached state for Zipf draws (recomputed when n/theta change).
+  uint64_t zipf_n_ = 0;
+  double zipf_theta_ = -1.0;
+  double zipf_zetan_ = 0.0;
+  double zipf_alpha_ = 0.0;
+  double zipf_eta_ = 0.0;
+};
+
+}  // namespace deluge
+
+#endif  // DELUGE_COMMON_RNG_H_

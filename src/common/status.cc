@@ -1,0 +1,51 @@
+#include "common/status.h"
+
+namespace deluge {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kCorruption:
+      return "Corruption";
+    case StatusCode::kIOError:
+      return "IOError";
+    case StatusCode::kNotSupported:
+      return "NotSupported";
+    case StatusCode::kBusy:
+      return "Busy";
+    case StatusCode::kTimedOut:
+      return "TimedOut";
+    case StatusCode::kAborted:
+      return "Aborted";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kPermissionDenied:
+      return "PermissionDenied";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace deluge

@@ -1,0 +1,176 @@
+#ifndef DELUGE_COMMON_STATUS_H_
+#define DELUGE_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace deluge {
+
+/// Canonical error codes for all fallible Deluge operations.
+///
+/// Deluge never throws exceptions across API boundaries; every operation
+/// that can fail returns a `Status` (or a `Result<T>` when it also produces
+/// a value).  The code set mirrors the usual storage-engine palette
+/// (RocksDB / Abseil style) so that callers can branch on coarse classes of
+/// failure without parsing messages.
+enum class StatusCode {
+  kOk = 0,
+  kNotFound = 1,
+  kInvalidArgument = 2,
+  kAlreadyExists = 3,
+  kCorruption = 4,
+  kIOError = 5,
+  kNotSupported = 6,
+  kBusy = 7,
+  kTimedOut = 8,
+  kAborted = 9,
+  kOutOfRange = 10,
+  kResourceExhausted = 11,
+  kUnavailable = 12,
+  kInternal = 13,
+  kPermissionDenied = 14,
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "NotFound").
+std::string_view StatusCodeName(StatusCode code);
+
+/// A lightweight success-or-error value.
+///
+/// `Status` is cheap to copy in the success case (a single enum) and carries
+/// an explanatory message in the failure case.  Typical usage:
+///
+/// ```
+/// deluge::Status s = store.Put(key, value);
+/// if (!s.ok()) return s;  // propagate
+/// ```
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// Factory helpers, one per canonical code.
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg = "") {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg = "") {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg = "") {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Corruption(std::string msg = "") {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IOError(std::string msg = "") {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotSupported(std::string msg = "") {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Busy(std::string msg = "") {
+    return Status(StatusCode::kBusy, std::move(msg));
+  }
+  static Status TimedOut(std::string msg = "") {
+    return Status(StatusCode::kTimedOut, std::move(msg));
+  }
+  static Status Aborted(std::string msg = "") {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg = "") {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg = "") {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg = "") {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Internal(std::string msg = "") {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status PermissionDenied(std::string msg = "") {
+    return Status(StatusCode::kPermissionDenied, std::move(msg));
+  }
+
+  /// True iff the status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsBusy() const { return code_ == StatusCode::kBusy; }
+  bool IsTimedOut() const { return code_ == StatusCode::kTimedOut; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+
+  /// Renders "Code: message" (or "OK").
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// A value-or-error pair, the Deluge analogue of `absl::StatusOr<T>`.
+///
+/// Invariant: exactly one of {value, error status} is meaningful.  Accessing
+/// `value()` on an error `Result` is a programming error (checked via
+/// assert-like hard failure in debug builds through `Expect()`).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: `return 42;` inside a `Result<int>` function.
+  Result(T value) : status_(), value_(std::move(value)), has_value_(true) {}
+
+  /// Implicit from an error status.  The status must not be OK.
+  Result(Status status) : status_(std::move(status)), has_value_(false) {
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return has_value_; }
+  const Status& status() const { return status_; }
+
+  /// Access to the contained value; only valid when `ok()`.
+  const T& value() const& { return value_; }
+  T& value() & { return value_; }
+  T&& value() && { return std::move(value_); }
+
+  /// Returns the value or `fallback` when in the error state.
+  T value_or(T fallback) const {
+    return has_value_ ? value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  T value_{};
+  bool has_value_ = false;
+};
+
+}  // namespace deluge
+
+#endif  // DELUGE_COMMON_STATUS_H_

@@ -1,0 +1,55 @@
+#ifndef DELUGE_COMMON_THREAD_POOL_H_
+#define DELUGE_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace deluge {
+
+/// A fixed-size worker pool with a FIFO task queue.
+///
+/// Used by the elastic executor tier (`deluge::runtime`) and by parallel
+/// benchmark drivers.  Tasks are `std::function<void()>`; exceptions must
+/// not escape tasks (Deluge code reports errors via `Status`).
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains the queue and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; never blocks.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Tasks submitted but not yet finished.
+  size_t pending() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace deluge
+
+#endif  // DELUGE_COMMON_THREAD_POOL_H_

@@ -1,0 +1,67 @@
+#include "consistency/coherency.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace deluge::consistency {
+
+CoherencyFilter::CoherencyFilter(CoherencyContract default_contract)
+    : default_contract_(default_contract) {}
+
+void CoherencyFilter::SetContract(uint64_t entity,
+                                  const CoherencyContract& contract) {
+  contracts_[entity] = contract;
+}
+
+const CoherencyContract& CoherencyFilter::ContractFor(uint64_t entity) const {
+  auto it = contracts_.find(entity);
+  return it == contracts_.end() ? default_contract_ : it->second;
+}
+
+bool CoherencyFilter::Decide(EntityState& st, double deviation, Micros now,
+                             const CoherencyContract& contract,
+                             uint64_t bytes) {
+  ++stats_.updates_offered;
+  bool must_send = !st.ever_sent || deviation > contract.value_bound ||
+                   (now - st.last_sent_at) >= contract.max_staleness;
+  if (must_send) {
+    ++stats_.updates_sent;
+    stats_.bytes_sent += bytes;
+    st.last_sent_at = now;
+    st.ever_sent = true;
+    return true;
+  }
+  ++stats_.updates_suppressed;
+  stats_.deviation_sum += deviation;
+  stats_.deviation_max = std::max(stats_.deviation_max, deviation);
+  return false;
+}
+
+bool CoherencyFilter::Offer(uint64_t entity, const geo::Vec3& value,
+                            Micros now, uint64_t bytes) {
+  EntityState& st = states_[entity];
+  double deviation =
+      st.ever_sent ? geo::Distance(st.last_sent_vec, value) : 0.0;
+  bool send = Decide(st, deviation, now, ContractFor(entity), bytes);
+  if (send) st.last_sent_vec = value;
+  return send;
+}
+
+bool CoherencyFilter::OfferScalar(uint64_t entity, double value, Micros now,
+                                  uint64_t bytes) {
+  EntityState& st = states_[entity];
+  double deviation =
+      st.ever_sent ? std::fabs(st.last_sent_scalar - value) : 0.0;
+  bool send = Decide(st, deviation, now, ContractFor(entity), bytes);
+  if (send) st.last_sent_scalar = value;
+  return send;
+}
+
+bool CoherencyFilter::MirrorValue(uint64_t entity, geo::Vec3* out) const {
+  auto it = states_.find(entity);
+  if (it == states_.end() || !it->second.ever_sent) return false;
+  *out = it->second.last_sent_vec;
+  return true;
+}
+
+}  // namespace deluge::consistency

@@ -1,0 +1,96 @@
+#ifndef DELUGE_CONSISTENCY_COHERENCY_H_
+#define DELUGE_CONSISTENCY_COHERENCY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "common/clock.h"
+#include "geo/geometry.h"
+
+namespace deluge::consistency {
+
+/// A per-entity coherency contract (Section IV-C: "tolerate some degree
+/// of discrepancies — for numerical data, they may be within certain
+/// coherency requirements").
+///
+/// The mirrored copy of an entity is allowed to deviate from the source
+/// by at most `value_bound` (metres for positions, native units for
+/// scalars) and to be at most `max_staleness` old.  An update is
+/// transmitted only when either bound would otherwise be violated.
+struct CoherencyContract {
+  double value_bound = 0.0;           ///< 0 => every change transmits
+  Micros max_staleness = kMicrosPerSecond;
+};
+
+/// Dissemination accounting.
+struct CoherencyStats {
+  uint64_t updates_offered = 0;   ///< source-side changes observed
+  uint64_t updates_sent = 0;      ///< actually transmitted
+  uint64_t updates_suppressed = 0;
+  uint64_t bytes_sent = 0;
+  /// Sum and max of the deviation present at suppression decisions — the
+  /// error the mirror actually carries.
+  double deviation_sum = 0.0;
+  double deviation_max = 0.0;
+
+  double SuppressionRatio() const {
+    return updates_offered == 0
+               ? 0.0
+               : double(updates_suppressed) / double(updates_offered);
+  }
+  double MeanDeviation() const {
+    return updates_suppressed == 0 ? 0.0
+                                   : deviation_sum / double(updates_suppressed);
+  }
+};
+
+/// Decides, per entity, whether a new source value must be pushed to the
+/// mirror under that entity's coherency contract.  Generic over the value
+/// kind via a distance function; concrete aliases below cover positions
+/// and scalars.
+class CoherencyFilter {
+ public:
+  /// `default_contract` applies to entities without an explicit one.
+  explicit CoherencyFilter(CoherencyContract default_contract = {});
+
+  /// Installs a per-entity contract.
+  void SetContract(uint64_t entity, const CoherencyContract& contract);
+
+  /// Offers a new position for `entity` at `now`; returns true when the
+  /// update must be transmitted (and records it as sent, charging
+  /// `bytes`).  False means the mirror stays within bounds.
+  bool Offer(uint64_t entity, const geo::Vec3& value, Micros now,
+             uint64_t bytes = 64);
+
+  /// Scalar variant (sensor readings, stock counts, …).
+  bool OfferScalar(uint64_t entity, double value, Micros now,
+                   uint64_t bytes = 16);
+
+  /// The value the mirror currently holds (last transmitted), if any.
+  bool MirrorValue(uint64_t entity, geo::Vec3* out) const;
+
+  const CoherencyStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = CoherencyStats{}; }
+
+ private:
+  struct EntityState {
+    geo::Vec3 last_sent_vec;
+    double last_sent_scalar = 0.0;
+    Micros last_sent_at = INT64_MIN;
+    bool ever_sent = false;
+  };
+
+  bool Decide(EntityState& st, double deviation, Micros now,
+              const CoherencyContract& contract, uint64_t bytes);
+  const CoherencyContract& ContractFor(uint64_t entity) const;
+
+  CoherencyContract default_contract_;
+  std::unordered_map<uint64_t, CoherencyContract> contracts_;
+  std::unordered_map<uint64_t, EntityState> states_;
+  CoherencyStats stats_;
+};
+
+}  // namespace deluge::consistency
+
+#endif  // DELUGE_CONSISTENCY_COHERENCY_H_

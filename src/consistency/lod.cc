@@ -1,0 +1,80 @@
+#include "consistency/lod.h"
+
+#include <algorithm>
+
+namespace deluge::consistency {
+
+LodSelector::LodSelector(double low_utility_factor)
+    : low_factor_(std::clamp(low_utility_factor, 0.0, 1.0)) {}
+
+std::vector<LodChoice> LodSelector::Select(
+    const std::vector<LodCandidate>& candidates,
+    uint64_t budget_bytes) const {
+  std::vector<LodChoice> out(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    out[i].id = candidates[i].id;
+  }
+
+  // Two-step greedy: first admit low-res versions by utility density,
+  // then upgrade to full-res by marginal density, both under the budget.
+  struct Step {
+    size_t idx;
+    uint64_t extra_bytes;
+    double extra_utility;
+    Resolution target;
+  };
+  std::vector<Step> steps;
+  steps.reserve(candidates.size() * 2);
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const LodCandidate& c = candidates[i];
+    double low_u = c.importance * low_factor_;
+    steps.push_back({i, c.low_bytes, low_u, Resolution::kLow});
+    if (c.full_bytes >= c.low_bytes) {
+      steps.push_back({i, c.full_bytes - c.low_bytes,
+                       c.importance - low_u, Resolution::kFull});
+    }
+  }
+  std::sort(steps.begin(), steps.end(), [](const Step& a, const Step& b) {
+    double da = a.extra_bytes == 0 ? 1e18
+                                   : a.extra_utility / double(a.extra_bytes);
+    double db = b.extra_bytes == 0 ? 1e18
+                                   : b.extra_utility / double(b.extra_bytes);
+    return da > db;
+  });
+
+  uint64_t used = 0;
+  // Two passes: an upgrade step sorted ahead of its own low step is
+  // skipped in pass 1 and reconsidered in pass 2 once the low step took.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const Step& s : steps) {
+      if (s.target == Resolution::kFull &&
+          out[s.idx].resolution != Resolution::kLow) {
+        continue;  // upgrade only applies on top of the low version
+      }
+      if (s.target == Resolution::kLow &&
+          out[s.idx].resolution != Resolution::kSkip) {
+        continue;  // already admitted
+      }
+      if (used + s.extra_bytes > budget_bytes) continue;
+      used += s.extra_bytes;
+      out[s.idx].resolution = s.target;
+      out[s.idx].bytes += s.extra_bytes;
+      out[s.idx].utility += s.extra_utility;
+    }
+  }
+  return out;
+}
+
+double LodSelector::TotalUtility(const std::vector<LodChoice>& choices) {
+  double u = 0.0;
+  for (const auto& c : choices) u += c.utility;
+  return u;
+}
+
+uint64_t LodSelector::TotalBytes(const std::vector<LodChoice>& choices) {
+  uint64_t b = 0;
+  for (const auto& c : choices) b += c.bytes;
+  return b;
+}
+
+}  // namespace deluge::consistency

@@ -1,0 +1,62 @@
+#ifndef DELUGE_CONSISTENCY_LOD_H_
+#define DELUGE_CONSISTENCY_LOD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace deluge::consistency {
+
+/// Resolution levels for multimedia payloads (Section IV-C: "for
+/// multimedia data, a low resolution image/video may be used instead").
+enum class Resolution : uint8_t {
+  kSkip = 0,  ///< do not transmit at all
+  kLow = 1,
+  kFull = 2,
+};
+
+/// One transmittable asset with per-resolution cost and an importance
+/// score (e.g. the HDoV degree of visibility of the object it renders).
+struct LodCandidate {
+  uint64_t id = 0;
+  uint64_t full_bytes = 0;
+  uint64_t low_bytes = 0;
+  double importance = 1.0;
+};
+
+/// One asset's selected resolution.
+struct LodChoice {
+  uint64_t id = 0;
+  Resolution resolution = Resolution::kSkip;
+  uint64_t bytes = 0;
+  double utility = 0.0;
+};
+
+/// Budget-constrained resolution selection.
+///
+/// Given a byte budget (what the link can carry this tick) and a set of
+/// candidates, picks a resolution per asset maximizing total utility,
+/// where full resolution yields `importance` utility and low resolution
+/// a fraction `low_utility_factor` of it.  Greedy by marginal
+/// utility-per-byte — the classic fractional-knapsack heuristic, within
+/// a factor of optimal for this structure and O(n log n).
+class LodSelector {
+ public:
+  explicit LodSelector(double low_utility_factor = 0.4);
+
+  /// Returns one choice per candidate (same order as input).  Total bytes
+  /// of non-skip choices never exceed `budget_bytes`.
+  std::vector<LodChoice> Select(const std::vector<LodCandidate>& candidates,
+                                uint64_t budget_bytes) const;
+
+  /// Total utility of a choice set.
+  static double TotalUtility(const std::vector<LodChoice>& choices);
+  static uint64_t TotalBytes(const std::vector<LodChoice>& choices);
+
+ private:
+  double low_factor_;
+};
+
+}  // namespace deluge::consistency
+
+#endif  // DELUGE_CONSISTENCY_LOD_H_

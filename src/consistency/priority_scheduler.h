@@ -1,0 +1,89 @@
+#ifndef DELUGE_CONSISTENCY_PRIORITY_SCHEDULER_H_
+#define DELUGE_CONSISTENCY_PRIORITY_SCHEDULER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "net/simulator.h"
+
+namespace deluge::net {
+class Network;
+}  // namespace deluge::net
+
+namespace deluge::consistency {
+
+/// Urgency classes for cross-space transmission (Section IV-C: "more
+/// critical data can be transmitted first before less critical data").
+enum class Urgency : uint8_t {
+  kCritical = 0,  ///< e.g. casualty reports, air-raid orders
+  kHigh = 1,      ///< live entity positions
+  kNormal = 2,    ///< attribute refreshes
+  kBulk = 3,      ///< media, map tiles, logs
+};
+
+std::string UrgencyName(Urgency u);
+
+/// One pending transmission.
+struct PendingUpdate {
+  uint64_t id = 0;
+  Urgency urgency = Urgency::kNormal;
+  uint64_t bytes = 0;
+  Micros deadline = 0;  ///< absolute; 0 => none
+  std::function<void(Micros delivered_at)> on_delivered;
+};
+
+/// Link-scheduling disciplines compared by E4.
+enum class TxPolicy {
+  kFifo,             ///< arrival order, urgency-blind
+  kStrictPriority,   ///< critical > high > normal > bulk, FIFO within
+  kEdfWithinClass,   ///< strict priority; EDF ordering inside a class
+};
+
+/// Per-urgency-class delivery statistics.
+struct ClassStats {
+  Histogram latency;
+  uint64_t delivered = 0;
+  uint64_t deadline_misses = 0;
+};
+
+/// Serializes updates over one constrained link of `bandwidth` bytes/sec,
+/// in virtual time.  Submissions enqueue; the scheduler transmits one
+/// update at a time, choosing the next by policy.  This models the
+/// military-exercise field link or a congested mobile edge, where the
+/// ordering discipline decides whether critical data arrives in time.
+class TransmissionScheduler {
+ public:
+  TransmissionScheduler(net::Simulator* sim, double bandwidth_bytes_per_sec,
+                        TxPolicy policy);
+
+  /// Enqueues `update` at the current virtual time.
+  void Submit(PendingUpdate update);
+
+  const ClassStats& stats_for(Urgency u) const;
+  uint64_t queued() const;
+  uint64_t total_delivered() const;
+
+ private:
+  void MaybeStartTransmission();
+
+  net::Simulator* sim_;
+  double bandwidth_;
+  TxPolicy policy_;
+  bool busy_ = false;
+  struct Item {
+    PendingUpdate update;
+    Micros enqueued_at;
+    uint64_t seq;
+  };
+  std::deque<Item> queue_;
+  uint64_t next_seq_ = 0;
+  ClassStats stats_[4];
+};
+
+}  // namespace deluge::consistency
+
+#endif  // DELUGE_CONSISTENCY_PRIORITY_SCHEDULER_H_

@@ -1,0 +1,122 @@
+#include "core/engine.h"
+
+namespace deluge::core {
+
+CoSpaceEngine::CoSpaceEngine(EngineOptions options, Clock* clock)
+    : options_(options),
+      clock_(clock != nullptr ? clock : SystemClock::Default()),
+      physical_(stream::Space::kPhysical, options.world_bounds),
+      virtual_(stream::Space::kVirtual, options.world_bounds),
+      coherency_(options.default_contract) {
+  broker_ = std::make_unique<pubsub::Broker>(
+      options.world_bounds, options.broker_cell,
+      [this](net::NodeId subscriber, const pubsub::Event& event) {
+        // Dispatch to the watcher registered for this subscriber id.
+        for (auto& [node, deliver] : watchers_) {
+          if (node == subscriber && deliver) deliver(subscriber, event);
+        }
+      });
+}
+
+void CoSpaceEngine::SpawnPhysical(const Entity& entity) {
+  Entity phys = entity;
+  phys.origin = stream::Space::kPhysical;
+  physical_.Upsert(phys);
+  // Mirror immediately so the virtual model starts complete.
+  Entity mirror = phys;
+  virtual_.Upsert(mirror);
+  coherency_.Offer(entity.id, entity.position, entity.updated_at);
+}
+
+void CoSpaceEngine::SpawnVirtual(const Entity& entity) {
+  Entity virt = entity;
+  virt.origin = stream::Space::kVirtual;
+  virtual_.Upsert(virt);
+}
+
+void CoSpaceEngine::SetContract(EntityId id,
+                                const consistency::CoherencyContract& c) {
+  coherency_.SetContract(id, c);
+}
+
+bool CoSpaceEngine::IngestPhysicalPosition(EntityId id, const geo::Vec3& pos,
+                                           Micros t) {
+  ++stats_.physical_updates;
+  // The physical space always tracks ground truth.
+  physical_.Move(id, pos, t);
+
+  if (!coherency_.Offer(id, pos, t)) {
+    ++stats_.suppressed_updates;
+    return false;
+  }
+  ++stats_.mirrored_updates;
+  virtual_.Move(id, pos, t);
+
+  // Tell interested cyber users.
+  pubsub::Event event;
+  event.topic = "mirror.position";
+  event.position = pos;
+  event.payload.event_time = t;
+  event.payload.space = stream::Space::kPhysical;
+  event.payload.key = std::to_string(id);
+  event.payload.Set("entity", int64_t(id));
+  ++stats_.events_published;
+  broker_->Publish(event);
+  return true;
+}
+
+Status CoSpaceEngine::IngestPhysicalAttribute(EntityId id,
+                                              const std::string& name,
+                                              stream::Value value, Micros t) {
+  Status s = physical_.SetAttribute(id, name, value);
+  if (!s.ok()) return s;
+  s = virtual_.SetAttribute(id, name, value);
+  if (!s.ok()) return s;
+  pubsub::Event event;
+  event.topic = "mirror.attribute";
+  event.payload.event_time = t;
+  event.payload.key = std::to_string(id);
+  event.payload.Set("entity", int64_t(id));
+  event.payload.Set("attribute", name);
+  event.payload.fields["value"] = std::move(value);
+  const Entity* e = physical_.Get(id);
+  if (e != nullptr) event.position = e->position;
+  ++stats_.events_published;
+  broker_->Publish(event);
+  return Status::OK();
+}
+
+size_t CoSpaceEngine::IssueVirtualCommand(const geo::AABB& region,
+                                          const stream::Tuple& command) {
+  ++stats_.virtual_commands;
+  // Affected entities are resolved against the VIRTUAL model — the
+  // commander acts on what the virtual world shows (Fig. 1's
+  // virtual->physical arrow), which is only coherency-bound accurate.
+  auto affected = virtual_.Range(region);
+  size_t relayed = 0;
+  for (const Entity* e : affected) {
+    if (e->origin != stream::Space::kPhysical) continue;  // pure-virtual
+    for (const auto& handler : command_handlers_) {
+      handler(e->id, command);
+      ++relayed;
+    }
+  }
+  stats_.relayed_commands += relayed;
+  return affected.size();
+}
+
+void CoSpaceEngine::OnPhysicalCommand(CommandHandler handler) {
+  command_handlers_.push_back(std::move(handler));
+}
+
+uint64_t CoSpaceEngine::WatchRegion(net::NodeId subscriber,
+                                    const geo::AABB& region,
+                                    pubsub::Broker::Deliver deliver) {
+  watchers_.emplace_back(subscriber, std::move(deliver));
+  pubsub::Subscription sub;
+  sub.subscriber = subscriber;
+  sub.region = region;
+  return broker_->Subscribe(std::move(sub));
+}
+
+}  // namespace deluge::core

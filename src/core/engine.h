@@ -1,0 +1,113 @@
+#ifndef DELUGE_CORE_ENGINE_H_
+#define DELUGE_CORE_ENGINE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "consistency/coherency.h"
+#include "core/world_space.h"
+#include "pubsub/broker.h"
+
+namespace deluge::core {
+
+/// Engine configuration.
+struct EngineOptions {
+  geo::AABB world_bounds{{0, 0, 0}, {1000, 1000, 100}};
+  /// Default mirror contract for entities without a per-entity one.
+  consistency::CoherencyContract default_contract{
+      1.0, 500 * kMicrosPerMilli};
+  /// Cell size of the broker's regional subscription index.
+  double broker_cell = 50.0;
+};
+
+/// Synchronization counters (the data-flow arrows of Fig. 1).
+struct EngineStats {
+  uint64_t physical_updates = 0;   ///< sensed updates ingested
+  uint64_t mirrored_updates = 0;   ///< pushed into the virtual space
+  uint64_t suppressed_updates = 0; ///< held back by coherency contracts
+  uint64_t virtual_commands = 0;   ///< virtual-space actions ingested
+  uint64_t relayed_commands = 0;   ///< relayed to the physical side
+  uint64_t events_published = 0;
+};
+
+/// The co-space engine: the paper's Fig. 1 realized.
+///
+/// Two `WorldSpace`s coexist.  Sensed physical updates flow in via
+/// `IngestPhysical*`; a per-entity coherency contract decides whether
+/// the virtual mirror must be refreshed (Section IV-C), and mirror
+/// refreshes publish events on the embedded content+spatial broker so
+/// cyber users (interest regions, topics) learn about them.  Actions
+/// taken in the virtual space flow the other way through
+/// `IssueVirtualCommand`, reaching physical-side handlers — the
+/// air-raid-kills-the-troops loop of the military scenario.
+class CoSpaceEngine {
+ public:
+  /// Delivery callback for physical-side command handlers.
+  using CommandHandler =
+      std::function<void(EntityId target, const stream::Tuple& command)>;
+
+  explicit CoSpaceEngine(EngineOptions options, Clock* clock = nullptr);
+
+  WorldSpace& physical() { return physical_; }
+  WorldSpace& virtual_space() { return virtual_; }
+  pubsub::Broker& broker() { return *broker_; }
+
+  /// Registers an entity in the physical space and (immediately) its
+  /// virtual mirror.
+  void SpawnPhysical(const Entity& entity);
+
+  /// Registers a purely virtual entity (cyber user, virtual shop).
+  void SpawnVirtual(const Entity& entity);
+
+  /// Installs a per-entity coherency contract for mirroring.
+  void SetContract(EntityId id, const consistency::CoherencyContract& c);
+
+  /// Ingests a sensed physical position (the sensor->engine arrow).
+  /// Updates the physical space always; refreshes the virtual mirror
+  /// only when the coherency contract demands it.  Returns true when
+  /// the mirror was refreshed.
+  bool IngestPhysicalPosition(EntityId id, const geo::Vec3& pos, Micros t);
+
+  /// Ingests a sensed attribute (always mirrored — attributes are
+  /// low-rate; positions are the firehose).
+  Status IngestPhysicalAttribute(EntityId id, const std::string& name,
+                                 stream::Value value, Micros t);
+
+  /// An action taken in the virtual space targeted at physical entities
+  /// inside `region` (e.g. a simulated air raid).  The command is
+  /// applied to the virtual space and relayed to every registered
+  /// physical command handler per affected entity.  Returns affected
+  /// entity count.
+  size_t IssueVirtualCommand(const geo::AABB& region,
+                             const stream::Tuple& command);
+
+  /// Registers the physical-side command channel (ground relays).
+  void OnPhysicalCommand(CommandHandler handler);
+
+  /// Subscribes a cyber user to mirror updates inside `region`;
+  /// returns the subscription id.
+  uint64_t WatchRegion(net::NodeId subscriber, const geo::AABB& region,
+                       pubsub::Broker::Deliver deliver);
+
+  const EngineStats& stats() const { return stats_; }
+  const consistency::CoherencyStats& coherency_stats() const {
+    return coherency_.stats();
+  }
+
+ private:
+  EngineOptions options_;
+  Clock* clock_;
+  WorldSpace physical_;
+  WorldSpace virtual_;
+  consistency::CoherencyFilter coherency_;
+  std::unique_ptr<pubsub::Broker> broker_;
+  std::vector<CommandHandler> command_handlers_;
+  std::vector<std::pair<uint64_t, pubsub::Broker::Deliver>> watchers_;
+  EngineStats stats_;
+};
+
+}  // namespace deluge::core
+
+#endif  // DELUGE_CORE_ENGINE_H_

@@ -1,0 +1,52 @@
+#ifndef DELUGE_CORE_ENTITY_H_
+#define DELUGE_CORE_ENTITY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "common/clock.h"
+#include "geo/geometry.h"
+#include "index/spatial_index.h"
+#include "stream/tuple.h"
+
+namespace deluge::core {
+
+using index::EntityId;
+
+/// Kinds of things that live in a metaverse world.
+enum class EntityKind : uint8_t {
+  kAvatar = 0,    ///< a user's embodiment (physical person or cyber user)
+  kVehicle = 1,
+  kSensor = 2,
+  kAsset = 3,     ///< scene object / product / exhibit
+  kZone = 4,      ///< named region (shop, sector, ward)
+};
+
+/// A live entity in one space.
+///
+/// The same logical id may exist in both spaces (a soldier and their
+/// virtual mirror); the engine keeps the mirror within the entity's
+/// coherency contract.
+struct Entity {
+  EntityId id = 0;
+  EntityKind kind = EntityKind::kAvatar;
+  stream::Space origin = stream::Space::kPhysical;
+  geo::Vec3 position;
+  geo::Vec3 velocity;
+  Micros updated_at = 0;
+  std::unordered_map<std::string, stream::Value> attributes;
+
+  /// Typed attribute access.
+  template <typename T>
+  std::optional<T> Attr(const std::string& name) const {
+    auto it = attributes.find(name);
+    if (it == attributes.end()) return std::nullopt;
+    if (const T* v = std::get_if<T>(&it->second)) return *v;
+    return std::nullopt;
+  }
+};
+
+}  // namespace deluge::core
+
+#endif  // DELUGE_CORE_ENTITY_H_

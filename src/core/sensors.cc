@@ -1,0 +1,71 @@
+#include "core/sensors.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace deluge::core {
+
+SensorFleet::SensorFleet(const geo::AABB& world, SensorFleetOptions options)
+    : world_(world), options_(options), rng_(options.seed) {
+  states_.resize(options_.num_entities);
+  for (auto& s : states_) {
+    s.position = {rng_.UniformDouble(world.min.x, world.max.x),
+                  rng_.UniformDouble(world.min.y, world.max.y),
+                  rng_.UniformDouble(world.min.z, world.max.z)};
+    double heading = rng_.UniformDouble(0, 2 * M_PI);
+    double speed = rng_.UniformDouble(0.2, options_.max_speed);
+    s.velocity = {speed * std::cos(heading), speed * std::sin(heading), 0};
+  }
+}
+
+void SensorFleet::MaybeTurn(EntityState* s) {
+  if (!rng_.Bernoulli(options_.turn_probability)) return;
+  double heading = rng_.UniformDouble(0, 2 * M_PI);
+  double speed = rng_.UniformDouble(0.2, options_.max_speed);
+  s->velocity = {speed * std::cos(heading), speed * std::sin(heading), 0};
+}
+
+void SensorFleet::Bounce(EntityState* s) {
+  auto bounce_axis = [](double& p, double& v, double lo, double hi) {
+    if (p < lo) {
+      p = lo + (lo - p);
+      v = -v;
+    } else if (p > hi) {
+      p = hi - (p - hi);
+      v = -v;
+    }
+    p = std::clamp(p, lo, hi);
+  };
+  bounce_axis(s->position.x, s->velocity.x, world_.min.x, world_.max.x);
+  bounce_axis(s->position.y, s->velocity.y, world_.min.y, world_.max.y);
+  bounce_axis(s->position.z, s->velocity.z, world_.min.z, world_.max.z);
+}
+
+std::vector<SensorReading> SensorFleet::Tick(Micros dt, Micros now) {
+  std::vector<SensorReading> readings;
+  readings.reserve(states_.size());
+  double dt_s = double(dt) / double(kMicrosPerSecond);
+  for (size_t i = 0; i < states_.size(); ++i) {
+    EntityState& s = states_[i];
+    MaybeTurn(&s);
+    s.position += s.velocity * dt_s;
+    Bounce(&s);
+    if (rng_.Bernoulli(options_.drop_probability)) continue;
+    SensorReading r;
+    r.entity = EntityId(i + 1);
+    r.position = s.position;
+    if (options_.gps_noise_stddev > 0) {
+      r.position += {rng_.Gaussian(0, options_.gps_noise_stddev),
+                     rng_.Gaussian(0, options_.gps_noise_stddev), 0};
+    }
+    r.t = now;
+    readings.push_back(r);
+  }
+  return readings;
+}
+
+const geo::Vec3& SensorFleet::TruePosition(EntityId id) const {
+  return states_.at(size_t(id - 1)).position;
+}
+
+}  // namespace deluge::core

@@ -1,0 +1,66 @@
+#ifndef DELUGE_CORE_SENSORS_H_
+#define DELUGE_CORE_SENSORS_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "core/entity.h"
+#include "geo/trajectory.h"
+
+namespace deluge::core {
+
+/// One sensed fix from the field.
+struct SensorReading {
+  EntityId entity = 0;
+  geo::Vec3 position;
+  Micros t = 0;
+};
+
+/// Configuration of the synthetic sensor fleet.
+struct SensorFleetOptions {
+  size_t num_entities = 100;
+  double max_speed = 5.0;       ///< m/s (pedestrian-to-vehicle range)
+  double gps_noise_stddev = 0.5;  ///< metres of measurement noise
+  double drop_probability = 0.0;  ///< fraction of readings lost
+  /// Direction change probability per tick (random-waypoint flavour).
+  double turn_probability = 0.1;
+  uint64_t seed = 42;
+};
+
+/// The paper's substituted physical world (see DESIGN.md): a fleet of
+/// entities doing random-waypoint motion inside the world bounds, read
+/// out through a noisy, lossy GPS model.  Everything downstream — the
+/// ingest path, fusion, coherency, indexes — sees exactly what real
+/// tracking devices would produce.
+class SensorFleet {
+ public:
+  SensorFleet(const geo::AABB& world, SensorFleetOptions options);
+
+  /// Advances every entity by `dt` and returns the surviving readings
+  /// (noise applied, drops removed) timestamped `now`.
+  std::vector<SensorReading> Tick(Micros dt, Micros now);
+
+  /// Ground-truth position (for error measurement in experiments).
+  const geo::Vec3& TruePosition(EntityId id) const;
+
+  size_t size() const { return states_.size(); }
+  EntityId first_id() const { return 1; }
+
+ private:
+  struct EntityState {
+    geo::Vec3 position;
+    geo::Vec3 velocity;
+  };
+
+  void MaybeTurn(EntityState* s);
+  void Bounce(EntityState* s);
+
+  geo::AABB world_;
+  SensorFleetOptions options_;
+  Rng rng_;
+  std::vector<EntityState> states_;  // index 0 => entity id 1
+};
+
+}  // namespace deluge::core
+
+#endif  // DELUGE_CORE_SENSORS_H_

@@ -1,0 +1,61 @@
+#include "core/world_space.h"
+
+namespace deluge::core {
+
+WorldSpace::WorldSpace(stream::Space tag, const geo::AABB& bounds,
+                       double index_cell)
+    : tag_(tag), bounds_(bounds), index_(bounds, index_cell) {}
+
+void WorldSpace::Upsert(const Entity& entity) {
+  entities_[entity.id] = entity;
+  index_.Update(entity.id, entity.position);
+}
+
+Status WorldSpace::Move(EntityId id, const geo::Vec3& pos, Micros t) {
+  auto it = entities_.find(id);
+  if (it == entities_.end()) return Status::NotFound("unknown entity");
+  it->second.position = pos;
+  it->second.updated_at = t;
+  index_.Update(id, pos);
+  return Status::OK();
+}
+
+Status WorldSpace::SetAttribute(EntityId id, const std::string& name,
+                                stream::Value value) {
+  auto it = entities_.find(id);
+  if (it == entities_.end()) return Status::NotFound("unknown entity");
+  it->second.attributes[name] = std::move(value);
+  return Status::OK();
+}
+
+Status WorldSpace::Remove(EntityId id) {
+  auto it = entities_.find(id);
+  if (it == entities_.end()) return Status::NotFound("unknown entity");
+  index_.Remove(id);
+  entities_.erase(it);
+  return Status::OK();
+}
+
+const Entity* WorldSpace::Get(EntityId id) const {
+  auto it = entities_.find(id);
+  return it == entities_.end() ? nullptr : &it->second;
+}
+
+std::vector<const Entity*> WorldSpace::Range(const geo::AABB& box) const {
+  std::vector<const Entity*> out;
+  for (const auto& hit : index_.Range(box)) {
+    out.push_back(&entities_.at(hit.id));
+  }
+  return out;
+}
+
+std::vector<const Entity*> WorldSpace::Nearest(const geo::Vec3& q,
+                                               size_t k) const {
+  std::vector<const Entity*> out;
+  for (const auto& hit : index_.Nearest(q, k)) {
+    out.push_back(&entities_.at(hit.id));
+  }
+  return out;
+}
+
+}  // namespace deluge::core

@@ -1,0 +1,57 @@
+#ifndef DELUGE_CORE_WORLD_SPACE_H_
+#define DELUGE_CORE_WORLD_SPACE_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "core/entity.h"
+#include "index/grid_index.h"
+
+namespace deluge::core {
+
+/// One half of the metaverse: a bounded world holding entities with a
+/// spatial index for range/k-NN retrieval.  The engine owns two of these
+/// (physical + virtual) and keeps them synchronized.
+class WorldSpace {
+ public:
+  WorldSpace(stream::Space tag, const geo::AABB& bounds,
+             double index_cell = 50.0);
+
+  stream::Space tag() const { return tag_; }
+  const geo::AABB& bounds() const { return bounds_; }
+
+  /// Inserts or updates an entity (position re-indexed).
+  void Upsert(const Entity& entity);
+
+  /// Position-only fast path.
+  Status Move(EntityId id, const geo::Vec3& pos, Micros t);
+
+  /// Sets one attribute.
+  Status SetAttribute(EntityId id, const std::string& name,
+                      stream::Value value);
+
+  Status Remove(EntityId id);
+
+  /// Pointer valid until the next mutation; nullptr when absent.
+  const Entity* Get(EntityId id) const;
+
+  /// Entities inside `box`.
+  std::vector<const Entity*> Range(const geo::AABB& box) const;
+
+  /// k nearest entities to `q`.
+  std::vector<const Entity*> Nearest(const geo::Vec3& q, size_t k) const;
+
+  size_t entity_count() const { return entities_.size(); }
+
+ private:
+  stream::Space tag_;
+  geo::AABB bounds_;
+  index::GridIndex index_;
+  std::unordered_map<EntityId, Entity> entities_;
+};
+
+}  // namespace deluge::core
+
+#endif  // DELUGE_CORE_WORLD_SPACE_H_

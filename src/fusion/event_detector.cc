@@ -1,0 +1,54 @@
+#include "fusion/event_detector.h"
+
+#include <algorithm>
+
+namespace deluge::fusion {
+
+void EventDetector::AddRule(EventRule rule, Callback cb) {
+  if (!rule.predicate) {
+    rule.predicate = [](const Observation&) { return true; };
+  }
+  rules_.push_back(RuleState{std::move(rule), std::move(cb), {}, {}});
+}
+
+void EventDetector::Ingest(const Observation& obs) {
+  for (auto& state : rules_) {
+    if (!state.rule.predicate(obs)) continue;
+    auto& window = state.recent[obs.entity];
+    // Expire stale evidence.
+    while (!window.empty() &&
+           window.front().t + state.rule.window < obs.t) {
+      window.pop_front();
+    }
+    window.push_back(obs);
+
+    // Count distinct corroborating source types.
+    std::set<SourceType> types;
+    double confidence_sum = 0.0;
+    for (const auto& o : window) {
+      types.insert(o.type);
+      confidence_sum += o.confidence;
+    }
+    if (types.size() < state.rule.min_source_types) continue;
+
+    // Refractory suppression.
+    auto it = state.last_fired.find(obs.entity);
+    if (it != state.last_fired.end() &&
+        obs.t - it->second < state.rule.refractory) {
+      continue;
+    }
+    state.last_fired[obs.entity] = obs.t;
+
+    DetectedEvent ev;
+    ev.rule = state.rule.name;
+    ev.entity = obs.entity;
+    ev.t = obs.t;
+    ev.corroborating_observations = window.size();
+    ev.confidence =
+        std::min(1.0, confidence_sum / double(state.rule.min_source_types));
+    ++events_fired_;
+    if (state.cb) state.cb(ev);
+  }
+}
+
+}  // namespace deluge::fusion

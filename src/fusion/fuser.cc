@@ -1,0 +1,227 @@
+#include "fusion/fuser.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace deluge::fusion {
+
+std::string SourceTypeName(SourceType type) {
+  switch (type) {
+    case SourceType::kRfid:
+      return "rfid";
+    case SourceType::kCamera:
+      return "camera";
+    case SourceType::kGps:
+      return "gps";
+    case SourceType::kText:
+      return "text";
+    case SourceType::kVirtual:
+      return "virtual";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------- ReliabilityTracker
+
+ReliabilityTracker::ReliabilityTracker(double alpha, double prior)
+    : alpha_(std::clamp(alpha, 0.001, 1.0)),
+      prior_(std::clamp(prior, 0.0, 1.0)) {}
+
+void ReliabilityTracker::Observe(uint32_t source_id, double error,
+                                 double scale) {
+  double agreement = std::exp(-std::max(error, 0.0) / std::max(scale, 1e-9));
+  auto [it, inserted] = scores_.emplace(source_id, prior_);
+  it->second = (1.0 - alpha_) * it->second + alpha_ * agreement;
+}
+
+double ReliabilityTracker::reliability(uint32_t source_id) const {
+  auto it = scores_.find(source_id);
+  return it == scores_.end() ? prior_ : it->second;
+}
+
+// ------------------------------------------------------------ EntityFuser
+
+EntityFuser::EntityFuser(FuserOptions options) : options_(options) {}
+
+double EntityFuser::WeightOf(const Observation& obs, Micros now) const {
+  double age = double(std::max<Micros>(now - obs.t, 0));
+  double decay =
+      std::pow(0.5, age / double(std::max<Micros>(options_.half_life, 1)));
+  return reliability_.reliability(obs.source_id) *
+         std::clamp(obs.confidence, 0.0, 1.0) * decay;
+}
+
+void EntityFuser::Expire(std::deque<Observation>* window, Micros now) const {
+  while (!window->empty() && window->front().t + options_.window < now) {
+    window->pop_front();
+  }
+}
+
+void EntityFuser::Add(const Observation& obs) {
+  auto& window = windows_[obs.entity];
+  Expire(&window, obs.t);
+
+  // Reliability learning: compare this positional claim against a
+  // ROBUST consensus (component-wise median) of co-temporal observations
+  // from other sources.  Medians resist a minority of wild claims, so a
+  // lying source cannot drag the consensus toward itself; and older
+  // observations are excluded because the entity may have legitimately
+  // moved — holding sources to a stale consensus would punish honesty.
+  if (obs.has_position && !window.empty()) {
+    std::vector<double> xs, ys, zs;
+    for (const auto& o : window) {
+      if (!o.has_position) continue;
+      if (obs.t - o.t > options_.reliability_window) continue;
+      xs.push_back(o.position.x);
+      ys.push_back(o.position.y);
+      zs.push_back(o.position.z);
+    }
+    if (!xs.empty()) {
+      auto median = [](std::vector<double>& v) {
+        size_t mid = v.size() / 2;
+        std::nth_element(v.begin(), v.begin() + long(mid), v.end());
+        double upper = v[mid];
+        if (v.size() % 2 == 1) return upper;
+        double lower = *std::max_element(v.begin(), v.begin() + long(mid));
+        return (lower + upper) / 2.0;
+      };
+      geo::Vec3 consensus{median(xs), median(ys), median(zs)};
+      double error = geo::Distance(consensus, obs.position);
+      reliability_.Observe(obs.source_id, error, options_.reliability_scale);
+    }
+  }
+  window.push_back(obs);
+}
+
+Result<FusedEstimate> EntityFuser::EstimatePosition(const std::string& entity,
+                                                    Micros now) const {
+  auto it = windows_.find(entity);
+  if (it == windows_.end()) return Status::NotFound("unknown entity");
+  Expire(&it->second, now);
+
+  geo::Vec3 acc;
+  double wsum = 0.0;
+  size_t count = 0;
+  Micros latest = 0;
+  for (const auto& obs : it->second) {
+    if (!obs.has_position) continue;
+    double w = WeightOf(obs, now);
+    acc += obs.position * w;
+    wsum += w;
+    ++count;
+    latest = std::max(latest, obs.t);
+  }
+  if (count == 0 || wsum <= 0.0) {
+    return Status::NotFound("no positional observations in window");
+  }
+  FusedEstimate est;
+  est.entity = entity;
+  est.position = acc * (1.0 / wsum);
+  est.position_confidence = wsum;
+  est.as_of = latest;
+  est.supporting_observations = count;
+  return est;
+}
+
+Result<std::string> EntityFuser::EstimateAttribute(const std::string& entity,
+                                                   const std::string& attribute,
+                                                   Micros now,
+                                                   double* support) const {
+  auto it = windows_.find(entity);
+  if (it == windows_.end()) return Status::NotFound("unknown entity");
+  Expire(&it->second, now);
+
+  std::map<std::string, double> votes;
+  double total = 0.0;
+  for (const auto& obs : it->second) {
+    if (obs.attribute != attribute || obs.value.empty()) continue;
+    double w = WeightOf(obs, now);
+    votes[obs.value] += w;
+    total += w;
+  }
+  if (votes.empty() || total <= 0.0) {
+    return Status::NotFound("no claims for attribute");
+  }
+  auto best = std::max_element(
+      votes.begin(), votes.end(),
+      [](const auto& a, const auto& b) { return a.second < b.second; });
+  if (support != nullptr) *support = best->second / total;
+  return best->first;
+}
+
+size_t EntityFuser::window_size(const std::string& entity) const {
+  auto it = windows_.find(entity);
+  return it == windows_.end() ? 0 : it->second.size();
+}
+
+// --------------------------------------------------------- TruthDiscovery
+
+TruthDiscovery::Solution TruthDiscovery::Solve(
+    const std::vector<Claim>& claims, size_t num_items, int max_iters,
+    double tol) {
+  Solution sol;
+  sol.truths.assign(num_items, 0.0);
+  if (claims.empty() || num_items == 0) return sol;
+
+  // Initialize truths with plain means.
+  std::vector<double> sums(num_items, 0.0);
+  std::vector<double> counts(num_items, 0.0);
+  for (const auto& c : claims) {
+    if (c.item >= num_items) continue;
+    sums[c.item] += c.value;
+    counts[c.item] += 1.0;
+  }
+  for (size_t i = 0; i < num_items; ++i) {
+    sol.truths[i] = counts[i] > 0 ? sums[i] / counts[i] : 0.0;
+  }
+  for (const auto& c : claims) sol.weights.emplace(c.source_id, 1.0);
+
+  for (int iter = 0; iter < max_iters; ++iter) {
+    ++sol.iterations;
+    // 1. Source weights from deviation to current truths.  Weight =
+    //    1 / MSE (inverse-variance): the minimum-variance combination
+    //    under per-source Gaussian noise, and much sharper at separating
+    //    bad sources than the -log(error share) form when many sources
+    //    are unreliable.
+    std::unordered_map<uint32_t, double> errors;
+    std::unordered_map<uint32_t, double> counts;
+    double total_error = 0.0;
+    for (const auto& c : claims) {
+      if (c.item >= num_items) continue;
+      double d = c.value - sol.truths[c.item];
+      errors[c.source_id] += d * d;
+      counts[c.source_id] += 1.0;
+      total_error += d * d;
+    }
+    if (total_error <= 0.0) break;  // perfect consensus
+    // Noise floor: 5% of the global mean error.  Prevents the degenerate
+    // fixed point where truths lock onto one source (its residual -> 0,
+    // its weight -> infinity).
+    double floor = 0.05 * total_error / double(claims.size());
+    for (auto& [sid, err] : errors) {
+      double mse = err / std::max(counts[sid], 1.0);
+      sol.weights[sid] = 1.0 / (mse + floor + 1e-12);
+    }
+
+    // 2. Truths from weighted means.
+    std::vector<double> wsum(num_items, 0.0);
+    std::vector<double> wval(num_items, 0.0);
+    for (const auto& c : claims) {
+      if (c.item >= num_items) continue;
+      double w = sol.weights[c.source_id];
+      wval[c.item] += w * c.value;
+      wsum[c.item] += w;
+    }
+    double max_change = 0.0;
+    for (size_t i = 0; i < num_items; ++i) {
+      if (wsum[i] <= 0.0) continue;
+      double updated = wval[i] / wsum[i];
+      max_change = std::max(max_change, std::fabs(updated - sol.truths[i]));
+      sol.truths[i] = updated;
+    }
+    if (max_change < tol) break;
+  }
+  return sol;
+}
+
+}  // namespace deluge::fusion

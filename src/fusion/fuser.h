@@ -1,0 +1,127 @@
+#ifndef DELUGE_FUSION_FUSER_H_
+#define DELUGE_FUSION_FUSER_H_
+
+#include <deque>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "fusion/observation.h"
+
+namespace deluge::fusion {
+
+/// Learns per-source reliability from agreement with fused consensus.
+///
+/// Each time a source's claim is compared to the consensus estimate, its
+/// reliability is updated by exponential moving average of the agreement
+/// score (1 at zero error, decaying with distance).  This is the online
+/// flavour of truth-discovery reweighting: unreliable sources fade out
+/// of future fusions automatically.
+class ReliabilityTracker {
+ public:
+  /// `alpha` is the EWMA step in (0, 1]; `prior` the initial reliability.
+  explicit ReliabilityTracker(double alpha = 0.1, double prior = 0.5);
+
+  /// Records that `source_id` deviated from consensus by `error` metres;
+  /// `scale` converts error to agreement (agreement = exp(-error/scale)).
+  void Observe(uint32_t source_id, double error, double scale = 5.0);
+
+  /// Current reliability in [0, 1]; unseen sources return the prior.
+  double reliability(uint32_t source_id) const;
+
+  size_t tracked_sources() const { return scores_.size(); }
+
+ private:
+  double alpha_;
+  double prior_;
+  std::unordered_map<uint32_t, double> scores_;
+};
+
+/// Options for the streaming entity fuser.
+struct FuserOptions {
+  /// Observations older than this are dropped from the fusion window.
+  Micros window = 10 * kMicrosPerSecond;
+  /// Recency half-life: an observation's weight halves every `half_life`.
+  Micros half_life = 2 * kMicrosPerSecond;
+  /// Error scale (metres) for reliability agreement updates.
+  double reliability_scale = 5.0;
+  /// Reliability learning compares a new claim only against observations
+  /// at most this much older — for moving entities, a stale consensus
+  /// would make every honest source look unreliable.
+  Micros reliability_window = kMicrosPerSecond;
+};
+
+/// Streaming multi-source fusion of entity positions and attributes.
+///
+/// Maintains a sliding window of observations per entity; the fused
+/// position is the weighted mean with weight = source reliability x
+/// self-confidence x recency decay.  Categorical attributes fuse by
+/// weighted voting.  Section IV-A: "fusion of information on a single
+/// entity requires a substantial amount of inference over … multiple
+/// data sources."
+class EntityFuser {
+ public:
+  explicit EntityFuser(FuserOptions options = {});
+
+  /// Ingests one observation and refreshes reliability of its source
+  /// against the current consensus.
+  void Add(const Observation& obs);
+
+  /// Fused position estimate at `now`; NotFound when the entity has no
+  /// live positional observations in the window.
+  Result<FusedEstimate> EstimatePosition(const std::string& entity,
+                                         Micros now) const;
+
+  /// Fused categorical value for (entity, attribute) by weighted vote;
+  /// NotFound when no claims are in the window.  `*support` (optional)
+  /// receives the winning fraction of total vote weight.
+  Result<std::string> EstimateAttribute(const std::string& entity,
+                                        const std::string& attribute,
+                                        Micros now,
+                                        double* support = nullptr) const;
+
+  const ReliabilityTracker& reliability() const { return reliability_; }
+
+  size_t window_size(const std::string& entity) const;
+
+ private:
+  double WeightOf(const Observation& obs, Micros now) const;
+  void Expire(std::deque<Observation>* window, Micros now) const;
+
+  FuserOptions options_;
+  ReliabilityTracker reliability_;
+  // Mutable windows: Estimate* lazily expires old observations.
+  mutable std::unordered_map<std::string, std::deque<Observation>> windows_;
+};
+
+/// Batch truth discovery over conflicting numeric claims (CRH-style).
+///
+/// Given M sources each claiming values for N items, iteratively
+/// (1) estimates truths as reliability-weighted means and (2) re-scores
+/// source reliabilities from their deviation to the estimates, until
+/// convergence.  Used by E2 to show fused accuracy beating the best
+/// single source.
+class TruthDiscovery {
+ public:
+  struct Claim {
+    uint32_t source_id;
+    size_t item;
+    double value;
+  };
+
+  struct Solution {
+    std::vector<double> truths;                    // per item
+    std::unordered_map<uint32_t, double> weights;  // per source
+    int iterations = 0;
+  };
+
+  /// Runs to convergence (truth change < tol) or `max_iters`.
+  static Solution Solve(const std::vector<Claim>& claims, size_t num_items,
+                        int max_iters = 50, double tol = 1e-6);
+};
+
+}  // namespace deluge::fusion
+
+#endif  // DELUGE_FUSION_FUSER_H_

@@ -1,0 +1,54 @@
+#ifndef DELUGE_FUSION_OBSERVATION_H_
+#define DELUGE_FUSION_OBSERVATION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/clock.h"
+#include "geo/geometry.h"
+
+namespace deluge::fusion {
+
+/// The heterogeneous source classes of Section IV-A: a metaverse entity
+/// may be observed by RFID readers, cameras, GPS devices, text streams
+/// (reviews, blogs), or virtual-space systems simultaneously.
+enum class SourceType : uint8_t {
+  kRfid = 0,
+  kCamera = 1,
+  kGps = 2,
+  kText = 3,
+  kVirtual = 4,
+};
+
+std::string SourceTypeName(SourceType type);
+
+/// One source's claim about one entity at one time.
+///
+/// Positional claims fill `position`; categorical claims (e.g.
+/// "shelf=A3", "status=damaged") fill `attribute`/`value`.  `confidence`
+/// is the source's self-reported certainty — Deluge's fusion layer learns
+/// how much each source is actually worth (ReliabilityTracker).
+struct Observation {
+  std::string entity;
+  uint32_t source_id = 0;
+  SourceType type = SourceType::kRfid;
+  Micros t = 0;
+  geo::Vec3 position;
+  bool has_position = false;
+  std::string attribute;
+  std::string value;
+  double confidence = 1.0;
+};
+
+/// A fused belief about an entity.
+struct FusedEstimate {
+  std::string entity;
+  geo::Vec3 position;
+  double position_confidence = 0.0;  ///< total evidence weight
+  Micros as_of = 0;
+  size_t supporting_observations = 0;
+};
+
+}  // namespace deluge::fusion
+
+#endif  // DELUGE_FUSION_OBSERVATION_H_

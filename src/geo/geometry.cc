@@ -1,0 +1,18 @@
+#include "geo/geometry.h"
+
+#include <cstdio>
+
+namespace deluge::geo {
+
+std::string Vec3::ToString() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "(%.3f, %.3f, %.3f)", x, y, z);
+  return buf;
+}
+
+std::string AABB::ToString() const {
+  if (IsEmpty()) return "[empty]";
+  return "[" + min.ToString() + " .. " + max.ToString() + "]";
+}
+
+}  // namespace deluge::geo

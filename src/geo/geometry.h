@@ -1,0 +1,174 @@
+#ifndef DELUGE_GEO_GEOMETRY_H_
+#define DELUGE_GEO_GEOMETRY_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+namespace deluge::geo {
+
+/// A point or displacement in 3-D metaverse space.  Units are metres; the
+/// physical and virtual spaces share one coordinate convention so entities
+/// can be mirrored across spaces without conversion.
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  Vec3() = default;
+  Vec3(double x_in, double y_in, double z_in) : x(x_in), y(y_in), z(z_in) {}
+
+  Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  Vec3& operator+=(const Vec3& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+
+  double Dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+  double LengthSquared() const { return Dot(*this); }
+  double Length() const { return std::sqrt(LengthSquared()); }
+
+  /// Returns a unit-length copy (zero vector maps to zero).
+  Vec3 Normalized() const {
+    double len = Length();
+    return len > 0.0 ? Vec3{x / len, y / len, z / len} : Vec3{};
+  }
+
+  friend bool operator==(const Vec3& a, const Vec3& b) {
+    return a.x == b.x && a.y == b.y && a.z == b.z;
+  }
+
+  std::string ToString() const;
+};
+
+/// Euclidean distance between two points.
+inline double Distance(const Vec3& a, const Vec3& b) {
+  return (a - b).Length();
+}
+
+/// Squared distance (avoids the sqrt for comparisons).
+inline double DistanceSquared(const Vec3& a, const Vec3& b) {
+  return (a - b).LengthSquared();
+}
+
+/// Axis-aligned bounding box; the universal region primitive for range
+/// queries, index nodes, and interest areas.  An AABB with min > max on any
+/// axis is "empty".
+struct AABB {
+  Vec3 min;
+  Vec3 max;
+
+  AABB() : min{1, 1, 1}, max{0, 0, 0} {}  // empty by default
+  AABB(const Vec3& min_in, const Vec3& max_in) : min(min_in), max(max_in) {}
+
+  /// Box centred at `c` with half-extent `r` in each axis.
+  static AABB Cube(const Vec3& c, double r) {
+    return AABB({c.x - r, c.y - r, c.z - r}, {c.x + r, c.y + r, c.z + r});
+  }
+
+  bool IsEmpty() const {
+    return min.x > max.x || min.y > max.y || min.z > max.z;
+  }
+
+  bool Contains(const Vec3& p) const {
+    return p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y &&
+           p.z >= min.z && p.z <= max.z;
+  }
+
+  bool Contains(const AABB& o) const {
+    return !o.IsEmpty() && Contains(o.min) && Contains(o.max);
+  }
+
+  bool Intersects(const AABB& o) const {
+    if (IsEmpty() || o.IsEmpty()) return false;
+    return min.x <= o.max.x && max.x >= o.min.x && min.y <= o.max.y &&
+           max.y >= o.min.y && min.z <= o.max.z && max.z >= o.min.z;
+  }
+
+  /// Smallest box covering both this and `o`.
+  AABB Union(const AABB& o) const {
+    if (IsEmpty()) return o;
+    if (o.IsEmpty()) return *this;
+    return AABB({std::min(min.x, o.min.x), std::min(min.y, o.min.y),
+                 std::min(min.z, o.min.z)},
+                {std::max(max.x, o.max.x), std::max(max.y, o.max.y),
+                 std::max(max.z, o.max.z)});
+  }
+
+  /// Grows the box to cover `p`.
+  void Expand(const Vec3& p) {
+    if (IsEmpty()) {
+      min = max = p;
+      return;
+    }
+    min = {std::min(min.x, p.x), std::min(min.y, p.y), std::min(min.z, p.z)};
+    max = {std::max(max.x, p.x), std::max(max.y, p.y), std::max(max.z, p.z)};
+  }
+
+  Vec3 Center() const {
+    return {(min.x + max.x) / 2, (min.y + max.y) / 2, (min.z + max.z) / 2};
+  }
+
+  Vec3 Extent() const {
+    return IsEmpty() ? Vec3{} : Vec3{max.x - min.x, max.y - min.y,
+                                     max.z - min.z};
+  }
+
+  double Volume() const {
+    if (IsEmpty()) return 0.0;
+    Vec3 e = Extent();
+    return e.x * e.y * e.z;
+  }
+
+  /// Surface-area-style measure used by R-tree split heuristics (half of
+  /// the actual surface area; relative ordering is all that matters).
+  double Margin() const {
+    if (IsEmpty()) return 0.0;
+    Vec3 e = Extent();
+    return e.x * e.y + e.y * e.z + e.z * e.x;
+  }
+
+  /// Minimum squared distance from `p` to the box (0 when inside).
+  double DistanceSquaredTo(const Vec3& p) const {
+    double dx = std::max({min.x - p.x, 0.0, p.x - max.x});
+    double dy = std::max({min.y - p.y, 0.0, p.y - max.y});
+    double dz = std::max({min.z - p.z, 0.0, p.z - max.z});
+    return dx * dx + dy * dy + dz * dz;
+  }
+
+  std::string ToString() const;
+};
+
+/// A viewing sphere used for walkthrough visibility queries: everything a
+/// user can see from `eye` within `radius`, optionally narrowed to a cone
+/// around `direction` with half-angle `half_angle_rad` (<= 0 disables the
+/// cone and yields an omnidirectional view).
+struct ViewRegion {
+  Vec3 eye;
+  double radius = 0.0;
+  Vec3 direction{1, 0, 0};
+  double half_angle_rad = -1.0;
+
+  /// True if point `p` is inside the view region.
+  bool Contains(const Vec3& p) const {
+    Vec3 d = p - eye;
+    double dist2 = d.LengthSquared();
+    if (dist2 > radius * radius) return false;
+    if (half_angle_rad <= 0.0) return true;
+    if (dist2 == 0.0) return true;
+    double cos_angle = d.Normalized().Dot(direction.Normalized());
+    return cos_angle >= std::cos(half_angle_rad);
+  }
+
+  /// Conservative bounding box of the region (sphere bound).
+  AABB Bounds() const { return AABB::Cube(eye, radius); }
+};
+
+}  // namespace deluge::geo
+
+#endif  // DELUGE_GEO_GEOMETRY_H_

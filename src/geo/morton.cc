@@ -1,0 +1,81 @@
+#include "geo/morton.h"
+
+#include <algorithm>
+
+namespace deluge::geo {
+
+namespace {
+
+// Spreads the low 21 bits of x so there are two zero bits between each.
+uint64_t SpreadBits(uint64_t x) {
+  x &= 0x1FFFFF;  // 21 bits
+  x = (x | x << 32) & 0x1F00000000FFFFULL;
+  x = (x | x << 16) & 0x1F0000FF0000FFULL;
+  x = (x | x << 8) & 0x100F00F00F00F00FULL;
+  x = (x | x << 4) & 0x10C30C30C30C30C3ULL;
+  x = (x | x << 2) & 0x1249249249249249ULL;
+  return x;
+}
+
+// Inverse of SpreadBits.
+uint32_t CompactBits(uint64_t x) {
+  x &= 0x1249249249249249ULL;
+  x = (x ^ (x >> 2)) & 0x10C30C30C30C30C3ULL;
+  x = (x ^ (x >> 4)) & 0x100F00F00F00F00FULL;
+  x = (x ^ (x >> 8)) & 0x1F0000FF0000FFULL;
+  x = (x ^ (x >> 16)) & 0x1F00000000FFFFULL;
+  x = (x ^ (x >> 32)) & 0x1FFFFF;
+  return static_cast<uint32_t>(x);
+}
+
+}  // namespace
+
+MortonCodec::MortonCodec(const AABB& world) : world_(world) {
+  Vec3 e = world.Extent();
+  auto axis_scale = [](double extent) {
+    return extent > 0.0 ? double(kCellsPerAxis) / extent : 0.0;
+  };
+  scale_ = {axis_scale(e.x), axis_scale(e.y), axis_scale(e.z)};
+  auto inv = [](double s) { return s > 0.0 ? 1.0 / s : 0.0; };
+  inv_scale_ = {inv(scale_.x), inv(scale_.y), inv(scale_.z)};
+}
+
+uint32_t MortonCodec::Quantize(double v, double lo, double hi) const {
+  if (hi <= lo) return 0;
+  double t = (std::clamp(v, lo, hi) - lo) / (hi - lo);
+  auto cell = static_cast<uint64_t>(t * kCellsPerAxis);
+  return static_cast<uint32_t>(std::min<uint64_t>(cell, kCellsPerAxis - 1));
+}
+
+uint64_t MortonCodec::Encode(const Vec3& p) const {
+  uint32_t qx = Quantize(p.x, world_.min.x, world_.max.x);
+  uint32_t qy = Quantize(p.y, world_.min.y, world_.max.y);
+  uint32_t qz = Quantize(p.z, world_.min.z, world_.max.z);
+  return Interleave(qx, qy, qz);
+}
+
+Vec3 MortonCodec::Decode(uint64_t code) const {
+  uint32_t qx, qy, qz;
+  Deinterleave(code, &qx, &qy, &qz);
+  auto centre = [](uint32_t q, double lo, double hi) {
+    if (hi <= lo) return lo;
+    double cell = (hi - lo) / double(kCellsPerAxis);
+    return lo + (double(q) + 0.5) * cell;
+  };
+  return {centre(qx, world_.min.x, world_.max.x),
+          centre(qy, world_.min.y, world_.max.y),
+          centre(qz, world_.min.z, world_.max.z)};
+}
+
+uint64_t MortonCodec::Interleave(uint32_t x, uint32_t y, uint32_t z) {
+  return SpreadBits(x) | (SpreadBits(y) << 1) | (SpreadBits(z) << 2);
+}
+
+void MortonCodec::Deinterleave(uint64_t code, uint32_t* x, uint32_t* y,
+                               uint32_t* z) {
+  *x = CompactBits(code);
+  *y = CompactBits(code >> 1);
+  *z = CompactBits(code >> 2);
+}
+
+}  // namespace deluge::geo

@@ -1,0 +1,50 @@
+#ifndef DELUGE_GEO_MORTON_H_
+#define DELUGE_GEO_MORTON_H_
+
+#include <cstdint>
+
+#include "geo/geometry.h"
+
+namespace deluge::geo {
+
+/// Z-order (Morton) space-filling-curve codec.
+///
+/// Maps 3-D points inside a fixed world box to 63-bit keys (21 bits per
+/// axis) whose integer order approximately preserves spatial locality.
+/// This is the linearization used by the ST2B-style B+-tree moving-object
+/// index (`deluge::index::MortonBTreeIndex`): spatial range queries become
+/// small sets of key-range scans.
+class MortonCodec {
+ public:
+  /// World bounds to normalize into.  Points outside are clamped.
+  explicit MortonCodec(const AABB& world);
+
+  /// Encodes a point to its Morton key.
+  uint64_t Encode(const Vec3& p) const;
+
+  /// Decodes a key back to the centre of its cell.
+  Vec3 Decode(uint64_t code) const;
+
+  /// Interleaves three 21-bit coordinates.
+  static uint64_t Interleave(uint32_t x, uint32_t y, uint32_t z);
+
+  /// Extracts the three 21-bit coordinates of a key.
+  static void Deinterleave(uint64_t code, uint32_t* x, uint32_t* y,
+                           uint32_t* z);
+
+  const AABB& world() const { return world_; }
+
+  /// Cells per axis (2^21).
+  static constexpr uint32_t kCellsPerAxis = 1u << 21;
+
+ private:
+  uint32_t Quantize(double v, double lo, double hi) const;
+
+  AABB world_;
+  Vec3 scale_;     // cells per metre, per axis
+  Vec3 inv_scale_; // metres per cell, per axis
+};
+
+}  // namespace deluge::geo
+
+#endif  // DELUGE_GEO_MORTON_H_

@@ -1,0 +1,48 @@
+#include "geo/trajectory.h"
+
+#include <algorithm>
+
+namespace deluge::geo {
+
+void Trajectory::Append(const Vec3& p, Micros t) {
+  if (!samples_.empty() && t < samples_.back().t) return;
+  samples_.push_back({p, t});
+}
+
+Vec3 Trajectory::At(Micros t) const {
+  if (samples_.empty()) return {};
+  if (t <= samples_.front().t) return samples_.front().position;
+  if (t >= samples_.back().t) return samples_.back().position;
+  // Binary search for the segment containing t.
+  auto it = std::lower_bound(
+      samples_.begin(), samples_.end(), t,
+      [](const Sample& s, Micros time) { return s.t < time; });
+  const Sample& hi = *it;
+  const Sample& lo = *(it - 1);
+  if (hi.t == lo.t) return lo.position;
+  double f = double(t - lo.t) / double(hi.t - lo.t);
+  return lo.position + (hi.position - lo.position) * f;
+}
+
+double Trajectory::AverageSpeed() const {
+  if (samples_.size() < 2) return 0.0;
+  Micros dt = samples_.back().t - samples_.front().t;
+  if (dt <= 0) return 0.0;
+  return Length() / (double(dt) / double(kMicrosPerSecond));
+}
+
+double Trajectory::Length() const {
+  double total = 0.0;
+  for (size_t i = 1; i < samples_.size(); ++i) {
+    total += Distance(samples_[i - 1].position, samples_[i].position);
+  }
+  return total;
+}
+
+AABB Trajectory::Bounds() const {
+  AABB box;
+  for (const auto& s : samples_) box.Expand(s.position);
+  return box;
+}
+
+}  // namespace deluge::geo

@@ -1,0 +1,69 @@
+#ifndef DELUGE_GEO_TRAJECTORY_H_
+#define DELUGE_GEO_TRAJECTORY_H_
+
+#include <vector>
+
+#include "common/clock.h"
+#include "geo/geometry.h"
+
+namespace deluge::geo {
+
+/// A linear motion state: position + velocity sampled at `t`.  This is the
+/// unit the moving-object indexes (TPR-style) and dead-reckoning filters
+/// operate on: position at a later time is extrapolated linearly.
+struct MotionState {
+  Vec3 position;
+  Vec3 velocity;  // metres per second
+  Micros t = 0;
+
+  /// Predicted position at time `when` assuming constant velocity.
+  Vec3 PositionAt(Micros when) const {
+    double dt = double(when - t) / double(kMicrosPerSecond);
+    return position + velocity * dt;
+  }
+
+  /// Conservative bound on how far the object can be from its predicted
+  /// position at `when` if its speed never exceeds `max_speed`.
+  double UncertaintyAt(Micros when, double max_speed) const {
+    double dt = double(when - t) / double(kMicrosPerSecond);
+    return dt < 0 ? 0.0 : dt * max_speed;
+  }
+};
+
+/// A time-stamped polyline trajectory: the raw product of GPS/RFID
+/// tracking, and the input to trajectory storage and interpolation.
+class Trajectory {
+ public:
+  struct Sample {
+    Vec3 position;
+    Micros t = 0;
+  };
+
+  /// Appends a sample; timestamps must be non-decreasing (violations are
+  /// dropped, mirroring how real trackers discard out-of-order fixes).
+  void Append(const Vec3& p, Micros t);
+
+  /// Linear interpolation at time `t`.  Clamps to the endpoints outside
+  /// the sampled range.  Returns the origin for an empty trajectory.
+  Vec3 At(Micros t) const;
+
+  /// Average speed over the whole trajectory (m/s); 0 if < 2 samples.
+  double AverageSpeed() const;
+
+  /// Total path length in metres.
+  double Length() const;
+
+  const std::vector<Sample>& samples() const { return samples_; }
+  size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  /// Bounding box of all samples.
+  AABB Bounds() const;
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+}  // namespace deluge::geo
+
+#endif  // DELUGE_GEO_TRAJECTORY_H_

@@ -1,0 +1,205 @@
+#ifndef DELUGE_INDEX_BPTREE_H_
+#define DELUGE_INDEX_BPTREE_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace deluge::index {
+
+/// An in-memory B+-tree with ordered keys and leaf-linked scans.
+///
+/// This is the base structure for the ST2B-style moving-object index
+/// ([22] in the paper): update-intensive workloads favour B+-trees over
+/// R-trees because updates are local key deletions/insertions instead of
+/// bounding-box maintenance.  `Key` must be totally ordered via `<`;
+/// `Value` must be copyable.  Duplicate keys are not allowed (Insert
+/// overwrites).
+///
+/// Not internally synchronized.
+template <typename Key, typename Value, int kFanout = 32>
+class BPTree {
+  static_assert(kFanout >= 4, "fanout too small");
+
+ public:
+  BPTree() : root_(new Leaf()) {}
+
+  BPTree(const BPTree&) = delete;
+  BPTree& operator=(const BPTree&) = delete;
+
+  ~BPTree() { DeleteNode(root_); }
+
+  /// Inserts or overwrites `key`.  Returns true when a new key was added.
+  bool Insert(const Key& key, const Value& value) {
+    SplitResult split = InsertRec(root_, key, value);
+    if (split.happened) {
+      auto* new_root = new Internal();
+      new_root->keys.push_back(split.separator);
+      new_root->children.push_back(root_);
+      new_root->children.push_back(split.right);
+      root_ = new_root;
+      ++height_;
+    }
+    return split.inserted_new;
+  }
+
+  /// Removes `key`; returns false when absent.  Underflowed leaves are
+  /// tolerated (lazy deletion): they merge away on the next rebuild or
+  /// stay small — acceptable for index workloads where deletes are paired
+  /// with reinserts (move = delete+insert).
+  bool Erase(const Key& key) {
+    Leaf* leaf = FindLeaf(key);
+    auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
+    if (it == leaf->keys.end() || *it != key) return false;
+    size_t idx = size_t(it - leaf->keys.begin());
+    leaf->keys.erase(it);
+    leaf->values.erase(leaf->values.begin() + long(idx));
+    --size_;
+    return true;
+  }
+
+  /// Point lookup; returns nullptr when absent.  The pointer is
+  /// invalidated by the next mutation.
+  const Value* Find(const Key& key) const {
+    const Leaf* leaf = FindLeaf(key);
+    auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
+    if (it == leaf->keys.end() || *it != key) return nullptr;
+    return &leaf->values[size_t(it - leaf->keys.begin())];
+  }
+
+  bool Contains(const Key& key) const { return Find(key) != nullptr; }
+
+  /// Visits all (key, value) pairs with lo <= key <= hi in order;
+  /// `visit` returns false to stop early.
+  template <typename Visitor>
+  void Scan(const Key& lo, const Key& hi, Visitor&& visit) const {
+    const Leaf* leaf = FindLeaf(lo);
+    while (leaf != nullptr) {
+      auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), lo);
+      for (size_t i = size_t(it - leaf->keys.begin()); i < leaf->keys.size();
+           ++i) {
+        if (hi < leaf->keys[i]) return;
+        if (!visit(leaf->keys[i], leaf->values[i])) return;
+      }
+      leaf = leaf->next;
+    }
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  int height() const { return height_; }
+
+ private:
+  struct Node {
+    bool is_leaf;
+    explicit Node(bool leaf) : is_leaf(leaf) {}
+  };
+
+  struct Leaf : Node {
+    std::vector<Key> keys;
+    std::vector<Value> values;
+    Leaf* next = nullptr;
+    Leaf() : Node(true) {}
+  };
+
+  struct Internal : Node {
+    // children.size() == keys.size() + 1; child[i] holds keys < keys[i],
+    // child[i+1] holds keys >= keys[i].
+    std::vector<Key> keys;
+    std::vector<Node*> children;
+    Internal() : Node(false) {}
+  };
+
+  struct SplitResult {
+    bool happened = false;
+    bool inserted_new = false;
+    Key separator{};
+    Node* right = nullptr;
+  };
+
+  static void DeleteNode(Node* n) {
+    if (!n->is_leaf) {
+      auto* in = static_cast<Internal*>(n);
+      for (Node* c : in->children) DeleteNode(c);
+      delete in;
+    } else {
+      delete static_cast<Leaf*>(n);
+    }
+  }
+
+  Leaf* FindLeaf(const Key& key) const {
+    Node* n = root_;
+    while (!n->is_leaf) {
+      auto* in = static_cast<Internal*>(n);
+      auto it = std::upper_bound(in->keys.begin(), in->keys.end(), key);
+      n = in->children[size_t(it - in->keys.begin())];
+    }
+    return static_cast<Leaf*>(n);
+  }
+
+  SplitResult InsertRec(Node* n, const Key& key, const Value& value) {
+    SplitResult out;
+    if (n->is_leaf) {
+      auto* leaf = static_cast<Leaf*>(n);
+      auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
+      size_t idx = size_t(it - leaf->keys.begin());
+      if (it != leaf->keys.end() && *it == key) {
+        leaf->values[idx] = value;  // overwrite
+        return out;
+      }
+      leaf->keys.insert(it, key);
+      leaf->values.insert(leaf->values.begin() + long(idx), value);
+      ++size_;
+      out.inserted_new = true;
+      if (leaf->keys.size() >= kFanout) {
+        auto* right = new Leaf();
+        size_t mid = leaf->keys.size() / 2;
+        right->keys.assign(leaf->keys.begin() + long(mid), leaf->keys.end());
+        right->values.assign(leaf->values.begin() + long(mid),
+                             leaf->values.end());
+        leaf->keys.resize(mid);
+        leaf->values.resize(mid);
+        right->next = leaf->next;
+        leaf->next = right;
+        out.happened = true;
+        out.separator = right->keys.front();
+        out.right = right;
+      }
+      return out;
+    }
+
+    auto* in = static_cast<Internal*>(n);
+    auto it = std::upper_bound(in->keys.begin(), in->keys.end(), key);
+    size_t child_idx = size_t(it - in->keys.begin());
+    SplitResult child_split = InsertRec(in->children[child_idx], key, value);
+    out.inserted_new = child_split.inserted_new;
+    if (child_split.happened) {
+      in->keys.insert(in->keys.begin() + long(child_idx),
+                      child_split.separator);
+      in->children.insert(in->children.begin() + long(child_idx) + 1,
+                          child_split.right);
+      if (in->children.size() > kFanout) {
+        auto* right = new Internal();
+        size_t mid = in->keys.size() / 2;  // separator promoted, not copied
+        out.separator = in->keys[mid];
+        right->keys.assign(in->keys.begin() + long(mid) + 1, in->keys.end());
+        right->children.assign(in->children.begin() + long(mid) + 1,
+                               in->children.end());
+        in->keys.resize(mid);
+        in->children.resize(mid + 1);
+        out.happened = true;
+        out.right = right;
+      }
+    }
+    return out;
+  }
+
+  Node* root_;
+  size_t size_ = 0;
+  int height_ = 1;
+};
+
+}  // namespace deluge::index
+
+#endif  // DELUGE_INDEX_BPTREE_H_

@@ -1,0 +1,150 @@
+#include "index/grid_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+namespace deluge::index {
+
+GridIndex::GridIndex(const geo::AABB& world, double cell_size)
+    : world_(world), cell_size_(cell_size > 0 ? cell_size : 1.0) {}
+
+void GridIndex::CellCoords(const geo::Vec3& pos, int64_t* cx, int64_t* cy,
+                           int64_t* cz) const {
+  *cx = int64_t(std::floor((pos.x - world_.min.x) / cell_size_));
+  *cy = int64_t(std::floor((pos.y - world_.min.y) / cell_size_));
+  *cz = int64_t(std::floor((pos.z - world_.min.z) / cell_size_));
+}
+
+GridIndex::CellKey GridIndex::PackCoords(int64_t cx, int64_t cy, int64_t cz) {
+  // 21 bits per axis, biased to keep negatives packable (entities slightly
+  // outside the nominal world still index correctly).
+  constexpr int64_t kBias = 1 << 20;
+  auto clamp21 = [](int64_t v) {
+    return uint64_t(std::clamp<int64_t>(v + kBias, 0, (1 << 21) - 1));
+  };
+  return (clamp21(cx) << 42) | (clamp21(cy) << 21) | clamp21(cz);
+}
+
+GridIndex::CellKey GridIndex::KeyFor(const geo::Vec3& pos) const {
+  int64_t cx, cy, cz;
+  CellCoords(pos, &cx, &cy, &cz);
+  return PackCoords(cx, cy, cz);
+}
+
+void GridIndex::Insert(EntityId id, const geo::Vec3& pos) {
+  auto it = positions_.find(id);
+  if (it != positions_.end()) {
+    Update(id, pos);
+    return;
+  }
+  positions_[id] = pos;
+  cells_[KeyFor(pos)].push_back(id);
+}
+
+void GridIndex::Update(EntityId id, const geo::Vec3& pos) {
+  auto it = positions_.find(id);
+  if (it == positions_.end()) {
+    positions_[id] = pos;
+    cells_[KeyFor(pos)].push_back(id);
+    return;
+  }
+  CellKey old_key = KeyFor(it->second);
+  CellKey new_key = KeyFor(pos);
+  it->second = pos;
+  if (old_key == new_key) return;  // same cell: position map update only
+  auto& old_cell = cells_[old_key];
+  old_cell.erase(std::remove(old_cell.begin(), old_cell.end(), id),
+                 old_cell.end());
+  if (old_cell.empty()) cells_.erase(old_key);
+  cells_[new_key].push_back(id);
+}
+
+void GridIndex::Remove(EntityId id) {
+  auto it = positions_.find(id);
+  if (it == positions_.end()) return;
+  CellKey key = KeyFor(it->second);
+  auto& cell = cells_[key];
+  cell.erase(std::remove(cell.begin(), cell.end(), id), cell.end());
+  if (cell.empty()) cells_.erase(key);
+  positions_.erase(it);
+}
+
+std::vector<SpatialHit> GridIndex::Range(const geo::AABB& range) const {
+  std::vector<SpatialHit> out;
+  if (range.IsEmpty()) return out;
+  int64_t lox, loy, loz, hix, hiy, hiz;
+  CellCoords(range.min, &lox, &loy, &loz);
+  CellCoords(range.max, &hix, &hiy, &hiz);
+  for (int64_t cx = lox; cx <= hix; ++cx) {
+    for (int64_t cy = loy; cy <= hiy; ++cy) {
+      for (int64_t cz = loz; cz <= hiz; ++cz) {
+        auto it = cells_.find(PackCoords(cx, cy, cz));
+        if (it == cells_.end()) continue;
+        for (EntityId id : it->second) {
+          const geo::Vec3& pos = positions_.at(id);
+          if (range.Contains(pos)) out.push_back({id, pos});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<SpatialHit> GridIndex::Nearest(const geo::Vec3& q,
+                                           size_t k) const {
+  // Expanding-ring search: examine cells in growing shells around q and
+  // stop once the k-th best distance is closer than the nearest unexplored
+  // shell boundary.
+  std::vector<SpatialHit> out;
+  if (k == 0 || positions_.empty()) return out;
+  using Scored = std::pair<double, SpatialHit>;  // (dist2, hit)
+  auto cmp = [](const Scored& a, const Scored& b) { return a.first < b.first; };
+  std::priority_queue<Scored, std::vector<Scored>, decltype(cmp)> best(cmp);
+
+  int64_t qx, qy, qz;
+  CellCoords(q, &qx, &qy, &qz);
+  const int64_t kMaxRing = 1 + int64_t(std::ceil(
+      std::max({world_.Extent().x, world_.Extent().y, world_.Extent().z}) /
+      cell_size_));
+  for (int64_t ring = 0; ring <= kMaxRing; ++ring) {
+    // Prune: if we already hold k hits and even the closest point of this
+    // ring is farther than our current worst, stop.
+    if (best.size() == k && ring > 0) {
+      double ring_dist = double(ring - 1) * cell_size_;
+      if (ring_dist * ring_dist > best.top().first) break;
+    }
+    for (int64_t cx = qx - ring; cx <= qx + ring; ++cx) {
+      for (int64_t cy = qy - ring; cy <= qy + ring; ++cy) {
+        for (int64_t cz = qz - ring; cz <= qz + ring; ++cz) {
+          // Shell only: skip interior cells already visited.
+          if (std::max({std::llabs(cx - qx), std::llabs(cy - qy),
+                        std::llabs(cz - qz)}) != ring) {
+            continue;
+          }
+          auto it = cells_.find(PackCoords(cx, cy, cz));
+          if (it == cells_.end()) continue;
+          for (EntityId id : it->second) {
+            const geo::Vec3& pos = positions_.at(id);
+            double d2 = geo::DistanceSquared(q, pos);
+            if (best.size() < k) {
+              best.push({d2, {id, pos}});
+            } else if (d2 < best.top().first) {
+              best.pop();
+              best.push({d2, {id, pos}});
+            }
+          }
+        }
+      }
+    }
+  }
+  out.reserve(best.size());
+  while (!best.empty()) {
+    out.push_back(best.top().second);
+    best.pop();
+  }
+  std::reverse(out.begin(), out.end());  // nearest first
+  return out;
+}
+
+}  // namespace deluge::index

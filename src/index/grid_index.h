@@ -1,0 +1,49 @@
+#ifndef DELUGE_INDEX_GRID_INDEX_H_
+#define DELUGE_INDEX_GRID_INDEX_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "index/spatial_index.h"
+
+namespace deluge::index {
+
+/// A dynamic uniform grid over a fixed world box.
+///
+/// The workhorse for update-intensive moving-entity workloads: an update
+/// is O(1) (hash two cell ids), a range query visits only overlapping
+/// cells.  Weakness: skewed data piles into few cells (measured in E9).
+class GridIndex : public SpatialIndex {
+ public:
+  /// `cell_size` is the edge length of a cubic cell in metres.
+  GridIndex(const geo::AABB& world, double cell_size);
+
+  void Insert(EntityId id, const geo::Vec3& pos) override;
+  void Update(EntityId id, const geo::Vec3& pos) override;
+  void Remove(EntityId id) override;
+  std::vector<SpatialHit> Range(const geo::AABB& range) const override;
+  std::vector<SpatialHit> Nearest(const geo::Vec3& q,
+                                  size_t k) const override;
+  size_t size() const override { return positions_.size(); }
+  std::string name() const override { return "grid"; }
+
+  /// Number of non-empty cells (occupancy diagnostics).
+  size_t occupied_cells() const { return cells_.size(); }
+
+ private:
+  using CellKey = uint64_t;
+
+  CellKey KeyFor(const geo::Vec3& pos) const;
+  void CellCoords(const geo::Vec3& pos, int64_t* cx, int64_t* cy,
+                  int64_t* cz) const;
+  static CellKey PackCoords(int64_t cx, int64_t cy, int64_t cz);
+
+  geo::AABB world_;
+  double cell_size_;
+  std::unordered_map<CellKey, std::vector<EntityId>> cells_;
+  std::unordered_map<EntityId, geo::Vec3> positions_;
+};
+
+}  // namespace deluge::index
+
+#endif  // DELUGE_INDEX_GRID_INDEX_H_

@@ -1,0 +1,152 @@
+#include "index/hdov_tree.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace deluge::index {
+
+namespace {
+constexpr double kMinDistance = 0.5;  // clamp: objects at the eye saturate
+}  // namespace
+
+HdovTree::HdovTree(const geo::AABB& world, size_t leaf_capacity,
+                   int max_depth)
+    : leaf_capacity_(std::max<size_t>(1, leaf_capacity)),
+      max_depth_(std::max(1, max_depth)),
+      root_(std::make_unique<Node>()) {
+  root_->box = world;
+}
+
+HdovTree::~HdovTree() = default;
+
+int HdovTree::ChildIndexFor(const Node* node, const geo::Vec3& pos) const {
+  geo::Vec3 c = node->box.Center();
+  return (pos.x >= c.x ? 1 : 0) | (pos.y >= c.y ? 2 : 0) |
+         (pos.z >= c.z ? 4 : 0);
+}
+
+geo::AABB HdovTree::ChildBox(const Node* node, int idx) const {
+  geo::Vec3 c = node->box.Center();
+  const geo::AABB& b = node->box;
+  geo::Vec3 lo{(idx & 1) ? c.x : b.min.x, (idx & 2) ? c.y : b.min.y,
+               (idx & 4) ? c.z : b.min.z};
+  geo::Vec3 hi{(idx & 1) ? b.max.x : c.x, (idx & 2) ? b.max.y : c.y,
+               (idx & 4) ? b.max.z : c.z};
+  return geo::AABB(lo, hi);
+}
+
+void HdovTree::Subdivide(Node* node) {
+  node->is_leaf = false;
+  for (int i = 0; i < 8; ++i) {
+    node->children[i] = std::make_unique<Node>();
+    node->children[i]->box = ChildBox(node, i);
+    node->children[i]->depth = node->depth + 1;
+  }
+  std::vector<EntityId> items = std::move(node->items);
+  node->items.clear();
+  for (EntityId id : items) {
+    const SceneObject& obj = objects_.at(id);
+    InsertInto(node->children[ChildIndexFor(node, obj.position)].get(), id);
+  }
+}
+
+void HdovTree::InsertInto(Node* node, EntityId id) {
+  const SceneObject& obj = objects_.at(id);
+  node->max_radius = std::max(node->max_radius, obj.radius);
+  if (node->is_leaf) {
+    node->items.push_back(id);
+    if (node->items.size() > leaf_capacity_ && node->depth < max_depth_) {
+      Subdivide(node);
+    }
+    return;
+  }
+  InsertInto(node->children[ChildIndexFor(node, obj.position)].get(), id);
+}
+
+void HdovTree::Insert(const SceneObject& obj) {
+  auto it = objects_.find(obj.id);
+  if (it != objects_.end()) {
+    Remove(obj.id);
+  }
+  objects_[obj.id] = obj;
+  InsertInto(root_.get(), obj.id);
+}
+
+bool HdovTree::RemoveFrom(Node* node, EntityId id, const geo::Vec3& pos) {
+  if (node->is_leaf) {
+    auto it = std::find(node->items.begin(), node->items.end(), id);
+    if (it == node->items.end()) return false;
+    node->items.erase(it);
+    return true;
+  }
+  // max_radius stays as a (loosened) conservative bound; Rebuild tightens.
+  return RemoveFrom(node->children[ChildIndexFor(node, pos)].get(), id, pos);
+}
+
+void HdovTree::Remove(EntityId id) {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) return;
+  RemoveFrom(root_.get(), id, it->second.position);
+  objects_.erase(it);
+}
+
+void HdovTree::Move(EntityId id, const geo::Vec3& pos) {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) return;
+  SceneObject obj = it->second;
+  Remove(id);
+  obj.position = pos;
+  Insert(obj);
+}
+
+void HdovTree::Query(const Node* node, const geo::ViewRegion& view,
+                     double min_dov,
+                     std::vector<VisibleObject>* out) const {
+  ++last_nodes_visited_;
+  // Prune 1: node outside the view's bounding sphere.
+  double node_dist2 = node->box.DistanceSquaredTo(view.eye);
+  if (node_dist2 > view.radius * view.radius) return;
+  // Prune 2: best possible DoV in this subtree below threshold.
+  double min_dist = std::max(std::sqrt(node_dist2), kMinDistance);
+  if (node->max_radius / min_dist < min_dov) return;
+
+  if (node->is_leaf) {
+    for (EntityId id : node->items) {
+      const SceneObject& obj = objects_.at(id);
+      if (!view.Contains(obj.position)) continue;
+      double dist = std::max(geo::Distance(view.eye, obj.position),
+                             kMinDistance);
+      double dov = obj.radius / dist;
+      if (dov >= min_dov) out->push_back({obj, dov});
+    }
+    return;
+  }
+  for (const auto& child : node->children) {
+    Query(child.get(), view, min_dov, out);
+  }
+}
+
+std::vector<VisibleObject> HdovTree::QueryVisible(
+    const geo::ViewRegion& view, double min_dov) const {
+  last_nodes_visited_ = 0;
+  std::vector<VisibleObject> out;
+  Query(root_.get(), view, min_dov, &out);
+  std::sort(out.begin(), out.end(),
+            [](const VisibleObject& a, const VisibleObject& b) {
+              return a.dov > b.dov;
+            });
+  return out;
+}
+
+void HdovTree::Rebuild() {
+  std::vector<SceneObject> all;
+  all.reserve(objects_.size());
+  for (const auto& [id, obj] : objects_) all.push_back(obj);
+  geo::AABB world = root_->box;
+  root_ = std::make_unique<Node>();
+  root_->box = world;
+  objects_.clear();
+  for (const auto& obj : all) Insert(obj);
+}
+
+}  // namespace deluge::index

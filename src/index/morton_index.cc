@@ -1,0 +1,173 @@
+#include "index/morton_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace deluge::index {
+
+namespace {
+constexpr int kBitsPerAxis = 21;
+}  // namespace
+
+MortonIndex::MortonIndex(const geo::AABB& world, size_t max_ranges)
+    : codec_(world), max_ranges_(std::max<size_t>(8, max_ranges)) {}
+
+void MortonIndex::Insert(EntityId id, const geo::Vec3& pos) {
+  auto it = codes_.find(id);
+  if (it != codes_.end()) {
+    Update(id, pos);
+    return;
+  }
+  uint64_t code = codec_.Encode(pos);
+  tree_.Insert({code, id}, pos);
+  codes_[id] = code;
+  positions_[id] = pos;
+}
+
+void MortonIndex::Update(EntityId id, const geo::Vec3& pos) {
+  auto it = codes_.find(id);
+  uint64_t code = codec_.Encode(pos);
+  if (it != codes_.end()) {
+    if (it->second == code) {
+      // Same cell: refresh the stored exact position only.
+      tree_.Insert({code, id}, pos);
+      positions_[id] = pos;
+      return;
+    }
+    tree_.Erase({it->second, id});
+    it->second = code;
+  } else {
+    codes_[id] = code;
+  }
+  tree_.Insert({code, id}, pos);
+  positions_[id] = pos;
+}
+
+void MortonIndex::Remove(EntityId id) {
+  auto it = codes_.find(id);
+  if (it == codes_.end()) return;
+  tree_.Erase({it->second, id});
+  codes_.erase(it);
+  positions_.erase(id);
+}
+
+void MortonIndex::DecomposeCell(int level, uint32_t cx, uint32_t cy,
+                                uint32_t cz, uint32_t qlo[3], uint32_t qhi[3],
+                                int max_depth,
+                                std::vector<RangeSpan>* out) const {
+  const int shift = kBitsPerAxis - level;  // cell side = 2^shift quanta
+  const uint32_t side = shift >= 32 ? 0 : (1u << shift);
+  const uint32_t lox = cx << shift, loy = cy << shift, loz = cz << shift;
+  const uint32_t hix = lox + side - 1, hiy = loy + side - 1,
+                 hiz = loz + side - 1;
+
+  // Disjoint?
+  if (hix < qlo[0] || lox > qhi[0] || hiy < qlo[1] || loy > qhi[1] ||
+      hiz < qlo[2] || loz > qhi[2]) {
+    return;
+  }
+  const bool fully_inside = lox >= qlo[0] && hix <= qhi[0] && loy >= qlo[1] &&
+                            hiy <= qhi[1] && loz >= qlo[2] && hiz <= qhi[2];
+  if (fully_inside || level >= max_depth) {
+    // Morton range of this cell: contiguous because the cell is an
+    // aligned octree block.
+    uint64_t base = geo::MortonCodec::Interleave(lox, loy, loz);
+    uint64_t span = (shift == 0) ? 0 : ((uint64_t{1} << (3 * shift)) - 1);
+    out->push_back({base, base + span});
+    return;
+  }
+  for (uint32_t dx = 0; dx < 2; ++dx) {
+    for (uint32_t dy = 0; dy < 2; ++dy) {
+      for (uint32_t dz = 0; dz < 2; ++dz) {
+        DecomposeCell(level + 1, (cx << 1) | dx, (cy << 1) | dy,
+                      (cz << 1) | dz, qlo, qhi, max_depth, out);
+      }
+    }
+  }
+}
+
+void MortonIndex::DecomposeRanges(const geo::AABB& query,
+                                  std::vector<RangeSpan>* out) const {
+  uint32_t lo[3], hi[3];
+  geo::MortonCodec::Deinterleave(codec_.Encode(query.min), &lo[0], &lo[1],
+                                 &lo[2]);
+  geo::MortonCodec::Deinterleave(codec_.Encode(query.max), &hi[0], &hi[1],
+                                 &hi[2]);
+  // Depth limit: each level multiplies ranges by <= 8; max_ranges_ caps
+  // the tree descents per query.
+  int max_depth = 1;
+  size_t cells = 8;
+  while (cells * 8 <= max_ranges_ && max_depth < kBitsPerAxis) {
+    cells *= 8;
+    ++max_depth;
+  }
+  DecomposeCell(0, 0, 0, 0, lo, hi, max_depth, out);
+  // Coalesce adjacent ranges (they come out in Morton order).
+  std::sort(out->begin(), out->end(),
+            [](const RangeSpan& a, const RangeSpan& b) { return a.lo < b.lo; });
+  size_t w = 0;
+  for (size_t i = 0; i < out->size(); ++i) {
+    if (w > 0 && (*out)[i].lo <= (*out)[w - 1].hi + 1) {
+      (*out)[w - 1].hi = std::max((*out)[w - 1].hi, (*out)[i].hi);
+    } else {
+      (*out)[w++] = (*out)[i];
+    }
+  }
+  out->resize(w);
+}
+
+std::vector<SpatialHit> MortonIndex::Range(const geo::AABB& range) const {
+  std::vector<SpatialHit> out;
+  if (range.IsEmpty()) return out;
+  last_false_positives_ = 0;
+  std::vector<RangeSpan> spans;
+  DecomposeRanges(range, &spans);
+  for (const auto& span : spans) {
+    tree_.Scan(Key{span.lo, 0}, Key{span.hi, ~EntityId{0}},
+               [&](const Key& key, const geo::Vec3& pos) {
+                 if (range.Contains(pos)) {
+                   out.push_back({key.second, pos});
+                 } else {
+                   ++last_false_positives_;
+                 }
+                 return true;
+               });
+  }
+  return out;
+}
+
+std::vector<SpatialHit> MortonIndex::Nearest(const geo::Vec3& q,
+                                             size_t k) const {
+  std::vector<SpatialHit> out;
+  if (k == 0 || positions_.empty()) return out;
+  // Expanding-cube search: query growing boxes around q until the k-th
+  // nearest candidate is provably inside the searched cube.
+  geo::Vec3 extent = codec_.world().Extent();
+  double max_r = std::max({extent.x, extent.y, extent.z, 1.0});
+  double r = std::max(max_r / 1024.0, 1e-6);
+  std::vector<SpatialHit> candidates;
+  while (true) {
+    candidates = Range(geo::AABB::Cube(q, r));
+    if (candidates.size() >= k || r >= max_r * 2) {
+      // Candidates within distance r of q on every axis; true k-th
+      // nearest is guaranteed found once k-th best distance <= r.
+      std::sort(candidates.begin(), candidates.end(),
+                [&q](const SpatialHit& a, const SpatialHit& b) {
+                  return geo::DistanceSquared(q, a.position) <
+                         geo::DistanceSquared(q, b.position);
+                });
+      if (candidates.size() >= k &&
+          geo::Distance(q, candidates[k - 1].position) <= r) {
+        candidates.resize(k);
+        return candidates;
+      }
+      if (r >= max_r * 2) {
+        if (candidates.size() > k) candidates.resize(k);
+        return candidates;
+      }
+    }
+    r *= 2;
+  }
+}
+
+}  // namespace deluge::index

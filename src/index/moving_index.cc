@@ -1,0 +1,108 @@
+#include "index/moving_index.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace deluge::index {
+
+MovingObjectIndex::MovingObjectIndex(const geo::AABB& world,
+                                     double cell_size, double max_speed)
+    : max_speed_(max_speed > 0 ? max_speed : 1.0), grid_(world, cell_size) {}
+
+void MovingObjectIndex::Upsert(EntityId id, const geo::MotionState& state) {
+  geo::MotionState s = state;
+  // Clamp the velocity to the declared speed bound so query expansion
+  // stays sound.
+  double speed = s.velocity.Length();
+  if (speed > max_speed_) {
+    s.velocity = s.velocity * (max_speed_ / speed);
+  }
+  auto it = states_.find(id);
+  bool was_oldest =
+      it != states_.end() && it->second.t == oldest_update_;
+  states_[id] = s;
+  grid_.Update(id, s.position);
+  if (states_.size() == 1) {
+    oldest_update_ = s.t;
+  } else if (s.t < oldest_update_) {
+    oldest_update_ = s.t;
+  } else if (was_oldest) {
+    RefreshOldest();
+  }
+}
+
+void MovingObjectIndex::Remove(EntityId id) {
+  auto it = states_.find(id);
+  if (it == states_.end()) return;
+  bool was_oldest = it->second.t == oldest_update_;
+  states_.erase(it);
+  grid_.Remove(id);
+  if (was_oldest) RefreshOldest();
+}
+
+void MovingObjectIndex::RefreshOldest() {
+  oldest_update_ = std::numeric_limits<Micros>::max();
+  for (const auto& [id, s] : states_) {
+    oldest_update_ = std::min(oldest_update_, s.t);
+  }
+  if (states_.empty()) oldest_update_ = 0;
+}
+
+std::vector<MovingHit> MovingObjectIndex::RangeAt(const geo::AABB& box,
+                                                  Micros t) const {
+  std::vector<MovingHit> out;
+  if (box.IsEmpty() || states_.empty()) return out;
+  // Worst-case drift of any object since its indexed position.
+  double dt_s = t > oldest_update_
+                    ? double(t - oldest_update_) / double(kMicrosPerSecond)
+                    : 0.0;
+  double expand = dt_s * max_speed_;
+  geo::AABB probe(box.min - geo::Vec3{expand, expand, expand},
+                  box.max + geo::Vec3{expand, expand, expand});
+  auto candidates = grid_.Range(probe);
+  last_candidates_ = candidates.size();
+  out.reserve(candidates.size());
+  for (const auto& hit : candidates) {
+    const geo::MotionState& s = states_.at(hit.id);
+    geo::Vec3 predicted = s.PositionAt(t);
+    if (box.Contains(predicted)) out.push_back({hit.id, predicted});
+  }
+  return out;
+}
+
+std::vector<MovingHit> MovingObjectIndex::NearestAt(const geo::Vec3& q,
+                                                    size_t k,
+                                                    Micros t) const {
+  std::vector<MovingHit> out;
+  if (k == 0 || states_.empty()) return out;
+  // Brute ranking over predicted positions of candidates from an
+  // expanding box (double until k confirmed within radius).
+  double r = 8.0;
+  for (;;) {
+    auto hits = RangeAt(geo::AABB::Cube(q, r), t);
+    if (hits.size() >= k || hits.size() == states_.size()) {
+      std::sort(hits.begin(), hits.end(),
+                [&q](const MovingHit& a, const MovingHit& b) {
+                  return geo::DistanceSquared(q, a.predicted_position) <
+                         geo::DistanceSquared(q, b.predicted_position);
+                });
+      if (hits.size() >= k &&
+          geo::Distance(q, hits[k - 1].predicted_position) <= r) {
+        hits.resize(k);
+        return hits;
+      }
+      if (hits.size() == states_.size()) {
+        if (hits.size() > k) hits.resize(k);
+        return hits;
+      }
+    }
+    r *= 2;
+  }
+}
+
+const geo::MotionState* MovingObjectIndex::GetState(EntityId id) const {
+  auto it = states_.find(id);
+  return it == states_.end() ? nullptr : &it->second;
+}
+
+}  // namespace deluge::index

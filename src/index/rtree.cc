@@ -1,0 +1,367 @@
+#include "index/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+namespace deluge::index {
+
+RTree::RTree(int max_entries)
+    : max_entries_(std::max(4, max_entries)),
+      min_entries_(std::max(2, max_entries / 3)),
+      root_(new Node()) {}
+
+RTree::~RTree() { FreeTree(root_); }
+
+void RTree::FreeTree(Node* n) {
+  if (!n->is_leaf) {
+    for (auto& e : n->entries) FreeTree(e.child);
+  }
+  delete n;
+}
+
+geo::AABB RTree::NodeBox(const Node* n) const {
+  geo::AABB box;
+  for (const auto& e : n->entries) box = box.Union(e.box);
+  return box;
+}
+
+RTree::Node* RTree::ChooseLeaf(Node* n, const geo::AABB& box) const {
+  while (!n->is_leaf) {
+    Node* best = nullptr;
+    double best_enlarge = std::numeric_limits<double>::infinity();
+    double best_volume = std::numeric_limits<double>::infinity();
+    for (const auto& e : n->entries) {
+      double vol = e.box.Volume();
+      double enlarged = e.box.Union(box).Volume() - vol;
+      if (enlarged < best_enlarge ||
+          (enlarged == best_enlarge && vol < best_volume)) {
+        best_enlarge = enlarged;
+        best_volume = vol;
+        best = e.child;
+      }
+    }
+    n = best;
+  }
+  return n;
+}
+
+void RTree::SplitNode(Node* n, Node** out_left, Node** out_right) {
+  // Quadratic split (Guttman): pick the pair of entries that would waste
+  // the most volume together as seeds, then greedily assign the rest.
+  std::vector<Entry> entries = std::move(n->entries);
+  n->entries.clear();
+
+  size_t seed_a = 0, seed_b = 1;
+  double worst = -1.0;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    for (size_t j = i + 1; j < entries.size(); ++j) {
+      double waste = entries[i].box.Union(entries[j].box).Volume() -
+                     entries[i].box.Volume() - entries[j].box.Volume();
+      if (waste > worst) {
+        worst = waste;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+
+  Node* left = n;  // reuse
+  Node* right = new Node();
+  right->is_leaf = n->is_leaf;
+  left->entries.push_back(entries[seed_a]);
+  right->entries.push_back(entries[seed_b]);
+  if (!left->is_leaf) {
+    entries[seed_a].child->parent = left;
+    entries[seed_b].child->parent = right;
+  }
+
+  geo::AABB lbox = entries[seed_a].box;
+  geo::AABB rbox = entries[seed_b].box;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (i == seed_a || i == seed_b) continue;
+    const Entry& e = entries[i];
+    size_t remaining = entries.size() - i;
+    // Force-assign to satisfy the minimum fill.
+    Node* target;
+    if (left->entries.size() + remaining <= size_t(min_entries_)) {
+      target = left;
+    } else if (right->entries.size() + remaining <= size_t(min_entries_)) {
+      target = right;
+    } else {
+      double dl = lbox.Union(e.box).Volume() - lbox.Volume();
+      double dr = rbox.Union(e.box).Volume() - rbox.Volume();
+      target = dl <= dr ? left : right;
+    }
+    target->entries.push_back(e);
+    if (!target->is_leaf) e.child->parent = target;
+    (target == left ? lbox : rbox) =
+        (target == left ? lbox : rbox).Union(e.box);
+  }
+  *out_left = left;
+  *out_right = right;
+}
+
+void RTree::AdjustTree(Node* n, Node* split_sibling) {
+  while (n != root_) {
+    Node* parent = n->parent;
+    // Refresh n's box in its parent entry.
+    for (auto& e : parent->entries) {
+      if (e.child == n) {
+        e.box = NodeBox(n);
+        break;
+      }
+    }
+    if (split_sibling != nullptr) {
+      Entry e;
+      e.child = split_sibling;
+      e.box = NodeBox(split_sibling);
+      split_sibling->parent = parent;
+      parent->entries.push_back(e);
+      if (parent->entries.size() > size_t(max_entries_)) {
+        Node *l, *r;
+        SplitNode(parent, &l, &r);
+        split_sibling = r;
+      } else {
+        split_sibling = nullptr;
+      }
+    }
+    n = parent;
+  }
+  if (split_sibling != nullptr) {
+    // Root split: grow the tree.
+    Node* new_root = new Node();
+    new_root->is_leaf = false;
+    Entry a, b;
+    a.child = root_;
+    a.box = NodeBox(root_);
+    b.child = split_sibling;
+    b.box = NodeBox(split_sibling);
+    root_->parent = new_root;
+    split_sibling->parent = new_root;
+    new_root->entries = {a, b};
+    root_ = new_root;
+  }
+}
+
+void RTree::Insert(EntityId id, const geo::Vec3& pos) {
+  auto it = positions_.find(id);
+  if (it != positions_.end()) {
+    Update(id, pos);
+    return;
+  }
+  positions_[id] = pos;
+  Entry e;
+  e.box = geo::AABB(pos, pos);
+  e.id = id;
+  Node* leaf = ChooseLeaf(root_, e.box);
+  leaf->entries.push_back(e);
+  Node* sibling = nullptr;
+  if (leaf->entries.size() > size_t(max_entries_)) {
+    Node *l, *r;
+    SplitNode(leaf, &l, &r);
+    sibling = r;
+  }
+  AdjustTree(leaf, sibling);
+}
+
+void RTree::Update(EntityId id, const geo::Vec3& pos) {
+  Remove(id);
+  Insert(id, pos);
+}
+
+RTree::Node* RTree::FindLeafFor(Node* n, EntityId id,
+                                const geo::Vec3& pos) const {
+  if (n->is_leaf) {
+    for (const auto& e : n->entries) {
+      if (e.id == id) return n;
+    }
+    return nullptr;
+  }
+  for (const auto& e : n->entries) {
+    if (e.box.Contains(pos)) {
+      Node* found = FindLeafFor(e.child, id, pos);
+      if (found != nullptr) return found;
+    }
+  }
+  return nullptr;
+}
+
+int RTree::NodeLevel(const Node* n) const {
+  // Level counted from leaves: leaf = 0.
+  int level = 0;
+  const Node* cur = n;
+  while (!cur->is_leaf) {
+    cur = cur->entries.front().child;
+    ++level;
+  }
+  return level;
+}
+
+void RTree::InsertEntry(const Entry& e, int target_level) {
+  // Descend to a node at `target_level` choosing least enlargement.
+  Node* n = root_;
+  while (NodeLevel(n) > target_level) {
+    Node* best = nullptr;
+    double best_enlarge = std::numeric_limits<double>::infinity();
+    for (const auto& c : n->entries) {
+      double enlarged = c.box.Union(e.box).Volume() - c.box.Volume();
+      if (enlarged < best_enlarge) {
+        best_enlarge = enlarged;
+        best = c.child;
+      }
+    }
+    n = best;
+  }
+  n->entries.push_back(e);
+  if (e.child != nullptr) e.child->parent = n;
+  Node* sibling = nullptr;
+  if (n->entries.size() > size_t(max_entries_)) {
+    Node *l, *r;
+    SplitNode(n, &l, &r);
+    sibling = r;
+  }
+  AdjustTree(n, sibling);
+}
+
+void RTree::CondenseTree(Node* leaf) {
+  // Walk up removing underfull nodes; collect orphaned entries with the
+  // level they lived at, then reinsert.
+  std::vector<std::pair<Entry, int>> orphans;
+  Node* n = leaf;
+  while (n != root_) {
+    Node* parent = n->parent;
+    if (n->entries.size() < size_t(min_entries_)) {
+      // Detach n from parent; orphan its entries.
+      int level = NodeLevel(n);
+      for (auto& e : n->entries) {
+        orphans.emplace_back(e, n->is_leaf ? 0 : level - 1);
+      }
+      auto& pe = parent->entries;
+      pe.erase(std::remove_if(pe.begin(), pe.end(),
+                              [n](const Entry& e) { return e.child == n; }),
+               pe.end());
+      delete n;
+    } else {
+      for (auto& e : parent->entries) {
+        if (e.child == n) {
+          e.box = NodeBox(n);
+          break;
+        }
+      }
+    }
+    n = parent;
+  }
+  // Shrink the root if it has a single child.
+  while (!root_->is_leaf && root_->entries.size() == 1) {
+    Node* child = root_->entries.front().child;
+    delete root_;
+    root_ = child;
+    root_->parent = nullptr;
+  }
+  if (!root_->is_leaf && root_->entries.empty()) {
+    root_->is_leaf = true;
+  }
+  for (auto& [entry, level] : orphans) {
+    if (entry.child != nullptr) {
+      InsertEntry(entry, level + 1);  // reattach subtree at its old height
+    } else {
+      InsertEntry(entry, 0);
+    }
+  }
+}
+
+void RTree::Remove(EntityId id) {
+  auto it = positions_.find(id);
+  if (it == positions_.end()) return;
+  Node* leaf = FindLeafFor(root_, id, it->second);
+  positions_.erase(it);
+  if (leaf == nullptr) return;  // should not happen; defensive
+  auto& es = leaf->entries;
+  es.erase(std::remove_if(es.begin(), es.end(),
+                          [id](const Entry& e) { return e.id == id; }),
+           es.end());
+  CondenseTree(leaf);
+}
+
+std::vector<SpatialHit> RTree::Range(const geo::AABB& range) const {
+  std::vector<SpatialHit> out;
+  if (range.IsEmpty()) return out;
+  std::vector<const Node*> stack{root_};
+  while (!stack.empty()) {
+    const Node* n = stack.back();
+    stack.pop_back();
+    for (const auto& e : n->entries) {
+      if (!range.Intersects(e.box)) continue;
+      if (n->is_leaf) {
+        out.push_back({e.id, e.box.min});
+      } else {
+        stack.push_back(e.child);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<SpatialHit> RTree::Nearest(const geo::Vec3& q, size_t k) const {
+  // Best-first search over nodes ordered by min distance to q.
+  std::vector<SpatialHit> out;
+  if (k == 0 || positions_.empty()) return out;
+  struct QueueItem {
+    double dist2;
+    const Node* node;   // nullptr => entity item
+    SpatialHit hit;
+  };
+  auto cmp = [](const QueueItem& a, const QueueItem& b) {
+    return a.dist2 > b.dist2;
+  };
+  std::priority_queue<QueueItem, std::vector<QueueItem>, decltype(cmp)> pq(
+      cmp);
+  pq.push({0.0, root_, {}});
+  while (!pq.empty() && out.size() < k) {
+    QueueItem top = pq.top();
+    pq.pop();
+    if (top.node == nullptr) {
+      out.push_back(top.hit);
+      continue;
+    }
+    for (const auto& e : top.node->entries) {
+      double d2 = e.box.DistanceSquaredTo(q);
+      if (top.node->is_leaf) {
+        pq.push({d2, nullptr, {e.id, e.box.min}});
+      } else {
+        pq.push({d2, e.child, {}});
+      }
+    }
+  }
+  return out;
+}
+
+int RTree::height() const {
+  int h = 1;
+  const Node* n = root_;
+  while (!n->is_leaf) {
+    n = n->entries.front().child;
+    ++h;
+  }
+  return h;
+}
+
+bool RTree::CheckNode(const Node* n, int depth, int leaf_depth) const {
+  if (n->is_leaf) return depth == leaf_depth;
+  for (const auto& e : n->entries) {
+    if (e.child->parent != n) return false;
+    geo::AABB child_box = NodeBox(e.child);
+    // Parent entry box must cover the child's actual box.
+    if (!e.box.Contains(child_box) && !child_box.IsEmpty()) return false;
+    if (!CheckNode(e.child, depth + 1, leaf_depth)) return false;
+  }
+  return true;
+}
+
+bool RTree::CheckInvariants() const {
+  return CheckNode(root_, 1, height());
+}
+
+}  // namespace deluge::index

@@ -1,0 +1,70 @@
+#ifndef DELUGE_INDEX_RTREE_H_
+#define DELUGE_INDEX_RTREE_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "index/spatial_index.h"
+
+namespace deluge::index {
+
+/// A Guttman R-tree (quadratic split) over point entities.
+///
+/// Strong at static/range-heavy workloads; updates pay bounding-box
+/// maintenance and occasional reinsert cascades — exactly the tradeoff
+/// the E9 ablation measures against the grid and Morton-B+ indexes.
+class RTree : public SpatialIndex {
+ public:
+  /// `max_entries` is node capacity; min fill is max/3 (classic ~40%).
+  explicit RTree(int max_entries = 16);
+  ~RTree() override;
+
+  void Insert(EntityId id, const geo::Vec3& pos) override;
+  void Update(EntityId id, const geo::Vec3& pos) override;
+  void Remove(EntityId id) override;
+  std::vector<SpatialHit> Range(const geo::AABB& range) const override;
+  std::vector<SpatialHit> Nearest(const geo::Vec3& q,
+                                  size_t k) const override;
+  size_t size() const override { return positions_.size(); }
+  std::string name() const override { return "rtree"; }
+
+  int height() const;
+
+  /// Verifies structural invariants (bounding boxes cover children, leaf
+  /// depth uniform); used by property tests.  Returns false on violation.
+  bool CheckInvariants() const;
+
+ private:
+  struct Node;
+  struct Entry {
+    geo::AABB box;
+    Node* child = nullptr;  // internal entries
+    EntityId id = 0;        // leaf entries
+  };
+  struct Node {
+    bool is_leaf = true;
+    std::vector<Entry> entries;
+    Node* parent = nullptr;
+  };
+
+  void FreeTree(Node* n);
+  Node* ChooseLeaf(Node* n, const geo::AABB& box) const;
+  void SplitNode(Node* n, Node** out_left, Node** out_right);
+  void AdjustTree(Node* n, Node* split_sibling);
+  geo::AABB NodeBox(const Node* n) const;
+  Node* FindLeafFor(Node* n, EntityId id, const geo::Vec3& pos) const;
+  void CondenseTree(Node* leaf);
+  void InsertEntry(const Entry& e, int target_level);
+  int NodeLevel(const Node* n) const;
+  bool CheckNode(const Node* n, int depth, int leaf_depth) const;
+
+  int max_entries_;
+  int min_entries_;
+  Node* root_;
+  std::unordered_map<EntityId, geo::Vec3> positions_;
+};
+
+}  // namespace deluge::index
+
+#endif  // DELUGE_INDEX_RTREE_H_

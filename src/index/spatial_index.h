@@ -1,0 +1,50 @@
+#ifndef DELUGE_INDEX_SPATIAL_INDEX_H_
+#define DELUGE_INDEX_SPATIAL_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geo/geometry.h"
+
+namespace deluge::index {
+
+/// Identifier of an indexed entity (avatar, sensor, asset).
+using EntityId = uint64_t;
+
+/// A query answer: entity and its indexed position.
+struct SpatialHit {
+  EntityId id = 0;
+  geo::Vec3 position;
+};
+
+/// Common interface over Deluge's point-entity spatial indexes so that
+/// experiments (E9) can sweep update:query mixes across structures with
+/// identical drivers.  All implementations store one position per entity.
+class SpatialIndex {
+ public:
+  virtual ~SpatialIndex() = default;
+
+  /// Adds `id` at `pos`; if already present, behaves like Update.
+  virtual void Insert(EntityId id, const geo::Vec3& pos) = 0;
+
+  /// Moves `id` to `pos` (inserts when absent).
+  virtual void Update(EntityId id, const geo::Vec3& pos) = 0;
+
+  /// Removes `id`; no-op when absent.
+  virtual void Remove(EntityId id) = 0;
+
+  /// All entities inside `range` (inclusive bounds).
+  virtual std::vector<SpatialHit> Range(const geo::AABB& range) const = 0;
+
+  /// The `k` entities nearest to `q` (ties broken arbitrarily).
+  virtual std::vector<SpatialHit> Nearest(const geo::Vec3& q,
+                                          size_t k) const = 0;
+
+  virtual size_t size() const = 0;
+  virtual std::string name() const = 0;
+};
+
+}  // namespace deluge::index
+
+#endif  // DELUGE_INDEX_SPATIAL_INDEX_H_

@@ -1,0 +1,77 @@
+#include "ledger/ledger.h"
+
+namespace deluge::ledger {
+
+TransparencyLedger::TransparencyLedger(Clock* clock)
+    : clock_(clock != nullptr ? clock : SystemClock::Default()) {}
+
+size_t TransparencyLedger::Append(std::string data) {
+  size_t index = tree_.Append(data);
+  records_.push_back(std::move(data));
+  return index;
+}
+
+TreeHead TransparencyLedger::PublishHead() {
+  TreeHead head;
+  head.tree_size = tree_.size();
+  head.root = tree_.Root();
+  head.published_at = clock_->NowMicros();
+  latest_head_ = head;
+  heads_.push_back(head);
+  return head;
+}
+
+Status TransparencyLedger::GetEntry(size_t index, std::string* data) const {
+  if (index >= records_.size()) return Status::OutOfRange("no such entry");
+  *data = records_[index];
+  return Status::OK();
+}
+
+std::vector<Digest> TransparencyLedger::ProveInclusion(
+    size_t index, size_t tree_size) const {
+  return tree_.InclusionProof(index, tree_size);
+}
+
+std::vector<Digest> TransparencyLedger::ProveConsistency(
+    size_t old_size, size_t new_size) const {
+  return tree_.ConsistencyProof(old_size, new_size);
+}
+
+// ----------------------------------------------------------------- Auditor
+
+Status Auditor::ObserveHead(const TreeHead& head,
+                            const std::vector<Digest>& proof) {
+  if (head.tree_size < accepted_.tree_size) {
+    ++violations_;
+    return Status::Corruption("ledger shrank: history rewrite");
+  }
+  if (accepted_.tree_size == 0) {
+    // First head: trust-on-first-use baseline.
+    accepted_ = head;
+    ++heads_accepted_;
+    return Status::OK();
+  }
+  if (!MerkleTree::VerifyConsistency(accepted_.tree_size, head.tree_size,
+                                     accepted_.root, head.root, proof)) {
+    ++violations_;
+    return Status::Corruption("inconsistent tree heads: fork detected");
+  }
+  accepted_ = head;
+  ++heads_accepted_;
+  return Status::OK();
+}
+
+Status Auditor::VerifyRecord(const std::string& data, size_t index,
+                             const std::vector<Digest>& proof) const {
+  if (accepted_.tree_size == 0) {
+    return Status::Unavailable("no accepted head yet");
+  }
+  if (!MerkleTree::VerifyInclusion(MerkleTree::HashLeaf(data), index,
+                                   accepted_.tree_size, proof,
+                                   accepted_.root)) {
+    return Status::Corruption("inclusion proof invalid");
+  }
+  return Status::OK();
+}
+
+}  // namespace deluge::ledger

@@ -1,0 +1,94 @@
+#ifndef DELUGE_LEDGER_LEDGER_H_
+#define DELUGE_LEDGER_LEDGER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "ledger/merkle.h"
+
+namespace deluge::ledger {
+
+/// A published tree head — what the ledger operator periodically signs
+/// and gossips.  (Deluge models the signature as the root itself; the
+/// auditor checks structural consistency, which is where the hard
+/// guarantees live.)
+struct TreeHead {
+  size_t tree_size = 0;
+  Digest root{};
+  Micros published_at = 0;
+};
+
+/// An appended record with its assigned index.
+struct LedgerEntry {
+  size_t index = 0;
+  std::string data;
+};
+
+/// An append-only, Merkle-tree-backed transaction log — the verifiable
+/// ledger database of Section IV-D ([87], [90]): marketplace trades,
+/// NFT transfers, and actuation commands append here so that any party
+/// can later prove inclusion and the operator can never rewrite history
+/// without detection.
+class TransparencyLedger {
+ public:
+  explicit TransparencyLedger(Clock* clock = nullptr);
+
+  /// Appends a record; returns its index.
+  size_t Append(std::string data);
+
+  /// Publishes the current tree head (a checkpoint auditors track).
+  TreeHead PublishHead();
+
+  /// Record by index.
+  Status GetEntry(size_t index, std::string* data) const;
+
+  /// Inclusion proof for `index` against the head of size `tree_size`.
+  std::vector<Digest> ProveInclusion(size_t index, size_t tree_size) const;
+
+  /// Consistency proof between two published sizes.
+  std::vector<Digest> ProveConsistency(size_t old_size,
+                                       size_t new_size) const;
+
+  size_t size() const { return tree_.size(); }
+  const TreeHead& latest_head() const { return latest_head_; }
+  const std::vector<TreeHead>& head_history() const { return heads_; }
+
+ private:
+  Clock* clock_;
+  MerkleTree tree_;
+  std::vector<std::string> records_;
+  TreeHead latest_head_;
+  std::vector<TreeHead> heads_;
+};
+
+/// A third-party auditor (the "trusted third party serving as the
+/// auditor" of Section IV-D).  Tracks the last tree head it accepted and
+/// refuses any new head that is not a consistent extension — detecting
+/// history rewrites — and verifies inclusion of records it cares about.
+class Auditor {
+ public:
+  /// Offers a new head with its consistency proof from the auditor's
+  /// last accepted head.  OK => the head is accepted and becomes the
+  /// new baseline; Corruption => the ledger forked/rewrote history.
+  Status ObserveHead(const TreeHead& head, const std::vector<Digest>& proof);
+
+  /// Verifies that `data` is entry `index` of the accepted head.
+  Status VerifyRecord(const std::string& data, size_t index,
+                      const std::vector<Digest>& proof) const;
+
+  const TreeHead& accepted_head() const { return accepted_; }
+  uint64_t heads_accepted() const { return heads_accepted_; }
+  uint64_t violations_detected() const { return violations_; }
+
+ private:
+  TreeHead accepted_;  // size 0 initially: trusts the first head
+  uint64_t heads_accepted_ = 0;
+  uint64_t violations_ = 0;
+};
+
+}  // namespace deluge::ledger
+
+#endif  // DELUGE_LEDGER_LEDGER_H_

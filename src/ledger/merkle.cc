@@ -1,0 +1,190 @@
+#include "ledger/merkle.h"
+
+namespace deluge::ledger {
+
+namespace {
+
+/// Largest power of two strictly smaller than n (n >= 2).
+size_t SplitPoint(size_t n) {
+  size_t k = 1;
+  while (k * 2 < n) k *= 2;
+  return k;
+}
+
+}  // namespace
+
+Digest MerkleTree::HashLeaf(std::string_view data) {
+  Sha256 h;
+  uint8_t prefix = 0x00;
+  h.Update(&prefix, 1);
+  h.Update(data);
+  return h.Finish();
+}
+
+Digest MerkleTree::HashNode(const Digest& left, const Digest& right) {
+  Sha256 h;
+  uint8_t prefix = 0x01;
+  h.Update(&prefix, 1);
+  h.Update(left.data(), left.size());
+  h.Update(right.data(), right.size());
+  return h.Finish();
+}
+
+size_t MerkleTree::Append(std::string_view data) {
+  leaves_.push_back(HashLeaf(data));
+  // Incrementally fold completed aligned pairs up the cache levels:
+  // whenever the new leaf completes a subtree of size 2^(h+1), its hash
+  // is computed from the two (already cached) children.
+  size_t index = leaves_.size() - 1;
+  const Digest* right = &leaves_[index];
+  for (size_t h = 0; (index & 1) == 1; ++h, index >>= 1) {
+    if (cache_.size() <= h) cache_.emplace_back();
+    const Digest& left =
+        h == 0 ? leaves_[index - 1] : cache_[h - 1][index - 1];
+    cache_[h].push_back(HashNode(left, *right));
+    right = &cache_[h].back();
+  }
+  return leaves_.size() - 1;
+}
+
+Digest MerkleTree::SubtreeRoot(size_t lo, size_t n) const {
+  if (n == 0) return Digest{};
+  if (n == 1) return leaves_[lo];
+  // Cache hit: an aligned complete subtree.
+  if ((n & (n - 1)) == 0 && lo % n == 0) {
+    size_t h = 0;
+    while ((size_t{2} << h) < n) ++h;  // n == 2^(h+1)
+    if (h < cache_.size() && lo / n < cache_[h].size()) {
+      return cache_[h][lo / n];
+    }
+  }
+  size_t k = SplitPoint(n);
+  return HashNode(SubtreeRoot(lo, k), SubtreeRoot(lo + k, n - k));
+}
+
+Digest MerkleTree::Root() const { return SubtreeRoot(0, leaves_.size()); }
+
+Digest MerkleTree::RootAt(size_t n) const {
+  if (n > leaves_.size()) return Digest{};
+  return SubtreeRoot(0, n);
+}
+
+void MerkleTree::SubtreeInclusion(size_t index, size_t lo, size_t n,
+                                  std::vector<Digest>* proof) const {
+  if (n <= 1) return;
+  size_t k = SplitPoint(n);
+  if (index < k) {
+    SubtreeInclusion(index, lo, k, proof);
+    proof->push_back(SubtreeRoot(lo + k, n - k));
+  } else {
+    SubtreeInclusion(index - k, lo + k, n - k, proof);
+    proof->push_back(SubtreeRoot(lo, k));
+  }
+}
+
+std::vector<Digest> MerkleTree::InclusionProof(size_t index,
+                                               size_t tree_size) const {
+  std::vector<Digest> proof;
+  if (index >= tree_size || tree_size > leaves_.size()) return proof;
+  SubtreeInclusion(index, 0, tree_size, &proof);
+  return proof;
+}
+
+void MerkleTree::SubtreeConsistency(size_t m, size_t lo, size_t n, bool whole,
+                                    std::vector<Digest>* proof) const {
+  if (m == n) {
+    if (!whole) proof->push_back(SubtreeRoot(lo, n));
+    return;
+  }
+  size_t k = SplitPoint(n);
+  if (m <= k) {
+    SubtreeConsistency(m, lo, k, whole, proof);
+    proof->push_back(SubtreeRoot(lo + k, n - k));
+  } else {
+    SubtreeConsistency(m - k, lo + k, n - k, false, proof);
+    proof->push_back(SubtreeRoot(lo, k));
+  }
+}
+
+std::vector<Digest> MerkleTree::ConsistencyProof(size_t old_size,
+                                                 size_t new_size) const {
+  std::vector<Digest> proof;
+  if (old_size == 0 || old_size >= new_size ||
+      new_size > leaves_.size()) {
+    return proof;
+  }
+  SubtreeConsistency(old_size, 0, new_size, true, &proof);
+  return proof;
+}
+
+bool MerkleTree::VerifyInclusion(const Digest& leaf_hash, size_t index,
+                                 size_t tree_size,
+                                 const std::vector<Digest>& proof,
+                                 const Digest& root) {
+  if (index >= tree_size) return false;
+  Digest hash = leaf_hash;
+  size_t node = index;
+  size_t last_node = tree_size - 1;
+  size_t p = 0;
+  while (last_node > 0) {
+    if (node % 2 == 1) {
+      if (p >= proof.size()) return false;
+      hash = HashNode(proof[p++], hash);
+    } else if (node < last_node) {
+      if (p >= proof.size()) return false;
+      hash = HashNode(hash, proof[p++]);
+    }
+    node /= 2;
+    last_node /= 2;
+  }
+  return p == proof.size() && hash == root;
+}
+
+bool MerkleTree::VerifyConsistency(size_t old_size, size_t new_size,
+                                   const Digest& old_root,
+                                   const Digest& new_root,
+                                   const std::vector<Digest>& proof) {
+  if (old_size > new_size) return false;
+  if (old_size == new_size) return proof.empty() && old_root == new_root;
+  if (old_size == 0) return proof.empty();
+
+  size_t node = old_size - 1;
+  size_t last_node = new_size - 1;
+  while (node % 2 == 1) {
+    node /= 2;
+    last_node /= 2;
+  }
+
+  size_t p = 0;
+  Digest node_hash, last_hash;
+  if (node > 0) {
+    if (p >= proof.size()) return false;
+    node_hash = last_hash = proof[p++];
+  } else {
+    node_hash = last_hash = old_root;
+  }
+
+  while (node > 0) {
+    if (node % 2 == 1) {
+      if (p >= proof.size()) return false;
+      node_hash = HashNode(proof[p], node_hash);
+      last_hash = HashNode(proof[p], last_hash);
+      ++p;
+    } else if (node < last_node) {
+      if (p >= proof.size()) return false;
+      last_hash = HashNode(last_hash, proof[p++]);
+    }
+    node /= 2;
+    last_node /= 2;
+  }
+  if (node_hash != old_root) return false;
+
+  while (last_node > 0) {
+    if (p >= proof.size()) return false;
+    last_hash = HashNode(last_hash, proof[p++]);
+    last_node /= 2;
+  }
+  return p == proof.size() && last_hash == new_root;
+}
+
+}  // namespace deluge::ledger

@@ -1,0 +1,75 @@
+#ifndef DELUGE_LEDGER_MERKLE_H_
+#define DELUGE_LEDGER_MERKLE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ledger/sha256.h"
+
+namespace deluge::ledger {
+
+/// An append-only Merkle tree with RFC 6962 (Certificate Transparency)
+/// hashing: leaf hash = H(0x00 || data), node hash = H(0x01 || l || r).
+/// Provides logarithmic inclusion proofs ("entry i is in the tree of size
+/// n") and consistency proofs ("the tree of size m is a prefix of the
+/// tree of size n") — the primitives a verifiable metaverse ledger needs
+/// for third-party audits (Section IV-D, [87][90]).
+class MerkleTree {
+ public:
+  /// Appends a record; returns its index.
+  size_t Append(std::string_view data);
+
+  /// Root of the current tree; all-zero digest for the empty tree.
+  Digest Root() const;
+
+  /// Root of the prefix tree over the first `n` leaves.
+  Digest RootAt(size_t n) const;
+
+  /// Audit path proving leaf `index` is in the tree of size `tree_size`.
+  /// Empty result when out of range (index >= tree_size or size too big).
+  std::vector<Digest> InclusionProof(size_t index, size_t tree_size) const;
+
+  /// Proof that the tree of size `old_size` is a prefix of the tree of
+  /// size `new_size` (RFC 6962 section 2.1.2).
+  std::vector<Digest> ConsistencyProof(size_t old_size,
+                                       size_t new_size) const;
+
+  size_t size() const { return leaves_.size(); }
+
+  /// Leaf hash of raw record data (exposed for verifiers).
+  static Digest HashLeaf(std::string_view data);
+  static Digest HashNode(const Digest& left, const Digest& right);
+
+  /// Verifies an inclusion proof against a known root.
+  static bool VerifyInclusion(const Digest& leaf_hash, size_t index,
+                              size_t tree_size,
+                              const std::vector<Digest>& proof,
+                              const Digest& root);
+
+  /// Verifies a consistency proof between two known roots.
+  static bool VerifyConsistency(size_t old_size, size_t new_size,
+                                const Digest& old_root,
+                                const Digest& new_root,
+                                const std::vector<Digest>& proof);
+
+ private:
+  /// Root over leaves_[lo, lo+n).
+  Digest SubtreeRoot(size_t lo, size_t n) const;
+  void SubtreeInclusion(size_t index, size_t lo, size_t n,
+                        std::vector<Digest>* proof) const;
+  void SubtreeConsistency(size_t m, size_t lo, size_t n, bool whole,
+                          std::vector<Digest>* proof) const;
+
+  std::vector<Digest> leaves_;  // leaf hashes
+  // Complete-subtree hash cache: cache_[h][i] is the hash of the aligned
+  // complete subtree covering leaves [i * 2^(h+1), (i+1) * 2^(h+1)).
+  // Maintained incrementally on Append, so proof and root generation are
+  // O(log^2 n) hashes instead of O(n).
+  std::vector<std::vector<Digest>> cache_;
+};
+
+}  // namespace deluge::ledger
+
+#endif  // DELUGE_LEDGER_MERKLE_H_

@@ -1,0 +1,47 @@
+#ifndef DELUGE_LEDGER_SHA256_H_
+#define DELUGE_LEDGER_SHA256_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace deluge::ledger {
+
+/// A 256-bit digest.
+using Digest = std::array<uint8_t, 32>;
+
+/// Incremental SHA-256 (FIPS 180-4).  Used for Merkle tree hashing in the
+/// verifiable ledger — the one place Deluge needs a cryptographic hash.
+class Sha256 {
+ public:
+  Sha256();
+
+  /// Absorbs `len` bytes.
+  void Update(const void* data, size_t len);
+  void Update(std::string_view s) { Update(s.data(), s.size()); }
+
+  /// Finalizes and returns the digest.  The object must not be reused
+  /// after Finish without Reset.
+  Digest Finish();
+
+  void Reset();
+
+  /// One-shot convenience.
+  static Digest Hash(std::string_view data);
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  uint32_t h_[8];
+  uint64_t total_len_ = 0;
+  uint8_t buffer_[64];
+  size_t buffer_len_ = 0;
+};
+
+/// Lowercase hex rendering of a digest.
+std::string DigestToHex(const Digest& d);
+
+}  // namespace deluge::ledger
+
+#endif  // DELUGE_LEDGER_SHA256_H_

@@ -1,0 +1,82 @@
+#include "ml/colearn.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace deluge::ml {
+
+namespace {
+
+std::vector<double> RandomPoint(Rng* rng, size_t dim) {
+  std::vector<double> x(dim);
+  for (auto& v : x) v = rng->Gaussian(0, 1);
+  return x;
+}
+
+int TrueLabel(const std::vector<double>& concept_w,
+              const std::vector<double>& x) {
+  double s = 0;
+  for (size_t i = 0; i < concept_w.size(); ++i) s += concept_w[i] * x[i];
+  return s >= 0 ? 1 : -1;
+}
+
+double Accuracy(const OnlineLinearModel& model,
+                const std::vector<double>& concept_w, Rng* rng, size_t dim,
+                int samples) {
+  int correct = 0;
+  for (int i = 0; i < samples; ++i) {
+    auto x = RandomPoint(rng, dim);
+    int truth = TrueLabel(concept_w, x);
+    int pred = model.Predict(x) >= 0 ? 1 : -1;
+    correct += (pred == truth);
+  }
+  return double(correct) / double(samples);
+}
+
+}  // namespace
+
+CoLearningLoop::CoLearningLoop(CoLearnConfig config) : config_(config) {}
+
+CoLearnResult CoLearningLoop::Run() {
+  Rng rng(config_.seed);
+  std::vector<double> concept_w(config_.dim);
+  for (auto& w : concept_w) w = rng.UniformDouble(-1, 1);
+
+  OnlineLinearModel collaborative(config_.dim, 0.05);
+  OnlineLinearModel machine_only(config_.dim, 0.05);
+  double skill = config_.initial_human_skill;
+  CoLearnResult result;
+
+  for (size_t round = 0; round < config_.rounds; ++round) {
+    auto x = RandomPoint(&rng, config_.dim);
+    int truth = TrueLabel(concept_w, x);
+
+    // Environment label: cheap but noisy.
+    int env_label = rng.Bernoulli(config_.environment_noise) ? -truth : truth;
+    machine_only.Update(x, double(env_label));
+
+    double margin = collaborative.Predict(x);
+    if (std::fabs(margin) < config_.query_margin) {
+      // Uncertain: ask the human (model learns from human).
+      ++result.human_queries;
+      int human_label = rng.Bernoulli(skill) ? truth : -truth;
+      collaborative.Update(x, double(human_label));
+    } else {
+      // Confident: learn from the environment, and SHOW the human the
+      // prediction with its margin — the explanation that teaches them
+      // (human learns from model).
+      collaborative.Update(x, double(env_label));
+      skill += config_.skill_gain * (config_.max_human_skill - skill);
+    }
+  }
+
+  result.final_human_skill = skill;
+  Rng eval_rng(config_.seed ^ 0xE7A1);  // held-out evaluation stream
+  result.model_accuracy =
+      Accuracy(collaborative, concept_w, &eval_rng, config_.dim, 2000);
+  result.baseline_accuracy =
+      Accuracy(machine_only, concept_w, &eval_rng, config_.dim, 2000);
+  return result;
+}
+
+}  // namespace deluge::ml

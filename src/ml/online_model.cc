@@ -1,0 +1,64 @@
+#include "ml/online_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace deluge::ml {
+
+OnlineLinearModel::OnlineLinearModel(size_t dim, double learning_rate)
+    : weights_(dim, 0.0), lr_(learning_rate) {}
+
+double OnlineLinearModel::Predict(const std::vector<double>& x) const {
+  double y = 0.0;
+  size_t n = std::min(weights_.size(), x.size());
+  for (size_t i = 0; i < n; ++i) y += weights_[i] * x[i];
+  return y;
+}
+
+double OnlineLinearModel::Update(const std::vector<double>& x, double y) {
+  double err = Predict(x) - y;
+  size_t n = std::min(weights_.size(), x.size());
+  for (size_t i = 0; i < n; ++i) {
+    weights_[i] -= lr_ * err * x[i];
+  }
+  ++updates_;
+  return std::fabs(err);
+}
+
+void OnlineLinearModel::Reset() {
+  std::fill(weights_.begin(), weights_.end(), 0.0);
+}
+
+PageHinkley::PageHinkley(double delta, double lambda, int min_samples)
+    : delta_(delta), lambda_(lambda), min_samples_(min_samples) {}
+
+bool PageHinkley::Observe(double value) {
+  ++n_;
+  mean_ += (value - mean_) / double(n_);
+  cumulative_ += value - mean_ - delta_;
+  min_cumulative_ = std::min(min_cumulative_, cumulative_);
+  if (n_ >= min_samples_ && cumulative_ - min_cumulative_ > lambda_) {
+    ++detections_;
+    mean_ = 0.0;
+    cumulative_ = 0.0;
+    min_cumulative_ = 0.0;
+    n_ = 0;
+    return true;
+  }
+  return false;
+}
+
+AdaptiveModel::AdaptiveModel(size_t dim, double learning_rate,
+                             PageHinkley detector)
+    : model_(dim, learning_rate), detector_(detector) {}
+
+double AdaptiveModel::Observe(const std::vector<double>& x, double y) {
+  double err = model_.Update(x, y);
+  if (detector_.Observe(err)) {
+    model_.Reset();
+    ++resets_;
+  }
+  return err;
+}
+
+}  // namespace deluge::ml

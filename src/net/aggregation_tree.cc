@@ -1,0 +1,189 @@
+#include "net/aggregation_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <unordered_map>
+
+#include "storage/format.h"
+
+namespace deluge::net {
+
+namespace {
+
+constexpr uint32_t kMsgPartial = 0xA661;
+
+std::string EncodePartial(uint64_t epoch, double value,
+                          uint32_t contributors) {
+  std::string out;
+  storage::PutFixed64(&out, epoch);
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  storage::PutFixed64(&out, bits);
+  storage::PutFixed32(&out, contributors);
+  return out;
+}
+
+bool DecodePartial(std::string_view payload, uint64_t* epoch, double* value,
+                   uint32_t* contributors) {
+  uint64_t bits = 0;
+  if (!storage::GetFixed64(&payload, epoch) ||
+      !storage::GetFixed64(&payload, &bits) ||
+      !storage::GetFixed32(&payload, contributors)) {
+    return false;
+  }
+  std::memcpy(value, &bits, sizeof(*value));
+  return true;
+}
+
+}  // namespace
+
+struct AggregationTree::TreeNode {
+  NodeId net_id = 0;
+  size_t parent = SIZE_MAX;       // index into nodes_; SIZE_MAX = root
+  size_t expected_children = 0;   // direct children (nodes or sensors)
+  int height = 1;                 // 1 = leaf parent; root is deepest
+  struct EpochState {
+    double acc = 0.0;
+    uint32_t contributors = 0;
+    size_t reports = 0;
+    bool forwarded = false;
+    bool timeout_armed = false;
+  };
+  std::unordered_map<uint64_t, EpochState> epochs;
+};
+
+AggregationTree::AggregationTree(Network* net, Simulator* sim,
+                                 size_t num_sensors, size_t fanout,
+                                 AggregateFn fn, SinkCallback sink,
+                                 Micros timeout)
+    : net_(net),
+      sim_(sim),
+      num_sensors_(std::max<size_t>(1, num_sensors)),
+      fanout_(std::max<size_t>(2, fanout)),
+      fn_(fn),
+      sink_(std::move(sink)),
+      timeout_(timeout) {
+  // Build level by level from the leaves' parents up to a single root.
+  // `levels` holds node indexes per level, leaf-parents first.
+  size_t leaf_parents = (num_sensors_ + fanout_ - 1) / fanout_;
+  std::vector<size_t> current;
+  auto make_node = [this]() {
+    auto node = std::make_unique<TreeNode>();
+    TreeNode* raw = node.get();
+    raw->net_id = net_->AddNode(
+        [this, raw](const Message& m) { OnNodeMessage(raw, m); });
+    nodes_.push_back(std::move(node));
+    return nodes_.size() - 1;
+  };
+
+  for (size_t i = 0; i < leaf_parents; ++i) current.push_back(make_node());
+  // Assign sensors round-robin blocks to leaf parents.
+  for (size_t s = 0; s < num_sensors_; ++s) {
+    size_t parent_idx = current[s / fanout_];
+    sensor_parent_.push_back(parent_idx);
+    nodes_[parent_idx]->expected_children++;
+    sensor_net_ids_.push_back(
+        net_->AddNode([](const Message&) {}));  // sensors only send
+  }
+  depth_ = 1;
+  while (current.size() > 1) {
+    std::vector<size_t> next;
+    for (size_t i = 0; i < current.size(); i += fanout_) {
+      size_t parent_idx = make_node();
+      nodes_[parent_idx]->height = depth_ + 1;
+      for (size_t j = i; j < std::min(i + fanout_, current.size()); ++j) {
+        nodes_[current[j]]->parent = parent_idx;
+        nodes_[parent_idx]->expected_children++;
+      }
+      next.push_back(parent_idx);
+    }
+    current = std::move(next);
+    ++depth_;
+  }
+  // current[0] is the root; move it to a canonical spot semantically
+  // (kept wherever it is; parent == SIZE_MAX marks it).
+}
+
+AggregationTree::~AggregationTree() = default;
+
+Status AggregationTree::Report(size_t index, uint64_t epoch, double value) {
+  if (index >= num_sensors_) {
+    return Status::InvalidArgument("sensor index out of range");
+  }
+  Message msg;
+  msg.from = sensor_net_ids_[index];
+  msg.to = nodes_[sensor_parent_[index]]->net_id;
+  msg.type = kMsgPartial;
+  msg.payload = EncodePartial(epoch, value, 1);
+  return net_->Send(std::move(msg));
+}
+
+void AggregationTree::OnNodeMessage(TreeNode* node, const Message& msg) {
+  if (msg.type != kMsgPartial) return;
+  uint64_t epoch = 0;
+  double value = 0.0;
+  uint32_t contributors = 0;
+  if (!DecodePartial(msg.payload, &epoch, &value, &contributors)) return;
+
+  TreeNode::EpochState& st = node->epochs[epoch];
+  if (st.forwarded) return;  // straggler after forwarding: dropped
+  switch (fn_) {
+    case AggregateFn::kSum:
+    case AggregateFn::kCount:
+      st.acc += value;
+      break;
+    case AggregateFn::kMax:
+      st.acc = st.reports == 0 ? value : std::max(st.acc, value);
+      break;
+  }
+  st.contributors += contributors;
+  ++st.reports;
+
+  if (st.reports >= node->expected_children) {
+    ForwardOrDeliver(node, epoch);
+  } else if (!st.timeout_armed && timeout_ > 0) {
+    st.timeout_armed = true;
+    // Staggered epoch scheduling (TinyDB-style): a node at height h waits
+    // h timeouts, so children's partials — even timed-out ones — arrive
+    // before the parent gives up on them.
+    sim_->After(timeout_ * node->height, [this, node, epoch]() {
+      auto it = node->epochs.find(epoch);
+      if (it != node->epochs.end() && !it->second.forwarded) {
+        ForwardOrDeliver(node, epoch);  // partial: stragglers missed out
+      }
+    });
+  }
+}
+
+void AggregationTree::ForwardOrDeliver(TreeNode* node, uint64_t epoch) {
+  TreeNode::EpochState& st = node->epochs[epoch];
+  st.forwarded = true;
+  double out_value = fn_ == AggregateFn::kCount ? double(st.contributors)
+                                                : st.acc;
+  if (node->parent == SIZE_MAX) {
+    if (sink_) {
+      EpochResult result;
+      result.epoch = epoch;
+      result.value = out_value;
+      result.contributors = st.contributors;
+      result.completed_at = sim_->Now();
+      sink_(result);
+    }
+    // Keep the forwarded tombstone: a straggler for this epoch must not
+    // restart aggregation and double-deliver.
+    return;
+  }
+  Message msg;
+  msg.from = node->net_id;
+  msg.to = nodes_[node->parent]->net_id;
+  msg.type = kMsgPartial;
+  msg.payload =
+      EncodePartial(epoch, fn_ == AggregateFn::kCount ? double(st.contributors)
+                                                      : st.acc,
+                    st.contributors);
+  net_->Send(std::move(msg));
+}
+
+}  // namespace deluge::net

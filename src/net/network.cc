@@ -1,0 +1,97 @@
+#include "net/network.h"
+
+#include <algorithm>
+
+namespace deluge::net {
+
+Network::Network(Simulator* sim, uint64_t seed) : sim_(sim), rng_(seed) {}
+
+NodeId Network::AddNode(Handler handler) {
+  handlers_.push_back(std::move(handler));
+  return static_cast<NodeId>(handlers_.size() - 1);
+}
+
+void Network::SetLink(NodeId a, NodeId b, const LinkOptions& opts) {
+  links_[PairKey(a, b)] = LinkState{opts, 0};
+}
+
+void Network::SetBidirectional(NodeId a, NodeId b, const LinkOptions& opts) {
+  SetLink(a, b, opts);
+  SetLink(b, a, opts);
+}
+
+Network::LinkState& Network::GetLink(NodeId a, NodeId b) {
+  auto it = links_.find(PairKey(a, b));
+  if (it != links_.end()) return it->second;
+  auto [ins, _] = links_.emplace(PairKey(a, b), LinkState{default_link_, 0});
+  return ins->second;
+}
+
+Status Network::Send(Message msg) {
+  if (msg.from >= handlers_.size() || msg.to >= handlers_.size()) {
+    return Status::InvalidArgument("unknown node in Send");
+  }
+  msg.sent_at = sim_->Now();
+  const uint64_t wire = msg.WireSize();
+  ++stats_.messages_sent;
+  stats_.bytes_sent += wire;
+
+  if (IsPartitioned(msg.from, msg.to)) {
+    ++stats_.messages_dropped;
+    return Status::Unavailable("partitioned");
+  }
+
+  LinkState& link = GetLink(msg.from, msg.to);
+  if (rng_.Bernoulli(link.opts.drop_probability)) {
+    ++stats_.messages_dropped;
+    return Status::OK();  // silent loss, like a real network
+  }
+
+  // Serialization: the link transmits messages one after another.
+  const Micros now = sim_->Now();
+  const Micros start = std::max(now, link.busy_until);
+  Micros tx = 0;
+  if (link.opts.bandwidth_bytes_per_sec > 0) {
+    tx = static_cast<Micros>(double(wire) /
+                             link.opts.bandwidth_bytes_per_sec *
+                             double(kMicrosPerSecond));
+  }
+  link.busy_until = start + tx;
+
+  Micros jitter = 0;
+  if (link.opts.jitter > 0) {
+    jitter = rng_.UniformRange(-link.opts.jitter, link.opts.jitter);
+    jitter = std::max<Micros>(jitter, -(link.opts.latency));
+  }
+  const Micros deliver_at = link.busy_until + link.opts.latency + jitter;
+
+  NodeId to = msg.to;
+  sim_->At(deliver_at, [this, to, m = std::move(msg), wire]() {
+    // Re-check partition at delivery time: packets in flight when a
+    // partition starts are lost, matching TCP-less datagram semantics.
+    if (IsPartitioned(m.from, m.to)) {
+      ++stats_.messages_dropped;
+      return;
+    }
+    ++stats_.messages_delivered;
+    stats_.bytes_delivered += wire;
+    handlers_[to](m);
+  });
+  return Status::OK();
+}
+
+void Network::Partition(NodeId a, NodeId b) {
+  partitions_.insert(PairKey(a, b));
+  partitions_.insert(PairKey(b, a));
+}
+
+void Network::Heal(NodeId a, NodeId b) {
+  partitions_.erase(PairKey(a, b));
+  partitions_.erase(PairKey(b, a));
+}
+
+bool Network::IsPartitioned(NodeId a, NodeId b) const {
+  return partitions_.count(PairKey(a, b)) > 0;
+}
+
+}  // namespace deluge::net

@@ -1,0 +1,124 @@
+#ifndef DELUGE_NET_NETWORK_H_
+#define DELUGE_NET_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "net/simulator.h"
+
+namespace deluge::net {
+
+/// Identifier of a simulated node (device, broker, executor, data center).
+using NodeId = uint32_t;
+
+/// A message in flight.  `payload` is opaque bytes; `size_bytes` may exceed
+/// payload.size() to model headers or media frames whose content we do not
+/// materialize (e.g. a "2 MB video keyframe" with a 20-byte descriptor).
+struct Message {
+  NodeId from = 0;
+  NodeId to = 0;
+  uint32_t type = 0;
+  std::string payload;
+  uint64_t size_bytes = 0;
+  Micros sent_at = 0;
+
+  /// Effective size used for bandwidth accounting.
+  uint64_t WireSize() const {
+    return size_bytes > 0 ? size_bytes : payload.size() + 64;
+  }
+};
+
+/// Per-directed-edge link characteristics.
+struct LinkOptions {
+  Micros latency = 1 * kMicrosPerMilli;  ///< one-way propagation delay
+  double bandwidth_bytes_per_sec = 125e6;  ///< 1 Gbps default
+  Micros jitter = 0;                       ///< uniform +/- jitter bound
+  double drop_probability = 0.0;           ///< i.i.d. loss
+};
+
+/// Counters exposed for experiments.
+struct NetworkStats {
+  uint64_t messages_sent = 0;
+  uint64_t messages_delivered = 0;
+  uint64_t messages_dropped = 0;
+  uint64_t bytes_sent = 0;
+  uint64_t bytes_delivered = 0;
+};
+
+/// A simulated message-passing network over a `Simulator`.
+///
+/// Models per-link propagation latency, serialization delay from finite
+/// bandwidth (a link transmits one message at a time; later sends queue
+/// behind earlier ones), optional jitter and drops, and pairwise
+/// partitions.  This is the substitute substrate for the paper's 5G /
+/// inter-data-center links (see DESIGN.md substitution table).
+class Network {
+ public:
+  using Handler =
+      std::function<void(const Message&)>;  ///< delivery callback
+
+  /// `sim` must outlive the network.
+  Network(Simulator* sim, uint64_t seed = 42);
+
+  /// Adds a node with the given delivery handler; returns its id.
+  NodeId AddNode(Handler handler);
+
+  /// Sets characteristics of the directed link a->b.  Unset links use
+  /// `default_link()`.
+  void SetLink(NodeId a, NodeId b, const LinkOptions& opts);
+
+  /// Sets characteristics of both directions between a and b.
+  void SetBidirectional(NodeId a, NodeId b, const LinkOptions& opts);
+
+  /// Default characteristics for links that were never configured.
+  LinkOptions& default_link() { return default_link_; }
+
+  /// Sends `msg` (msg.from/to must be valid nodes).  Delivery is scheduled
+  /// on the simulator; returns InvalidArgument for unknown nodes and
+  /// Unavailable when the pair is partitioned (the message is counted as
+  /// dropped).
+  Status Send(Message msg);
+
+  /// Cuts communication between `a` and `b` (both directions).
+  void Partition(NodeId a, NodeId b);
+
+  /// Restores communication between `a` and `b`.
+  void Heal(NodeId a, NodeId b);
+
+  /// True if a->b traffic is currently blocked.
+  bool IsPartitioned(NodeId a, NodeId b) const;
+
+  size_t node_count() const { return handlers_.size(); }
+  const NetworkStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = NetworkStats{}; }
+
+ private:
+  struct LinkState {
+    LinkOptions opts;
+    Micros busy_until = 0;  // serialization queue tail
+  };
+
+  static uint64_t PairKey(NodeId a, NodeId b) {
+    return (uint64_t(a) << 32) | b;
+  }
+
+  LinkState& GetLink(NodeId a, NodeId b);
+
+  Simulator* sim_;
+  Rng rng_;
+  LinkOptions default_link_;
+  std::vector<Handler> handlers_;
+  std::unordered_map<uint64_t, LinkState> links_;
+  std::unordered_set<uint64_t> partitions_;
+  NetworkStats stats_;
+};
+
+}  // namespace deluge::net
+
+#endif  // DELUGE_NET_NETWORK_H_

@@ -1,0 +1,38 @@
+#include "net/simulator.h"
+
+#include <utility>
+
+namespace deluge::net {
+
+void Simulator::At(Micros t, Callback cb) {
+  if (t < Now()) t = Now();
+  queue_.push(Event{t, next_seq_++, std::move(cb)});
+}
+
+size_t Simulator::Run() {
+  size_t n = 0;
+  while (Step()) ++n;
+  return n;
+}
+
+size_t Simulator::RunUntil(Micros deadline) {
+  size_t n = 0;
+  while (!queue_.empty() && queue_.top().t <= deadline) {
+    Step();
+    ++n;
+  }
+  clock_.AdvanceTo(deadline);
+  return n;
+}
+
+bool Simulator::Step() {
+  if (queue_.empty()) return false;
+  // The callback may schedule new events, so detach it first.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  clock_.AdvanceTo(ev.t);
+  ev.cb();
+  return true;
+}
+
+}  // namespace deluge::net

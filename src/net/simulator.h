@@ -1,0 +1,73 @@
+#ifndef DELUGE_NET_SIMULATOR_H_
+#define DELUGE_NET_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace deluge::net {
+
+/// Deterministic single-threaded discrete-event simulator.
+///
+/// Components schedule callbacks at virtual times; `Run*` pops events in
+/// (time, insertion-order) order and advances the embedded `SimClock`.
+/// Everything that needs simulated time (network links, serverless cold
+/// starts, dissemination schedulers) runs on one of these, making the whole
+/// experiment suite reproducible and independent of wall-clock speed.
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  explicit Simulator(Micros start = 0) : clock_(start) {}
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// The simulator's virtual clock (readable by all components).
+  SimClock* clock() { return &clock_; }
+  Micros Now() const { return clock_.NowMicros(); }
+
+  /// Schedules `cb` to run at absolute virtual time `t` (clamped to now).
+  void At(Micros t, Callback cb);
+
+  /// Schedules `cb` to run `delay` microseconds from now.
+  void After(Micros delay, Callback cb) { At(Now() + delay, std::move(cb)); }
+
+  /// Runs events until the queue empties. Returns events processed.
+  size_t Run();
+
+  /// Runs events with time <= `deadline`; the clock lands on `deadline`
+  /// (or later if an event at exactly `deadline` schedules follow-ups at
+  /// the same instant). Returns events processed.
+  size_t RunUntil(Micros deadline);
+
+  /// Runs at most one event; returns false when the queue is empty.
+  bool Step();
+
+  bool empty() const { return queue_.empty(); }
+  size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    Micros t;
+    uint64_t seq;  // FIFO tie-break for equal timestamps
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimClock clock_;
+  uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace deluge::net
+
+#endif  // DELUGE_NET_SIMULATOR_H_

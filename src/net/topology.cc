@@ -1,0 +1,63 @@
+#include "net/topology.h"
+
+namespace deluge::net {
+
+LinkOptions LinkPresets::IntraDc() {
+  LinkOptions o;
+  o.latency = 50;                      // 50 us
+  o.bandwidth_bytes_per_sec = 1.25e9;  // 10 Gbps
+  return o;
+}
+
+LinkOptions LinkPresets::InterDc(Micros one_way) {
+  LinkOptions o;
+  o.latency = one_way;
+  o.bandwidth_bytes_per_sec = 125e6;  // 1 Gbps
+  return o;
+}
+
+LinkOptions LinkPresets::MobileEdge() {
+  LinkOptions o;
+  o.latency = 10 * kMicrosPerMilli;
+  o.bandwidth_bytes_per_sec = 6.25e6;  // 50 Mbps
+  o.jitter = 2 * kMicrosPerMilli;
+  o.drop_probability = 0.001;
+  return o;
+}
+
+LinkOptions LinkPresets::Constrained() {
+  LinkOptions o;
+  o.latency = 40 * kMicrosPerMilli;
+  o.bandwidth_bytes_per_sec = 125e3;  // 1 Mbps
+  o.jitter = 10 * kMicrosPerMilli;
+  o.drop_probability = 0.01;
+  return o;
+}
+
+void BuildStar(Network* net, NodeId hub, const std::vector<NodeId>& leaves,
+               const LinkOptions& leaf_link) {
+  for (NodeId leaf : leaves) net->SetBidirectional(hub, leaf, leaf_link);
+}
+
+void BuildMesh(Network* net, const std::vector<NodeId>& nodes,
+               const LinkOptions& link) {
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    for (size_t j = i + 1; j < nodes.size(); ++j) {
+      net->SetBidirectional(nodes[i], nodes[j], link);
+    }
+  }
+}
+
+void BuildMultiDc(Network* net, const std::vector<std::vector<NodeId>>& dcs,
+                  const LinkOptions& intra, const LinkOptions& inter) {
+  for (size_t a = 0; a < dcs.size(); ++a) {
+    BuildMesh(net, dcs[a], intra);
+    for (size_t b = a + 1; b < dcs.size(); ++b) {
+      for (NodeId na : dcs[a]) {
+        for (NodeId nb : dcs[b]) net->SetBidirectional(na, nb, inter);
+      }
+    }
+  }
+}
+
+}  // namespace deluge::net

@@ -1,0 +1,46 @@
+#ifndef DELUGE_NET_TOPOLOGY_H_
+#define DELUGE_NET_TOPOLOGY_H_
+
+#include <vector>
+
+#include "net/network.h"
+
+namespace deluge::net {
+
+/// Helpers that wire common experiment topologies onto a `Network`.
+///
+/// All builders only *configure links* between already-added nodes; the
+/// caller owns node creation so it can attach its own handlers.
+
+/// Link presets roughly matching the environments the paper discusses.
+struct LinkPresets {
+  /// LAN / intra-data-center: 50 us, 10 Gbps.
+  static LinkOptions IntraDc();
+  /// Inter-data-center WAN with the given one-way latency (default 30 ms),
+  /// 1 Gbps.
+  static LinkOptions InterDc(Micros one_way = 30 * kMicrosPerMilli);
+  /// Mobile/5G edge uplink: 10 ms, 50 Mbps, 2 ms jitter, 0.1% loss.
+  static LinkOptions MobileEdge();
+  /// Constrained field link (military exercise, disaster zone):
+  /// 40 ms, 1 Mbps, 10 ms jitter, 1% loss.
+  static LinkOptions Constrained();
+};
+
+/// Configures a star: every `leaf` talks to `hub` with `leaf_link`;
+/// leaves have no direct links (route through the hub at the protocol
+/// level if needed).
+void BuildStar(Network* net, NodeId hub, const std::vector<NodeId>& leaves,
+               const LinkOptions& leaf_link);
+
+/// Configures a full mesh among `nodes` with `link`.
+void BuildMesh(Network* net, const std::vector<NodeId>& nodes,
+               const LinkOptions& link);
+
+/// Configures a multi-data-center layout: nodes are grouped into DCs;
+/// intra-group pairs get `intra`, inter-group pairs get `inter`.
+void BuildMultiDc(Network* net, const std::vector<std::vector<NodeId>>& dcs,
+                  const LinkOptions& intra, const LinkOptions& inter);
+
+}  // namespace deluge::net
+
+#endif  // DELUGE_NET_TOPOLOGY_H_

@@ -1,0 +1,314 @@
+#include "p2p/chord.h"
+
+#include "common/hash.h"
+#include "storage/format.h"
+
+namespace deluge::p2p {
+
+namespace {
+
+using storage::GetFixed32;
+using storage::GetFixed64;
+using storage::GetLengthPrefixed;
+using storage::PutFixed32;
+using storage::PutFixed64;
+using storage::PutLengthPrefixed;
+
+constexpr uint32_t kMsgRoute = 1;
+constexpr uint32_t kMsgAnswer = 2;
+
+constexpr uint8_t kOpGet = 0;
+constexpr uint8_t kOpPut = 1;
+
+/// x in (a, b] on the 64-bit ring.
+bool InOpenClosed(RingId a, RingId x, RingId b) {
+  if (a == b) return true;  // single-node ring owns everything
+  if (a < b) return x > a && x <= b;
+  return x > a || x <= b;  // interval wraps zero
+}
+
+/// x in (a, b) on the ring.
+bool InOpenOpen(RingId a, RingId x, RingId b) {
+  if (a == b) return x != a;
+  if (a < b) return x > a && x < b;
+  return x > a || x < b;
+}
+
+std::string EncodeRoute(uint64_t request_id, RingId target, uint32_t hops,
+                        net::NodeId reply_to, uint8_t op,
+                        const std::string& key, const std::string& value) {
+  std::string out;
+  PutFixed64(&out, request_id);
+  PutFixed64(&out, target);
+  PutFixed32(&out, hops);
+  PutFixed32(&out, reply_to);
+  out.push_back(char(op));
+  PutLengthPrefixed(&out, key);
+  PutLengthPrefixed(&out, value);
+  return out;
+}
+
+struct RouteMsg {
+  uint64_t request_id;
+  RingId target;
+  uint32_t hops;
+  net::NodeId reply_to;
+  uint8_t op;
+  std::string key;
+  std::string value;
+};
+
+bool DecodeRoute(std::string_view payload, RouteMsg* out) {
+  uint32_t reply_to = 0;
+  std::string_view key, value;
+  if (!GetFixed64(&payload, &out->request_id) ||
+      !GetFixed64(&payload, &out->target) ||
+      !GetFixed32(&payload, &out->hops) || !GetFixed32(&payload, &reply_to) ||
+      payload.empty()) {
+    return false;
+  }
+  out->op = uint8_t(payload.front());
+  payload.remove_prefix(1);
+  if (!GetLengthPrefixed(&payload, &key) ||
+      !GetLengthPrefixed(&payload, &value)) {
+    return false;
+  }
+  out->reply_to = reply_to;
+  out->key.assign(key);
+  out->value.assign(value);
+  return true;
+}
+
+std::string EncodeAnswer(uint64_t request_id, RingId owner, bool found,
+                         uint32_t hops, const std::string& value) {
+  std::string out;
+  PutFixed64(&out, request_id);
+  PutFixed64(&out, owner);
+  PutFixed32(&out, hops);
+  out.push_back(found ? 1 : 0);
+  PutLengthPrefixed(&out, value);
+  return out;
+}
+
+}  // namespace
+
+// -------------------------------------------------------------- ChordNode
+
+ChordNode::ChordNode(RingId id, net::Network* net, net::Simulator* sim)
+    : id_(id), net_(net), sim_(sim) {
+  node_id_ = net->AddNode([this](const net::Message& m) { OnMessage(m); });
+}
+
+const ChordNode::FingerEntry& ChordNode::NextHopFor(RingId target) const {
+  // Classic Chord: the farthest finger that still precedes the target.
+  for (auto it = fingers_.rbegin(); it != fingers_.rend(); ++it) {
+    if (it->node_id != node_id_ && InOpenOpen(id_, it->ring_id, target)) {
+      return *it;
+    }
+  }
+  return successor_;
+}
+
+void ChordNode::OnMessage(const net::Message& msg) {
+  if (msg.type != kMsgRoute) return;
+  RouteMsg route;
+  if (!DecodeRoute(msg.payload, &route)) return;
+  RouteOrAnswer(route.target, route.request_id, route.hops, route.reply_to,
+                route.op, route.key, route.value);
+}
+
+void ChordNode::RouteOrAnswer(RingId target, uint64_t request_id,
+                              uint32_t hops, net::NodeId reply_to,
+                              uint8_t op, const std::string& key,
+                              const std::string& value) {
+  if (InOpenClosed(predecessor_, target, id_)) {
+    // This peer owns the key.
+    bool found = false;
+    std::string answer_value;
+    if (op == kOpPut) {
+      store_[target] = value;
+      found = true;
+    } else {
+      auto it = store_.find(target);
+      if (it != store_.end()) {
+        found = true;
+        answer_value = it->second;
+      }
+    }
+    net::Message reply;
+    reply.from = node_id_;
+    reply.to = reply_to;
+    reply.type = kMsgAnswer;
+    reply.payload = EncodeAnswer(request_id, id_, found, hops, answer_value);
+    net::Network* net = net_;
+    sim_->After(processing_cost_,
+                [net, reply = std::move(reply)]() { net->Send(reply); });
+    return;
+  }
+  const FingerEntry& next = NextHopFor(target);
+  net::Message fwd;
+  fwd.from = node_id_;
+  fwd.to = next.node_id;
+  fwd.type = kMsgRoute;
+  fwd.payload =
+      EncodeRoute(request_id, target, hops + 1, reply_to, op, key, value);
+  net::Network* net = net_;
+  sim_->After(processing_cost_,
+              [net, fwd = std::move(fwd)]() { net->Send(fwd); });
+}
+
+// -------------------------------------------------------------- ChordRing
+
+ChordRing::ChordRing(net::Network* net, net::Simulator* sim)
+    : net_(net), sim_(sim) {
+  // The ring manager owns a network endpoint that receives answers on
+  // behalf of issuing clients.
+  net::NodeId self = net->AddNode([this](const net::Message& m) {
+    if (m.type != kMsgAnswer) return;
+    std::string_view payload(m.payload);
+    uint64_t request_id = 0, owner = 0;
+    uint32_t hops = 0;
+    std::string_view value;
+    if (!GetFixed64(&payload, &request_id) || !GetFixed64(&payload, &owner) ||
+        !GetFixed32(&payload, &hops) || payload.empty()) {
+      return;
+    }
+    bool found = payload.front() != 0;
+    payload.remove_prefix(1);
+    GetLengthPrefixed(&payload, &value);
+    LookupResult result;
+    result.found = found;
+    result.owner = owner;
+    result.value.assign(value);
+    result.hops = hops;
+    OnAnswer(request_id, result);
+  });
+  client_node_ = self;
+}
+
+RingId ChordRing::KeyId(const std::string& key) { return Hash64(key); }
+
+RingId ChordRing::AddPeer(const std::string& name) {
+  RingId id = Hash64(name, /*seed=*/0xC0DE);
+  while (peers_.count(id) > 0) id = Mix64(id);  // collision: re-derive
+  auto node = std::make_unique<ChordNode>(id, net_, sim_);
+
+  // Key migration: the new peer takes (predecessor, id] from its
+  // successor.
+  if (!peers_.empty()) {
+    auto succ_it = peers_.lower_bound(id);
+    if (succ_it == peers_.end()) succ_it = peers_.begin();
+    ChordNode* succ = succ_it->second.get();
+    auto& succ_store = succ->store_;
+    for (auto it = succ_store.begin(); it != succ_store.end();) {
+      // After insertion, keys <= id (in ring order from old predecessor)
+      // belong to the new node.
+      RingId old_pred = succ->predecessor_;
+      if (InOpenClosed(old_pred, it->first, id)) {
+        node->store_[it->first] = std::move(it->second);
+        it = succ_store.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  peers_.emplace(id, std::move(node));
+  RebuildRoutingTables();
+  return id;
+}
+
+Status ChordRing::RemovePeer(RingId id) {
+  auto it = peers_.find(id);
+  if (it == peers_.end()) return Status::NotFound("no such peer");
+  if (peers_.size() == 1) {
+    return Status::InvalidArgument("cannot remove the last peer");
+  }
+  // Keys migrate to the successor.
+  auto succ_it = peers_.upper_bound(id);
+  if (succ_it == peers_.end()) succ_it = peers_.begin();
+  for (auto& [k, v] : it->second->store_) {
+    succ_it->second->store_[k] = std::move(v);
+  }
+  peers_.erase(it);
+  RebuildRoutingTables();
+  return Status::OK();
+}
+
+void ChordRing::RebuildRoutingTables() {
+  if (peers_.empty()) return;
+  auto successor_of = [this](RingId x) -> ChordNode* {
+    auto it = peers_.lower_bound(x);
+    if (it == peers_.end()) it = peers_.begin();
+    return it->second.get();
+  };
+  for (auto& [id, node] : peers_) {
+    // Predecessor.
+    auto it = peers_.find(id);
+    if (it == peers_.begin()) {
+      node->predecessor_ = peers_.rbegin()->first;
+    } else {
+      node->predecessor_ = std::prev(it)->first;
+    }
+    // Successor.
+    auto next = std::next(it);
+    if (next == peers_.end()) next = peers_.begin();
+    node->successor_ = {next->first, next->second->node_id()};
+    // Fingers: successor(id + 2^k) for k = 0..63.
+    node->fingers_.clear();
+    for (int k = 0; k < 64; ++k) {
+      RingId start = id + (RingId{1} << k);  // wraps naturally
+      ChordNode* f = successor_of(start);
+      node->fingers_.push_back({f->ring_id(), f->node_id()});
+    }
+  }
+}
+
+ChordNode* ChordRing::PeerFor(RingId id) {
+  auto it = peers_.find(id);
+  return it == peers_.end() ? nullptr : it->second.get();
+}
+
+void ChordRing::Put(RingId origin, const std::string& key, std::string value,
+                    LookupCallback done) {
+  ChordNode* start = PeerFor(origin);
+  if (start == nullptr) {
+    if (done) done(LookupResult{});
+    return;
+  }
+  uint64_t request_id = next_request_++;
+  pending_[request_id] = Pending{std::move(done), sim_->Now()};
+  start->RouteOrAnswer(KeyId(key), request_id, 0, client_node_, kOpPut, key,
+                       value);
+}
+
+void ChordRing::Get(RingId origin, const std::string& key,
+                    LookupCallback done) {
+  ChordNode* start = PeerFor(origin);
+  if (start == nullptr) {
+    if (done) done(LookupResult{});
+    return;
+  }
+  uint64_t request_id = next_request_++;
+  pending_[request_id] = Pending{std::move(done), sim_->Now()};
+  start->RouteOrAnswer(KeyId(key), request_id, 0, client_node_, kOpGet, key,
+                       "");
+}
+
+void ChordRing::OnAnswer(uint64_t request_id, const LookupResult& result) {
+  auto it = pending_.find(request_id);
+  if (it == pending_.end()) return;
+  LookupResult full = result;
+  full.latency = sim_->Now() - it->second.issued_at;
+  hops_.Record(full.hops);
+  LookupCallback cb = std::move(it->second.cb);
+  pending_.erase(it);
+  if (cb) cb(full);
+}
+
+RingId ChordRing::OwnerOf(RingId target) const {
+  auto it = peers_.lower_bound(target);
+  if (it == peers_.end()) it = peers_.begin();
+  return it->first;
+}
+
+}  // namespace deluge::p2p

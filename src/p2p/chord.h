@@ -1,0 +1,133 @@
+#ifndef DELUGE_P2P_CHORD_H_
+#define DELUGE_P2P_CHORD_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/status.h"
+#include "net/network.h"
+
+namespace deluge::p2p {
+
+/// Position on the Chord identifier circle (full 64-bit ring).
+using RingId = uint64_t;
+
+/// A lookup answer.
+struct LookupResult {
+  bool found = false;
+  RingId owner = 0;          ///< ring id of the responsible peer
+  std::string value;          ///< stored value, when any
+  uint32_t hops = 0;          ///< overlay hops taken
+  Micros latency = 0;         ///< virtual time from issue to answer
+};
+
+/// One peer of the overlay: owns the key range (predecessor, self], keeps
+/// a log-sized finger table, and routes lookups greedily.
+class ChordNode {
+ public:
+  ChordNode(RingId id, net::Network* net, net::Simulator* sim);
+
+  RingId ring_id() const { return id_; }
+  net::NodeId node_id() const { return node_id_; }
+
+  /// Local storage (keys this peer is responsible for).
+  std::map<RingId, std::string>& store() { return store_; }
+
+ private:
+  friend class ChordRing;
+
+  struct FingerEntry {
+    RingId ring_id = 0;
+    net::NodeId node_id = 0;
+  };
+
+  void OnMessage(const net::Message& msg);
+  void RouteOrAnswer(RingId target, uint64_t request_id, uint32_t hops,
+                     net::NodeId reply_to, uint8_t op,
+                     const std::string& key, const std::string& value);
+  /// Closest preceding finger for `target`, falling back to successor.
+  const FingerEntry& NextHopFor(RingId target) const;
+
+  RingId id_;
+  net::Network* net_;
+  net::Simulator* sim_;
+  net::NodeId node_id_ = 0;
+  std::vector<FingerEntry> fingers_;  // fingers_[i] ~ successor(id + 2^i)
+  FingerEntry successor_;
+  RingId predecessor_ = 0;
+  std::map<RingId, std::string> store_;
+  Micros processing_cost_ = 50;
+};
+
+/// The overlay manager: builds and maintains the ring, issues lookups and
+/// stores, and rebuilds finger tables on churn.
+///
+/// Realizes the paper's "publish/subscribe system over peer-to-peer
+/// networks where each peer may be a highly parallel cluster"
+/// substrate (Section IV-E): routing state is O(log n) per peer and
+/// lookups take O(log n) overlay hops (validated in E15), so the
+/// decentralized metaverse database needs no global directory.
+///
+/// Membership changes use global knowledge to rebuild finger tables
+/// (simulation shortcut for Chord's stabilization protocol — the routing
+/// behaviour under test is identical once tables converge).
+class ChordRing {
+ public:
+  using LookupCallback = std::function<void(const LookupResult&)>;
+
+  explicit ChordRing(net::Network* net, net::Simulator* sim);
+
+  /// Adds a peer with ring position derived from `name`; keys it now
+  /// owns migrate from its successor.  Returns its ring id.
+  RingId AddPeer(const std::string& name);
+
+  /// Removes a peer; its keys migrate to its successor.
+  Status RemovePeer(RingId id);
+
+  /// Stores (key, value) at the responsible peer, routed through the
+  /// overlay from `origin` (any peer).
+  void Put(RingId origin, const std::string& key, std::string value,
+           LookupCallback done);
+
+  /// Looks `key` up from `origin`; the callback reports the owner, the
+  /// value (if stored), hop count, and virtual latency.
+  void Get(RingId origin, const std::string& key, LookupCallback done);
+
+  /// Ring id a key hashes to.
+  static RingId KeyId(const std::string& key);
+
+  size_t size() const { return peers_.size(); }
+  const Histogram& hop_histogram() const { return hops_; }
+
+  /// The peer responsible for `target` per the current membership
+  /// (ground truth for tests).
+  RingId OwnerOf(RingId target) const;
+
+ private:
+  friend class ChordNode;
+
+  void RebuildRoutingTables();
+  ChordNode* PeerFor(RingId id);
+  void OnAnswer(uint64_t request_id, const LookupResult& result);
+
+  net::Network* net_;
+  net::Simulator* sim_;
+  net::NodeId client_node_ = 0;  ///< receives lookup answers
+  std::map<RingId, std::unique_ptr<ChordNode>> peers_;  // sorted by ring id
+  uint64_t next_request_ = 1;
+  struct Pending {
+    LookupCallback cb;
+    Micros issued_at;
+  };
+  std::unordered_map<uint64_t, Pending> pending_;
+  Histogram hops_;
+};
+
+}  // namespace deluge::p2p
+
+#endif  // DELUGE_P2P_CHORD_H_

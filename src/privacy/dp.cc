@@ -1,0 +1,78 @@
+#include "privacy/dp.h"
+
+#include <cmath>
+
+namespace deluge::privacy {
+
+PrivacyBudget::PrivacyBudget(double total_epsilon)
+    : total_(total_epsilon > 0 ? total_epsilon : 0.0) {}
+
+Status PrivacyBudget::Charge(double epsilon) {
+  if (epsilon <= 0) return Status::InvalidArgument("epsilon must be > 0");
+  if (spent_ + epsilon > total_ + 1e-12) {
+    return Status::ResourceExhausted("privacy budget exhausted");
+  }
+  spent_ += epsilon;
+  return Status::OK();
+}
+
+LaplaceMechanism::LaplaceMechanism(double sensitivity, uint64_t seed)
+    : sensitivity_(sensitivity > 0 ? sensitivity : 1.0), rng_(seed) {}
+
+double LaplaceMechanism::SampleNoise(double epsilon) {
+  double b = sensitivity_ / epsilon;
+  // Inverse-CDF sampling: u in (-0.5, 0.5).
+  double u = rng_.NextDouble() - 0.5;
+  double sign = u < 0 ? -1.0 : 1.0;
+  return -b * sign * std::log(1.0 - 2.0 * std::fabs(u));
+}
+
+Result<double> LaplaceMechanism::Release(double true_value, double epsilon,
+                                         PrivacyBudget* budget) {
+  if (budget != nullptr) {
+    Status s = budget->Charge(epsilon);
+    if (!s.ok()) return s;
+  }
+  return true_value + SampleNoise(epsilon);
+}
+
+RandomizedResponse::RandomizedResponse(double epsilon, uint64_t seed)
+    : rng_(seed) {
+  double e = std::exp(epsilon);
+  p_ = e / (e + 1.0);
+}
+
+bool RandomizedResponse::Respond(bool truth) {
+  return rng_.Bernoulli(p_) ? truth : !truth;
+}
+
+double RandomizedResponse::EstimateTrueFraction(
+    double observed_yes_fraction) const {
+  // observed = p*f + (1-p)*(1-f)  =>  f = (observed - (1-p)) / (2p - 1)
+  double denom = 2.0 * p_ - 1.0;
+  if (std::fabs(denom) < 1e-12) return 0.5;  // epsilon ~ 0: no signal
+  return (observed_yes_fraction - (1.0 - p_)) / denom;
+}
+
+DpHistogram::DpHistogram(size_t buckets, uint64_t seed)
+    : counts_(buckets, 0), rng_(seed) {}
+
+void DpHistogram::Add(size_t bucket) {
+  if (bucket < counts_.size()) ++counts_[bucket];
+}
+
+Result<std::vector<double>> DpHistogram::Release(double epsilon,
+                                                 PrivacyBudget* budget) {
+  if (budget != nullptr) {
+    Status s = budget->Charge(epsilon);
+    if (!s.ok()) return s;
+  }
+  LaplaceMechanism noise(/*sensitivity=*/1.0, rng_.Next());
+  std::vector<double> out(counts_.size());
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    out[i] = double(counts_[i]) + noise.SampleNoise(epsilon);
+  }
+  return out;
+}
+
+}  // namespace deluge::privacy

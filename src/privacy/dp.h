@@ -1,0 +1,100 @@
+#ifndef DELUGE_PRIVACY_DP_H_
+#define DELUGE_PRIVACY_DP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace deluge::privacy {
+
+/// Tracks cumulative privacy loss under basic (sequential) composition.
+///
+/// Every mechanism invocation must pass through `Charge`; once the
+/// budget is exhausted further queries are refused — the hard guarantee
+/// a privacy layer owes its users (Section IV-D).
+class PrivacyBudget {
+ public:
+  explicit PrivacyBudget(double total_epsilon);
+
+  /// Reserves `epsilon` from the budget; ResourceExhausted when the
+  /// remaining budget is insufficient.
+  Status Charge(double epsilon);
+
+  double total() const { return total_; }
+  double spent() const { return spent_; }
+  double remaining() const { return total_ - spent_; }
+
+ private:
+  double total_;
+  double spent_ = 0.0;
+};
+
+/// Epsilon-DP Laplace mechanism for numeric queries.
+///
+/// Adds Laplace(sensitivity / epsilon) noise.  Deterministic given the
+/// seed, as all Deluge randomness is.
+class LaplaceMechanism {
+ public:
+  LaplaceMechanism(double sensitivity, uint64_t seed = 42);
+
+  /// Releases `true_value` with `epsilon`-DP, charging `budget`.
+  Result<double> Release(double true_value, double epsilon,
+                         PrivacyBudget* budget);
+
+  /// Raw noise sample for the given epsilon (testing / analysis).
+  double SampleNoise(double epsilon);
+
+ private:
+  double sensitivity_;
+  Rng rng_;
+};
+
+/// Randomized response for boolean attributes ("are you in region X?").
+///
+/// Answers truthfully with probability e^eps/(e^eps+1).  The estimator
+/// `EstimateTrueFraction` debiases aggregate counts.
+class RandomizedResponse {
+ public:
+  explicit RandomizedResponse(double epsilon, uint64_t seed = 42);
+
+  /// Perturbs one true answer.
+  bool Respond(bool truth);
+
+  /// Probability of answering truthfully.
+  double truth_probability() const { return p_; }
+
+  /// Debiased estimate of the true "yes" fraction given the observed
+  /// fraction of yes responses.
+  double EstimateTrueFraction(double observed_yes_fraction) const;
+
+ private:
+  double p_;
+  Rng rng_;
+};
+
+/// A DP histogram release: adds Laplace noise to every bucket count
+/// (parallel composition: one epsilon covers the whole histogram since
+/// buckets partition the population).
+class DpHistogram {
+ public:
+  DpHistogram(size_t buckets, uint64_t seed = 42);
+
+  /// Adds one individual to `bucket`.
+  void Add(size_t bucket);
+
+  /// Noisy counts under `epsilon`-DP, charging `budget` once.
+  Result<std::vector<double>> Release(double epsilon, PrivacyBudget* budget);
+
+  const std::vector<uint64_t>& raw_counts() const { return counts_; }
+
+ private:
+  std::vector<uint64_t> counts_;
+  Rng rng_;
+};
+
+}  // namespace deluge::privacy
+
+#endif  // DELUGE_PRIVACY_DP_H_

@@ -1,0 +1,125 @@
+#include "privacy/federated.h"
+
+#include <cmath>
+
+namespace deluge::privacy {
+
+double LinearModel::Predict(const std::vector<double>& x) const {
+  double y = 0.0;
+  size_t n = std::min(weights.size(), x.size());
+  for (size_t i = 0; i < n; ++i) y += weights[i] * x[i];
+  return y;
+}
+
+Federation Federation::Synthesize(const FederationConfig& config) {
+  Federation fed;
+  Rng rng(config.seed);
+  fed.true_weights.resize(config.dim);
+  for (auto& w : fed.true_weights) w = rng.UniformDouble(-1.0, 1.0);
+
+  fed.clients.resize(config.num_clients);
+  for (size_t c = 0; c < config.num_clients; ++c) {
+    ClientData& data = fed.clients[c];
+    // Non-IID: each client's features centre on a client-specific mean
+    // and its labels carry client-specific noise.
+    std::vector<double> feature_mean(config.dim);
+    for (auto& m : feature_mean) {
+      m = rng.Gaussian(0.0, config.noniid_skew);
+    }
+    double noise = config.label_noise * (1.0 + config.noniid_skew *
+                                                   rng.NextDouble());
+    for (size_t r = 0; r < config.rows_per_client; ++r) {
+      std::vector<double> x(config.dim);
+      for (size_t d = 0; d < config.dim; ++d) {
+        x[d] = feature_mean[d] + rng.Gaussian(0.0, 1.0);
+      }
+      double y = 0.0;
+      for (size_t d = 0; d < config.dim; ++d) y += fed.true_weights[d] * x[d];
+      y += rng.Gaussian(0.0, noise);
+      data.xs.push_back(std::move(x));
+      data.ys.push_back(y);
+    }
+  }
+  return fed;
+}
+
+FederatedAveraging::FederatedAveraging(const Federation* federation,
+                                       Options options)
+    : federation_(federation),
+      options_(options),
+      global_(federation->true_weights.size()),
+      rng_(options.seed) {}
+
+LinearModel FederatedAveraging::TrainLocal(const LinearModel& start,
+                                           const ClientData& data,
+                                           size_t epochs, double lr) const {
+  LinearModel model = start;
+  for (size_t e = 0; e < epochs; ++e) {
+    for (size_t r = 0; r < data.size(); ++r) {
+      double err = model.Predict(data.xs[r]) - data.ys[r];
+      for (size_t d = 0; d < model.weights.size(); ++d) {
+        model.weights[d] -= lr * err * data.xs[r][d];
+      }
+    }
+  }
+  return model;
+}
+
+double FederatedAveraging::Round(const std::vector<double>& client_weights) {
+  const auto& clients = federation_->clients;
+  std::vector<double> agg(global_.weights.size(), 0.0);
+  double total_weight = 0.0;
+  for (size_t c = 0; c < clients.size(); ++c) {
+    LinearModel local = TrainLocal(global_, clients[c],
+                                   options_.local_epochs,
+                                   options_.learning_rate);
+    double w = client_weights.empty()
+                   ? double(clients[c].size())
+                   : (c < client_weights.size() ? client_weights[c] : 0.0);
+    if (w <= 0.0) continue;
+    for (size_t d = 0; d < agg.size(); ++d) {
+      double update = local.weights[d];
+      if (options_.update_noise_stddev > 0.0) {
+        update += rng_.Gaussian(0.0, options_.update_noise_stddev);
+      }
+      agg[d] += w * update;
+    }
+    total_weight += w;
+  }
+  if (total_weight > 0.0) {
+    for (size_t d = 0; d < agg.size(); ++d) {
+      global_.weights[d] = agg[d] / total_weight;
+    }
+  }
+  ++rounds_;
+  return GlobalLoss();
+}
+
+double FederatedAveraging::LossOn(const ClientData& data) const {
+  if (data.size() == 0) return 0.0;
+  double sum = 0.0;
+  for (size_t r = 0; r < data.size(); ++r) {
+    double err = global_.Predict(data.xs[r]) - data.ys[r];
+    sum += err * err;
+  }
+  return sum / double(data.size());
+}
+
+double FederatedAveraging::GlobalLoss() const {
+  double sum = 0.0;
+  for (const auto& client : federation_->clients) sum += LossOn(client);
+  return federation_->clients.empty()
+             ? 0.0
+             : sum / double(federation_->clients.size());
+}
+
+double FederatedAveraging::DistanceToTruth() const {
+  double sum = 0.0;
+  for (size_t d = 0; d < global_.weights.size(); ++d) {
+    double diff = global_.weights[d] - federation_->true_weights[d];
+    sum += diff * diff;
+  }
+  return std::sqrt(sum);
+}
+
+}  // namespace deluge::privacy

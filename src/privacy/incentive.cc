@@ -1,0 +1,70 @@
+#include "privacy/incentive.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace deluge::privacy {
+
+IncentiveScorer::IncentiveScorer(size_t num_clients, UtilityFn utility)
+    : num_clients_(num_clients), utility_(std::move(utility)) {}
+
+std::vector<double> IncentiveScorer::ShapleyApprox(size_t samples,
+                                                   uint64_t seed) const {
+  std::vector<double> shapley(num_clients_, 0.0);
+  if (num_clients_ == 0 || samples == 0) return shapley;
+  Rng rng(seed);
+  std::vector<size_t> perm(num_clients_);
+  std::iota(perm.begin(), perm.end(), 0);
+
+  for (size_t s = 0; s < samples; ++s) {
+    rng.Shuffle(perm);
+    std::vector<size_t> coalition;
+    coalition.reserve(num_clients_);
+    double prev_utility = utility_({});
+    for (size_t i = 0; i < num_clients_; ++i) {
+      coalition.push_back(perm[i]);
+      double u = utility_(coalition);
+      shapley[perm[i]] += u - prev_utility;
+      prev_utility = u;
+    }
+  }
+  for (auto& v : shapley) v /= double(samples);
+  return shapley;
+}
+
+std::vector<double> IncentiveScorer::LeaveOneOut() const {
+  std::vector<double> scores(num_clients_, 0.0);
+  std::vector<size_t> all(num_clients_);
+  std::iota(all.begin(), all.end(), 0);
+  double full = utility_(all);
+  for (size_t i = 0; i < num_clients_; ++i) {
+    std::vector<size_t> without;
+    without.reserve(num_clients_ - 1);
+    for (size_t j = 0; j < num_clients_; ++j) {
+      if (j != i) without.push_back(j);
+    }
+    scores[i] = full - utility_(without);
+  }
+  return scores;
+}
+
+std::vector<size_t> IncentiveScorer::FlagFreeRiders(
+    const std::vector<double>& scores, double fraction) {
+  double positive_sum = 0.0;
+  size_t positive_count = 0;
+  for (double s : scores) {
+    if (s > 0) {
+      positive_sum += s;
+      ++positive_count;
+    }
+  }
+  std::vector<size_t> flagged;
+  if (positive_count == 0) return flagged;
+  double threshold = fraction * positive_sum / double(positive_count);
+  for (size_t i = 0; i < scores.size(); ++i) {
+    if (scores[i] < threshold) flagged.push_back(i);
+  }
+  return flagged;
+}
+
+}  // namespace deluge::privacy

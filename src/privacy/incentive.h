@@ -1,0 +1,47 @@
+#ifndef DELUGE_PRIVACY_INCENTIVE_H_
+#define DELUGE_PRIVACY_INCENTIVE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace deluge::privacy {
+
+/// Contribution-fair incentive scoring for data collaborations
+/// (Section IV-B: "effective and computationally efficient incentive
+/// models have to be designed ... to discourage free-riders").
+///
+/// `utility(S)` evaluates the value of a coalition of clients (e.g.
+/// negative federated loss after training on exactly those clients).
+/// `ShapleyApprox` estimates each client's Shapley value by sampling
+/// random permutations and averaging marginal contributions — the
+/// standard Monte-Carlo estimator, O(samples * n) utility calls.
+class IncentiveScorer {
+ public:
+  using UtilityFn = std::function<double(const std::vector<size_t>&)>;
+
+  /// `num_clients` participants scored against `utility`.
+  IncentiveScorer(size_t num_clients, UtilityFn utility);
+
+  /// Monte-Carlo Shapley values; more samples = tighter estimates.
+  std::vector<double> ShapleyApprox(size_t samples, uint64_t seed = 42) const;
+
+  /// Cheap alternative: each client's leave-one-out marginal utility
+  /// v(N) - v(N \ {i}); n+1 utility calls total.
+  std::vector<double> LeaveOneOut() const;
+
+  /// Flags clients whose score is below `fraction` of the mean positive
+  /// score — candidate free riders.
+  static std::vector<size_t> FlagFreeRiders(const std::vector<double>& scores,
+                                            double fraction = 0.25);
+
+ private:
+  size_t num_clients_;
+  UtilityFn utility_;
+};
+
+}  // namespace deluge::privacy
+
+#endif  // DELUGE_PRIVACY_INCENTIVE_H_

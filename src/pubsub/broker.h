@@ -1,0 +1,100 @@
+#ifndef DELUGE_PUBSUB_BROKER_H_
+#define DELUGE_PUBSUB_BROKER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "pubsub/subscription.h"
+
+namespace deluge::pubsub {
+
+/// Matching/dissemination counters.
+struct BrokerStats {
+  uint64_t events_published = 0;
+  uint64_t deliveries = 0;
+  uint64_t candidates_checked = 0;  ///< subscriptions evaluated exactly
+};
+
+/// A content + spatial pub/sub matcher.
+///
+/// Two-level subscription index:
+///  - topic hash map narrows to the topic's subscriber set;
+///  - regional subscriptions are additionally coarse-indexed by the grid
+///    cells their region covers, so positional events only test
+///    subscriptions whose region touches the event's cell.
+/// This is the structure the paper points at for cross-space
+/// dissemination at scale (Section IV-E, [41]).  Delivery is via a
+/// pluggable callback so the broker runs equally in-process (tests) or
+/// bound to `net::Network` sends (experiments).
+class Broker {
+ public:
+  using Deliver =
+      std::function<void(net::NodeId subscriber, const Event& event)>;
+
+  /// `world`/`cell` configure the regional coarse index.
+  Broker(const geo::AABB& world, double cell_size, Deliver deliver);
+
+  /// Registers a subscription; returns its id.
+  uint64_t Subscribe(Subscription sub);
+
+  /// Removes a subscription; false when unknown.
+  bool Unsubscribe(uint64_t sub_id);
+
+  /// Matches and delivers `event` to every matching subscription.
+  /// Returns the number of deliveries.
+  size_t Publish(const Event& event);
+
+  size_t subscription_count() const { return subs_.size(); }
+  const BrokerStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = BrokerStats{}; }
+
+ private:
+  using CellKey = uint64_t;
+
+  std::vector<CellKey> CellsCovering(const geo::AABB& box) const;
+  CellKey CellFor(const geo::Vec3& p) const;
+
+  geo::AABB world_;
+  double cell_size_;
+  Deliver deliver_;
+  uint64_t next_id_ = 1;
+  std::unordered_map<uint64_t, Subscription> subs_;
+  // Topic -> non-regional subscription ids ("" holds wildcard subs).
+  std::unordered_map<std::string, std::unordered_set<uint64_t>> by_topic_;
+  // Grid cell -> regional subscription ids touching that cell.
+  std::unordered_map<CellKey, std::unordered_set<uint64_t>> by_cell_;
+  BrokerStats stats_;
+};
+
+/// A topic-sharded broker overlay (Section IV-E: "publish/subscribe
+/// system over peer-to-peer networks").
+///
+/// Each broker owns the topics that hash to it; `HomeOf` routes both
+/// subscriptions and publications, so any node can publish anywhere and
+/// matching happens exactly once.
+class BrokerOverlay {
+ public:
+  /// Creates `n` brokers sharing world/cell configuration.
+  BrokerOverlay(size_t n, const geo::AABB& world, double cell_size,
+                Broker::Deliver deliver);
+
+  /// The broker index responsible for `topic`.
+  size_t HomeOf(const std::string& topic) const;
+
+  uint64_t Subscribe(Subscription sub);
+  size_t Publish(const Event& event);
+
+  Broker& broker(size_t i) { return *brokers_[i]; }
+  size_t size() const { return brokers_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Broker>> brokers_;
+};
+
+}  // namespace deluge::pubsub
+
+#endif  // DELUGE_PUBSUB_BROKER_H_

@@ -1,0 +1,62 @@
+#include "pubsub/subscription.h"
+
+namespace deluge::pubsub {
+
+bool Predicate::Matches(const stream::Tuple& t) const {
+  // String equality path.
+  if (const std::string* want = std::get_if<std::string>(&value)) {
+    auto got = t.Get<std::string>(field);
+    if (!got) return false;
+    switch (op) {
+      case CmpOp::kEq:
+        return *got == *want;
+      case CmpOp::kNe:
+        return *got != *want;
+      default:
+        return false;  // ordered comparison of strings unsupported
+    }
+  }
+  // Numeric path (int64, double, bool all promote).
+  double want = 0.0;
+  if (const double* d = std::get_if<double>(&value)) {
+    want = *d;
+  } else if (const int64_t* i = std::get_if<int64_t>(&value)) {
+    want = double(*i);
+  } else if (const bool* b = std::get_if<bool>(&value)) {
+    want = *b ? 1.0 : 0.0;
+  }
+  auto got = t.GetNumeric(field);
+  if (!got) {
+    if (auto b = t.Get<bool>(field)) got = *b ? 1.0 : 0.0;
+  }
+  if (!got) return false;
+  switch (op) {
+    case CmpOp::kEq:
+      return *got == want;
+    case CmpOp::kNe:
+      return *got != want;
+    case CmpOp::kLt:
+      return *got < want;
+    case CmpOp::kLe:
+      return *got <= want;
+    case CmpOp::kGt:
+      return *got > want;
+    case CmpOp::kGe:
+      return *got >= want;
+  }
+  return false;
+}
+
+bool Subscription::Matches(const Event& event) const {
+  if (!topic.empty() && topic != event.topic) return false;
+  if (region.has_value()) {
+    if (!event.position.has_value()) return false;
+    if (!region->Contains(*event.position)) return false;
+  }
+  for (const auto& pred : predicates) {
+    if (!pred.Matches(event.payload)) return false;
+  }
+  return true;
+}
+
+}  // namespace deluge::pubsub

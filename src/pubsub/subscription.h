@@ -1,0 +1,56 @@
+#ifndef DELUGE_PUBSUB_SUBSCRIPTION_H_
+#define DELUGE_PUBSUB_SUBSCRIPTION_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "geo/geometry.h"
+#include "net/network.h"
+#include "stream/tuple.h"
+
+namespace deluge::pubsub {
+
+/// Comparison operators for content predicates.
+enum class CmpOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// One field constraint: `field <op> value`.  Numeric comparisons use
+/// `GetNumeric`; string comparisons only support kEq / kNe.
+struct Predicate {
+  std::string field;
+  CmpOp op = CmpOp::kEq;
+  stream::Value value;
+
+  /// True when tuple `t` satisfies this predicate.
+  bool Matches(const stream::Tuple& t) const;
+};
+
+/// A published event: topic + payload tuple + optional position (for
+/// location-aware subscriptions, as in geo-textual pub/sub [41][21]).
+struct Event {
+  std::string topic;
+  stream::Tuple payload;
+  std::optional<geo::Vec3> position;
+  uint64_t bytes = 256;
+};
+
+/// A standing interest registration.
+///
+/// An event matches when (a) the topic matches (empty = wildcard),
+/// (b) the event position lies inside `region` when a region is set
+/// (events without positions never match regional subscriptions), and
+/// (c) every content predicate holds.
+struct Subscription {
+  uint64_t id = 0;
+  net::NodeId subscriber = 0;
+  std::string topic;
+  std::optional<geo::AABB> region;
+  std::vector<Predicate> predicates;
+
+  bool Matches(const Event& event) const;
+};
+
+}  // namespace deluge::pubsub
+
+#endif  // DELUGE_PUBSUB_SUBSCRIPTION_H_

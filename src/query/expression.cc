@@ -1,0 +1,42 @@
+#include "query/expression.h"
+
+#include <algorithm>
+
+namespace deluge::query {
+
+PredicateExpr::PredicateExpr(std::string name, Fn fn, double cost,
+                             double selectivity)
+    : name_(std::move(name)),
+      fn_(std::move(fn)),
+      cost_(cost > 0 ? cost : 1e-9),
+      selectivity_(std::clamp(selectivity, 0.0, 1.0)) {}
+
+Conjunction::Conjunction(std::vector<PredicateExpr> predicates)
+    : preds_(std::move(predicates)) {}
+
+void Conjunction::OptimizeOrder() {
+  std::stable_sort(preds_.begin(), preds_.end(),
+                   [](const PredicateExpr& a, const PredicateExpr& b) {
+                     return a.Rank() < b.Rank();
+                   });
+}
+
+bool Conjunction::Evaluate(const stream::Tuple& t) {
+  for (const auto& p : preds_) {
+    cost_spent_ += p.cost();
+    if (!p.Evaluate(t)) return false;
+  }
+  return true;
+}
+
+double Conjunction::ExpectedCost() const {
+  double expected = 0.0;
+  double reach = 1.0;  // probability of reaching this predicate
+  for (const auto& p : preds_) {
+    expected += reach * p.cost();
+    reach *= p.selectivity();
+  }
+  return expected;
+}
+
+}  // namespace deluge::query

@@ -1,0 +1,69 @@
+#ifndef DELUGE_QUERY_EXPRESSION_H_
+#define DELUGE_QUERY_EXPRESSION_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "stream/tuple.h"
+
+namespace deluge::query {
+
+/// A boolean predicate over tuples, annotated with the two quantities a
+/// cost-based optimizer needs: evaluation cost (abstract units; UDFs and
+/// model inferences are expensive, field comparisons cheap) and
+/// selectivity (expected pass fraction).  Section IV-G points to
+/// optimizing "queries with expensive predicates" [39] as the starting
+/// point for metaverse operators like sensor interpolation or
+/// image-model UDFs.
+class PredicateExpr {
+ public:
+  using Fn = std::function<bool(const stream::Tuple&)>;
+
+  PredicateExpr(std::string name, Fn fn, double cost, double selectivity);
+
+  bool Evaluate(const stream::Tuple& t) const { return fn_(t); }
+
+  const std::string& name() const { return name_; }
+  double cost() const { return cost_; }
+  double selectivity() const { return selectivity_; }
+
+  /// Hellerstein's rank: (selectivity - 1) / cost.  Ascending rank order
+  /// minimizes expected conjunction cost.
+  double Rank() const { return (selectivity_ - 1.0) / cost_; }
+
+ private:
+  std::string name_;
+  Fn fn_;
+  double cost_;
+  double selectivity_;
+};
+
+/// A conjunction of predicates evaluated with short-circuiting, tracking
+/// actual evaluation cost so experiments can compare orderings.
+class Conjunction {
+ public:
+  explicit Conjunction(std::vector<PredicateExpr> predicates);
+
+  /// Reorders predicates to the cost-optimal sequence (ascending rank).
+  void OptimizeOrder();
+
+  /// Evaluates with short-circuiting; accumulates cost spent.
+  bool Evaluate(const stream::Tuple& t);
+
+  /// Expected per-tuple cost of the current order given the annotated
+  /// costs/selectivities: c1 + s1*c2 + s1*s2*c3 + ...
+  double ExpectedCost() const;
+
+  double total_cost_spent() const { return cost_spent_; }
+  const std::vector<PredicateExpr>& predicates() const { return preds_; }
+
+ private:
+  std::vector<PredicateExpr> preds_;
+  double cost_spent_ = 0.0;
+};
+
+}  // namespace deluge::query
+
+#endif  // DELUGE_QUERY_EXPRESSION_H_

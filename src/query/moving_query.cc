@@ -1,0 +1,89 @@
+#include "query/moving_query.h"
+
+#include <algorithm>
+
+namespace deluge::query {
+
+ContinuousRangeQuery::ContinuousRangeQuery(
+    const index::MovingObjectIndex* index, double radius,
+    MovingQueryStrategy strategy, double slack)
+    : index_(index),
+      radius_(radius),
+      strategy_(strategy),
+      slack_(std::max(slack, 0.0)) {}
+
+void ContinuousRangeQuery::UpdateFocus(const geo::MotionState& focus) {
+  focus_ = focus;
+  have_focus_ = true;
+}
+
+bool ContinuousRangeQuery::CacheValid(const geo::Vec3& focus_pos,
+                                      Micros t) const {
+  if (!cache_valid_) return false;
+  // The cached superset covered radius_ + slack_ around cache_center_ at
+  // cache_time_.  It remains a superset of the true result while the
+  // focal drift plus the worst-case object drift stay within the slack.
+  double focus_drift = geo::Distance(focus_pos, cache_center_);
+  double dt_s = t > cache_time_
+                    ? double(t - cache_time_) / double(kMicrosPerSecond)
+                    : 0.0;
+  double object_drift = dt_s * index_->max_speed();
+  return focus_drift + object_drift <= slack_;
+}
+
+void ContinuousRangeQuery::Refresh(const geo::Vec3& focus_pos, Micros t) {
+  ++index_queries_;
+  auto hits =
+      index_->RangeAt(geo::AABB::Cube(focus_pos, radius_ + slack_), t);
+  cached_ids_.clear();
+  cached_ids_.reserve(hits.size());
+  for (const auto& h : hits) cached_ids_.push_back(h.id);
+  cache_center_ = focus_pos;
+  cache_time_ = t;
+  cache_valid_ = true;
+}
+
+std::vector<index::MovingHit> ContinuousRangeQuery::Evaluate(Micros t) {
+  ++evaluations_;
+  geo::Vec3 focus_pos = have_focus_ ? focus_.PositionAt(t) : geo::Vec3{};
+
+  if (strategy_ == MovingQueryStrategy::kReevaluate) {
+    ++index_queries_;
+    auto hits = index_->RangeAt(geo::AABB::Cube(focus_pos, radius_), t);
+    // Cube -> sphere filter for a true radius query.
+    std::vector<index::MovingHit> out;
+    for (const auto& h : hits) {
+      if (geo::Distance(focus_pos, h.predicted_position) <= radius_) {
+        out.push_back(h);
+      }
+    }
+    return out;
+  }
+
+  // Incremental: refresh the superset only when the safe region expired.
+  if (!CacheValid(focus_pos, t)) Refresh(focus_pos, t);
+  std::vector<index::MovingHit> out;
+  for (index::EntityId id : cached_ids_) {
+    const geo::MotionState* state = index_->GetState(id);
+    if (state == nullptr) continue;  // object removed since caching
+    geo::Vec3 predicted = state->PositionAt(t);
+    if (geo::Distance(focus_pos, predicted) <= radius_) {
+      out.push_back({id, predicted});
+    }
+  }
+  return out;
+}
+
+ContinuousKnnQuery::ContinuousKnnQuery(const index::MovingObjectIndex* index,
+                                       size_t k)
+    : index_(index), k_(k) {}
+
+void ContinuousKnnQuery::UpdateFocus(const geo::MotionState& focus) {
+  focus_ = focus;
+}
+
+std::vector<index::MovingHit> ContinuousKnnQuery::Evaluate(Micros t) {
+  return index_->NearestAt(focus_.PositionAt(t), k_, t);
+}
+
+}  // namespace deluge::query

@@ -1,0 +1,81 @@
+#ifndef DELUGE_QUERY_MOVING_QUERY_H_
+#define DELUGE_QUERY_MOVING_QUERY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "index/moving_index.h"
+
+namespace deluge::query {
+
+/// Evaluation strategies for continuous queries whose *issuer* also
+/// moves (Section IV-G: "we are also dealing with moving queries ...
+/// over moving objects").
+enum class MovingQueryStrategy {
+  kReevaluate,   ///< hit the index on every tick
+  kIncremental,  ///< maintain a safe superset; re-query only on expiry
+};
+
+/// A continuous range query attached to a moving focal point: "all
+/// objects within `radius` of me, continuously".  The incremental
+/// strategy fetches a superset with margin `slack` and serves ticks from
+/// it until the combined drift of the focal point and the objects could
+/// invalidate it — trading a larger fetch for far fewer index visits.
+class ContinuousRangeQuery {
+ public:
+  /// `index` must outlive the query.  `slack` is the safe-region margin
+  /// in metres used by the incremental strategy.
+  ContinuousRangeQuery(const index::MovingObjectIndex* index, double radius,
+                       MovingQueryStrategy strategy, double slack = 50.0);
+
+  /// Updates the focal point's motion state (the querier moved).
+  void UpdateFocus(const geo::MotionState& focus);
+
+  /// Current result set at time `t`: ids within `radius` of the focal
+  /// point's predicted position.
+  std::vector<index::MovingHit> Evaluate(Micros t);
+
+  uint64_t index_queries() const { return index_queries_; }
+  uint64_t evaluations() const { return evaluations_; }
+
+ private:
+  bool CacheValid(const geo::Vec3& focus_pos, Micros t) const;
+  void Refresh(const geo::Vec3& focus_pos, Micros t);
+
+  const index::MovingObjectIndex* index_;
+  double radius_;
+  MovingQueryStrategy strategy_;
+  double slack_;
+
+  geo::MotionState focus_;
+  bool have_focus_ = false;
+
+  // Incremental cache.
+  std::vector<index::EntityId> cached_ids_;
+  geo::Vec3 cache_center_;
+  Micros cache_time_ = 0;
+  bool cache_valid_ = false;
+
+  uint64_t index_queries_ = 0;
+  uint64_t evaluations_ = 0;
+};
+
+/// A continuous k-nearest query on a moving focal point; always served
+/// through the index (provided for the moving-social-network example:
+/// "detect a friend at the same location").
+class ContinuousKnnQuery {
+ public:
+  ContinuousKnnQuery(const index::MovingObjectIndex* index, size_t k);
+
+  void UpdateFocus(const geo::MotionState& focus);
+  std::vector<index::MovingHit> Evaluate(Micros t);
+
+ private:
+  const index::MovingObjectIndex* index_;
+  size_t k_;
+  geo::MotionState focus_;
+};
+
+}  // namespace deluge::query
+
+#endif  // DELUGE_QUERY_MOVING_QUERY_H_

@@ -1,0 +1,73 @@
+#include "query/optimizer.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace deluge::query {
+
+DevicePlanOptimizer::DevicePlanOptimizer(DeviceCloudModel model)
+    : model_(model) {}
+
+PlacedPlan DevicePlanOptimizer::EvaluateSplit(
+    const std::vector<PlanStage>& stages, size_t split) const {
+  PlacedPlan plan;
+  plan.placements.resize(stages.size());
+  double device_ms = 0.0, cloud_ms = 0.0;
+  for (size_t i = 0; i < stages.size(); ++i) {
+    bool on_device = i < split;
+    plan.placements[i] = on_device ? Placement::kDevice : Placement::kCloud;
+    if (on_device) {
+      if (stages[i].cloud_only) plan.feasible = false;
+      plan.device_work += stages[i].work;
+      device_ms += stages[i].work / model_.device_speed;
+    } else {
+      if (stages[i].device_only) plan.feasible = false;
+      cloud_ms += stages[i].work / model_.cloud_speed;
+    }
+  }
+  if (plan.device_work > model_.device_work_budget) plan.feasible = false;
+
+  // Bytes crossing the uplink: output of the last device stage, or the
+  // raw source when nothing runs on-device.
+  plan.bytes_uplinked =
+      split == 0 ? model_.source_bytes : stages[split - 1].output_bytes;
+  // When everything runs on-device only the (small) final result goes up;
+  // model that as the last stage's output as well.
+  if (split == stages.size() && !stages.empty()) {
+    plan.bytes_uplinked = stages.back().output_bytes;
+  }
+  double uplink_ms = double(plan.bytes_uplinked) / model_.uplink_bytes_per_ms;
+  plan.latency_ms = device_ms + uplink_ms + cloud_ms;
+  return plan;
+}
+
+PlacedPlan DevicePlanOptimizer::Optimize(
+    const std::vector<PlanStage>& stages) const {
+  PlacedPlan best;
+  best.feasible = false;
+  best.latency_ms = std::numeric_limits<double>::infinity();
+  for (size_t split = 0; split <= stages.size(); ++split) {
+    PlacedPlan candidate = EvaluateSplit(stages, split);
+    if (!candidate.feasible) continue;
+    if (candidate.latency_ms < best.latency_ms) best = candidate;
+  }
+  return best;
+}
+
+VariantChoice ChooseVariant(const ExecutionClass& consumer,
+                            Micros estimated_exact_latency) {
+  VariantChoice choice;
+  if (consumer.physical_consumer) {
+    // Physical-space consumers: exact results, boosted priority.
+    choice.use_approximate = false;
+    choice.priority_boost = 1.0;
+    return choice;
+  }
+  // Virtual consumers degrade to the approximate variant when the exact
+  // one cannot meet the deadline.
+  choice.use_approximate = estimated_exact_latency > consumer.deadline;
+  choice.priority_boost = 0.0;
+  return choice;
+}
+
+}  // namespace deluge::query

@@ -1,0 +1,99 @@
+#ifndef DELUGE_QUERY_OPTIMIZER_H_
+#define DELUGE_QUERY_OPTIMIZER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace deluge::query {
+
+/// Where a pipeline stage executes in the device–cloud split of Fig. 7.
+enum class Placement : uint8_t { kDevice = 0, kCloud = 1 };
+
+/// A stage of a linear query pipeline, annotated with the quantities the
+/// device-aware optimizer needs.
+struct PlanStage {
+  std::string name;
+  /// CPU work in abstract units (converted by per-tier speeds below).
+  double work = 1.0;
+  /// Bytes flowing out of this stage into the next.
+  uint64_t output_bytes = 1024;
+  /// Some stages cannot leave the cloud (need the buffer pool / base
+  /// data) or the device (need the sensor).
+  bool device_only = false;
+  bool cloud_only = false;
+};
+
+/// Cost model parameters of a device/cloud pair.
+struct DeviceCloudModel {
+  double device_speed = 1.0;      ///< work units per millisecond
+  double cloud_speed = 20.0;      ///< cloud executors are faster
+  double uplink_bytes_per_ms = 6250.0;   ///< 50 Mbps
+  /// Total device work budget (battery/thermal); plans exceeding it are
+  /// infeasible on-device.
+  double device_work_budget = 1e18;
+  /// Input bytes entering stage 0 (already on the device — sensor data).
+  uint64_t source_bytes = 4096;
+};
+
+/// A placed plan with its predicted latency.
+struct PlacedPlan {
+  std::vector<Placement> placements;
+  double latency_ms = 0.0;
+  double device_work = 0.0;
+  uint64_t bytes_uplinked = 0;
+  bool feasible = true;
+};
+
+/// Device-aware plan placement (Section IV-G: "the optimizer may have to
+/// be device-aware so that a feasible (and optimal for the device) plan
+/// can be generated").
+///
+/// For a linear pipeline starting at the device (data is born there),
+/// chooses the split point: stages before it run on the device, the rest
+/// in the cloud; data crosses the uplink exactly once at the split.
+/// Exhaustive over the n+1 split points, respecting device_only /
+/// cloud_only pins and the device work budget.
+class DevicePlanOptimizer {
+ public:
+  explicit DevicePlanOptimizer(DeviceCloudModel model);
+
+  /// The latency-optimal feasible plan.  `feasible == false` when the
+  /// pins contradict (a cloud_only stage before a device_only stage).
+  PlacedPlan Optimize(const std::vector<PlanStage>& stages) const;
+
+  /// Cost of a specific split point (stages [0, split) on device).
+  PlacedPlan EvaluateSplit(const std::vector<PlanStage>& stages,
+                           size_t split) const;
+
+ private:
+  DeviceCloudModel model_;
+};
+
+/// Space-aware execution class for a consumer (Section IV-G: "it is
+/// reasonable to prioritize ... a shopper in a physical mall than for an
+/// online shopper").  Maps a consumer's space and deadline to the
+/// operator variants the planner should pick.
+struct ExecutionClass {
+  bool physical_consumer = true;
+  Micros deadline = 100 * kMicrosPerMilli;
+};
+
+/// Decision of the accuracy/latency tradeoff.
+struct VariantChoice {
+  bool use_approximate = false;
+  double priority_boost = 0.0;
+};
+
+/// Picks exact vs approximate operator variants: physical consumers get
+/// exact data and a priority boost; virtual consumers with tight
+/// deadlines degrade to approximate variants (the paper's low-resolution
+/// stream example).
+VariantChoice ChooseVariant(const ExecutionClass& consumer,
+                            Micros estimated_exact_latency);
+
+}  // namespace deluge::query
+
+#endif  // DELUGE_QUERY_OPTIMIZER_H_

@@ -1,0 +1,88 @@
+#include "runtime/serverless.h"
+
+namespace deluge::runtime {
+
+ServerlessRuntime::ServerlessRuntime(net::Simulator* sim, Micros keep_alive)
+    : sim_(sim), keep_alive_(keep_alive) {}
+
+void ServerlessRuntime::Register(FunctionSpec spec) {
+  FunctionState fs;
+  fs.spec = spec;
+  functions_.emplace(spec.name, std::move(fs));
+}
+
+void ServerlessRuntime::ScheduleReclaim(FunctionState* fs,
+                                        uint64_t generation) {
+  sim_->After(keep_alive_, [this, fs, generation]() {
+    // Reclaim the instance only if it is still idle with the same
+    // generation token (it may have been reused and re-queued since).
+    for (auto it = fs->warm.begin(); it != fs->warm.end(); ++it) {
+      if (it->generation == generation) {
+        fs->stats.idle_mb_ms +=
+            double(fs->spec.memory_mb) *
+            double(sim_->Now() - it->idle_since) / double(kMicrosPerMilli);
+        fs->warm.erase(it);
+        return;
+      }
+    }
+  });
+}
+
+void ServerlessRuntime::Invoke(const std::string& name,
+                               std::function<void()> done) {
+  auto it = functions_.find(name);
+  if (it == functions_.end()) {
+    ++dropped_;
+    return;
+  }
+  FunctionState& fs = it->second;
+  ++fs.stats.invocations;
+  Micros start = sim_->Now();
+
+  Micros startup = 0;
+  if (!fs.warm.empty()) {
+    // Reuse the most recently idle instance (LIFO keeps the warm set
+    // small, matching production schedulers).
+    WarmInstance inst = fs.warm.back();
+    fs.warm.pop_back();
+    fs.stats.idle_mb_ms += double(fs.spec.memory_mb) *
+                           double(start - inst.idle_since) /
+                           double(kMicrosPerMilli);
+  } else {
+    ++fs.stats.cold_starts;
+    startup = fs.spec.cold_start;
+  }
+
+  Micros total = startup + fs.spec.exec_time;
+  FunctionState* fsp = &fs;
+  sim_->After(total, [this, fsp, start, done = std::move(done)]() {
+    Micros now = sim_->Now();
+    fsp->stats.latency.Record(now - start);
+    fsp->stats.billed_mb_ms += double(fsp->spec.memory_mb) *
+                               double(fsp->spec.exec_time) /
+                               double(kMicrosPerMilli);
+    // Instance goes warm; reclaim after keep-alive unless reused.
+    uint64_t generation = fsp->next_generation++;
+    fsp->warm.push_back(WarmInstance{now, generation});
+    if (keep_alive_ > 0) {
+      ScheduleReclaim(fsp, generation);
+    } else {
+      fsp->warm.pop_back();  // keep-alive 0: reclaim immediately
+    }
+    if (done) done();
+  });
+}
+
+const FunctionStats& ServerlessRuntime::stats_for(
+    const std::string& name) const {
+  static const FunctionStats& kEmpty = *new FunctionStats();
+  auto it = functions_.find(name);
+  return it == functions_.end() ? kEmpty : it->second.stats;
+}
+
+size_t ServerlessRuntime::warm_instances(const std::string& name) const {
+  auto it = functions_.find(name);
+  return it == functions_.end() ? 0 : it->second.warm.size();
+}
+
+}  // namespace deluge::runtime

@@ -1,0 +1,82 @@
+#ifndef DELUGE_RUNTIME_SERVERLESS_H_
+#define DELUGE_RUNTIME_SERVERLESS_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/histogram.h"
+#include "net/simulator.h"
+
+namespace deluge::runtime {
+
+/// A registered serverless function.
+struct FunctionSpec {
+  std::string name;
+  Micros cold_start = 200 * kMicrosPerMilli;  ///< sandbox + load time
+  Micros exec_time = 10 * kMicrosPerMilli;    ///< warm execution time
+  uint64_t memory_mb = 128;
+};
+
+/// Billing and latency accounting per function.
+struct FunctionStats {
+  Histogram latency;          ///< invoke -> completion
+  uint64_t invocations = 0;
+  uint64_t cold_starts = 0;
+  /// Billed MB-milliseconds (pay-per-use: execution only).
+  double billed_mb_ms = 0.0;
+  /// Idle warm-instance MB-ms the *provider* carries (keep-alive cost).
+  double idle_mb_ms = 0.0;
+
+  double ColdStartRatio() const {
+    return invocations == 0 ? 0.0
+                            : double(cold_starts) / double(invocations);
+  }
+};
+
+/// A serverless function runtime in virtual time (Section IV-E-3):
+/// invocations route to a warm instance when one is idle, otherwise pay
+/// a cold start; finished instances stay warm for `keep_alive` before
+/// being reclaimed.  E14 sweeps keep-alive against arrival rate to show
+/// the latency/cost tradeoff ("Serverless in the Wild" policy space).
+class ServerlessRuntime {
+ public:
+  ServerlessRuntime(net::Simulator* sim, Micros keep_alive);
+
+  /// Registers a function.
+  void Register(FunctionSpec spec);
+
+  /// Invokes `name`; `done` (optional) fires at completion in virtual
+  /// time.  Unknown functions are dropped (counted).
+  void Invoke(const std::string& name, std::function<void()> done = nullptr);
+
+  const FunctionStats& stats_for(const std::string& name) const;
+  uint64_t dropped() const { return dropped_; }
+  size_t warm_instances(const std::string& name) const;
+
+ private:
+  struct WarmInstance {
+    Micros idle_since;
+    uint64_t generation;  ///< reclaim token
+  };
+  struct FunctionState {
+    FunctionSpec spec;
+    FunctionStats stats;
+    std::deque<WarmInstance> warm;
+    uint64_t next_generation = 1;
+  };
+
+  void ScheduleReclaim(FunctionState* fs, uint64_t generation);
+
+  net::Simulator* sim_;
+  Micros keep_alive_;
+  std::unordered_map<std::string, FunctionState> functions_;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace deluge::runtime
+
+#endif  // DELUGE_RUNTIME_SERVERLESS_H_

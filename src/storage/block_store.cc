@@ -1,0 +1,76 @@
+#include "storage/block_store.h"
+
+namespace deluge::storage {
+
+BlockStore::BlockStore(uint32_t capacity_blocks, uint32_t block_size)
+    : capacity_blocks_(capacity_blocks),
+      block_size_(block_size),
+      blocks_(capacity_blocks),
+      allocated_(capacity_blocks, false) {
+  free_list_.reserve(capacity_blocks);
+  // Populate so that the lowest block ids are handed out first.
+  for (uint32_t i = capacity_blocks; i > 0; --i) {
+    free_list_.push_back(i - 1);
+  }
+}
+
+Result<uint32_t> BlockStore::Allocate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (free_list_.empty()) {
+    return Status::ResourceExhausted("block store full");
+  }
+  uint32_t block = free_list_.back();
+  free_list_.pop_back();
+  allocated_[block] = true;
+  return block;
+}
+
+Status BlockStore::Free(uint32_t block) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (block >= capacity_blocks_ || !allocated_[block]) {
+    return Status::InvalidArgument("block not allocated");
+  }
+  allocated_[block] = false;
+  blocks_[block].clear();
+  free_list_.push_back(block);
+  return Status::OK();
+}
+
+bool BlockStore::IsAllocatedLocked(uint32_t block) const {
+  return block < capacity_blocks_ && allocated_[block];
+}
+
+Status BlockStore::Write(uint32_t block, std::string_view data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!IsAllocatedLocked(block)) {
+    return Status::InvalidArgument("write to unallocated block");
+  }
+  if (data.size() > block_size_) {
+    return Status::InvalidArgument("data exceeds block size");
+  }
+  std::string& b = blocks_[block];
+  b.assign(data);
+  b.resize(block_size_, '\0');
+  return Status::OK();
+}
+
+Status BlockStore::Read(uint32_t block, std::string* data) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!IsAllocatedLocked(block)) {
+    return Status::InvalidArgument("read from unallocated block");
+  }
+  const std::string& b = blocks_[block];
+  if (b.empty()) {
+    data->assign(block_size_, '\0');  // never-written block reads as zeros
+  } else {
+    *data = b;
+  }
+  return Status::OK();
+}
+
+uint32_t BlockStore::allocated_blocks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_blocks_ - static_cast<uint32_t>(free_list_.size());
+}
+
+}  // namespace deluge::storage

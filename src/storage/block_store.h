@@ -1,0 +1,53 @@
+#ifndef DELUGE_STORAGE_BLOCK_STORE_H_
+#define DELUGE_STORAGE_BLOCK_STORE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace deluge::storage {
+
+/// A fixed-block-size volume — the "block store" member of the
+/// heterogeneous cloud-storage layer of Fig. 7.  Models a cloud disk:
+/// allocate/free block addresses, read/write whole blocks.  Backing is
+/// in-memory; the interesting behaviour for experiments is the allocation
+/// discipline and the fixed-granularity I/O, both preserved.
+class BlockStore {
+ public:
+  /// Creates a volume of `capacity_blocks` blocks of `block_size` bytes.
+  BlockStore(uint32_t capacity_blocks, uint32_t block_size = 4096);
+
+  /// Reserves one block; returns its id or ResourceExhausted when full.
+  Result<uint32_t> Allocate();
+
+  /// Returns `block` to the free pool.
+  Status Free(uint32_t block);
+
+  /// Writes exactly one block.  `data` longer than the block size is
+  /// rejected; shorter data is zero-padded.
+  Status Write(uint32_t block, std::string_view data);
+
+  /// Reads one whole block.
+  Status Read(uint32_t block, std::string* data) const;
+
+  uint32_t block_size() const { return block_size_; }
+  uint32_t capacity_blocks() const { return capacity_blocks_; }
+  uint32_t allocated_blocks() const;
+
+ private:
+  bool IsAllocatedLocked(uint32_t block) const;
+
+  const uint32_t capacity_blocks_;
+  const uint32_t block_size_;
+  mutable std::mutex mu_;
+  std::vector<std::string> blocks_;
+  std::vector<bool> allocated_;
+  std::vector<uint32_t> free_list_;
+};
+
+}  // namespace deluge::storage
+
+#endif  // DELUGE_STORAGE_BLOCK_STORE_H_

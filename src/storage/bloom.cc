@@ -1,0 +1,67 @@
+#include "storage/bloom.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/hash.h"
+
+namespace deluge::storage {
+
+BloomFilter::BloomFilter(size_t expected_keys, int bits_per_key) {
+  if (expected_keys == 0) expected_keys = 1;
+  if (bits_per_key < 1) bits_per_key = 1;
+  bit_count_ = std::max<size_t>(64, expected_keys * size_t(bits_per_key));
+  // k ≈ bits_per_key * ln2
+  num_probes_ = std::clamp(int(bits_per_key * 0.69), 1, 30);
+  bits_.assign((bit_count_ + 7) / 8, 0);
+}
+
+void BloomFilter::Add(std::string_view key) {
+  uint64_t h1 = Hash64(key, 0x9E37);
+  uint64_t h2 = Hash64(key, 0x85EB) | 1;  // odd => full-period stepping
+  for (int i = 0; i < num_probes_; ++i) {
+    uint64_t bit = (h1 + uint64_t(i) * h2) % bit_count_;
+    bits_[bit / 8] |= uint8_t(1u << (bit % 8));
+  }
+}
+
+bool BloomFilter::MayContain(std::string_view key) const {
+  if (bit_count_ == 0) return true;
+  uint64_t h1 = Hash64(key, 0x9E37);
+  uint64_t h2 = Hash64(key, 0x85EB) | 1;
+  for (int i = 0; i < num_probes_; ++i) {
+    uint64_t bit = (h1 + uint64_t(i) * h2) % bit_count_;
+    if ((bits_[bit / 8] & (1u << (bit % 8))) == 0) return false;
+  }
+  return true;
+}
+
+std::string BloomFilter::Serialize() const {
+  std::string out;
+  out.reserve(16 + bits_.size());
+  uint64_t bc = bit_count_;
+  uint64_t np = uint64_t(num_probes_);
+  out.append(reinterpret_cast<const char*>(&bc), sizeof(bc));
+  out.append(reinterpret_cast<const char*>(&np), sizeof(np));
+  out.append(reinterpret_cast<const char*>(bits_.data()), bits_.size());
+  return out;
+}
+
+BloomFilter BloomFilter::Deserialize(std::string_view data) {
+  BloomFilter f;
+  if (data.size() < 16) return f;
+  uint64_t bc = 0, np = 0;
+  std::memcpy(&bc, data.data(), sizeof(bc));
+  std::memcpy(&np, data.data() + 8, sizeof(np));
+  f.bit_count_ = size_t(bc);
+  f.num_probes_ = int(np);
+  size_t nbytes = (f.bit_count_ + 7) / 8;
+  if (data.size() - 16 < nbytes) {
+    f.bit_count_ = 0;
+    return f;
+  }
+  f.bits_.assign(data.begin() + 16, data.begin() + 16 + nbytes);
+  return f;
+}
+
+}  // namespace deluge::storage

@@ -1,0 +1,46 @@
+#ifndef DELUGE_STORAGE_BLOOM_H_
+#define DELUGE_STORAGE_BLOOM_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace deluge::storage {
+
+/// A classic Bloom filter over string keys, used by SSTables to skip disk
+/// probes for absent keys and by the pub/sub broker for cheap subscription
+/// pre-filtering.
+///
+/// Uses double hashing (Kirsch–Mitzenmacher) to derive k probe positions
+/// from two 64-bit hashes.  `bits_per_key` = 10 gives ~1% false positives.
+class BloomFilter {
+ public:
+  /// Builds an empty filter sized for `expected_keys`.
+  BloomFilter(size_t expected_keys, int bits_per_key = 10);
+
+  /// Reconstructs a filter from its serialized form.
+  static BloomFilter Deserialize(std::string_view data);
+
+  void Add(std::string_view key);
+
+  /// False means "definitely absent"; true means "probably present".
+  bool MayContain(std::string_view key) const;
+
+  /// Serializes to a compact byte string (header + bit array).
+  std::string Serialize() const;
+
+  size_t bit_count() const { return bit_count_; }
+  int num_probes() const { return num_probes_; }
+
+ private:
+  BloomFilter() = default;
+
+  size_t bit_count_ = 0;
+  int num_probes_ = 0;
+  std::vector<uint8_t> bits_;
+};
+
+}  // namespace deluge::storage
+
+#endif  // DELUGE_STORAGE_BLOOM_H_

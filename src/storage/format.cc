@@ -1,0 +1,92 @@
+#include "storage/format.h"
+
+#include <cstring>
+
+namespace deluge::storage {
+
+void PutFixed32(std::string* dst, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  dst->append(buf, 4);
+}
+
+void PutFixed64(std::string* dst, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  dst->append(buf, 8);
+}
+
+void PutVarint32(std::string* dst, uint32_t v) {
+  unsigned char buf[5];
+  int n = 0;
+  while (v >= 0x80) {
+    buf[n++] = static_cast<unsigned char>(v | 0x80);
+    v >>= 7;
+  }
+  buf[n++] = static_cast<unsigned char>(v);
+  dst->append(reinterpret_cast<char*>(buf), n);
+}
+
+void PutVarint64(std::string* dst, uint64_t v) {
+  unsigned char buf[10];
+  int n = 0;
+  while (v >= 0x80) {
+    buf[n++] = static_cast<unsigned char>(v | 0x80);
+    v >>= 7;
+  }
+  buf[n++] = static_cast<unsigned char>(v);
+  dst->append(reinterpret_cast<char*>(buf), n);
+}
+
+void PutLengthPrefixed(std::string* dst, std::string_view s) {
+  PutVarint32(dst, static_cast<uint32_t>(s.size()));
+  dst->append(s.data(), s.size());
+}
+
+bool GetFixed32(std::string_view* input, uint32_t* v) {
+  if (input->size() < 4) return false;
+  std::memcpy(v, input->data(), 4);
+  input->remove_prefix(4);
+  return true;
+}
+
+bool GetFixed64(std::string_view* input, uint64_t* v) {
+  if (input->size() < 8) return false;
+  std::memcpy(v, input->data(), 8);
+  input->remove_prefix(8);
+  return true;
+}
+
+bool GetVarint32(std::string_view* input, uint32_t* v) {
+  uint64_t wide = 0;
+  if (!GetVarint64(input, &wide) || wide > UINT32_MAX) return false;
+  *v = static_cast<uint32_t>(wide);
+  return true;
+}
+
+bool GetVarint64(std::string_view* input, uint64_t* v) {
+  uint64_t result = 0;
+  for (int shift = 0; shift <= 63 && !input->empty(); shift += 7) {
+    uint64_t byte = static_cast<unsigned char>(input->front());
+    input->remove_prefix(1);
+    if (byte & 0x80) {
+      result |= (byte & 0x7F) << shift;
+    } else {
+      result |= byte << shift;
+      *v = result;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool GetLengthPrefixed(std::string_view* input, std::string_view* s) {
+  uint32_t len = 0;
+  if (!GetVarint32(input, &len)) return false;
+  if (input->size() < len) return false;
+  *s = input->substr(0, len);
+  input->remove_prefix(len);
+  return true;
+}
+
+}  // namespace deluge::storage

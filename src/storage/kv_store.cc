@@ -1,0 +1,330 @@
+#include "storage/kv_store.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/logging.h"
+
+namespace deluge::storage {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// WAL record payload: [fixed64 seq][u8 type][varint klen][key][varint vlen][value]
+std::string EncodeWalRecord(SequenceNumber seq, ValueType type,
+                            std::string_view key, std::string_view value) {
+  std::string rec;
+  rec.reserve(key.size() + value.size() + 16);
+  PutFixed64(&rec, seq);
+  rec.push_back(static_cast<char>(type));
+  PutLengthPrefixed(&rec, key);
+  PutLengthPrefixed(&rec, value);
+  return rec;
+}
+
+bool DecodeWalRecord(std::string_view rec, SequenceNumber* seq,
+                     ValueType* type, std::string_view* key,
+                     std::string_view* value) {
+  uint64_t s = 0;
+  if (!GetFixed64(&rec, &s) || rec.empty()) return false;
+  *seq = s;
+  *type = static_cast<ValueType>(rec.front());
+  rec.remove_prefix(1);
+  return GetLengthPrefixed(&rec, key) && GetLengthPrefixed(&rec, value);
+}
+
+}  // namespace
+
+KVStore::KVStore(const KVStoreOptions& options)
+    : options_(options), mem_(std::make_unique<MemTable>()) {}
+
+Result<std::unique_ptr<KVStore>> KVStore::Open(const KVStoreOptions& options) {
+  if (options.dir.empty()) {
+    return Status::InvalidArgument("KVStoreOptions.dir must be set");
+  }
+  std::error_code ec;
+  fs::create_directories(options.dir, ec);
+  if (ec) return Status::IOError("cannot create dir " + options.dir);
+
+  auto store = std::unique_ptr<KVStore>(new KVStore(options));
+  Status s = store->Recover();
+  if (!s.ok()) return s;
+  return store;
+}
+
+std::string KVStore::TableFileName(uint64_t number) const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%06llu.sst",
+                static_cast<unsigned long long>(number));
+  return options_.dir + "/" + buf;
+}
+
+Status KVStore::Recover() {
+  // 1. Manifest: "next_file next_seq" then one "level number" per line.
+  const std::string manifest_path = options_.dir + "/MANIFEST";
+  std::ifstream manifest(manifest_path);
+  if (manifest.good()) {
+    manifest >> next_file_number_ >> next_seq_;
+    int level;
+    uint64_t number;
+    while (manifest >> level >> number) {
+      auto table = SSTable::Open(TableFileName(number));
+      if (!table.ok()) return table.status();
+      if (level == 0) {
+        l0_.push_back(table.value());  // manifest lists newest first
+      } else {
+        l1_.push_back(table.value());
+      }
+    }
+  }
+
+  // 2. WAL replay into the fresh memtable.
+  const std::string wal_path = options_.dir + "/wal.log";
+  SequenceNumber max_seq = next_seq_ > 0 ? next_seq_ - 1 : 0;
+  auto replayed = WriteAheadLog::Replay(
+      wal_path, [this, &max_seq](std::string_view rec) {
+        SequenceNumber seq;
+        ValueType type;
+        std::string_view key, value;
+        if (DecodeWalRecord(rec, &seq, &type, &key, &value)) {
+          mem_->Add(seq, type, key, value);
+          max_seq = std::max(max_seq, seq);
+        }
+      });
+  if (!replayed.ok()) return replayed.status();
+  next_seq_ = max_seq + 1;
+
+  return wal_.Open(wal_path);
+}
+
+Status KVStore::Put(std::string_view key, std::string_view value) {
+  Status s = Write(ValueType::kValue, key, value);
+  if (s.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.puts;
+    stats_.bytes_written += key.size() + value.size();
+  }
+  return s;
+}
+
+Status KVStore::Delete(std::string_view key) {
+  Status s = Write(ValueType::kTombstone, key, "");
+  if (s.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.deletes;
+  }
+  return s;
+}
+
+Status KVStore::Write(ValueType type, std::string_view key,
+                      std::string_view value) {
+  if (key.empty()) return Status::InvalidArgument("empty key");
+  std::lock_guard<std::mutex> lock(mu_);
+  SequenceNumber seq = next_seq_++;
+  Status s = wal_.Append(EncodeWalRecord(seq, type, key, value),
+                         options_.sync_wal);
+  if (!s.ok()) return s;
+  mem_->Add(seq, type, key, value);
+  if (mem_->ApproximateBytes() >= options_.memtable_max_bytes) {
+    s = FlushLocked();
+    if (!s.ok()) return s;
+    if (l0_.size() >= size_t(options_.l0_compaction_trigger)) {
+      return CompactLocked();
+    }
+  }
+  return Status::OK();
+}
+
+Status KVStore::Get(std::string_view key, std::string* value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.gets;
+  bool tombstone = false;
+  if (mem_->Get(key, kMaxSequence, value, &tombstone)) {
+    return tombstone ? Status::NotFound() : Status::OK();
+  }
+  InternalEntry e;
+  for (const auto& table : l0_) {  // newest first
+    Status s = table->Get(key, kMaxSequence, &e);
+    if (s.ok()) {
+      if (e.type == ValueType::kTombstone) return Status::NotFound();
+      *value = std::move(e.value);
+      return Status::OK();
+    }
+    if (!s.IsNotFound()) return s;
+  }
+  for (const auto& table : l1_) {
+    Status s = table->Get(key, kMaxSequence, &e);
+    if (s.ok()) {
+      if (e.type == ValueType::kTombstone) return Status::NotFound();
+      *value = std::move(e.value);
+      return Status::OK();
+    }
+    if (!s.IsNotFound()) return s;
+  }
+  return Status::NotFound();
+}
+
+Status KVStore::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FlushLocked();
+}
+
+Status KVStore::FlushLocked() {
+  if (mem_->entry_count() == 0) return Status::OK();
+  std::vector<InternalEntry> entries;
+  entries.reserve(mem_->entry_count());
+  MemTable::Iterator it(mem_.get());
+  for (it.SeekToFirst(); it.Valid(); it.Next()) {
+    entries.push_back(it.entry());
+  }
+  uint64_t number = next_file_number_++;
+  auto table = SSTable::Build(TableFileName(number), entries,
+                              options_.bloom_bits_per_key);
+  if (!table.ok()) return table.status();
+  l0_.push_front(table.value());
+  mem_ = std::make_unique<MemTable>();
+  ++stats_.flushes;
+  Status s = wal_.Reset();
+  if (!s.ok()) return s;
+  return WriteManifestLocked();
+}
+
+std::vector<InternalEntry> KVStore::MergeAllLocked(
+    bool drop_tombstones, bool keep_all_versions) const {
+  // Gather every entry from every source, then sort by internal order and
+  // deduplicate keeping the newest version per key.  At simulation scale
+  // a sort-based merge is simpler than a k-way heap and equally correct.
+  std::vector<InternalEntry> all;
+  MemTable::Iterator mit(mem_.get());
+  for (mit.SeekToFirst(); mit.Valid(); mit.Next()) {
+    all.push_back(mit.entry());
+  }
+  auto drain = [&all](const std::shared_ptr<SSTable>& t) {
+    SSTable::Iterator it(t.get());
+    for (it.SeekToFirst(); it.Valid(); it.Next()) {
+      all.push_back(it.entry());
+    }
+  };
+  for (const auto& t : l0_) drain(t);
+  for (const auto& t : l1_) drain(t);
+
+  std::stable_sort(all.begin(), all.end(),
+                   [](const InternalEntry& a, const InternalEntry& b) {
+                     return InternalEntryComparator()(a, b) < 0;
+                   });
+  std::vector<InternalEntry> out;
+  out.reserve(all.size());
+  std::string_view last_key;
+  bool have_last = false;
+  for (auto& e : all) {
+    if (!keep_all_versions && have_last && e.user_key == last_key) {
+      continue;  // older version of the same key
+    }
+    have_last = true;
+    last_key = e.user_key;
+    if (drop_tombstones && e.type == ValueType::kTombstone) {
+      // Newest version is a delete: key is gone.  (last_key remains set so
+      // older versions are still skipped.)
+      continue;
+    }
+    out.push_back(std::move(e));
+    last_key = out.back().user_key;  // re-point after move
+  }
+  return out;
+}
+
+Status KVStore::CompactAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  Status s = FlushLocked();
+  if (!s.ok()) return s;
+  return CompactLocked();
+}
+
+Status KVStore::CompactLocked() {
+  if (l0_.empty() && l1_.size() <= 1) return Status::OK();
+  std::vector<InternalEntry> merged =
+      MergeAllLocked(/*drop_tombstones=*/true, /*keep_all_versions=*/false);
+  for (const auto& e : merged) stats_.bytes_compacted += e.ApproximateSize();
+
+  std::vector<std::string> obsolete;
+  for (const auto& t : l0_) obsolete.push_back(t->path());
+  for (const auto& t : l1_) obsolete.push_back(t->path());
+
+  l1_.clear();
+  if (!merged.empty()) {
+    uint64_t number = next_file_number_++;
+    auto table = SSTable::Build(TableFileName(number), merged,
+                                options_.bloom_bits_per_key);
+    if (!table.ok()) return table.status();
+    l1_.push_back(table.value());
+  }
+  l0_.clear();
+  ++stats_.compactions;
+  Status s = WriteManifestLocked();
+  if (!s.ok()) return s;
+  for (const auto& path : obsolete) std::remove(path.c_str());
+  return Status::OK();
+}
+
+Status KVStore::WriteManifestLocked() {
+  const std::string tmp = options_.dir + "/MANIFEST.tmp";
+  const std::string final_path = options_.dir + "/MANIFEST";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out.good()) return Status::IOError("cannot write manifest");
+    out << next_file_number_ << " " << next_seq_ << "\n";
+    auto number_of = [](const std::string& path) {
+      // .../NNNNNN.sst -> NNNNNN
+      size_t slash = path.find_last_of('/');
+      return std::stoull(path.substr(slash + 1));
+    };
+    for (const auto& t : l0_) out << 0 << " " << number_of(t->path()) << "\n";
+    for (const auto& t : l1_) out << 1 << " " << number_of(t->path()) << "\n";
+    if (!out.good()) return Status::IOError("manifest write failed");
+  }
+  std::error_code ec;
+  fs::rename(tmp, final_path, ec);
+  if (ec) return Status::IOError("manifest rename failed");
+  return Status::OK();
+}
+
+KVStore::Iterator KVStore::NewIterator() {
+  std::lock_guard<std::mutex> lock(mu_);
+  Iterator it;
+  it.entries_ =
+      MergeAllLocked(/*drop_tombstones=*/true, /*keep_all_versions=*/false);
+  return it;
+}
+
+void KVStore::Iterator::Seek(std::string_view key) {
+  auto it = std::lower_bound(entries_.begin(), entries_.end(), key,
+                             [](const InternalEntry& e, std::string_view k) {
+                               return e.user_key < k;
+                             });
+  pos_ = size_t(it - entries_.begin());
+}
+
+KVStoreStats KVStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t KVStore::l0_file_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return l0_.size();
+}
+
+size_t KVStore::l1_file_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return l1_.size();
+}
+
+SequenceNumber KVStore::last_sequence() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_ - 1;
+}
+
+}  // namespace deluge::storage

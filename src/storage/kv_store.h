@@ -1,0 +1,133 @@
+#ifndef DELUGE_STORAGE_KV_STORE_H_
+#define DELUGE_STORAGE_KV_STORE_H_
+
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/memtable.h"
+#include "storage/sstable.h"
+#include "storage/wal.h"
+
+namespace deluge::storage {
+
+/// Construction-time configuration for a `KVStore`.
+struct KVStoreOptions {
+  /// Directory for WAL, SSTables, and the manifest (created if missing).
+  std::string dir;
+  /// Memtable flush threshold in bytes.
+  size_t memtable_max_bytes = 4u << 20;
+  /// Number of L0 files that triggers a full merge into L1.
+  int l0_compaction_trigger = 4;
+  /// fdatasync the WAL on every write (durability vs throughput).
+  bool sync_wal = false;
+  /// Bloom filter density for new SSTables.
+  int bloom_bits_per_key = 10;
+};
+
+/// Operational counters.
+struct KVStoreStats {
+  uint64_t puts = 0;
+  uint64_t deletes = 0;
+  uint64_t gets = 0;
+  uint64_t flushes = 0;
+  uint64_t compactions = 0;
+  uint64_t bytes_written = 0;
+  uint64_t bytes_compacted = 0;
+};
+
+/// A log-structured merge key-value store — Deluge's durable "KV store"
+/// tier from the disaggregated cloud-storage layer (Fig. 7 of the paper).
+///
+/// Two levels: L0 holds flushed memtables (possibly overlapping, searched
+/// newest-first); when L0 reaches the trigger, everything merges into a
+/// single sorted L1 run, dropping shadowed versions and tombstones.
+/// Crash recovery replays the WAL into a fresh memtable; the MANIFEST
+/// file records the live table set atomically (write-temp + rename).
+///
+/// Thread-safety: all public methods are safe to call concurrently (one
+/// coarse mutex; flush/compaction run inline on the writing thread).
+class KVStore {
+ public:
+  static constexpr SequenceNumber kMaxSequence = ~SequenceNumber{0};
+
+  /// Opens (or creates) a store in `options.dir`, recovering any previous
+  /// state from the manifest and WAL.
+  static Result<std::unique_ptr<KVStore>> Open(const KVStoreOptions& options);
+
+  ~KVStore() = default;
+  KVStore(const KVStore&) = delete;
+  KVStore& operator=(const KVStore&) = delete;
+
+  Status Put(std::string_view key, std::string_view value);
+  Status Delete(std::string_view key);
+
+  /// Point lookup of the newest visible version.
+  Status Get(std::string_view key, std::string* value);
+
+  /// Forces the memtable to an L0 SSTable (no-op when empty).
+  Status Flush();
+
+  /// Merges all levels into a single L1 run.
+  Status CompactAll();
+
+  /// A merged snapshot scan over the whole store in key order, newest
+  /// version per key, tombstones elided.  The iterator materializes the
+  /// merge at creation time and stays valid independent of later writes.
+  class Iterator {
+   public:
+    bool Valid() const { return pos_ < entries_.size(); }
+    void Next() { ++pos_; }
+    const std::string& key() const { return entries_[pos_].user_key; }
+    const std::string& value() const { return entries_[pos_].value; }
+    void Seek(std::string_view key);
+    void SeekToFirst() { pos_ = 0; }
+
+   private:
+    friend class KVStore;
+    std::vector<InternalEntry> entries_;
+    size_t pos_ = 0;
+  };
+
+  /// Creates a snapshot iterator (O(total entries) at creation).
+  Iterator NewIterator();
+
+  KVStoreStats stats() const;
+  size_t l0_file_count() const;
+  size_t l1_file_count() const;
+  SequenceNumber last_sequence() const;
+
+ private:
+  explicit KVStore(const KVStoreOptions& options);
+
+  Status Recover();
+  Status Write(ValueType type, std::string_view key, std::string_view value);
+  Status FlushLocked();
+  Status CompactLocked();
+  Status WriteManifestLocked();
+  std::string TableFileName(uint64_t number) const;
+
+  /// Merges the given sorted sources into a deduplicated entry list.
+  /// When `drop_tombstones` is set, deletion markers are elided (legal
+  /// only at the bottom level).
+  std::vector<InternalEntry> MergeAllLocked(bool drop_tombstones,
+                                            bool keep_all_versions) const;
+
+  KVStoreOptions options_;
+  mutable std::mutex mu_;
+  std::unique_ptr<MemTable> mem_;
+  WriteAheadLog wal_;
+  // levels_[0]: newest-first L0 tables; levels_[1]: single merged run.
+  std::deque<std::shared_ptr<SSTable>> l0_;
+  std::vector<std::shared_ptr<SSTable>> l1_;
+  SequenceNumber next_seq_ = 1;
+  uint64_t next_file_number_ = 1;
+  KVStoreStats stats_;
+};
+
+}  // namespace deluge::storage
+
+#endif  // DELUGE_STORAGE_KV_STORE_H_

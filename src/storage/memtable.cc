@@ -1,0 +1,41 @@
+#include "storage/memtable.h"
+
+namespace deluge::storage {
+
+void MemTable::Add(SequenceNumber seq, ValueType type, std::string_view key,
+                   std::string_view value) {
+  InternalEntry e;
+  e.user_key.assign(key);
+  e.seq = seq;
+  e.type = type;
+  e.value.assign(value);
+  bytes_ += e.ApproximateSize();
+  list_.Insert(e);
+}
+
+bool MemTable::Get(std::string_view key, SequenceNumber snapshot,
+                   std::string* found_value, bool* is_tombstone) const {
+  // Seek to the newest version visible at `snapshot`: entries sort by
+  // (key asc, seq desc), so the first entry with this key and seq <=
+  // snapshot is the answer.
+  InternalEntry probe;
+  probe.user_key.assign(key);
+  probe.seq = snapshot;
+  SkipList<InternalEntry, InternalEntryComparator>::Iterator it(&list_);
+  it.Seek(probe);
+  if (!it.Valid()) return false;
+  const InternalEntry& e = it.key();
+  if (e.user_key != key) return false;
+  *is_tombstone = (e.type == ValueType::kTombstone);
+  if (!*is_tombstone) *found_value = e.value;
+  return true;
+}
+
+void MemTable::Iterator::Seek(std::string_view key, SequenceNumber seq) {
+  InternalEntry probe;
+  probe.user_key.assign(key);
+  probe.seq = seq;
+  it_.Seek(probe);
+}
+
+}  // namespace deluge::storage

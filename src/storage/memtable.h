@@ -1,0 +1,58 @@
+#ifndef DELUGE_STORAGE_MEMTABLE_H_
+#define DELUGE_STORAGE_MEMTABLE_H_
+
+#include <string>
+#include <string_view>
+
+#include "storage/format.h"
+#include "storage/skiplist.h"
+
+namespace deluge::storage {
+
+/// In-memory sorted write buffer: the mutable top of the LSM tree.
+///
+/// Holds versioned entries ordered by (key asc, seq desc).  When its
+/// approximate size exceeds the store budget the owner flushes it to an
+/// SSTable and starts a fresh one.  Not internally synchronized.
+class MemTable {
+ public:
+  MemTable() = default;
+
+  MemTable(const MemTable&) = delete;
+  MemTable& operator=(const MemTable&) = delete;
+
+  /// Inserts a put or tombstone.
+  void Add(SequenceNumber seq, ValueType type, std::string_view key,
+           std::string_view value);
+
+  /// Looks up the newest version of `key` with seq <= `snapshot`.
+  /// Returns true when a version was found; `*found_value` is filled for
+  /// puts, `*is_tombstone` set for deletes.
+  bool Get(std::string_view key, SequenceNumber snapshot,
+           std::string* found_value, bool* is_tombstone) const;
+
+  size_t ApproximateBytes() const { return bytes_; }
+  size_t entry_count() const { return list_.size(); }
+
+  /// Iterator over all versions in internal order (used by flush).
+  class Iterator {
+   public:
+    explicit Iterator(const MemTable* mt) : it_(&mt->list_) {}
+    bool Valid() const { return it_.Valid(); }
+    void SeekToFirst() { it_.SeekToFirst(); }
+    void Seek(std::string_view key, SequenceNumber seq);
+    void Next() { it_.Next(); }
+    const InternalEntry& entry() const { return it_.key(); }
+
+   private:
+    SkipList<InternalEntry, InternalEntryComparator>::Iterator it_;
+  };
+
+ private:
+  SkipList<InternalEntry, InternalEntryComparator> list_;
+  size_t bytes_ = 0;
+};
+
+}  // namespace deluge::storage
+
+#endif  // DELUGE_STORAGE_MEMTABLE_H_

@@ -1,0 +1,90 @@
+#include "storage/object_store.h"
+
+namespace deluge::storage {
+
+ObjectStore::ObjectStore(Clock* clock)
+    : clock_(clock != nullptr ? clock : SystemClock::Default()) {}
+
+Status ObjectStore::Put(const std::string& name, std::string data,
+                        const std::string& content_type) {
+  if (name.empty()) return Status::InvalidArgument("empty object name");
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = objects_.find(name);
+  if (it != objects_.end()) {
+    total_bytes_ -= it->second.data.size();
+    it->second.info.version++;
+    it->second.info.size = data.size();
+    it->second.info.content_type = content_type;
+    total_bytes_ += data.size();
+    it->second.data = std::move(data);
+    return Status::OK();
+  }
+  Stored s;
+  s.info.name = name;
+  s.info.content_type = content_type;
+  s.info.size = data.size();
+  s.info.created_at = clock_->NowMicros();
+  s.info.version = 1;
+  total_bytes_ += data.size();
+  s.data = std::move(data);
+  objects_.emplace(name, std::move(s));
+  return Status::OK();
+}
+
+Status ObjectStore::Get(const std::string& name, std::string* data) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = objects_.find(name);
+  if (it == objects_.end()) return Status::NotFound(name);
+  *data = it->second.data;
+  return Status::OK();
+}
+
+Status ObjectStore::GetRange(const std::string& name, uint64_t offset,
+                             uint64_t len, std::string* data) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = objects_.find(name);
+  if (it == objects_.end()) return Status::NotFound(name);
+  const std::string& blob = it->second.data;
+  if (offset > blob.size()) return Status::OutOfRange("offset past end");
+  *data = blob.substr(offset, len);
+  return Status::OK();
+}
+
+Status ObjectStore::Delete(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = objects_.find(name);
+  if (it == objects_.end()) return Status::NotFound(name);
+  total_bytes_ -= it->second.data.size();
+  objects_.erase(it);
+  return Status::OK();
+}
+
+Status ObjectStore::Head(const std::string& name, ObjectInfo* info) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = objects_.find(name);
+  if (it == objects_.end()) return Status::NotFound(name);
+  *info = it->second.info;
+  return Status::OK();
+}
+
+std::vector<ObjectInfo> ObjectStore::List(const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ObjectInfo> out;
+  for (auto it = objects_.lower_bound(prefix); it != objects_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.push_back(it->second.info);
+  }
+  return out;
+}
+
+uint64_t ObjectStore::total_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_bytes_;
+}
+
+size_t ObjectStore::object_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return objects_.size();
+}
+
+}  // namespace deluge::storage

@@ -1,0 +1,73 @@
+#ifndef DELUGE_STORAGE_OBJECT_STORE_H_
+#define DELUGE_STORAGE_OBJECT_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace deluge::storage {
+
+/// Metadata of a stored object.
+struct ObjectInfo {
+  std::string name;
+  std::string content_type;
+  uint64_t size = 0;
+  Micros created_at = 0;
+  uint64_t version = 0;
+};
+
+/// An in-process object (blob) store — the "object store" member of the
+/// heterogeneous cloud-storage layer of Fig. 7.  It holds large immutable
+/// media payloads (point clouds, video segments, scene assets) addressed
+/// by name, with range reads so the dissemination layer can stream chunks.
+///
+/// Thread-safe.  Substitutes for a cloud blob service (see DESIGN.md):
+/// the API shape (put/get/range-get/list-by-prefix/versioning) matches,
+/// which is what the experiments exercise.
+class ObjectStore {
+ public:
+  explicit ObjectStore(Clock* clock = nullptr);
+
+  /// Stores (or replaces) `name`; bumps the object version on replace.
+  Status Put(const std::string& name, std::string data,
+             const std::string& content_type = "application/octet-stream");
+
+  /// Reads the whole object.
+  Status Get(const std::string& name, std::string* data) const;
+
+  /// Reads `len` bytes starting at `offset` (clamped to object size;
+  /// offset past the end yields OutOfRange).
+  Status GetRange(const std::string& name, uint64_t offset, uint64_t len,
+                  std::string* data) const;
+
+  Status Delete(const std::string& name);
+
+  /// Metadata without the payload.
+  Status Head(const std::string& name, ObjectInfo* info) const;
+
+  /// All objects whose name starts with `prefix`, in name order.
+  std::vector<ObjectInfo> List(const std::string& prefix = "") const;
+
+  uint64_t total_bytes() const;
+  size_t object_count() const;
+
+ private:
+  struct Stored {
+    std::string data;
+    ObjectInfo info;
+  };
+
+  Clock* clock_;
+  mutable std::mutex mu_;
+  std::map<std::string, Stored> objects_;
+  uint64_t total_bytes_ = 0;
+};
+
+}  // namespace deluge::storage
+
+#endif  // DELUGE_STORAGE_OBJECT_STORE_H_

@@ -1,0 +1,134 @@
+#ifndef DELUGE_STORAGE_SKIPLIST_H_
+#define DELUGE_STORAGE_SKIPLIST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace deluge::storage {
+
+/// A sorted in-memory map implemented as a skip list — the classic
+/// memtable structure (LevelDB/RocksDB lineage).
+///
+/// `Key` must be copyable; `Comparator` is a stateless functor returning
+/// <0, 0, >0.  The list stores keys only; callers embed values inside the
+/// key type (the memtable stores encoded key+seq+value records).
+///
+/// Thread-safety: external synchronization required (the `MemTable` that
+/// owns it holds the store mutex).  Memory: nodes are heap-allocated and
+/// freed on destruction; no arena is needed at simulation scale.
+template <typename Key, typename Comparator>
+class SkipList {
+ public:
+  static constexpr int kMaxHeight = 12;
+
+  explicit SkipList(Comparator cmp = Comparator(), uint64_t seed = 0xD5)
+      : cmp_(cmp), rng_(seed), head_(NewNode(Key{}, kMaxHeight)) {}
+
+  ~SkipList() {
+    Node* n = head_;
+    while (n != nullptr) {
+      Node* next = n->next[0];
+      delete n;
+      n = next;
+    }
+  }
+
+  SkipList(const SkipList&) = delete;
+  SkipList& operator=(const SkipList&) = delete;
+
+  /// Inserts `key`.  Duplicate keys (comparator == 0) are allowed and kept
+  /// in insertion order after existing equals; the memtable avoids true
+  /// duplicates by embedding a unique sequence number in each key.
+  void Insert(const Key& key) {
+    Node* prev[kMaxHeight];
+    FindGreaterOrEqual(key, prev);
+    int height = RandomHeight();
+    if (height > height_) {
+      for (int i = height_; i < height; ++i) prev[i] = head_;
+      height_ = height;
+    }
+    Node* n = NewNode(key, height);
+    for (int i = 0; i < height; ++i) {
+      n->next[i] = prev[i]->next[i];
+      prev[i]->next[i] = n;
+    }
+    ++size_;
+  }
+
+  /// True if an exactly-equal key exists.
+  bool Contains(const Key& key) const {
+    Node* n = FindGreaterOrEqual(key, nullptr);
+    return n != nullptr && cmp_(n->key, key) == 0;
+  }
+
+  size_t size() const { return size_; }
+
+  /// Forward iterator over keys in sorted order.
+  class Iterator {
+   public:
+    explicit Iterator(const SkipList* list)
+        : list_(list), node_(nullptr) {}
+
+    bool Valid() const { return node_ != nullptr; }
+    const Key& key() const { return node_->key; }
+    void Next() { node_ = node_->next[0]; }
+
+    /// Positions at the first key >= target.
+    void Seek(const Key& target) {
+      node_ = list_->FindGreaterOrEqual(target, nullptr);
+    }
+
+    void SeekToFirst() { node_ = list_->head_->next[0]; }
+
+   private:
+    const SkipList* list_;
+    const typename SkipList::Node* node_;
+  };
+
+ private:
+  struct Node {
+    Key key;
+    std::vector<Node*> next;
+    Node(const Key& k, int height) : key(k), next(height, nullptr) {}
+  };
+
+  static Node* NewNode(const Key& key, int height) {
+    return new Node(key, height);
+  }
+
+  int RandomHeight() {
+    int h = 1;
+    while (h < kMaxHeight && rng_.Bernoulli(0.25)) ++h;
+    return h;
+  }
+
+  /// Returns first node >= key; fills prev[] (one per level) when non-null.
+  Node* FindGreaterOrEqual(const Key& key, Node** prev) const {
+    Node* x = head_;
+    int level = height_ - 1;
+    for (;;) {
+      Node* next = x->next[level];
+      if (next != nullptr && cmp_(next->key, key) < 0) {
+        x = next;
+      } else {
+        if (prev != nullptr) prev[level] = x;
+        if (level == 0) return next;
+        --level;
+      }
+    }
+  }
+
+  Comparator cmp_;
+  Rng rng_;
+  Node* head_;
+  int height_ = 1;
+  size_t size_ = 0;
+
+  friend class Iterator;
+};
+
+}  // namespace deluge::storage
+
+#endif  // DELUGE_STORAGE_SKIPLIST_H_

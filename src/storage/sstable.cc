@@ -1,0 +1,256 @@
+#include "storage/sstable.h"
+
+#include <cerrno>
+#include <cstring>
+
+namespace deluge::storage {
+
+namespace {
+
+// Appends one data-region record for `e` to `out`.
+void EncodeEntry(const InternalEntry& e, std::string* out) {
+  PutVarint32(out, static_cast<uint32_t>(e.user_key.size()));
+  out->append(e.user_key);
+  PutFixed64(out, e.seq);
+  out->push_back(static_cast<char>(e.type));
+  PutVarint32(out, static_cast<uint32_t>(e.value.size()));
+  out->append(e.value);
+}
+
+}  // namespace
+
+SSTable::~SSTable() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Result<std::shared_ptr<SSTable>> SSTable::Build(
+    const std::string& path, const std::vector<InternalEntry>& entries,
+    int bloom_bits_per_key) {
+  std::string data;
+  std::string index;
+  uint64_t index_count = 0;
+  BloomFilter bloom(entries.size(), bloom_bits_per_key);
+
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (i % kIndexInterval == 0) {
+      PutVarint32(&index, static_cast<uint32_t>(entries[i].user_key.size()));
+      index.append(entries[i].user_key);
+      PutFixed64(&index, data.size());
+      ++index_count;
+    }
+    bloom.Add(entries[i].user_key);
+    EncodeEntry(entries[i], &data);
+  }
+
+  const std::string bloom_bytes = bloom.Serialize();
+  std::string footer;
+  PutFixed64(&footer, data.size());                       // index_off
+  PutFixed64(&footer, index_count);                       // index_count
+  PutFixed64(&footer, data.size() + index.size());        // bloom_off
+  PutFixed64(&footer, bloom_bytes.size());                // bloom_len
+  PutFixed64(&footer, entries.size());                    // entry_count
+  PutFixed64(&footer, kMagic);
+
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot create SSTable " + path + ": " +
+                           std::strerror(errno));
+  }
+  bool ok = std::fwrite(data.data(), 1, data.size(), f) == data.size() &&
+            std::fwrite(index.data(), 1, index.size(), f) == index.size() &&
+            std::fwrite(bloom_bytes.data(), 1, bloom_bytes.size(), f) ==
+                bloom_bytes.size() &&
+            std::fwrite(footer.data(), 1, footer.size(), f) == footer.size();
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) return Status::IOError("SSTable write failed: " + path);
+  return Open(path);
+}
+
+Result<std::shared_ptr<SSTable>> SSTable::Open(const std::string& path) {
+  auto table = std::shared_ptr<SSTable>(new SSTable());
+  table->path_ = path;
+  table->file_ = std::fopen(path.c_str(), "rb");
+  if (table->file_ == nullptr) {
+    return Status::IOError("cannot open SSTable " + path);
+  }
+  Status s = table->LoadFooterAndIndex();
+  if (!s.ok()) return s;
+  return table;
+}
+
+Status SSTable::LoadFooterAndIndex() {
+  if (std::fseek(file_, 0, SEEK_END) != 0) {
+    return Status::IOError("seek failed");
+  }
+  long file_len = std::ftell(file_);
+  if (file_len < 48) return Status::Corruption("SSTable too small: " + path_);
+
+  char footer_buf[48];
+  std::fseek(file_, file_len - 48, SEEK_SET);
+  if (std::fread(footer_buf, 1, 48, file_) != 48) {
+    return Status::IOError("footer read failed");
+  }
+  std::string_view fv(footer_buf, 48);
+  uint64_t index_off, index_count, bloom_off, bloom_len, magic;
+  GetFixed64(&fv, &index_off);
+  GetFixed64(&fv, &index_count);
+  GetFixed64(&fv, &bloom_off);
+  GetFixed64(&fv, &bloom_len);
+  GetFixed64(&fv, &entry_count_);
+  GetFixed64(&fv, &magic);
+  if (magic != kMagic) return Status::Corruption("bad magic in " + path_);
+  data_end_ = index_off;
+
+  // Index block.
+  const uint64_t index_len = bloom_off - index_off;
+  std::string index_bytes(index_len, '\0');
+  std::fseek(file_, long(index_off), SEEK_SET);
+  if (std::fread(index_bytes.data(), 1, index_len, file_) != index_len) {
+    return Status::IOError("index read failed");
+  }
+  std::string_view iv(index_bytes);
+  index_.clear();
+  index_.reserve(index_count);
+  for (uint64_t i = 0; i < index_count; ++i) {
+    uint32_t klen = 0;
+    if (!GetVarint32(&iv, &klen) || iv.size() < klen + 8) {
+      return Status::Corruption("bad index entry in " + path_);
+    }
+    IndexEntry e;
+    e.key.assign(iv.substr(0, klen));
+    iv.remove_prefix(klen);
+    GetFixed64(&iv, &e.offset);
+    index_.push_back(std::move(e));
+  }
+  if (!index_.empty()) min_key_ = index_.front().key;
+
+  // Bloom block.
+  std::string bloom_bytes(bloom_len, '\0');
+  std::fseek(file_, long(bloom_off), SEEK_SET);
+  if (std::fread(bloom_bytes.data(), 1, bloom_len, file_) != bloom_len) {
+    return Status::IOError("bloom read failed");
+  }
+  bloom_ = BloomFilter::Deserialize(bloom_bytes);
+
+  // Max key: read the last entry (scan from last index point).
+  if (entry_count_ > 0 && !index_.empty()) {
+    Iterator it(this);
+    it.Seek(index_.back().key);
+    std::string last;
+    while (it.Valid()) {
+      last = it.entry().user_key;
+      it.Next();
+    }
+    max_key_ = last;
+  }
+  return Status::OK();
+}
+
+Status SSTable::Get(std::string_view key, SequenceNumber snapshot,
+                    InternalEntry* entry) const {
+  if (index_.empty()) return Status::NotFound();
+  if (!bloom_.MayContain(key)) {
+    ++bloom_negative_count;
+    return Status::NotFound();
+  }
+  ++disk_probe_count;
+  Iterator it(this);
+  it.Seek(key);
+  while (it.Valid() && it.entry().user_key == key) {
+    if (it.entry().seq <= snapshot) {
+      *entry = it.entry();
+      return Status::OK();
+    }
+    it.Next();
+  }
+  return Status::NotFound();
+}
+
+// ------------------------------------------------------------- Iterator
+
+SSTable::Iterator::Iterator(const SSTable* table) : table_(table) {}
+
+void SSTable::Iterator::SeekToFirst() {
+  next_offset_ = 0;
+  valid_ = false;
+  Next();
+}
+
+void SSTable::Iterator::Seek(std::string_view key) {
+  // Binary search for the last index point with key strictly < target,
+  // then scan forward.  Strict: an index point whose key EQUALS the
+  // target may be preceded by newer versions of the same user key at the
+  // tail of the previous block (entries sort by (key asc, seq desc)), so
+  // the scan must start one block earlier.
+  const auto& idx = table_->index_;
+  if (idx.empty()) {
+    valid_ = false;
+    return;
+  }
+  size_t lo = 0, hi = idx.size();
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (idx[mid].key < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  size_t start = lo > 0 ? lo - 1 : 0;
+  next_offset_ = idx[start].offset;
+  valid_ = false;
+  Next();
+  while (valid_ && current_.user_key < key) Next();
+}
+
+void SSTable::Iterator::Next() {
+  if (next_offset_ >= table_->data_end_) {
+    valid_ = false;
+    return;
+  }
+  valid_ = ReadEntryAt(next_offset_);
+}
+
+bool SSTable::Iterator::ReadEntryAt(uint64_t offset) {
+  // Read a bounded chunk covering at least one record.  Records are
+  // small (keys/values bounded by chunking at higher layers); 64 KB
+  // covers typical entries, and we retry with a larger read if needed.
+  std::FILE* f = table_->file_;
+  size_t want = 64 * 1024;
+  std::string buf;
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    size_t avail = size_t(table_->data_end_ - offset);
+    want = std::min(want, avail);
+    buf.resize(want);
+    std::fseek(f, long(offset), SEEK_SET);
+    size_t got = std::fread(buf.data(), 1, want, f);
+    buf.resize(got);
+    std::string_view v(buf);
+    uint32_t klen = 0;
+    std::string_view rest = v;
+    if (GetVarint32(&rest, &klen) && rest.size() >= klen + 9) {
+      std::string_view key = rest.substr(0, klen);
+      rest.remove_prefix(klen);
+      uint64_t seq = 0;
+      GetFixed64(&rest, &seq);
+      uint8_t type = static_cast<uint8_t>(rest.front());
+      rest.remove_prefix(1);
+      uint32_t vlen = 0;
+      if (GetVarint32(&rest, &vlen) && rest.size() >= vlen) {
+        current_.user_key.assign(key);
+        current_.seq = seq;
+        current_.type = static_cast<ValueType>(type);
+        current_.value.assign(rest.substr(0, vlen));
+        rest.remove_prefix(vlen);
+        // Bytes consumed from the chunk = v.size() - rest.size().
+        next_offset_ = offset + (v.size() - rest.size());
+        return true;
+      }
+    }
+    if (got >= avail) return false;  // truncated record at data end
+    want *= 4;                       // record larger than buffer; retry
+  }
+  return false;
+}
+
+}  // namespace deluge::storage

@@ -1,0 +1,105 @@
+#ifndef DELUGE_STORAGE_SSTABLE_H_
+#define DELUGE_STORAGE_SSTABLE_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/bloom.h"
+#include "storage/format.h"
+
+namespace deluge::storage {
+
+/// An immutable sorted run on disk.
+///
+/// File layout:
+/// ```
+///   data:   repeated [varint klen][key][fixed64 seq][u8 type]
+///                    [varint vlen][value]
+///   index:  every kIndexInterval-th entry: [varint klen][key][fixed64 off]
+///   bloom:  serialized BloomFilter over user keys
+///   footer: fixed64 x6: index_off, index_count, bloom_off, bloom_len,
+///           entry_count, magic
+/// ```
+/// Readers keep the sparse index and bloom filter in memory; point lookups
+/// do one bounded forward scan from the preceding index point.
+class SSTable {
+ public:
+  static constexpr uint64_t kMagic = 0xDE11A6E0DB5557ULL;
+  static constexpr size_t kIndexInterval = 16;
+
+  ~SSTable();
+
+  SSTable(const SSTable&) = delete;
+  SSTable& operator=(const SSTable&) = delete;
+
+  /// Writes `entries` (already sorted by InternalEntryComparator) to
+  /// `path` and returns an opened reader.
+  static Result<std::shared_ptr<SSTable>> Build(
+      const std::string& path, const std::vector<InternalEntry>& entries,
+      int bloom_bits_per_key = 10);
+
+  /// Opens an existing table, loading its index and bloom filter.
+  static Result<std::shared_ptr<SSTable>> Open(const std::string& path);
+
+  /// Finds the newest version of `key` with seq <= snapshot.
+  /// Returns NotFound if the key is absent from this table.  On success
+  /// `*entry` holds the version found (possibly a tombstone).
+  Status Get(std::string_view key, SequenceNumber snapshot,
+             InternalEntry* entry) const;
+
+  /// Streaming iterator over all entries in internal order.
+  class Iterator {
+   public:
+    explicit Iterator(const SSTable* table);
+    bool Valid() const { return valid_; }
+    void SeekToFirst();
+    /// Positions at the first entry >= (key, seq = max).
+    void Seek(std::string_view key);
+    void Next();
+    const InternalEntry& entry() const { return current_; }
+
+   private:
+    bool ReadEntryAt(uint64_t offset);
+
+    const SSTable* table_;
+    uint64_t next_offset_ = 0;
+    InternalEntry current_;
+    bool valid_ = false;
+  };
+
+  const std::string& path() const { return path_; }
+  uint64_t entry_count() const { return entry_count_; }
+  uint64_t file_size() const { return data_end_; }
+  const std::string& min_key() const { return min_key_; }
+  const std::string& max_key() const { return max_key_; }
+
+  /// Cumulative probe counters (for experiments on bloom effectiveness).
+  mutable uint64_t bloom_negative_count = 0;
+  mutable uint64_t disk_probe_count = 0;
+
+ private:
+  SSTable() = default;
+
+  struct IndexEntry {
+    std::string key;
+    uint64_t offset;
+  };
+
+  Status LoadFooterAndIndex();
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  std::vector<IndexEntry> index_;
+  BloomFilter bloom_{1};
+  uint64_t data_end_ = 0;  // offset where data region ends (index begins)
+  uint64_t entry_count_ = 0;
+  std::string min_key_;
+  std::string max_key_;
+};
+
+}  // namespace deluge::storage
+
+#endif  // DELUGE_STORAGE_SSTABLE_H_

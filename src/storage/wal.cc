@@ -1,0 +1,93 @@
+#include "storage/wal.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#include "common/hash.h"
+#include "storage/format.h"
+
+namespace deluge::storage {
+
+WriteAheadLog::~WriteAheadLog() { Close(); }
+
+Status WriteAheadLog::Open(const std::string& path) {
+  Close();
+  path_ = path;
+  file_ = std::fopen(path.c_str(), "ab");
+  if (file_ == nullptr) {
+    return Status::IOError("cannot open WAL " + path + ": " +
+                           std::strerror(errno));
+  }
+  long pos = std::ftell(file_);
+  size_bytes_ = pos > 0 ? uint64_t(pos) : 0;
+  return Status::OK();
+}
+
+Status WriteAheadLog::Append(std::string_view record, bool sync) {
+  if (file_ == nullptr) return Status::IOError("WAL not open");
+  std::string frame;
+  frame.reserve(12 + record.size());
+  PutFixed32(&frame, static_cast<uint32_t>(record.size()));
+  PutFixed64(&frame, Hash64(record));
+  frame.append(record.data(), record.size());
+  if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size()) {
+    return Status::IOError("WAL write failed");
+  }
+  if (std::fflush(file_) != 0) return Status::IOError("WAL flush failed");
+  if (sync) {
+    if (fdatasync(fileno(file_)) != 0) {
+      return Status::IOError("WAL fdatasync failed");
+    }
+  }
+  size_bytes_ += frame.size();
+  return Status::OK();
+}
+
+Result<size_t> WriteAheadLog::Replay(
+    const std::string& path,
+    const std::function<void(std::string_view)>& consumer) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return size_t{0};  // no log => nothing to replay
+  size_t replayed = 0;
+  std::vector<char> buf;
+  for (;;) {
+    char header[12];
+    size_t got = std::fread(header, 1, sizeof(header), f);
+    if (got < sizeof(header)) break;  // clean EOF or torn header
+    uint32_t len = 0;
+    uint64_t crc = 0;
+    std::memcpy(&len, header, 4);
+    std::memcpy(&crc, header + 4, 8);
+    if (len > (64u << 20)) break;  // implausible length => corruption
+    buf.resize(len);
+    if (std::fread(buf.data(), 1, len, f) != len) break;  // torn payload
+    if (Hash64(buf.data(), len) != crc) break;            // corrupt
+    consumer(std::string_view(buf.data(), len));
+    ++replayed;
+  }
+  std::fclose(f);
+  return replayed;
+}
+
+Status WriteAheadLog::Reset() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  file_ = std::fopen(path_.c_str(), "wb");  // truncate
+  if (file_ == nullptr) return Status::IOError("WAL reset failed: " + path_);
+  size_bytes_ = 0;
+  return Status::OK();
+}
+
+void WriteAheadLog::Close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+}  // namespace deluge::storage

@@ -1,0 +1,60 @@
+#ifndef DELUGE_STORAGE_WAL_H_
+#define DELUGE_STORAGE_WAL_H_
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace deluge::storage {
+
+/// Append-only write-ahead log.
+///
+/// Record framing: `[fixed32 length][fixed64 checksum][payload]`.  The
+/// checksum is `Hash64(payload)`; a truncated or corrupt tail record stops
+/// replay cleanly (records after a torn write are ignored, the standard
+/// crash-recovery contract).
+class WriteAheadLog {
+ public:
+  WriteAheadLog() = default;
+  ~WriteAheadLog();
+
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  /// Opens (creating if absent) the log at `path` for appending.
+  Status Open(const std::string& path);
+
+  /// Appends one record; flushes library buffers.  When `sync` is true
+  /// also issues fdatasync-equivalent (durability vs throughput knob).
+  Status Append(std::string_view record, bool sync = false);
+
+  /// Replays every intact record in file order through `consumer`.
+  /// Returns the number of records replayed.  Stops at the first corrupt
+  /// or truncated record without error.
+  static Result<size_t> Replay(
+      const std::string& path,
+      const std::function<void(std::string_view)>& consumer);
+
+  /// Closes and truncates the log to empty (called after a memtable
+  /// flush makes its contents redundant).
+  Status Reset();
+
+  /// Bytes appended since open/reset.
+  uint64_t size_bytes() const { return size_bytes_; }
+
+  bool is_open() const { return file_ != nullptr; }
+
+  void Close();
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  uint64_t size_bytes_ = 0;
+};
+
+}  // namespace deluge::storage
+
+#endif  // DELUGE_STORAGE_WAL_H_

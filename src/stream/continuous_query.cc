@@ -1,0 +1,41 @@
+#include "stream/continuous_query.h"
+
+namespace deluge::stream {
+
+ContinuousQuery::ContinuousQuery(std::string id, QosSpec qos,
+                                 Micros cost_per_tuple)
+    : id_(std::move(id)), qos_(qos), cost_per_tuple_(cost_per_tuple) {}
+
+ContinuousQuery& ContinuousQuery::Add(std::unique_ptr<Operator> op) {
+  ops_.push_back(std::move(op));
+  return *this;
+}
+
+ContinuousQuery& ContinuousQuery::Sink(Emit sink) {
+  sink_ = std::move(sink);
+  return *this;
+}
+
+void ContinuousQuery::Run(size_t stage, const Tuple& t) {
+  if (stage == ops_.size()) {
+    ++tuples_out_;
+    if (sink_) sink_(t);
+    return;
+  }
+  ops_[stage]->Process(
+      t, [this, stage](const Tuple& out) { Run(stage + 1, out); });
+}
+
+void ContinuousQuery::Push(const Tuple& t) {
+  ++tuples_in_;
+  Run(0, t);
+}
+
+void ContinuousQuery::Flush() {
+  for (size_t stage = 0; stage < ops_.size(); ++stage) {
+    ops_[stage]->Flush(
+        [this, stage](const Tuple& out) { Run(stage + 1, out); });
+  }
+}
+
+}  // namespace deluge::stream

@@ -1,0 +1,71 @@
+#ifndef DELUGE_STREAM_CONTINUOUS_QUERY_H_
+#define DELUGE_STREAM_CONTINUOUS_QUERY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "stream/operators.h"
+
+namespace deluge::stream {
+
+/// Quality-of-service contract of a continuous query (Section IV-C:
+/// "schedule multiple (continuous) queries that meet different QoS
+/// metrics").
+struct QosSpec {
+  /// Soft latency target from tuple arrival to sink output.
+  Micros deadline = 100 * kMicrosPerMilli;
+  /// Relative importance for weighted schedulers (> 0).
+  double weight = 1.0;
+  /// Priority class boost for physical-space-origin tuples (space-aware
+  /// scheduling, Section IV-G).
+  bool prioritize_physical = false;
+};
+
+/// A standing dataflow: a linear pipeline of operators with a sink.
+///
+/// Tuples pushed into the query traverse every operator; whatever reaches
+/// the end goes to the sink callback.  `cost_per_tuple` models the CPU
+/// cost the scheduler charges per input tuple (simulation currency).
+class ContinuousQuery {
+ public:
+  ContinuousQuery(std::string id, QosSpec qos,
+                  Micros cost_per_tuple = 50);
+
+  ContinuousQuery(const ContinuousQuery&) = delete;
+  ContinuousQuery& operator=(const ContinuousQuery&) = delete;
+
+  /// Appends an operator to the pipeline (builder style).
+  ContinuousQuery& Add(std::unique_ptr<Operator> op);
+
+  /// Sets the terminal callback.
+  ContinuousQuery& Sink(Emit sink);
+
+  /// Runs one tuple through the whole pipeline synchronously.
+  void Push(const Tuple& t);
+
+  /// Flushes operator state (window tails) through the pipeline.
+  void Flush();
+
+  const std::string& id() const { return id_; }
+  const QosSpec& qos() const { return qos_; }
+  Micros cost_per_tuple() const { return cost_per_tuple_; }
+  uint64_t tuples_in() const { return tuples_in_; }
+  uint64_t tuples_out() const { return tuples_out_; }
+
+ private:
+  void Run(size_t stage, const Tuple& t);
+
+  std::string id_;
+  QosSpec qos_;
+  Micros cost_per_tuple_;
+  std::vector<std::unique_ptr<Operator>> ops_;
+  Emit sink_;
+  uint64_t tuples_in_ = 0;
+  uint64_t tuples_out_ = 0;
+};
+
+}  // namespace deluge::stream
+
+#endif  // DELUGE_STREAM_CONTINUOUS_QUERY_H_

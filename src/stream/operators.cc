@@ -1,0 +1,157 @@
+#include "stream/operators.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace deluge::stream {
+
+// ------------------------------------------------------ WindowAggregateOp
+
+WindowAggregateOp::WindowAggregateOp(Micros window, AggFn fn,
+                                     std::string field,
+                                     Micros allowed_lateness)
+    : window_(window > 0 ? window : 1),
+      fn_(fn),
+      field_(std::move(field)),
+      lateness_(allowed_lateness) {}
+
+void WindowAggregateOp::Process(const Tuple& t, const Emit& emit) {
+  Micros start = (t.event_time / window_) * window_;
+  if (t.event_time < 0) start -= window_;  // floor for negatives
+
+  // Late data: window already closed by the watermark.
+  if (watermark_ != INT64_MIN && start + window_ <= watermark_) {
+    ++late_dropped_;
+    return;
+  }
+
+  Accum& a = windows_[start][t.key];
+  double v = t.GetNumeric(field_).value_or(0.0);
+  if (a.count == 0) {
+    a.min = v;
+    a.max = v;
+    a.space = t.space;
+  }
+  a.sum += v;
+  a.min = std::min(a.min, v);
+  a.max = std::max(a.max, v);
+  ++a.count;
+
+  // Advance the watermark and close finished windows.
+  watermark_ = std::max(watermark_, t.event_time - lateness_);
+  while (!windows_.empty()) {
+    Micros first_start = windows_.begin()->first;
+    if (first_start + window_ > watermark_) break;
+    EmitWindow(first_start, emit);
+  }
+}
+
+double WindowAggregateOp::Finalize(const Accum& a) const {
+  switch (fn_) {
+    case AggFn::kCount:
+      return double(a.count);
+    case AggFn::kSum:
+      return a.sum;
+    case AggFn::kAvg:
+      return a.count > 0 ? a.sum / double(a.count) : 0.0;
+    case AggFn::kMin:
+      return a.min;
+    case AggFn::kMax:
+      return a.max;
+  }
+  return 0.0;
+}
+
+void WindowAggregateOp::EmitWindow(Micros window_start, const Emit& emit) {
+  auto it = windows_.find(window_start);
+  if (it == windows_.end()) return;
+  for (const auto& [key, accum] : it->second) {
+    Tuple out;
+    out.event_time = window_start + window_;
+    out.space = accum.space;
+    out.key = key;
+    out.Set("agg", Finalize(accum));
+    out.Set("window_start", int64_t(window_start));
+    out.Set("count", int64_t(accum.count));
+    emit(out);
+  }
+  windows_.erase(it);
+}
+
+void WindowAggregateOp::Flush(const Emit& emit) {
+  while (!windows_.empty()) {
+    EmitWindow(windows_.begin()->first, emit);
+  }
+}
+
+// ---------------------------------------------------------- WindowJoinOp
+
+WindowJoinOp::WindowJoinOp(Micros window,
+                           std::function<int(const Tuple&)> side_of,
+                           std::string right_prefix)
+    : window_(window > 0 ? window : 1),
+      side_of_(std::move(side_of)),
+      right_prefix_(std::move(right_prefix)) {}
+
+void WindowJoinOp::Expire(Micros now) {
+  auto too_old = [&](const Tuple& t) {
+    return t.event_time + window_ < now;
+  };
+  while (!left_.empty() && too_old(left_.front())) left_.pop_front();
+  while (!right_.empty() && too_old(right_.front())) right_.pop_front();
+}
+
+void WindowJoinOp::Process(const Tuple& t, const Emit& emit) {
+  Expire(t.event_time);
+  int side = side_of_(t);
+  const std::deque<Tuple>& probe = (side == 0) ? right_ : left_;
+  for (const Tuple& other : probe) {
+    if (other.key != t.key) continue;
+    const Tuple& left = (side == 0) ? t : other;
+    const Tuple& right = (side == 0) ? other : t;
+    Tuple joined = left;
+    joined.event_time = std::max(left.event_time, right.event_time);
+    for (const auto& [name, value] : right.fields) {
+      std::string out_name =
+          joined.fields.count(name) ? right_prefix_ + name : name;
+      joined.fields[out_name] = value;
+    }
+    emit(joined);
+  }
+  ((side == 0) ? left_ : right_).push_back(t);
+}
+
+// --------------------------------------------------------- InterpolateOp
+
+InterpolateOp::InterpolateOp(std::string field, Micros max_gap, Micros step)
+    : field_(std::move(field)),
+      max_gap_(max_gap > 0 ? max_gap : 1),
+      step_(step > 0 ? step : 1) {}
+
+void InterpolateOp::Process(const Tuple& t, const Emit& emit) {
+  auto it = last_.find(t.key);
+  if (it != last_.end()) {
+    const Tuple& prev = it->second;
+    Micros gap = t.event_time - prev.event_time;
+    if (gap > max_gap_) {
+      auto v0 = prev.GetNumeric(field_);
+      auto v1 = t.GetNumeric(field_);
+      if (v0 && v1) {
+        for (Micros ts = prev.event_time + step_; ts < t.event_time;
+             ts += step_) {
+          double f = double(ts - prev.event_time) / double(gap);
+          Tuple synth = prev;
+          synth.event_time = ts;
+          synth.Set(field_, *v0 + f * (*v1 - *v0));
+          synth.Set("interpolated", true);
+          emit(synth);
+          ++synthesized_;
+        }
+      }
+    }
+  }
+  last_[t.key] = t;
+  emit(t);
+}
+
+}  // namespace deluge::stream

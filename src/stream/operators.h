@@ -1,0 +1,147 @@
+#ifndef DELUGE_STREAM_OPERATORS_H_
+#define DELUGE_STREAM_OPERATORS_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "stream/tuple.h"
+
+namespace deluge::stream {
+
+/// Downstream emission callback.
+using Emit = std::function<void(const Tuple&)>;
+
+/// A push-based stream operator.  `Process` consumes one tuple and emits
+/// zero or more; `Flush` releases any state held back for completeness
+/// (window tails, join buffers) at stream end.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+  virtual void Process(const Tuple& t, const Emit& emit) = 0;
+  virtual void Flush(const Emit& emit) { (void)emit; }
+  virtual std::string name() const = 0;
+};
+
+/// Stateless predicate filter.
+class FilterOp : public Operator {
+ public:
+  using Predicate = std::function<bool(const Tuple&)>;
+  explicit FilterOp(Predicate pred) : pred_(std::move(pred)) {}
+  void Process(const Tuple& t, const Emit& emit) override {
+    if (pred_(t)) emit(t);
+  }
+  std::string name() const override { return "filter"; }
+
+ private:
+  Predicate pred_;
+};
+
+/// Stateless transformation (may change key/fields, not multiplicity).
+class MapOp : public Operator {
+ public:
+  using Fn = std::function<Tuple(const Tuple&)>;
+  explicit MapOp(Fn fn) : fn_(std::move(fn)) {}
+  void Process(const Tuple& t, const Emit& emit) override { emit(fn_(t)); }
+  std::string name() const override { return "map"; }
+
+ private:
+  Fn fn_;
+};
+
+/// Supported window aggregation functions.
+enum class AggFn { kCount, kSum, kAvg, kMin, kMax };
+
+/// Tumbling event-time window aggregation grouped by tuple key.
+///
+/// Windows close when the watermark (max event time seen minus
+/// `allowed_lateness`) passes their end; each closed window emits one
+/// tuple per key with fields "agg" (the result) and "window_start".
+/// Late tuples for closed windows are dropped and counted.
+class WindowAggregateOp : public Operator {
+ public:
+  /// Aggregates `field` with `fn` over windows of `window` micros.
+  WindowAggregateOp(Micros window, AggFn fn, std::string field,
+                    Micros allowed_lateness = 0);
+
+  void Process(const Tuple& t, const Emit& emit) override;
+  void Flush(const Emit& emit) override;
+  std::string name() const override { return "window-agg"; }
+
+  uint64_t late_dropped() const { return late_dropped_; }
+
+ private:
+  struct Accum {
+    double sum = 0;
+    double min = 0;
+    double max = 0;
+    uint64_t count = 0;
+    Space space = Space::kPhysical;
+  };
+
+  void EmitWindow(Micros window_start, const Emit& emit);
+  double Finalize(const Accum& a) const;
+
+  Micros window_;
+  AggFn fn_;
+  std::string field_;
+  Micros lateness_;
+  Micros watermark_ = INT64_MIN;
+  // window start -> key -> accumulator
+  std::map<Micros, std::map<std::string, Accum>> windows_;
+  uint64_t late_dropped_ = 0;
+};
+
+/// Symmetric windowed hash join on tuple key.
+///
+/// Keeps a sliding buffer of `window` micros per side; each arriving
+/// tuple probes the opposite buffer and emits merged tuples (right-side
+/// fields prefixed with `right_prefix` on conflict).
+class WindowJoinOp : public Operator {
+ public:
+  /// Tuples are routed to sides by `side_of` (0 = left, 1 = right).
+  WindowJoinOp(Micros window, std::function<int(const Tuple&)> side_of,
+               std::string right_prefix = "r_");
+
+  void Process(const Tuple& t, const Emit& emit) override;
+  std::string name() const override { return "window-join"; }
+
+  size_t buffered() const { return left_.size() + right_.size(); }
+
+ private:
+  void Expire(Micros now);
+
+  Micros window_;
+  std::function<int(const Tuple&)> side_of_;
+  std::string right_prefix_;
+  std::deque<Tuple> left_;
+  std::deque<Tuple> right_;
+};
+
+/// User-defined interpolation of sensor readings (Section IV-G: "sensor
+/// data may have to be interpolated ... for them to be consumed by the
+/// virtual space").  Emits, for each arriving tuple, additional synthetic
+/// tuples linearly interpolated between the previous and current reading
+/// of the same key when the gap exceeds `max_gap`.
+class InterpolateOp : public Operator {
+ public:
+  InterpolateOp(std::string field, Micros max_gap, Micros step);
+  void Process(const Tuple& t, const Emit& emit) override;
+  std::string name() const override { return "interpolate"; }
+
+  uint64_t synthesized() const { return synthesized_; }
+
+ private:
+  std::string field_;
+  Micros max_gap_;
+  Micros step_;
+  std::unordered_map<std::string, Tuple> last_;
+  uint64_t synthesized_ = 0;
+};
+
+}  // namespace deluge::stream
+
+#endif  // DELUGE_STREAM_OPERATORS_H_

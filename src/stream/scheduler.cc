@@ -1,0 +1,178 @@
+#include "stream/scheduler.h"
+
+#include <limits>
+
+namespace deluge::stream {
+
+std::string PolicyName(SchedulingPolicy policy) {
+  switch (policy) {
+    case SchedulingPolicy::kRoundRobin:
+      return "round-robin";
+    case SchedulingPolicy::kFifo:
+      return "fifo";
+    case SchedulingPolicy::kEdf:
+      return "edf";
+    case SchedulingPolicy::kLeastSlack:
+      return "least-slack";
+    case SchedulingPolicy::kWeighted:
+      return "weighted";
+    case SchedulingPolicy::kSpaceAware:
+      return "space-aware";
+  }
+  return "unknown";
+}
+
+StreamScheduler::StreamScheduler(SimClock* clock, SchedulingPolicy policy)
+    : clock_(clock), policy_(policy) {}
+
+void StreamScheduler::Register(ContinuousQuery* query) {
+  by_id_[query->id()] = queries_.size();
+  queries_.push_back(QueryState{query, {}, {}});
+}
+
+void StreamScheduler::Enqueue(const std::string& query_id, Tuple t) {
+  auto it = by_id_.find(query_id);
+  if (it == by_id_.end()) {
+    ++dropped_;
+    return;
+  }
+  queries_[it->second].queue.push_back(
+      Item{std::move(t), clock_->NowMicros(), next_seq_++});
+}
+
+size_t StreamScheduler::pending() const {
+  size_t n = 0;
+  for (const auto& q : queries_) n += q.queue.size();
+  return n;
+}
+
+int StreamScheduler::PickNext() const {
+  const Micros now = clock_->NowMicros();
+  int best = -1;
+  double best_score = std::numeric_limits<double>::infinity();
+
+  switch (policy_) {
+    case SchedulingPolicy::kRoundRobin: {
+      for (size_t off = 0; off < queries_.size(); ++off) {
+        size_t i = (rr_cursor_ + off) % queries_.size();
+        if (!queries_[i].queue.empty()) return int(i);
+      }
+      return -1;
+    }
+    case SchedulingPolicy::kFifo: {
+      uint64_t best_seq = std::numeric_limits<uint64_t>::max();
+      for (size_t i = 0; i < queries_.size(); ++i) {
+        const auto& q = queries_[i];
+        if (!q.queue.empty() && q.queue.front().seq < best_seq) {
+          best_seq = q.queue.front().seq;
+          best = int(i);
+        }
+      }
+      return best;
+    }
+    case SchedulingPolicy::kEdf: {
+      for (size_t i = 0; i < queries_.size(); ++i) {
+        const auto& q = queries_[i];
+        if (q.queue.empty()) continue;
+        double deadline =
+            double(q.queue.front().arrival + q.query->qos().deadline);
+        if (deadline < best_score) {
+          best_score = deadline;
+          best = int(i);
+        }
+      }
+      return best;
+    }
+    case SchedulingPolicy::kLeastSlack: {
+      for (size_t i = 0; i < queries_.size(); ++i) {
+        const auto& q = queries_[i];
+        if (q.queue.empty()) continue;
+        double slack =
+            double(q.queue.front().arrival + q.query->qos().deadline - now -
+                   q.query->cost_per_tuple());
+        if (slack < best_score) {
+          best_score = slack;
+          best = int(i);
+        }
+      }
+      return best;
+    }
+    case SchedulingPolicy::kWeighted: {
+      // Maximize age * weight => minimize the negation.
+      for (size_t i = 0; i < queries_.size(); ++i) {
+        const auto& q = queries_[i];
+        if (q.queue.empty()) continue;
+        double age = double(now - q.queue.front().arrival) + 1.0;
+        double score = -age * q.query->qos().weight;
+        if (score < best_score) {
+          best_score = score;
+          best = int(i);
+        }
+      }
+      return best;
+    }
+    case SchedulingPolicy::kSpaceAware: {
+      // Physical first; FIFO inside a class.
+      uint64_t best_seq = std::numeric_limits<uint64_t>::max();
+      bool best_physical = false;
+      for (size_t i = 0; i < queries_.size(); ++i) {
+        const auto& q = queries_[i];
+        if (q.queue.empty()) continue;
+        const Item& item = q.queue.front();
+        bool physical = item.tuple.space == Space::kPhysical;
+        if ((physical && !best_physical) ||
+            (physical == best_physical && item.seq < best_seq)) {
+          best_physical = physical;
+          best_seq = item.seq;
+          best = int(i);
+        }
+      }
+      return best;
+    }
+  }
+  return best;
+}
+
+bool StreamScheduler::Step() {
+  int idx = PickNext();
+  if (idx < 0) return false;
+  QueryState& q = queries_[size_t(idx)];
+  Item item = std::move(q.queue.front());
+  q.queue.pop_front();
+  if (policy_ == SchedulingPolicy::kRoundRobin) {
+    rr_cursor_ = (size_t(idx) + 1) % queries_.size();
+  }
+  clock_->Advance(q.query->cost_per_tuple());
+  q.query->Push(item.tuple);
+  Micros latency = clock_->NowMicros() - item.arrival;
+  q.stats.latency.Record(latency);
+  ++q.stats.processed;
+  if (latency > q.query->qos().deadline) ++q.stats.deadline_misses;
+  return true;
+}
+
+size_t StreamScheduler::RunUntilDrained() {
+  size_t n = 0;
+  while (Step()) ++n;
+  return n;
+}
+
+const QueryStats& StreamScheduler::stats_for(
+    const std::string& query_id) const {
+  static const QueryStats& kEmpty = *new QueryStats();
+  auto it = by_id_.find(query_id);
+  if (it == by_id_.end()) return kEmpty;
+  return queries_[it->second].stats;
+}
+
+QueryStats StreamScheduler::TotalStats() const {
+  QueryStats total;
+  for (const auto& q : queries_) {
+    total.latency.Merge(q.stats.latency);
+    total.processed += q.stats.processed;
+    total.deadline_misses += q.stats.deadline_misses;
+  }
+  return total;
+}
+
+}  // namespace deluge::stream

@@ -1,0 +1,65 @@
+#ifndef DELUGE_STREAM_TUPLE_H_
+#define DELUGE_STREAM_TUPLE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <variant>
+
+#include "common/clock.h"
+
+namespace deluge::stream {
+
+/// Which side of the metaverse a datum originates from.  Space-aware
+/// operators and schedulers (Sections IV-F/IV-G) treat the two classes
+/// differently — e.g. physical-space data outranks virtual-space data.
+enum class Space : uint8_t {
+  kPhysical = 0,
+  kVirtual = 1,
+};
+
+/// A dynamically-typed field value.
+using Value = std::variant<int64_t, double, std::string, bool>;
+
+/// A schema-light stream record.
+///
+/// Metaverse streams are heterogeneous (sensor fixes, RFID reads, chat
+/// events, inventory deltas), so tuples carry a field map rather than a
+/// fixed schema; continuous queries bind the fields they need.  `key`
+/// names the entity the tuple describes (device id, shopper id, …).
+struct Tuple {
+  Micros event_time = 0;
+  Space space = Space::kPhysical;
+  std::string key;
+  std::unordered_map<std::string, Value> fields;
+
+  /// Typed field access; std::nullopt when absent or wrong type.
+  template <typename T>
+  std::optional<T> Get(const std::string& name) const {
+    auto it = fields.find(name);
+    if (it == fields.end()) return std::nullopt;
+    if (const T* v = std::get_if<T>(&it->second)) return *v;
+    return std::nullopt;
+  }
+
+  /// Numeric access with int64->double promotion.
+  std::optional<double> GetNumeric(const std::string& name) const {
+    auto it = fields.find(name);
+    if (it == fields.end()) return std::nullopt;
+    if (const double* d = std::get_if<double>(&it->second)) return *d;
+    if (const int64_t* i = std::get_if<int64_t>(&it->second)) {
+      return double(*i);
+    }
+    return std::nullopt;
+  }
+
+  Tuple& Set(const std::string& name, Value v) {
+    fields[name] = std::move(v);
+    return *this;
+  }
+};
+
+}  // namespace deluge::stream
+
+#endif  // DELUGE_STREAM_TUPLE_H_

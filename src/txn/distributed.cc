@@ -1,0 +1,317 @@
+#include "txn/distributed.h"
+
+#include "common/hash.h"
+#include "storage/format.h"
+
+namespace deluge::txn {
+
+using storage::GetFixed64;
+using storage::GetLengthPrefixed;
+using storage::PutFixed64;
+using storage::PutLengthPrefixed;
+
+std::string EncodeWrites(uint64_t txn_id, Timestamp ts,
+                         const std::vector<WriteOp>& writes) {
+  std::string out;
+  PutFixed64(&out, txn_id);
+  PutFixed64(&out, ts);
+  PutFixed64(&out, writes.size());
+  for (const auto& w : writes) {
+    PutLengthPrefixed(&out, w.key);
+    PutLengthPrefixed(&out, w.value);
+  }
+  return out;
+}
+
+bool DecodeWrites(std::string_view payload, uint64_t* txn_id, Timestamp* ts,
+                  std::vector<WriteOp>* writes) {
+  uint64_t count = 0;
+  if (!GetFixed64(&payload, txn_id) || !GetFixed64(&payload, ts) ||
+      !GetFixed64(&payload, &count)) {
+    return false;
+  }
+  writes->clear();
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string_view k, v;
+    if (!GetLengthPrefixed(&payload, &k) || !GetLengthPrefixed(&payload, &v)) {
+      return false;
+    }
+    writes->push_back(WriteOp{std::string(k), std::string(v)});
+  }
+  return true;
+}
+
+// -------------------------------------------------------------- ShardNode
+
+ShardNode::ShardNode(net::Network* net, net::Simulator* sim)
+    : net_(net), sim_(sim) {
+  node_id_ = net->AddNode([this](const net::Message& m) { OnMessage(m); });
+}
+
+void ShardNode::OnMessage(const net::Message& msg) {
+  switch (static_cast<TxnMsg>(msg.type)) {
+    case TxnMsg::kPrepare:
+      HandlePrepare(msg);
+      break;
+    case TxnMsg::kCommit:
+      HandleCommit(msg, true);
+      break;
+    case TxnMsg::kAbort:
+      HandleCommit(msg, false);
+      break;
+    case TxnMsg::kSingleRound:
+      HandleSingleRound(msg);
+      break;
+    default:
+      break;  // replies are coordinator-side
+  }
+}
+
+void ShardNode::HandlePrepare(const net::Message& msg) {
+  uint64_t txn_id = 0;
+  Timestamp ts = 0;
+  std::vector<WriteOp> writes;
+  bool vote_yes = DecodeWrites(msg.payload, &txn_id, &ts, &writes);
+  if (vote_yes) {
+    for (const auto& w : writes) {
+      if (!store_.TryLock(w.key, txn_id).ok()) {
+        vote_yes = false;
+        break;
+      }
+    }
+    if (!vote_yes) {
+      for (const auto& w : writes) store_.Unlock(w.key, txn_id);
+    }
+  }
+  if (vote_yes) prepared_[txn_id] = std::move(writes);
+
+  net::Message reply;
+  reply.from = node_id_;
+  reply.to = msg.from;
+  reply.type = uint32_t(vote_yes ? TxnMsg::kVoteYes : TxnMsg::kVoteNo);
+  std::string payload;
+  PutFixed64(&payload, txn_id);
+  reply.payload = std::move(payload);
+  net::Network* net = net_;
+  sim_->After(processing_cost,
+              [net, reply = std::move(reply)]() { net->Send(reply); });
+}
+
+void ShardNode::HandleCommit(const net::Message& msg, bool commit) {
+  std::string_view payload(msg.payload);
+  uint64_t txn_id = 0;
+  Timestamp ts = 0;
+  if (!GetFixed64(&payload, &txn_id) || !GetFixed64(&payload, &ts)) return;
+  auto it = prepared_.find(txn_id);
+  if (it != prepared_.end()) {
+    for (const auto& w : it->second) {
+      if (commit) {
+        store_.CommitWrite(w.key, w.value, ts, txn_id);
+      } else {
+        store_.Unlock(w.key, txn_id);
+      }
+    }
+    prepared_.erase(it);
+  }
+  net::Message reply;
+  reply.from = node_id_;
+  reply.to = msg.from;
+  reply.type = uint32_t(TxnMsg::kAck);
+  std::string ack;
+  PutFixed64(&ack, txn_id);
+  reply.payload = std::move(ack);
+  net::Network* net = net_;
+  sim_->After(processing_cost,
+              [net, reply = std::move(reply)]() { net->Send(reply); });
+}
+
+void ShardNode::HandleSingleRound(const net::Message& msg) {
+  uint64_t txn_id = 0;
+  Timestamp ts = 0;
+  std::vector<WriteOp> writes;
+  bool ok = DecodeWrites(msg.payload, &txn_id, &ts, &writes);
+  if (ok) {
+    // Validation: the key must not be write-locked by a concurrent 2PC
+    // transaction, and its latest version must precede our timestamp
+    // (deterministic ordering by coordinator timestamp).
+    for (const auto& w : writes) {
+      if (!store_.TryLock(w.key, txn_id).ok() ||
+          store_.LatestVersion(w.key) >= ts) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      for (const auto& w : writes) store_.CommitWrite(w.key, w.value, ts, txn_id);
+    } else {
+      for (const auto& w : writes) store_.Unlock(w.key, txn_id);
+    }
+  }
+  net::Message reply;
+  reply.from = node_id_;
+  reply.to = msg.from;
+  reply.type =
+      uint32_t(ok ? TxnMsg::kSingleRoundOk : TxnMsg::kSingleRoundReject);
+  std::string payload;
+  PutFixed64(&payload, txn_id);
+  reply.payload = std::move(payload);
+  net::Network* net = net_;
+  sim_->After(processing_cost,
+              [net, reply = std::move(reply)]() { net->Send(reply); });
+}
+
+// --------------------------------------------------- DistributedTxnSystem
+
+DistributedTxnSystem::DistributedTxnSystem(net::Network* net,
+                                           net::Simulator* sim,
+                                           std::vector<ShardNode*> shards)
+    : net_(net), sim_(sim), shards_(std::move(shards)) {
+  coord_node_ = net->AddNode([this](const net::Message& m) { OnMessage(m); });
+}
+
+size_t DistributedTxnSystem::ShardOf(const std::string& key) const {
+  return size_t(Hash64(key) % shards_.size());
+}
+
+Status DistributedTxnSystem::Read(const std::string& key,
+                                  std::string* value) const {
+  return shards_[ShardOf(key)]->store().Get(key, ~Timestamp{0}, value);
+}
+
+void DistributedTxnSystem::SendToShard(size_t shard, TxnMsg type,
+                                       uint64_t txn_id,
+                                       const std::string& payload) {
+  (void)txn_id;
+  net::Message msg;
+  msg.from = coord_node_;
+  msg.to = shards_[shard]->node_id();
+  msg.type = uint32_t(type);
+  msg.payload = payload;
+  net_->Send(std::move(msg));
+}
+
+void DistributedTxnSystem::Submit(std::vector<WriteOp> writes,
+                                  CommitProtocol protocol, Callback cb,
+                                  Micros timeout) {
+  InFlight txn;
+  txn.txn_id = next_txn_id_++;
+  txn.protocol = protocol;
+  txn.writes = std::move(writes);
+  txn.started_at = sim_->Now();
+  txn.commit_ts = next_ts_++;
+  txn.cb = std::move(cb);
+
+  // Group writes by shard.
+  std::map<size_t, std::vector<WriteOp>> by_shard;
+  for (const auto& w : txn.writes) by_shard[ShardOf(w.key)].push_back(w);
+  for (const auto& [shard, ops] : by_shard) {
+    txn.participant_shards.push_back(shard);
+  }
+  txn.votes_pending = txn.participant_shards.size();
+
+  TxnMsg round_type = protocol == CommitProtocol::kTwoPhase
+                          ? TxnMsg::kPrepare
+                          : TxnMsg::kSingleRound;
+  uint64_t id = txn.txn_id;
+  Timestamp ts = txn.commit_ts;
+  in_flight_.emplace(id, std::move(txn));
+  for (const auto& [shard, ops] : by_shard) {
+    SendToShard(shard, round_type, id, EncodeWrites(id, ts, ops));
+  }
+  // Safety net: a lost message or partition must not wedge the
+  // transaction (and its locks) forever.
+  if (timeout > 0) {
+    sim_->After(timeout, [this, id]() {
+      auto it = in_flight_.find(id);
+      if (it == in_flight_.end()) return;  // already decided
+      InFlight& stuck = it->second;
+      // If the decision was already reached (commit sent, acks lost),
+      // honour it — a durable decision must never be reported as abort.
+      // Otherwise broadcast a best-effort abort so reachable
+      // participants release their prepared locks.
+      bool committed = stuck.decided && stuck.decision_commit;
+      std::string decision;
+      PutFixed64(&decision, stuck.txn_id);
+      PutFixed64(&decision, stuck.commit_ts);
+      for (size_t shard : stuck.participant_shards) {
+        SendToShard(shard, committed ? TxnMsg::kCommit : TxnMsg::kAbort,
+                    stuck.txn_id, decision);
+      }
+      Finish(stuck, committed);
+      in_flight_.erase(it);
+    });
+  }
+}
+
+void DistributedTxnSystem::OnMessage(const net::Message& msg) {
+  std::string_view payload(msg.payload);
+  uint64_t txn_id = 0;
+  if (!GetFixed64(&payload, &txn_id)) return;
+  auto it = in_flight_.find(txn_id);
+  if (it == in_flight_.end()) return;
+  InFlight& txn = it->second;
+
+  switch (static_cast<TxnMsg>(msg.type)) {
+    case TxnMsg::kVoteYes:
+    case TxnMsg::kVoteNo: {
+      if (static_cast<TxnMsg>(msg.type) == TxnMsg::kVoteNo) {
+        txn.vote_failed = true;
+      }
+      if (--txn.votes_pending > 0) return;
+      // All votes in: second round.
+      bool commit = !txn.vote_failed;
+      txn.acks_pending = txn.participant_shards.size();
+      std::string decision;
+      PutFixed64(&decision, txn.txn_id);
+      PutFixed64(&decision, txn.commit_ts);
+      for (size_t shard : txn.participant_shards) {
+        SendToShard(shard, commit ? TxnMsg::kCommit : TxnMsg::kAbort,
+                    txn.txn_id, decision);
+      }
+      // 2PC completes when the commit round is acknowledged: only then
+      // are locks released and writes visible everywhere.  (This is the
+      // full-protocol latency the single-round protocol eliminates.)
+      txn.decided = true;
+      txn.decision_commit = commit;
+      return;
+    }
+    case TxnMsg::kAck: {
+      if (txn.acks_pending > 0 && --txn.acks_pending == 0) {
+        Finish(txn, txn.decision_commit);
+        in_flight_.erase(it);
+      }
+      return;
+    }
+    case TxnMsg::kSingleRoundOk:
+    case TxnMsg::kSingleRoundReject: {
+      if (static_cast<TxnMsg>(msg.type) == TxnMsg::kSingleRoundReject) {
+        txn.vote_failed = true;
+      }
+      if (--txn.votes_pending > 0) return;
+      Finish(txn, !txn.vote_failed);
+      in_flight_.erase(it);
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+void DistributedTxnSystem::Finish(InFlight& txn, bool committed) {
+  if (txn.cb == nullptr) return;
+  TxnResult result;
+  result.committed = committed;
+  result.commit_ts = txn.commit_ts;
+  result.latency = sim_->Now() - txn.started_at;
+  commit_latency_.Record(result.latency);
+  if (committed) {
+    ++committed_;
+  } else {
+    ++aborted_;
+  }
+  Callback cb = std::move(txn.cb);
+  txn.cb = nullptr;
+  cb(result);
+}
+
+}  // namespace deluge::txn

@@ -1,0 +1,158 @@
+#ifndef DELUGE_TXN_DISTRIBUTED_H_
+#define DELUGE_TXN_DISTRIBUTED_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/histogram.h"
+#include "net/network.h"
+#include "txn/mvcc.h"
+
+namespace deluge::txn {
+
+/// Wire message types of the commit protocols.
+enum class TxnMsg : uint32_t {
+  kPrepare = 1,
+  kVoteYes = 2,
+  kVoteNo = 3,
+  kCommit = 4,
+  kAbort = 5,
+  kAck = 6,
+  kSingleRound = 7,        ///< one-shot validate+apply
+  kSingleRoundOk = 8,
+  kSingleRoundReject = 9,
+};
+
+/// One buffered write.
+struct WriteOp {
+  std::string key;
+  std::string value;
+};
+
+/// Commit outcome reported to the application.
+struct TxnResult {
+  bool committed = false;
+  Timestamp commit_ts = 0;
+  Micros latency = 0;  ///< submit -> decision, virtual time
+};
+
+/// Commit protocols compared in E6.
+enum class CommitProtocol {
+  kTwoPhase,      ///< classic 2PC: prepare round + commit round (2 RTT)
+  kSingleRound,   ///< Carousel-style one-round commit (1 RTT)
+};
+
+/// A participant shard bound to a network node.
+///
+/// Owns an `MvccStore` and answers protocol messages: PREPARE locks the
+/// write set and votes; COMMIT applies and unlocks; SINGLE_ROUND
+/// validates the read versions and applies in one step.
+class ShardNode {
+ public:
+  /// Registers the shard on `net` and returns it; alive until the
+  /// owning DistributedTxnSystem is destroyed.
+  ShardNode(net::Network* net, net::Simulator* sim);
+
+  net::NodeId node_id() const { return node_id_; }
+  MvccStore& store() { return store_; }
+
+  /// Processing-time model per message (CPU cost).
+  Micros processing_cost = 20;
+
+ private:
+  void OnMessage(const net::Message& msg);
+  void HandlePrepare(const net::Message& msg);
+  void HandleCommit(const net::Message& msg, bool commit);
+  void HandleSingleRound(const net::Message& msg);
+
+  net::Network* net_;
+  net::Simulator* sim_;
+  net::NodeId node_id_ = 0;
+  MvccStore store_;
+  // txn id -> prepared writes awaiting commit.
+  std::unordered_map<uint64_t, std::vector<WriteOp>> prepared_;
+};
+
+/// The distributed transaction layer of a decentralized metaverse
+/// database: keys hash-partitioned over shards, commit via 2PC or a
+/// single-round protocol, all over the simulated (multi-DC) network so
+/// that E6 can sweep inter-DC RTT.
+class DistributedTxnSystem {
+ public:
+  using Callback = std::function<void(const TxnResult&)>;
+
+  /// `shards` are created by the caller (placed into DCs as desired);
+  /// the system registers one coordinator node on `net`.
+  DistributedTxnSystem(net::Network* net, net::Simulator* sim,
+                       std::vector<ShardNode*> shards);
+
+  /// The shard index owning `key`.
+  size_t ShardOf(const std::string& key) const;
+
+  /// Submits a transaction writing `writes` (read-your-writes snapshot at
+  /// submit time), committing via `protocol`.  The callback fires at
+  /// decision time in virtual time.  Reads for validation are the
+  /// latest versions of the written keys at submit (OCC-style).
+  ///
+  /// If the protocol does not complete within `timeout` (lost messages,
+  /// partitions), the coordinator aborts: participants get an ABORT (so
+  /// prepared locks release when reachable) and the callback reports
+  /// `committed = false`.
+  void Submit(std::vector<WriteOp> writes, CommitProtocol protocol,
+              Callback cb, Micros timeout = 10 * kMicrosPerSecond);
+
+  /// Snapshot read through the owning shard (local, no network; models a
+  /// client library with a shard map).
+  Status Read(const std::string& key, std::string* value) const;
+
+  const Histogram& commit_latency() const { return commit_latency_; }
+  uint64_t committed() const { return committed_; }
+  uint64_t aborted() const { return aborted_; }
+  net::NodeId coordinator_node() const { return coord_node_; }
+
+ private:
+  struct InFlight {
+    uint64_t txn_id;
+    CommitProtocol protocol;
+    std::vector<WriteOp> writes;
+    std::vector<size_t> participant_shards;
+    size_t votes_pending = 0;
+    bool vote_failed = false;
+    bool decided = false;          ///< 2PC: decision reached (commit/abort)
+    bool decision_commit = false;  ///< the decision, valid when `decided`
+    size_t acks_pending = 0;
+    Micros started_at = 0;
+    Timestamp commit_ts = 0;
+    Callback cb;
+  };
+
+  void OnMessage(const net::Message& msg);
+  void Finish(InFlight& txn, bool committed);
+  void SendToShard(size_t shard, TxnMsg type, uint64_t txn_id,
+                   const std::string& payload);
+
+  net::Network* net_;
+  net::Simulator* sim_;
+  std::vector<ShardNode*> shards_;
+  net::NodeId coord_node_ = 0;
+  uint64_t next_txn_id_ = 1;
+  Timestamp next_ts_ = 1;
+  std::unordered_map<uint64_t, InFlight> in_flight_;
+  Histogram commit_latency_;
+  uint64_t committed_ = 0;
+  uint64_t aborted_ = 0;
+};
+
+/// Wire coding helpers (exposed for tests).
+std::string EncodeWrites(uint64_t txn_id, Timestamp ts,
+                         const std::vector<WriteOp>& writes);
+bool DecodeWrites(std::string_view payload, uint64_t* txn_id, Timestamp* ts,
+                  std::vector<WriteOp>* writes);
+
+}  // namespace deluge::txn
+
+#endif  // DELUGE_TXN_DISTRIBUTED_H_

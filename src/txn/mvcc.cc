@@ -1,0 +1,80 @@
+#include "txn/mvcc.h"
+
+#include <algorithm>
+
+namespace deluge::txn {
+
+Status MvccStore::Get(const std::string& key, Timestamp snapshot,
+                      std::string* value) const {
+  auto it = versions_.find(key);
+  if (it == versions_.end()) return Status::NotFound(key);
+  const auto& vs = it->second;
+  // Last version with ts <= snapshot.
+  auto vit = std::upper_bound(
+      vs.begin(), vs.end(), snapshot,
+      [](Timestamp s, const Version& v) { return s < v.ts; });
+  if (vit == vs.begin()) return Status::NotFound("no visible version");
+  *value = (vit - 1)->value;
+  return Status::OK();
+}
+
+Timestamp MvccStore::LatestVersion(const std::string& key) const {
+  auto it = versions_.find(key);
+  if (it == versions_.end() || it->second.empty()) return 0;
+  return it->second.back().ts;
+}
+
+Status MvccStore::TryLock(const std::string& key, uint64_t txn_id) {
+  auto [it, inserted] = locks_.emplace(key, txn_id);
+  if (!inserted && it->second != txn_id) {
+    return Status::Busy("write lock held");
+  }
+  return Status::OK();
+}
+
+void MvccStore::Unlock(const std::string& key, uint64_t txn_id) {
+  auto it = locks_.find(key);
+  if (it != locks_.end() && it->second == txn_id) locks_.erase(it);
+}
+
+void MvccStore::CommitWrite(const std::string& key, const std::string& value,
+                            Timestamp commit_ts, uint64_t txn_id) {
+  Apply(key, value, commit_ts);
+  Unlock(key, txn_id);
+}
+
+void MvccStore::Apply(const std::string& key, const std::string& value,
+                      Timestamp commit_ts) {
+  auto& vs = versions_[key];
+  if (!vs.empty() && vs.back().ts >= commit_ts) {
+    // Out-of-order apply: insert at the right position, replacing any
+    // version with the identical timestamp.
+    auto vit = std::lower_bound(
+        vs.begin(), vs.end(), commit_ts,
+        [](const Version& v, Timestamp t) { return v.ts < t; });
+    if (vit != vs.end() && vit->ts == commit_ts) {
+      vit->value = value;
+    } else {
+      vs.insert(vit, Version{commit_ts, value});
+    }
+    return;
+  }
+  vs.push_back(Version{commit_ts, value});
+}
+
+size_t MvccStore::Vacuum(Timestamp horizon) {
+  size_t removed = 0;
+  for (auto& [key, vs] : versions_) {
+    // Keep the newest version with ts <= horizon plus everything after.
+    auto vit = std::upper_bound(
+        vs.begin(), vs.end(), horizon,
+        [](Timestamp h, const Version& v) { return h < v.ts; });
+    if (vit == vs.begin()) continue;
+    auto keep_from = vit - 1;
+    removed += size_t(keep_from - vs.begin());
+    vs.erase(vs.begin(), keep_from);
+  }
+  return removed;
+}
+
+}  // namespace deluge::txn

@@ -1,0 +1,67 @@
+#ifndef DELUGE_TXN_MVCC_H_
+#define DELUGE_TXN_MVCC_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace deluge::txn {
+
+/// Commit timestamps; globally ordered by the coordinator's clock.
+using Timestamp = uint64_t;
+
+/// A multi-version key-value shard with a write-lock table.
+///
+/// Reads at a snapshot timestamp see the newest version with
+/// commit_ts <= snapshot (repeatable-read).  Writes go through the lock
+/// table: `TryLock` is the prepare-phase hook of 2PC, `CommitWrite`
+/// installs a version and releases the lock.
+class MvccStore {
+ public:
+  /// Newest version visible at `snapshot`; NotFound when none.
+  Status Get(const std::string& key, Timestamp snapshot,
+             std::string* value) const;
+
+  /// Timestamp of the newest committed version (0 when none).
+  Timestamp LatestVersion(const std::string& key) const;
+
+  /// Acquires the write lock for `txn_id`.  Re-entrant for the same
+  /// transaction; Busy when another transaction holds it.
+  Status TryLock(const std::string& key, uint64_t txn_id);
+
+  /// Releases `txn_id`'s lock on `key` (no-op for non-holders).
+  void Unlock(const std::string& key, uint64_t txn_id);
+
+  /// Installs a committed version and releases the holder's lock.
+  /// The caller guarantees ordering (commit timestamps increase).
+  void CommitWrite(const std::string& key, const std::string& value,
+                   Timestamp commit_ts, uint64_t txn_id);
+
+  /// Direct unlocked write (loader / single-owner paths).
+  void Apply(const std::string& key, const std::string& value,
+             Timestamp commit_ts);
+
+  /// Garbage-collects versions older than `horizon` (keeps the newest
+  /// version at or below it so reads never lose data).
+  size_t Vacuum(Timestamp horizon);
+
+  size_t key_count() const { return versions_.size(); }
+  size_t locked_keys() const { return locks_.size(); }
+
+ private:
+  struct Version {
+    Timestamp ts;
+    std::string value;
+  };
+  // Versions per key, ascending by ts.
+  std::unordered_map<std::string, std::vector<Version>> versions_;
+  std::unordered_map<std::string, uint64_t> locks_;
+};
+
+}  // namespace deluge::txn
+
+#endif  // DELUGE_TXN_MVCC_H_

@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "ml/colearn.h"
+
+namespace deluge::ml {
+namespace {
+
+TEST(CoLearnTest, CollaborationBeatsNoisyEnvironmentBaseline) {
+  CoLearnConfig config;
+  config.rounds = 6000;
+  config.environment_noise = 0.3;
+  CoLearningLoop loop(config);
+  CoLearnResult result = loop.Run();
+  EXPECT_GT(result.model_accuracy, result.baseline_accuracy);
+  EXPECT_GT(result.model_accuracy, 0.9);
+  EXPECT_GT(result.human_queries, 0u);
+}
+
+TEST(CoLearnTest, HumanSkillImprovesThroughModelFeedback) {
+  CoLearnConfig config;
+  config.initial_human_skill = 0.7;
+  config.rounds = 6000;
+  CoLearningLoop loop(config);
+  CoLearnResult result = loop.Run();
+  // The human learned from the model's explanations (Fig. 8(c)'s other
+  // direction of the arrow).
+  EXPECT_GT(result.final_human_skill, 0.85);
+  EXPECT_LE(result.final_human_skill, config.max_human_skill);
+}
+
+TEST(CoLearnTest, NoQueriesWhenMarginIsZero) {
+  CoLearnConfig config;
+  config.query_margin = 0.0;  // never uncertain enough to ask
+  config.rounds = 1000;
+  CoLearningLoop loop(config);
+  CoLearnResult result = loop.Run();
+  EXPECT_EQ(result.human_queries, 0u);
+}
+
+TEST(CoLearnTest, QueryBudgetShrinksAsModelGainsConfidence) {
+  // More rounds should not mean proportionally more human queries: the
+  // model's uncertain region shrinks as it converges.
+  auto queries_for = [](size_t rounds) {
+    CoLearnConfig config;
+    config.rounds = rounds;
+    CoLearningLoop loop(config);
+    return loop.Run().human_queries;
+  };
+  // Same seed => the first 4000 rounds are identical; the second 4000
+  // rounds must consume fewer queries than the first 4000 did.
+  uint64_t first_half = queries_for(4000);
+  uint64_t both_halves = queries_for(8000);
+  EXPECT_LT(both_halves - first_half, first_half);
+}
+
+TEST(CoLearnTest, DeterministicGivenSeed) {
+  CoLearnConfig config;
+  config.rounds = 500;
+  CoLearnResult a = CoLearningLoop(config).Run();
+  CoLearnResult b = CoLearningLoop(config).Run();
+  EXPECT_EQ(a.model_accuracy, b.model_accuracy);
+  EXPECT_EQ(a.human_queries, b.human_queries);
+}
+
+}  // namespace
+}  // namespace deluge::ml

@@ -1,0 +1,314 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/hash.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+
+namespace deluge {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryCodesRoundTrip) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::TimedOut("x").IsTimedOut());
+  EXPECT_TRUE(Status::Aborted("x").IsAborted());
+  EXPECT_TRUE(Status::Busy("x").IsBusy());
+  EXPECT_TRUE(Status::Unavailable("x").IsUnavailable());
+  EXPECT_FALSE(Status::NotFound("x").ok());
+}
+
+TEST(StatusTest, ToStringIncludesMessage) {
+  Status s = Status::IOError("disk gone");
+  EXPECT_EQ(s.ToString(), "IOError: disk gone");
+}
+
+TEST(StatusTest, EqualityComparesCodeOnly) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Aborted("a"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(-1), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, OkStatusBecomesInternalError) {
+  Result<int> r = Status::OK();
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+// ------------------------------------------------------------------- Rng
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(3);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianMomentsApproximate) {
+  Rng rng(11);
+  double sum = 0, sum2 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.Gaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  double mean = sum / n;
+  double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(RngTest, ExponentialMeanApproximate) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.03);
+}
+
+TEST(RngTest, BernoulliEdges) {
+  Rng rng(17);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+}
+
+TEST(RngTest, ZipfSkewsTowardsSmallKeys) {
+  Rng rng(19);
+  const uint64_t n = 1000;
+  int hits_low = 0;
+  const int draws = 10000;
+  for (int i = 0; i < draws; ++i) {
+    uint64_t v = rng.Zipf(n, 0.99);
+    ASSERT_LT(v, n);
+    if (v < 10) ++hits_low;
+  }
+  // With theta=0.99, the 10 hottest of 1000 keys should absorb far more
+  // than their uniform 1% share.
+  EXPECT_GT(hits_low, draws / 10);
+}
+
+TEST(RngTest, ZipfThetaZeroIsUniformish) {
+  Rng rng(23);
+  const uint64_t n = 10;
+  std::vector<int> counts(n, 0);
+  for (int i = 0; i < 10000; ++i) counts[rng.Zipf(n, 0.0)]++;
+  for (auto c : counts) EXPECT_GT(c, 700);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(29);
+  auto s = rng.SampleWithoutReplacement(100, 20);
+  ASSERT_EQ(s.size(), 20u);
+  std::set<uint64_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 20u);
+  for (auto v : s) EXPECT_LT(v, 100u);
+}
+
+TEST(RngTest, SampleAllWhenKExceedsN) {
+  Rng rng(31);
+  auto s = rng.SampleWithoutReplacement(5, 50);
+  ASSERT_EQ(s.size(), 5u);
+  for (uint64_t i = 0; i < 5; ++i) EXPECT_EQ(s[i], i);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(37);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+// ----------------------------------------------------------------- Clock
+
+TEST(SimClockTest, AdvanceMovesTime) {
+  SimClock clock(100);
+  EXPECT_EQ(clock.NowMicros(), 100);
+  clock.Advance(50);
+  EXPECT_EQ(clock.NowMicros(), 150);
+  clock.AdvanceTo(1000);
+  EXPECT_EQ(clock.NowMicros(), 1000);
+  clock.AdvanceTo(500);  // backwards jumps ignored
+  EXPECT_EQ(clock.NowMicros(), 1000);
+}
+
+TEST(SystemClockTest, Monotonic) {
+  SystemClock* c = SystemClock::Default();
+  Micros a = c->NowMicros();
+  Micros b = c->NowMicros();
+  EXPECT_LE(a, b);
+}
+
+// ------------------------------------------------------------------ Hash
+
+TEST(HashTest, DeterministicAndSeeded) {
+  EXPECT_EQ(Hash64("hello"), Hash64("hello"));
+  EXPECT_NE(Hash64("hello"), Hash64("hellp"));
+  EXPECT_NE(Hash64("hello", 1), Hash64("hello", 2));
+}
+
+TEST(HashTest, EmptyInputIsStable) {
+  EXPECT_EQ(Hash64("", 0), Hash64(nullptr, 0, 0));
+}
+
+TEST(HashTest, Mix64Bijective) {
+  // Spot-check injectivity on a sample.
+  std::set<uint64_t> out;
+  for (uint64_t i = 0; i < 1000; ++i) out.insert(Mix64(i));
+  EXPECT_EQ(out.size(), 1000u);
+}
+
+// ------------------------------------------------------------- Histogram
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.Percentile(50), 0.0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Record(100);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 100);
+  EXPECT_EQ(h.max(), 100);
+  EXPECT_DOUBLE_EQ(h.mean(), 100.0);
+  EXPECT_NEAR(h.P50(), 100.0, 15.0);
+}
+
+TEST(HistogramTest, PercentilesOrdered) {
+  Histogram h;
+  Rng rng(41);
+  for (int i = 0; i < 10000; ++i) h.Record(int64_t(rng.Uniform(1000)));
+  EXPECT_LE(h.P50(), h.P95());
+  EXPECT_LE(h.P95(), h.P99());
+  EXPECT_NEAR(h.P50(), 500.0, 75.0);
+  EXPECT_NEAR(h.mean(), 500.0, 25.0);
+}
+
+TEST(HistogramTest, MergeCombinesCounts) {
+  Histogram a, b;
+  a.Record(10);
+  b.Record(1000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 10);
+  EXPECT_EQ(a.max(), 1000);
+}
+
+TEST(HistogramTest, NegativeClampedToZero) {
+  Histogram h;
+  h.Record(-5);
+  EXPECT_EQ(h.min(), 0);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Record(7);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0);
+}
+
+TEST(HistogramTest, RecordManyMatchesLoop) {
+  Histogram a, b;
+  a.RecordMany(42, 1000);
+  for (int i = 0; i < 1000; ++i) b.Record(42);
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_DOUBLE_EQ(a.mean(), b.mean());
+}
+
+// ------------------------------------------------------------ ThreadPool
+
+TEST(ThreadPoolTest, ExecutesAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<int> x{0};
+  pool.Submit([&x] { x = 7; });
+  pool.Wait();
+  EXPECT_EQ(x.load(), 7);
+}
+
+}  // namespace
+}  // namespace deluge

@@ -1,0 +1,266 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "consistency/coherency.h"
+#include "consistency/lod.h"
+#include "consistency/priority_scheduler.h"
+#include "net/simulator.h"
+
+namespace deluge::consistency {
+namespace {
+
+// -------------------------------------------------------- CoherencyFilter
+
+TEST(CoherencyFilterTest, FirstUpdateAlwaysSends) {
+  CoherencyFilter filter({/*value_bound=*/10.0, /*max_staleness=*/1000000});
+  EXPECT_TRUE(filter.Offer(1, {0, 0, 0}, 0));
+  EXPECT_EQ(filter.stats().updates_sent, 1u);
+}
+
+TEST(CoherencyFilterTest, SmallChangesSuppressed) {
+  CoherencyFilter filter({5.0, 100 * kMicrosPerSecond});
+  EXPECT_TRUE(filter.Offer(1, {0, 0, 0}, 0));
+  EXPECT_FALSE(filter.Offer(1, {1, 0, 0}, 1000));
+  EXPECT_FALSE(filter.Offer(1, {3, 0, 0}, 2000));
+  EXPECT_TRUE(filter.Offer(1, {10, 0, 0}, 3000));  // 10 m > bound
+  EXPECT_EQ(filter.stats().updates_suppressed, 2u);
+  EXPECT_EQ(filter.stats().updates_sent, 2u);
+}
+
+TEST(CoherencyFilterTest, DeviationMeasuredFromLastSentNotLastOffered) {
+  CoherencyFilter filter({5.0, 100 * kMicrosPerSecond});
+  ASSERT_TRUE(filter.Offer(1, {0, 0, 0}, 0));
+  // Creep by 2 m per offer: each step is small but cumulative drift
+  // crosses the bound on the third offer.
+  EXPECT_FALSE(filter.Offer(1, {2, 0, 0}, 1));
+  EXPECT_FALSE(filter.Offer(1, {4, 0, 0}, 2));
+  EXPECT_TRUE(filter.Offer(1, {6, 0, 0}, 3));
+}
+
+TEST(CoherencyFilterTest, StalenessForcesRefresh) {
+  CoherencyFilter filter({1000.0, kMicrosPerSecond});
+  ASSERT_TRUE(filter.Offer(1, {0, 0, 0}, 0));
+  EXPECT_FALSE(filter.Offer(1, {0.1, 0, 0}, 100));
+  // Value barely moved, but a second has passed.
+  EXPECT_TRUE(filter.Offer(1, {0.2, 0, 0}, kMicrosPerSecond + 1));
+}
+
+TEST(CoherencyFilterTest, ZeroBoundTransmitsEveryChange) {
+  CoherencyFilter filter({0.0, 100 * kMicrosPerSecond});
+  EXPECT_TRUE(filter.Offer(1, {0, 0, 0}, 0));
+  EXPECT_TRUE(filter.Offer(1, {0.001, 0, 0}, 1));
+  EXPECT_EQ(filter.stats().SuppressionRatio(), 0.0);
+}
+
+TEST(CoherencyFilterTest, PerEntityContracts) {
+  CoherencyFilter filter({100.0, 100 * kMicrosPerSecond});
+  filter.SetContract(2, {0.5, 100 * kMicrosPerSecond});  // tight
+  ASSERT_TRUE(filter.Offer(1, {0, 0, 0}, 0));
+  ASSERT_TRUE(filter.Offer(2, {0, 0, 0}, 0));
+  EXPECT_FALSE(filter.Offer(1, {3, 0, 0}, 1));  // loose contract holds
+  EXPECT_TRUE(filter.Offer(2, {3, 0, 0}, 1));   // tight contract violated
+}
+
+TEST(CoherencyFilterTest, MirrorValueTracksLastSent) {
+  CoherencyFilter filter({5.0, 100 * kMicrosPerSecond});
+  geo::Vec3 mirror;
+  EXPECT_FALSE(filter.MirrorValue(1, &mirror));
+  filter.Offer(1, {1, 2, 3}, 0);
+  filter.Offer(1, {2, 2, 3}, 1);  // suppressed
+  ASSERT_TRUE(filter.MirrorValue(1, &mirror));
+  EXPECT_EQ(mirror, (geo::Vec3{1, 2, 3}));
+}
+
+TEST(CoherencyFilterTest, ScalarVariant) {
+  CoherencyFilter filter({2.0, 100 * kMicrosPerSecond});
+  EXPECT_TRUE(filter.OfferScalar(7, 10.0, 0));
+  EXPECT_FALSE(filter.OfferScalar(7, 11.0, 1));
+  EXPECT_TRUE(filter.OfferScalar(7, 13.0, 2));
+}
+
+TEST(CoherencyFilterTest, DeviationErrorIsBoundedByContract) {
+  CoherencyFilter filter({5.0, 1000 * kMicrosPerSecond});
+  Rng rng(3);
+  geo::Vec3 pos{0, 0, 0};
+  for (int i = 0; i < 10000; ++i) {
+    pos += {rng.Gaussian(0, 0.2), rng.Gaussian(0, 0.2), 0};
+    filter.Offer(1, pos, i);
+  }
+  // The mirror's error at every suppression decision stayed <= bound.
+  EXPECT_LE(filter.stats().deviation_max, 5.0);
+  EXPECT_GT(filter.stats().SuppressionRatio(), 0.5);
+}
+
+// ------------------------------------------------------------ LodSelector
+
+TEST(LodSelectorTest, InfiniteBudgetPicksAllFull) {
+  LodSelector selector;
+  std::vector<LodCandidate> cands = {{1, 100, 10, 1.0}, {2, 200, 20, 2.0}};
+  auto choices = selector.Select(cands, 1u << 30);
+  EXPECT_EQ(choices[0].resolution, Resolution::kFull);
+  EXPECT_EQ(choices[1].resolution, Resolution::kFull);
+  EXPECT_EQ(LodSelector::TotalBytes(choices), 300u);
+}
+
+TEST(LodSelectorTest, ZeroBudgetSkipsAll) {
+  LodSelector selector;
+  auto choices = selector.Select({{1, 100, 10, 1.0}}, 0);
+  EXPECT_EQ(choices[0].resolution, Resolution::kSkip);
+  EXPECT_EQ(choices[0].bytes, 0u);
+}
+
+TEST(LodSelectorTest, TightBudgetDegradesToLow) {
+  LodSelector selector(0.5);
+  std::vector<LodCandidate> cands = {{1, 1000, 50, 1.0}};
+  auto choices = selector.Select(cands, 100);
+  EXPECT_EQ(choices[0].resolution, Resolution::kLow);
+  EXPECT_EQ(choices[0].bytes, 50u);
+}
+
+TEST(LodSelectorTest, ImportantAssetsWinTheBudget) {
+  LodSelector selector(0.4);
+  std::vector<LodCandidate> cands = {
+      {1, 100, 10, 10.0},  // important
+      {2, 100, 10, 0.1},   // unimportant
+  };
+  auto choices = selector.Select(cands, 110);
+  EXPECT_EQ(choices[0].resolution, Resolution::kFull);
+  EXPECT_EQ(choices[1].resolution, Resolution::kLow);
+}
+
+TEST(LodSelectorTest, BudgetNeverExceeded) {
+  LodSelector selector;
+  Rng rng(7);
+  std::vector<LodCandidate> cands;
+  for (uint64_t i = 0; i < 100; ++i) {
+    uint64_t low = 10 + rng.Uniform(100);
+    cands.push_back({i, low + rng.Uniform(1000), low,
+                     rng.UniformDouble(0.1, 5.0)});
+  }
+  for (uint64_t budget : {0ull, 100ull, 1000ull, 10000ull, 100000ull}) {
+    auto choices = selector.Select(cands, budget);
+    EXPECT_LE(LodSelector::TotalBytes(choices), budget);
+  }
+}
+
+TEST(LodSelectorTest, MoreBudgetNeverLowersUtility) {
+  LodSelector selector;
+  Rng rng(11);
+  std::vector<LodCandidate> cands;
+  for (uint64_t i = 0; i < 50; ++i) {
+    uint64_t low = 10 + rng.Uniform(50);
+    cands.push_back({i, low + rng.Uniform(500), low,
+                     rng.UniformDouble(0.1, 3.0)});
+  }
+  double prev = -1.0;
+  for (uint64_t budget = 0; budget <= 20000; budget += 1000) {
+    double u = LodSelector::TotalUtility(selector.Select(cands, budget));
+    EXPECT_GE(u, prev - 1e-9);
+    prev = u;
+  }
+}
+
+// --------------------------------------------------- TransmissionScheduler
+
+TEST(TxSchedulerTest, FifoDeliversInOrder) {
+  net::Simulator sim;
+  TransmissionScheduler sched(&sim, 1000.0, TxPolicy::kFifo);  // 1 KB/s
+  std::vector<uint64_t> order;
+  for (uint64_t i = 0; i < 3; ++i) {
+    PendingUpdate u;
+    u.id = i;
+    u.bytes = 100;  // 100 ms each
+    u.urgency = Urgency::kBulk;
+    u.on_delivered = [&order, i](Micros) { order.push_back(i); };
+    sched.Submit(std::move(u));
+  }
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<uint64_t>{0, 1, 2}));
+  EXPECT_EQ(sched.total_delivered(), 3u);
+  EXPECT_EQ(sim.Now(), 300 * kMicrosPerMilli);
+}
+
+TEST(TxSchedulerTest, StrictPriorityJumpsBulkBacklog) {
+  net::Simulator sim;
+  TransmissionScheduler sched(&sim, 1000.0, TxPolicy::kStrictPriority);
+  Micros critical_delivery = -1;
+  // 10 bulk updates of 1000 bytes each = 10 s of backlog.
+  for (int i = 0; i < 10; ++i) {
+    PendingUpdate u;
+    u.bytes = 1000;
+    u.urgency = Urgency::kBulk;
+    sched.Submit(std::move(u));
+  }
+  PendingUpdate critical;
+  critical.bytes = 100;
+  critical.urgency = Urgency::kCritical;
+  critical.on_delivered = [&](Micros t) { critical_delivery = t; };
+  sched.Submit(std::move(critical));
+  sim.Run();
+  // The critical update waits only for the in-flight bulk item, not the
+  // whole backlog: <= 1 s (current transfer) + 0.1 s (its own).
+  EXPECT_LE(critical_delivery, Micros(1.2 * kMicrosPerSecond));
+}
+
+TEST(TxSchedulerTest, FifoMakesCriticalWaitBehindBacklog) {
+  net::Simulator sim;
+  TransmissionScheduler sched(&sim, 1000.0, TxPolicy::kFifo);
+  Micros critical_delivery = -1;
+  for (int i = 0; i < 10; ++i) {
+    PendingUpdate u;
+    u.bytes = 1000;
+    u.urgency = Urgency::kBulk;
+    sched.Submit(std::move(u));
+  }
+  PendingUpdate critical;
+  critical.bytes = 100;
+  critical.urgency = Urgency::kCritical;
+  critical.deadline = 2 * kMicrosPerSecond;
+  critical.on_delivered = [&](Micros t) { critical_delivery = t; };
+  sched.Submit(std::move(critical));
+  sim.Run();
+  EXPECT_GE(critical_delivery, Micros(10 * kMicrosPerSecond));
+  EXPECT_EQ(sched.stats_for(Urgency::kCritical).deadline_misses, 1u);
+}
+
+TEST(TxSchedulerTest, EdfOrdersWithinClass) {
+  net::Simulator sim;
+  TransmissionScheduler sched(&sim, 1000.0, TxPolicy::kEdfWithinClass);
+  std::vector<uint64_t> order;
+  // Seed one dummy so the interesting items queue behind it and the
+  // scheduler must choose among them.
+  PendingUpdate dummy;
+  dummy.bytes = 100;
+  dummy.urgency = Urgency::kHigh;
+  sched.Submit(std::move(dummy));
+
+  for (uint64_t i = 0; i < 3; ++i) {
+    PendingUpdate u;
+    u.id = i;
+    u.bytes = 100;
+    u.urgency = Urgency::kHigh;
+    u.deadline = Micros((3 - i) * kMicrosPerSecond);  // later items more urgent
+    u.on_delivered = [&order, i](Micros) { order.push_back(i); };
+    sched.Submit(std::move(u));
+  }
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<uint64_t>{2, 1, 0}));
+}
+
+TEST(TxSchedulerTest, StatsPerClass) {
+  net::Simulator sim;
+  TransmissionScheduler sched(&sim, 1e6, TxPolicy::kStrictPriority);
+  for (int i = 0; i < 5; ++i) {
+    PendingUpdate u;
+    u.bytes = 1000;
+    u.urgency = i % 2 == 0 ? Urgency::kHigh : Urgency::kNormal;
+    sched.Submit(std::move(u));
+  }
+  sim.Run();
+  EXPECT_EQ(sched.stats_for(Urgency::kHigh).delivered, 3u);
+  EXPECT_EQ(sched.stats_for(Urgency::kNormal).delivered, 2u);
+  EXPECT_EQ(sched.queued(), 0u);
+}
+
+}  // namespace
+}  // namespace deluge::consistency

@@ -1,0 +1,304 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "fusion/event_detector.h"
+#include "fusion/fuser.h"
+
+namespace deluge::fusion {
+namespace {
+
+Observation PosObs(const std::string& entity, uint32_t source, SourceType type,
+                   Micros t, geo::Vec3 pos, double conf = 1.0) {
+  Observation o;
+  o.entity = entity;
+  o.source_id = source;
+  o.type = type;
+  o.t = t;
+  o.position = pos;
+  o.has_position = true;
+  o.confidence = conf;
+  return o;
+}
+
+Observation AttrObs(const std::string& entity, uint32_t source, Micros t,
+                    const std::string& attr, const std::string& value,
+                    double conf = 1.0) {
+  Observation o;
+  o.entity = entity;
+  o.source_id = source;
+  o.type = SourceType::kText;
+  o.t = t;
+  o.attribute = attr;
+  o.value = value;
+  o.confidence = conf;
+  return o;
+}
+
+// ----------------------------------------------------- ReliabilityTracker
+
+TEST(ReliabilityTrackerTest, UnseenSourceHasPrior) {
+  ReliabilityTracker tracker(0.1, 0.5);
+  EXPECT_DOUBLE_EQ(tracker.reliability(42), 0.5);
+}
+
+TEST(ReliabilityTrackerTest, AgreementRaisesDisagreementLowers) {
+  ReliabilityTracker tracker(0.2, 0.5);
+  for (int i = 0; i < 20; ++i) tracker.Observe(1, 0.0);    // perfect
+  for (int i = 0; i < 20; ++i) tracker.Observe(2, 100.0);  // terrible
+  EXPECT_GT(tracker.reliability(1), 0.9);
+  EXPECT_LT(tracker.reliability(2), 0.1);
+}
+
+TEST(ReliabilityTrackerTest, ScaleControlsSeverity) {
+  ReliabilityTracker a(1.0, 0.5), b(1.0, 0.5);
+  a.Observe(1, 5.0, /*scale=*/5.0);    // e^-1
+  b.Observe(1, 5.0, /*scale=*/50.0);   // e^-0.1
+  EXPECT_LT(a.reliability(1), b.reliability(1));
+}
+
+// ------------------------------------------------------------ EntityFuser
+
+TEST(EntityFuserTest, SingleSourcePassThrough) {
+  EntityFuser fuser;
+  fuser.Add(PosObs("book1", 1, SourceType::kRfid, 0, {10, 20, 0}));
+  auto est = fuser.EstimatePosition("book1", 0);
+  ASSERT_TRUE(est.ok());
+  EXPECT_EQ(est.value().position, (geo::Vec3{10, 20, 0}));
+  EXPECT_EQ(est.value().supporting_observations, 1u);
+}
+
+TEST(EntityFuserTest, UnknownEntityNotFound) {
+  EntityFuser fuser;
+  EXPECT_TRUE(fuser.EstimatePosition("ghost", 0).status().IsNotFound());
+  EXPECT_TRUE(
+      fuser.EstimateAttribute("ghost", "x", 0).status().IsNotFound());
+}
+
+TEST(EntityFuserTest, FusionAveragesAgreeingSources) {
+  EntityFuser fuser;
+  fuser.Add(PosObs("e", 1, SourceType::kRfid, 0, {10, 0, 0}));
+  fuser.Add(PosObs("e", 2, SourceType::kCamera, 0, {12, 0, 0}));
+  auto est = fuser.EstimatePosition("e", 0);
+  ASSERT_TRUE(est.ok());
+  EXPECT_NEAR(est.value().position.x, 11.0, 0.5);
+}
+
+TEST(EntityFuserTest, RecencyDecayFavoursFreshObservations) {
+  FuserOptions opts;
+  opts.window = 100 * kMicrosPerSecond;
+  opts.half_life = kMicrosPerSecond;
+  EntityFuser fuser(opts);
+  fuser.Add(PosObs("e", 1, SourceType::kGps, 0, {0, 0, 0}));
+  fuser.Add(PosObs("e", 2, SourceType::kGps, 10 * kMicrosPerSecond,
+                   {100, 0, 0}));
+  auto est = fuser.EstimatePosition("e", 10 * kMicrosPerSecond);
+  ASSERT_TRUE(est.ok());
+  // The 10-half-life-old observation carries ~2^-10 of the weight.
+  EXPECT_GT(est.value().position.x, 99.0);
+}
+
+TEST(EntityFuserTest, WindowExpiryDropsStaleData) {
+  FuserOptions opts;
+  opts.window = kMicrosPerSecond;
+  EntityFuser fuser(opts);
+  fuser.Add(PosObs("e", 1, SourceType::kGps, 0, {1, 1, 0}));
+  auto est = fuser.EstimatePosition("e", 10 * kMicrosPerSecond);
+  EXPECT_TRUE(est.status().IsNotFound());
+}
+
+TEST(EntityFuserTest, UnreliableSourceLearnsLowWeight) {
+  FuserOptions opts;
+  opts.window = 1000 * kMicrosPerSecond;
+  opts.half_life = 1000 * kMicrosPerSecond;  // isolate reliability effect
+  EntityFuser fuser(opts);
+  Rng rng(5);
+  // Sources 1 & 2 agree near (0,0,0); source 3 claims wildly wrong spots.
+  Micros t = 0;
+  for (int i = 0; i < 50; ++i) {
+    t += kMicrosPerMilli;
+    fuser.Add(PosObs("e", 1, SourceType::kRfid, t,
+                     {rng.Gaussian(0, 0.1), rng.Gaussian(0, 0.1), 0}));
+    t += kMicrosPerMilli;
+    fuser.Add(PosObs("e", 2, SourceType::kCamera, t,
+                     {rng.Gaussian(0, 0.1), rng.Gaussian(0, 0.1), 0}));
+    t += kMicrosPerMilli;
+    fuser.Add(PosObs("e", 3, SourceType::kText, t,
+                     {rng.Gaussian(80, 5.0), rng.Gaussian(80, 5.0), 0}));
+  }
+  EXPECT_LT(fuser.reliability().reliability(3),
+            fuser.reliability().reliability(1));
+  auto est = fuser.EstimatePosition("e", t);
+  ASSERT_TRUE(est.ok());
+  // Fused estimate pulled far closer to the honest consensus than to the
+  // liar's claims (unweighted mean would sit near x = 26.7).
+  EXPECT_LT(est.value().position.x, 15.0);
+}
+
+TEST(EntityFuserTest, AttributeWeightedVote) {
+  EntityFuser fuser;
+  fuser.Add(AttrObs("book", 1, 0, "shelf", "A3", 1.0));
+  fuser.Add(AttrObs("book", 2, 0, "shelf", "A3", 1.0));
+  fuser.Add(AttrObs("book", 3, 0, "shelf", "B7", 0.5));
+  double support = 0.0;
+  auto value = fuser.EstimateAttribute("book", "shelf", 0, &support);
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(value.value(), "A3");
+  EXPECT_GT(support, 0.6);
+}
+
+TEST(EntityFuserTest, AttributeMissingNotFound) {
+  EntityFuser fuser;
+  fuser.Add(AttrObs("book", 1, 0, "shelf", "A3"));
+  EXPECT_TRUE(
+      fuser.EstimateAttribute("book", "color", 0).status().IsNotFound());
+}
+
+// -------------------------------------------------------- TruthDiscovery
+
+TEST(TruthDiscoveryTest, PerfectConsensusConverges) {
+  std::vector<TruthDiscovery::Claim> claims;
+  for (uint32_t s = 0; s < 3; ++s) {
+    for (size_t item = 0; item < 4; ++item) {
+      claims.push_back({s, item, double(item) * 10.0});
+    }
+  }
+  auto sol = TruthDiscovery::Solve(claims, 4);
+  for (size_t i = 0; i < 4; ++i) EXPECT_NEAR(sol.truths[i], i * 10.0, 1e-9);
+}
+
+TEST(TruthDiscoveryTest, DownweightsOutlierSource) {
+  Rng rng(17);
+  const size_t kItems = 50;
+  std::vector<double> truth(kItems);
+  for (size_t i = 0; i < kItems; ++i) truth[i] = rng.UniformDouble(0, 100);
+
+  std::vector<TruthDiscovery::Claim> claims;
+  // Sources 0-2: small noise.  Source 3: big systematic error.
+  for (size_t i = 0; i < kItems; ++i) {
+    for (uint32_t s = 0; s < 3; ++s) {
+      claims.push_back({s, i, truth[i] + rng.Gaussian(0, 1.0)});
+    }
+    claims.push_back({3, i, truth[i] + rng.Gaussian(0, 25.0)});
+  }
+  auto sol = TruthDiscovery::Solve(claims, kItems);
+  EXPECT_LT(sol.weights[3], sol.weights[0]);
+
+  // Fused RMSE must beat the best single source's RMSE.
+  auto rmse_of_source = [&](uint32_t sid) {
+    double sum = 0;
+    size_t n = 0;
+    for (const auto& c : claims) {
+      if (c.source_id != sid) continue;
+      sum += (c.value - truth[c.item]) * (c.value - truth[c.item]);
+      ++n;
+    }
+    return std::sqrt(sum / double(n));
+  };
+  double best_single = std::min(
+      {rmse_of_source(0), rmse_of_source(1), rmse_of_source(2)});
+  double fused = 0;
+  for (size_t i = 0; i < kItems; ++i) {
+    fused += (sol.truths[i] - truth[i]) * (sol.truths[i] - truth[i]);
+  }
+  fused = std::sqrt(fused / double(kItems));
+  EXPECT_LT(fused, best_single);
+}
+
+TEST(TruthDiscoveryTest, EmptyAndDegenerateInputs) {
+  auto sol = TruthDiscovery::Solve({}, 0);
+  EXPECT_TRUE(sol.truths.empty());
+  auto sol2 = TruthDiscovery::Solve({{0, 5, 1.0}}, 3);  // item out of range
+  EXPECT_EQ(sol2.truths.size(), 3u);
+}
+
+// --------------------------------------------------------- EventDetector
+
+TEST(EventDetectorTest, RequiresMultipleSourceTypes) {
+  EventDetector detector;
+  std::vector<DetectedEvent> events;
+  EventRule rule;
+  rule.name = "book-moved";
+  rule.min_source_types = 2;
+  rule.window = kMicrosPerSecond;
+  detector.AddRule(rule, [&](const DetectedEvent& e) { events.push_back(e); });
+
+  // RFID alone: not corroborated.
+  detector.Ingest(PosObs("book", 1, SourceType::kRfid, 0, {1, 1, 0}));
+  detector.Ingest(PosObs("book", 1, SourceType::kRfid, 100, {1, 1, 0}));
+  EXPECT_TRUE(events.empty());
+  // Camera confirms within the window: fires.
+  detector.Ingest(PosObs("book", 2, SourceType::kCamera, 200, {1, 1, 0}));
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].rule, "book-moved");
+  EXPECT_EQ(events[0].entity, "book");
+}
+
+TEST(EventDetectorTest, WindowExpiryBlocksStaleCorroboration) {
+  EventDetector detector;
+  std::vector<DetectedEvent> events;
+  EventRule rule;
+  rule.name = "r";
+  rule.min_source_types = 2;
+  rule.window = kMicrosPerMilli;
+  detector.AddRule(rule, [&](const DetectedEvent& e) { events.push_back(e); });
+  detector.Ingest(PosObs("e", 1, SourceType::kRfid, 0, {0, 0, 0}));
+  detector.Ingest(
+      PosObs("e", 2, SourceType::kCamera, 10 * kMicrosPerSecond, {0, 0, 0}));
+  EXPECT_TRUE(events.empty());
+}
+
+TEST(EventDetectorTest, RefractorySuppressesRefires) {
+  EventDetector detector;
+  std::vector<DetectedEvent> events;
+  EventRule rule;
+  rule.name = "r";
+  rule.min_source_types = 2;
+  rule.window = 10 * kMicrosPerSecond;
+  rule.refractory = 5 * kMicrosPerSecond;
+  detector.AddRule(rule, [&](const DetectedEvent& e) { events.push_back(e); });
+  detector.Ingest(PosObs("e", 1, SourceType::kRfid, 0, {0, 0, 0}));
+  detector.Ingest(PosObs("e", 2, SourceType::kCamera, 100, {0, 0, 0}));
+  detector.Ingest(PosObs("e", 2, SourceType::kCamera, 200, {0, 0, 0}));
+  detector.Ingest(PosObs("e", 1, SourceType::kRfid, 300, {0, 0, 0}));
+  EXPECT_EQ(events.size(), 1u);
+  // After the refractory period, a new corroborated burst fires again.
+  detector.Ingest(
+      PosObs("e", 1, SourceType::kRfid, 6 * kMicrosPerSecond, {0, 0, 0}));
+  EXPECT_EQ(events.size(), 2u);
+  EXPECT_EQ(detector.events_fired(), 2u);
+}
+
+TEST(EventDetectorTest, PredicateFiltersIrrelevantObservations) {
+  EventDetector detector;
+  std::vector<DetectedEvent> events;
+  EventRule rule;
+  rule.name = "hot";
+  rule.min_source_types = 2;
+  rule.window = kMicrosPerSecond;
+  rule.predicate = [](const Observation& o) { return o.confidence > 0.8; };
+  detector.AddRule(rule, [&](const DetectedEvent& e) { events.push_back(e); });
+  detector.Ingest(PosObs("e", 1, SourceType::kRfid, 0, {0, 0, 0}, 0.5));
+  detector.Ingest(PosObs("e", 2, SourceType::kCamera, 10, {0, 0, 0}, 0.9));
+  EXPECT_TRUE(events.empty());  // the low-confidence read was filtered
+  detector.Ingest(PosObs("e", 1, SourceType::kRfid, 20, {0, 0, 0}, 0.95));
+  EXPECT_EQ(events.size(), 1u);
+}
+
+TEST(EventDetectorTest, EntitiesTrackedIndependently) {
+  EventDetector detector;
+  std::vector<DetectedEvent> events;
+  EventRule rule;
+  rule.name = "r";
+  rule.min_source_types = 2;
+  rule.window = kMicrosPerSecond;
+  detector.AddRule(rule, [&](const DetectedEvent& e) { events.push_back(e); });
+  detector.Ingest(PosObs("a", 1, SourceType::kRfid, 0, {0, 0, 0}));
+  detector.Ingest(PosObs("b", 2, SourceType::kCamera, 10, {0, 0, 0}));
+  EXPECT_TRUE(events.empty());  // different entities never corroborate
+}
+
+}  // namespace
+}  // namespace deluge::fusion

@@ -1,0 +1,259 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "geo/geometry.h"
+#include "geo/morton.h"
+#include "geo/trajectory.h"
+
+namespace deluge::geo {
+namespace {
+
+// ------------------------------------------------------------------ Vec3
+
+TEST(Vec3Test, Arithmetic) {
+  Vec3 a{1, 2, 3}, b{4, 5, 6};
+  Vec3 sum = a + b;
+  EXPECT_EQ(sum, (Vec3{5, 7, 9}));
+  EXPECT_EQ(b - a, (Vec3{3, 3, 3}));
+  EXPECT_EQ(a * 2, (Vec3{2, 4, 6}));
+}
+
+TEST(Vec3Test, LengthAndNormalize) {
+  Vec3 v{3, 4, 0};
+  EXPECT_DOUBLE_EQ(v.Length(), 5.0);
+  Vec3 n = v.Normalized();
+  EXPECT_NEAR(n.Length(), 1.0, 1e-12);
+  EXPECT_EQ(Vec3{}.Normalized(), Vec3{});
+}
+
+TEST(Vec3Test, Distance) {
+  EXPECT_DOUBLE_EQ(Distance({0, 0, 0}, {1, 0, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(DistanceSquared({0, 0, 0}, {3, 4, 0}), 25.0);
+}
+
+// ------------------------------------------------------------------ AABB
+
+TEST(AABBTest, DefaultEmpty) {
+  AABB box;
+  EXPECT_TRUE(box.IsEmpty());
+  EXPECT_EQ(box.Volume(), 0.0);
+  EXPECT_FALSE(box.Contains(Vec3{0, 0, 0}));
+}
+
+TEST(AABBTest, ContainsPoints) {
+  AABB box({0, 0, 0}, {10, 10, 10});
+  EXPECT_TRUE(box.Contains(Vec3{5, 5, 5}));
+  EXPECT_TRUE(box.Contains(Vec3{0, 0, 0}));   // boundary inclusive
+  EXPECT_TRUE(box.Contains(Vec3{10, 10, 10}));
+  EXPECT_FALSE(box.Contains(Vec3{10.001, 5, 5}));
+}
+
+TEST(AABBTest, Intersection) {
+  AABB a({0, 0, 0}, {10, 10, 10});
+  AABB b({5, 5, 5}, {15, 15, 15});
+  AABB c({11, 11, 11}, {12, 12, 12});
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_TRUE(b.Intersects(a));
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_FALSE(a.Intersects(AABB{}));  // empty never intersects
+}
+
+TEST(AABBTest, TouchingBoxesIntersect) {
+  AABB a({0, 0, 0}, {1, 1, 1});
+  AABB b({1, 0, 0}, {2, 1, 1});
+  EXPECT_TRUE(a.Intersects(b));
+}
+
+TEST(AABBTest, UnionCoversBoth) {
+  AABB a({0, 0, 0}, {1, 1, 1});
+  AABB b({5, 5, 5}, {6, 6, 6});
+  AABB u = a.Union(b);
+  EXPECT_TRUE(u.Contains(a));
+  EXPECT_TRUE(u.Contains(b));
+  EXPECT_EQ(u.Union(AABB{}).ToString(), u.ToString());
+}
+
+TEST(AABBTest, ExpandGrows) {
+  AABB box;
+  box.Expand({1, 1, 1});
+  EXPECT_FALSE(box.IsEmpty());
+  EXPECT_TRUE(box.Contains(Vec3{1, 1, 1}));
+  box.Expand({-1, 4, 0});
+  EXPECT_TRUE(box.Contains(Vec3{-1, 4, 0}));
+  EXPECT_TRUE(box.Contains(Vec3{0, 2, 0.5}));
+}
+
+TEST(AABBTest, VolumeAndMargin) {
+  AABB box({0, 0, 0}, {2, 3, 4});
+  EXPECT_DOUBLE_EQ(box.Volume(), 24.0);
+  EXPECT_DOUBLE_EQ(box.Margin(), 2 * 3 + 3 * 4 + 4 * 2);
+}
+
+TEST(AABBTest, DistanceSquaredTo) {
+  AABB box({0, 0, 0}, {1, 1, 1});
+  EXPECT_DOUBLE_EQ(box.DistanceSquaredTo({0.5, 0.5, 0.5}), 0.0);
+  EXPECT_DOUBLE_EQ(box.DistanceSquaredTo({2, 0.5, 0.5}), 1.0);
+  EXPECT_DOUBLE_EQ(box.DistanceSquaredTo({2, 2, 0.5}), 2.0);
+}
+
+TEST(AABBTest, CubeCentredCorrectly) {
+  AABB c = AABB::Cube({1, 2, 3}, 0.5);
+  EXPECT_EQ(c.Center(), (Vec3{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(c.Volume(), 1.0);
+}
+
+// ------------------------------------------------------------ ViewRegion
+
+TEST(ViewRegionTest, OmnidirectionalSphere) {
+  ViewRegion view{{0, 0, 0}, 10.0, {1, 0, 0}, -1.0};
+  EXPECT_TRUE(view.Contains({5, 5, 5}));
+  EXPECT_FALSE(view.Contains({10, 10, 10}));
+  EXPECT_TRUE(view.Contains({0, 0, 0}));  // eye itself
+}
+
+TEST(ViewRegionTest, ConeRestricts) {
+  ViewRegion view{{0, 0, 0}, 10.0, {1, 0, 0}, 0.3};
+  EXPECT_TRUE(view.Contains({5, 0, 0}));       // on-axis
+  EXPECT_FALSE(view.Contains({-5, 0, 0}));     // behind
+  EXPECT_FALSE(view.Contains({0.5, 5, 0}));    // far off-axis
+}
+
+TEST(ViewRegionTest, BoundsCoverSphere) {
+  ViewRegion view{{1, 1, 1}, 2.0};
+  AABB b = view.Bounds();
+  EXPECT_TRUE(b.Contains(Vec3{3, 1, 1}));
+  EXPECT_TRUE(b.Contains(Vec3{-1, 1, 1}));
+}
+
+// ---------------------------------------------------------------- Morton
+
+TEST(MortonTest, InterleaveRoundTrip) {
+  uint32_t xs[] = {0u, 1u, 12345u, (1u << 21) - 1};
+  for (uint32_t x : xs) {
+    for (uint32_t y : xs) {
+      uint64_t code = MortonCodec::Interleave(x, y, 77);
+      uint32_t rx, ry, rz;
+      MortonCodec::Deinterleave(code, &rx, &ry, &rz);
+      EXPECT_EQ(rx, x);
+      EXPECT_EQ(ry, y);
+      EXPECT_EQ(rz, 77u);
+    }
+  }
+}
+
+TEST(MortonTest, EncodeDecodeClose) {
+  AABB world({0, 0, 0}, {1000, 1000, 100});
+  MortonCodec codec(world);
+  Rng rng(43);
+  for (int i = 0; i < 200; ++i) {
+    Vec3 p{rng.UniformDouble(0, 1000), rng.UniformDouble(0, 1000),
+           rng.UniformDouble(0, 100)};
+    Vec3 q = codec.Decode(codec.Encode(p));
+    // Cell sizes: 1000/2^21 < 0.0005m per axis horizontally.
+    EXPECT_NEAR(p.x, q.x, 0.001);
+    EXPECT_NEAR(p.y, q.y, 0.001);
+    EXPECT_NEAR(p.z, q.z, 0.0001);
+  }
+}
+
+TEST(MortonTest, PointsOutsideWorldClamped) {
+  AABB world({0, 0, 0}, {10, 10, 10});
+  MortonCodec codec(world);
+  uint64_t lo = codec.Encode({-5, -5, -5});
+  uint64_t hi = codec.Encode({50, 50, 50});
+  EXPECT_EQ(lo, codec.Encode({0, 0, 0}));
+  EXPECT_EQ(hi, codec.Encode({10, 10, 10}));
+}
+
+TEST(MortonTest, LocalityMonotoneAlongAxis) {
+  AABB world({0, 0, 0}, {100, 100, 100});
+  MortonCodec codec(world);
+  // Nearby points should map to numerically close codes more often than
+  // far ones; spot-check strict ordering along a single axis with other
+  // coordinates fixed at cell boundaries.
+  uint64_t prev = codec.Encode({0, 0, 0});
+  for (int x = 1; x < 100; ++x) {
+    uint64_t cur = codec.Encode({double(x), 0, 0});
+    EXPECT_GT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(MortonTest, DegenerateWorldAxis) {
+  // A flat (2-D) world must not divide by zero.
+  AABB world({0, 0, 5}, {10, 10, 5});
+  MortonCodec codec(world);
+  Vec3 p = codec.Decode(codec.Encode({3, 4, 5}));
+  EXPECT_NEAR(p.x, 3, 0.01);
+  EXPECT_NEAR(p.y, 4, 0.01);
+  EXPECT_DOUBLE_EQ(p.z, 5);
+}
+
+// ------------------------------------------------------------ MotionState
+
+TEST(MotionStateTest, LinearExtrapolation) {
+  MotionState m{{0, 0, 0}, {2, 0, 0}, 0};
+  Vec3 p = m.PositionAt(kMicrosPerSecond);  // 1 second later
+  EXPECT_DOUBLE_EQ(p.x, 2.0);
+  EXPECT_DOUBLE_EQ(p.y, 0.0);
+}
+
+TEST(MotionStateTest, UncertaintyGrowsLinearly) {
+  MotionState m{{0, 0, 0}, {1, 0, 0}, 0};
+  EXPECT_DOUBLE_EQ(m.UncertaintyAt(2 * kMicrosPerSecond, 3.0), 6.0);
+  EXPECT_DOUBLE_EQ(m.UncertaintyAt(-kMicrosPerSecond, 3.0), 0.0);
+}
+
+// ------------------------------------------------------------ Trajectory
+
+TEST(TrajectoryTest, EmptyBehaviour) {
+  Trajectory t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.At(123), Vec3{});
+  EXPECT_EQ(t.Length(), 0.0);
+  EXPECT_EQ(t.AverageSpeed(), 0.0);
+}
+
+TEST(TrajectoryTest, InterpolatesBetweenSamples) {
+  Trajectory t;
+  t.Append({0, 0, 0}, 0);
+  t.Append({10, 0, 0}, 10 * kMicrosPerSecond);
+  Vec3 mid = t.At(5 * kMicrosPerSecond);
+  EXPECT_DOUBLE_EQ(mid.x, 5.0);
+}
+
+TEST(TrajectoryTest, ClampsOutsideRange) {
+  Trajectory t;
+  t.Append({1, 1, 1}, 100);
+  t.Append({2, 2, 2}, 200);
+  EXPECT_EQ(t.At(0), (Vec3{1, 1, 1}));
+  EXPECT_EQ(t.At(500), (Vec3{2, 2, 2}));
+}
+
+TEST(TrajectoryTest, DropsOutOfOrderSamples) {
+  Trajectory t;
+  t.Append({0, 0, 0}, 100);
+  t.Append({1, 0, 0}, 50);  // dropped
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(TrajectoryTest, LengthAndSpeed) {
+  Trajectory t;
+  t.Append({0, 0, 0}, 0);
+  t.Append({3, 4, 0}, kMicrosPerSecond);
+  t.Append({3, 4, 12}, 2 * kMicrosPerSecond);
+  EXPECT_DOUBLE_EQ(t.Length(), 17.0);
+  EXPECT_DOUBLE_EQ(t.AverageSpeed(), 8.5);
+}
+
+TEST(TrajectoryTest, BoundsCoverSamples) {
+  Trajectory t;
+  t.Append({-1, 0, 0}, 0);
+  t.Append({5, 9, 2}, 10);
+  AABB b = t.Bounds();
+  EXPECT_TRUE(b.Contains(Vec3{-1, 0, 0}));
+  EXPECT_TRUE(b.Contains(Vec3{5, 9, 2}));
+}
+
+}  // namespace
+}  // namespace deluge::geo

@@ -1,0 +1,521 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+
+#include "common/rng.h"
+#include "index/bptree.h"
+#include "index/grid_index.h"
+#include "index/hdov_tree.h"
+#include "index/morton_index.h"
+#include "index/moving_index.h"
+#include "index/rtree.h"
+
+namespace deluge::index {
+namespace {
+
+const geo::AABB kWorld({0, 0, 0}, {1000, 1000, 100});
+
+// ---------------------------------------------------------------- BPTree
+
+TEST(BPTreeTest, InsertFindErase) {
+  BPTree<int, std::string> tree;
+  EXPECT_TRUE(tree.Insert(5, "five"));
+  EXPECT_TRUE(tree.Insert(3, "three"));
+  EXPECT_FALSE(tree.Insert(5, "FIVE"));  // overwrite
+  ASSERT_NE(tree.Find(5), nullptr);
+  EXPECT_EQ(*tree.Find(5), "FIVE");
+  EXPECT_EQ(tree.Find(99), nullptr);
+  EXPECT_TRUE(tree.Erase(5));
+  EXPECT_FALSE(tree.Erase(5));
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST(BPTreeTest, LargeInsertMatchesStdMap) {
+  BPTree<uint64_t, uint64_t, 8> tree;  // small fanout: exercise splits
+  std::map<uint64_t, uint64_t> reference;
+  Rng rng(5);
+  for (int i = 0; i < 5000; ++i) {
+    uint64_t k = rng.Uniform(2000);
+    uint64_t v = rng.Next();
+    tree.Insert(k, v);
+    reference[k] = v;
+  }
+  EXPECT_EQ(tree.size(), reference.size());
+  for (const auto& [k, v] : reference) {
+    ASSERT_NE(tree.Find(k), nullptr) << k;
+    EXPECT_EQ(*tree.Find(k), v);
+  }
+}
+
+TEST(BPTreeTest, ScanReturnsSortedRange) {
+  BPTree<int, int, 8> tree;
+  for (int i = 0; i < 100; ++i) tree.Insert(i * 2, i);
+  std::vector<int> keys;
+  tree.Scan(10, 30, [&](int k, int) {
+    keys.push_back(k);
+    return true;
+  });
+  std::vector<int> expected;
+  for (int k = 10; k <= 30; k += 2) expected.push_back(k);
+  EXPECT_EQ(keys, expected);
+}
+
+TEST(BPTreeTest, ScanEarlyStop) {
+  BPTree<int, int> tree;
+  for (int i = 0; i < 50; ++i) tree.Insert(i, i);
+  int count = 0;
+  tree.Scan(0, 49, [&](int, int) { return ++count < 5; });
+  EXPECT_EQ(count, 5);
+}
+
+TEST(BPTreeTest, EraseHeavyThenScanConsistent) {
+  BPTree<int, int, 8> tree;
+  for (int i = 0; i < 1000; ++i) tree.Insert(i, i);
+  for (int i = 0; i < 1000; i += 2) EXPECT_TRUE(tree.Erase(i));
+  EXPECT_EQ(tree.size(), 500u);
+  std::vector<int> keys;
+  tree.Scan(0, 999, [&](int k, int) {
+    keys.push_back(k);
+    return true;
+  });
+  ASSERT_EQ(keys.size(), 500u);
+  for (size_t i = 0; i < keys.size(); ++i) EXPECT_EQ(keys[i], int(i) * 2 + 1);
+}
+
+TEST(BPTreeTest, HeightGrowsLogarithmically) {
+  BPTree<int, int, 8> tree;
+  for (int i = 0; i < 10000; ++i) tree.Insert(i, i);
+  EXPECT_LE(tree.height(), 8);  // 8^8 >> 10000
+  EXPECT_GE(tree.height(), 3);
+}
+
+// ------------------------------------------- SpatialIndex (parameterized)
+
+enum class IndexKind { kGrid, kRTree, kMorton };
+
+std::unique_ptr<SpatialIndex> MakeIndex(IndexKind kind) {
+  switch (kind) {
+    case IndexKind::kGrid:
+      return std::make_unique<GridIndex>(kWorld, 25.0);
+    case IndexKind::kRTree:
+      return std::make_unique<RTree>(16);
+    case IndexKind::kMorton:
+      return std::make_unique<MortonIndex>(kWorld, 64);
+  }
+  return nullptr;
+}
+
+class SpatialIndexTest : public ::testing::TestWithParam<IndexKind> {
+ protected:
+  std::unique_ptr<SpatialIndex> index_ = MakeIndex(GetParam());
+  Rng rng_{1234};
+
+  geo::Vec3 RandomPoint() {
+    return {rng_.UniformDouble(0, 1000), rng_.UniformDouble(0, 1000),
+            rng_.UniformDouble(0, 100)};
+  }
+};
+
+TEST_P(SpatialIndexTest, InsertAndRangeBasic) {
+  index_->Insert(1, {10, 10, 10});
+  index_->Insert(2, {500, 500, 50});
+  index_->Insert(3, {990, 990, 90});
+  auto hits = index_->Range(geo::AABB({0, 0, 0}, {100, 100, 100}));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].id, 1u);
+  EXPECT_EQ(index_->size(), 3u);
+}
+
+TEST_P(SpatialIndexTest, RemoveEliminatesEntity) {
+  index_->Insert(1, {10, 10, 10});
+  index_->Remove(1);
+  EXPECT_EQ(index_->size(), 0u);
+  EXPECT_TRUE(index_->Range(geo::AABB({0, 0, 0}, {1000, 1000, 100})).empty());
+  index_->Remove(42);  // absent: no-op
+}
+
+TEST_P(SpatialIndexTest, UpdateMovesEntity) {
+  index_->Insert(7, {10, 10, 10});
+  index_->Update(7, {900, 900, 90});
+  auto near_old = index_->Range(geo::AABB::Cube({10, 10, 10}, 5));
+  auto near_new = index_->Range(geo::AABB::Cube({900, 900, 90}, 5));
+  EXPECT_TRUE(near_old.empty());
+  ASSERT_EQ(near_new.size(), 1u);
+  EXPECT_EQ(near_new[0].id, 7u);
+  EXPECT_EQ(index_->size(), 1u);
+}
+
+TEST_P(SpatialIndexTest, InsertExistingActsAsUpdate) {
+  index_->Insert(7, {10, 10, 10});
+  index_->Insert(7, {20, 20, 20});
+  EXPECT_EQ(index_->size(), 1u);
+  auto hits = index_->Range(geo::AABB::Cube({20, 20, 20}, 1));
+  ASSERT_EQ(hits.size(), 1u);
+}
+
+TEST_P(SpatialIndexTest, RangeMatchesBruteForce) {
+  std::map<EntityId, geo::Vec3> truth;
+  for (EntityId id = 0; id < 500; ++id) {
+    geo::Vec3 p = RandomPoint();
+    truth[id] = p;
+    index_->Insert(id, p);
+  }
+  for (int q = 0; q < 50; ++q) {
+    geo::Vec3 c = RandomPoint();
+    double r = rng_.UniformDouble(10, 200);
+    geo::AABB box = geo::AABB::Cube(c, r);
+    std::set<EntityId> expected;
+    for (const auto& [id, p] : truth) {
+      if (box.Contains(p)) expected.insert(id);
+    }
+    auto hits = index_->Range(box);
+    std::set<EntityId> got;
+    for (const auto& h : hits) got.insert(h.id);
+    EXPECT_EQ(got, expected) << "query " << q << " on " << index_->name();
+  }
+}
+
+TEST_P(SpatialIndexTest, RangeAfterChurnMatchesBruteForce) {
+  std::map<EntityId, geo::Vec3> truth;
+  for (EntityId id = 0; id < 300; ++id) {
+    geo::Vec3 p = RandomPoint();
+    truth[id] = p;
+    index_->Insert(id, p);
+  }
+  // Heavy churn: moves and removals.
+  for (int op = 0; op < 2000; ++op) {
+    EntityId id = rng_.Uniform(300);
+    if (rng_.Bernoulli(0.15)) {
+      index_->Remove(id);
+      truth.erase(id);
+    } else {
+      geo::Vec3 p = RandomPoint();
+      index_->Update(id, p);
+      truth[id] = p;
+    }
+  }
+  EXPECT_EQ(index_->size(), truth.size());
+  for (int q = 0; q < 25; ++q) {
+    geo::AABB box = geo::AABB::Cube(RandomPoint(), 150);
+    std::set<EntityId> expected;
+    for (const auto& [id, p] : truth) {
+      if (box.Contains(p)) expected.insert(id);
+    }
+    auto hits = index_->Range(box);
+    std::set<EntityId> got;
+    for (const auto& h : hits) got.insert(h.id);
+    EXPECT_EQ(got, expected) << index_->name();
+  }
+}
+
+TEST_P(SpatialIndexTest, NearestMatchesBruteForce) {
+  std::map<EntityId, geo::Vec3> truth;
+  for (EntityId id = 0; id < 400; ++id) {
+    geo::Vec3 p = RandomPoint();
+    truth[id] = p;
+    index_->Insert(id, p);
+  }
+  for (int q = 0; q < 20; ++q) {
+    geo::Vec3 c = RandomPoint();
+    size_t k = 1 + rng_.Uniform(10);
+    auto hits = index_->Nearest(c, k);
+    ASSERT_EQ(hits.size(), k) << index_->name();
+    // Compute the true k-th smallest distance.
+    std::vector<double> dists;
+    for (const auto& [id, p] : truth) dists.push_back(geo::Distance(c, p));
+    std::sort(dists.begin(), dists.end());
+    double kth = dists[k - 1];
+    for (const auto& h : hits) {
+      EXPECT_LE(geo::Distance(c, h.position), kth + 1e-9) << index_->name();
+    }
+  }
+}
+
+TEST_P(SpatialIndexTest, NearestWithKLargerThanSize) {
+  index_->Insert(1, {1, 1, 1});
+  index_->Insert(2, {2, 2, 2});
+  auto hits = index_->Nearest({0, 0, 0}, 10);
+  EXPECT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].id, 1u);  // nearest first
+}
+
+TEST_P(SpatialIndexTest, EmptyIndexQueries) {
+  EXPECT_TRUE(index_->Range(geo::AABB::Cube({0, 0, 0}, 10)).empty());
+  EXPECT_TRUE(index_->Nearest({0, 0, 0}, 3).empty());
+  EXPECT_TRUE(index_->Range(geo::AABB{}).empty());  // empty box
+}
+
+TEST_P(SpatialIndexTest, DuplicatePositionsAllSurvive) {
+  geo::Vec3 p{100, 100, 50};
+  for (EntityId id = 0; id < 20; ++id) index_->Insert(id, p);
+  auto hits = index_->Range(geo::AABB::Cube(p, 1));
+  EXPECT_EQ(hits.size(), 20u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIndexes, SpatialIndexTest,
+                         ::testing::Values(IndexKind::kGrid,
+                                           IndexKind::kRTree,
+                                           IndexKind::kMorton),
+                         [](const ::testing::TestParamInfo<IndexKind>& info) {
+                           switch (info.param) {
+                             case IndexKind::kGrid:
+                               return "Grid";
+                             case IndexKind::kRTree:
+                               return "RTree";
+                             case IndexKind::kMorton:
+                               return "Morton";
+                           }
+                           return "Unknown";
+                         });
+
+// ----------------------------------------------------------------- RTree
+
+TEST(RTreeTest, InvariantsHoldUnderChurn) {
+  RTree tree(8);
+  Rng rng(77);
+  for (int op = 0; op < 3000; ++op) {
+    EntityId id = rng.Uniform(400);
+    if (rng.Bernoulli(0.3)) {
+      tree.Remove(id);
+    } else {
+      tree.Insert(id, {rng.UniformDouble(0, 1000),
+                       rng.UniformDouble(0, 1000),
+                       rng.UniformDouble(0, 100)});
+    }
+    if (op % 250 == 0) {
+      ASSERT_TRUE(tree.CheckInvariants()) << "op " << op;
+    }
+  }
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(RTreeTest, HeightStaysLogarithmic) {
+  RTree tree(16);
+  Rng rng(3);
+  for (EntityId id = 0; id < 5000; ++id) {
+    tree.Insert(id, {rng.UniformDouble(0, 1000), rng.UniformDouble(0, 1000),
+                     rng.UniformDouble(0, 100)});
+  }
+  EXPECT_LE(tree.height(), 6);
+}
+
+// ----------------------------------------------------------- MortonIndex
+
+TEST(MortonIndexTest, FalsePositiveCounterTracksOverScan) {
+  MortonIndex index(kWorld, 8);  // coarse decomposition: more FPs
+  Rng rng(9);
+  for (EntityId id = 0; id < 1000; ++id) {
+    index.Insert(id, {rng.UniformDouble(0, 1000), rng.UniformDouble(0, 1000),
+                      rng.UniformDouble(0, 100)});
+  }
+  index.Range(geo::AABB({100, 100, 0}, {300, 300, 100}));
+  uint64_t coarse_fp = index.last_false_positives();
+
+  MortonIndex fine(kWorld, 4096);  // fine decomposition: fewer FPs
+  Rng rng2(9);
+  for (EntityId id = 0; id < 1000; ++id) {
+    fine.Insert(id, {rng2.UniformDouble(0, 1000), rng2.UniformDouble(0, 1000),
+                     rng2.UniformDouble(0, 100)});
+  }
+  fine.Range(geo::AABB({100, 100, 0}, {300, 300, 100}));
+  EXPECT_LE(fine.last_false_positives(), coarse_fp);
+}
+
+// -------------------------------------------------------------- HdovTree
+
+SceneObject MakeObj(EntityId id, geo::Vec3 pos, double radius) {
+  SceneObject o;
+  o.id = id;
+  o.position = pos;
+  o.radius = radius;
+  o.full_bytes = 1 << 20;
+  o.low_bytes = 1 << 12;
+  return o;
+}
+
+TEST(HdovTreeTest, VisibleObjectsSortedByDov) {
+  HdovTree tree(kWorld);
+  tree.Insert(MakeObj(1, {10, 0, 0}, 1.0));   // dov = 0.1
+  tree.Insert(MakeObj(2, {10, 0, 0}, 5.0));   // dov = 0.5
+  tree.Insert(MakeObj(3, {100, 0, 0}, 1.0));  // dov = 0.01
+
+  geo::ViewRegion view{{0, 0, 0}, 500.0};
+  auto visible = tree.QueryVisible(view, 0.005);
+  ASSERT_EQ(visible.size(), 3u);
+  EXPECT_EQ(visible[0].object.id, 2u);
+  EXPECT_EQ(visible[1].object.id, 1u);
+  EXPECT_EQ(visible[2].object.id, 3u);
+}
+
+TEST(HdovTreeTest, ThresholdFiltersSmallDistantObjects) {
+  HdovTree tree(kWorld);
+  tree.Insert(MakeObj(1, {10, 0, 0}, 5.0));
+  tree.Insert(MakeObj(2, {400, 0, 0}, 0.5));  // dov ~0.00125
+  geo::ViewRegion view{{0, 0, 0}, 500.0};
+  auto visible = tree.QueryVisible(view, 0.01);
+  ASSERT_EQ(visible.size(), 1u);
+  EXPECT_EQ(visible[0].object.id, 1u);
+}
+
+TEST(HdovTreeTest, OutOfViewExcluded) {
+  HdovTree tree(kWorld);
+  tree.Insert(MakeObj(1, {900, 900, 0}, 50.0));
+  geo::ViewRegion view{{0, 0, 0}, 100.0};
+  EXPECT_TRUE(tree.QueryVisible(view, 0.0001).empty());
+}
+
+TEST(HdovTreeTest, PruningVisitsFewNodes) {
+  HdovTree tree(kWorld, 8, 8);
+  Rng rng(12);
+  for (EntityId id = 0; id < 5000; ++id) {
+    tree.Insert(MakeObj(id,
+                        {rng.UniformDouble(0, 1000),
+                         rng.UniformDouble(0, 1000),
+                         rng.UniformDouble(0, 100)},
+                        rng.UniformDouble(0.1, 2.0)));
+  }
+  geo::ViewRegion view{{500, 500, 50}, 50.0};
+  tree.QueryVisible(view, 0.01);
+  uint64_t visited = tree.last_nodes_visited();
+  // A 50 m view in a 1000 m world must not touch most of the tree.
+  EXPECT_LT(visited, 2000u);
+  EXPECT_GT(visited, 0u);
+}
+
+TEST(HdovTreeTest, DynamicMoveChangesVisibility) {
+  HdovTree tree(kWorld);
+  tree.Insert(MakeObj(1, {900, 900, 0}, 5.0));
+  geo::ViewRegion view{{0, 0, 0}, 100.0};
+  EXPECT_TRUE(tree.QueryVisible(view, 0.001).empty());
+  tree.Move(1, {50, 0, 0});
+  auto visible = tree.QueryVisible(view, 0.001);
+  ASSERT_EQ(visible.size(), 1u);
+  EXPECT_NEAR(visible[0].dov, 0.1, 1e-9);
+}
+
+TEST(HdovTreeTest, RemoveAndRebuild) {
+  HdovTree tree(kWorld);
+  for (EntityId id = 0; id < 100; ++id) {
+    tree.Insert(MakeObj(id, {double(id * 10 % 1000), 50, 0}, 1.0));
+  }
+  for (EntityId id = 0; id < 50; ++id) tree.Remove(id);
+  EXPECT_EQ(tree.size(), 50u);
+  tree.Rebuild();
+  EXPECT_EQ(tree.size(), 50u);
+  geo::ViewRegion view{{500, 50, 0}, 2000.0};
+  EXPECT_EQ(tree.QueryVisible(view, 0.0).size(), 50u);
+}
+
+TEST(HdovTreeTest, ReinsertReplacesObject) {
+  HdovTree tree(kWorld);
+  tree.Insert(MakeObj(1, {10, 10, 10}, 1.0));
+  tree.Insert(MakeObj(1, {10, 10, 10}, 9.0));  // replace with bigger
+  EXPECT_EQ(tree.size(), 1u);
+  geo::ViewRegion view{{0, 0, 0}, 100.0};
+  auto visible = tree.QueryVisible(view, 0.0);
+  ASSERT_EQ(visible.size(), 1u);
+  EXPECT_DOUBLE_EQ(visible[0].object.radius, 9.0);
+}
+
+// ------------------------------------------------------ MovingObjectIndex
+
+TEST(MovingIndexTest, PredictsPositionsAtQueryTime) {
+  MovingObjectIndex index(kWorld, 50.0, 10.0);
+  geo::MotionState s{{100, 100, 0}, {5, 0, 0}, 0};
+  index.Upsert(1, s);
+  // At t=10 s the object should be at x=150.
+  auto hits = index.RangeAt(geo::AABB::Cube({150, 100, 0}, 2),
+                            10 * kMicrosPerSecond);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_NEAR(hits[0].predicted_position.x, 150.0, 1e-9);
+  // The object is NOT at its original spot anymore.
+  EXPECT_TRUE(index.RangeAt(geo::AABB::Cube({100, 100, 0}, 2),
+                            10 * kMicrosPerSecond)
+                  .empty());
+}
+
+TEST(MovingIndexTest, VelocityClampedToMaxSpeed) {
+  MovingObjectIndex index(kWorld, 50.0, 2.0);
+  index.Upsert(1, {{0, 0, 0}, {100, 0, 0}, 0});  // absurd speed
+  const geo::MotionState* s = index.GetState(1);
+  ASSERT_NE(s, nullptr);
+  EXPECT_NEAR(s->velocity.Length(), 2.0, 1e-9);
+}
+
+TEST(MovingIndexTest, RangeMatchesBruteForceOverTime) {
+  MovingObjectIndex index(kWorld, 50.0, 10.0);
+  Rng rng(21);
+  std::map<EntityId, geo::MotionState> truth;
+  for (EntityId id = 0; id < 300; ++id) {
+    geo::MotionState s;
+    s.position = {rng.UniformDouble(100, 900), rng.UniformDouble(100, 900),
+                  rng.UniformDouble(0, 100)};
+    s.velocity = {rng.UniformDouble(-5, 5), rng.UniformDouble(-5, 5), 0};
+    s.t = Micros(rng.Uniform(5)) * kMicrosPerSecond;
+    truth[id] = s;
+    index.Upsert(id, s);
+  }
+  for (Micros t : {Micros(6), Micros(10), Micros(20)}) {
+    Micros qt = t * kMicrosPerSecond;
+    geo::AABB box = geo::AABB::Cube(
+        {rng.UniformDouble(200, 800), rng.UniformDouble(200, 800), 50}, 120);
+    std::set<EntityId> expected;
+    for (const auto& [id, s] : truth) {
+      if (box.Contains(s.PositionAt(qt))) expected.insert(id);
+    }
+    std::set<EntityId> got;
+    for (const auto& h : index.RangeAt(box, qt)) got.insert(h.id);
+    EXPECT_EQ(got, expected) << "t=" << t;
+  }
+}
+
+TEST(MovingIndexTest, NearestAtRanksByPredictedDistance) {
+  MovingObjectIndex index(kWorld, 50.0, 10.0);
+  // Object 1 starts far but moves toward the query point; object 2 starts
+  // near but moves away.
+  index.Upsert(1, {{200, 500, 0}, {10, 0, 0}, 0});
+  index.Upsert(2, {{480, 500, 0}, {-10, 0, 0}, 0});
+  // At t=25 s: obj1 at 450, obj2 at 230. Query at (500,500,0).
+  auto hits = index.NearestAt({500, 500, 0}, 1, 25 * kMicrosPerSecond);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].id, 1u);
+}
+
+TEST(MovingIndexTest, RemoveDropsObject) {
+  MovingObjectIndex index(kWorld, 50.0, 5.0);
+  index.Upsert(1, {{100, 100, 0}, {0, 0, 0}, 0});
+  index.Remove(1);
+  EXPECT_EQ(index.size(), 0u);
+  EXPECT_TRUE(index.RangeAt(geo::AABB::Cube({100, 100, 0}, 10), 0).empty());
+}
+
+TEST(MovingIndexTest, RefreshReducesOverScan) {
+  MovingObjectIndex index(kWorld, 25.0, 10.0);
+  Rng rng(31);
+  for (EntityId id = 0; id < 500; ++id) {
+    index.Upsert(id, {{rng.UniformDouble(0, 1000), rng.UniformDouble(0, 1000),
+                       50},
+                      {rng.UniformDouble(-5, 5), rng.UniformDouble(-5, 5), 0},
+                      0});
+  }
+  geo::AABB box = geo::AABB::Cube({500, 500, 50}, 50);
+  index.RangeAt(box, 60 * kMicrosPerSecond);  // stale: large expansion
+  uint64_t stale_candidates = index.last_candidates();
+
+  // Refresh all states at t=60 s: uncertainty collapses.
+  for (EntityId id = 0; id < 500; ++id) {
+    const geo::MotionState* s = index.GetState(id);
+    geo::MotionState fresh = *s;
+    fresh.position = s->PositionAt(60 * kMicrosPerSecond);
+    fresh.t = 60 * kMicrosPerSecond;
+    index.Upsert(id, fresh);
+  }
+  index.RangeAt(box, 60 * kMicrosPerSecond);
+  EXPECT_LT(index.last_candidates(), stale_candidates);
+}
+
+}  // namespace
+}  // namespace deluge::index

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/online_model.h"
+
+namespace deluge::ml {
+namespace {
+
+std::vector<double> RandomX(Rng* rng, size_t dim) {
+  std::vector<double> x(dim);
+  for (auto& v : x) v = rng->Gaussian(0, 1);
+  return x;
+}
+
+double TrueY(const std::vector<double>& w, const std::vector<double>& x,
+             Rng* rng, double noise = 0.05) {
+  double y = 0;
+  for (size_t i = 0; i < w.size(); ++i) y += w[i] * x[i];
+  return y + rng->Gaussian(0, noise);
+}
+
+// ---------------------------------------------------------- OnlineLinear
+
+TEST(OnlineLinearTest, LearnsALinearConcept) {
+  Rng rng(3);
+  std::vector<double> truth = {1.0, -2.0, 0.5, 3.0};
+  OnlineLinearModel model(4, 0.05);
+  for (int i = 0; i < 2000; ++i) {
+    auto x = RandomX(&rng, 4);
+    model.Update(x, TrueY(truth, x, &rng));
+  }
+  for (size_t d = 0; d < 4; ++d) {
+    EXPECT_NEAR(model.weights()[d], truth[d], 0.1) << d;
+  }
+  EXPECT_EQ(model.updates(), 2000u);
+}
+
+TEST(OnlineLinearTest, ResetForgets) {
+  OnlineLinearModel model(2, 0.1);
+  model.Update({1, 1}, 10);
+  EXPECT_NE(model.Predict({1, 1}), 0.0);
+  model.Reset();
+  EXPECT_EQ(model.Predict({1, 1}), 0.0);
+}
+
+TEST(OnlineLinearTest, DimensionMismatchIsSafe) {
+  OnlineLinearModel model(3, 0.1);
+  EXPECT_EQ(model.Predict({1.0}), 0.0);  // shorter x: uses overlap only
+  model.Update({1.0, 2.0, 3.0, 4.0}, 1.0);  // longer x: extra ignored
+  SUCCEED();
+}
+
+// ------------------------------------------------------------ PageHinkley
+
+TEST(PageHinkleyTest, QuietSignalNoDetection) {
+  PageHinkley ph(0.05, 20.0);
+  Rng rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_FALSE(ph.Observe(std::fabs(rng.Gaussian(0, 0.1))));
+  }
+  EXPECT_EQ(ph.detections(), 0u);
+}
+
+TEST(PageHinkleyTest, MeanShiftDetected) {
+  PageHinkley ph(0.05, 20.0);
+  Rng rng(9);
+  for (int i = 0; i < 500; ++i) ph.Observe(std::fabs(rng.Gaussian(0, 0.1)));
+  ASSERT_EQ(ph.detections(), 0u);
+  bool detected = false;
+  for (int i = 0; i < 500 && !detected; ++i) {
+    detected = ph.Observe(2.0 + std::fabs(rng.Gaussian(0, 0.1)));
+  }
+  EXPECT_TRUE(detected);
+}
+
+TEST(PageHinkleyTest, ResetsAfterDetectionAndCatchesSecondDrift) {
+  PageHinkley ph(0.05, 10.0, 10);
+  Rng rng(11);
+  auto feed_level = [&](double level, int n) {
+    for (int i = 0; i < n; ++i) {
+      ph.Observe(level + std::fabs(rng.Gaussian(0, 0.05)));
+    }
+  };
+  feed_level(0.0, 300);
+  feed_level(1.0, 300);  // first drift
+  feed_level(3.0, 300);  // second drift
+  EXPECT_GE(ph.detections(), 2u);
+}
+
+// ---------------------------------------------------------- AdaptiveModel
+
+TEST(AdaptiveModelTest, RecoversFromConceptDrift) {
+  Rng rng(13);
+  std::vector<double> concept_a = {2.0, -1.0, 0.5};
+  std::vector<double> concept_b = {-3.0, 2.0, 1.0};
+
+  AdaptiveModel adaptive(3, 0.05, PageHinkley(0.05, 15.0, 20));
+  OnlineLinearModel frozen(3, 0.05);  // trained once, never adapted
+
+  // Phase 1: both learn concept A.
+  for (int i = 0; i < 1500; ++i) {
+    auto x = RandomX(&rng, 3);
+    double y = TrueY(concept_a, x, &rng);
+    adaptive.Observe(x, y);
+    frozen.Update(x, y);
+  }
+  // Phase 2: the world changes; only the adaptive model keeps learning
+  // (the frozen one is deployed as-is, the paper's "AI/ML layer on top").
+  double adaptive_err = 0, frozen_err = 0;
+  int tail = 0;
+  for (int i = 0; i < 3000; ++i) {
+    auto x = RandomX(&rng, 3);
+    double y = TrueY(concept_b, x, &rng);
+    double a = adaptive.Observe(x, y);
+    double f = std::fabs(frozen.Predict(x) - y);
+    if (i >= 2000) {  // compare steady-state tail
+      adaptive_err += a;
+      frozen_err += f;
+      ++tail;
+    }
+  }
+  EXPECT_GE(adaptive.drift_resets(), 1u);
+  EXPECT_LT(adaptive_err / tail, 0.2);
+  EXPECT_GT(frozen_err / tail, 1.0);
+}
+
+TEST(AdaptiveModelTest, NoSpuriousResetsOnStationaryData) {
+  Rng rng(17);
+  std::vector<double> truth = {1.0, 1.0};
+  AdaptiveModel adaptive(2, 0.05, PageHinkley(0.1, 30.0, 50));
+  for (int i = 0; i < 5000; ++i) {
+    auto x = RandomX(&rng, 2);
+    adaptive.Observe(x, TrueY(truth, x, &rng));
+  }
+  EXPECT_EQ(adaptive.drift_resets(), 0u);
+}
+
+}  // namespace
+}  // namespace deluge::ml

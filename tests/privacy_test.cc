@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "privacy/dp.h"
+#include "privacy/federated.h"
+#include "privacy/incentive.h"
+
+namespace deluge::privacy {
+namespace {
+
+// ----------------------------------------------------------- PrivacyBudget
+
+TEST(PrivacyBudgetTest, ChargesUntilExhausted) {
+  PrivacyBudget budget(1.0);
+  EXPECT_TRUE(budget.Charge(0.4).ok());
+  EXPECT_TRUE(budget.Charge(0.6).ok());
+  EXPECT_TRUE(budget.Charge(0.01).IsResourceExhausted());
+  EXPECT_NEAR(budget.remaining(), 0.0, 1e-12);
+}
+
+TEST(PrivacyBudgetTest, RejectsNonPositiveEpsilon) {
+  PrivacyBudget budget(1.0);
+  EXPECT_TRUE(budget.Charge(0.0).IsInvalidArgument());
+  EXPECT_TRUE(budget.Charge(-1.0).IsInvalidArgument());
+}
+
+// -------------------------------------------------------- LaplaceMechanism
+
+TEST(LaplaceTest, NoiseScalesInverselyWithEpsilon) {
+  LaplaceMechanism mech(1.0, 7);
+  auto mad = [&](double eps) {
+    double sum = 0;
+    for (int i = 0; i < 20000; ++i) sum += std::fabs(mech.SampleNoise(eps));
+    return sum / 20000;
+  };
+  double tight = mad(10.0);  // mean |noise| = b = 1/eps
+  double loose = mad(0.1);
+  EXPECT_NEAR(tight, 0.1, 0.02);
+  EXPECT_NEAR(loose, 10.0, 2.0);
+}
+
+TEST(LaplaceTest, ReleaseChargesBudget) {
+  LaplaceMechanism mech(1.0, 7);
+  PrivacyBudget budget(0.5);
+  auto r = mech.Release(100.0, 0.5, &budget);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(mech.Release(100.0, 0.5, &budget).status()
+                  .IsResourceExhausted());
+}
+
+TEST(LaplaceTest, NoiseIsUnbiased) {
+  LaplaceMechanism mech(1.0, 13);
+  double sum = 0;
+  for (int i = 0; i < 50000; ++i) sum += mech.SampleNoise(1.0);
+  EXPECT_NEAR(sum / 50000, 0.0, 0.05);
+}
+
+// ------------------------------------------------------ RandomizedResponse
+
+TEST(RandomizedResponseTest, HighEpsilonMostlyTruthful) {
+  RandomizedResponse rr(5.0, 3);
+  int truthful = 0;
+  for (int i = 0; i < 1000; ++i) truthful += rr.Respond(true);
+  EXPECT_GT(truthful, 950);
+}
+
+TEST(RandomizedResponseTest, EstimatorDebiases) {
+  RandomizedResponse rr(1.0, 9);
+  const double true_fraction = 0.3;
+  Rng rng(5);
+  int yes = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    bool truth = rng.Bernoulli(true_fraction);
+    yes += rr.Respond(truth);
+  }
+  double estimate = rr.EstimateTrueFraction(double(yes) / n);
+  EXPECT_NEAR(estimate, true_fraction, 0.02);
+}
+
+// -------------------------------------------------------------- DpHistogram
+
+TEST(DpHistogramTest, NoisyCountsNearTruth) {
+  DpHistogram hist(4, 11);
+  for (int i = 0; i < 1000; ++i) hist.Add(size_t(i % 4));
+  PrivacyBudget budget(1.0);
+  auto noisy = hist.Release(1.0, &budget);
+  ASSERT_TRUE(noisy.ok());
+  for (double c : noisy.value()) EXPECT_NEAR(c, 250.0, 30.0);
+}
+
+TEST(DpHistogramTest, OutOfRangeBucketIgnored) {
+  DpHistogram hist(2);
+  hist.Add(99);
+  EXPECT_EQ(hist.raw_counts()[0] + hist.raw_counts()[1], 0u);
+}
+
+// --------------------------------------------------------------- Federated
+
+TEST(FederationTest, SynthesizeShapes) {
+  FederationConfig config;
+  config.num_clients = 5;
+  config.dim = 4;
+  config.rows_per_client = 20;
+  Federation fed = Federation::Synthesize(config);
+  EXPECT_EQ(fed.clients.size(), 5u);
+  EXPECT_EQ(fed.true_weights.size(), 4u);
+  for (const auto& c : fed.clients) {
+    EXPECT_EQ(c.size(), 20u);
+    EXPECT_EQ(c.xs[0].size(), 4u);
+  }
+}
+
+TEST(FedAvgTest, ConvergesOnIidData) {
+  FederationConfig config;
+  config.num_clients = 8;
+  config.noniid_skew = 0.0;
+  Federation fed = Federation::Synthesize(config);
+  FederatedAveraging::Options opts;
+  FederatedAveraging fedavg(&fed, opts);
+  double initial = fedavg.GlobalLoss();
+  for (int round = 0; round < 30; ++round) fedavg.Round();
+  EXPECT_LT(fedavg.GlobalLoss(), initial * 0.1);
+  EXPECT_LT(fedavg.DistanceToTruth(), 0.2);
+  EXPECT_EQ(fedavg.rounds_completed(), 30u);
+}
+
+TEST(FedAvgTest, NonIidConvergesSlower) {
+  auto final_distance = [](double skew) {
+    FederationConfig config;
+    config.num_clients = 8;
+    config.noniid_skew = skew;
+    config.seed = 21;
+    Federation fed = Federation::Synthesize(config);
+    FederatedAveraging::Options opts;
+    opts.learning_rate = 0.005;
+    FederatedAveraging fedavg(&fed, opts);
+    for (int round = 0; round < 10; ++round) fedavg.Round();
+    return fedavg.DistanceToTruth();
+  };
+  // Heavier skew => farther from truth after the same budget.
+  EXPECT_LT(final_distance(0.0), final_distance(3.0));
+}
+
+TEST(FedAvgTest, UpdateNoiseDegradesAccuracy) {
+  FederationConfig config;
+  Federation fed = Federation::Synthesize(config);
+  FederatedAveraging::Options clean_opts;
+  FederatedAveraging clean(&fed, clean_opts);
+  FederatedAveraging::Options noisy_opts;
+  noisy_opts.update_noise_stddev = 0.5;
+  FederatedAveraging noisy(&fed, noisy_opts);
+  for (int r = 0; r < 20; ++r) {
+    clean.Round();
+    noisy.Round();
+  }
+  EXPECT_LT(clean.DistanceToTruth(), noisy.DistanceToTruth());
+}
+
+TEST(FedAvgTest, ZeroWeightClientExcluded) {
+  FederationConfig config;
+  config.num_clients = 2;
+  Federation fed = Federation::Synthesize(config);
+  // Corrupt client 1's labels entirely.
+  for (auto& y : fed.clients[1].ys) y = 1e6;
+  FederatedAveraging::Options opts;
+  FederatedAveraging fedavg(&fed, opts);
+  std::vector<double> weights = {1.0, 0.0};
+  for (int r = 0; r < 20; ++r) fedavg.Round(weights);
+  // Excluding the poisoned client still recovers the truth.
+  EXPECT_LT(fedavg.DistanceToTruth(), 0.3);
+}
+
+// ---------------------------------------------------------- IncentiveScorer
+
+TEST(IncentiveTest, ShapleyAdditivityOnLinearUtility) {
+  // Utility = sum of per-client values: Shapley must recover them.
+  std::vector<double> values = {1.0, 5.0, 0.0, 2.0};
+  IncentiveScorer scorer(4, [&](const std::vector<size_t>& coalition) {
+    double u = 0;
+    for (size_t c : coalition) u += values[c];
+    return u;
+  });
+  auto shapley = scorer.ShapleyApprox(200, 3);
+  for (size_t i = 0; i < 4; ++i) EXPECT_NEAR(shapley[i], values[i], 1e-9);
+}
+
+TEST(IncentiveTest, LeaveOneOutMatchesLinearUtility) {
+  std::vector<double> values = {3.0, 1.0};
+  IncentiveScorer scorer(2, [&](const std::vector<size_t>& coalition) {
+    double u = 0;
+    for (size_t c : coalition) u += values[c];
+    return u;
+  });
+  auto loo = scorer.LeaveOneOut();
+  EXPECT_NEAR(loo[0], 3.0, 1e-9);
+  EXPECT_NEAR(loo[1], 1.0, 1e-9);
+}
+
+TEST(IncentiveTest, FreeRiderDetectedInFederation) {
+  FederationConfig config;
+  config.num_clients = 4;
+  config.rows_per_client = 80;
+  config.seed = 31;
+  Federation fed = Federation::Synthesize(config);
+  // Client 3 is a free rider: garbage data (no signal).
+  Rng rng(41);
+  for (auto& y : fed.clients[3].ys) y = rng.UniformDouble(-100, 100);
+
+  IncentiveScorer scorer(4, [&](const std::vector<size_t>& coalition) {
+    if (coalition.empty()) return -1e3;
+    // Train FedAvg on just this coalition and score by negative loss on
+    // the honest clients' data.
+    Federation sub;
+    sub.true_weights = fed.true_weights;
+    for (size_t c : coalition) sub.clients.push_back(fed.clients[c]);
+    FederatedAveraging::Options opts;
+    FederatedAveraging fa(&sub, opts);
+    for (int r = 0; r < 5; ++r) fa.Round();
+    double loss = 0;
+    for (size_t c = 0; c < 3; ++c) loss += fa.LossOn(fed.clients[c]);
+    return -loss;
+  });
+  auto scores = scorer.LeaveOneOut();
+  // The free rider's marginal contribution is the smallest.
+  EXPECT_EQ(std::min_element(scores.begin(), scores.end()) - scores.begin(),
+            3);
+  auto flagged = IncentiveScorer::FlagFreeRiders(scores);
+  EXPECT_TRUE(std::find(flagged.begin(), flagged.end(), 3u) != flagged.end());
+}
+
+TEST(IncentiveTest, FlagFreeRidersEdgeCases) {
+  EXPECT_TRUE(IncentiveScorer::FlagFreeRiders({}).empty());
+  EXPECT_TRUE(IncentiveScorer::FlagFreeRiders({-1.0, -2.0}).empty());
+  auto flagged = IncentiveScorer::FlagFreeRiders({10.0, 10.0, 0.1});
+  ASSERT_EQ(flagged.size(), 1u);
+  EXPECT_EQ(flagged[0], 2u);
+}
+
+}  // namespace
+}  // namespace deluge::privacy

@@ -1,0 +1,272 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "query/expression.h"
+#include "query/moving_query.h"
+#include "query/optimizer.h"
+
+namespace deluge::query {
+namespace {
+
+// ------------------------------------------------------------ Conjunction
+
+PredicateExpr Cheap(bool result) {
+  return PredicateExpr("cheap", [result](const stream::Tuple&) {
+    return result;
+  }, 1.0, result ? 1.0 : 0.0);
+}
+
+TEST(ConjunctionTest, ShortCircuits) {
+  int expensive_calls = 0;
+  std::vector<PredicateExpr> preds;
+  preds.push_back(Cheap(false));
+  preds.emplace_back("expensive",
+                     [&](const stream::Tuple&) {
+                       ++expensive_calls;
+                       return true;
+                     },
+                     1000.0, 0.9);
+  Conjunction conj(std::move(preds));
+  stream::Tuple t;
+  EXPECT_FALSE(conj.Evaluate(t));
+  EXPECT_EQ(expensive_calls, 0);
+  EXPECT_DOUBLE_EQ(conj.total_cost_spent(), 1.0);
+}
+
+TEST(ConjunctionTest, OptimizeOrderPutsSelectiveCheapFirst) {
+  // Expensive-but-selective vs cheap-but-permissive: rank ordering puts
+  // the cheap filter first when its rank is lower.
+  std::vector<PredicateExpr> preds;
+  preds.emplace_back("expensive-udf", [](const stream::Tuple&) { return true; },
+                     /*cost=*/100.0, /*selectivity=*/0.5);
+  preds.emplace_back("cheap-filter", [](const stream::Tuple&) { return true; },
+                     /*cost=*/1.0, /*selectivity=*/0.1);
+  Conjunction conj(std::move(preds));
+  double before = conj.ExpectedCost();  // 100 + 0.5*1 = 100.5
+  conj.OptimizeOrder();
+  double after = conj.ExpectedCost();   // 1 + 0.1*100 = 11
+  EXPECT_LT(after, before);
+  EXPECT_EQ(conj.predicates()[0].name(), "cheap-filter");
+}
+
+TEST(ConjunctionTest, ExpectedCostFormula) {
+  std::vector<PredicateExpr> preds;
+  preds.emplace_back("a", [](const stream::Tuple&) { return true; }, 2.0, 0.5);
+  preds.emplace_back("b", [](const stream::Tuple&) { return true; }, 4.0, 0.25);
+  Conjunction conj(std::move(preds));
+  EXPECT_DOUBLE_EQ(conj.ExpectedCost(), 2.0 + 0.5 * 4.0);
+}
+
+TEST(ConjunctionTest, OptimalOrderIsRankOrderProperty) {
+  // Property: over random predicate sets, the rank ordering achieves the
+  // minimum expected cost among a sample of random permutations.
+  Rng rng(13);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<PredicateExpr> preds;
+    for (int i = 0; i < 5; ++i) {
+      preds.emplace_back("p" + std::to_string(i),
+                         [](const stream::Tuple&) { return true; },
+                         rng.UniformDouble(1, 100),
+                         rng.UniformDouble(0.05, 0.95));
+    }
+    Conjunction optimal(preds);
+    optimal.OptimizeOrder();
+    double best = optimal.ExpectedCost();
+    for (int perm = 0; perm < 30; ++perm) {
+      auto shuffled = preds;
+      rng.Shuffle(shuffled);
+      Conjunction candidate(std::move(shuffled));
+      EXPECT_GE(candidate.ExpectedCost() + 1e-9, best);
+    }
+  }
+}
+
+// ----------------------------------------------------- DevicePlanOptimizer
+
+std::vector<PlanStage> SensorPipeline() {
+  // sensor-read (device pinned) -> clean -> aggregate -> model-join
+  // (cloud pinned).
+  return {
+      {"sensor-read", 1.0, 100000, /*device_only=*/true, false},
+      {"clean", 5.0, 20000, false, false},
+      {"aggregate", 10.0, 500, false, false},
+      {"model-join", 50.0, 400, false, /*cloud_only=*/true},
+  };
+}
+
+TEST(DeviceOptimizerTest, RespectsPins) {
+  DeviceCloudModel model;
+  DevicePlanOptimizer opt(model);
+  auto plan = opt.Optimize(SensorPipeline());
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_EQ(plan.placements.front(), Placement::kDevice);
+  EXPECT_EQ(plan.placements.back(), Placement::kCloud);
+}
+
+TEST(DeviceOptimizerTest, SlowUplinkPushesAggregationToDevice) {
+  DeviceCloudModel slow_uplink;
+  slow_uplink.uplink_bytes_per_ms = 10.0;  // terrible link
+  DevicePlanOptimizer opt(slow_uplink);
+  auto plan = opt.Optimize(SensorPipeline());
+  ASSERT_TRUE(plan.feasible);
+  // Aggregating on-device shrinks 100 KB to 500 B before the uplink.
+  EXPECT_EQ(plan.placements[2], Placement::kDevice);
+  EXPECT_LE(plan.bytes_uplinked, 500u);
+}
+
+TEST(DeviceOptimizerTest, FastUplinkAndWeakDeviceOffloadEarly) {
+  DeviceCloudModel weak_device;
+  weak_device.device_speed = 0.01;           // near-useless CPU
+  weak_device.uplink_bytes_per_ms = 1e9;     // free uplink
+  DevicePlanOptimizer opt(weak_device);
+  auto plan = opt.Optimize(SensorPipeline());
+  ASSERT_TRUE(plan.feasible);
+  // Only the pinned sensor-read stays on the device.
+  EXPECT_EQ(plan.placements[1], Placement::kCloud);
+  EXPECT_EQ(plan.placements[2], Placement::kCloud);
+}
+
+TEST(DeviceOptimizerTest, WorkBudgetForcesOffload) {
+  DeviceCloudModel model;
+  model.uplink_bytes_per_ms = 1.0;  // uplink strongly favours device...
+  model.device_work_budget = 2.0;   // ...but the battery forbids it
+  DevicePlanOptimizer opt(model);
+  auto plan = opt.Optimize(SensorPipeline());
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_LE(plan.device_work, 2.0);
+}
+
+TEST(DeviceOptimizerTest, ContradictoryPinsInfeasible) {
+  std::vector<PlanStage> stages = {
+      {"cloud-first", 1.0, 100, false, /*cloud_only=*/true},
+      {"device-after", 1.0, 100, /*device_only=*/true, false},
+  };
+  DevicePlanOptimizer opt(DeviceCloudModel{});
+  EXPECT_FALSE(opt.Optimize(stages).feasible);
+}
+
+TEST(DeviceOptimizerTest, EvaluateSplitCountsUplinkBytes) {
+  DeviceCloudModel model;
+  DevicePlanOptimizer opt(model);
+  auto stages = SensorPipeline();
+  auto at0 = opt.EvaluateSplit(stages, 0);
+  EXPECT_EQ(at0.bytes_uplinked, model.source_bytes);
+  auto at2 = opt.EvaluateSplit(stages, 2);
+  EXPECT_EQ(at2.bytes_uplinked, 20000u);
+}
+
+// ------------------------------------------------------------ ChooseVariant
+
+TEST(ChooseVariantTest, PhysicalConsumersGetExactAndBoost) {
+  ExecutionClass physical{true, 10 * kMicrosPerMilli};
+  auto choice = ChooseVariant(physical, 100 * kMicrosPerMilli);
+  EXPECT_FALSE(choice.use_approximate);
+  EXPECT_GT(choice.priority_boost, 0.0);
+}
+
+TEST(ChooseVariantTest, VirtualConsumersDegradeUnderDeadline) {
+  ExecutionClass virt{false, 10 * kMicrosPerMilli};
+  EXPECT_TRUE(ChooseVariant(virt, 100 * kMicrosPerMilli).use_approximate);
+  EXPECT_FALSE(ChooseVariant(virt, 5 * kMicrosPerMilli).use_approximate);
+}
+
+// --------------------------------------------------- ContinuousRangeQuery
+
+const geo::AABB kWorld({0, 0, 0}, {2000, 2000, 100});
+
+class MovingQueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    index_ = std::make_unique<index::MovingObjectIndex>(kWorld, 50.0, 10.0);
+    Rng rng(23);
+    for (index::EntityId id = 0; id < 400; ++id) {
+      geo::MotionState s;
+      s.position = {rng.UniformDouble(200, 1800), rng.UniformDouble(200, 1800),
+                    50};
+      s.velocity = {rng.UniformDouble(-5, 5), rng.UniformDouble(-5, 5), 0};
+      s.t = 0;
+      index_->Upsert(id, s);
+    }
+  }
+
+  std::unique_ptr<index::MovingObjectIndex> index_;
+};
+
+TEST_F(MovingQueryTest, StrategiesAgreeOnResults) {
+  ContinuousRangeQuery reeval(index_.get(), 100.0,
+                              MovingQueryStrategy::kReevaluate);
+  ContinuousRangeQuery incr(index_.get(), 100.0,
+                            MovingQueryStrategy::kIncremental, 60.0);
+  geo::MotionState focus{{1000, 1000, 50}, {3, 0, 0}, 0};
+  reeval.UpdateFocus(focus);
+  incr.UpdateFocus(focus);
+  for (Micros t = 0; t <= 10 * kMicrosPerSecond; t += kMicrosPerSecond) {
+    auto a = reeval.Evaluate(t);
+    auto b = incr.Evaluate(t);
+    std::set<index::EntityId> sa, sb;
+    for (const auto& h : a) sa.insert(h.id);
+    for (const auto& h : b) sb.insert(h.id);
+    EXPECT_EQ(sa, sb) << "t=" << t;
+  }
+}
+
+TEST_F(MovingQueryTest, IncrementalUsesFarFewerIndexQueries) {
+  ContinuousRangeQuery reeval(index_.get(), 100.0,
+                              MovingQueryStrategy::kReevaluate);
+  ContinuousRangeQuery incr(index_.get(), 100.0,
+                            MovingQueryStrategy::kIncremental, 80.0);
+  geo::MotionState focus{{1000, 1000, 50}, {1, 0, 0}, 0};
+  reeval.UpdateFocus(focus);
+  incr.UpdateFocus(focus);
+  for (Micros t = 0; t <= 20 * kMicrosPerSecond; t += 200 * kMicrosPerMilli) {
+    reeval.Evaluate(t);
+    incr.Evaluate(t);
+  }
+  EXPECT_EQ(reeval.index_queries(), reeval.evaluations());
+  EXPECT_LT(incr.index_queries(), reeval.index_queries() / 4);
+}
+
+TEST_F(MovingQueryTest, FastFocusInvalidatesCacheMoreOften) {
+  ContinuousRangeQuery slow(index_.get(), 100.0,
+                            MovingQueryStrategy::kIncremental, 50.0);
+  ContinuousRangeQuery fast(index_.get(), 100.0,
+                            MovingQueryStrategy::kIncremental, 50.0);
+  slow.UpdateFocus({{1000, 1000, 50}, {0.5, 0, 0}, 0});
+  fast.UpdateFocus({{1000, 1000, 50}, {9, 0, 0}, 0});
+  for (Micros t = 0; t <= 30 * kMicrosPerSecond; t += kMicrosPerSecond) {
+    slow.Evaluate(t);
+    fast.Evaluate(t);
+  }
+  EXPECT_LE(slow.index_queries(), fast.index_queries());
+}
+
+TEST_F(MovingQueryTest, RemovedObjectDisappearsFromIncrementalResults) {
+  ContinuousRangeQuery incr(index_.get(), 200.0,
+                            MovingQueryStrategy::kIncremental, 100.0);
+  incr.UpdateFocus({{1000, 1000, 50}, {0, 0, 0}, 0});
+  auto before = incr.Evaluate(0);
+  ASSERT_FALSE(before.empty());
+  index::EntityId victim = before[0].id;
+  index_->Remove(victim);
+  auto after = incr.Evaluate(1);  // cache still valid; must skip removed
+  for (const auto& h : after) EXPECT_NE(h.id, victim);
+}
+
+TEST_F(MovingQueryTest, KnnFollowsTheFocus) {
+  ContinuousKnnQuery knn(index_.get(), 5);
+  knn.UpdateFocus({{300, 300, 50}, {50, 0, 0}, 0});  // clamped to 10 m/s
+  auto early = knn.Evaluate(0);
+  auto late = knn.Evaluate(100 * kMicrosPerSecond);
+  ASSERT_EQ(early.size(), 5u);
+  ASSERT_EQ(late.size(), 5u);
+  // After 100 s at 10 m/s the focus moved ~1000 m; neighbour sets differ.
+  std::set<index::EntityId> se, sl;
+  for (const auto& h : early) se.insert(h.id);
+  for (const auto& h : late) sl.insert(h.id);
+  EXPECT_NE(se, sl);
+}
+
+}  // namespace
+}  // namespace deluge::query

@@ -1,0 +1,175 @@
+// Edge-case and stress tests for the storage engine: large values,
+// WAL sync mode, parameterized configurations, iterator stability.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+
+#include "common/rng.h"
+#include "storage/kv_store.h"
+
+namespace deluge::storage {
+namespace {
+
+std::string TempDir(const std::string& name) {
+  std::string dir =
+      (std::filesystem::temp_directory_path() / ("deluge_edge_" + name))
+          .string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+TEST(KVStoreEdgeTest, LargeValuesSurviveFlushAndCompaction) {
+  KVStoreOptions opts;
+  opts.dir = TempDir("large");
+  opts.memtable_max_bytes = 64 << 10;
+  auto store = KVStore::Open(opts);
+  ASSERT_TRUE(store.ok());
+  KVStore* db = store.value().get();
+
+  // Values larger than the SSTable reader's 64 KB first-read chunk:
+  // exercises the grow-and-retry path in the record decoder.
+  Rng rng(3);
+  std::map<std::string, std::string> reference;
+  for (int i = 0; i < 8; ++i) {
+    std::string value(150 * 1024 + size_t(rng.Uniform(50000)), char('a' + i));
+    std::string key = "big" + std::to_string(i);
+    reference[key] = value;
+    ASSERT_TRUE(db->Put(key, value).ok());
+  }
+  ASSERT_TRUE(db->CompactAll().ok());
+  for (const auto& [k, v] : reference) {
+    std::string got;
+    ASSERT_TRUE(db->Get(k, &got).ok()) << k;
+    EXPECT_EQ(got.size(), v.size());
+    EXPECT_EQ(got, v);
+  }
+  // Scan also decodes the big records.
+  auto it = db->NewIterator();
+  size_t count = 0;
+  for (it.SeekToFirst(); it.Valid(); it.Next()) ++count;
+  EXPECT_EQ(count, reference.size());
+}
+
+TEST(KVStoreEdgeTest, SyncWalModeWorks) {
+  KVStoreOptions opts;
+  opts.dir = TempDir("sync");
+  opts.sync_wal = true;
+  auto store = KVStore::Open(opts);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store.value()->Put("durable", "yes").ok());
+  std::string v;
+  ASSERT_TRUE(store.value()->Get("durable", &v).ok());
+  EXPECT_EQ(v, "yes");
+}
+
+TEST(KVStoreEdgeTest, BinaryKeysAndValues) {
+  KVStoreOptions opts;
+  opts.dir = TempDir("binary");
+  auto store = KVStore::Open(opts);
+  ASSERT_TRUE(store.ok());
+  std::string key("\x00\x01\xff\x7f", 4);
+  std::string value("\xde\xad\x00\xbe\xef", 5);
+  ASSERT_TRUE(store.value()->Put(key, value).ok());
+  ASSERT_TRUE(store.value()->Flush().ok());
+  std::string got;
+  ASSERT_TRUE(store.value()->Get(key, &got).ok());
+  EXPECT_EQ(got, value);
+}
+
+TEST(KVStoreEdgeTest, IteratorSnapshotUnaffectedByLaterWrites) {
+  KVStoreOptions opts;
+  opts.dir = TempDir("snapshot");
+  auto store = KVStore::Open(opts);
+  ASSERT_TRUE(store.ok());
+  KVStore* db = store.value().get();
+  ASSERT_TRUE(db->Put("a", "1").ok());
+  auto it = db->NewIterator();
+  ASSERT_TRUE(db->Put("b", "2").ok());
+  ASSERT_TRUE(db->Delete("a").ok());
+  size_t count = 0;
+  for (it.SeekToFirst(); it.Valid(); it.Next()) ++count;
+  EXPECT_EQ(count, 1u);  // sees only "a" as of creation
+}
+
+TEST(KVStoreEdgeTest, ReopenAfterCompactionOnlyManifest) {
+  std::string dir = TempDir("reopen");
+  {
+    KVStoreOptions opts;
+    opts.dir = dir;
+    auto store = KVStore::Open(opts);
+    ASSERT_TRUE(store.ok());
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE(store.value()->Put("k" + std::to_string(i), "v").ok());
+    }
+    ASSERT_TRUE(store.value()->CompactAll().ok());
+    EXPECT_EQ(store.value()->l0_file_count(), 0u);
+    EXPECT_EQ(store.value()->l1_file_count(), 1u);
+  }
+  KVStoreOptions opts;
+  opts.dir = dir;
+  auto store = KVStore::Open(opts);
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ(store.value()->l1_file_count(), 1u);
+  std::string v;
+  ASSERT_TRUE(store.value()->Get("k50", &v).ok());
+}
+
+// Parameterized configuration sweep: the store must behave identically
+// to a reference map under every (memtable size, trigger) combination.
+struct ConfigCase {
+  size_t memtable_bytes;
+  int l0_trigger;
+};
+
+class KVStoreConfigTest : public ::testing::TestWithParam<ConfigCase> {};
+
+TEST_P(KVStoreConfigTest, MatchesReferenceUnderChurn) {
+  const ConfigCase& config = GetParam();
+  KVStoreOptions opts;
+  opts.dir = TempDir("cfg_" + std::to_string(config.memtable_bytes) + "_" +
+                     std::to_string(config.l0_trigger));
+  opts.memtable_max_bytes = config.memtable_bytes;
+  opts.l0_compaction_trigger = config.l0_trigger;
+  auto store = KVStore::Open(opts);
+  ASSERT_TRUE(store.ok());
+  KVStore* db = store.value().get();
+
+  std::map<std::string, std::string> reference;
+  Rng rng(config.memtable_bytes + uint64_t(config.l0_trigger));
+  for (int op = 0; op < 1500; ++op) {
+    std::string key = "k" + std::to_string(rng.Uniform(150));
+    if (rng.Bernoulli(0.25)) {
+      reference.erase(key);
+      ASSERT_TRUE(db->Delete(key).ok());
+    } else {
+      std::string value = "v" + std::to_string(op);
+      reference[key] = value;
+      ASSERT_TRUE(db->Put(key, value).ok());
+    }
+  }
+  for (const auto& [k, v] : reference) {
+    std::string got;
+    ASSERT_TRUE(db->Get(k, &got).ok()) << k;
+    EXPECT_EQ(got, v);
+  }
+  auto it = db->NewIterator();
+  size_t count = 0;
+  for (it.SeekToFirst(); it.Valid(); it.Next()) ++count;
+  EXPECT_EQ(count, reference.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, KVStoreConfigTest,
+    ::testing::Values(ConfigCase{512, 2}, ConfigCase{2048, 2},
+                      ConfigCase{2048, 8}, ConfigCase{16384, 4},
+                      ConfigCase{1 << 20, 4}),
+    [](const ::testing::TestParamInfo<ConfigCase>& info) {
+      return "mem" + std::to_string(info.param.memtable_bytes) + "_trig" +
+             std::to_string(info.param.l0_trigger);
+    });
+
+}  // namespace
+}  // namespace deluge::storage

@@ -1,0 +1,379 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "stream/continuous_query.h"
+#include "stream/operators.h"
+#include "stream/scheduler.h"
+#include "stream/tuple.h"
+
+namespace deluge::stream {
+namespace {
+
+Tuple MakeTuple(Micros t, const std::string& key, double value,
+                Space space = Space::kPhysical) {
+  Tuple tup;
+  tup.event_time = t;
+  tup.key = key;
+  tup.space = space;
+  tup.Set("v", value);
+  return tup;
+}
+
+// ----------------------------------------------------------------- Tuple
+
+TEST(TupleTest, TypedGet) {
+  Tuple t;
+  t.Set("i", int64_t{42}).Set("d", 3.5).Set("s", std::string("x")).Set(
+      "b", true);
+  EXPECT_EQ(t.Get<int64_t>("i"), 42);
+  EXPECT_EQ(t.Get<double>("d"), 3.5);
+  EXPECT_EQ(t.Get<std::string>("s"), "x");
+  EXPECT_EQ(t.Get<bool>("b"), true);
+  EXPECT_FALSE(t.Get<double>("i").has_value());  // wrong type
+  EXPECT_FALSE(t.Get<double>("missing").has_value());
+}
+
+TEST(TupleTest, GetNumericPromotesInt) {
+  Tuple t;
+  t.Set("i", int64_t{7});
+  EXPECT_EQ(t.GetNumeric("i"), 7.0);
+  t.Set("s", std::string("nope"));
+  EXPECT_FALSE(t.GetNumeric("s").has_value());
+}
+
+// ------------------------------------------------------------- Operators
+
+TEST(FilterOpTest, PassesMatching) {
+  FilterOp op([](const Tuple& t) { return t.GetNumeric("v") > 5.0; });
+  std::vector<Tuple> out;
+  Emit emit = [&](const Tuple& t) { out.push_back(t); };
+  op.Process(MakeTuple(0, "a", 3.0), emit);
+  op.Process(MakeTuple(0, "a", 7.0), emit);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].GetNumeric("v"), 7.0);
+}
+
+TEST(MapOpTest, Transforms) {
+  MapOp op([](const Tuple& t) {
+    Tuple o = t;
+    o.Set("v", t.GetNumeric("v").value_or(0) * 2);
+    return o;
+  });
+  std::vector<Tuple> out;
+  op.Process(MakeTuple(0, "a", 21.0),
+             [&](const Tuple& t) { out.push_back(t); });
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].GetNumeric("v"), 42.0);
+}
+
+TEST(WindowAggregateTest, TumblingSumPerKey) {
+  WindowAggregateOp op(1000, AggFn::kSum, "v");
+  std::vector<Tuple> out;
+  Emit emit = [&](const Tuple& t) { out.push_back(t); };
+  op.Process(MakeTuple(100, "a", 1.0), emit);
+  op.Process(MakeTuple(200, "a", 2.0), emit);
+  op.Process(MakeTuple(300, "b", 10.0), emit);
+  EXPECT_TRUE(out.empty());        // window still open
+  op.Process(MakeTuple(1500, "a", 5.0), emit);  // watermark closes [0,1000)
+  ASSERT_EQ(out.size(), 2u);
+  // Keys in map order: a then b.
+  EXPECT_EQ(out[0].key, "a");
+  EXPECT_EQ(out[0].GetNumeric("agg"), 3.0);
+  EXPECT_EQ(out[1].key, "b");
+  EXPECT_EQ(out[1].GetNumeric("agg"), 10.0);
+  op.Flush(emit);
+  ASSERT_EQ(out.size(), 3u);  // the open [1000,2000) window for "a"
+  EXPECT_EQ(out[2].GetNumeric("agg"), 5.0);
+}
+
+TEST(WindowAggregateTest, AggFunctions) {
+  struct Case {
+    AggFn fn;
+    double expected;
+  };
+  for (const Case& c : {Case{AggFn::kCount, 3.0}, Case{AggFn::kSum, 9.0},
+                        Case{AggFn::kAvg, 3.0}, Case{AggFn::kMin, 1.0},
+                        Case{AggFn::kMax, 5.0}}) {
+    WindowAggregateOp op(1000, c.fn, "v");
+    std::vector<Tuple> out;
+    Emit emit = [&](const Tuple& t) { out.push_back(t); };
+    op.Process(MakeTuple(10, "k", 3.0), emit);
+    op.Process(MakeTuple(20, "k", 1.0), emit);
+    op.Process(MakeTuple(30, "k", 5.0), emit);
+    op.Flush(emit);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].GetNumeric("agg"), c.expected) << int(c.fn);
+  }
+}
+
+TEST(WindowAggregateTest, LateTuplesDropped) {
+  WindowAggregateOp op(1000, AggFn::kCount, "v", /*allowed_lateness=*/0);
+  std::vector<Tuple> out;
+  Emit emit = [&](const Tuple& t) { out.push_back(t); };
+  op.Process(MakeTuple(100, "a", 1.0), emit);
+  op.Process(MakeTuple(2500, "a", 1.0), emit);  // closes [0,1000) and [1000,2000)
+  size_t after_close = out.size();
+  op.Process(MakeTuple(150, "a", 1.0), emit);  // late for closed window
+  EXPECT_EQ(op.late_dropped(), 1u);
+  EXPECT_EQ(out.size(), after_close);
+}
+
+TEST(WindowAggregateTest, LatenessToleranceKeepsWindowOpen) {
+  WindowAggregateOp op(1000, AggFn::kCount, "v", /*allowed_lateness=*/1000);
+  std::vector<Tuple> out;
+  Emit emit = [&](const Tuple& t) { out.push_back(t); };
+  op.Process(MakeTuple(100, "a", 1.0), emit);
+  op.Process(MakeTuple(1500, "a", 1.0), emit);  // watermark only 500
+  EXPECT_TRUE(out.empty());
+  op.Process(MakeTuple(300, "a", 1.0), emit);  // accepted: window open
+  EXPECT_EQ(op.late_dropped(), 0u);
+  op.Flush(emit);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].GetNumeric("agg"), 2.0);  // [0,1000) got both tuples
+}
+
+TEST(WindowJoinTest, JoinsMatchingKeysWithinWindow) {
+  // Side by field "side": 0 = sensor, 1 = profile.
+  WindowJoinOp op(1000, [](const Tuple& t) {
+    return int(t.Get<int64_t>("side").value_or(0));
+  });
+  std::vector<Tuple> out;
+  Emit emit = [&](const Tuple& t) { out.push_back(t); };
+
+  Tuple left = MakeTuple(100, "user1", 1.0);
+  left.Set("side", int64_t{0}).Set("loc", std::string("hall"));
+  Tuple right = MakeTuple(400, "user1", 2.0);
+  right.Set("side", int64_t{1}).Set("name", std::string("Ana"));
+  Tuple unrelated = MakeTuple(500, "user2", 3.0);
+  unrelated.Set("side", int64_t{1});
+
+  op.Process(left, emit);
+  EXPECT_TRUE(out.empty());
+  op.Process(right, emit);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].key, "user1");
+  EXPECT_EQ(out[0].Get<std::string>("loc"), "hall");
+  EXPECT_EQ(out[0].Get<std::string>("name"), "Ana");
+  op.Process(unrelated, emit);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(WindowJoinTest, ExpiredTuplesDoNotJoin) {
+  WindowJoinOp op(1000, [](const Tuple& t) {
+    return int(t.Get<int64_t>("side").value_or(0));
+  });
+  std::vector<Tuple> out;
+  Emit emit = [&](const Tuple& t) { out.push_back(t); };
+  Tuple left = MakeTuple(100, "k", 1.0);
+  left.Set("side", int64_t{0});
+  Tuple right = MakeTuple(5000, "k", 2.0);  // way past window
+  right.Set("side", int64_t{1});
+  op.Process(left, emit);
+  op.Process(right, emit);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(op.buffered(), 1u);  // expired left was evicted
+}
+
+TEST(WindowJoinTest, ConflictingFieldGetsPrefixed) {
+  WindowJoinOp op(1000, [](const Tuple& t) {
+    return int(t.Get<int64_t>("side").value_or(0));
+  });
+  std::vector<Tuple> out;
+  Tuple left = MakeTuple(0, "k", 1.0);
+  left.Set("side", int64_t{0});
+  Tuple right = MakeTuple(1, "k", 2.0);
+  right.Set("side", int64_t{1});
+  op.Process(left, [&](const Tuple& t) { out.push_back(t); });
+  op.Process(right, [&](const Tuple& t) { out.push_back(t); });
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].GetNumeric("v"), 1.0);     // left wins the name
+  EXPECT_EQ(out[0].GetNumeric("r_v"), 2.0);   // right prefixed
+}
+
+TEST(InterpolateOpTest, FillsGaps) {
+  InterpolateOp op("v", /*max_gap=*/100, /*step=*/100);
+  std::vector<Tuple> out;
+  Emit emit = [&](const Tuple& t) { out.push_back(t); };
+  op.Process(MakeTuple(0, "sensor", 0.0), emit);
+  op.Process(MakeTuple(400, "sensor", 4.0), emit);
+  // Expect: original@0, synth@100,200,300, original@400.
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_EQ(op.synthesized(), 3u);
+  EXPECT_EQ(out[1].GetNumeric("v"), 1.0);
+  EXPECT_EQ(out[2].GetNumeric("v"), 2.0);
+  EXPECT_EQ(out[3].GetNumeric("v"), 3.0);
+  EXPECT_EQ(out[1].Get<bool>("interpolated"), true);
+}
+
+TEST(InterpolateOpTest, NoSynthesisWithinGap) {
+  InterpolateOp op("v", 1000, 100);
+  std::vector<Tuple> out;
+  Emit emit = [&](const Tuple& t) { out.push_back(t); };
+  op.Process(MakeTuple(0, "s", 0.0), emit);
+  op.Process(MakeTuple(500, "s", 5.0), emit);
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_EQ(op.synthesized(), 0u);
+}
+
+// ------------------------------------------------------- ContinuousQuery
+
+TEST(ContinuousQueryTest, PipelineComposition) {
+  ContinuousQuery q("q1", QosSpec{});
+  std::vector<Tuple> out;
+  q.Add(std::make_unique<FilterOp>(
+           [](const Tuple& t) { return t.GetNumeric("v") > 0; }))
+      .Add(std::make_unique<MapOp>([](const Tuple& t) {
+        Tuple o = t;
+        o.Set("v", *t.GetNumeric("v") * 10);
+        return o;
+      }))
+      .Sink([&](const Tuple& t) { out.push_back(t); });
+
+  q.Push(MakeTuple(0, "a", -1.0));
+  q.Push(MakeTuple(0, "a", 2.0));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].GetNumeric("v"), 20.0);
+  EXPECT_EQ(q.tuples_in(), 2u);
+  EXPECT_EQ(q.tuples_out(), 1u);
+}
+
+TEST(ContinuousQueryTest, FlushDrainsWindows) {
+  ContinuousQuery q("q2", QosSpec{});
+  std::vector<Tuple> out;
+  q.Add(std::make_unique<WindowAggregateOp>(1000, AggFn::kCount, "v"))
+      .Sink([&](const Tuple& t) { out.push_back(t); });
+  q.Push(MakeTuple(10, "k", 1.0));
+  q.Push(MakeTuple(20, "k", 1.0));
+  EXPECT_TRUE(out.empty());
+  q.Flush();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].GetNumeric("agg"), 2.0);
+}
+
+// --------------------------------------------------------- StreamScheduler
+
+class SchedulerTest : public ::testing::Test {
+ protected:
+  SimClock clock_;
+
+  std::unique_ptr<ContinuousQuery> MakeQuery(const std::string& id,
+                                             Micros deadline, double weight,
+                                             Micros cost) {
+    QosSpec qos;
+    qos.deadline = deadline;
+    qos.weight = weight;
+    auto q = std::make_unique<ContinuousQuery>(id, qos, cost);
+    q->Sink([](const Tuple&) {});
+    return q;
+  }
+};
+
+TEST_F(SchedulerTest, ProcessesEverythingOnce) {
+  StreamScheduler sched(&clock_, SchedulingPolicy::kFifo);
+  auto q = MakeQuery("q", 1000, 1.0, 10);
+  sched.Register(q.get());
+  for (int i = 0; i < 100; ++i) sched.Enqueue("q", MakeTuple(0, "k", 1.0));
+  EXPECT_EQ(sched.RunUntilDrained(), 100u);
+  EXPECT_EQ(sched.stats_for("q").processed, 100u);
+  EXPECT_EQ(sched.pending(), 0u);
+  EXPECT_EQ(clock_.NowMicros(), 1000);  // 100 tuples * 10 us
+}
+
+TEST_F(SchedulerTest, UnknownQueryDropped) {
+  StreamScheduler sched(&clock_, SchedulingPolicy::kFifo);
+  sched.Enqueue("ghost", MakeTuple(0, "k", 1.0));
+  EXPECT_EQ(sched.dropped(), 1u);
+  EXPECT_EQ(sched.RunUntilDrained(), 0u);
+}
+
+TEST_F(SchedulerTest, EdfPrefersUrgentQuery) {
+  StreamScheduler sched(&clock_, SchedulingPolicy::kEdf);
+  auto urgent = MakeQuery("urgent", 100, 1.0, 50);
+  auto lax = MakeQuery("lax", 100000, 1.0, 50);
+  sched.Register(lax.get());
+  sched.Register(urgent.get());
+  // Backlog: many lax items enqueued before the urgent one.
+  for (int i = 0; i < 50; ++i) sched.Enqueue("lax", MakeTuple(0, "k", 1.0));
+  sched.Enqueue("urgent", MakeTuple(0, "k", 1.0));
+  sched.RunUntilDrained();
+  // EDF runs the urgent tuple first => its latency is one service time.
+  EXPECT_LE(sched.stats_for("urgent").latency.max(), 50 + 1);
+  EXPECT_EQ(sched.stats_for("urgent").deadline_misses, 0u);
+}
+
+TEST_F(SchedulerTest, FifoStarvesUrgentUnderBacklog) {
+  StreamScheduler sched(&clock_, SchedulingPolicy::kFifo);
+  auto urgent = MakeQuery("urgent", 100, 1.0, 50);
+  auto lax = MakeQuery("lax", 100000, 1.0, 50);
+  sched.Register(lax.get());
+  sched.Register(urgent.get());
+  for (int i = 0; i < 50; ++i) sched.Enqueue("lax", MakeTuple(0, "k", 1.0));
+  sched.Enqueue("urgent", MakeTuple(0, "k", 1.0));
+  sched.RunUntilDrained();
+  EXPECT_EQ(sched.stats_for("urgent").deadline_misses, 1u);
+}
+
+TEST_F(SchedulerTest, RoundRobinAlternates) {
+  StreamScheduler sched(&clock_, SchedulingPolicy::kRoundRobin);
+  std::vector<std::string> order;
+  QosSpec qos;
+  ContinuousQuery a("a", qos, 1), b("b", qos, 1);
+  a.Sink([&](const Tuple&) { order.push_back("a"); });
+  b.Sink([&](const Tuple&) { order.push_back("b"); });
+  sched.Register(&a);
+  sched.Register(&b);
+  for (int i = 0; i < 3; ++i) {
+    sched.Enqueue("a", MakeTuple(0, "k", 1.0));
+    sched.Enqueue("b", MakeTuple(0, "k", 1.0));
+  }
+  sched.RunUntilDrained();
+  EXPECT_EQ(order, (std::vector<std::string>{"a", "b", "a", "b", "a", "b"}));
+}
+
+TEST_F(SchedulerTest, SpaceAwarePrefersPhysicalTuples) {
+  StreamScheduler sched(&clock_, SchedulingPolicy::kSpaceAware);
+  auto q = MakeQuery("virt", 1000000, 1.0, 100);
+  auto p = MakeQuery("phys", 1000000, 1.0, 100);
+  sched.Register(q.get());
+  sched.Register(p.get());
+  for (int i = 0; i < 20; ++i) {
+    sched.Enqueue("virt", MakeTuple(0, "k", 1.0, Space::kVirtual));
+  }
+  sched.Enqueue("phys", MakeTuple(0, "k", 1.0, Space::kPhysical));
+  sched.RunUntilDrained();
+  // The physical tuple jumped the virtual backlog.
+  EXPECT_LE(sched.stats_for("phys").latency.max(), 100 + 1);
+}
+
+TEST_F(SchedulerTest, WeightedFavoursHeavyQuery) {
+  StreamScheduler sched(&clock_, SchedulingPolicy::kWeighted);
+  auto heavy = MakeQuery("heavy", 1000000, 10.0, 10);
+  auto light = MakeQuery("light", 1000000, 1.0, 10);
+  sched.Register(light.get());
+  sched.Register(heavy.get());
+  clock_.Advance(10);  // non-zero ages
+  for (int i = 0; i < 100; ++i) {
+    sched.Enqueue("light", MakeTuple(0, "k", 1.0));
+    sched.Enqueue("heavy", MakeTuple(0, "k", 1.0));
+  }
+  sched.RunUntilDrained();
+  EXPECT_LT(sched.stats_for("heavy").latency.mean(),
+            sched.stats_for("light").latency.mean());
+}
+
+TEST_F(SchedulerTest, TotalStatsAggregates) {
+  StreamScheduler sched(&clock_, SchedulingPolicy::kFifo);
+  auto a = MakeQuery("a", 1000, 1.0, 10);
+  auto b = MakeQuery("b", 1000, 1.0, 10);
+  sched.Register(a.get());
+  sched.Register(b.get());
+  sched.Enqueue("a", MakeTuple(0, "k", 1.0));
+  sched.Enqueue("b", MakeTuple(0, "k", 1.0));
+  sched.RunUntilDrained();
+  EXPECT_EQ(sched.TotalStats().processed, 2u);
+}
+
+}  // namespace
+}  // namespace deluge::stream
