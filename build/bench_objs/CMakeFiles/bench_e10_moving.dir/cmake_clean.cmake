@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e10_moving"
+  "../bench/bench_e10_moving.pdb"
+  "CMakeFiles/bench_e10_moving.dir/bench_e10_moving.cc.o"
+  "CMakeFiles/bench_e10_moving.dir/bench_e10_moving.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_moving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e11_privacy"
+  "../bench/bench_e11_privacy.pdb"
+  "CMakeFiles/bench_e11_privacy.dir/bench_e11_privacy.cc.o"
+  "CMakeFiles/bench_e11_privacy.dir/bench_e11_privacy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_privacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

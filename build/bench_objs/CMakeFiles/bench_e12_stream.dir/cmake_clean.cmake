@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e12_stream"
+  "../bench/bench_e12_stream.pdb"
+  "CMakeFiles/bench_e12_stream.dir/bench_e12_stream.cc.o"
+  "CMakeFiles/bench_e12_stream.dir/bench_e12_stream.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e13_hdov"
+  "../bench/bench_e13_hdov.pdb"
+  "CMakeFiles/bench_e13_hdov.dir/bench_e13_hdov.cc.o"
+  "CMakeFiles/bench_e13_hdov.dir/bench_e13_hdov.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e13_hdov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

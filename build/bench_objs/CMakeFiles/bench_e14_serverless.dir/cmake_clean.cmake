@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e14_serverless"
+  "../bench/bench_e14_serverless.pdb"
+  "CMakeFiles/bench_e14_serverless.dir/bench_e14_serverless.cc.o"
+  "CMakeFiles/bench_e14_serverless.dir/bench_e14_serverless.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e14_serverless.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

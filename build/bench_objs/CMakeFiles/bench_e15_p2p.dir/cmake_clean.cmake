@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e15_p2p"
+  "../bench/bench_e15_p2p.pdb"
+  "CMakeFiles/bench_e15_p2p.dir/bench_e15_p2p.cc.o"
+  "CMakeFiles/bench_e15_p2p.dir/bench_e15_p2p.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e15_p2p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

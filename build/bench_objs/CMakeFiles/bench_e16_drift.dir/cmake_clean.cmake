@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e16_drift"
+  "../bench/bench_e16_drift.pdb"
+  "CMakeFiles/bench_e16_drift.dir/bench_e16_drift.cc.o"
+  "CMakeFiles/bench_e16_drift.dir/bench_e16_drift.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e16_drift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

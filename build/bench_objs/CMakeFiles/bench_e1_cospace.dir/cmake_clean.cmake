@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e1_cospace"
+  "../bench/bench_e1_cospace.pdb"
+  "CMakeFiles/bench_e1_cospace.dir/bench_e1_cospace.cc.o"
+  "CMakeFiles/bench_e1_cospace.dir/bench_e1_cospace.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_cospace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

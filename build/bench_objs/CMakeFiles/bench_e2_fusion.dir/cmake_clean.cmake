@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e2_fusion"
+  "../bench/bench_e2_fusion.pdb"
+  "CMakeFiles/bench_e2_fusion.dir/bench_e2_fusion.cc.o"
+  "CMakeFiles/bench_e2_fusion.dir/bench_e2_fusion.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e3_coherency"
+  "../bench/bench_e3_coherency.pdb"
+  "CMakeFiles/bench_e3_coherency.dir/bench_e3_coherency.cc.o"
+  "CMakeFiles/bench_e3_coherency.dir/bench_e3_coherency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_coherency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e4_priority"
+  "../bench/bench_e4_priority.pdb"
+  "CMakeFiles/bench_e4_priority.dir/bench_e4_priority.cc.o"
+  "CMakeFiles/bench_e4_priority.dir/bench_e4_priority.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_priority.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e5_pubsub"
+  "../bench/bench_e5_pubsub.pdb"
+  "CMakeFiles/bench_e5_pubsub.dir/bench_e5_pubsub.cc.o"
+  "CMakeFiles/bench_e5_pubsub.dir/bench_e5_pubsub.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_pubsub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

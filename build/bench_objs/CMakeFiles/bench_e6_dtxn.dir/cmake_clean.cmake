@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e6_dtxn"
+  "../bench/bench_e6_dtxn.pdb"
+  "CMakeFiles/bench_e6_dtxn.dir/bench_e6_dtxn.cc.o"
+  "CMakeFiles/bench_e6_dtxn.dir/bench_e6_dtxn.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_dtxn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

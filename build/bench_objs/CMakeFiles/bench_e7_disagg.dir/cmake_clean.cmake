@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e7_disagg"
+  "../bench/bench_e7_disagg.pdb"
+  "CMakeFiles/bench_e7_disagg.dir/bench_e7_disagg.cc.o"
+  "CMakeFiles/bench_e7_disagg.dir/bench_e7_disagg.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_disagg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e8_ledger"
+  "../bench/bench_e8_ledger.pdb"
+  "CMakeFiles/bench_e8_ledger.dir/bench_e8_ledger.cc.o"
+  "CMakeFiles/bench_e8_ledger.dir/bench_e8_ledger.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_ledger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

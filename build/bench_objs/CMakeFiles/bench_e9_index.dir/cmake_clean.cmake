@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e9_index"
+  "../bench/bench_e9_index.pdb"
+  "CMakeFiles/bench_e9_index.dir/bench_e9_index.cc.o"
+  "CMakeFiles/bench_e9_index.dir/bench_e9_index.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/healthcare"
+  "../examples/healthcare.pdb"
+  "CMakeFiles/healthcare.dir/healthcare.cpp.o"
+  "CMakeFiles/healthcare.dir/healthcare.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/healthcare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/lbg_game"
+  "../examples/lbg_game.pdb"
+  "CMakeFiles/lbg_game.dir/lbg_game.cpp.o"
+  "CMakeFiles/lbg_game.dir/lbg_game.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbg_game.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/military_exercise"
+  "../examples/military_exercise.pdb"
+  "CMakeFiles/military_exercise.dir/military_exercise.cpp.o"
+  "CMakeFiles/military_exercise.dir/military_exercise.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/military_exercise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

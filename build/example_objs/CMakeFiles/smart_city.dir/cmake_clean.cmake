@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/smart_city"
+  "../examples/smart_city.pdb"
+  "CMakeFiles/smart_city.dir/smart_city.cpp.o"
+  "CMakeFiles/smart_city.dir/smart_city.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_city.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

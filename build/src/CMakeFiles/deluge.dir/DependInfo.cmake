@@ -1,0 +1,75 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/clock.cc" "src/CMakeFiles/deluge.dir/common/clock.cc.o" "gcc" "src/CMakeFiles/deluge.dir/common/clock.cc.o.d"
+  "/root/repo/src/common/hash.cc" "src/CMakeFiles/deluge.dir/common/hash.cc.o" "gcc" "src/CMakeFiles/deluge.dir/common/hash.cc.o.d"
+  "/root/repo/src/common/histogram.cc" "src/CMakeFiles/deluge.dir/common/histogram.cc.o" "gcc" "src/CMakeFiles/deluge.dir/common/histogram.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/deluge.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/deluge.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/deluge.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/deluge.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/deluge.dir/common/status.cc.o" "gcc" "src/CMakeFiles/deluge.dir/common/status.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/CMakeFiles/deluge.dir/common/thread_pool.cc.o" "gcc" "src/CMakeFiles/deluge.dir/common/thread_pool.cc.o.d"
+  "/root/repo/src/consistency/coherency.cc" "src/CMakeFiles/deluge.dir/consistency/coherency.cc.o" "gcc" "src/CMakeFiles/deluge.dir/consistency/coherency.cc.o.d"
+  "/root/repo/src/consistency/lod.cc" "src/CMakeFiles/deluge.dir/consistency/lod.cc.o" "gcc" "src/CMakeFiles/deluge.dir/consistency/lod.cc.o.d"
+  "/root/repo/src/consistency/priority_scheduler.cc" "src/CMakeFiles/deluge.dir/consistency/priority_scheduler.cc.o" "gcc" "src/CMakeFiles/deluge.dir/consistency/priority_scheduler.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/CMakeFiles/deluge.dir/core/engine.cc.o" "gcc" "src/CMakeFiles/deluge.dir/core/engine.cc.o.d"
+  "/root/repo/src/core/sensors.cc" "src/CMakeFiles/deluge.dir/core/sensors.cc.o" "gcc" "src/CMakeFiles/deluge.dir/core/sensors.cc.o.d"
+  "/root/repo/src/core/world_space.cc" "src/CMakeFiles/deluge.dir/core/world_space.cc.o" "gcc" "src/CMakeFiles/deluge.dir/core/world_space.cc.o.d"
+  "/root/repo/src/fusion/event_detector.cc" "src/CMakeFiles/deluge.dir/fusion/event_detector.cc.o" "gcc" "src/CMakeFiles/deluge.dir/fusion/event_detector.cc.o.d"
+  "/root/repo/src/fusion/fuser.cc" "src/CMakeFiles/deluge.dir/fusion/fuser.cc.o" "gcc" "src/CMakeFiles/deluge.dir/fusion/fuser.cc.o.d"
+  "/root/repo/src/geo/geometry.cc" "src/CMakeFiles/deluge.dir/geo/geometry.cc.o" "gcc" "src/CMakeFiles/deluge.dir/geo/geometry.cc.o.d"
+  "/root/repo/src/geo/morton.cc" "src/CMakeFiles/deluge.dir/geo/morton.cc.o" "gcc" "src/CMakeFiles/deluge.dir/geo/morton.cc.o.d"
+  "/root/repo/src/geo/trajectory.cc" "src/CMakeFiles/deluge.dir/geo/trajectory.cc.o" "gcc" "src/CMakeFiles/deluge.dir/geo/trajectory.cc.o.d"
+  "/root/repo/src/index/grid_index.cc" "src/CMakeFiles/deluge.dir/index/grid_index.cc.o" "gcc" "src/CMakeFiles/deluge.dir/index/grid_index.cc.o.d"
+  "/root/repo/src/index/hdov_tree.cc" "src/CMakeFiles/deluge.dir/index/hdov_tree.cc.o" "gcc" "src/CMakeFiles/deluge.dir/index/hdov_tree.cc.o.d"
+  "/root/repo/src/index/morton_index.cc" "src/CMakeFiles/deluge.dir/index/morton_index.cc.o" "gcc" "src/CMakeFiles/deluge.dir/index/morton_index.cc.o.d"
+  "/root/repo/src/index/moving_index.cc" "src/CMakeFiles/deluge.dir/index/moving_index.cc.o" "gcc" "src/CMakeFiles/deluge.dir/index/moving_index.cc.o.d"
+  "/root/repo/src/index/rtree.cc" "src/CMakeFiles/deluge.dir/index/rtree.cc.o" "gcc" "src/CMakeFiles/deluge.dir/index/rtree.cc.o.d"
+  "/root/repo/src/ledger/ledger.cc" "src/CMakeFiles/deluge.dir/ledger/ledger.cc.o" "gcc" "src/CMakeFiles/deluge.dir/ledger/ledger.cc.o.d"
+  "/root/repo/src/ledger/merkle.cc" "src/CMakeFiles/deluge.dir/ledger/merkle.cc.o" "gcc" "src/CMakeFiles/deluge.dir/ledger/merkle.cc.o.d"
+  "/root/repo/src/ledger/sha256.cc" "src/CMakeFiles/deluge.dir/ledger/sha256.cc.o" "gcc" "src/CMakeFiles/deluge.dir/ledger/sha256.cc.o.d"
+  "/root/repo/src/ml/colearn.cc" "src/CMakeFiles/deluge.dir/ml/colearn.cc.o" "gcc" "src/CMakeFiles/deluge.dir/ml/colearn.cc.o.d"
+  "/root/repo/src/ml/online_model.cc" "src/CMakeFiles/deluge.dir/ml/online_model.cc.o" "gcc" "src/CMakeFiles/deluge.dir/ml/online_model.cc.o.d"
+  "/root/repo/src/net/aggregation_tree.cc" "src/CMakeFiles/deluge.dir/net/aggregation_tree.cc.o" "gcc" "src/CMakeFiles/deluge.dir/net/aggregation_tree.cc.o.d"
+  "/root/repo/src/net/network.cc" "src/CMakeFiles/deluge.dir/net/network.cc.o" "gcc" "src/CMakeFiles/deluge.dir/net/network.cc.o.d"
+  "/root/repo/src/net/simulator.cc" "src/CMakeFiles/deluge.dir/net/simulator.cc.o" "gcc" "src/CMakeFiles/deluge.dir/net/simulator.cc.o.d"
+  "/root/repo/src/net/topology.cc" "src/CMakeFiles/deluge.dir/net/topology.cc.o" "gcc" "src/CMakeFiles/deluge.dir/net/topology.cc.o.d"
+  "/root/repo/src/p2p/chord.cc" "src/CMakeFiles/deluge.dir/p2p/chord.cc.o" "gcc" "src/CMakeFiles/deluge.dir/p2p/chord.cc.o.d"
+  "/root/repo/src/privacy/dp.cc" "src/CMakeFiles/deluge.dir/privacy/dp.cc.o" "gcc" "src/CMakeFiles/deluge.dir/privacy/dp.cc.o.d"
+  "/root/repo/src/privacy/federated.cc" "src/CMakeFiles/deluge.dir/privacy/federated.cc.o" "gcc" "src/CMakeFiles/deluge.dir/privacy/federated.cc.o.d"
+  "/root/repo/src/privacy/incentive.cc" "src/CMakeFiles/deluge.dir/privacy/incentive.cc.o" "gcc" "src/CMakeFiles/deluge.dir/privacy/incentive.cc.o.d"
+  "/root/repo/src/pubsub/broker.cc" "src/CMakeFiles/deluge.dir/pubsub/broker.cc.o" "gcc" "src/CMakeFiles/deluge.dir/pubsub/broker.cc.o.d"
+  "/root/repo/src/pubsub/subscription.cc" "src/CMakeFiles/deluge.dir/pubsub/subscription.cc.o" "gcc" "src/CMakeFiles/deluge.dir/pubsub/subscription.cc.o.d"
+  "/root/repo/src/query/expression.cc" "src/CMakeFiles/deluge.dir/query/expression.cc.o" "gcc" "src/CMakeFiles/deluge.dir/query/expression.cc.o.d"
+  "/root/repo/src/query/moving_query.cc" "src/CMakeFiles/deluge.dir/query/moving_query.cc.o" "gcc" "src/CMakeFiles/deluge.dir/query/moving_query.cc.o.d"
+  "/root/repo/src/query/optimizer.cc" "src/CMakeFiles/deluge.dir/query/optimizer.cc.o" "gcc" "src/CMakeFiles/deluge.dir/query/optimizer.cc.o.d"
+  "/root/repo/src/runtime/buffer_pool.cc" "src/CMakeFiles/deluge.dir/runtime/buffer_pool.cc.o" "gcc" "src/CMakeFiles/deluge.dir/runtime/buffer_pool.cc.o.d"
+  "/root/repo/src/runtime/elastic_executor.cc" "src/CMakeFiles/deluge.dir/runtime/elastic_executor.cc.o" "gcc" "src/CMakeFiles/deluge.dir/runtime/elastic_executor.cc.o.d"
+  "/root/repo/src/runtime/serverless.cc" "src/CMakeFiles/deluge.dir/runtime/serverless.cc.o" "gcc" "src/CMakeFiles/deluge.dir/runtime/serverless.cc.o.d"
+  "/root/repo/src/storage/block_store.cc" "src/CMakeFiles/deluge.dir/storage/block_store.cc.o" "gcc" "src/CMakeFiles/deluge.dir/storage/block_store.cc.o.d"
+  "/root/repo/src/storage/bloom.cc" "src/CMakeFiles/deluge.dir/storage/bloom.cc.o" "gcc" "src/CMakeFiles/deluge.dir/storage/bloom.cc.o.d"
+  "/root/repo/src/storage/format.cc" "src/CMakeFiles/deluge.dir/storage/format.cc.o" "gcc" "src/CMakeFiles/deluge.dir/storage/format.cc.o.d"
+  "/root/repo/src/storage/kv_store.cc" "src/CMakeFiles/deluge.dir/storage/kv_store.cc.o" "gcc" "src/CMakeFiles/deluge.dir/storage/kv_store.cc.o.d"
+  "/root/repo/src/storage/memtable.cc" "src/CMakeFiles/deluge.dir/storage/memtable.cc.o" "gcc" "src/CMakeFiles/deluge.dir/storage/memtable.cc.o.d"
+  "/root/repo/src/storage/object_store.cc" "src/CMakeFiles/deluge.dir/storage/object_store.cc.o" "gcc" "src/CMakeFiles/deluge.dir/storage/object_store.cc.o.d"
+  "/root/repo/src/storage/sstable.cc" "src/CMakeFiles/deluge.dir/storage/sstable.cc.o" "gcc" "src/CMakeFiles/deluge.dir/storage/sstable.cc.o.d"
+  "/root/repo/src/storage/wal.cc" "src/CMakeFiles/deluge.dir/storage/wal.cc.o" "gcc" "src/CMakeFiles/deluge.dir/storage/wal.cc.o.d"
+  "/root/repo/src/stream/continuous_query.cc" "src/CMakeFiles/deluge.dir/stream/continuous_query.cc.o" "gcc" "src/CMakeFiles/deluge.dir/stream/continuous_query.cc.o.d"
+  "/root/repo/src/stream/operators.cc" "src/CMakeFiles/deluge.dir/stream/operators.cc.o" "gcc" "src/CMakeFiles/deluge.dir/stream/operators.cc.o.d"
+  "/root/repo/src/stream/scheduler.cc" "src/CMakeFiles/deluge.dir/stream/scheduler.cc.o" "gcc" "src/CMakeFiles/deluge.dir/stream/scheduler.cc.o.d"
+  "/root/repo/src/txn/distributed.cc" "src/CMakeFiles/deluge.dir/txn/distributed.cc.o" "gcc" "src/CMakeFiles/deluge.dir/txn/distributed.cc.o.d"
+  "/root/repo/src/txn/mvcc.cc" "src/CMakeFiles/deluge.dir/txn/mvcc.cc.o" "gcc" "src/CMakeFiles/deluge.dir/txn/mvcc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/aggregation_test.cc" "tests/CMakeFiles/deluge_tests.dir/aggregation_test.cc.o" "gcc" "tests/CMakeFiles/deluge_tests.dir/aggregation_test.cc.o.d"
+  "/root/repo/tests/colearn_test.cc" "tests/CMakeFiles/deluge_tests.dir/colearn_test.cc.o" "gcc" "tests/CMakeFiles/deluge_tests.dir/colearn_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/deluge_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/deluge_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/consistency_test.cc" "tests/CMakeFiles/deluge_tests.dir/consistency_test.cc.o" "gcc" "tests/CMakeFiles/deluge_tests.dir/consistency_test.cc.o.d"
+  "/root/repo/tests/core_test.cc" "tests/CMakeFiles/deluge_tests.dir/core_test.cc.o" "gcc" "tests/CMakeFiles/deluge_tests.dir/core_test.cc.o.d"
+  "/root/repo/tests/fusion_test.cc" "tests/CMakeFiles/deluge_tests.dir/fusion_test.cc.o" "gcc" "tests/CMakeFiles/deluge_tests.dir/fusion_test.cc.o.d"
+  "/root/repo/tests/geo_test.cc" "tests/CMakeFiles/deluge_tests.dir/geo_test.cc.o" "gcc" "tests/CMakeFiles/deluge_tests.dir/geo_test.cc.o.d"
+  "/root/repo/tests/index_test.cc" "tests/CMakeFiles/deluge_tests.dir/index_test.cc.o" "gcc" "tests/CMakeFiles/deluge_tests.dir/index_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/deluge_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/deluge_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/ledger_test.cc" "tests/CMakeFiles/deluge_tests.dir/ledger_test.cc.o" "gcc" "tests/CMakeFiles/deluge_tests.dir/ledger_test.cc.o.d"
+  "/root/repo/tests/ml_test.cc" "tests/CMakeFiles/deluge_tests.dir/ml_test.cc.o" "gcc" "tests/CMakeFiles/deluge_tests.dir/ml_test.cc.o.d"
+  "/root/repo/tests/net_test.cc" "tests/CMakeFiles/deluge_tests.dir/net_test.cc.o" "gcc" "tests/CMakeFiles/deluge_tests.dir/net_test.cc.o.d"
+  "/root/repo/tests/p2p_test.cc" "tests/CMakeFiles/deluge_tests.dir/p2p_test.cc.o" "gcc" "tests/CMakeFiles/deluge_tests.dir/p2p_test.cc.o.d"
+  "/root/repo/tests/privacy_test.cc" "tests/CMakeFiles/deluge_tests.dir/privacy_test.cc.o" "gcc" "tests/CMakeFiles/deluge_tests.dir/privacy_test.cc.o.d"
+  "/root/repo/tests/pubsub_test.cc" "tests/CMakeFiles/deluge_tests.dir/pubsub_test.cc.o" "gcc" "tests/CMakeFiles/deluge_tests.dir/pubsub_test.cc.o.d"
+  "/root/repo/tests/query_test.cc" "tests/CMakeFiles/deluge_tests.dir/query_test.cc.o" "gcc" "tests/CMakeFiles/deluge_tests.dir/query_test.cc.o.d"
+  "/root/repo/tests/runtime_test.cc" "tests/CMakeFiles/deluge_tests.dir/runtime_test.cc.o" "gcc" "tests/CMakeFiles/deluge_tests.dir/runtime_test.cc.o.d"
+  "/root/repo/tests/storage_edge_test.cc" "tests/CMakeFiles/deluge_tests.dir/storage_edge_test.cc.o" "gcc" "tests/CMakeFiles/deluge_tests.dir/storage_edge_test.cc.o.d"
+  "/root/repo/tests/storage_test.cc" "tests/CMakeFiles/deluge_tests.dir/storage_test.cc.o" "gcc" "tests/CMakeFiles/deluge_tests.dir/storage_test.cc.o.d"
+  "/root/repo/tests/stream_test.cc" "tests/CMakeFiles/deluge_tests.dir/stream_test.cc.o" "gcc" "tests/CMakeFiles/deluge_tests.dir/stream_test.cc.o.d"
+  "/root/repo/tests/txn_failure_test.cc" "tests/CMakeFiles/deluge_tests.dir/txn_failure_test.cc.o" "gcc" "tests/CMakeFiles/deluge_tests.dir/txn_failure_test.cc.o.d"
+  "/root/repo/tests/txn_test.cc" "tests/CMakeFiles/deluge_tests.dir/txn_test.cc.o" "gcc" "tests/CMakeFiles/deluge_tests.dir/txn_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/deluge.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
