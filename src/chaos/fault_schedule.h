@@ -1,0 +1,124 @@
+#ifndef DELUGE_CHAOS_FAULT_SCHEDULE_H_
+#define DELUGE_CHAOS_FAULT_SCHEDULE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/network.h"
+
+namespace deluge::chaos {
+
+/// Kinds of injectable faults.  Start/end pairs are separate events so a
+/// schedule is a flat, sorted, replayable list.
+enum class FaultKind : uint8_t {
+  kNodeCrash,         ///< fail-stop: node drops all traffic
+  kNodeRestart,
+  kLinkDown,          ///< link flap start (both directions)
+  kLinkUp,
+  kPartition,         ///< protocol-visible pairwise partition
+  kHeal,
+  kLatencySpikeStart, ///< adds `extra_latency` one-way on the pair
+  kLatencySpikeEnd,
+  kBurstLossStart,    ///< Gilbert–Elliott correlated loss window
+  kBurstLossEnd,
+};
+
+std::string_view FaultKindName(FaultKind kind);
+
+/// One scheduled fault.  Node faults use `a`; pair faults use `a` and
+/// `b`.
+struct FaultEvent {
+  Micros at = 0;
+  FaultKind kind = FaultKind::kNodeCrash;
+  net::NodeId a = 0;
+  net::NodeId b = 0;
+  Micros extra_latency = 0;      ///< latency spikes
+  net::BurstLossModel burst{};   ///< burst-loss windows
+};
+
+/// Counters per fault kind (indexable by FaultKind).
+struct ChaosStats {
+  uint64_t injected[10] = {};
+  uint64_t total = 0;
+};
+
+/// Tuning for seeded-random schedule generation.  Rates are per node (or
+/// per pair drawn uniformly from `pairs`) per simulated second; durations
+/// are exponential with the given mean.  Everything is derived from one
+/// seed, so a schedule is fully reproducible.
+struct RandomScheduleOptions {
+  Micros horizon = 10 * kMicrosPerSecond;
+  double crash_rate_per_node_sec = 0.05;
+  Micros mean_outage = 500 * kMicrosPerMilli;
+  double flap_rate_per_pair_sec = 0.05;
+  Micros mean_flap = 200 * kMicrosPerMilli;
+  double partition_rate_per_pair_sec = 0.02;
+  Micros mean_partition = kMicrosPerSecond;
+  double spike_rate_per_pair_sec = 0.05;
+  Micros mean_spike = 500 * kMicrosPerMilli;
+  Micros spike_extra_latency = 100 * kMicrosPerMilli;
+  double burst_rate_per_pair_sec = 0.05;
+  Micros mean_burst_window = kMicrosPerSecond;
+  net::BurstLossModel burst{};
+};
+
+/// A deterministic fault-injection schedule over a simulated network.
+///
+/// Faults are scripted with the builder methods (and/or generated from a
+/// seed), then `Arm()` places them on the simulator.  Every applied
+/// fault is appended to a human-readable trace whose hash fingerprints
+/// the run — two runs with the same seed produce bit-identical traces,
+/// which is the property chaos tests pin down.
+class FaultSchedule {
+ public:
+  /// `net` and `sim` must outlive the schedule (and the run).
+  FaultSchedule(net::Network* net, net::Simulator* sim)
+      : net_(net), sim_(sim) {}
+
+  // Scripted builders; all return *this for chaining.  `duration` > 0
+  // schedules the matching end event automatically.
+  FaultSchedule& CrashNode(Micros at, net::NodeId n, Micros down_for = 0);
+  FaultSchedule& FlapLink(Micros at, net::NodeId a, net::NodeId b,
+                          Micros down_for);
+  FaultSchedule& PartitionWindow(Micros at, net::NodeId a, net::NodeId b,
+                                 Micros heal_after);
+  FaultSchedule& LatencySpike(Micros at, net::NodeId a, net::NodeId b,
+                              Micros extra, Micros duration);
+  FaultSchedule& BurstLossWindow(Micros at, net::NodeId a, net::NodeId b,
+                                 const net::BurstLossModel& model,
+                                 Micros duration);
+  /// Appends a raw event (advanced callers / generated schedules).
+  FaultSchedule& Add(const FaultEvent& event);
+
+  /// Generates a random schedule over `nodes` from `seed` and appends it
+  /// (node events over all nodes, pair events over distinct sampled
+  /// pairs).  Deterministic: same seed + nodes + options => same events.
+  void GenerateRandom(uint64_t seed, const std::vector<net::NodeId>& nodes,
+                      const RandomScheduleOptions& options);
+
+  /// Sorts events by (time, insertion order) and schedules them on the
+  /// simulator.  Call once, before running the simulation.
+  void Arm();
+
+  const std::vector<FaultEvent>& events() const { return events_; }
+  const std::vector<std::string>& trace() const { return trace_; }
+  /// Order-sensitive 64-bit fingerprint of the applied-fault trace.
+  uint64_t TraceHash() const;
+  const ChaosStats& stats() const { return stats_; }
+
+ private:
+  void Apply(const FaultEvent& event);
+
+  net::Network* net_;
+  net::Simulator* sim_;
+  std::vector<FaultEvent> events_;
+  std::vector<std::string> trace_;
+  ChaosStats stats_;
+  bool armed_ = false;
+};
+
+}  // namespace deluge::chaos
+
+#endif  // DELUGE_CHAOS_FAULT_SCHEDULE_H_

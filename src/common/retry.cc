@@ -1,0 +1,104 @@
+#include "common/retry.h"
+
+#include <algorithm>
+
+namespace deluge {
+
+bool RetryState::CanRetry(Micros now) const {
+  if (attempt_ + 1 >= policy_.max_attempts) return false;
+  if (policy_.deadline > 0 && now >= start_ + policy_.deadline) return false;
+  return true;
+}
+
+Micros RetryState::NextBackoff(Micros now, Rng* rng) {
+  if (!CanRetry(now)) return -1;
+
+  // Exponential envelope for the attempt about to be scheduled.
+  double envelope = double(policy_.initial_backoff);
+  for (int i = 0; i < attempt_; ++i) envelope *= policy_.multiplier;
+  envelope = std::min(envelope, double(policy_.max_backoff));
+
+  Micros delay = 0;
+  switch (policy_.jitter) {
+    case RetryPolicy::Jitter::kNone:
+      delay = Micros(envelope);
+      break;
+    case RetryPolicy::Jitter::kFull:
+      delay = Micros(rng->UniformDouble(0.0, envelope));
+      break;
+    case RetryPolicy::Jitter::kDecorrelated: {
+      // sleep = min(cap, uniform(base, 3 * previous)); the first retry
+      // has no previous sleep, so it draws from the base envelope.
+      double hi = prev_backoff_ > 0 ? 3.0 * double(prev_backoff_) : envelope;
+      hi = std::max(hi, double(policy_.initial_backoff) + 1.0);
+      delay = Micros(std::min(double(policy_.max_backoff),
+                              rng->UniformDouble(
+                                  double(policy_.initial_backoff), hi)));
+      break;
+    }
+  }
+  delay = std::max<Micros>(delay, 0);
+
+  if (policy_.deadline > 0 && now + delay > start_ + policy_.deadline) {
+    return -1;  // the wait itself would blow the deadline
+  }
+  ++attempt_;
+  prev_backoff_ = delay;
+  return delay;
+}
+
+// ---------------------------------------------------------- CircuitBreaker
+
+bool CircuitBreaker::Allow(Micros now) {
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (now - opened_at_ >= opts_.open_duration) {
+        state_ = State::kHalfOpen;
+        probe_in_flight_ = true;
+        return true;  // this caller is the probe
+      }
+      ++fast_fails_;
+      return false;
+    case State::kHalfOpen:
+      if (!probe_in_flight_) {
+        probe_in_flight_ = true;
+        return true;
+      }
+      ++fast_fails_;
+      return false;
+  }
+  return true;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  consecutive_failures_ = 0;
+  probe_in_flight_ = false;
+  state_ = State::kClosed;
+}
+
+void CircuitBreaker::RecordFailure(Micros now) {
+  probe_in_flight_ = false;
+  if (state_ == State::kHalfOpen) {
+    state_ = State::kOpen;  // failed probe: straight back to open
+    opened_at_ = now;
+    ++trips_;
+    return;
+  }
+  if (++consecutive_failures_ >= opts_.failure_threshold &&
+      state_ == State::kClosed) {
+    state_ = State::kOpen;
+    opened_at_ = now;
+    ++trips_;
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::state(Micros now) const {
+  if (state_ == State::kOpen && now - opened_at_ >= opts_.open_duration) {
+    return State::kHalfOpen;
+  }
+  return state_;
+}
+
+}  // namespace deluge

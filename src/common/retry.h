@@ -1,0 +1,116 @@
+#ifndef DELUGE_COMMON_RETRY_H_
+#define DELUGE_COMMON_RETRY_H_
+
+#include <cstdint>
+
+#include "common/clock.h"
+#include "common/rng.h"
+
+namespace deluge {
+
+/// Backoff configuration for retried operations.
+///
+/// All latency-sensitive layers (txn coordinator retransmits, pub/sub
+/// redelivery, chaos experiments) share this one policy type so the
+/// backoff math — exponential growth, jitter, deadline awareness — is
+/// implemented and tested exactly once.  Delays are deterministic given
+/// the caller's `Rng`, keeping every simulation reproducible.
+struct RetryPolicy {
+  /// How jittered delays are drawn from the exponential envelope.
+  enum class Jitter : uint8_t {
+    kNone,          ///< pure exponential: base * mult^attempt
+    kFull,          ///< uniform in [0, envelope] (AWS "full jitter")
+    kDecorrelated,  ///< uniform in [base, 3 * previous] ("decorrelated")
+  };
+
+  /// Total tries allowed, including the first (0 or 1 = never retry).
+  int max_attempts = 5;
+  Micros initial_backoff = 10 * kMicrosPerMilli;
+  Micros max_backoff = kMicrosPerSecond;
+  double multiplier = 2.0;
+  Jitter jitter = Jitter::kDecorrelated;
+  /// Relative deadline from the first attempt; retries whose backoff
+  /// would land past it are refused.  0 = no deadline.
+  Micros deadline = 0;
+};
+
+/// Per-operation retry bookkeeping over a `RetryPolicy`.
+///
+/// Usage: construct at first attempt, then after each failure call
+/// `NextBackoff(now, rng)`; a negative return means the retry budget
+/// (attempts or deadline) is exhausted and the operation should fail.
+class RetryState {
+ public:
+  RetryState() = default;
+  RetryState(const RetryPolicy& policy, Micros start)
+      : policy_(policy), start_(start) {}
+
+  /// True while another attempt is permitted at `now` (attempts remain
+  /// and the deadline, if any, has not passed).
+  bool CanRetry(Micros now) const;
+
+  /// Draws the delay before the next attempt and consumes one attempt.
+  /// Returns -1 when no retry is allowed — out of attempts, or the
+  /// backoff would overshoot the deadline (deadline expiry mid-backoff).
+  Micros NextBackoff(Micros now, Rng* rng);
+
+  /// Attempts consumed so far (the initial try is attempt 0).
+  int attempt() const { return attempt_; }
+  Micros deadline_at() const {
+    return policy_.deadline > 0 ? start_ + policy_.deadline : 0;
+  }
+
+ private:
+  RetryPolicy policy_;
+  Micros start_ = 0;
+  int attempt_ = 0;
+  Micros prev_backoff_ = 0;
+};
+
+/// Options for `CircuitBreaker`.
+struct CircuitBreakerOptions {
+  /// Consecutive failures that trip the breaker open.
+  int failure_threshold = 5;
+  /// How long the breaker stays open before admitting a probe.
+  Micros open_duration = kMicrosPerSecond;
+};
+
+/// A minimal closed / open / half-open circuit breaker.
+///
+/// Closed: requests flow, consecutive failures are counted.  Open: all
+/// requests fast-fail until `open_duration` elapses.  Half-open: one
+/// probe request is admitted; success closes the breaker, failure
+/// re-opens it.  Time is caller-provided (virtual time in simulations).
+class CircuitBreaker {
+ public:
+  enum class State : uint8_t { kClosed, kOpen, kHalfOpen };
+
+  explicit CircuitBreaker(CircuitBreakerOptions opts = {}) : opts_(opts) {}
+
+  /// True when a request may proceed at `now`; false = fast-fail.
+  /// An open breaker transitions to half-open (admitting this call as
+  /// the probe) once the cooldown has elapsed.
+  bool Allow(Micros now);
+
+  void RecordSuccess();
+  void RecordFailure(Micros now);
+
+  State state(Micros now) const;
+  /// Times the breaker has tripped closed -> open.
+  uint64_t trips() const { return trips_; }
+  /// Requests rejected while open.
+  uint64_t fast_fails() const { return fast_fails_; }
+
+ private:
+  CircuitBreakerOptions opts_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  Micros opened_at_ = 0;
+  bool probe_in_flight_ = false;
+  uint64_t trips_ = 0;
+  uint64_t fast_fails_ = 0;
+};
+
+}  // namespace deluge
+
+#endif  // DELUGE_COMMON_RETRY_H_

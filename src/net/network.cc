@@ -8,6 +8,7 @@ Network::Network(Simulator* sim, uint64_t seed) : sim_(sim), rng_(seed) {}
 
 NodeId Network::AddNode(Handler handler) {
   handlers_.push_back(std::move(handler));
+  node_up_.push_back(1);
   return static_cast<NodeId>(handlers_.size() - 1);
 }
 
@@ -36,9 +37,28 @@ Status Network::Send(Message msg) {
   ++stats_.messages_sent;
   stats_.bytes_sent += wire;
 
+  if (!node_up_[msg.from] || !node_up_[msg.to]) {
+    ++stats_.messages_dropped;
+    ++stats_.drops_node_down;
+    return Status::Unavailable("node down");
+  }
   if (IsPartitioned(msg.from, msg.to)) {
     ++stats_.messages_dropped;
     return Status::Unavailable("partitioned");
+  }
+
+  LinkFault* fault = nullptr;
+  auto fit = faults_.find(PairKey(msg.from, msg.to));
+  if (fit != faults_.end()) fault = &fit->second;
+  if (fault != nullptr && fault->down) {
+    ++stats_.messages_dropped;
+    ++stats_.drops_link_down;
+    return Status::Unavailable("link down");
+  }
+  if (fault != nullptr && fault->has_burst && BurstDrop(*fault)) {
+    ++stats_.messages_dropped;
+    ++stats_.drops_burst_loss;
+    return Status::OK();  // silent correlated loss
   }
 
   LinkState& link = GetLink(msg.from, msg.to);
@@ -63,13 +83,16 @@ Status Network::Send(Message msg) {
     jitter = rng_.UniformRange(-link.opts.jitter, link.opts.jitter);
     jitter = std::max<Micros>(jitter, -(link.opts.latency));
   }
-  const Micros deliver_at = link.busy_until + link.opts.latency + jitter;
+  const Micros extra = fault != nullptr ? fault->extra_latency : 0;
+  const Micros deliver_at =
+      link.busy_until + link.opts.latency + extra + jitter;
 
   NodeId to = msg.to;
   sim_->At(deliver_at, [this, to, m = std::move(msg), wire]() {
-    // Re-check partition at delivery time: packets in flight when a
-    // partition starts are lost, matching TCP-less datagram semantics.
-    if (IsPartitioned(m.from, m.to)) {
+    // Re-check faults at delivery time: packets in flight when a
+    // partition/flap/crash starts are lost, matching TCP-less datagram
+    // semantics.
+    if (Blocked(m.from, m.to)) {
       ++stats_.messages_dropped;
       return;
     }
@@ -78,6 +101,62 @@ Status Network::Send(Message msg) {
     handlers_[to](m);
   });
   return Status::OK();
+}
+
+bool Network::Blocked(NodeId a, NodeId b) const {
+  if (!node_up_[a] || !node_up_[b]) return true;
+  if (IsPartitioned(a, b)) return true;
+  auto it = faults_.find(PairKey(a, b));
+  return it != faults_.end() && it->second.down;
+}
+
+bool Network::BurstDrop(LinkFault& fault) {
+  // Advance the two-state Markov chain one message step, then draw the
+  // state's loss rate.  All draws come from the network RNG, so a seeded
+  // run replays the exact same loss pattern.
+  if (fault.burst_bad) {
+    if (rng_.Bernoulli(fault.burst.p_bad_to_good)) fault.burst_bad = false;
+  } else {
+    if (rng_.Bernoulli(fault.burst.p_good_to_bad)) fault.burst_bad = true;
+  }
+  return rng_.Bernoulli(fault.burst_bad ? fault.burst.loss_bad
+                                        : fault.burst.loss_good);
+}
+
+void Network::SetNodeUp(NodeId n, bool up) {
+  if (n < node_up_.size()) node_up_[n] = up ? 1 : 0;
+}
+
+bool Network::IsNodeUp(NodeId n) const {
+  return n < node_up_.size() && node_up_[n] != 0;
+}
+
+void Network::SetLinkDown(NodeId a, NodeId b, bool down) {
+  GetFault(a, b).down = down;
+  GetFault(b, a).down = down;
+}
+
+bool Network::IsLinkDown(NodeId a, NodeId b) const {
+  auto it = faults_.find(PairKey(a, b));
+  return it != faults_.end() && it->second.down;
+}
+
+void Network::SetExtraLatency(NodeId a, NodeId b, Micros extra) {
+  GetFault(a, b).extra_latency = extra;
+  GetFault(b, a).extra_latency = extra;
+}
+
+void Network::SetBurstLoss(NodeId a, NodeId b, const BurstLossModel& model) {
+  for (LinkFault* f : {&GetFault(a, b), &GetFault(b, a)}) {
+    f->has_burst = true;
+    f->burst = model;
+    f->burst_bad = false;  // bursts start in the Good state
+  }
+}
+
+void Network::ClearBurstLoss(NodeId a, NodeId b) {
+  GetFault(a, b).has_burst = false;
+  GetFault(b, a).has_burst = false;
 }
 
 void Network::Partition(NodeId a, NodeId b) {

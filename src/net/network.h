@@ -42,6 +42,17 @@ struct LinkOptions {
   double drop_probability = 0.0;           ///< i.i.d. loss
 };
 
+/// Gilbert–Elliott two-state burst-loss model.  Real links lose packets
+/// in correlated bursts, not i.i.d. (congestion, fading, handover); the
+/// chain sits in a Good or Bad state with per-message transition
+/// probabilities and a loss rate per state.
+struct BurstLossModel {
+  double p_good_to_bad = 0.01;  ///< per-message Good -> Bad probability
+  double p_bad_to_good = 0.25;  ///< per-message Bad -> Good probability
+  double loss_good = 0.0;       ///< loss rate while Good
+  double loss_bad = 1.0;        ///< loss rate while Bad
+};
+
 /// Counters exposed for experiments.
 struct NetworkStats {
   uint64_t messages_sent = 0;
@@ -49,6 +60,11 @@ struct NetworkStats {
   uint64_t messages_dropped = 0;
   uint64_t bytes_sent = 0;
   uint64_t bytes_delivered = 0;
+  // Drop breakdown by injected-fault cause (all also counted in
+  // `messages_dropped`).
+  uint64_t drops_node_down = 0;
+  uint64_t drops_link_down = 0;
+  uint64_t drops_burst_loss = 0;
 };
 
 /// A simulated message-passing network over a `Simulator`.
@@ -94,6 +110,34 @@ class Network {
   /// True if a->b traffic is currently blocked.
   bool IsPartitioned(NodeId a, NodeId b) const;
 
+  // --- Fault-hook API (driven by chaos::FaultSchedule) -----------------
+  //
+  // These model transient faults orthogonal to the static topology:
+  // fail-stop node crashes (all traffic to/from the node is lost while it
+  // is down; handler state survives, like a process partition), link
+  // flaps, added latency (congestion spikes), and correlated burst loss.
+  // Messages in flight when a fault starts are re-checked at delivery
+  // time and lost, matching datagram semantics.
+
+  /// Marks a node down (crash) or back up (restart).  Nodes start up.
+  void SetNodeUp(NodeId n, bool up);
+  bool IsNodeUp(NodeId n) const;
+
+  /// Takes the links between `a` and `b` down / back up (both
+  /// directions).  Distinct from Partition so scheduled flaps and
+  /// protocol-level partitions cannot mask each other's state.
+  void SetLinkDown(NodeId a, NodeId b, bool down);
+  bool IsLinkDown(NodeId a, NodeId b) const;
+
+  /// Adds `extra` one-way latency on top of the configured link latency
+  /// in both directions (0 clears the spike).
+  void SetExtraLatency(NodeId a, NodeId b, Micros extra);
+
+  /// Installs a Gilbert–Elliott burst-loss process on both directions
+  /// (each direction keeps independent chain state).
+  void SetBurstLoss(NodeId a, NodeId b, const BurstLossModel& model);
+  void ClearBurstLoss(NodeId a, NodeId b);
+
   size_t node_count() const { return handlers_.size(); }
   const NetworkStats& stats() const { return stats_; }
   void ResetStats() { stats_ = NetworkStats{}; }
@@ -103,18 +147,34 @@ class Network {
     LinkOptions opts;
     Micros busy_until = 0;  // serialization queue tail
   };
+  /// Transient fault overlay for one directed link.
+  struct LinkFault {
+    bool down = false;
+    Micros extra_latency = 0;
+    bool has_burst = false;
+    BurstLossModel burst;
+    bool burst_bad = false;  // current Gilbert–Elliott chain state
+  };
 
   static uint64_t PairKey(NodeId a, NodeId b) {
     return (uint64_t(a) << 32) | b;
   }
 
   LinkState& GetLink(NodeId a, NodeId b);
+  LinkFault& GetFault(NodeId a, NodeId b) { return faults_[PairKey(a, b)]; }
+  /// Advances the GE chain one step; true = this message is lost.
+  bool BurstDrop(LinkFault& fault);
+  /// True when a->b traffic is blocked by partition, link-down, or a
+  /// down endpoint (the reasons a datagram vanishes en route).
+  bool Blocked(NodeId a, NodeId b) const;
 
   Simulator* sim_;
   Rng rng_;
   LinkOptions default_link_;
   std::vector<Handler> handlers_;
+  std::vector<char> node_up_;  // parallel to handlers_
   std::unordered_map<uint64_t, LinkState> links_;
+  std::unordered_map<uint64_t, LinkFault> faults_;
   std::unordered_set<uint64_t> partitions_;
   NetworkStats stats_;
 };

@@ -82,6 +82,57 @@ bool Broker::Unsubscribe(uint64_t sub_id) {
   return true;
 }
 
+void Broker::SetQueueLimit(size_t limit) {
+  queue_limit_ = limit;
+  if (limit > 0 && queue_.size() > limit) queue_.resize(limit);
+}
+
+void Broker::Enqueue(net::NodeId subscriber, const Event& event) {
+  if (queue_.size() >= queue_limit_) {
+    // Shed the lowest-priority entry (oldest among ties); if the new
+    // event itself is lowest, shed it instead.
+    size_t victim = size_t(-1);
+    for (size_t i = 0; i < queue_.size(); ++i) {
+      if (victim == size_t(-1) ||
+          queue_[i].event.priority < queue_[victim].event.priority ||
+          (queue_[i].event.priority == queue_[victim].event.priority &&
+           queue_[i].seq < queue_[victim].seq)) {
+        victim = i;
+      }
+    }
+    ++stats_.deliveries_shed;
+    if (victim == size_t(-1) ||
+        queue_[victim].event.priority >= event.priority) {
+      return;  // the incoming event is the least important
+    }
+    queue_.erase(queue_.begin() + long(victim));
+  }
+  queue_.push_back(QueuedDelivery{subscriber, event, next_queue_seq_++});
+  ++stats_.deliveries_queued;
+  stats_.queue_high_water =
+      std::max<uint64_t>(stats_.queue_high_water, queue_.size());
+}
+
+size_t Broker::Drain(size_t max) {
+  size_t delivered = 0;
+  while (delivered < max && !queue_.empty()) {
+    // Highest priority first; FIFO within a priority.
+    size_t best = 0;
+    for (size_t i = 1; i < queue_.size(); ++i) {
+      if (queue_[i].event.priority > queue_[best].event.priority ||
+          (queue_[i].event.priority == queue_[best].event.priority &&
+           queue_[i].seq < queue_[best].seq)) {
+        best = i;
+      }
+    }
+    QueuedDelivery d = std::move(queue_[best]);
+    queue_.erase(queue_.begin() + long(best));
+    if (deliver_) deliver_(d.subscriber, d.event);
+    ++delivered;
+  }
+  return delivered;
+}
+
 size_t Broker::Publish(const Event& event) {
   ++stats_.events_published;
   size_t delivered = 0;
@@ -92,7 +143,11 @@ size_t Broker::Publish(const Event& event) {
     if (!it->second.Matches(event)) return;
     ++stats_.deliveries;
     ++delivered;
-    if (deliver_) deliver_(it->second.subscriber, event);
+    if (queue_limit_ > 0) {
+      Enqueue(it->second.subscriber, event);
+    } else if (deliver_) {
+      deliver_(it->second.subscriber, event);
+    }
   };
 
   // Topic-indexed (non-regional) subscriptions: exact topic + wildcard.

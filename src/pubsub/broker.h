@@ -17,6 +17,10 @@ struct BrokerStats {
   uint64_t events_published = 0;
   uint64_t deliveries = 0;
   uint64_t candidates_checked = 0;  ///< subscriptions evaluated exactly
+  // Bounded-queue mode only:
+  uint64_t deliveries_queued = 0;
+  uint64_t deliveries_shed = 0;  ///< dropped by priority shedding
+  uint64_t queue_high_water = 0;
 };
 
 /// A content + spatial pub/sub matcher.
@@ -45,8 +49,22 @@ class Broker {
   bool Unsubscribe(uint64_t sub_id);
 
   /// Matches and delivers `event` to every matching subscription.
-  /// Returns the number of deliveries.
+  /// Returns the number of deliveries (matches, in queued mode).
   size_t Publish(const Event& event);
+
+  /// Switches to bounded-queue delivery (graceful degradation): Publish
+  /// enqueues matched deliveries instead of invoking the callback
+  /// inline, and `Drain` pumps them.  When the queue is full, the
+  /// lowest-priority entry (oldest among ties) is shed and counted —
+  /// overload degrades bulk traffic first instead of growing without
+  /// bound or dropping silently.  `limit` 0 restores inline delivery.
+  void SetQueueLimit(size_t limit);
+
+  /// Delivers up to `max` queued entries in (priority, FIFO) order.
+  /// Returns the number delivered.  No-op in inline mode.
+  size_t Drain(size_t max = size_t(-1));
+
+  size_t queue_depth() const { return queue_.size(); }
 
   size_t subscription_count() const { return subs_.size(); }
   const BrokerStats& stats() const { return stats_; }
@@ -55,12 +73,23 @@ class Broker {
  private:
   using CellKey = uint64_t;
 
+  struct QueuedDelivery {
+    net::NodeId subscriber;
+    Event event;
+    uint64_t seq;  ///< FIFO order within a priority
+  };
+
+  void Enqueue(net::NodeId subscriber, const Event& event);
+
   std::vector<CellKey> CellsCovering(const geo::AABB& box) const;
   CellKey CellFor(const geo::Vec3& p) const;
 
   geo::AABB world_;
   double cell_size_;
   Deliver deliver_;
+  size_t queue_limit_ = 0;  // 0 = inline delivery
+  std::vector<QueuedDelivery> queue_;
+  uint64_t next_queue_seq_ = 0;
   uint64_t next_id_ = 1;
   std::unordered_map<uint64_t, Subscription> subs_;
   // Topic -> non-regional subscription ids ("" holds wildcard subs).

@@ -1,0 +1,55 @@
+#include "pubsub/reliable.h"
+
+namespace deluge::pubsub {
+
+ReliableDeliverer::ReliableDeliverer(net::Network* net, net::Simulator* sim,
+                                     RetryPolicy policy, uint64_t seed)
+    : net_(net), sim_(sim), policy_(policy), rng_(seed) {}
+
+CircuitBreaker& ReliableDeliverer::breaker_for(net::NodeId to) {
+  auto it = breakers_.find(to);
+  if (it == breakers_.end()) {
+    it = breakers_.emplace(to, CircuitBreaker(breaker_options_)).first;
+  }
+  return it->second;
+}
+
+void ReliableDeliverer::Deliver(net::NodeId from, net::NodeId to,
+                                const Event& event) {
+  ++stats_.attempts;
+  Attempt(from, to, event, RetryState(policy_, sim_->Now()));
+}
+
+void ReliableDeliverer::Attempt(net::NodeId from, net::NodeId to,
+                                const Event& event, RetryState state) {
+  CircuitBreaker& breaker = breaker_for(to);
+  if (!breaker.Allow(sim_->Now())) {
+    ++stats_.fast_failed;
+    return;
+  }
+  net::Message msg;
+  msg.from = from;
+  msg.to = to;
+  msg.type = msg_type;
+  msg.payload = event.topic;
+  msg.size_bytes = event.bytes;
+  ++stats_.sends;
+  Status s = net_->Send(std::move(msg));
+  if (s.ok()) {
+    ++stats_.accepted;
+    breaker.RecordSuccess();
+    return;
+  }
+  breaker.RecordFailure(sim_->Now());
+  Micros delay = state.NextBackoff(sim_->Now(), &rng_);
+  if (delay < 0) {
+    ++stats_.gave_up;
+    return;
+  }
+  ++stats_.retries;
+  sim_->After(delay, [this, from, to, event, state]() {
+    Attempt(from, to, event, state);
+  });
+}
+
+}  // namespace deluge::pubsub

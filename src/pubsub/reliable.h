@@ -1,0 +1,62 @@
+#ifndef DELUGE_PUBSUB_RELIABLE_H_
+#define DELUGE_PUBSUB_RELIABLE_H_
+
+#include <unordered_map>
+
+#include "common/retry.h"
+#include "pubsub/subscription.h"
+
+namespace deluge::pubsub {
+
+/// Counters for `ReliableDeliverer`.
+struct ReliableStats {
+  uint64_t attempts = 0;       ///< first-time Deliver calls
+  uint64_t sends = 0;          ///< network sends (incl. retries)
+  uint64_t accepted = 0;       ///< sends the network accepted
+  uint64_t retries = 0;
+  uint64_t gave_up = 0;        ///< retry budget exhausted
+  uint64_t fast_failed = 0;    ///< rejected by an open breaker
+};
+
+/// Retrying bridge from a `Broker` to `net::Network` sends.
+///
+/// The plain bench wiring drops an event forever when the subscriber's
+/// link is partitioned or flapping.  This deliverer retries *detectable*
+/// failures (Send returning Unavailable: partition, link-down, crashed
+/// node) with the shared backoff policy, and keeps one circuit breaker
+/// per subscriber so a long-dead subscriber degrades to cheap fast-fails
+/// instead of a retry storm.  Silent in-flight losses (i.i.d. or burst
+/// drops) are not detectable without an ack protocol and stay lossy, as
+/// in the real datagram fabric.
+class ReliableDeliverer {
+ public:
+  /// `net`/`sim` must outlive the deliverer.  `msg_type` tags the wire
+  /// messages; the payload carries the topic.
+  ReliableDeliverer(net::Network* net, net::Simulator* sim,
+                    RetryPolicy policy = {}, uint64_t seed = 0xE11A);
+
+  /// Sends `event` from `from` to `to`, retrying on synchronous
+  /// unavailability until the policy's budget runs out.
+  void Deliver(net::NodeId from, net::NodeId to, const Event& event);
+
+  CircuitBreakerOptions& breaker_options() { return breaker_options_; }
+  const ReliableStats& stats() const { return stats_; }
+  uint32_t msg_type = 0x9B;
+
+ private:
+  void Attempt(net::NodeId from, net::NodeId to, const Event& event,
+               RetryState state);
+  CircuitBreaker& breaker_for(net::NodeId to);
+
+  net::Network* net_;
+  net::Simulator* sim_;
+  RetryPolicy policy_;
+  CircuitBreakerOptions breaker_options_;
+  std::unordered_map<net::NodeId, CircuitBreaker> breakers_;
+  Rng rng_;
+  ReliableStats stats_;
+};
+
+}  // namespace deluge::pubsub
+
+#endif  // DELUGE_PUBSUB_RELIABLE_H_

@@ -33,6 +33,11 @@ struct Event {
   stream::Tuple payload;
   std::optional<geo::Vec3> position;
   uint64_t bytes = 256;
+  /// Delivery priority under overload: higher survives shedding longer
+  /// (0 = bulk telemetry, higher = safety/interaction critical).
+  uint8_t priority = 0;
+  /// Publish time (virtual); lets subscribers measure staleness.
+  Micros published_at = 0;
 };
 
 /// A standing interest registration.

@@ -28,8 +28,15 @@ void ServerlessRuntime::ScheduleReclaim(FunctionState* fs,
   });
 }
 
+void ServerlessRuntime::SetConcurrencyLimit(size_t max_concurrent,
+                                            size_t queue_limit) {
+  max_concurrent_ = max_concurrent;
+  queue_limit_ = queue_limit;
+}
+
 void ServerlessRuntime::Invoke(const std::string& name,
-                               std::function<void()> done) {
+                               std::function<void()> done,
+                               uint8_t priority) {
   auto it = functions_.find(name);
   if (it == functions_.end()) {
     ++dropped_;
@@ -39,6 +46,52 @@ void ServerlessRuntime::Invoke(const std::string& name,
   ++fs.stats.invocations;
   Micros start = sim_->Now();
 
+  if (max_concurrent_ > 0 && running_ >= max_concurrent_) {
+    // At capacity: queue, or shed the least important invocation.
+    if (pending_.size() >= queue_limit_) {
+      size_t victim = size_t(-1);
+      for (size_t i = 0; i < pending_.size(); ++i) {
+        if (victim == size_t(-1) ||
+            pending_[i].priority < pending_[victim].priority ||
+            (pending_[i].priority == pending_[victim].priority &&
+             pending_[i].seq < pending_[victim].seq)) {
+          victim = i;
+        }
+      }
+      ++shed_;
+      if (victim == size_t(-1) || pending_[victim].priority >= priority) {
+        return;  // the incoming invocation is the least important
+      }
+      pending_.erase(pending_.begin() + long(victim));
+    }
+    pending_.push_back(PendingInvocation{&fs, std::move(done), priority,
+                                         start, next_pending_seq_++});
+    return;
+  }
+  Start(&fs, start, std::move(done));
+}
+
+void ServerlessRuntime::DrainQueue() {
+  while (!pending_.empty() &&
+         (max_concurrent_ == 0 || running_ < max_concurrent_)) {
+    size_t best = 0;
+    for (size_t i = 1; i < pending_.size(); ++i) {
+      if (pending_[i].priority > pending_[best].priority ||
+          (pending_[i].priority == pending_[best].priority &&
+           pending_[i].seq < pending_[best].seq)) {
+        best = i;
+      }
+    }
+    PendingInvocation inv = std::move(pending_[best]);
+    pending_.erase(pending_.begin() + long(best));
+    Start(inv.fs, inv.enqueued_at, std::move(inv.done));
+  }
+}
+
+void ServerlessRuntime::Start(FunctionState* fsp, Micros start,
+                              std::function<void()> done) {
+  FunctionState& fs = *fsp;
+  ++running_;
   Micros startup = 0;
   if (!fs.warm.empty()) {
     // Reuse the most recently idle instance (LIFO keeps the warm set
@@ -54,7 +107,6 @@ void ServerlessRuntime::Invoke(const std::string& name,
   }
 
   Micros total = startup + fs.spec.exec_time;
-  FunctionState* fsp = &fs;
   sim_->After(total, [this, fsp, start, done = std::move(done)]() {
     Micros now = sim_->Now();
     fsp->stats.latency.Record(now - start);
@@ -69,7 +121,9 @@ void ServerlessRuntime::Invoke(const std::string& name,
     } else {
       fsp->warm.pop_back();  // keep-alive 0: reclaim immediately
     }
+    --running_;
     if (done) done();
+    DrainQueue();  // a slot opened: admit the most important waiter
   });
 }
 

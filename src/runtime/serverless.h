@@ -50,11 +50,26 @@ class ServerlessRuntime {
   void Register(FunctionSpec spec);
 
   /// Invokes `name`; `done` (optional) fires at completion in virtual
-  /// time.  Unknown functions are dropped (counted).
-  void Invoke(const std::string& name, std::function<void()> done = nullptr);
+  /// time.  Unknown functions are dropped (counted).  Under a
+  /// concurrency limit, `priority` decides who waits and who is shed.
+  void Invoke(const std::string& name, std::function<void()> done = nullptr,
+              uint8_t priority = 0);
+
+  /// Bounds concurrent executions (graceful degradation).  Excess
+  /// invocations wait in a bounded queue served highest-priority-first;
+  /// when the queue is also full, the lowest-priority waiter (or the
+  /// incoming invocation, if it is the least important) is shed and
+  /// counted — admission latency grows before anything is lost, and
+  /// what is lost is the bulk tier, never silently.
+  /// `max_concurrent` 0 = unlimited (the default, previous behavior).
+  void SetConcurrencyLimit(size_t max_concurrent, size_t queue_limit);
 
   const FunctionStats& stats_for(const std::string& name) const;
   uint64_t dropped() const { return dropped_; }
+  /// Invocations shed by the bounded admission queue.
+  uint64_t shed() const { return shed_; }
+  size_t running() const { return running_; }
+  size_t queue_depth() const { return pending_.size(); }
   size_t warm_instances(const std::string& name) const;
 
  private:
@@ -68,13 +83,30 @@ class ServerlessRuntime {
     std::deque<WarmInstance> warm;
     uint64_t next_generation = 1;
   };
+  struct PendingInvocation {
+    FunctionState* fs;
+    std::function<void()> done;
+    uint8_t priority;
+    Micros enqueued_at;
+    uint64_t seq;  ///< FIFO within a priority
+  };
 
   void ScheduleReclaim(FunctionState* fs, uint64_t generation);
+  /// Starts executing on `fs` now (`started` is the admission time, so
+  /// recorded latency includes queue wait).
+  void Start(FunctionState* fs, Micros started, std::function<void()> done);
+  void DrainQueue();
 
   net::Simulator* sim_;
   Micros keep_alive_;
   std::unordered_map<std::string, FunctionState> functions_;
+  size_t max_concurrent_ = 0;  // 0 = unlimited
+  size_t queue_limit_ = 0;
+  size_t running_ = 0;
+  std::vector<PendingInvocation> pending_;
+  uint64_t next_pending_seq_ = 0;
   uint64_t dropped_ = 0;
+  uint64_t shed_ = 0;
 };
 
 }  // namespace deluge::runtime

@@ -1,0 +1,65 @@
+#include "storage/fault_injection.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace deluge::storage {
+
+size_t ScriptedIoFaults::BeforeWrite(size_t frame_bytes) {
+  if (tear_countdown_ < 0) return frame_bytes;
+  if (tear_countdown_-- > 0) return frame_bytes;
+  ++torn_writes_;
+  return tear_keep_bytes_ < frame_bytes ? tear_keep_bytes_ : frame_bytes;
+}
+
+bool ScriptedIoFaults::FailSync() {
+  if (sync_countdown_ < 0) return false;
+  if (sync_countdown_-- > 0) return false;
+  ++failed_syncs_;
+  return true;
+}
+
+Result<uint64_t> FileSize(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  std::fseek(f, 0, SEEK_END);
+  long len = std::ftell(f);
+  std::fclose(f);
+  if (len < 0) return Status::IOError("ftell failed on " + path);
+  return uint64_t(len);
+}
+
+Status TruncateFile(const std::string& path, uint64_t new_size) {
+  if (::truncate(path.c_str(), off_t(new_size)) != 0) {
+    return Status::IOError("truncate failed on " + path + ": " +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status FlipByte(const std::string& path, uint64_t offset, uint8_t mask) {
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  if (f == nullptr) {
+    return Status::IOError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  unsigned char byte = 0;
+  bool ok = std::fseek(f, long(offset), SEEK_SET) == 0 &&
+            std::fread(&byte, 1, 1, f) == 1;
+  if (ok) {
+    byte = static_cast<unsigned char>(byte ^ mask);
+    ok = std::fseek(f, long(offset), SEEK_SET) == 0 &&
+         std::fwrite(&byte, 1, 1, f) == 1;
+  }
+  std::fclose(f);
+  if (!ok) return Status::IOError("flip failed at offset in " + path);
+  return Status::OK();
+}
+
+}  // namespace deluge::storage

@@ -1,0 +1,77 @@
+#ifndef DELUGE_STORAGE_FAULT_INJECTION_H_
+#define DELUGE_STORAGE_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace deluge::storage {
+
+/// Injection points for storage I/O faults.
+///
+/// A `WriteAheadLog` (and `SSTable::Build`) consults its injector, when
+/// one is installed, before touching the file system — the chaos analogue
+/// of the network fault hooks.  The default implementation injects
+/// nothing, so production paths pay one null check.
+class IoFaultInjector {
+ public:
+  virtual ~IoFaultInjector() = default;
+
+  /// Called before writing a `frame_bytes`-byte frame.  Returning fewer
+  /// bytes makes the write torn: the prefix reaches the file, then the
+  /// write fails — what a crash mid-`write(2)` leaves behind.
+  virtual size_t BeforeWrite(size_t frame_bytes) { return frame_bytes; }
+
+  /// True to fail a sync (fdatasync) without performing it.
+  virtual bool FailSync() { return false; }
+};
+
+/// A scripted injector: arm a fault N operations in advance.
+///
+/// Counters record what actually fired so tests can assert the fault
+/// took effect (an injection test that silently injects nothing is
+/// worse than no test).
+class ScriptedIoFaults : public IoFaultInjector {
+ public:
+  /// The (n+1)-th write from now is torn to `keep_bytes` bytes.
+  void TearWriteAfter(int n, size_t keep_bytes) {
+    tear_countdown_ = n;
+    tear_keep_bytes_ = keep_bytes;
+  }
+  /// The (n+1)-th sync from now fails.
+  void FailSyncAfter(int n) { sync_countdown_ = n; }
+
+  size_t BeforeWrite(size_t frame_bytes) override;
+  bool FailSync() override;
+
+  uint64_t torn_writes() const { return torn_writes_; }
+  uint64_t failed_syncs() const { return failed_syncs_; }
+
+ private:
+  int tear_countdown_ = -1;
+  size_t tear_keep_bytes_ = 0;
+  int sync_countdown_ = -1;
+  uint64_t torn_writes_ = 0;
+  uint64_t failed_syncs_ = 0;
+};
+
+// --- Crash-wreckage helpers -------------------------------------------
+//
+// Post-hoc file corruption for recovery tests: truncate a log mid-record,
+// flip payload bytes, corrupt a length prefix.  These operate on closed
+// files, simulating what is found on disk after power loss or bit rot.
+
+/// Size of `path` in bytes.
+Result<uint64_t> FileSize(const std::string& path);
+
+/// Truncates `path` to `new_size` bytes.
+Status TruncateFile(const std::string& path, uint64_t new_size);
+
+/// XORs the byte at `offset` with `mask` (default flips every bit).
+Status FlipByte(const std::string& path, uint64_t offset,
+                uint8_t mask = 0xFF);
+
+}  // namespace deluge::storage
+
+#endif  // DELUGE_STORAGE_FAULT_INJECTION_H_

@@ -25,7 +25,7 @@ SSTable::~SSTable() {
 
 Result<std::shared_ptr<SSTable>> SSTable::Build(
     const std::string& path, const std::vector<InternalEntry>& entries,
-    int bloom_bits_per_key) {
+    int bloom_bits_per_key, IoFaultInjector* faults) {
   std::string data;
   std::string index;
   uint64_t index_count = 0;
@@ -56,11 +56,12 @@ Result<std::shared_ptr<SSTable>> SSTable::Build(
     return Status::IOError("cannot create SSTable " + path + ": " +
                            std::strerror(errno));
   }
-  bool ok = std::fwrite(data.data(), 1, data.size(), f) == data.size() &&
-            std::fwrite(index.data(), 1, index.size(), f) == index.size() &&
-            std::fwrite(bloom_bytes.data(), 1, bloom_bytes.size(), f) ==
-                bloom_bytes.size() &&
-            std::fwrite(footer.data(), 1, footer.size(), f) == footer.size();
+  std::string file_bytes = data + index + bloom_bytes + footer;
+  size_t to_write = file_bytes.size();
+  if (faults != nullptr) to_write = faults->BeforeWrite(file_bytes.size());
+  bool ok =
+      std::fwrite(file_bytes.data(), 1, to_write, f) == to_write &&
+      to_write == file_bytes.size();
   ok = std::fclose(f) == 0 && ok;
   if (!ok) return Status::IOError("SSTable write failed: " + path);
   return Open(path);

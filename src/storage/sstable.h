@@ -8,6 +8,7 @@
 
 #include "common/status.h"
 #include "storage/bloom.h"
+#include "storage/fault_injection.h"
 #include "storage/format.h"
 
 namespace deluge::storage {
@@ -36,10 +37,12 @@ class SSTable {
   SSTable& operator=(const SSTable&) = delete;
 
   /// Writes `entries` (already sorted by InternalEntryComparator) to
-  /// `path` and returns an opened reader.
+  /// `path` and returns an opened reader.  `faults`, when set, can tear
+  /// the file write (crash mid-build); the partial file fails Open with
+  /// Corruption, never a silently short table.
   static Result<std::shared_ptr<SSTable>> Build(
       const std::string& path, const std::vector<InternalEntry>& entries,
-      int bloom_bits_per_key = 10);
+      int bloom_bits_per_key = 10, IoFaultInjector* faults = nullptr);
 
   /// Opens an existing table, loading its index and bloom filter.
   static Result<std::shared_ptr<SSTable>> Open(const std::string& path);

@@ -33,11 +33,26 @@ Status WriteAheadLog::Append(std::string_view record, bool sync) {
   PutFixed32(&frame, static_cast<uint32_t>(record.size()));
   PutFixed64(&frame, Hash64(record));
   frame.append(record.data(), record.size());
-  if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size()) {
+  size_t to_write = frame.size();
+  if (fault_injector_ != nullptr) {
+    to_write = fault_injector_->BeforeWrite(frame.size());
+  }
+  if (std::fwrite(frame.data(), 1, to_write, file_) != to_write) {
     return Status::IOError("WAL write failed");
+  }
+  if (to_write < frame.size()) {
+    // Injected torn write: the prefix is on disk, the append failed from
+    // the caller's perspective — exactly the crash-mid-write wreckage
+    // Replay must stop at cleanly.
+    std::fflush(file_);
+    size_bytes_ += to_write;
+    return Status::IOError("WAL torn write (injected)");
   }
   if (std::fflush(file_) != 0) return Status::IOError("WAL flush failed");
   if (sync) {
+    if (fault_injector_ != nullptr && fault_injector_->FailSync()) {
+      return Status::IOError("WAL fdatasync failed (injected)");
+    }
     if (fdatasync(fileno(file_)) != 0) {
       return Status::IOError("WAL fdatasync failed");
     }

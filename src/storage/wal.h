@@ -7,6 +7,7 @@
 #include <string_view>
 
 #include "common/status.h"
+#include "storage/fault_injection.h"
 
 namespace deluge::storage {
 
@@ -49,10 +50,17 @@ class WriteAheadLog {
 
   void Close();
 
+  /// Installs an I/O fault injector (nullptr to clear); not owned.
+  /// Appends consult it to simulate torn writes and failed syncs.
+  void set_fault_injector(IoFaultInjector* injector) {
+    fault_injector_ = injector;
+  }
+
  private:
   std::string path_;
   std::FILE* file_ = nullptr;
   uint64_t size_bytes_ = 0;
+  IoFaultInjector* fault_injector_ = nullptr;
 };
 
 }  // namespace deluge::storage

@@ -1,5 +1,7 @@
 #include "txn/distributed.h"
 
+#include <algorithm>
+
 #include "common/hash.h"
 #include "storage/format.h"
 
@@ -67,12 +69,31 @@ void ShardNode::OnMessage(const net::Message& msg) {
   }
 }
 
+void ShardNode::RememberDecision(uint64_t txn_id, bool outcome) {
+  if (decided_.emplace(txn_id, outcome).second) {
+    decided_order_.push_back(txn_id);
+    // Bounded cache: old decisions age out; by then no retransmit for
+    // them is still in flight (retry budgets are finite).
+    while (decided_order_.size() > 8192) {
+      decided_.erase(decided_order_.front());
+      decided_order_.pop_front();
+    }
+  }
+}
+
 void ShardNode::HandlePrepare(const net::Message& msg) {
   uint64_t txn_id = 0;
   Timestamp ts = 0;
   std::vector<WriteOp> writes;
   bool vote_yes = DecodeWrites(msg.payload, &txn_id, &ts, &writes);
-  if (vote_yes) {
+  if (vote_yes && decided_.count(txn_id) > 0) {
+    // Stale retransmit of an already-decided transaction: nothing to
+    // prepare, and the coordinator no longer listens.
+    return;
+  }
+  if (vote_yes && prepared_.count(txn_id) > 0) {
+    // Duplicate prepare (our vote was lost): re-vote without re-locking.
+  } else if (vote_yes) {
     for (const auto& w : writes) {
       if (!store_.TryLock(w.key, txn_id).ok()) {
         vote_yes = false;
@@ -82,8 +103,8 @@ void ShardNode::HandlePrepare(const net::Message& msg) {
     if (!vote_yes) {
       for (const auto& w : writes) store_.Unlock(w.key, txn_id);
     }
+    if (vote_yes) prepared_[txn_id] = std::move(writes);
   }
-  if (vote_yes) prepared_[txn_id] = std::move(writes);
 
   net::Message reply;
   reply.from = node_id_;
@@ -113,6 +134,7 @@ void ShardNode::HandleCommit(const net::Message& msg, bool commit) {
     }
     prepared_.erase(it);
   }
+  RememberDecision(txn_id, commit);
   net::Message reply;
   reply.from = node_id_;
   reply.to = msg.from;
@@ -131,6 +153,27 @@ void ShardNode::HandleSingleRound(const net::Message& msg) {
   std::vector<WriteOp> writes;
   bool ok = DecodeWrites(msg.payload, &txn_id, &ts, &writes);
   if (ok) {
+    auto dit = decided_.find(txn_id);
+    if (dit != decided_.end()) {
+      // Duplicate single-round request (our reply was lost): re-reply
+      // the recorded verdict instead of re-validating — a re-validation
+      // would reject its own committed write (version >= ts) and flip
+      // the answer.
+      net::Message reply;
+      reply.from = node_id_;
+      reply.to = msg.from;
+      reply.type = uint32_t(dit->second ? TxnMsg::kSingleRoundOk
+                                        : TxnMsg::kSingleRoundReject);
+      std::string payload;
+      PutFixed64(&payload, txn_id);
+      reply.payload = std::move(payload);
+      net::Network* net = net_;
+      sim_->After(processing_cost,
+                  [net, reply = std::move(reply)]() { net->Send(reply); });
+      return;
+    }
+  }
+  if (ok) {
     // Validation: the key must not be write-locked by a concurrent 2PC
     // transaction, and its latest version must precede our timestamp
     // (deterministic ordering by coordinator timestamp).
@@ -146,6 +189,7 @@ void ShardNode::HandleSingleRound(const net::Message& msg) {
     } else {
       for (const auto& w : writes) store_.Unlock(w.key, txn_id);
     }
+    RememberDecision(txn_id, ok);
   }
   net::Message reply;
   reply.from = node_id_;
@@ -167,6 +211,33 @@ DistributedTxnSystem::DistributedTxnSystem(net::Network* net,
                                            std::vector<ShardNode*> shards)
     : net_(net), sim_(sim), shards_(std::move(shards)) {
   coord_node_ = net->AddNode([this](const net::Message& m) { OnMessage(m); });
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    node_to_shard_[shards_[i]->node_id()] = i;
+  }
+  // Round retransmission: a handful of tries, deadline-capped per txn by
+  // its timeout (set at Submit).
+  retransmit_policy_.max_attempts = 6;
+  retransmit_policy_.initial_backoff = 100 * kMicrosPerMilli;
+  retransmit_policy_.max_backoff = kMicrosPerSecond;
+  // Decision redelivery keeps trying much longer: it must outlast
+  // realistic partition windows so decided commits eventually apply on
+  // every participant.
+  redelivery_policy_.max_attempts = 16;
+  redelivery_policy_.initial_backoff = 100 * kMicrosPerMilli;
+  redelivery_policy_.max_backoff = 2 * kMicrosPerSecond;
+}
+
+CircuitBreaker& DistributedTxnSystem::breaker_for_shard(size_t shard) {
+  while (breakers_.size() <= shard) breakers_.emplace_back(breaker_options_);
+  return breakers_[shard];
+}
+
+size_t DistributedTxnSystem::ParticipantIndex(const InFlight& txn,
+                                              size_t shard) {
+  for (size_t i = 0; i < txn.participant_shards.size(); ++i) {
+    if (txn.participant_shards[i] == shard) return i;
+  }
+  return size_t(-1);
 }
 
 size_t DistributedTxnSystem::ShardOf(const std::string& key) const {
@@ -198,6 +269,7 @@ void DistributedTxnSystem::Submit(std::vector<WriteOp> writes,
   txn.protocol = protocol;
   txn.writes = std::move(writes);
   txn.started_at = sim_->Now();
+  txn.timeout = timeout;
   txn.commit_ts = next_ts_++;
   txn.cb = std::move(cb);
 
@@ -206,18 +278,42 @@ void DistributedTxnSystem::Submit(std::vector<WriteOp> writes,
   for (const auto& w : txn.writes) by_shard[ShardOf(w.key)].push_back(w);
   for (const auto& [shard, ops] : by_shard) {
     txn.participant_shards.push_back(shard);
+    txn.round_payloads.push_back(EncodeWrites(txn.txn_id, txn.commit_ts, ops));
   }
   txn.votes_pending = txn.participant_shards.size();
+  txn.voted.assign(txn.participant_shards.size(), 0);
+  txn.acked.assign(txn.participant_shards.size(), 0);
+
+  // Fast-fail when any participant's breaker is open: aborting now is
+  // cheaper than locking healthy shards and timing out.
+  for (size_t shard : txn.participant_shards) {
+    if (!breaker_for_shard(shard).Allow(sim_->Now())) {
+      ++fast_fails_;
+      Finish(txn, false);
+      return;
+    }
+  }
+
+  RetryPolicy per_txn = retransmit_policy_;
+  if (timeout > 0 &&
+      (per_txn.deadline == 0 || per_txn.deadline > timeout)) {
+    per_txn.deadline = timeout;  // never retransmit past the abort point
+  }
+  txn.retransmit = RetryState(per_txn, sim_->Now());
 
   TxnMsg round_type = protocol == CommitProtocol::kTwoPhase
                           ? TxnMsg::kPrepare
                           : TxnMsg::kSingleRound;
   uint64_t id = txn.txn_id;
-  Timestamp ts = txn.commit_ts;
   in_flight_.emplace(id, std::move(txn));
-  for (const auto& [shard, ops] : by_shard) {
-    SendToShard(shard, round_type, id, EncodeWrites(id, ts, ops));
+  {
+    const InFlight& t = in_flight_[id];
+    for (size_t i = 0; i < t.participant_shards.size(); ++i) {
+      SendToShard(t.participant_shards[i], round_type, id,
+                  t.round_payloads[i]);
+    }
   }
+  ScheduleRetransmit(id);
   // Safety net: a lost message or partition must not wedge the
   // transaction (and its locks) forever.
   if (timeout > 0) {
@@ -233,9 +329,29 @@ void DistributedTxnSystem::Submit(std::vector<WriteOp> writes,
       std::string decision;
       PutFixed64(&decision, stuck.txn_id);
       PutFixed64(&decision, stuck.commit_ts);
-      for (size_t shard : stuck.participant_shards) {
+      PendingDecision pd;
+      pd.txn_id = stuck.txn_id;
+      pd.commit = committed;
+      pd.payload = decision;
+      for (size_t i = 0; i < stuck.participant_shards.size(); ++i) {
+        if (stuck.acked[i]) continue;
+        size_t shard = stuck.participant_shards[i];
         SendToShard(shard, committed ? TxnMsg::kCommit : TxnMsg::kAbort,
                     stuck.txn_id, decision);
+        pd.shards.push_back(shard);
+        // Silence during the whole transaction = a strike against the
+        // shard; enough strikes open its breaker.
+        if (!stuck.voted[i]) {
+          breaker_for_shard(shard).RecordFailure(sim_->Now());
+        }
+      }
+      // The decision outlives the transaction: keep re-driving it until
+      // every participant applies it (commits must not be lost, aborted
+      // locks must not leak) or the redelivery budget runs out.
+      if (!pd.shards.empty()) {
+        pd.retry = RetryState(redelivery_policy_, sim_->Now());
+        pending_decisions_.emplace(stuck.txn_id, std::move(pd));
+        ScheduleRedelivery(stuck.txn_id);
       }
       Finish(stuck, committed);
       in_flight_.erase(it);
@@ -243,17 +359,99 @@ void DistributedTxnSystem::Submit(std::vector<WriteOp> writes,
   }
 }
 
+void DistributedTxnSystem::ScheduleRetransmit(uint64_t txn_id) {
+  auto it = in_flight_.find(txn_id);
+  if (it == in_flight_.end()) return;
+  Micros delay = it->second.retransmit.NextBackoff(sim_->Now(), &rng_);
+  if (delay < 0) return;  // budget spent; the timeout net decides
+  sim_->After(delay, [this, txn_id]() {
+    auto it = in_flight_.find(txn_id);
+    if (it == in_flight_.end()) return;  // decided meanwhile
+    InFlight& txn = it->second;
+    bool sent = false;
+    if (!txn.decided && txn.votes_pending > 0) {
+      TxnMsg round = txn.protocol == CommitProtocol::kTwoPhase
+                         ? TxnMsg::kPrepare
+                         : TxnMsg::kSingleRound;
+      for (size_t i = 0; i < txn.participant_shards.size(); ++i) {
+        if (txn.voted[i]) continue;
+        SendToShard(txn.participant_shards[i], round, txn_id,
+                    txn.round_payloads[i]);
+        sent = true;
+      }
+    } else if (txn.decided && txn.acks_pending > 0) {
+      std::string decision;
+      PutFixed64(&decision, txn.txn_id);
+      PutFixed64(&decision, txn.commit_ts);
+      TxnMsg type =
+          txn.decision_commit ? TxnMsg::kCommit : TxnMsg::kAbort;
+      for (size_t i = 0; i < txn.participant_shards.size(); ++i) {
+        if (txn.acked[i]) continue;
+        SendToShard(txn.participant_shards[i], type, txn_id, decision);
+        sent = true;
+      }
+    }
+    if (sent) ++retransmits_;
+    ScheduleRetransmit(txn_id);
+  });
+}
+
+void DistributedTxnSystem::ScheduleRedelivery(uint64_t txn_id) {
+  auto it = pending_decisions_.find(txn_id);
+  if (it == pending_decisions_.end()) return;
+  Micros delay = it->second.retry.NextBackoff(sim_->Now(), &rng_);
+  if (delay < 0) {
+    // Redelivery budget exhausted with participants still unreachable.
+    ++unresolved_decisions_;
+    pending_decisions_.erase(it);
+    return;
+  }
+  sim_->After(delay, [this, txn_id]() {
+    auto it = pending_decisions_.find(txn_id);
+    if (it == pending_decisions_.end()) return;  // fully acknowledged
+    PendingDecision& pd = it->second;
+    for (size_t shard : pd.shards) {
+      SendToShard(shard, pd.commit ? TxnMsg::kCommit : TxnMsg::kAbort,
+                  txn_id, pd.payload);
+    }
+    ++redeliveries_;
+    ScheduleRedelivery(txn_id);
+  });
+}
+
 void DistributedTxnSystem::OnMessage(const net::Message& msg) {
   std::string_view payload(msg.payload);
   uint64_t txn_id = 0;
   if (!GetFixed64(&payload, &txn_id)) return;
+  auto nit = node_to_shard_.find(msg.from);
+  if (nit == node_to_shard_.end()) return;
+  const size_t shard = nit->second;
+  breaker_for_shard(shard).RecordSuccess();  // the shard is reachable
+
   auto it = in_flight_.find(txn_id);
-  if (it == in_flight_.end()) return;
+  if (it == in_flight_.end()) {
+    // Late ack for a decision that outlived its transaction: the
+    // background redelivery is what this shard is answering.
+    if (static_cast<TxnMsg>(msg.type) == TxnMsg::kAck) {
+      auto pit = pending_decisions_.find(txn_id);
+      if (pit != pending_decisions_.end()) {
+        auto& shards = pit->second.shards;
+        shards.erase(std::remove(shards.begin(), shards.end(), shard),
+                     shards.end());
+        if (shards.empty()) pending_decisions_.erase(pit);
+      }
+    }
+    return;
+  }
   InFlight& txn = it->second;
+  const size_t idx = ParticipantIndex(txn, shard);
+  if (idx == size_t(-1)) return;
 
   switch (static_cast<TxnMsg>(msg.type)) {
     case TxnMsg::kVoteYes:
     case TxnMsg::kVoteNo: {
+      if (txn.decided || txn.voted[idx]) return;  // duplicate vote
+      txn.voted[idx] = 1;
       if (static_cast<TxnMsg>(msg.type) == TxnMsg::kVoteNo) {
         txn.vote_failed = true;
       }
@@ -264,8 +462,8 @@ void DistributedTxnSystem::OnMessage(const net::Message& msg) {
       std::string decision;
       PutFixed64(&decision, txn.txn_id);
       PutFixed64(&decision, txn.commit_ts);
-      for (size_t shard : txn.participant_shards) {
-        SendToShard(shard, commit ? TxnMsg::kCommit : TxnMsg::kAbort,
+      for (size_t participant : txn.participant_shards) {
+        SendToShard(participant, commit ? TxnMsg::kCommit : TxnMsg::kAbort,
                     txn.txn_id, decision);
       }
       // 2PC completes when the commit round is acknowledged: only then
@@ -276,6 +474,8 @@ void DistributedTxnSystem::OnMessage(const net::Message& msg) {
       return;
     }
     case TxnMsg::kAck: {
+      if (!txn.decided || txn.acked[idx]) return;  // duplicate ack
+      txn.acked[idx] = 1;
       if (txn.acks_pending > 0 && --txn.acks_pending == 0) {
         Finish(txn, txn.decision_commit);
         in_flight_.erase(it);
@@ -284,6 +484,8 @@ void DistributedTxnSystem::OnMessage(const net::Message& msg) {
     }
     case TxnMsg::kSingleRoundOk:
     case TxnMsg::kSingleRoundReject: {
+      if (txn.voted[idx]) return;  // duplicate reply
+      txn.voted[idx] = 1;
       if (static_cast<TxnMsg>(msg.type) == TxnMsg::kSingleRoundReject) {
         txn.vote_failed = true;
       }

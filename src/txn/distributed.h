@@ -8,7 +8,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include <deque>
+
 #include "common/histogram.h"
+#include "common/retry.h"
 #include "net/network.h"
 #include "txn/mvcc.h"
 
@@ -69,12 +72,20 @@ class ShardNode {
   void HandleCommit(const net::Message& msg, bool commit);
   void HandleSingleRound(const net::Message& msg);
 
+  /// Remembers a decision (idempotence under retransmission) with FIFO
+  /// eviction once the cache exceeds its cap.
+  void RememberDecision(uint64_t txn_id, bool outcome);
+
   net::Network* net_;
   net::Simulator* sim_;
   net::NodeId node_id_ = 0;
   MvccStore store_;
   // txn id -> prepared writes awaiting commit.
   std::unordered_map<uint64_t, std::vector<WriteOp>> prepared_;
+  // txn id -> decision outcome, so duplicate (retransmitted) messages
+  // re-reply instead of re-executing.  Bounded FIFO cache.
+  std::unordered_map<uint64_t, bool> decided_;
+  std::deque<uint64_t> decided_order_;
 };
 
 /// The distributed transaction layer of a decentralized metaverse
@@ -114,37 +125,93 @@ class DistributedTxnSystem {
   uint64_t aborted() const { return aborted_; }
   net::NodeId coordinator_node() const { return coord_node_; }
 
+  // --- Recovery machinery (chaos-hardening) ---------------------------
+
+  /// Per-round retransmission policy: while votes (or acks) are missing,
+  /// the coordinator re-sends the round to the silent participants with
+  /// backoff, deadline-capped by the transaction timeout.
+  RetryPolicy& retransmit_policy() { return retransmit_policy_; }
+
+  /// Redelivery policy for decisions left unacknowledged at timeout.
+  /// A decided COMMIT whose commit message was lost to a partitioned
+  /// shard is re-driven until every participant applies it — otherwise
+  /// the write would be reported committed and then lost.
+  RetryPolicy& redelivery_policy() { return redelivery_policy_; }
+
+  /// Per-shard circuit breaker: repeated round failures open the breaker
+  /// and later submissions touching that shard fast-fail (abort
+  /// immediately) until a cooldown probe succeeds.
+  CircuitBreakerOptions& breaker_options() { return breaker_options_; }
+  CircuitBreaker& breaker_for_shard(size_t shard);
+
+  uint64_t retransmits() const { return retransmits_; }
+  uint64_t fast_fails() const { return fast_fails_; }
+  uint64_t redeliveries() const { return redeliveries_; }
+  /// Decisions abandoned with participants still unreachable after the
+  /// redelivery budget (should be 0 when faults eventually heal).
+  uint64_t unresolved_decisions() const { return unresolved_decisions_; }
+
  private:
   struct InFlight {
     uint64_t txn_id;
     CommitProtocol protocol;
     std::vector<WriteOp> writes;
     std::vector<size_t> participant_shards;
+    std::vector<char> voted;         ///< parallel to participant_shards
+    std::vector<char> acked;         ///< parallel to participant_shards
+    std::vector<std::string> round_payloads;  ///< per-participant prepare
     size_t votes_pending = 0;
     bool vote_failed = false;
     bool decided = false;          ///< 2PC: decision reached (commit/abort)
     bool decision_commit = false;  ///< the decision, valid when `decided`
     size_t acks_pending = 0;
     Micros started_at = 0;
+    Micros timeout = 0;
     Timestamp commit_ts = 0;
+    RetryState retransmit;
     Callback cb;
+  };
+
+  /// A decision whose acks were still missing when the transaction timed
+  /// out; re-driven in the background until applied everywhere.
+  struct PendingDecision {
+    uint64_t txn_id;
+    bool commit;
+    std::string payload;
+    std::vector<size_t> shards;  ///< only the still-unacked participants
+    RetryState retry;
   };
 
   void OnMessage(const net::Message& msg);
   void Finish(InFlight& txn, bool committed);
   void SendToShard(size_t shard, TxnMsg type, uint64_t txn_id,
                    const std::string& payload);
+  void ScheduleRetransmit(uint64_t txn_id);
+  void ScheduleRedelivery(uint64_t txn_id);
+  /// Index of `shard` in txn.participant_shards, or npos.
+  static size_t ParticipantIndex(const InFlight& txn, size_t shard);
 
   net::Network* net_;
   net::Simulator* sim_;
   std::vector<ShardNode*> shards_;
+  std::unordered_map<net::NodeId, size_t> node_to_shard_;
   net::NodeId coord_node_ = 0;
   uint64_t next_txn_id_ = 1;
   Timestamp next_ts_ = 1;
   std::unordered_map<uint64_t, InFlight> in_flight_;
+  std::unordered_map<uint64_t, PendingDecision> pending_decisions_;
+  RetryPolicy retransmit_policy_;
+  RetryPolicy redelivery_policy_;
+  CircuitBreakerOptions breaker_options_;
+  std::vector<CircuitBreaker> breakers_;
+  Rng rng_{0xC4A05u};  ///< backoff jitter (seeded: runs are reproducible)
   Histogram commit_latency_;
   uint64_t committed_ = 0;
   uint64_t aborted_ = 0;
+  uint64_t retransmits_ = 0;
+  uint64_t fast_fails_ = 0;
+  uint64_t redeliveries_ = 0;
+  uint64_t unresolved_decisions_ = 0;
 };
 
 /// Wire coding helpers (exposed for tests).

@@ -1,0 +1,176 @@
+// Edge-case tests for the shared retry/backoff policy and circuit
+// breaker: zero-retry budgets, deadline expiry mid-backoff, jitter
+// determinism under a fixed seed, and breaker state transitions.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/retry.h"
+
+namespace deluge {
+namespace {
+
+// ------------------------------------------------------------ RetryState
+
+TEST(RetryStateTest, ZeroRetryBudgetNeverRetries) {
+  for (int budget : {0, 1}) {
+    RetryPolicy policy;
+    policy.max_attempts = budget;
+    RetryState state(policy, /*start=*/0);
+    Rng rng(7);
+    EXPECT_EQ(state.NextBackoff(/*now=*/0, &rng), -1)
+        << "max_attempts=" << budget;
+  }
+}
+
+TEST(RetryStateTest, BudgetCountsTheInitialAttempt) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;  // initial try + 2 retries
+  policy.jitter = RetryPolicy::Jitter::kNone;
+  RetryState state(policy, 0);
+  Rng rng(7);
+  EXPECT_GE(state.NextBackoff(0, &rng), 0);
+  EXPECT_GE(state.NextBackoff(0, &rng), 0);
+  EXPECT_EQ(state.NextBackoff(0, &rng), -1);
+}
+
+TEST(RetryStateTest, PureExponentialGrowthIsCapped) {
+  RetryPolicy policy;
+  policy.max_attempts = 10;
+  policy.initial_backoff = 10 * kMicrosPerMilli;
+  policy.max_backoff = 80 * kMicrosPerMilli;
+  policy.multiplier = 2.0;
+  policy.jitter = RetryPolicy::Jitter::kNone;
+  RetryState state(policy, 0);
+  Rng rng(7);
+  std::vector<Micros> delays;
+  for (int i = 0; i < 6; ++i) delays.push_back(state.NextBackoff(0, &rng));
+  std::vector<Micros> want = {10 * kMicrosPerMilli, 20 * kMicrosPerMilli,
+                              40 * kMicrosPerMilli, 80 * kMicrosPerMilli,
+                              80 * kMicrosPerMilli, 80 * kMicrosPerMilli};
+  EXPECT_EQ(delays, want);
+}
+
+TEST(RetryStateTest, DeadlineExpiryMidBackoffRefusesRetry) {
+  RetryPolicy policy;
+  policy.max_attempts = 100;  // attempts are not the limit here
+  policy.initial_backoff = 10 * kMicrosPerMilli;
+  policy.jitter = RetryPolicy::Jitter::kNone;
+  policy.deadline = 25 * kMicrosPerMilli;
+  RetryState state(policy, /*start=*/0);
+  Rng rng(7);
+  // First backoff (10 ms) lands at 10 ms: allowed.
+  EXPECT_EQ(state.NextBackoff(0, &rng), 10 * kMicrosPerMilli);
+  // Second backoff (20 ms) from now=10 ms would land at 30 ms, past the
+  // 25 ms deadline: refused even though plenty of attempts remain.
+  EXPECT_EQ(state.NextBackoff(10 * kMicrosPerMilli, &rng), -1);
+}
+
+TEST(RetryStateTest, CanRetryTracksDeadlineAndBudget) {
+  RetryPolicy policy;
+  policy.max_attempts = 2;
+  policy.deadline = kMicrosPerSecond;
+  RetryState state(policy, /*start=*/0);
+  EXPECT_TRUE(state.CanRetry(0));
+  EXPECT_FALSE(state.CanRetry(kMicrosPerSecond + 1));  // past deadline
+  Rng rng(7);
+  (void)state.NextBackoff(0, &rng);
+  EXPECT_FALSE(state.CanRetry(0));  // budget consumed
+}
+
+TEST(RetryStateTest, JitterIsDeterministicUnderFixedSeed) {
+  for (auto jitter : {RetryPolicy::Jitter::kFull,
+                      RetryPolicy::Jitter::kDecorrelated}) {
+    RetryPolicy policy;
+    policy.max_attempts = 8;
+    policy.jitter = jitter;
+    std::vector<Micros> a, b;
+    {
+      RetryState state(policy, 0);
+      Rng rng(0xFEED);
+      for (int i = 0; i < 7; ++i) a.push_back(state.NextBackoff(0, &rng));
+    }
+    {
+      RetryState state(policy, 0);
+      Rng rng(0xFEED);
+      for (int i = 0; i < 7; ++i) b.push_back(state.NextBackoff(0, &rng));
+    }
+    EXPECT_EQ(a, b) << "jitter mode " << int(jitter);
+  }
+}
+
+TEST(RetryStateTest, JitteredDelaysStayInsideTheEnvelope) {
+  RetryPolicy policy;
+  policy.max_attempts = 32;
+  policy.initial_backoff = 10 * kMicrosPerMilli;
+  policy.max_backoff = 500 * kMicrosPerMilli;
+  policy.jitter = RetryPolicy::Jitter::kDecorrelated;
+  RetryState state(policy, 0);
+  Rng rng(42);
+  for (int i = 0; i < 31; ++i) {
+    Micros d = state.NextBackoff(0, &rng);
+    ASSERT_GE(d, policy.initial_backoff);
+    ASSERT_LE(d, policy.max_backoff);
+  }
+}
+
+// --------------------------------------------------------- CircuitBreaker
+
+TEST(CircuitBreakerTest, TripsAfterConsecutiveFailures) {
+  CircuitBreakerOptions opts;
+  opts.failure_threshold = 3;
+  CircuitBreaker breaker(opts);
+  EXPECT_EQ(breaker.state(0), CircuitBreaker::State::kClosed);
+  breaker.RecordFailure(0);
+  breaker.RecordFailure(0);
+  EXPECT_EQ(breaker.state(0), CircuitBreaker::State::kClosed);
+  breaker.RecordFailure(0);
+  EXPECT_EQ(breaker.state(0), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.trips(), 1u);
+  EXPECT_FALSE(breaker.Allow(1));  // fast-fail while open
+  EXPECT_EQ(breaker.fast_fails(), 1u);
+}
+
+TEST(CircuitBreakerTest, SuccessResetsTheConsecutiveCount) {
+  CircuitBreakerOptions opts;
+  opts.failure_threshold = 2;
+  CircuitBreaker breaker(opts);
+  breaker.RecordFailure(0);
+  breaker.RecordSuccess();  // streak broken
+  breaker.RecordFailure(0);
+  EXPECT_EQ(breaker.state(0), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreakerTest, HalfOpenProbeSuccessCloses) {
+  CircuitBreakerOptions opts;
+  opts.failure_threshold = 1;
+  opts.open_duration = kMicrosPerSecond;
+  CircuitBreaker breaker(opts);
+  breaker.RecordFailure(0);
+  EXPECT_FALSE(breaker.Allow(kMicrosPerSecond - 1));  // still cooling down
+  EXPECT_TRUE(breaker.Allow(kMicrosPerSecond));       // admitted as probe
+  EXPECT_EQ(breaker.state(kMicrosPerSecond), CircuitBreaker::State::kHalfOpen);
+  EXPECT_FALSE(breaker.Allow(kMicrosPerSecond));  // one probe at a time
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(kMicrosPerSecond), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.Allow(kMicrosPerSecond));
+}
+
+TEST(CircuitBreakerTest, HalfOpenProbeFailureReopens) {
+  CircuitBreakerOptions opts;
+  opts.failure_threshold = 1;
+  opts.open_duration = kMicrosPerSecond;
+  CircuitBreaker breaker(opts);
+  breaker.RecordFailure(0);
+  ASSERT_TRUE(breaker.Allow(kMicrosPerSecond));  // probe
+  breaker.RecordFailure(kMicrosPerSecond);
+  EXPECT_EQ(breaker.state(kMicrosPerSecond), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.trips(), 2u);
+  // The cooldown restarts from the probe failure.
+  EXPECT_FALSE(breaker.Allow(2 * kMicrosPerSecond - 1));
+  EXPECT_TRUE(breaker.Allow(2 * kMicrosPerSecond));
+}
+
+}  // namespace
+}  // namespace deluge

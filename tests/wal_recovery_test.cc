@@ -1,0 +1,171 @@
+// Crash-recovery tests for the write-ahead log and SSTable build path:
+// post-hoc wreckage (truncation, bit flips, corrupt length prefixes) and
+// injected I/O faults (torn writes, failed syncs).  The contract under
+// test: Replay stops cleanly at the first damaged record, and a
+// re-opened log keeps accepting appends.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "storage/fault_injection.h"
+#include "storage/sstable.h"
+#include "storage/wal.h"
+
+namespace deluge::storage {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempDir(const std::string& name) {
+  std::string dir = (fs::temp_directory_path() / ("deluge_" + name)).string();
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+// Each record frame is [fixed32 len][fixed64 checksum][payload].
+constexpr uint64_t kFrameHeader = 12;
+
+std::vector<std::string> ReplayAll(const std::string& path,
+                                   size_t* replayed = nullptr) {
+  std::vector<std::string> records;
+  auto n = WriteAheadLog::Replay(
+      path, [&](std::string_view r) { records.emplace_back(r); });
+  EXPECT_TRUE(n.ok());
+  if (replayed != nullptr) *replayed = n.value();
+  return records;
+}
+
+class WalRecoveryTest : public ::testing::Test {
+ protected:
+  /// Opens a fresh log with the given records appended.
+  void WriteLog(const std::vector<std::string>& records) {
+    fs::remove(path_);  // Open appends; start each scenario clean
+    ASSERT_TRUE(wal_.Open(path_).ok());
+    for (const auto& r : records) ASSERT_TRUE(wal_.Append(r).ok());
+    wal_.Close();
+  }
+
+  std::string path_ = TempDir("wal_recovery") + "/wal.log";
+  WriteAheadLog wal_;
+};
+
+TEST_F(WalRecoveryTest, TruncateMidRecordStopsReplayAtDamagedTail) {
+  WriteLog({"alpha", "bravo", "charlie"});
+  auto size = FileSize(path_);
+  ASSERT_TRUE(size.ok());
+  // Cut 3 bytes out of "charlie"'s payload: a crash mid-write.
+  ASSERT_TRUE(TruncateFile(path_, size.value() - 3).ok());
+
+  auto records = ReplayAll(path_);
+  EXPECT_EQ(records, (std::vector<std::string>{"alpha", "bravo"}));
+
+  // A re-opened log keeps appending without error...
+  ASSERT_TRUE(wal_.Open(path_).ok());
+  EXPECT_TRUE(wal_.Append("delta").ok());
+  wal_.Close();
+  // ...but records behind the damaged tail stay unreachable (replay
+  // stops at the wreckage; it never resynchronizes mid-garbage).
+  EXPECT_EQ(ReplayAll(path_),
+            (std::vector<std::string>{"alpha", "bravo"}));
+
+  // The real recovery protocol — replay, then Reset before reuse —
+  // yields a clean log again.
+  ASSERT_TRUE(wal_.Open(path_).ok());
+  ASSERT_TRUE(wal_.Reset().ok());
+  ASSERT_TRUE(wal_.Append("echo").ok());
+  wal_.Close();
+  EXPECT_EQ(ReplayAll(path_), (std::vector<std::string>{"echo"}));
+}
+
+TEST_F(WalRecoveryTest, TruncateMidHeaderStopsReplayToo) {
+  WriteLog({"alpha", "bravo"});
+  // Leave only 5 bytes of the second record's 12-byte header.
+  uint64_t second_at = kFrameHeader + 5;  // after "alpha"'s frame
+  ASSERT_TRUE(TruncateFile(path_, second_at + 5).ok());
+  EXPECT_EQ(ReplayAll(path_), (std::vector<std::string>{"alpha"}));
+}
+
+TEST_F(WalRecoveryTest, FlippedPayloadByteFailsChecksum) {
+  WriteLog({"alpha", "bravo", "charlie"});
+  // Flip one byte inside "bravo"'s payload (record 2).
+  uint64_t bravo_payload = (kFrameHeader + 5) + kFrameHeader;
+  ASSERT_TRUE(FlipByte(path_, bravo_payload + 2).ok());
+  size_t replayed = 0;
+  auto records = ReplayAll(path_, &replayed);
+  EXPECT_EQ(replayed, 1u);
+  EXPECT_EQ(records, (std::vector<std::string>{"alpha"}));
+}
+
+TEST_F(WalRecoveryTest, CorruptLengthPrefixStopsReplay) {
+  // High-byte flip: the length becomes implausibly large (> 64 MB) and
+  // replay rejects the record without attempting the read.
+  WriteLog({"alpha", "bravo"});
+  ASSERT_TRUE(FlipByte(path_, /*offset=*/3).ok());
+  EXPECT_TRUE(ReplayAll(path_).empty());
+
+  // Low-byte nudge: a small-but-wrong length misframes the stream, so
+  // the checksum (over the wrong byte range) fails instead.
+  WriteLog({"alpha", "bravo"});
+  ASSERT_TRUE(FlipByte(path_, /*offset=*/0, /*mask=*/0x02).ok());
+  EXPECT_TRUE(ReplayAll(path_).empty());
+}
+
+TEST_F(WalRecoveryTest, InjectedTornWriteFailsAppendAndStopsReplay) {
+  ScriptedIoFaults faults;
+  ASSERT_TRUE(wal_.Open(path_).ok());
+  wal_.set_fault_injector(&faults);
+  ASSERT_TRUE(wal_.Append("one").ok());
+  faults.TearWriteAfter(0, /*keep_bytes=*/7);  // half a header survives
+  Status torn = wal_.Append("two");
+  EXPECT_FALSE(torn.ok());
+  EXPECT_EQ(faults.torn_writes(), 1u);
+  wal_.Close();
+
+  EXPECT_EQ(ReplayAll(path_), (std::vector<std::string>{"one"}));
+}
+
+TEST_F(WalRecoveryTest, InjectedSyncFailureLosesNoFlushedData) {
+  ScriptedIoFaults faults;
+  ASSERT_TRUE(wal_.Open(path_).ok());
+  wal_.set_fault_injector(&faults);
+  faults.FailSyncAfter(0);
+  Status s = wal_.Append("one", /*sync=*/true);
+  EXPECT_FALSE(s.ok());  // durability was NOT achieved and says so
+  EXPECT_EQ(faults.failed_syncs(), 1u);
+  wal_.Close();
+  // The frame itself was flushed before the sync failed, so it replays;
+  // the error tells the caller not to rely on it surviving power loss.
+  EXPECT_EQ(ReplayAll(path_), (std::vector<std::string>{"one"}));
+}
+
+TEST(SSTableFaultTest, TornBuildFailsAndPartialFileNeverOpens) {
+  std::string dir = TempDir("sst_torn");
+  std::vector<InternalEntry> entries;
+  for (int i = 0; i < 100; ++i) {
+    InternalEntry e;
+    e.user_key = "key" + std::to_string(1000 + i);
+    e.seq = uint64_t(i + 1);
+    e.value = std::string(64, 'v');
+    entries.push_back(std::move(e));
+  }
+  std::string path = dir + "/torn.sst";
+  ScriptedIoFaults faults;
+  faults.TearWriteAfter(0, /*keep_bytes=*/1024);  // crash mid-build
+  auto built = SSTable::Build(path, entries, 10, &faults);
+  EXPECT_FALSE(built.ok());
+  EXPECT_EQ(faults.torn_writes(), 1u);
+  // The partial file is detected, never read as a short table.
+  EXPECT_FALSE(SSTable::Open(path).ok());
+
+  // The same entries build and open cleanly without the fault.
+  auto ok = SSTable::Build(dir + "/clean.sst", entries);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value()->entry_count(), entries.size());
+}
+
+}  // namespace
+}  // namespace deluge::storage
