@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+
 #include "common/rng.h"
 #include "query/moving_query.h"
 
@@ -125,4 +127,4 @@ BENCHMARK(BM_MotionIndexUpdateSavings)->Arg(0)->Arg(1)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+DELUGE_BENCH_MAIN();

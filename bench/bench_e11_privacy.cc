@@ -8,6 +8,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+
 #include <cmath>
 
 #include "privacy/dp.h"
@@ -139,4 +141,4 @@ BENCHMARK(BM_IncentiveWeighting)->Arg(0)->Arg(1)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+DELUGE_BENCH_MAIN();

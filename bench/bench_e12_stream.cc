@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+
 #include <memory>
 #include <vector>
 
@@ -120,4 +122,4 @@ BENCHMARK(BM_SpaceAwareProtection)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+DELUGE_BENCH_MAIN();

@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+
 #include "common/rng.h"
 #include "index/hdov_tree.h"
 
@@ -133,4 +135,4 @@ BENCHMARK(BM_ChurnAndRebuild)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+DELUGE_BENCH_MAIN();

@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+
 #include "common/rng.h"
 #include "runtime/serverless.h"
 
@@ -91,4 +93,4 @@ BENCHMARK(BM_ServerlessVsProvisioned)->Arg(50)->Arg(500)->Arg(5000)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+DELUGE_BENCH_MAIN();

@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+
 #include <memory>
 
 #include "p2p/chord.h"
@@ -91,4 +93,4 @@ BENCHMARK(BM_ChurnKeyMigration)->Arg(64)->Arg(256)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+DELUGE_BENCH_MAIN();

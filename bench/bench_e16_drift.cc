@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+
 #include <cmath>
 
 #include "common/rng.h"
@@ -121,4 +123,4 @@ BENCHMARK(BM_DetectorOperatingPoint)->Arg(5)->Arg(15)->Arg(50)->Arg(150)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+DELUGE_BENCH_MAIN();

@@ -12,6 +12,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+
 #include <algorithm>
 #include <memory>
 #include <string>
@@ -303,4 +305,4 @@ BENCHMARK(BM_PubsubStalenessUnderFlaps)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+DELUGE_BENCH_MAIN();

@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+
 #include "core/engine.h"
 #include "core/sensors.h"
 
@@ -92,4 +94,4 @@ BENCHMARK(BM_CoSpaceCommandRelay)->Arg(50)->Arg(200)->Arg(1000)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+DELUGE_BENCH_MAIN();

@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+
 #include "common/rng.h"
 #include "consistency/coherency.h"
 #include "consistency/lod.h"
@@ -110,4 +112,4 @@ BENCHMARK(BM_LodUtilityVsBudget)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+DELUGE_BENCH_MAIN();

@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+
 #include "common/rng.h"
 #include "consistency/priority_scheduler.h"
 
@@ -73,4 +75,4 @@ BENCHMARK(BM_PriorityVsFifo)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+DELUGE_BENCH_MAIN();

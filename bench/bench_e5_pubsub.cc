@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+
 #include "common/rng.h"
 #include "net/simulator.h"
 #include "pubsub/broker.h"
@@ -119,4 +121,4 @@ BENCHMARK(BM_BrokerOverlay)->Arg(1)->Arg(4)->Arg(16)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+DELUGE_BENCH_MAIN();

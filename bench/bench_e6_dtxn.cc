@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+
 #include <memory>
 #include <set>
 
@@ -129,4 +131,4 @@ BENCHMARK(BM_LatencyVsFanout)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+DELUGE_BENCH_MAIN();

@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+
 #include "common/rng.h"
 #include "query/optimizer.h"
 #include "runtime/buffer_pool.h"
@@ -128,4 +130,4 @@ BENCHMARK(BM_FlashSaleElasticity)->Arg(0)->Arg(1)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+DELUGE_BENCH_MAIN();

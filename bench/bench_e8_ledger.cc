@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+
 #include <memory>
 
 #include "common/clock.h"
@@ -125,4 +127,4 @@ BENCHMARK(BM_ConsistencyProofAndAudit)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+DELUGE_BENCH_MAIN();

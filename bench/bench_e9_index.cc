@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+
 #include <memory>
 
 #include "common/rng.h"
@@ -121,4 +123,4 @@ BENCHMARK(BM_SkewedRange)->Arg(0)->Arg(1)->Arg(2)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+DELUGE_BENCH_MAIN();

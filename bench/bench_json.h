@@ -1,0 +1,123 @@
+#ifndef DELUGE_BENCH_BENCH_JSON_H_
+#define DELUGE_BENCH_BENCH_JSON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+// Machine-readable benchmark results: every `bench_e*` binary appends
+// one JSON line per (run, metric) to `bench_results.json` — the file
+// the perf-trajectory tooling diffs across PRs.  Use
+// `DELUGE_BENCH_MAIN()` in place of `BENCHMARK_MAIN()` to get both the
+// normal console output and the JSONL sidecar.
+
+namespace deluge::bench {
+
+/// Target file: $DELUGE_BENCH_JSON, or ./bench_results.json.
+inline std::string ResultsPath() {
+  const char* env = std::getenv("DELUGE_BENCH_JSON");
+  return (env != nullptr && *env != '\0') ? env : "bench_results.json";
+}
+
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out.push_back(' ');
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// Appends `{"bench": ..., "metric": ..., "value": ...}` lines — one
+/// per user counter plus the per-iteration real time — for every
+/// finished benchmark run.  Plugged into `RunSpecifiedBenchmarks` as
+/// the file reporter alongside the default console reporter.
+class JsonLinesReporter : public benchmark::BenchmarkReporter {
+ public:
+  explicit JsonLinesReporter(const std::string& path)
+      : out_(path, std::ios::app) {}
+
+  bool ReportContext(const Context&) override { return out_.good(); }
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      const std::string name = JsonEscape(run.benchmark_name());
+      double iters = run.iterations > 0 ? double(run.iterations) : 1.0;
+      Emit(name, "real_time_s_per_iter", run.real_accumulated_time / iters);
+      for (const auto& [metric, counter] : run.counters) {
+        Emit(name, JsonEscape(metric), double(counter));
+      }
+    }
+    out_.flush();
+  }
+
+ private:
+  void Emit(const std::string& bench, const std::string& metric,
+            double value) {
+    out_ << "{\"bench\":\"" << bench << "\",\"metric\":\"" << metric
+         << "\",\"value\":" << value << "}\n";
+  }
+
+  std::ofstream out_;
+};
+
+/// Forwards every callback to the default console reporter and the
+/// JSONL reporter.  Runs in the *display* reporter slot because the
+/// benchmark library insists `--benchmark_out` accompany any custom
+/// file reporter.
+class TeeReporter : public benchmark::BenchmarkReporter {
+ public:
+  TeeReporter(benchmark::BenchmarkReporter* console, JsonLinesReporter* json)
+      : console_(console), json_(json) {}
+
+  bool ReportContext(const Context& context) override {
+    bool ok = console_->ReportContext(context);
+    json_->ReportContext(context);
+    return ok;
+  }
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    console_->ReportRuns(runs);
+    json_->ReportRuns(runs);
+  }
+
+  void Finalize() override {
+    console_->Finalize();
+    json_->Finalize();
+  }
+
+ private:
+  benchmark::BenchmarkReporter* console_;
+  JsonLinesReporter* json_;
+};
+
+}  // namespace deluge::bench
+
+/// BENCHMARK_MAIN plus the JSONL file reporter.
+#define DELUGE_BENCH_MAIN()                                                  \
+  int main(int argc, char** argv) {                                          \
+    ::benchmark::Initialize(&argc, argv);                                    \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;      \
+    std::unique_ptr<::benchmark::BenchmarkReporter> console(                 \
+        ::benchmark::CreateDefaultDisplayReporter());                       \
+    ::deluge::bench::JsonLinesReporter json(::deluge::bench::ResultsPath()); \
+    ::deluge::bench::TeeReporter tee(console.get(), &json);                  \
+    ::benchmark::RunSpecifiedBenchmarks(&tee);                               \
+    ::benchmark::Shutdown();                                                 \
+    return 0;                                                                \
+  }                                                                          \
+  int main(int, char**)
+
+#endif  // DELUGE_BENCH_BENCH_JSON_H_

@@ -1,0 +1,68 @@
+#include "common/parallel_for.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace deluge {
+
+namespace {
+struct ForState {
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> done{0};
+  size_t n = 0;
+  size_t grain = 1;
+  const std::function<void(size_t)>* body = nullptr;
+  std::mutex mu;
+  std::condition_variable cv;
+};
+
+// Claims chunks until the cursor runs past the end.  `body` is only
+// dereferenced while at least one chunk is unfinished, so the caller's
+// stack frame (which owns it) is guaranteed alive.
+void ClaimLoop(const std::shared_ptr<ForState>& s) {
+  for (;;) {
+    size_t start = s->next.fetch_add(s->grain, std::memory_order_relaxed);
+    if (start >= s->n) return;
+    size_t end = std::min(s->n, start + s->grain);
+    for (size_t i = start; i < end; ++i) (*s->body)(i);
+    if (s->done.fetch_add(end - start) + (end - start) == s->n) {
+      std::lock_guard<std::mutex> lock(s->mu);
+      s->cv.notify_all();
+    }
+  }
+}
+}  // namespace
+
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& body, size_t grain) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  if (pool == nullptr || pool->num_threads() < 2 || n <= grain) {
+    for (size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  auto state = std::make_shared<ForState>();
+  state->n = n;
+  state->grain = grain;
+  state->body = &body;
+
+  const size_t chunks = (n + grain - 1) / grain;
+  // The caller runs one claim loop itself; workers cover the rest.
+  const size_t helpers = std::min(pool->num_threads(), chunks - 1);
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(helpers);
+  for (size_t i = 0; i < helpers; ++i) {
+    tasks.emplace_back([state] { ClaimLoop(state); });
+  }
+  pool->SubmitBatch(std::move(tasks));
+  ClaimLoop(state);
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] { return state->done.load() == state->n; });
+}
+
+}  // namespace deluge

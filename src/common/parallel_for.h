@@ -1,0 +1,29 @@
+#ifndef DELUGE_COMMON_PARALLEL_FOR_H_
+#define DELUGE_COMMON_PARALLEL_FOR_H_
+
+#include <cstddef>
+#include <functional>
+
+#include "common/thread_pool.h"
+
+namespace deluge {
+
+/// Runs `body(i)` for every `i` in `[0, n)` across `pool`'s workers and
+/// the calling thread, returning only when every iteration has
+/// finished.
+///
+/// Iterations are claimed in chunks of `grain` from a shared atomic
+/// cursor, so uneven per-iteration cost self-levels.  The caller always
+/// participates in the claim loop, which guarantees forward progress —
+/// the call is safe from inside a pool task (nested parallelism) and
+/// when the pool is saturated with unrelated work.  A null `pool` (or a
+/// trip count at or below `grain`) degrades to a plain serial loop.
+///
+/// `body` must be safe to invoke concurrently from multiple threads for
+/// distinct `i`; each index is executed exactly once.
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& body, size_t grain = 1);
+
+}  // namespace deluge
+
+#endif  // DELUGE_COMMON_PARALLEL_FOR_H_

@@ -2,6 +2,14 @@
 
 namespace deluge {
 
+namespace {
+// Which pool (if any) the current thread is a worker of, and how many
+// of that pool's task frames are on its stack.  Lets Wait() detect the
+// task-spawned-from-task case and help instead of self-deadlocking.
+thread_local const ThreadPool* tls_worker_pool = nullptr;
+thread_local size_t tls_task_depth = 0;
+}  // namespace
+
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) num_threads = 1;
   workers_.reserve(num_threads);
@@ -27,7 +35,51 @@ void ThreadPool::Submit(std::function<void()> task) {
   work_cv_.notify_one();
 }
 
+void ThreadPool::SubmitBatch(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& task : tasks) queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_all();
+}
+
+void ThreadPool::RunTask(std::function<void()> task) {
+  ++tls_task_depth;
+  task();
+  --tls_task_depth;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --in_flight_;
+    // Waiters re-check their predicates whenever the pool may have gone
+    // idle; helping waiters also need wake-ups while other workers wind
+    // down, hence notify on every empty-queue completion.
+    if (queue_.empty()) idle_cv_.notify_all();
+  }
+}
+
 void ThreadPool::Wait() {
+  if (tls_worker_pool == this) {
+    // Called from inside one of our own tasks: drain the queue inline
+    // so subtasks cannot starve behind their blocked parent.
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        if (!queue_.empty()) {
+          task = std::move(queue_.front());
+          queue_.pop_front();
+          ++in_flight_;
+        } else if (in_flight_ == tls_task_depth) {
+          return;  // only this thread's own call stack remains
+        } else {
+          idle_cv_.wait(lock);
+          continue;
+        }
+      }
+      RunTask(std::move(task));
+    }
+  }
   std::unique_lock<std::mutex> lock(mu_);
   idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
 }
@@ -38,6 +90,7 @@ size_t ThreadPool::pending() const {
 }
 
 void ThreadPool::WorkerLoop() {
+  tls_worker_pool = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -48,12 +101,7 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
       ++in_flight_;
     }
-    task();
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      --in_flight_;
-      if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
-    }
+    RunTask(std::move(task));
   }
 }
 

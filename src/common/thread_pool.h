@@ -13,9 +13,10 @@ namespace deluge {
 
 /// A fixed-size worker pool with a FIFO task queue.
 ///
-/// Used by the elastic executor tier (`deluge::runtime`) and by parallel
-/// benchmark drivers.  Tasks are `std::function<void()>`; exceptions must
-/// not escape tasks (Deluge code reports errors via `Status`).
+/// Used by the elastic executor tier (`deluge::runtime`), the sharded
+/// co-space pipeline (`deluge::core::ParallelEngine`), and parallel
+/// benchmark drivers.  Tasks are `std::function<void()>`; exceptions
+/// must not escape tasks (Deluge code reports errors via `Status`).
 class ThreadPool {
  public:
   /// Starts `num_threads` workers (at least 1).
@@ -30,7 +31,21 @@ class ThreadPool {
   /// Enqueues a task; never blocks.
   void Submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished executing.
+  /// Enqueues all tasks under one lock acquisition and wakes every
+  /// worker — the cheap way to launch a fan-out.
+  void SubmitBatch(std::vector<std::function<void()>> tasks);
+
+  /// Blocks until every submitted task has finished executing —
+  /// including tasks submitted while waiting (task-spawned-from-task).
+  ///
+  /// Safe to call concurrently with `Submit` from any thread.  When
+  /// called from inside a task running on this pool, the calling worker
+  /// *helps*: it drains queued tasks inline instead of blocking, and
+  /// returns once no work remains beyond its own call stack — so a task
+  /// that submits subtasks and waits for them cannot deadlock the pool.
+  /// The one unsupported pattern is two tasks each waiting on the
+  /// other's completion with no queued work left; that is a semantic
+  /// deadlock no scheduler can resolve.
   void Wait();
 
   size_t num_threads() const { return workers_.size(); }
@@ -40,6 +55,8 @@ class ThreadPool {
 
  private:
   void WorkerLoop();
+  /// Pops + runs one queued task; used by workers and helping waiters.
+  void RunTask(std::function<void()> task);
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;

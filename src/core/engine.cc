@@ -2,6 +2,18 @@
 
 namespace deluge::core {
 
+pubsub::Event MakeMirrorPositionEvent(EntityId id, const geo::Vec3& pos,
+                                      Micros t) {
+  pubsub::Event event;
+  event.topic = "mirror.position";
+  event.position = pos;
+  event.payload.event_time = t;
+  event.payload.space = stream::Space::kPhysical;
+  event.payload.key = std::to_string(id);
+  event.payload.Set("entity", int64_t(id));
+  return event;
+}
+
 CoSpaceEngine::CoSpaceEngine(EngineOptions options, Clock* clock)
     : options_(options),
       clock_(clock != nullptr ? clock : SystemClock::Default()),
@@ -53,15 +65,8 @@ bool CoSpaceEngine::IngestPhysicalPosition(EntityId id, const geo::Vec3& pos,
   virtual_.Move(id, pos, t);
 
   // Tell interested cyber users.
-  pubsub::Event event;
-  event.topic = "mirror.position";
-  event.position = pos;
-  event.payload.event_time = t;
-  event.payload.space = stream::Space::kPhysical;
-  event.payload.key = std::to_string(id);
-  event.payload.Set("entity", int64_t(id));
   ++stats_.events_published;
-  broker_->Publish(event);
+  broker_->Publish(MakeMirrorPositionEvent(id, pos, t));
   return true;
 }
 

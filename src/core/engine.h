@@ -12,6 +12,12 @@
 
 namespace deluge::core {
 
+/// Builds the "mirror.position" event a mirror refresh publishes.
+/// Shared by `CoSpaceEngine` and `ParallelEngine` so the sharded
+/// pipeline emits a byte-identical event stream.
+pubsub::Event MakeMirrorPositionEvent(EntityId id, const geo::Vec3& pos,
+                                      Micros t);
+
 /// Engine configuration.
 struct EngineOptions {
   geo::AABB world_bounds{{0, 0, 0}, {1000, 1000, 100}};

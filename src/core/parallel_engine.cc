@@ -1,0 +1,335 @@
+#include "core/parallel_engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/parallel_for.h"
+#include "geo/morton.h"
+
+namespace deluge::core {
+
+// ---------------------------------------------------------- SpatialSharder
+
+SpatialSharder::SpatialSharder(const geo::AABB& world, double cell,
+                               size_t num_shards)
+    : world_(world),
+      cell_(cell > 0 ? cell : 1.0),
+      num_shards_(num_shards == 0 ? 1 : num_shards) {}
+
+int64_t SpatialSharder::TileX(double x) const {
+  return std::clamp<int64_t>(
+      int64_t(std::floor((x - world_.min.x) / cell_)), 0,
+      geo::MortonCodec::kCellsPerAxis - 1);
+}
+
+int64_t SpatialSharder::TileY(double y) const {
+  return std::clamp<int64_t>(
+      int64_t(std::floor((y - world_.min.y) / cell_)), 0,
+      geo::MortonCodec::kCellsPerAxis - 1);
+}
+
+size_t SpatialSharder::ShardOf(const geo::Vec3& p) const {
+  uint64_t code = geo::MortonCodec::Interleave2D(uint32_t(TileX(p.x)),
+                                                 uint32_t(TileY(p.y)));
+  return size_t(code % num_shards_);
+}
+
+std::vector<size_t> SpatialSharder::ShardsCovering(
+    const geo::AABB& box) const {
+  std::vector<size_t> all(num_shards_);
+  for (size_t s = 0; s < num_shards_; ++s) all[s] = s;
+  if (num_shards_ == 1) return all;
+
+  int64_t lox = TileX(box.min.x), hix = TileX(box.max.x);
+  int64_t loy = TileY(box.min.y), hiy = TileY(box.max.y);
+  uint64_t tiles = uint64_t(hix - lox + 1) * uint64_t(hiy - loy + 1);
+  if (tiles > 64 * uint64_t(num_shards_)) return all;  // not worth walking
+
+  std::vector<bool> hit(num_shards_, false);
+  std::vector<size_t> shards;
+  for (int64_t x = lox; x <= hix; ++x) {
+    for (int64_t y = loy; y <= hiy; ++y) {
+      size_t s = size_t(
+          geo::MortonCodec::Interleave2D(uint32_t(x), uint32_t(y)) %
+          num_shards_);
+      if (!hit[s]) {
+        hit[s] = true;
+        shards.push_back(s);
+        if (shards.size() == num_shards_) return all;
+      }
+    }
+  }
+  std::sort(shards.begin(), shards.end());
+  return shards;
+}
+
+// ---------------------------------------------------------- ParallelEngine
+
+ParallelEngine::Shard::Shard(const EngineOptions& opts, size_t num_shards,
+                             pubsub::Broker::Deliver deliver)
+    : physical(stream::Space::kPhysical, opts.world_bounds),
+      virtual_space(stream::Space::kVirtual, opts.world_bounds),
+      coherency(opts.default_contract),
+      broker(std::make_unique<pubsub::Broker>(opts.world_bounds,
+                                              opts.broker_cell,
+                                              std::move(deliver))),
+      outbox(num_shards) {}
+
+ParallelEngine::ParallelEngine(ParallelEngineOptions options,
+                               ThreadPool* pool, Clock* clock)
+    : options_(options),
+      clock_(clock != nullptr ? clock : SystemClock::Default()),
+      pool_(pool),
+      sharder_(options.engine.world_bounds,
+               options.shard_cell > 0
+                   ? options.shard_cell
+                   : (options.engine.world_bounds.max.x -
+                      options.engine.world_bounds.min.x) /
+                         (8.0 * double(std::max<size_t>(1,
+                                                        options.num_shards))),
+               options.num_shards) {
+  const size_t n = sharder_.num_shards();
+  shards_.reserve(n);
+  for (size_t s = 0; s < n; ++s) {
+    shards_.push_back(std::make_unique<Shard>(
+        options_.engine, n,
+        [this](net::NodeId subscriber, const pubsub::Event& event) {
+          // Dispatch to the watcher registered for this subscriber id.
+          for (auto& [node, deliver] : watchers_) {
+            if (node == subscriber && deliver) deliver(subscriber, event);
+          }
+        }));
+  }
+}
+
+size_t ParallelEngine::HomeOf(EntityId id,
+                              const geo::Vec3& fallback_pos) const {
+  auto it = home_.find(id);
+  if (it != home_.end()) return it->second;
+  // Unspawned entities are routed by position; spawn first for stable
+  // ownership (and stats parity with the single-threaded engine).
+  return sharder_.ShardOf(fallback_pos);
+}
+
+void ParallelEngine::SpawnPhysical(const Entity& entity) {
+  size_t s = sharder_.ShardOf(entity.position);
+  home_[entity.id] = s;
+  Shard& shard = *shards_[s];
+  Entity phys = entity;
+  phys.origin = stream::Space::kPhysical;
+  shard.physical.Upsert(phys);
+  // Mirror immediately so the virtual model starts complete.
+  shard.virtual_space.Upsert(phys);
+  shard.coherency.Offer(entity.id, entity.position, entity.updated_at);
+}
+
+void ParallelEngine::SpawnVirtual(const Entity& entity) {
+  size_t s = sharder_.ShardOf(entity.position);
+  home_[entity.id] = s;
+  Entity virt = entity;
+  virt.origin = stream::Space::kVirtual;
+  shards_[s]->virtual_space.Upsert(virt);
+}
+
+void ParallelEngine::SetContract(EntityId id,
+                                 const consistency::CoherencyContract& c) {
+  // Installed everywhere: only the home shard consults it, and this
+  // keeps SetContract valid before the entity spawns.
+  for (auto& shard : shards_) shard->coherency.SetContract(id, c);
+}
+
+uint64_t ParallelEngine::WatchRegion(net::NodeId subscriber,
+                                     const geo::AABB& region,
+                                     pubsub::Broker::Deliver deliver) {
+  watchers_.emplace_back(subscriber, std::move(deliver));
+  uint64_t id = next_watch_id_++;
+  auto& legs = watches_[id];
+  for (size_t s : sharder_.ShardsCovering(region)) {
+    pubsub::Subscription sub;
+    sub.subscriber = subscriber;
+    sub.region = region;
+    legs.emplace_back(s, shards_[s]->broker->Subscribe(std::move(sub)));
+  }
+  return id;
+}
+
+bool ParallelEngine::Unwatch(uint64_t watch_id) {
+  auto it = watches_.find(watch_id);
+  if (it == watches_.end()) return false;
+  for (auto& [shard, sub_id] : it->second) {
+    shards_[shard]->broker->Unsubscribe(sub_id);
+  }
+  watches_.erase(it);
+  return true;
+}
+
+void ParallelEngine::OnPhysicalCommand(CoSpaceEngine::CommandHandler handler) {
+  command_handlers_.push_back(std::move(handler));
+}
+
+bool ParallelEngine::IngestOnShard(Shard& shard, const SensedUpdate& u) {
+  ++shard.stats.physical_updates;
+  // The physical space always tracks ground truth.
+  shard.physical.Move(u.id, u.position, u.t);
+
+  if (!shard.coherency.Offer(u.id, u.position, u.t)) {
+    ++shard.stats.suppressed_updates;
+    return false;
+  }
+  ++shard.stats.mirrored_updates;
+  shard.virtual_space.Move(u.id, u.position, u.t);
+
+  // Stage the mirror event for phase 2 on the shard owning the event's
+  // *position* — regional watches live on the shards their region
+  // overlaps, so position-routing makes cross-shard delivery exact.
+  ++shard.stats.events_published;
+  shard.outbox[sharder_.ShardOf(u.position)].push_back(
+      MakeMirrorPositionEvent(u.id, u.position, u.t));
+  return true;
+}
+
+size_t ParallelEngine::RunPipeline(
+    std::vector<std::vector<SensedUpdate>> batches) {
+  std::lock_guard<std::mutex> lock(pipeline_mu_);
+  const size_t n = shards_.size();
+  std::vector<size_t> mirrored(n, 0);
+  // Phase 1 — ingest: every shard applies its own entities' updates.
+  ParallelFor(pool_, n, [&](size_t s) {
+    Shard& shard = *shards_[s];
+    size_t m = 0;
+    for (const SensedUpdate& u : batches[s]) {
+      if (IngestOnShard(shard, u)) ++m;
+    }
+    mirrored[s] = m;
+  });
+  // Phase 2 — fan-out: every shard publishes the events routed to it,
+  // draining outboxes in shard order so publish order is deterministic.
+  ParallelFor(pool_, n, [&](size_t d) {
+    pubsub::Broker& broker = *shards_[d]->broker;
+    for (size_t s = 0; s < n; ++s) {
+      std::vector<pubsub::Event>& out = shards_[s]->outbox[d];
+      for (const pubsub::Event& event : out) broker.Publish(event);
+      out.clear();
+    }
+  });
+  size_t total = 0;
+  for (size_t m : mirrored) total += m;
+  return total;
+}
+
+size_t ParallelEngine::IngestBatch(std::span<const SensedUpdate> updates) {
+  std::vector<std::vector<SensedUpdate>> batches(shards_.size());
+  for (const SensedUpdate& u : updates) {
+    batches[HomeOf(u.id, u.position)].push_back(u);
+  }
+  return RunPipeline(std::move(batches));
+}
+
+void ParallelEngine::Enqueue(const SensedUpdate& update) {
+  Shard& shard = *shards_[HomeOf(update.id, update.position)];
+  std::lock_guard<std::mutex> lock(shard.staged_mu);
+  shard.staged.push_back(update);
+}
+
+size_t ParallelEngine::Flush() {
+  std::vector<std::vector<SensedUpdate>> batches(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s]->staged_mu);
+    batches[s].swap(shards_[s]->staged);
+  }
+  return RunPipeline(std::move(batches));
+}
+
+size_t ParallelEngine::IssueVirtualCommand(const geo::AABB& region,
+                                           const stream::Tuple& command) {
+  std::lock_guard<std::mutex> lock(pipeline_mu_);
+  ++shards_[0]->stats.virtual_commands;
+  // Affected entities are resolved against the VIRTUAL model, across
+  // every shard in parallel (an entity may have roamed anywhere).
+  const size_t n = shards_.size();
+  std::vector<std::vector<const Entity*>> affected(n);
+  ParallelFor(pool_, n, [&](size_t s) {
+    affected[s] = shards_[s]->virtual_space.Range(region);
+  });
+  // Relay serially in shard order: handlers need not be thread-safe
+  // and the relay order stays deterministic.
+  size_t total = 0, relayed = 0;
+  for (size_t s = 0; s < n; ++s) {
+    total += affected[s].size();
+    for (const Entity* e : affected[s]) {
+      if (e->origin != stream::Space::kPhysical) continue;  // pure-virtual
+      for (const auto& handler : command_handlers_) {
+        handler(e->id, command);
+        ++relayed;
+      }
+    }
+  }
+  shards_[0]->stats.relayed_commands += relayed;
+  return total;
+}
+
+EngineStats ParallelEngine::TotalStats() const {
+  std::lock_guard<std::mutex> lock(pipeline_mu_);
+  EngineStats total;
+  for (const auto& shard : shards_) {
+    total.physical_updates += shard->stats.physical_updates;
+    total.mirrored_updates += shard->stats.mirrored_updates;
+    total.suppressed_updates += shard->stats.suppressed_updates;
+    total.virtual_commands += shard->stats.virtual_commands;
+    total.relayed_commands += shard->stats.relayed_commands;
+    total.events_published += shard->stats.events_published;
+  }
+  return total;
+}
+
+consistency::CoherencyStats ParallelEngine::TotalCoherencyStats() const {
+  std::lock_guard<std::mutex> lock(pipeline_mu_);
+  consistency::CoherencyStats total;
+  for (const auto& shard : shards_) {
+    const consistency::CoherencyStats& s = shard->coherency.stats();
+    total.updates_offered += s.updates_offered;
+    total.updates_sent += s.updates_sent;
+    total.updates_suppressed += s.updates_suppressed;
+    total.bytes_sent += s.bytes_sent;
+    total.deviation_sum += s.deviation_sum;
+    total.deviation_max = std::max(total.deviation_max, s.deviation_max);
+  }
+  return total;
+}
+
+pubsub::BrokerStats ParallelEngine::TotalBrokerStats() const {
+  std::lock_guard<std::mutex> lock(pipeline_mu_);
+  pubsub::BrokerStats total;
+  for (const auto& shard : shards_) {
+    const pubsub::BrokerStats& s = shard->broker->stats();
+    total.events_published += s.events_published;
+    total.deliveries += s.deliveries;
+    total.candidates_checked += s.candidates_checked;
+    total.deliveries_queued += s.deliveries_queued;
+    total.deliveries_shed += s.deliveries_shed;
+    total.queue_high_water = std::max(total.queue_high_water,
+                                      s.queue_high_water);
+  }
+  return total;
+}
+
+const EngineStats& ParallelEngine::shard_stats(size_t shard) const {
+  return shards_[shard]->stats;
+}
+
+pubsub::Broker& ParallelEngine::shard_broker(size_t shard) {
+  return *shards_[shard]->broker;
+}
+
+const Entity* ParallelEngine::FindPhysical(EntityId id) const {
+  auto it = home_.find(id);
+  return it == home_.end() ? nullptr : shards_[it->second]->physical.Get(id);
+}
+
+const Entity* ParallelEngine::FindVirtual(EntityId id) const {
+  auto it = home_.find(id);
+  return it == home_.end() ? nullptr
+                           : shards_[it->second]->virtual_space.Get(id);
+}
+
+}  // namespace deluge::core

@@ -1,0 +1,210 @@
+#ifndef DELUGE_CORE_PARALLEL_ENGINE_H_
+#define DELUGE_CORE_PARALLEL_ENGINE_H_
+
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/engine.h"
+
+namespace deluge::core {
+
+/// One sensed position update — the unit of the batched ingest API.
+struct SensedUpdate {
+  EntityId id = 0;
+  geo::Vec3 position;
+  Micros t = 0;
+};
+
+/// Maps positions to spatial shards.
+///
+/// The world's XY extent is cut into a grid of `cell`-sized tiles and
+/// tiles map to shards by Morton order of their coordinates (reusing
+/// `geo::MortonCodec::Interleave`), so neighbouring tiles mostly land
+/// on the same shard while the Z-order walk stripes far-apart regions
+/// across all shards for load balance.  Z is ignored: metaverse worlds
+/// are flat relative to their horizontal extent.
+class SpatialSharder {
+ public:
+  SpatialSharder(const geo::AABB& world, double cell, size_t num_shards);
+
+  /// The shard owning the tile containing `p` (clamped into the world).
+  size_t ShardOf(const geo::Vec3& p) const;
+
+  /// Distinct shards owning any tile touching `box`, ascending.  Falls
+  /// back to "all shards" when the box covers more tiles than is worth
+  /// enumerating.
+  std::vector<size_t> ShardsCovering(const geo::AABB& box) const;
+
+  size_t num_shards() const { return num_shards_; }
+  double cell() const { return cell_; }
+
+ private:
+  int64_t TileX(double x) const;
+  int64_t TileY(double y) const;
+
+  geo::AABB world_;
+  double cell_;
+  size_t num_shards_;
+};
+
+/// Configuration of the sharded pipeline.
+struct ParallelEngineOptions {
+  /// Per-shard engine configuration (world bounds, default coherency
+  /// contract, broker cell size).
+  EngineOptions engine;
+  /// Number of spatial shards (clamped to at least 1).
+  size_t num_shards = 4;
+  /// Side length of the shard-assignment tile.  0 derives a tile that
+  /// gives each shard ~8 tiles along the world's X extent.
+  double shard_cell = 0.0;
+};
+
+/// The co-space engine scaled across cores: Fig. 7's parallelized
+/// serving tier for the Fig. 1 synchronization loop.
+///
+/// `WorldSpace` state, the coherency filter, and the broker's regional
+/// subscription index are partitioned into `num_shards` spatial shards.
+/// Each entity is owned by the shard of its spawn position (stable, so
+/// per-entity update order — and therefore every coherency decision —
+/// is identical to a single-threaded run).  `IngestBatch` drives a
+/// two-phase pipeline over the shared `ThreadPool`:
+///
+///   1. ingest: each shard applies its entities' updates (hash-grid
+///      move, coherency check, mirror refresh) and stages emitted
+///      events into a per-destination outbox;
+///   2. fan-out: each shard publishes the events whose *position* maps
+///      to it on its own broker, so subscriber matching and delivery
+///      run shard-local and in parallel.
+///
+/// Regional watches are registered on every shard overlapping the
+/// region, which together with position-routed fan-out makes delivery
+/// exact even when entities roam off their home shard.  Summed
+/// `EngineStats` are byte-identical to `CoSpaceEngine` fed the same
+/// per-entity update sequences.
+///
+/// Thread-safety: spawn/watch/contract registration is a single-threaded
+/// setup phase.  After setup, `Enqueue` may be called from any number of
+/// threads concurrently (per-entity order is preserved per caller);
+/// `IngestBatch`/`Flush`/`IssueVirtualCommand` serialize against each
+/// other internally.  Watcher callbacks fire concurrently from shard
+/// tasks and must be thread-safe.
+class ParallelEngine {
+ public:
+  /// `pool` drives the shard tasks; null (or 1 shard) runs the same
+  /// pipeline serially on the calling thread.  The pool is borrowed and
+  /// must outlive the engine.
+  explicit ParallelEngine(ParallelEngineOptions options,
+                          ThreadPool* pool = nullptr,
+                          Clock* clock = nullptr);
+
+  // ------------------------------------------------ setup (not thread-safe)
+
+  /// Registers an entity in the physical space of its home shard and
+  /// (immediately) its virtual mirror.
+  void SpawnPhysical(const Entity& entity);
+
+  /// Registers a purely virtual entity on the shard of its position.
+  void SpawnVirtual(const Entity& entity);
+
+  /// Installs a per-entity coherency contract (on every shard, so the
+  /// call is valid before or after the entity spawns).
+  void SetContract(EntityId id, const consistency::CoherencyContract& c);
+
+  /// Subscribes `subscriber` to mirror updates inside `region`.  The
+  /// subscription is registered on every shard overlapping the region;
+  /// returns one watch id covering all of them.
+  uint64_t WatchRegion(net::NodeId subscriber, const geo::AABB& region,
+                       pubsub::Broker::Deliver deliver);
+
+  /// Removes a watch registered via `WatchRegion`; false when unknown.
+  bool Unwatch(uint64_t watch_id);
+
+  /// Registers the physical-side command channel (ground relays).
+  void OnPhysicalCommand(CoSpaceEngine::CommandHandler handler);
+
+  // ------------------------------------------------ ingest (thread-safe)
+
+  /// Ingests a batch of sensed updates through the two-phase pipeline.
+  /// Updates are routed to home shards in order, so one batch may carry
+  /// several updates per entity.  Returns the number of mirror
+  /// refreshes.
+  size_t IngestBatch(std::span<const SensedUpdate> updates);
+
+  /// Stages one update on its home shard's ingest queue (callable from
+  /// any thread; a per-shard mutex makes this an amortized few-ns
+  /// append).  Staged updates are processed by the next `Flush`.
+  void Enqueue(const SensedUpdate& update);
+
+  /// Runs the pipeline over everything staged by `Enqueue`.  Returns
+  /// the number of mirror refreshes.
+  size_t Flush();
+
+  /// An action taken in the virtual space targeted at physical entities
+  /// inside `region`; affected entities are resolved against every
+  /// shard's virtual space in parallel, then relayed to handlers in
+  /// deterministic shard order.  Returns affected entity count.
+  size_t IssueVirtualCommand(const geo::AABB& region,
+                             const stream::Tuple& command);
+
+  // ------------------------------------------------ introspection
+
+  /// Sums per-shard counters (deterministic for equal inputs).
+  EngineStats TotalStats() const;
+  consistency::CoherencyStats TotalCoherencyStats() const;
+  pubsub::BrokerStats TotalBrokerStats() const;
+
+  const EngineStats& shard_stats(size_t shard) const;
+  pubsub::Broker& shard_broker(size_t shard);
+
+  /// Looks up an entity in its home shard's spaces; nullptr if absent.
+  const Entity* FindPhysical(EntityId id) const;
+  const Entity* FindVirtual(EntityId id) const;
+
+  size_t num_shards() const { return shards_.size(); }
+  const SpatialSharder& sharder() const { return sharder_; }
+
+ private:
+  struct Shard {
+    Shard(const EngineOptions& opts, size_t num_shards,
+          pubsub::Broker::Deliver deliver);
+
+    WorldSpace physical;
+    WorldSpace virtual_space;
+    consistency::CoherencyFilter coherency;
+    std::unique_ptr<pubsub::Broker> broker;
+    EngineStats stats;
+    std::mutex staged_mu;
+    std::vector<SensedUpdate> staged;
+    /// Events emitted in phase 1, bucketed by destination shard.
+    std::vector<std::vector<pubsub::Event>> outbox;
+  };
+
+  size_t HomeOf(EntityId id, const geo::Vec3& fallback_pos) const;
+  bool IngestOnShard(Shard& shard, const SensedUpdate& u);
+  size_t RunPipeline(std::vector<std::vector<SensedUpdate>> batches);
+
+  ParallelEngineOptions options_;
+  Clock* clock_;
+  ThreadPool* pool_;
+  SpatialSharder sharder_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  /// Entity -> owning shard (fixed at spawn; read-only during ingest).
+  std::unordered_map<EntityId, size_t> home_;
+  std::vector<std::pair<net::NodeId, pubsub::Broker::Deliver>> watchers_;
+  uint64_t next_watch_id_ = 1;
+  /// Watch id -> (shard, broker subscription id) fan-in.
+  std::unordered_map<uint64_t, std::vector<std::pair<size_t, uint64_t>>>
+      watches_;
+  std::vector<CoSpaceEngine::CommandHandler> command_handlers_;
+  /// Serializes pipeline runs (and stats reads) against each other.
+  mutable std::mutex pipeline_mu_;
+};
+
+}  // namespace deluge::core
+
+#endif  // DELUGE_CORE_PARALLEL_ENGINE_H_

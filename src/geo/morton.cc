@@ -28,6 +28,17 @@ uint32_t CompactBits(uint64_t x) {
   return static_cast<uint32_t>(x);
 }
 
+// Spreads the low 32 bits of x with one zero bit between each.
+uint64_t SpreadBits2D(uint64_t x) {
+  x &= 0xFFFFFFFFULL;
+  x = (x | x << 16) & 0x0000FFFF0000FFFFULL;
+  x = (x | x << 8) & 0x00FF00FF00FF00FFULL;
+  x = (x | x << 4) & 0x0F0F0F0F0F0F0F0FULL;
+  x = (x | x << 2) & 0x3333333333333333ULL;
+  x = (x | x << 1) & 0x5555555555555555ULL;
+  return x;
+}
+
 }  // namespace
 
 MortonCodec::MortonCodec(const AABB& world) : world_(world) {
@@ -69,6 +80,10 @@ Vec3 MortonCodec::Decode(uint64_t code) const {
 
 uint64_t MortonCodec::Interleave(uint32_t x, uint32_t y, uint32_t z) {
   return SpreadBits(x) | (SpreadBits(y) << 1) | (SpreadBits(z) << 2);
+}
+
+uint64_t MortonCodec::Interleave2D(uint32_t x, uint32_t y) {
+  return SpreadBits2D(x) | (SpreadBits2D(y) << 1);
 }
 
 void MortonCodec::Deinterleave(uint64_t code, uint32_t* x, uint32_t* y,

@@ -28,6 +28,12 @@ class MortonCodec {
   /// Interleaves three 21-bit coordinates.
   static uint64_t Interleave(uint32_t x, uint32_t y, uint32_t z);
 
+  /// Interleaves two 32-bit coordinates (2-D Z-order).  Used where the
+  /// third axis is degenerate — e.g. the spatial sharder's flat tile
+  /// grid — where the 3-D interleave would pin every third bit to zero
+  /// and skew modulo-based shard assignment.
+  static uint64_t Interleave2D(uint32_t x, uint32_t y);
+
   /// Extracts the three 21-bit coordinates of a key.
   static void Deinterleave(uint64_t code, uint32_t* x, uint32_t* y,
                            uint32_t* z);

@@ -84,30 +84,21 @@ bool Broker::Unsubscribe(uint64_t sub_id) {
 
 void Broker::SetQueueLimit(size_t limit) {
   queue_limit_ = limit;
-  if (limit > 0 && queue_.size() > limit) queue_.resize(limit);
+  if (limit > 0 && queue_.size() > limit) queue_.TruncateNewest(limit);
 }
 
 void Broker::Enqueue(net::NodeId subscriber, const Event& event) {
   if (queue_.size() >= queue_limit_) {
     // Shed the lowest-priority entry (oldest among ties); if the new
-    // event itself is lowest, shed it instead.
-    size_t victim = size_t(-1);
-    for (size_t i = 0; i < queue_.size(); ++i) {
-      if (victim == size_t(-1) ||
-          queue_[i].event.priority < queue_[victim].event.priority ||
-          (queue_[i].event.priority == queue_[victim].event.priority &&
-           queue_[i].seq < queue_[victim].seq)) {
-        victim = i;
-      }
-    }
+    // event itself is lowest, shed it instead.  O(log n) via the
+    // worst-first heap (the seed scanned the whole queue per eviction).
     ++stats_.deliveries_shed;
-    if (victim == size_t(-1) ||
-        queue_[victim].event.priority >= event.priority) {
+    if (queue_.empty() || queue_.PeekWorst().event.priority >= event.priority) {
       return;  // the incoming event is the least important
     }
-    queue_.erase(queue_.begin() + long(victim));
+    queue_.PopWorst();
   }
-  queue_.push_back(QueuedDelivery{subscriber, event, next_queue_seq_++});
+  queue_.Push(subscriber, event, next_queue_seq_++);
   ++stats_.deliveries_queued;
   stats_.queue_high_water =
       std::max<uint64_t>(stats_.queue_high_water, queue_.size());
@@ -116,17 +107,9 @@ void Broker::Enqueue(net::NodeId subscriber, const Event& event) {
 size_t Broker::Drain(size_t max) {
   size_t delivered = 0;
   while (delivered < max && !queue_.empty()) {
-    // Highest priority first; FIFO within a priority.
-    size_t best = 0;
-    for (size_t i = 1; i < queue_.size(); ++i) {
-      if (queue_[i].event.priority > queue_[best].event.priority ||
-          (queue_[i].event.priority == queue_[best].event.priority &&
-           queue_[i].seq < queue_[best].seq)) {
-        best = i;
-      }
-    }
-    QueuedDelivery d = std::move(queue_[best]);
-    queue_.erase(queue_.begin() + long(best));
+    // Highest priority first, FIFO within a priority — O(log n) pops
+    // from the best-first heap.
+    DeliveryHeap::Item d = queue_.PopBest();
     if (deliver_) deliver_(d.subscriber, d.event);
     ++delivered;
   }

@@ -8,6 +8,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "pubsub/delivery_queue.h"
 #include "pubsub/subscription.h"
 
 namespace deluge::pubsub {
@@ -73,12 +74,6 @@ class Broker {
  private:
   using CellKey = uint64_t;
 
-  struct QueuedDelivery {
-    net::NodeId subscriber;
-    Event event;
-    uint64_t seq;  ///< FIFO order within a priority
-  };
-
   void Enqueue(net::NodeId subscriber, const Event& event);
 
   std::vector<CellKey> CellsCovering(const geo::AABB& box) const;
@@ -88,7 +83,7 @@ class Broker {
   double cell_size_;
   Deliver deliver_;
   size_t queue_limit_ = 0;  // 0 = inline delivery
-  std::vector<QueuedDelivery> queue_;
+  DeliveryHeap queue_;
   uint64_t next_queue_seq_ = 0;
   uint64_t next_id_ = 1;
   std::unordered_map<uint64_t, Subscription> subs_;

@@ -7,6 +7,7 @@
 #include "common/clock.h"
 #include "common/hash.h"
 #include "common/histogram.h"
+#include "common/parallel_for.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
@@ -308,6 +309,85 @@ TEST(ThreadPoolTest, ZeroThreadsClampedToOne) {
   pool.Submit([&x] { x = 7; });
   pool.Wait();
   EXPECT_EQ(x.load(), 7);
+}
+
+TEST(ThreadPoolTest, SubmitBatchRunsEveryTask) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 64; ++i) {
+    tasks.emplace_back([&counter] { counter.fetch_add(1); });
+  }
+  pool.SubmitBatch(std::move(tasks));
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 64);
+}
+
+// The task-spawned-from-task guarantee: a task that submits subtasks
+// and calls Wait() helps drain the queue instead of deadlocking — even
+// on a single-worker pool, where blocking would starve everything.
+TEST(ThreadPoolTest, WaitFromWorkerTaskCompletes) {
+  ThreadPool pool(1);
+  std::atomic<int> subtasks{0};
+  std::atomic<bool> waited_inside{false};
+  pool.Submit([&] {
+    for (int i = 0; i < 16; ++i) {
+      pool.Submit([&subtasks] { subtasks.fetch_add(1); });
+    }
+    pool.Wait();  // must run the 16 subtasks inline, not deadlock
+    waited_inside = subtasks.load() == 16;
+  });
+  pool.Wait();
+  EXPECT_TRUE(waited_inside.load());
+  EXPECT_EQ(subtasks.load(), 16);
+}
+
+TEST(ThreadPoolTest, WaitCoversTasksSpawnedWhileWaiting) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&total, &pool] {
+      total.fetch_add(1);
+      pool.Submit([&total] { total.fetch_add(1); });
+    });
+  }
+  pool.Wait();  // external waiter: must include the spawned generation
+  EXPECT_EQ(total.load(), 16);
+}
+
+// ------------------------------------------------------------ ParallelFor
+
+TEST(ParallelForTest, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelFor(&pool, hits.size(),
+              [&](size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, NullPoolRunsInline) {
+  std::vector<int> hits(100, 0);
+  ParallelFor(nullptr, hits.size(), [&](size_t i) { ++hits[i]; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ParallelForTest, GrainBatchesStillCoverAll) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(257);  // not a multiple of the grain
+  ParallelFor(&pool, hits.size(), [&](size_t i) { hits[i].fetch_add(1); },
+              /*grain=*/16);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, NestedInsidePoolTaskMakesProgress) {
+  ThreadPool pool(2);
+  std::atomic<int> inner_total{0};
+  ParallelFor(&pool, 4, [&](size_t) {
+    // Nested loop on the same saturated pool: the caller-participates
+    // claim loop guarantees progress.
+    ParallelFor(&pool, 32, [&](size_t) { inner_total.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_total.load(), 4 * 32);
 }
 
 }  // namespace

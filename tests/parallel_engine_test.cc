@@ -1,0 +1,339 @@
+#include "core/parallel_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/engine.h"
+#include "core/sensors.h"
+
+namespace deluge::core {
+namespace {
+
+const geo::AABB kWorld({0, 0, 0}, {1000, 1000, 100});
+
+EngineOptions BaseOptions() {
+  EngineOptions opts;
+  opts.world_bounds = kWorld;
+  opts.default_contract = {2.0, kMicrosPerSecond};
+  return opts;
+}
+
+ParallelEngineOptions ShardedOptions(size_t shards) {
+  ParallelEngineOptions opts;
+  opts.engine = BaseOptions();
+  opts.num_shards = shards;
+  return opts;
+}
+
+void ExpectStatsEqual(const EngineStats& a, const EngineStats& b) {
+  EXPECT_EQ(a.physical_updates, b.physical_updates);
+  EXPECT_EQ(a.mirrored_updates, b.mirrored_updates);
+  EXPECT_EQ(a.suppressed_updates, b.suppressed_updates);
+  EXPECT_EQ(a.virtual_commands, b.virtual_commands);
+  EXPECT_EQ(a.relayed_commands, b.relayed_commands);
+  EXPECT_EQ(a.events_published, b.events_published);
+}
+
+// ------------------------------------------------------------ sharder
+
+TEST(SpatialSharderTest, AssignsEveryPointToAValidShard) {
+  SpatialSharder sharder(kWorld, 50.0, 4);
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    geo::Vec3 p{rng.UniformDouble(0, 1000), rng.UniformDouble(0, 1000),
+                rng.UniformDouble(0, 100)};
+    EXPECT_LT(sharder.ShardOf(p), 4u);
+  }
+}
+
+TEST(SpatialSharderTest, CoveringShardsContainEveryInteriorPoint) {
+  SpatialSharder sharder(kWorld, 50.0, 4);
+  Rng rng(11);
+  for (int i = 0; i < 200; ++i) {
+    geo::Vec3 c{rng.UniformDouble(100, 900), rng.UniformDouble(100, 900), 50};
+    geo::AABB box = geo::AABB::Cube(c, rng.UniformDouble(10, 150));
+    std::vector<size_t> shards = sharder.ShardsCovering(box);
+    for (int j = 0; j < 20; ++j) {
+      geo::Vec3 p{rng.UniformDouble(box.min.x, box.max.x),
+                  rng.UniformDouble(box.min.y, box.max.y), 50};
+      size_t s = sharder.ShardOf(p);
+      EXPECT_TRUE(std::find(shards.begin(), shards.end(), s) != shards.end())
+          << "point shard " << s << " missing from covering set";
+    }
+  }
+}
+
+TEST(SpatialSharderTest, WorldSpanningBoxCoversAllShards) {
+  SpatialSharder sharder(kWorld, 50.0, 8);
+  EXPECT_EQ(sharder.ShardsCovering(kWorld).size(), 8u);
+}
+
+// ------------------------------------------------- single-thread parity
+
+TEST(ParallelEngineTest, MatchesSingleThreadedEngine) {
+  SimClock clock;
+  CoSpaceEngine serial(BaseOptions(), &clock);
+  ThreadPool pool(4);
+  ParallelEngine sharded(ShardedOptions(4), &pool, &clock);
+
+  SensorFleetOptions fleet_opts;
+  fleet_opts.num_entities = 500;
+  SensorFleet fleet(kWorld, fleet_opts);
+  for (EntityId id = 1; id <= 500; ++id) {
+    Entity e;
+    e.id = id;
+    e.position = fleet.TruePosition(id);
+    serial.SpawnPhysical(e);
+    sharded.SpawnPhysical(e);
+  }
+
+  // Identical regional watchers on both engines; the parallel side
+  // counts atomically because shard tasks deliver concurrently.
+  uint64_t serial_deliveries = 0;
+  std::atomic<uint64_t> sharded_deliveries{0};
+  geo::AABB region({200, 200, 0}, {800, 800, 100});
+  serial.WatchRegion(1, region, [&](net::NodeId, const pubsub::Event&) {
+    ++serial_deliveries;
+  });
+  sharded.WatchRegion(1, region, [&](net::NodeId, const pubsub::Event&) {
+    sharded_deliveries.fetch_add(1, std::memory_order_relaxed);
+  });
+
+  Micros now = 0;
+  for (int tick = 0; tick < 40; ++tick) {
+    now += 100 * kMicrosPerMilli;
+    std::vector<SensedUpdate> batch;
+    for (const auto& r : fleet.Tick(100 * kMicrosPerMilli, now)) {
+      batch.push_back({r.entity, r.position, r.t});
+    }
+    for (const SensedUpdate& u : batch) {
+      serial.IngestPhysicalPosition(u.id, u.position, u.t);
+    }
+    sharded.IngestBatch(batch);
+  }
+
+  ExpectStatsEqual(serial.stats(), sharded.TotalStats());
+  EXPECT_GT(sharded.TotalStats().physical_updates, 0u);
+  EXPECT_EQ(serial_deliveries, sharded_deliveries.load());
+
+  // Mirror state converged identically.
+  for (EntityId id = 1; id <= 500; ++id) {
+    const Entity* a = serial.virtual_space().Get(id);
+    const Entity* b = sharded.FindVirtual(id);
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(a->position.x, b->position.x);
+    EXPECT_EQ(a->position.y, b->position.y);
+    EXPECT_EQ(a->updated_at, b->updated_at);
+  }
+}
+
+TEST(ParallelEngineTest, PerShardStatsSumToTotals) {
+  ThreadPool pool(4);
+  ParallelEngine engine(ShardedOptions(4), &pool);
+  Rng rng(3);
+  for (EntityId id = 1; id <= 200; ++id) {
+    Entity e;
+    e.id = id;
+    e.position = {rng.UniformDouble(0, 1000), rng.UniformDouble(0, 1000), 50};
+    engine.SpawnPhysical(e);
+  }
+  std::vector<SensedUpdate> batch;
+  for (EntityId id = 1; id <= 200; ++id) {
+    batch.push_back({id,
+                     {rng.UniformDouble(0, 1000), rng.UniformDouble(0, 1000),
+                      50},
+                     kMicrosPerSecond});
+  }
+  engine.IngestBatch(batch);
+
+  EngineStats sum;
+  for (size_t s = 0; s < engine.num_shards(); ++s) {
+    sum.physical_updates += engine.shard_stats(s).physical_updates;
+    sum.mirrored_updates += engine.shard_stats(s).mirrored_updates;
+    sum.suppressed_updates += engine.shard_stats(s).suppressed_updates;
+    sum.virtual_commands += engine.shard_stats(s).virtual_commands;
+    sum.relayed_commands += engine.shard_stats(s).relayed_commands;
+    sum.events_published += engine.shard_stats(s).events_published;
+  }
+  ExpectStatsEqual(sum, engine.TotalStats());
+  EXPECT_EQ(sum.physical_updates, 200u);
+}
+
+// ------------------------------------------------- concurrent ingest
+
+// The satellite stress test: 8 producer threads hammer a 4-shard
+// engine through the thread-safe Enqueue/Flush path.  Each producer
+// owns a disjoint entity set, so per-entity update order is preserved
+// no matter how the threads interleave — and the summed stats must
+// equal a single-threaded engine fed the same updates.  Run under
+// ThreadSanitizer in CI (DELUGE_SANITIZE=thread).
+TEST(ParallelEngineTest, ConcurrentEnqueueMatchesSerialTotals) {
+  constexpr size_t kThreads = 8;
+  constexpr size_t kEntitiesPerThread = 40;
+  constexpr size_t kRounds = 50;
+  constexpr size_t kEntities = kThreads * kEntitiesPerThread;
+
+  // Pre-generate each entity's walk so both engines see the same input.
+  std::vector<std::vector<SensedUpdate>> walks(kEntities + 1);
+  std::vector<Entity> spawns;
+  Rng rng(99);
+  for (EntityId id = 1; id <= kEntities; ++id) {
+    geo::Vec3 pos{rng.UniformDouble(0, 1000), rng.UniformDouble(0, 1000), 50};
+    Entity e;
+    e.id = id;
+    e.position = pos;
+    spawns.push_back(e);
+    for (size_t r = 0; r < kRounds; ++r) {
+      pos.x = std::clamp(pos.x + rng.UniformDouble(-3, 3), 0.0, 1000.0);
+      pos.y = std::clamp(pos.y + rng.UniformDouble(-3, 3), 0.0, 1000.0);
+      walks[id].push_back({id, pos, Micros(r + 1) * 50 * kMicrosPerMilli});
+    }
+  }
+
+  ThreadPool pool(4);
+  ParallelEngine sharded(ShardedOptions(4), &pool);
+  SimClock clock;
+  CoSpaceEngine serial(BaseOptions(), &clock);
+  for (const Entity& e : spawns) {
+    sharded.SpawnPhysical(e);
+    serial.SpawnPhysical(e);
+  }
+
+  std::atomic<bool> stop_flusher{false};
+  std::thread flusher([&] {
+    // Concurrent flushes race the producers on the staging queues —
+    // exactly the surface TSan needs to see.
+    while (!stop_flusher.load()) sharded.Flush();
+  });
+  std::vector<std::thread> producers;
+  for (size_t t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&, t] {
+      for (size_t r = 0; r < kRounds; ++r) {
+        for (size_t i = 0; i < kEntitiesPerThread; ++i) {
+          EntityId id = EntityId(t * kEntitiesPerThread + i + 1);
+          sharded.Enqueue(walks[id][r]);
+        }
+      }
+    });
+  }
+  for (auto& p : producers) p.join();
+  stop_flusher.store(true);
+  flusher.join();
+  sharded.Flush();
+
+  // Serial reference: same updates, per-entity order preserved.
+  for (EntityId id = 1; id <= kEntities; ++id) {
+    for (const SensedUpdate& u : walks[id]) {
+      serial.IngestPhysicalPosition(u.id, u.position, u.t);
+    }
+  }
+
+  ExpectStatsEqual(serial.stats(), sharded.TotalStats());
+  EXPECT_EQ(sharded.TotalStats().physical_updates, kEntities * kRounds);
+
+  // Final mirror positions converge to the serial run's.
+  for (EntityId id = 1; id <= kEntities; ++id) {
+    const Entity* a = serial.virtual_space().Get(id);
+    const Entity* b = sharded.FindVirtual(id);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(a->position.x, b->position.x);
+    EXPECT_EQ(a->position.y, b->position.y);
+  }
+}
+
+// ------------------------------------------------- cross-shard fan-out
+
+TEST(ParallelEngineTest, CrossShardRoamingStillDeliversToRegionWatch) {
+  ThreadPool pool(4);
+  ParallelEngineOptions opts = ShardedOptions(4);
+  opts.engine.default_contract = {0.0, 0};  // every update mirrors
+  ParallelEngine engine(opts, &pool);
+
+  // Entity homed near the origin corner...
+  Entity e;
+  e.id = 1;
+  e.position = {10, 10, 50};
+  engine.SpawnPhysical(e);
+
+  // ...watched in the far corner, which (with a 4-shard Morton grid)
+  // need not include the home shard.
+  geo::AABB region({900, 900, 0}, {1000, 1000, 100});
+  std::atomic<int> delivered{0};
+  engine.WatchRegion(7, region, [&](net::NodeId, const pubsub::Event& ev) {
+    EXPECT_TRUE(ev.position.has_value());
+    delivered.fetch_add(1);
+  });
+
+  // Roam into the watched region: fan-out is routed by event position,
+  // so delivery must happen even though the entity's state lives on its
+  // spawn shard.
+  std::vector<SensedUpdate> batch{{1, {950, 950, 50}, kMicrosPerSecond}};
+  EXPECT_EQ(engine.IngestBatch(batch), 1u);
+  EXPECT_EQ(delivered.load(), 1);
+
+  // And updates outside the region do not deliver.
+  batch = {{1, {500, 500, 50}, 2 * kMicrosPerSecond}};
+  engine.IngestBatch(batch);
+  EXPECT_EQ(delivered.load(), 1);
+
+  EXPECT_TRUE(engine.Unwatch(1));
+  batch = {{1, {955, 955, 50}, 3 * kMicrosPerSecond}};
+  engine.IngestBatch(batch);
+  EXPECT_EQ(delivered.load(), 1);
+}
+
+TEST(ParallelEngineTest, IssueVirtualCommandSpansShards) {
+  ThreadPool pool(2);
+  ParallelEngine engine(ShardedOptions(4), &pool);
+  // One physical entity per world quadrant + one pure-virtual one.
+  std::vector<geo::Vec3> corners = {
+      {100, 100, 50}, {900, 100, 50}, {100, 900, 50}, {900, 900, 50}};
+  for (size_t i = 0; i < corners.size(); ++i) {
+    Entity e;
+    e.id = EntityId(i + 1);
+    e.position = corners[i];
+    engine.SpawnPhysical(e);
+  }
+  Entity v;
+  v.id = 99;
+  v.position = {500, 500, 50};
+  engine.SpawnVirtual(v);
+
+  std::vector<EntityId> relayed;
+  engine.OnPhysicalCommand(
+      [&](EntityId id, const stream::Tuple&) { relayed.push_back(id); });
+
+  stream::Tuple cmd;
+  cmd.Set("type", std::string("air-raid"));
+  size_t affected = engine.IssueVirtualCommand(kWorld, cmd);
+
+  EXPECT_EQ(affected, 5u);  // all four physical + the virtual one
+  EXPECT_EQ(relayed.size(), 4u);  // only physical-origin entities relay
+  std::sort(relayed.begin(), relayed.end());
+  EXPECT_EQ(relayed, (std::vector<EntityId>{1, 2, 3, 4}));
+  EXPECT_EQ(engine.TotalStats().virtual_commands, 1u);
+  EXPECT_EQ(engine.TotalStats().relayed_commands, 4u);
+}
+
+TEST(ParallelEngineTest, SingleShardNullPoolRunsSerially) {
+  ParallelEngine engine(ShardedOptions(1), nullptr);
+  Entity e;
+  e.id = 1;
+  e.position = {10, 10, 10};
+  engine.SpawnPhysical(e);
+  std::vector<SensedUpdate> batch{{1, {20, 20, 10}, kMicrosPerSecond}};
+  EXPECT_EQ(engine.IngestBatch(batch), 1u);
+  EXPECT_EQ(engine.TotalStats().physical_updates, 1u);
+  const Entity* mirrored = engine.FindVirtual(1);
+  ASSERT_NE(mirrored, nullptr);
+  EXPECT_EQ(mirrored->position.x, 20);
+}
+
+}  // namespace
+}  // namespace deluge::core
