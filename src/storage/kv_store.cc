@@ -13,6 +13,10 @@ namespace fs = std::filesystem;
 
 namespace {
 
+/// Upper bound on one commit group's payload: keeps follower latency
+/// bounded when a firehose of writers piles onto the queue.
+constexpr size_t kMaxGroupBytes = 1u << 20;
+
 // WAL record payload: [fixed64 seq][u8 type][varint klen][key][varint vlen][value]
 std::string EncodeWalRecord(SequenceNumber seq, ValueType type,
                             std::string_view key, std::string_view value) {
@@ -39,11 +43,44 @@ bool DecodeWalRecord(std::string_view rec, SequenceNumber* seq,
 }  // namespace
 
 KVStore::KVStore(const KVStoreOptions& options)
-    : options_(options), mem_(std::make_unique<MemTable>()) {}
+    : options_(options), mem_(std::make_unique<MemTable>()) {
+  if (options_.block_cache_bytes > 0) {
+    block_cache_ = std::make_unique<BlockCache>(options_.block_cache_bytes);
+  }
+  if (options_.background_pool != nullptr) {
+    pool_ = options_.background_pool;
+  } else {
+    // Private pool: one slot for the flush, one so a compaction can
+    // overlap it.
+    owned_pool_ = std::make_unique<ThreadPool>(2);
+    pool_ = owned_pool_.get();
+  }
+}
+
+KVStore::~KVStore() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutting_down_ = true;
+    while (flush_scheduled_ || compaction_running_) bg_cv_.wait(lock);
+  }
+  owned_pool_.reset();  // joins the private pool before members die
+}
 
 Result<std::unique_ptr<KVStore>> KVStore::Open(const KVStoreOptions& options) {
   if (options.dir.empty()) {
     return Status::InvalidArgument("KVStoreOptions.dir must be set");
+  }
+  if (options.memtable_max_bytes == 0) {
+    return Status::InvalidArgument(
+        "KVStoreOptions.memtable_max_bytes must be positive");
+  }
+  if (options.l0_compaction_trigger <= 0) {
+    return Status::InvalidArgument(
+        "KVStoreOptions.l0_compaction_trigger must be positive");
+  }
+  if (options.bloom_bits_per_key <= 0) {
+    return Status::InvalidArgument(
+        "KVStoreOptions.bloom_bits_per_key must be positive");
   }
   std::error_code ec;
   fs::create_directories(options.dir, ec);
@@ -62,6 +99,22 @@ std::string KVStore::TableFileName(uint64_t number) const {
   return options_.dir + "/" + buf;
 }
 
+void KVStore::RemoveOrphanTablesLocked() {
+  std::vector<std::string> live;
+  for (const auto& t : l0_) live.push_back(t->path());
+  for (const auto& t : l1_) live.push_back(t->path());
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(options_.dir, ec)) {
+    if (entry.path().extension() != ".sst") continue;
+    std::string path = entry.path().string();
+    if (std::find(live.begin(), live.end(), path) == live.end()) {
+      // Wreckage of a flush/compaction that crashed mid-build; the
+      // manifest never referenced it.
+      std::remove(path.c_str());
+    }
+  }
+}
+
 Status KVStore::Recover() {
   // 1. Manifest: "next_file next_seq" then one "level number" per line.
   const std::string manifest_path = options_.dir + "/MANIFEST";
@@ -71,7 +124,7 @@ Status KVStore::Recover() {
     int level;
     uint64_t number;
     while (manifest >> level >> number) {
-      auto table = SSTable::Open(TableFileName(number));
+      auto table = SSTable::Open(TableFileName(number), block_cache_.get());
       if (!table.ok()) return table.status();
       if (level == 0) {
         l0_.push_back(table.value());  // manifest lists newest first
@@ -81,11 +134,54 @@ Status KVStore::Recover() {
     }
   }
 
-  // 2. WAL replay into the fresh memtable.
-  const std::string wal_path = options_.dir + "/wal.log";
+  // 2. Unreferenced .sst files are wreckage of an interrupted
+  // flush/compaction build; their data is still covered by the WALs or
+  // the old table set, so they are safe to drop.
+  RemoveOrphanTablesLocked();
+
   SequenceNumber max_seq = next_seq_ > 0 ? next_seq_ - 1 : 0;
+
+  // 3. Complete an interrupted background flush: wal.imm.log covers a
+  // sealed memtable whose SSTable never reached the manifest.  Replay
+  // it and finish the flush now, so acknowledged writes survive a crash
+  // at any point of the flush pipeline.
+  if (fs::exists(ImmWalPath())) {
+    MemTable imm;
+    auto replayed = WriteAheadLog::Replay(
+        ImmWalPath(), [&imm, &max_seq](std::string_view rec) {
+          SequenceNumber seq;
+          ValueType type;
+          std::string_view key, value;
+          if (DecodeWalRecord(rec, &seq, &type, &key, &value)) {
+            imm.Add(seq, type, key, value);
+            max_seq = std::max(max_seq, seq);
+          }
+        });
+    if (!replayed.ok()) return replayed.status();
+    if (imm.entry_count() > 0) {
+      std::vector<InternalEntry> entries;
+      entries.reserve(imm.entry_count());
+      MemTable::Iterator it(&imm);
+      for (it.SeekToFirst(); it.Valid(); it.Next()) {
+        entries.push_back(it.entry());
+      }
+      uint64_t number = next_file_number_++;
+      auto table =
+          SSTable::Build(TableFileName(number), entries,
+                         options_.bloom_bits_per_key,
+                         /*faults=*/nullptr, block_cache_.get());
+      if (!table.ok()) return table.status();
+      l0_.push_front(table.value());  // newer than every manifest table
+      next_seq_ = std::max(next_seq_, max_seq + 1);
+      Status s = WriteManifestLocked();  // durable before dropping the log
+      if (!s.ok()) return s;
+    }
+    std::remove(ImmWalPath().c_str());
+  }
+
+  // 4. Active WAL replay into the fresh memtable.
   auto replayed = WriteAheadLog::Replay(
-      wal_path, [this, &max_seq](std::string_view rec) {
+      WalPath(), [this, &max_seq](std::string_view rec) {
         SequenceNumber seq;
         ValueType type;
         std::string_view key, value;
@@ -97,56 +193,317 @@ Status KVStore::Recover() {
   if (!replayed.ok()) return replayed.status();
   next_seq_ = max_seq + 1;
 
-  return wal_.Open(wal_path);
+  return wal_.Open(WalPath());
 }
 
+// ----------------------------------------------------------- Write path
+
 Status KVStore::Put(std::string_view key, std::string_view value) {
-  Status s = Write(ValueType::kValue, key, value);
-  if (s.ok()) {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.puts;
-    stats_.bytes_written += key.size() + value.size();
-  }
-  return s;
+  if (key.empty()) return Status::InvalidArgument("empty key");
+  WriteBatch batch;
+  batch.Put(key, value);
+  Writer w(&batch);
+  return CommitWriter(&w);
 }
 
 Status KVStore::Delete(std::string_view key) {
-  Status s = Write(ValueType::kTombstone, key, "");
-  if (s.ok()) {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.deletes;
+  if (key.empty()) return Status::InvalidArgument("empty key");
+  WriteBatch batch;
+  batch.Delete(key);
+  Writer w(&batch);
+  return CommitWriter(&w);
+}
+
+Status KVStore::Write(const WriteBatch& batch) {
+  if (batch.ops_.empty()) return Status::OK();
+  for (const auto& op : batch.ops_) {
+    if (op.key.empty()) return Status::InvalidArgument("empty key");
   }
+  Writer w(&batch);
+  return CommitWriter(&w);
+}
+
+Status KVStore::CommitWriter(Writer* w) {
+  std::unique_lock<std::mutex> lock(mu_);
+  writers_.push_back(w);
+  while (!w->done && w != writers_.front()) w->cv.wait(lock);
+  if (w->done) return w->status;  // a leader committed for us
+
+  // This writer is the group leader.
+  Status s = MakeRoomForWrite(lock, /*force_seal=*/w->batch == nullptr);
+
+  Writer* last = w;
+  std::vector<const WriteBatch*> group;
+  size_t group_ops = 0;
+  if (s.ok() && w->batch != nullptr) {
+    group.push_back(w->batch);
+    group_ops = w->batch->ops_.size();
+    if (options_.group_commit) {
+      size_t group_bytes = w->batch->approximate_bytes();
+      for (auto it = writers_.begin() + 1;
+           it != writers_.end() && group_bytes < kMaxGroupBytes; ++it) {
+        Writer* follower = *it;
+        if (follower->batch == nullptr) break;  // seal requests ride alone
+        group.push_back(follower->batch);
+        group_ops += follower->batch->ops_.size();
+        group_bytes += follower->batch->approximate_bytes();
+        last = follower;
+      }
+    }
+  }
+
+  if (s.ok() && group_ops > 0) {
+    SequenceNumber first_seq = next_seq_;
+    next_seq_ += group_ops;
+
+    // WAL append + sync run with mu_ released: queue leadership is the
+    // WAL's exclusive-writer guarantee, and readers/background tasks
+    // may proceed meanwhile.
+    lock.unlock();
+    std::vector<std::string> records;
+    records.reserve(group_ops);
+    SequenceNumber seq = first_seq;
+    for (const WriteBatch* b : group) {
+      for (const auto& op : b->ops_) {
+        records.push_back(EncodeWalRecord(seq++, op.type, op.key, op.value));
+      }
+    }
+    s = wal_.AppendBatch(records, options_.sync_wal);
+    if (s.ok() && options_.sync_wal) {
+      counters_.wal_syncs.fetch_add(1, std::memory_order_relaxed);
+    }
+    lock.lock();
+
+    if (s.ok()) {
+      seq = first_seq;
+      for (const WriteBatch* b : group) {
+        for (const auto& op : b->ops_) {
+          mem_->Add(seq++, op.type, op.key, op.value);
+          if (op.type == ValueType::kValue) {
+            counters_.puts.fetch_add(1, std::memory_order_relaxed);
+            counters_.bytes_written.fetch_add(
+                op.key.size() + op.value.size(), std::memory_order_relaxed);
+          } else {
+            counters_.deletes.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    }
+  }
+
+  // Retire the group and hand leadership to the next queued writer.
+  while (true) {
+    Writer* ready = writers_.front();
+    writers_.pop_front();
+    if (ready != w) {
+      ready->status = s;
+      ready->done = true;
+      ready->cv.notify_one();
+    }
+    if (ready == last) break;
+  }
+  if (!writers_.empty()) writers_.front()->cv.notify_one();
   return s;
 }
 
-Status KVStore::Write(ValueType type, std::string_view key,
-                      std::string_view value) {
-  if (key.empty()) return Status::InvalidArgument("empty key");
-  std::lock_guard<std::mutex> lock(mu_);
-  SequenceNumber seq = next_seq_++;
-  Status s = wal_.Append(EncodeWalRecord(seq, type, key, value),
-                         options_.sync_wal);
-  if (!s.ok()) return s;
-  mem_->Add(seq, type, key, value);
-  if (mem_->ApproximateBytes() >= options_.memtable_max_bytes) {
-    s = FlushLocked();
-    if (!s.ok()) return s;
-    if (l0_.size() >= size_t(options_.l0_compaction_trigger)) {
-      return CompactLocked();
+Status KVStore::MakeRoomForWrite(std::unique_lock<std::mutex>& lock,
+                                 bool force_seal) {
+  while (true) {
+    if (!force_seal &&
+        mem_->ApproximateBytes() < options_.memtable_max_bytes) {
+      return Status::OK();
     }
+    if (imm_ != nullptr) {
+      // Both memtables full: stall, bounded by the background flush.
+      counters_.write_stalls.fetch_add(1, std::memory_order_relaxed);
+      if (!flush_scheduled_ && !shutting_down_) {
+        // A previous flush failed and left imm_ in place; retry it.
+        flush_scheduled_ = true;
+        ScheduleBackground(&KVStore::BackgroundFlushTask);
+      }
+      bg_cv_.wait(lock);
+      continue;
+    }
+    if (force_seal && mem_->entry_count() == 0) return Status::OK();
+    return SealMemtableLocked();
+  }
+}
+
+Status KVStore::SealMemtableLocked() {
+  // Rotate the WAL: the sealed memtable stays covered by wal.imm.log
+  // until its flush lands; writers continue into a fresh wal.log.  Only
+  // the commit-group leader reaches here, so nobody is appending.
+  wal_.Close();
+  std::error_code ec;
+  fs::rename(WalPath(), ImmWalPath(), ec);
+  if (ec) return Status::IOError("WAL rotation failed in " + options_.dir);
+  Status s = wal_.Open(WalPath());
+  if (!s.ok()) return s;
+  imm_ = std::shared_ptr<MemTable>(std::move(mem_));
+  mem_ = std::make_unique<MemTable>();
+  flush_scheduled_ = true;
+  ScheduleBackground(&KVStore::BackgroundFlushTask);
+  return Status::OK();
+}
+
+void KVStore::ScheduleBackground(void (KVStore::*method)()) {
+  pool_->Submit([this, method] { (this->*method)(); });
+}
+
+void KVStore::BackgroundFlushTask() {
+  Status s = DoFlush();
+  std::lock_guard<std::mutex> lock(mu_);
+  flush_scheduled_ = false;
+  if (s.ok()) {
+    bg_error_ = Status::OK();
+    MaybeScheduleCompactionLocked();
+  } else {
+    DELUGE_LOG_WARN("background flush failed: %s", s.ToString().c_str());
+    bg_error_ = s;
+  }
+  bg_cv_.notify_all();
+}
+
+Status KVStore::DoFlush() {
+  std::unique_lock<std::mutex> lock(mu_);
+  std::shared_ptr<MemTable> imm = imm_;
+  if (imm == nullptr) return Status::OK();
+  uint64_t number = next_file_number_++;
+  lock.unlock();
+
+  // Build off-lock: writers keep committing into mem_ meanwhile.
+  std::vector<InternalEntry> entries;
+  entries.reserve(imm->entry_count());
+  MemTable::Iterator it(imm.get());
+  for (it.SeekToFirst(); it.Valid(); it.Next()) {
+    entries.push_back(it.entry());
+  }
+  auto table =
+      SSTable::Build(TableFileName(number), entries,
+                     options_.bloom_bits_per_key, options_.table_faults,
+                     block_cache_.get());
+  if (!table.ok()) return table.status();
+
+  lock.lock();
+  l0_.push_front(table.value());
+  imm_.reset();
+  counters_.flushes.fetch_add(1, std::memory_order_relaxed);
+  Status s = WriteManifestLocked();
+  lock.unlock();
+  if (!s.ok()) return s;
+  // Only after the manifest durably lists the table is the sealed
+  // memtable's WAL redundant.
+  std::remove(ImmWalPath().c_str());
+  return Status::OK();
+}
+
+void KVStore::MaybeScheduleCompactionLocked() {
+  if (shutting_down_ || compaction_running_) return;
+  if (l0_.size() < size_t(options_.l0_compaction_trigger)) return;
+  compaction_running_ = true;
+  ScheduleBackground(&KVStore::BackgroundCompactTask);
+}
+
+void KVStore::BackgroundCompactTask() {
+  Status s = DoCompaction();
+  std::lock_guard<std::mutex> lock(mu_);
+  compaction_running_ = false;
+  if (s.ok()) {
+    MaybeScheduleCompactionLocked();  // more L0 may have piled up
+  } else {
+    // State is untouched on failure; the next flush re-triggers.
+    DELUGE_LOG_WARN("background compaction failed: %s", s.ToString().c_str());
+  }
+  bg_cv_.notify_all();
+}
+
+Status KVStore::DoCompaction() {
+  std::unique_lock<std::mutex> lock(mu_);
+  size_t n_l0 = l0_.size();
+  std::vector<std::shared_ptr<SSTable>> inputs(l0_.begin(), l0_.end());
+  inputs.insert(inputs.end(), l1_.begin(), l1_.end());
+  if (n_l0 == 0 && l1_.size() <= 1) return Status::OK();
+  uint64_t number = next_file_number_++;
+  lock.unlock();
+
+  // Merge + build off-lock.  The inputs are immutable tables read via
+  // positional I/O, so concurrent Gets on them are unaffected.  Newer
+  // L0 tables flushed while we merge are NOT in `inputs` and survive
+  // the install below untouched.  Dropping tombstones is legal because
+  // the inputs are the complete table set as of the snapshot — anything
+  // newer shadows us, anything a tombstone shadowed is in the inputs.
+  std::vector<InternalEntry> all;
+  for (const auto& t : inputs) {
+    SSTable::Iterator it(t.get());
+    for (it.SeekToFirst(); it.Valid(); it.Next()) {
+      all.push_back(it.entry());
+    }
+  }
+  std::vector<InternalEntry> merged =
+      MergeEntries(std::move(all), /*drop_tombstones=*/true);
+  uint64_t out_bytes = 0;
+  for (const auto& e : merged) out_bytes += e.ApproximateSize();
+
+  std::shared_ptr<SSTable> output;
+  if (!merged.empty()) {
+    auto table =
+        SSTable::Build(TableFileName(number), merged,
+                       options_.bloom_bits_per_key, options_.table_faults,
+                       block_cache_.get());
+    if (!table.ok()) return table.status();
+    output = table.value();
+  }
+
+  // Short critical section: swap the snapshot inputs for the merged run
+  // (the compacted L0 tables are the *oldest* suffix of l0_).
+  lock.lock();
+  std::vector<std::string> obsolete_paths;
+  std::vector<uint64_t> obsolete_ids;
+  for (const auto& t : inputs) {
+    obsolete_paths.push_back(t->path());
+    obsolete_ids.push_back(t->table_id());
+  }
+  l0_.erase(l0_.end() - std::ptrdiff_t(n_l0), l0_.end());
+  l1_.clear();
+  if (output != nullptr) l1_.push_back(std::move(output));
+  counters_.compactions.fetch_add(1, std::memory_order_relaxed);
+  counters_.bytes_compacted.fetch_add(out_bytes, std::memory_order_relaxed);
+  Status s = WriteManifestLocked();
+  lock.unlock();
+  if (!s.ok()) return s;
+
+  // Readers holding table refs keep valid fds past the unlink.
+  for (const auto& path : obsolete_paths) std::remove(path.c_str());
+  if (block_cache_ != nullptr) {
+    for (uint64_t id : obsolete_ids) block_cache_->EraseTable(id);
   }
   return Status::OK();
 }
 
+// ------------------------------------------------------------ Read path
+
 Status KVStore::Get(std::string_view key, std::string* value) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++stats_.gets;
-  bool tombstone = false;
-  if (mem_->Get(key, kMaxSequence, value, &tombstone)) {
-    return tombstone ? Status::NotFound() : Status::OK();
+  counters_.gets.fetch_add(1, std::memory_order_relaxed);
+  std::deque<std::shared_ptr<SSTable>> l0;
+  std::vector<std::shared_ptr<SSTable>> l1;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    bool tombstone = false;
+    if (mem_->Get(key, kMaxSequence, value, &tombstone)) {
+      return tombstone ? Status::NotFound() : Status::OK();
+    }
+    if (imm_ != nullptr &&
+        imm_->Get(key, kMaxSequence, value, &tombstone)) {
+      return tombstone ? Status::NotFound() : Status::OK();
+    }
+    l0 = l0_;
+    l1 = l1_;
   }
+  // Table probes run without the lock: positional reads + block cache;
+  // the shared_ptr snapshots keep tables alive past concurrent
+  // compactions.
   InternalEntry e;
-  for (const auto& table : l0_) {  // newest first
+  for (const auto& table : l0) {  // newest first
     Status s = table->Get(key, kMaxSequence, &e);
     if (s.ok()) {
       if (e.type == ValueType::kTombstone) return Status::NotFound();
@@ -155,7 +512,7 @@ Status KVStore::Get(std::string_view key, std::string* value) {
     }
     if (!s.IsNotFound()) return s;
   }
-  for (const auto& table : l1_) {
+  for (const auto& table : l1) {
     Status s = table->Get(key, kMaxSequence, &e);
     if (s.ok()) {
       if (e.type == ValueType::kTombstone) return Status::NotFound();
@@ -167,50 +524,40 @@ Status KVStore::Get(std::string_view key, std::string* value) {
   return Status::NotFound();
 }
 
+// ------------------------------------------------- Flush / compaction API
+
 Status KVStore::Flush() {
-  std::lock_guard<std::mutex> lock(mu_);
-  return FlushLocked();
-}
-
-Status KVStore::FlushLocked() {
-  if (mem_->entry_count() == 0) return Status::OK();
-  std::vector<InternalEntry> entries;
-  entries.reserve(mem_->entry_count());
-  MemTable::Iterator it(mem_.get());
-  for (it.SeekToFirst(); it.Valid(); it.Next()) {
-    entries.push_back(it.entry());
-  }
-  uint64_t number = next_file_number_++;
-  auto table = SSTable::Build(TableFileName(number), entries,
-                              options_.bloom_bits_per_key);
-  if (!table.ok()) return table.status();
-  l0_.push_front(table.value());
-  mem_ = std::make_unique<MemTable>();
-  ++stats_.flushes;
-  Status s = wal_.Reset();
+  Writer seal(nullptr);
+  Status s = CommitWriter(&seal);
   if (!s.ok()) return s;
-  return WriteManifestLocked();
+  std::unique_lock<std::mutex> lock(mu_);
+  while ((imm_ != nullptr || flush_scheduled_) && bg_error_.ok()) {
+    bg_cv_.wait(lock);
+  }
+  return bg_error_;
 }
 
-std::vector<InternalEntry> KVStore::MergeAllLocked(
-    bool drop_tombstones, bool keep_all_versions) const {
-  // Gather every entry from every source, then sort by internal order and
-  // deduplicate keeping the newest version per key.  At simulation scale
-  // a sort-based merge is simpler than a k-way heap and equally correct.
-  std::vector<InternalEntry> all;
-  MemTable::Iterator mit(mem_.get());
-  for (mit.SeekToFirst(); mit.Valid(); mit.Next()) {
-    all.push_back(mit.entry());
-  }
-  auto drain = [&all](const std::shared_ptr<SSTable>& t) {
-    SSTable::Iterator it(t.get());
-    for (it.SeekToFirst(); it.Valid(); it.Next()) {
-      all.push_back(it.entry());
-    }
-  };
-  for (const auto& t : l0_) drain(t);
-  for (const auto& t : l1_) drain(t);
+Status KVStore::CompactAll() {
+  Status s = Flush();
+  if (!s.ok()) return s;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (compaction_running_) bg_cv_.wait(lock);
+  compaction_running_ = true;  // claim the compaction slot, run inline
+  lock.unlock();
+  s = DoCompaction();
+  lock.lock();
+  compaction_running_ = false;
+  bg_cv_.notify_all();
+  return s;
+}
 
+// --------------------------------------------------------------- Merges
+
+std::vector<InternalEntry> KVStore::MergeEntries(
+    std::vector<InternalEntry> all, bool drop_tombstones) {
+  // Sort by internal order and deduplicate keeping the newest version
+  // per key.  At simulation scale a sort-based merge is simpler than a
+  // k-way heap and equally correct.
   std::stable_sort(all.begin(), all.end(),
                    [](const InternalEntry& a, const InternalEntry& b) {
                      return InternalEntryComparator()(a, b) < 0;
@@ -220,14 +567,14 @@ std::vector<InternalEntry> KVStore::MergeAllLocked(
   std::string_view last_key;
   bool have_last = false;
   for (auto& e : all) {
-    if (!keep_all_versions && have_last && e.user_key == last_key) {
+    if (have_last && e.user_key == last_key) {
       continue;  // older version of the same key
     }
     have_last = true;
     last_key = e.user_key;
     if (drop_tombstones && e.type == ValueType::kTombstone) {
-      // Newest version is a delete: key is gone.  (last_key remains set so
-      // older versions are still skipped.)
+      // Newest version is a delete: key is gone.  (last_key remains set
+      // so older versions are still skipped.)
       continue;
     }
     out.push_back(std::move(e));
@@ -236,38 +583,45 @@ std::vector<InternalEntry> KVStore::MergeAllLocked(
   return out;
 }
 
-Status KVStore::CompactAll() {
-  std::lock_guard<std::mutex> lock(mu_);
-  Status s = FlushLocked();
-  if (!s.ok()) return s;
-  return CompactLocked();
-}
-
-Status KVStore::CompactLocked() {
-  if (l0_.empty() && l1_.size() <= 1) return Status::OK();
-  std::vector<InternalEntry> merged =
-      MergeAllLocked(/*drop_tombstones=*/true, /*keep_all_versions=*/false);
-  for (const auto& e : merged) stats_.bytes_compacted += e.ApproximateSize();
-
-  std::vector<std::string> obsolete;
-  for (const auto& t : l0_) obsolete.push_back(t->path());
-  for (const auto& t : l1_) obsolete.push_back(t->path());
-
-  l1_.clear();
-  if (!merged.empty()) {
-    uint64_t number = next_file_number_++;
-    auto table = SSTable::Build(TableFileName(number), merged,
-                                options_.bloom_bits_per_key);
-    if (!table.ok()) return table.status();
-    l1_.push_back(table.value());
+std::vector<InternalEntry> KVStore::GatherAllLocked() const {
+  std::vector<InternalEntry> all;
+  MemTable::Iterator mit(mem_.get());
+  for (mit.SeekToFirst(); mit.Valid(); mit.Next()) {
+    all.push_back(mit.entry());
   }
-  l0_.clear();
-  ++stats_.compactions;
-  Status s = WriteManifestLocked();
-  if (!s.ok()) return s;
-  for (const auto& path : obsolete) std::remove(path.c_str());
-  return Status::OK();
+  if (imm_ != nullptr) {
+    MemTable::Iterator iit(imm_.get());
+    for (iit.SeekToFirst(); iit.Valid(); iit.Next()) {
+      all.push_back(iit.entry());
+    }
+  }
+  auto drain = [&all](const std::shared_ptr<SSTable>& t) {
+    SSTable::Iterator it(t.get());
+    for (it.SeekToFirst(); it.Valid(); it.Next()) {
+      all.push_back(it.entry());
+    }
+  };
+  for (const auto& t : l0_) drain(t);
+  for (const auto& t : l1_) drain(t);
+  return all;
 }
+
+KVStore::Iterator KVStore::NewIterator() {
+  std::lock_guard<std::mutex> lock(mu_);
+  Iterator it;
+  it.entries_ = MergeEntries(GatherAllLocked(), /*drop_tombstones=*/true);
+  return it;
+}
+
+void KVStore::Iterator::Seek(std::string_view key) {
+  auto it = std::lower_bound(entries_.begin(), entries_.end(), key,
+                             [](const InternalEntry& e, std::string_view k) {
+                               return e.user_key < k;
+                             });
+  pos_ = size_t(it - entries_.begin());
+}
+
+// ---------------------------------------------------------------- State
 
 Status KVStore::WriteManifestLocked() {
   const std::string tmp = options_.dir + "/MANIFEST.tmp";
@@ -291,25 +645,30 @@ Status KVStore::WriteManifestLocked() {
   return Status::OK();
 }
 
-KVStore::Iterator KVStore::NewIterator() {
-  std::lock_guard<std::mutex> lock(mu_);
-  Iterator it;
-  it.entries_ =
-      MergeAllLocked(/*drop_tombstones=*/true, /*keep_all_versions=*/false);
-  return it;
-}
-
-void KVStore::Iterator::Seek(std::string_view key) {
-  auto it = std::lower_bound(entries_.begin(), entries_.end(), key,
-                             [](const InternalEntry& e, std::string_view k) {
-                               return e.user_key < k;
-                             });
-  pos_ = size_t(it - entries_.begin());
-}
-
 KVStoreStats KVStore::stats() const {
+  KVStoreStats s;
+  s.puts = counters_.puts.load(std::memory_order_relaxed);
+  s.deletes = counters_.deletes.load(std::memory_order_relaxed);
+  s.gets = counters_.gets.load(std::memory_order_relaxed);
+  s.flushes = counters_.flushes.load(std::memory_order_relaxed);
+  s.compactions = counters_.compactions.load(std::memory_order_relaxed);
+  s.bytes_written = counters_.bytes_written.load(std::memory_order_relaxed);
+  s.bytes_compacted =
+      counters_.bytes_compacted.load(std::memory_order_relaxed);
+  s.write_stalls = counters_.write_stalls.load(std::memory_order_relaxed);
+  s.wal_syncs = counters_.wal_syncs.load(std::memory_order_relaxed);
+  if (block_cache_ != nullptr) {
+    s.cache_hits = block_cache_->hits();
+    s.cache_misses = block_cache_->misses();
+  }
   std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  auto add_probes = [&s](const std::shared_ptr<SSTable>& t) {
+    s.bloom_negatives += t->bloom_negative_count.load(std::memory_order_relaxed);
+    s.disk_probes += t->disk_probe_count.load(std::memory_order_relaxed);
+  };
+  for (const auto& t : l0_) add_probes(t);
+  for (const auto& t : l1_) add_probes(t);
+  return s;
 }
 
 size_t KVStore::l0_file_count() const {

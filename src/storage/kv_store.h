@@ -1,6 +1,8 @@
 #ifndef DELUGE_STORAGE_KV_STORE_H_
 #define DELUGE_STORAGE_KV_STORE_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <deque>
 #include <memory>
 #include <mutex>
@@ -8,6 +10,9 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
+#include "storage/block_cache.h"
+#include "storage/fault_injection.h"
 #include "storage/memtable.h"
 #include "storage/sstable.h"
 #include "storage/wal.h"
@@ -18,17 +23,31 @@ namespace deluge::storage {
 struct KVStoreOptions {
   /// Directory for WAL, SSTables, and the manifest (created if missing).
   std::string dir;
-  /// Memtable flush threshold in bytes.
+  /// Memtable flush threshold in bytes (must be positive).
   size_t memtable_max_bytes = 4u << 20;
-  /// Number of L0 files that triggers a full merge into L1.
+  /// Number of L0 files that triggers a merge into L1 (must be positive).
   int l0_compaction_trigger = 4;
-  /// fdatasync the WAL on every write (durability vs throughput).
+  /// fdatasync the WAL on every commit (durability vs throughput).
   bool sync_wal = false;
-  /// Bloom filter density for new SSTables.
+  /// Bloom filter density for new SSTables (must be positive).
   int bloom_bits_per_key = 10;
+  /// Block-cache budget for SSTable read chunks; 0 disables the cache.
+  size_t block_cache_bytes = 8u << 20;
+  /// When true (default), concurrent committers join a leader/follower
+  /// commit group: one WAL write + one fdatasync covers the batch.
+  /// False forces per-write commit (the ablation knob for E19).
+  bool group_commit = true;
+  /// Pool running background flushes and compactions.  Not owned; must
+  /// outlive the store.  When null the store runs a private 2-thread
+  /// pool.
+  ThreadPool* background_pool = nullptr;
+  /// Test hook: fault injector for SSTable builds (flush/compaction
+  /// output files).  Not owned.
+  IoFaultInjector* table_faults = nullptr;
 };
 
-/// Operational counters.
+/// Operational counters (a consistent-enough snapshot; internally the
+/// store keeps these as atomics so readers never take the write lock).
 struct KVStoreStats {
   uint64_t puts = 0;
   uint64_t deletes = 0;
@@ -37,41 +56,100 @@ struct KVStoreStats {
   uint64_t compactions = 0;
   uint64_t bytes_written = 0;
   uint64_t bytes_compacted = 0;
+  /// Commit groups whose leader had to stall for a memtable slot.
+  uint64_t write_stalls = 0;
+  /// WAL sync calls actually issued (vs commits: the group-commit win).
+  uint64_t wal_syncs = 0;
+  /// Block-cache counters (zero when the cache is disabled).
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  /// Aggregate SSTable probe counters across live tables.
+  uint64_t bloom_negatives = 0;
+  uint64_t disk_probes = 0;
+};
+
+/// A batch of writes applied atomically (one commit, one WAL sync).
+/// Cheap to build; reusable after `Clear`.
+class WriteBatch {
+ public:
+  void Put(std::string_view key, std::string_view value) {
+    ops_.push_back(Op{ValueType::kValue, std::string(key),
+                     std::string(value)});
+    bytes_ += key.size() + value.size() + 16;
+  }
+  void Delete(std::string_view key) {
+    ops_.push_back(Op{ValueType::kTombstone, std::string(key), ""});
+    bytes_ += key.size() + 16;
+  }
+  size_t count() const { return ops_.size(); }
+  size_t approximate_bytes() const { return bytes_; }
+  void Clear() {
+    ops_.clear();
+    bytes_ = 0;
+  }
+
+ private:
+  friend class KVStore;
+  struct Op {
+    ValueType type;
+    std::string key;
+    std::string value;
+  };
+  std::vector<Op> ops_;
+  size_t bytes_ = 0;
 };
 
 /// A log-structured merge key-value store — Deluge's durable "KV store"
 /// tier from the disaggregated cloud-storage layer (Fig. 7 of the paper).
 ///
 /// Two levels: L0 holds flushed memtables (possibly overlapping, searched
-/// newest-first); when L0 reaches the trigger, everything merges into a
-/// single sorted L1 run, dropping shadowed versions and tombstones.
+/// newest-first); when L0 reaches the trigger, the table set merges into
+/// a single sorted L1 run, dropping shadowed versions and tombstones.
 /// Crash recovery replays the WAL into a fresh memtable; the MANIFEST
 /// file records the live table set atomically (write-temp + rename).
+/// On-disk formats (WAL framing, SSTable layout, MANIFEST protocol) are
+/// byte-compatible with the serial engine.
 ///
-/// Thread-safety: all public methods are safe to call concurrently (one
-/// coarse mutex; flush/compaction run inline on the writing thread).
+/// Thread-safety: all public methods are safe to call concurrently.
+/// Writers join a leader/follower commit group (one WAL append + at most
+/// one fdatasync per group); full memtables are handed to a background
+/// pool for flushing while writers continue into a fresh memtable
+/// (bounded stall when both memtables are full); L0→L1 compaction runs
+/// off the write path and installs its result under a short critical
+/// section.  `Get`s probe the memtables under the mutex but read
+/// SSTables outside it via positional I/O and the shared block cache.
+/// See DESIGN.md §8 "Storage concurrency model".
 class KVStore {
  public:
   static constexpr SequenceNumber kMaxSequence = ~SequenceNumber{0};
 
   /// Opens (or creates) a store in `options.dir`, recovering any previous
-  /// state from the manifest and WAL.
+  /// state from the manifest and WAL(s) — including completing a flush
+  /// that was interrupted by a crash.  Rejects invalid options with
+  /// InvalidArgument.
   static Result<std::unique_ptr<KVStore>> Open(const KVStoreOptions& options);
 
-  ~KVStore() = default;
+  /// Drains in-flight background flush/compaction before closing.
+  ~KVStore();
   KVStore(const KVStore&) = delete;
   KVStore& operator=(const KVStore&) = delete;
 
   Status Put(std::string_view key, std::string_view value);
   Status Delete(std::string_view key);
 
+  /// Commits every operation in `batch` atomically: one commit-group
+  /// slot, one WAL append, at most one sync.
+  Status Write(const WriteBatch& batch);
+
   /// Point lookup of the newest visible version.
   Status Get(std::string_view key, std::string* value);
 
-  /// Forces the memtable to an L0 SSTable (no-op when empty).
+  /// Seals the memtable and waits for its background flush to finish
+  /// (no-op when empty).
   Status Flush();
 
-  /// Merges all levels into a single L1 run.
+  /// Flushes, then merges all levels into a single L1 run (synchronous;
+  /// waits out any in-flight background compaction first).
   Status CompactAll();
 
   /// A merged snapshot scan over the whole store in key order, newest
@@ -99,33 +177,95 @@ class KVStore {
   size_t l0_file_count() const;
   size_t l1_file_count() const;
   SequenceNumber last_sequence() const;
+  const BlockCache* block_cache() const { return block_cache_.get(); }
 
  private:
   explicit KVStore(const KVStoreOptions& options);
 
-  Status Recover();
-  Status Write(ValueType type, std::string_view key, std::string_view value);
-  Status FlushLocked();
-  Status CompactLocked();
-  Status WriteManifestLocked();
-  std::string TableFileName(uint64_t number) const;
+  /// One queued committer (or a seal request when `batch` is null).
+  /// The front of `writers_` is the group leader; followers sleep on
+  /// their own cv until the leader commits for them.
+  struct Writer {
+    explicit Writer(const WriteBatch* b) : batch(b) {}
+    const WriteBatch* batch;
+    Status status;
+    bool done = false;
+    std::condition_variable cv;
+  };
 
-  /// Merges the given sorted sources into a deduplicated entry list.
-  /// When `drop_tombstones` is set, deletion markers are elided (legal
-  /// only at the bottom level).
-  std::vector<InternalEntry> MergeAllLocked(bool drop_tombstones,
-                                            bool keep_all_versions) const;
+  Status Recover();
+  /// Joins the commit queue; leaders commit the whole group.
+  Status CommitWriter(Writer* w);
+  /// Leader-only, mu_ held: ensures the memtable has room, sealing a
+  /// full one to imm_ (rotating the WAL) and stalling — bounded by the
+  /// background flush — when both memtables are full.  With
+  /// `force_seal`, seals a non-empty memtable regardless of size.
+  Status MakeRoomForWrite(std::unique_lock<std::mutex>& lock,
+                          bool force_seal);
+  /// mu_ held, imm_ empty: wal.log -> wal.imm.log, fresh wal.log,
+  /// mem_ -> imm_, schedules the background flush.
+  Status SealMemtableLocked();
+  void ScheduleBackground(void (KVStore::*method)());
+  void BackgroundFlushTask();
+  void BackgroundCompactTask();
+  Status DoFlush();
+  Status DoCompaction();
+  void MaybeScheduleCompactionLocked();
+  Status WriteManifestLocked();
+  /// Deletes *.sst files in dir not referenced by the manifest (wreckage
+  /// of flushes/compactions that crashed mid-build).
+  void RemoveOrphanTablesLocked();
+  std::string TableFileName(uint64_t number) const;
+  std::string WalPath() const { return options_.dir + "/wal.log"; }
+  std::string ImmWalPath() const { return options_.dir + "/wal.imm.log"; }
+
+  /// Sorts + dedupes gathered entries, newest version per key.  When
+  /// `drop_tombstones` is set, deletion markers are elided (legal only
+  /// when merging the complete table set).
+  static std::vector<InternalEntry> MergeEntries(
+      std::vector<InternalEntry> all, bool drop_tombstones);
+  /// Gathers mem_ + imm_ + all tables (mu_ held).
+  std::vector<InternalEntry> GatherAllLocked() const;
 
   KVStoreOptions options_;
+
+  // Lock hierarchy: mu_ protects all mutable state below; the WAL is
+  // written only by the current commit-group leader (queue leadership
+  // substitutes for a lock, so the append+sync runs with mu_ released);
+  // background tasks reacquire mu_ only for state installs.
   mutable std::mutex mu_;
-  std::unique_ptr<MemTable> mem_;
-  WriteAheadLog wal_;
+  std::deque<Writer*> writers_;        // commit queue; front = leader
+  std::condition_variable bg_cv_;      // flush/compaction completion
+  std::unique_ptr<MemTable> mem_;      // mutable memtable
+  std::shared_ptr<MemTable> imm_;      // sealed, being flushed (or null)
+  WriteAheadLog wal_;                  // covers mem_; imm_ is covered by
+                                       // wal.imm.log until its flush lands
   // levels_[0]: newest-first L0 tables; levels_[1]: single merged run.
   std::deque<std::shared_ptr<SSTable>> l0_;
   std::vector<std::shared_ptr<SSTable>> l1_;
   SequenceNumber next_seq_ = 1;
   uint64_t next_file_number_ = 1;
-  KVStoreStats stats_;
+  bool flush_scheduled_ = false;
+  bool compaction_running_ = false;
+  bool shutting_down_ = false;
+  Status bg_error_;  // sticky until the next successful flush
+
+  std::unique_ptr<BlockCache> block_cache_;
+  std::unique_ptr<ThreadPool> owned_pool_;
+  ThreadPool* pool_ = nullptr;  // == owned_pool_.get() or options pool
+
+  struct StatCounters {
+    std::atomic<uint64_t> puts{0};
+    std::atomic<uint64_t> deletes{0};
+    std::atomic<uint64_t> gets{0};
+    std::atomic<uint64_t> flushes{0};
+    std::atomic<uint64_t> compactions{0};
+    std::atomic<uint64_t> bytes_written{0};
+    std::atomic<uint64_t> bytes_compacted{0};
+    std::atomic<uint64_t> write_stalls{0};
+    std::atomic<uint64_t> wal_syncs{0};
+  };
+  mutable StatCounters counters_;
 };
 
 }  // namespace deluge::storage

@@ -1,11 +1,20 @@
 #include "storage/sstable.h"
 
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
 namespace deluge::storage {
 
 namespace {
+
+// Process-unique reader ids: the block-cache namespace.  Never reused,
+// so cache entries of a deleted table can't alias a newly opened one.
+std::atomic<uint64_t> g_next_table_id{1};
 
 // Appends one data-region record for `e` to `out`.
 void EncodeEntry(const InternalEntry& e, std::string* out) {
@@ -20,12 +29,12 @@ void EncodeEntry(const InternalEntry& e, std::string* out) {
 }  // namespace
 
 SSTable::~SSTable() {
-  if (file_ != nullptr) std::fclose(file_);
+  if (fd_ >= 0) ::close(fd_);
 }
 
 Result<std::shared_ptr<SSTable>> SSTable::Build(
     const std::string& path, const std::vector<InternalEntry>& entries,
-    int bloom_bits_per_key, IoFaultInjector* faults) {
+    int bloom_bits_per_key, IoFaultInjector* faults, BlockCache* cache) {
   std::string data;
   std::string index;
   uint64_t index_count = 0;
@@ -51,27 +60,37 @@ Result<std::shared_ptr<SSTable>> SSTable::Build(
   PutFixed64(&footer, entries.size());                    // entry_count
   PutFixed64(&footer, kMagic);
 
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) {
+  // O_TRUNC: a crashed build's partial file with the same number is
+  // simply overwritten on retry.  Offsets are 64-bit throughout — the
+  // writer never seeks, readers use positional I/O.
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
     return Status::IOError("cannot create SSTable " + path + ": " +
                            std::strerror(errno));
   }
   std::string file_bytes = data + index + bloom_bytes + footer;
   size_t to_write = file_bytes.size();
   if (faults != nullptr) to_write = faults->BeforeWrite(file_bytes.size());
-  bool ok =
-      std::fwrite(file_bytes.data(), 1, to_write, f) == to_write &&
-      to_write == file_bytes.size();
-  ok = std::fclose(f) == 0 && ok;
+  size_t written = 0;
+  while (written < to_write) {
+    ssize_t n = ::write(fd, file_bytes.data() + written, to_write - written);
+    if (n <= 0) break;
+    written += size_t(n);
+  }
+  bool ok = written == to_write && to_write == file_bytes.size();
+  ok = ::close(fd) == 0 && ok;
   if (!ok) return Status::IOError("SSTable write failed: " + path);
-  return Open(path);
+  return Open(path, cache);
 }
 
-Result<std::shared_ptr<SSTable>> SSTable::Open(const std::string& path) {
+Result<std::shared_ptr<SSTable>> SSTable::Open(const std::string& path,
+                                               BlockCache* cache) {
   auto table = std::shared_ptr<SSTable>(new SSTable());
   table->path_ = path;
-  table->file_ = std::fopen(path.c_str(), "rb");
-  if (table->file_ == nullptr) {
+  table->table_id_ = g_next_table_id.fetch_add(1, std::memory_order_relaxed);
+  table->cache_ = cache;
+  table->fd_ = ::open(path.c_str(), O_RDONLY);
+  if (table->fd_ < 0) {
     return Status::IOError("cannot open SSTable " + path);
   }
   Status s = table->LoadFooterAndIndex();
@@ -79,18 +98,32 @@ Result<std::shared_ptr<SSTable>> SSTable::Open(const std::string& path) {
   return table;
 }
 
-Status SSTable::LoadFooterAndIndex() {
-  if (std::fseek(file_, 0, SEEK_END) != 0) {
-    return Status::IOError("seek failed");
+Status SSTable::ReadAt(uint64_t offset, size_t n, char* dst) const {
+  size_t got = 0;
+  while (got < n) {
+    ssize_t r = ::pread(fd_, dst + got, n - got, off_t(offset + got));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("pread failed on " + path_ + ": " +
+                             std::strerror(errno));
+    }
+    if (r == 0) return Status::IOError("short read on " + path_);
+    got += size_t(r);
   }
-  long file_len = std::ftell(file_);
+  return Status::OK();
+}
+
+Status SSTable::LoadFooterAndIndex() {
+  struct stat st;
+  if (::fstat(fd_, &st) != 0) {
+    return Status::IOError("fstat failed on " + path_);
+  }
+  uint64_t file_len = uint64_t(st.st_size);
   if (file_len < 48) return Status::Corruption("SSTable too small: " + path_);
 
   char footer_buf[48];
-  std::fseek(file_, file_len - 48, SEEK_SET);
-  if (std::fread(footer_buf, 1, 48, file_) != 48) {
-    return Status::IOError("footer read failed");
-  }
+  Status s = ReadAt(file_len - 48, 48, footer_buf);
+  if (!s.ok()) return s;
   std::string_view fv(footer_buf, 48);
   uint64_t index_off, index_count, bloom_off, bloom_len, magic;
   GetFixed64(&fv, &index_off);
@@ -100,15 +133,16 @@ Status SSTable::LoadFooterAndIndex() {
   GetFixed64(&fv, &entry_count_);
   GetFixed64(&fv, &magic);
   if (magic != kMagic) return Status::Corruption("bad magic in " + path_);
+  if (index_off > bloom_off || bloom_off + bloom_len + 48 > file_len) {
+    return Status::Corruption("bad footer offsets in " + path_);
+  }
   data_end_ = index_off;
 
   // Index block.
   const uint64_t index_len = bloom_off - index_off;
   std::string index_bytes(index_len, '\0');
-  std::fseek(file_, long(index_off), SEEK_SET);
-  if (std::fread(index_bytes.data(), 1, index_len, file_) != index_len) {
-    return Status::IOError("index read failed");
-  }
+  s = ReadAt(index_off, index_len, index_bytes.data());
+  if (!s.ok()) return s;
   std::string_view iv(index_bytes);
   index_.clear();
   index_.reserve(index_count);
@@ -127,10 +161,8 @@ Status SSTable::LoadFooterAndIndex() {
 
   // Bloom block.
   std::string bloom_bytes(bloom_len, '\0');
-  std::fseek(file_, long(bloom_off), SEEK_SET);
-  if (std::fread(bloom_bytes.data(), 1, bloom_len, file_) != bloom_len) {
-    return Status::IOError("bloom read failed");
-  }
+  s = ReadAt(bloom_off, bloom_len, bloom_bytes.data());
+  if (!s.ok()) return s;
   bloom_ = BloomFilter::Deserialize(bloom_bytes);
 
   // Max key: read the last entry (scan from last index point).
@@ -147,14 +179,28 @@ Status SSTable::LoadFooterAndIndex() {
   return Status::OK();
 }
 
+BlockCache::ChunkPtr SSTable::ReadChunk(uint64_t chunk_index) const {
+  uint64_t offset = chunk_index * kReadChunkSize;
+  if (offset >= data_end_) return nullptr;
+  if (cache_ != nullptr) {
+    auto chunk = cache_->Lookup(table_id_, chunk_index);
+    if (chunk != nullptr) return chunk;
+  }
+  size_t n = size_t(std::min<uint64_t>(kReadChunkSize, data_end_ - offset));
+  auto chunk = std::make_shared<std::string>(n, '\0');
+  if (!ReadAt(offset, n, chunk->data()).ok()) return nullptr;
+  if (cache_ != nullptr) cache_->Insert(table_id_, chunk_index, chunk);
+  return chunk;
+}
+
 Status SSTable::Get(std::string_view key, SequenceNumber snapshot,
                     InternalEntry* entry) const {
   if (index_.empty()) return Status::NotFound();
   if (!bloom_.MayContain(key)) {
-    ++bloom_negative_count;
+    bloom_negative_count.fetch_add(1, std::memory_order_relaxed);
     return Status::NotFound();
   }
-  ++disk_probe_count;
+  disk_probe_count.fetch_add(1, std::memory_order_relaxed);
   Iterator it(this);
   it.Seek(key);
   while (it.Valid() && it.entry().user_key == key) {
@@ -212,44 +258,64 @@ void SSTable::Iterator::Next() {
   valid_ = ReadEntryAt(next_offset_);
 }
 
+size_t SSTable::Iterator::TryDecode(std::string_view data) {
+  std::string_view rest = data;
+  uint32_t klen = 0;
+  if (!GetVarint32(&rest, &klen) || rest.size() < uint64_t(klen) + 9) {
+    return 0;
+  }
+  std::string_view key = rest.substr(0, klen);
+  rest.remove_prefix(klen);
+  uint64_t seq = 0;
+  GetFixed64(&rest, &seq);
+  uint8_t type = static_cast<uint8_t>(rest.front());
+  rest.remove_prefix(1);
+  uint32_t vlen = 0;
+  if (!GetVarint32(&rest, &vlen) || rest.size() < vlen) return 0;
+  current_.user_key.assign(key);
+  current_.seq = seq;
+  current_.type = static_cast<ValueType>(type);
+  current_.value.assign(rest.substr(0, vlen));
+  rest.remove_prefix(vlen);
+  return data.size() - rest.size();
+}
+
 bool SSTable::Iterator::ReadEntryAt(uint64_t offset) {
-  // Read a bounded chunk covering at least one record.  Records are
-  // small (keys/values bounded by chunking at higher layers); 64 KB
-  // covers typical entries, and we retry with a larger read if needed.
-  std::FILE* f = table_->file_;
-  size_t want = 64 * 1024;
-  std::string buf;
-  for (int attempt = 0; attempt < 4; ++attempt) {
-    size_t avail = size_t(table_->data_end_ - offset);
-    want = std::min(want, avail);
-    buf.resize(want);
-    std::fseek(f, long(offset), SEEK_SET);
-    size_t got = std::fread(buf.data(), 1, want, f);
-    buf.resize(got);
-    std::string_view v(buf);
-    uint32_t klen = 0;
-    std::string_view rest = v;
-    if (GetVarint32(&rest, &klen) && rest.size() >= klen + 9) {
-      std::string_view key = rest.substr(0, klen);
-      rest.remove_prefix(klen);
-      uint64_t seq = 0;
-      GetFixed64(&rest, &seq);
-      uint8_t type = static_cast<uint8_t>(rest.front());
-      rest.remove_prefix(1);
-      uint32_t vlen = 0;
-      if (GetVarint32(&rest, &vlen) && rest.size() >= vlen) {
-        current_.user_key.assign(key);
-        current_.seq = seq;
-        current_.type = static_cast<ValueType>(type);
-        current_.value.assign(rest.substr(0, vlen));
-        rest.remove_prefix(vlen);
-        // Bytes consumed from the chunk = v.size() - rest.size().
-        next_offset_ = offset + (v.size() - rest.size());
-        return true;
-      }
+  // Fast path: the record decodes entirely from the buffered chunk —
+  // consecutive entries in a scan reuse one chunk read (and one cache
+  // entry) instead of issuing fresh I/O per entry.
+  if (chunk_ == nullptr || offset < chunk_off_ ||
+      offset >= chunk_off_ + chunk_->size()) {
+    chunk_ = table_->ReadChunk(offset / kReadChunkSize);
+    if (chunk_ == nullptr) return false;
+    chunk_off_ = (offset / kReadChunkSize) * kReadChunkSize;
+  }
+  size_t in_chunk = size_t(offset - chunk_off_);
+  size_t consumed =
+      TryDecode({chunk_->data() + in_chunk, chunk_->size() - in_chunk});
+  if (consumed > 0) {
+    next_offset_ = offset + consumed;
+    return true;
+  }
+
+  // The record crosses the chunk boundary: assemble it from consecutive
+  // aligned chunks (each individually cacheable) until it decodes or the
+  // data region is exhausted (truncated record => invalid).
+  spill_.assign(chunk_->data() + in_chunk, chunk_->size() - in_chunk);
+  uint64_t next_chunk = chunk_off_ / kReadChunkSize + 1;
+  while (next_chunk * kReadChunkSize < table_->data_end_) {
+    BlockCache::ChunkPtr more = table_->ReadChunk(next_chunk);
+    if (more == nullptr) return false;
+    spill_.append(*more);
+    ++next_chunk;
+    consumed = TryDecode(spill_);
+    if (consumed > 0) {
+      next_offset_ = offset + consumed;
+      // Keep the last chunk buffered: the next record starts inside it.
+      chunk_ = std::move(more);
+      chunk_off_ = (next_chunk - 1) * kReadChunkSize;
+      return true;
     }
-    if (got >= avail) return false;  // truncated record at data end
-    want *= 4;                       // record larger than buffer; retry
   }
   return false;
 }

@@ -1,12 +1,13 @@
 #ifndef DELUGE_STORAGE_SSTABLE_H_
 #define DELUGE_STORAGE_SSTABLE_H_
 
-#include <cstdio>
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "storage/block_cache.h"
 #include "storage/bloom.h"
 #include "storage/fault_injection.h"
 #include "storage/format.h"
@@ -26,10 +27,18 @@ namespace deluge::storage {
 /// ```
 /// Readers keep the sparse index and bloom filter in memory; point lookups
 /// do one bounded forward scan from the preceding index point.
+///
+/// Thread-safety: fully thread-safe after Open.  All file reads are
+/// positional (`pread` on a shared fd), so concurrent `Get`s and
+/// iterators never contend on a seek pointer; probe counters are
+/// atomics.  Reads go through fixed-size aligned chunks that an
+/// optional shared `BlockCache` can serve without touching the disk.
 class SSTable {
  public:
   static constexpr uint64_t kMagic = 0xDE11A6E0DB5557ULL;
   static constexpr size_t kIndexInterval = 16;
+  /// Granularity of data-region reads and of block-cache entries.
+  static constexpr size_t kReadChunkSize = 64 * 1024;
 
   ~SSTable();
 
@@ -39,13 +48,18 @@ class SSTable {
   /// Writes `entries` (already sorted by InternalEntryComparator) to
   /// `path` and returns an opened reader.  `faults`, when set, can tear
   /// the file write (crash mid-build); the partial file fails Open with
-  /// Corruption, never a silently short table.
+  /// Corruption, never a silently short table.  `cache`, when set, is
+  /// attached to the returned reader (not owned).
   static Result<std::shared_ptr<SSTable>> Build(
       const std::string& path, const std::vector<InternalEntry>& entries,
-      int bloom_bits_per_key = 10, IoFaultInjector* faults = nullptr);
+      int bloom_bits_per_key = 10, IoFaultInjector* faults = nullptr,
+      BlockCache* cache = nullptr);
 
   /// Opens an existing table, loading its index and bloom filter.
-  static Result<std::shared_ptr<SSTable>> Open(const std::string& path);
+  /// Every open assigns a process-unique `table_id` (the block-cache
+  /// namespace for this reader).
+  static Result<std::shared_ptr<SSTable>> Open(const std::string& path,
+                                               BlockCache* cache = nullptr);
 
   /// Finds the newest version of `key` with seq <= snapshot.
   /// Returns NotFound if the key is absent from this table.  On success
@@ -54,6 +68,11 @@ class SSTable {
              InternalEntry* entry) const;
 
   /// Streaming iterator over all entries in internal order.
+  ///
+  /// Buffers one read chunk and decodes consecutive entries from it
+  /// without re-reading; only a record that crosses the chunk boundary
+  /// triggers further I/O.  Each iterator carries its own buffer, so
+  /// concurrent iterators over one table are safe.
   class Iterator {
    public:
     explicit Iterator(const SSTable* table);
@@ -66,22 +85,29 @@ class SSTable {
 
    private:
     bool ReadEntryAt(uint64_t offset);
+    /// Decodes one record from `data` (record starts at data[0]) into
+    /// current_; returns bytes consumed, or 0 when `data` is too short.
+    size_t TryDecode(std::string_view data);
 
     const SSTable* table_;
     uint64_t next_offset_ = 0;
+    BlockCache::ChunkPtr chunk_;  // buffered chunk backing fast decodes
+    uint64_t chunk_off_ = 0;      // file offset of chunk_'s first byte
+    std::string spill_;           // assembly buffer for boundary records
     InternalEntry current_;
     bool valid_ = false;
   };
 
   const std::string& path() const { return path_; }
+  uint64_t table_id() const { return table_id_; }
   uint64_t entry_count() const { return entry_count_; }
   uint64_t file_size() const { return data_end_; }
   const std::string& min_key() const { return min_key_; }
   const std::string& max_key() const { return max_key_; }
 
   /// Cumulative probe counters (for experiments on bloom effectiveness).
-  mutable uint64_t bloom_negative_count = 0;
-  mutable uint64_t disk_probe_count = 0;
+  mutable std::atomic<uint64_t> bloom_negative_count{0};
+  mutable std::atomic<uint64_t> disk_probe_count{0};
 
  private:
   SSTable() = default;
@@ -92,9 +118,18 @@ class SSTable {
   };
 
   Status LoadFooterAndIndex();
+  /// Reads exactly [offset, offset+n) from the file (positional; no
+  /// shared seek state).
+  Status ReadAt(uint64_t offset, size_t n, char* dst) const;
+  /// Returns the aligned data-region chunk with the given index, from
+  /// the cache when attached, else from disk (populating the cache).
+  /// nullptr when the chunk is out of range or the read fails.
+  BlockCache::ChunkPtr ReadChunk(uint64_t chunk_index) const;
 
   std::string path_;
-  std::FILE* file_ = nullptr;
+  int fd_ = -1;
+  uint64_t table_id_ = 0;
+  BlockCache* cache_ = nullptr;  // not owned; may be null
   std::vector<IndexEntry> index_;
   BloomFilter bloom_{1};
   uint64_t data_end_ = 0;  // offset where data region ends (index begins)

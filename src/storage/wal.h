@@ -5,6 +5,7 @@
 #include <functional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/status.h"
 #include "storage/fault_injection.h"
@@ -31,6 +32,14 @@ class WriteAheadLog {
   /// Appends one record; flushes library buffers.  When `sync` is true
   /// also issues fdatasync-equivalent (durability vs throughput knob).
   Status Append(std::string_view record, bool sync = false);
+
+  /// Group commit: appends every record (framed identically to repeated
+  /// `Append` calls — the on-disk bytes are byte-for-byte the same) with
+  /// ONE write, one flush, and at most one fdatasync for the whole
+  /// batch.  This is what lets N concurrent committers share a single
+  /// sync instead of paying one each.
+  Status AppendBatch(const std::vector<std::string>& records,
+                     bool sync = false);
 
   /// Replays every intact record in file order through `consumer`.
   /// Returns the number of records replayed.  Stops at the first corrupt

@@ -21,6 +21,63 @@ std::string TempDir(const std::string& name) {
   return dir;
 }
 
+TEST(KVStoreEdgeTest, InvalidOptionsRejectedAtOpen) {
+  {
+    KVStoreOptions opts;  // dir unset
+    auto store = KVStore::Open(opts);
+    ASSERT_FALSE(store.ok());
+    EXPECT_TRUE(store.status().IsInvalidArgument());
+  }
+  {
+    KVStoreOptions opts;
+    opts.dir = TempDir("bad_mem");
+    opts.memtable_max_bytes = 0;
+    auto store = KVStore::Open(opts);
+    ASSERT_FALSE(store.ok());
+    EXPECT_TRUE(store.status().IsInvalidArgument());
+  }
+  for (int trigger : {0, -3}) {
+    KVStoreOptions opts;
+    opts.dir = TempDir("bad_trigger");
+    opts.l0_compaction_trigger = trigger;
+    auto store = KVStore::Open(opts);
+    ASSERT_FALSE(store.ok());
+    EXPECT_TRUE(store.status().IsInvalidArgument());
+  }
+  for (int bits : {0, -1}) {
+    KVStoreOptions opts;
+    opts.dir = TempDir("bad_bloom");
+    opts.bloom_bits_per_key = bits;
+    auto store = KVStore::Open(opts);
+    ASSERT_FALSE(store.ok());
+    EXPECT_TRUE(store.status().IsInvalidArgument());
+  }
+  // A rejected Open leaves nothing behind that blocks a valid retry.
+  KVStoreOptions opts;
+  opts.dir = TempDir("bad_then_good");
+  opts.memtable_max_bytes = 0;
+  ASSERT_FALSE(KVStore::Open(opts).ok());
+  opts.memtable_max_bytes = 1 << 20;
+  EXPECT_TRUE(KVStore::Open(opts).ok());
+}
+
+TEST(KVStoreEdgeTest, ZeroBlockCacheBytesDisablesCache) {
+  KVStoreOptions opts;
+  opts.dir = TempDir("nocache");
+  opts.block_cache_bytes = 0;
+  auto store = KVStore::Open(opts);
+  ASSERT_TRUE(store.ok());
+  KVStore* db = store.value().get();
+  EXPECT_EQ(db->block_cache(), nullptr);
+  ASSERT_TRUE(db->Put("k", "v").ok());
+  ASSERT_TRUE(db->CompactAll().ok());
+  std::string v;
+  ASSERT_TRUE(db->Get("k", &v).ok());  // reads work uncached
+  auto stats = db->stats();
+  EXPECT_EQ(stats.cache_hits, 0u);
+  EXPECT_EQ(stats.cache_misses, 0u);
+}
+
 TEST(KVStoreEdgeTest, LargeValuesSurviveFlushAndCompaction) {
   KVStoreOptions opts;
   opts.dir = TempDir("large");

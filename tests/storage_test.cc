@@ -790,5 +790,125 @@ TEST(BlockStoreTest, DoubleFreeRejected) {
   EXPECT_TRUE(store.Free(99).IsInvalidArgument());
 }
 
+// --- BlockCache --------------------------------------------------------
+
+BlockCache::ChunkPtr Chunk(size_t bytes, char fill) {
+  return std::make_shared<const std::string>(bytes, fill);
+}
+
+TEST(BlockCacheTest, LookupHitAndMissAccounting) {
+  BlockCache cache(1 << 20, /*num_shards=*/1);
+  EXPECT_EQ(cache.Lookup(1, 0), nullptr);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+
+  cache.Insert(1, 0, Chunk(100, 'a'));
+  auto got = cache.Lookup(1, 0);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got->size(), 100u);
+  EXPECT_EQ((*got)[0], 'a');
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+
+  // Same chunk index, different table: a distinct key.
+  EXPECT_EQ(cache.Lookup(2, 0), nullptr);
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(BlockCacheTest, EvictsLeastRecentlyUsedFirst) {
+  // One shard with the 64 KB minimum shard budget; 20 KB chunks mean
+  // at most three resident.
+  BlockCache cache(1, /*num_shards=*/1);
+  cache.Insert(1, 0, Chunk(20 << 10, 'a'));
+  cache.Insert(1, 1, Chunk(20 << 10, 'b'));
+  cache.Insert(1, 2, Chunk(20 << 10, 'c'));
+  EXPECT_EQ(cache.evictions(), 0u);
+
+  // Touch chunk 0 so chunk 1 becomes the eviction victim.
+  ASSERT_NE(cache.Lookup(1, 0), nullptr);
+  cache.Insert(1, 3, Chunk(20 << 10, 'd'));
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.Lookup(1, 1), nullptr);   // evicted (LRU)
+  EXPECT_NE(cache.Lookup(1, 0), nullptr);   // survived (recently used)
+  EXPECT_NE(cache.Lookup(1, 2), nullptr);
+  EXPECT_NE(cache.Lookup(1, 3), nullptr);
+  EXPECT_LE(cache.size_bytes(), 64u << 10);
+}
+
+TEST(BlockCacheTest, OversizedChunkBypassesCache) {
+  BlockCache cache(1, /*num_shards=*/1);  // 64 KB shard minimum
+  cache.Insert(1, 0, Chunk(20 << 10, 'a'));
+  // Larger than the whole shard budget: passed through, not cached,
+  // and resident entries stay put.
+  cache.Insert(1, 1, Chunk(128 << 10, 'x'));
+  EXPECT_EQ(cache.Lookup(1, 1), nullptr);
+  EXPECT_NE(cache.Lookup(1, 0), nullptr);
+}
+
+TEST(BlockCacheTest, InsertReplacesExistingKey) {
+  BlockCache cache(1 << 20, /*num_shards=*/1);
+  cache.Insert(7, 3, Chunk(100, 'o'));
+  cache.Insert(7, 3, Chunk(200, 'n'));
+  auto got = cache.Lookup(7, 3);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got->size(), 200u);
+  EXPECT_EQ((*got)[0], 'n');
+  EXPECT_EQ(cache.size_bytes(), 200u);
+}
+
+TEST(BlockCacheTest, ShardsSplitCapacityAndKeys) {
+  BlockCache cache(4 << 20, /*num_shards=*/4);
+  EXPECT_EQ(cache.num_shards(), 4u);
+  // Many tables land across shards; total stays within capacity and
+  // every entry remains addressable.
+  for (uint64_t t = 1; t <= 64; ++t) {
+    cache.Insert(t, 0, Chunk(4 << 10, char('a' + t % 26)));
+  }
+  EXPECT_LE(cache.size_bytes(), cache.capacity_bytes());
+  size_t found = 0;
+  for (uint64_t t = 1; t <= 64; ++t) {
+    if (cache.Lookup(t, 0) != nullptr) ++found;
+  }
+  EXPECT_EQ(found, 64u);  // well under capacity: nothing evicted
+}
+
+TEST(BlockCacheTest, EraseTableDropsAllItsChunks) {
+  BlockCache cache(1 << 20, /*num_shards=*/4);
+  for (uint64_t c = 0; c < 8; ++c) {
+    cache.Insert(1, c, Chunk(1 << 10, 'a'));
+    cache.Insert(2, c, Chunk(1 << 10, 'b'));
+  }
+  cache.EraseTable(1);
+  for (uint64_t c = 0; c < 8; ++c) {
+    EXPECT_EQ(cache.Lookup(1, c), nullptr);
+    EXPECT_NE(cache.Lookup(2, c), nullptr);
+  }
+  EXPECT_EQ(cache.size_bytes(), 8u << 10);
+}
+
+TEST(BlockCacheTest, KvStoreReadsPopulateAndHitCache) {
+  KVStoreOptions opts;
+  opts.dir = TempDir("cache_kv");
+  opts.block_cache_bytes = 1 << 20;
+  auto store = KVStore::Open(opts);
+  ASSERT_TRUE(store.ok());
+  KVStore* db = store.value().get();
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(db->Put("key" + std::to_string(i), std::string(64, 'v')).ok());
+  }
+  ASSERT_TRUE(db->CompactAll().ok());
+
+  std::string v;
+  ASSERT_TRUE(db->Get("key50", &v).ok());
+  auto after_first = db->stats();
+  EXPECT_GT(after_first.cache_misses, 0u);  // cold read filled the cache
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(db->Get("key50", &v).ok());
+  }
+  auto after_hot = db->stats();
+  EXPECT_GT(after_hot.cache_hits, after_first.cache_hits);
+  EXPECT_EQ(after_hot.cache_misses, after_first.cache_misses);
+}
+
 }  // namespace
 }  // namespace deluge::storage

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "storage/fault_injection.h"
+#include "storage/kv_store.h"
 #include "storage/sstable.h"
 #include "storage/wal.h"
 
@@ -165,6 +166,137 @@ TEST(SSTableFaultTest, TornBuildFailsAndPartialFileNeverOpens) {
   auto ok = SSTable::Build(dir + "/clean.sst", entries);
   ASSERT_TRUE(ok.ok());
   EXPECT_EQ(ok.value()->entry_count(), entries.size());
+}
+
+// ---------------------------------------------------------------------
+// Whole-engine crash tests: a fault is injected into a background
+// flush / compaction output file, the store is closed (the "crash"),
+// and a clean reopen must recover every acknowledged write.
+
+TEST(KVStoreCrashTest, CrashDuringBackgroundFlushLosesNoAcknowledgedWrite) {
+  std::string dir = TempDir("kv_crash_flush");
+  ScriptedIoFaults faults;
+  KVStoreOptions opts;
+  opts.dir = dir;
+  opts.table_faults = &faults;
+  {
+    auto store = KVStore::Open(opts);
+    ASSERT_TRUE(store.ok());
+    KVStore* db = store.value().get();
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_TRUE(db->Put("key" + std::to_string(i), "v").ok());
+    }
+    // The flush's SSTable build crashes mid-write (torn file).
+    faults.TearWriteAfter(0, /*keep_bytes=*/512);
+    Status s = db->Flush();
+    EXPECT_FALSE(s.ok());  // the failure is surfaced, not swallowed
+    EXPECT_EQ(faults.torn_writes(), 1u);
+    // The sealed memtable's WAL is still on disk: nothing acknowledged
+    // was dropped with the failed table.
+    EXPECT_TRUE(fs::exists(dir + "/wal.imm.log"));
+  }  // "crash": close with the flush incomplete
+
+  opts.table_faults = nullptr;
+  auto reopened = KVStore::Open(opts);
+  ASSERT_TRUE(reopened.ok());
+  KVStore* db = reopened.value().get();
+  // Recovery completed the interrupted flush: the sealed memtable's WAL
+  // was replayed into a real L0 table and then retired.
+  EXPECT_FALSE(fs::exists(dir + "/wal.imm.log"));
+  EXPECT_GE(db->l0_file_count(), 1u);
+  std::string v;
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(db->Get("key" + std::to_string(i), &v).ok()) << i;
+    EXPECT_EQ(v, "v");
+  }
+  // The store is fully operational: new writes, flushes, compactions.
+  ASSERT_TRUE(db->Put("after", "crash").ok());
+  ASSERT_TRUE(db->CompactAll().ok());
+  ASSERT_TRUE(db->Get("after", &v).ok());
+}
+
+TEST(KVStoreCrashTest, CrashDuringCompactionKeepsOldTablesLive) {
+  std::string dir = TempDir("kv_crash_compact");
+  ScriptedIoFaults faults;
+  KVStoreOptions opts;
+  opts.dir = dir;
+  opts.table_faults = &faults;
+  opts.l0_compaction_trigger = 100;  // keep compaction manual
+  size_t l0_before = 0;
+  {
+    auto store = KVStore::Open(opts);
+    ASSERT_TRUE(store.ok());
+    KVStore* db = store.value().get();
+    for (int batch = 0; batch < 3; ++batch) {
+      for (int i = 0; i < 20; ++i) {
+        ASSERT_TRUE(
+            db->Put("key" + std::to_string(batch * 20 + i), "v").ok());
+      }
+      ASSERT_TRUE(db->Flush().ok());
+    }
+    l0_before = db->l0_file_count();
+    ASSERT_EQ(l0_before, 3u);
+
+    // The compaction's merged output file tears mid-write.
+    faults.TearWriteAfter(0, /*keep_bytes=*/256);
+    Status s = db->CompactAll();
+    EXPECT_FALSE(s.ok());
+    EXPECT_EQ(faults.torn_writes(), 1u);
+    // Failure leaves the input tables installed and readable.
+    EXPECT_EQ(db->l0_file_count(), 3u);
+    std::string v;
+    ASSERT_TRUE(db->Get("key0", &v).ok());
+  }  // "crash" with the partial compaction output on disk
+
+  opts.table_faults = nullptr;
+  auto reopened = KVStore::Open(opts);
+  ASSERT_TRUE(reopened.ok());
+  KVStore* db = reopened.value().get();
+  // The old manifest still rules: all three L0 tables, every key.
+  EXPECT_EQ(db->l0_file_count(), l0_before);
+  std::string v;
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(db->Get("key" + std::to_string(i), &v).ok()) << i;
+  }
+  // The torn output file was garbage-collected as an orphan, and a
+  // retried compaction (reusing the file number) succeeds.
+  ASSERT_TRUE(db->CompactAll().ok());
+  EXPECT_EQ(db->l0_file_count(), 0u);
+  EXPECT_EQ(db->l1_file_count(), 1u);
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(db->Get("key" + std::to_string(i), &v).ok()) << i;
+  }
+}
+
+TEST(KVStoreCrashTest, BatchAcknowledgedBeforeCrashSurvivesRecovery) {
+  std::string dir = TempDir("kv_crash_batch");
+  ScriptedIoFaults faults;
+  KVStoreOptions opts;
+  opts.dir = dir;
+  opts.table_faults = &faults;
+  {
+    auto store = KVStore::Open(opts);
+    ASSERT_TRUE(store.ok());
+    KVStore* db = store.value().get();
+    WriteBatch batch;
+    for (int i = 0; i < 25; ++i) {
+      batch.Put("b" + std::to_string(i), "batched");
+    }
+    batch.Delete("b0");
+    ASSERT_TRUE(db->Write(batch).ok());
+    faults.TearWriteAfter(0, /*keep_bytes=*/128);
+    EXPECT_FALSE(db->Flush().ok());
+  }
+
+  opts.table_faults = nullptr;
+  auto reopened = KVStore::Open(opts);
+  ASSERT_TRUE(reopened.ok());
+  std::string v;
+  EXPECT_TRUE(reopened.value()->Get("b0", &v).IsNotFound());  // tombstone
+  for (int i = 1; i < 25; ++i) {
+    ASSERT_TRUE(reopened.value()->Get("b" + std::to_string(i), &v).ok());
+    EXPECT_EQ(v, "batched");
+  }
 }
 
 }  // namespace
