@@ -17,27 +17,30 @@ namespace {
 /// bounded when a firehose of writers piles onto the queue.
 constexpr size_t kMaxGroupBytes = 1u << 20;
 
-// WAL record payload: [fixed64 seq][u8 type][varint klen][key][varint vlen][value]
-std::string EncodeWalRecord(SequenceNumber seq, ValueType type,
-                            std::string_view key, std::string_view value) {
-  std::string rec;
-  rec.reserve(key.size() + value.size() + 16);
-  PutFixed64(&rec, seq);
-  rec.push_back(static_cast<char>(type));
-  PutLengthPrefixed(&rec, key);
-  PutLengthPrefixed(&rec, value);
-  return rec;
+// WAL record payload: one record per committed WriteBatch, holding the
+// batch's ops back to back.  Per-op encoding:
+//   [fixed64 seq][u8 type][varint klen][key][varint vlen][value]
+// A single-op batch is byte-identical to the old one-record-per-op
+// format, and the record's CRC makes a batch all-or-nothing on replay:
+// a torn frame drops the whole batch, never a recovered prefix of it —
+// Write()'s atomicity contract holds across crashes.
+void AppendWalOp(std::string* rec, SequenceNumber seq, ValueType type,
+                 std::string_view key, std::string_view value) {
+  PutFixed64(rec, seq);
+  rec->push_back(static_cast<char>(type));
+  PutLengthPrefixed(rec, key);
+  PutLengthPrefixed(rec, value);
 }
 
-bool DecodeWalRecord(std::string_view rec, SequenceNumber* seq,
-                     ValueType* type, std::string_view* key,
-                     std::string_view* value) {
+// Consumes one op from the front of `*rec`; false once exhausted.
+bool DecodeWalOp(std::string_view* rec, SequenceNumber* seq, ValueType* type,
+                 std::string_view* key, std::string_view* value) {
   uint64_t s = 0;
-  if (!GetFixed64(&rec, &s) || rec.empty()) return false;
+  if (!GetFixed64(rec, &s) || rec->empty()) return false;
   *seq = s;
-  *type = static_cast<ValueType>(rec.front());
-  rec.remove_prefix(1);
-  return GetLengthPrefixed(&rec, key) && GetLengthPrefixed(&rec, value);
+  *type = static_cast<ValueType>(rec->front());
+  rec->remove_prefix(1);
+  return GetLengthPrefixed(rec, key) && GetLengthPrefixed(rec, value);
 }
 
 }  // namespace
@@ -61,7 +64,11 @@ KVStore::~KVStore() {
   {
     std::unique_lock<std::mutex> lock(mu_);
     shutting_down_ = true;
-    while (flush_scheduled_ || compaction_running_) bg_cv_.wait(lock);
+    // Wait on the task bodies themselves, not the scheduling flags: a
+    // task clears its flag before its last touch of `this`, so on an
+    // external pool the flags alone would let destruction race the tail
+    // of a still-running task.
+    while (bg_inflight_ > 0) bg_cv_.wait(lock);
   }
   owned_pool_.reset();  // joins the private pool before members die
 }
@@ -152,7 +159,7 @@ Status KVStore::Recover() {
           SequenceNumber seq;
           ValueType type;
           std::string_view key, value;
-          if (DecodeWalRecord(rec, &seq, &type, &key, &value)) {
+          while (DecodeWalOp(&rec, &seq, &type, &key, &value)) {
             imm.Add(seq, type, key, value);
             max_seq = std::max(max_seq, seq);
           }
@@ -180,19 +187,31 @@ Status KVStore::Recover() {
   }
 
   // 4. Active WAL replay into the fresh memtable.
+  uint64_t valid_prefix = 0;
   auto replayed = WriteAheadLog::Replay(
-      WalPath(), [this, &max_seq](std::string_view rec) {
+      WalPath(),
+      [this, &max_seq](std::string_view rec) {
         SequenceNumber seq;
         ValueType type;
         std::string_view key, value;
-        if (DecodeWalRecord(rec, &seq, &type, &key, &value)) {
+        while (DecodeWalOp(&rec, &seq, &type, &key, &value)) {
           mem_->Add(seq, type, key, value);
           max_seq = std::max(max_seq, seq);
         }
-      });
+      },
+      &valid_prefix);
   if (!replayed.ok()) return replayed.status();
   next_seq_ = max_seq + 1;
 
+  // A crash mid-append leaves a torn frame at the tail.  Cut it before
+  // reuse: appending behind the garbage would make every post-recovery
+  // commit unreachable on the NEXT replay (which stops at the tear) —
+  // silent loss of acknowledged writes one crash later.
+  auto wal_size = FileSize(WalPath());
+  if (wal_size.ok() && wal_size.value() > valid_prefix) {
+    Status s = TruncateFile(WalPath(), valid_prefix);
+    if (!s.ok()) return s;
+  }
   return wal_.Open(WalPath());
 }
 
@@ -216,6 +235,13 @@ Status KVStore::Delete(std::string_view key) {
 
 Status KVStore::Write(const WriteBatch& batch) {
   if (batch.ops_.empty()) return Status::OK();
+  // A batch is one WAL record; replay rejects records over 64 MB as
+  // corruption, so an oversized batch would be acknowledged yet
+  // unrecoverable.  Refuse it up front (56 MB leaves margin for the
+  // per-op framing overhead).
+  if (batch.approximate_bytes() > (56u << 20)) {
+    return Status::InvalidArgument("WriteBatch exceeds 56 MB");
+  }
   for (const auto& op : batch.ops_) {
     if (op.key.empty()) return Status::InvalidArgument("empty key");
   }
@@ -260,13 +286,18 @@ Status KVStore::CommitWriter(Writer* w) {
     // WAL's exclusive-writer guarantee, and readers/background tasks
     // may proceed meanwhile.
     lock.unlock();
+    // One WAL record per batch (not per op): the frame CRC then covers
+    // the whole batch, so replay applies it all-or-nothing.
     std::vector<std::string> records;
-    records.reserve(group_ops);
+    records.reserve(group.size());
     SequenceNumber seq = first_seq;
     for (const WriteBatch* b : group) {
+      std::string rec;
+      rec.reserve(b->approximate_bytes() + 16);
       for (const auto& op : b->ops_) {
-        records.push_back(EncodeWalRecord(seq++, op.type, op.key, op.value));
+        AppendWalOp(&rec, seq++, op.type, op.key, op.value);
       }
+      records.push_back(std::move(rec));
     }
     s = wal_.AppendBatch(records, options_.sync_wal);
     if (s.ok() && options_.sync_wal) {
@@ -347,19 +378,26 @@ Status KVStore::SealMemtableLocked() {
 }
 
 void KVStore::ScheduleBackground(void (KVStore::*method)()) {
-  pool_->Submit([this, method] { (this->*method)(); });
+  ++bg_inflight_;  // mu_ is held by every caller
+  pool_->Submit([this, method] {
+    (this->*method)();
+    std::lock_guard<std::mutex> lock(mu_);
+    --bg_inflight_;
+    bg_cv_.notify_all();
+  });
 }
 
 void KVStore::BackgroundFlushTask() {
+  // flush_scheduled_ and bg_error_ are managed inside DoFlush, in the
+  // same critical sections that change imm_ — clearing the flag here,
+  // after the fact, would let a seal that slipped in between schedule a
+  // second flush while this one still counts as "done".
   Status s = DoFlush();
   std::lock_guard<std::mutex> lock(mu_);
-  flush_scheduled_ = false;
   if (s.ok()) {
-    bg_error_ = Status::OK();
     MaybeScheduleCompactionLocked();
   } else {
     DELUGE_LOG_WARN("background flush failed: %s", s.ToString().c_str());
-    bg_error_ = s;
   }
   bg_cv_.notify_all();
 }
@@ -367,7 +405,10 @@ void KVStore::BackgroundFlushTask() {
 Status KVStore::DoFlush() {
   std::unique_lock<std::mutex> lock(mu_);
   std::shared_ptr<MemTable> imm = imm_;
-  if (imm == nullptr) return Status::OK();
+  if (imm == nullptr) {
+    flush_scheduled_ = false;
+    return Status::OK();
+  }
   uint64_t number = next_file_number_++;
   lock.unlock();
 
@@ -382,17 +423,43 @@ Status KVStore::DoFlush() {
       SSTable::Build(TableFileName(number), entries,
                      options_.bloom_bits_per_key, options_.table_faults,
                      block_cache_.get());
-  if (!table.ok()) return table.status();
 
   lock.lock();
+  if (!table.ok()) {
+    // imm_ stays in place, still covered by wal.imm.log; clearing the
+    // flag under the same lock lets a stalled writer schedule the retry.
+    flush_scheduled_ = false;
+    bg_error_ = table.status();
+    return table.status();
+  }
   l0_.push_front(table.value());
-  imm_.reset();
-  counters_.flushes.fetch_add(1, std::memory_order_relaxed);
   Status s = WriteManifestLocked();
-  lock.unlock();
-  if (!s.ok()) return s;
-  // Only after the manifest durably lists the table is the sealed
-  // memtable's WAL redundant.
+  if (!s.ok()) {
+    // The table never became durably referenced: roll the install back
+    // and keep imm_ (and wal.imm.log) for the retry.  Resetting imm_
+    // here would let the next seal rename wal.log onto wal.imm.log, and
+    // a crash would then orphan-delete the table while its covering WAL
+    // is gone — acknowledged writes lost to a transient manifest error.
+    l0_.pop_front();
+    flush_scheduled_ = false;
+    bg_error_ = s;
+    lock.unlock();
+    std::remove(TableFileName(number).c_str());
+    if (block_cache_ != nullptr) {
+      block_cache_->EraseTable(table.value()->table_id());
+    }
+    return s;
+  }
+  imm_.reset();
+  flush_scheduled_ = false;
+  bg_error_ = Status::OK();
+  counters_.flushes.fetch_add(1, std::memory_order_relaxed);
+  // Retire the sealed memtable's WAL inside the same critical section
+  // that installs its table: the manifest above durably lists the table,
+  // and WAL rotation (SealMemtableLocked) also runs under mu_ and only
+  // once imm_ is null — so this remove can never hit a freshly rotated
+  // wal.imm.log, which would be the only durable copy of the NEXT
+  // sealed memtable.
   std::remove(ImmWalPath().c_str());
   return Status::OK();
 }
@@ -432,12 +499,24 @@ Status KVStore::DoCompaction() {
   // the install below untouched.  Dropping tombstones is legal because
   // the inputs are the complete table set as of the snapshot — anything
   // newer shadows us, anything a tombstone shadowed is in the inputs.
+  uint64_t expected = 0;
+  for (const auto& t : inputs) expected += t->entry_count();
   std::vector<InternalEntry> all;
+  all.reserve(expected);
   for (const auto& t : inputs) {
     SSTable::Iterator it(t.get());
     for (it.SeekToFirst(); it.Valid(); it.Next()) {
       all.push_back(it.entry());
     }
+    // A scan that did not end cleanly (I/O error, truncated record) must
+    // abort the whole compaction: installing a partial merge would
+    // unlink input tables that still hold durable, acknowledged data.
+    if (!it.status().ok()) return it.status();
+  }
+  if (all.size() != expected) {
+    return Status::Corruption("compaction input scan truncated: read " +
+                              std::to_string(all.size()) + " of " +
+                              std::to_string(expected) + " entries");
   }
   std::vector<InternalEntry> merged =
       MergeEntries(std::move(all), /*drop_tombstones=*/true);
@@ -599,6 +678,10 @@ std::vector<InternalEntry> KVStore::GatherAllLocked() const {
     SSTable::Iterator it(t.get());
     for (it.SeekToFirst(); it.Valid(); it.Next()) {
       all.push_back(it.entry());
+    }
+    if (!it.status().ok()) {
+      DELUGE_LOG_WARN("snapshot scan of %s stopped early: %s",
+                      t->path().c_str(), it.status().ToString().c_str());
     }
   };
   for (const auto& t : l0_) drain(t);

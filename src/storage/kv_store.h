@@ -68,8 +68,9 @@ struct KVStoreStats {
   uint64_t disk_probes = 0;
 };
 
-/// A batch of writes applied atomically (one commit, one WAL sync).
-/// Cheap to build; reusable after `Clear`.
+/// A batch of writes applied atomically (one commit, one WAL sync, one
+/// CRC-covered WAL record — recovery replays the batch all-or-nothing,
+/// never a prefix).  Cheap to build; reusable after `Clear`.
 class WriteBatch {
  public:
   void Put(std::string_view key, std::string_view value) {
@@ -245,8 +246,15 @@ class KVStore {
   std::vector<std::shared_ptr<SSTable>> l1_;
   SequenceNumber next_seq_ = 1;
   uint64_t next_file_number_ = 1;
+  // flush_scheduled_ means "exactly one flush task is queued or running
+  // and owns imm_"; it is set where the task is scheduled and cleared
+  // only by DoFlush, in the same critical sections that change imm_.
   bool flush_scheduled_ = false;
   bool compaction_running_ = false;
+  // Background task bodies in flight (incremented at Submit under mu_,
+  // decremented as the task's last act); the destructor waits on this,
+  // not on the flags above, so it cannot race a task's tail.
+  int bg_inflight_ = 0;
   bool shutting_down_ = false;
   Status bg_error_;  // sticky until the next successful flush
 

@@ -174,12 +174,14 @@ Status SSTable::LoadFooterAndIndex() {
       last = it.entry().user_key;
       it.Next();
     }
+    if (!it.status().ok()) return it.status();
     max_key_ = last;
   }
   return Status::OK();
 }
 
-BlockCache::ChunkPtr SSTable::ReadChunk(uint64_t chunk_index) const {
+BlockCache::ChunkPtr SSTable::ReadChunk(uint64_t chunk_index,
+                                        Status* status) const {
   uint64_t offset = chunk_index * kReadChunkSize;
   if (offset >= data_end_) return nullptr;
   if (cache_ != nullptr) {
@@ -188,7 +190,11 @@ BlockCache::ChunkPtr SSTable::ReadChunk(uint64_t chunk_index) const {
   }
   size_t n = size_t(std::min<uint64_t>(kReadChunkSize, data_end_ - offset));
   auto chunk = std::make_shared<std::string>(n, '\0');
-  if (!ReadAt(offset, n, chunk->data()).ok()) return nullptr;
+  Status s = ReadAt(offset, n, chunk->data());
+  if (!s.ok()) {
+    if (status != nullptr) *status = s;
+    return nullptr;
+  }
   if (cache_ != nullptr) cache_->Insert(table_id_, chunk_index, chunk);
   return chunk;
 }
@@ -210,6 +216,9 @@ Status SSTable::Get(std::string_view key, SequenceNumber snapshot,
     }
     it.Next();
   }
+  // An I/O error mid-probe must not masquerade as NotFound: the key may
+  // well be in the unreadable region.
+  if (!it.status().ok()) return it.status();
   return Status::NotFound();
 }
 
@@ -220,6 +229,7 @@ SSTable::Iterator::Iterator(const SSTable* table) : table_(table) {}
 void SSTable::Iterator::SeekToFirst() {
   next_offset_ = 0;
   valid_ = false;
+  status_ = Status::OK();
   Next();
 }
 
@@ -230,6 +240,7 @@ void SSTable::Iterator::Seek(std::string_view key) {
   // tail of the previous block (entries sort by (key asc, seq desc)), so
   // the scan must start one block earlier.
   const auto& idx = table_->index_;
+  status_ = Status::OK();
   if (idx.empty()) {
     valid_ = false;
     return;
@@ -286,8 +297,8 @@ bool SSTable::Iterator::ReadEntryAt(uint64_t offset) {
   // entry) instead of issuing fresh I/O per entry.
   if (chunk_ == nullptr || offset < chunk_off_ ||
       offset >= chunk_off_ + chunk_->size()) {
-    chunk_ = table_->ReadChunk(offset / kReadChunkSize);
-    if (chunk_ == nullptr) return false;
+    chunk_ = table_->ReadChunk(offset / kReadChunkSize, &status_);
+    if (chunk_ == nullptr) return false;  // status_ carries the I/O error
     chunk_off_ = (offset / kReadChunkSize) * kReadChunkSize;
   }
   size_t in_chunk = size_t(offset - chunk_off_);
@@ -304,7 +315,7 @@ bool SSTable::Iterator::ReadEntryAt(uint64_t offset) {
   spill_.assign(chunk_->data() + in_chunk, chunk_->size() - in_chunk);
   uint64_t next_chunk = chunk_off_ / kReadChunkSize + 1;
   while (next_chunk * kReadChunkSize < table_->data_end_) {
-    BlockCache::ChunkPtr more = table_->ReadChunk(next_chunk);
+    BlockCache::ChunkPtr more = table_->ReadChunk(next_chunk, &status_);
     if (more == nullptr) return false;
     spill_.append(*more);
     ++next_chunk;
@@ -317,6 +328,9 @@ bool SSTable::Iterator::ReadEntryAt(uint64_t offset) {
       return true;
     }
   }
+  // The data region ended mid-record: damage, not a clean EOF (Next()
+  // catches the clean case before ever calling here).
+  status_ = Status::Corruption("truncated record in " + table_->path_);
   return false;
 }
 

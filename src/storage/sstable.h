@@ -82,6 +82,12 @@ class SSTable {
     void Seek(std::string_view key);
     void Next();
     const InternalEntry& entry() const { return current_; }
+    /// OK while the scan is healthy, including after a clean end of
+    /// table.  An I/O error or truncated record invalidates the iterator
+    /// and parks the cause here — callers that must distinguish "done"
+    /// from "failed" (compaction input scans!) check this after the
+    /// loop; treating an error as EOF would install a truncated merge.
+    const Status& status() const { return status_; }
 
    private:
     bool ReadEntryAt(uint64_t offset);
@@ -96,6 +102,7 @@ class SSTable {
     std::string spill_;           // assembly buffer for boundary records
     InternalEntry current_;
     bool valid_ = false;
+    Status status_;               // first scan error; OK on clean EOF
   };
 
   const std::string& path() const { return path_; }
@@ -123,8 +130,11 @@ class SSTable {
   Status ReadAt(uint64_t offset, size_t n, char* dst) const;
   /// Returns the aligned data-region chunk with the given index, from
   /// the cache when attached, else from disk (populating the cache).
-  /// nullptr when the chunk is out of range or the read fails.
-  BlockCache::ChunkPtr ReadChunk(uint64_t chunk_index) const;
+  /// nullptr when the chunk is out of range or the read fails; a read
+  /// failure additionally stores its cause in `*status` when given, so
+  /// callers can tell an I/O error apart from end-of-data.
+  BlockCache::ChunkPtr ReadChunk(uint64_t chunk_index,
+                                 Status* status = nullptr) const;
 
   std::string path_;
   int fd_ = -1;

@@ -108,10 +108,13 @@ Status WriteAheadLog::AppendBatch(const std::vector<std::string>& records,
 
 Result<size_t> WriteAheadLog::Replay(
     const std::string& path,
-    const std::function<void(std::string_view)>& consumer) {
+    const std::function<void(std::string_view)>& consumer,
+    uint64_t* valid_prefix_bytes) {
+  if (valid_prefix_bytes != nullptr) *valid_prefix_bytes = 0;
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return size_t{0};  // no log => nothing to replay
   size_t replayed = 0;
+  uint64_t intact_bytes = 0;
   std::vector<char> buf;
   for (;;) {
     char header[12];
@@ -127,8 +130,10 @@ Result<size_t> WriteAheadLog::Replay(
     if (Hash64(buf.data(), len) != crc) break;            // corrupt
     consumer(std::string_view(buf.data(), len));
     ++replayed;
+    intact_bytes += sizeof(header) + len;
   }
   std::fclose(f);
+  if (valid_prefix_bytes != nullptr) *valid_prefix_bytes = intact_bytes;
   return replayed;
 }
 

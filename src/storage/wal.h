@@ -43,10 +43,14 @@ class WriteAheadLog {
 
   /// Replays every intact record in file order through `consumer`.
   /// Returns the number of records replayed.  Stops at the first corrupt
-  /// or truncated record without error.
+  /// or truncated record without error.  When `valid_prefix_bytes` is
+  /// non-null it receives the byte length of the intact record prefix —
+  /// callers that reuse the log should truncate it to that length first,
+  /// or appends after a torn tail are unreachable on the next replay.
   static Result<size_t> Replay(
       const std::string& path,
-      const std::function<void(std::string_view)>& consumer);
+      const std::function<void(std::string_view)>& consumer,
+      uint64_t* valid_prefix_bytes = nullptr);
 
   /// Closes and truncates the log to empty (called after a memtable
   /// flush makes its contents redundant).

@@ -58,6 +58,9 @@ TEST(StorageConcurrencyTest, ParallelWritersAllAcknowledgedWritesReadable) {
     for (auto& t : threads) t.join();
     EXPECT_EQ(failures.load(), 0);
 
+    // stats().flushes counts *completed* flushes; wait out the background
+    // task so the assertion doesn't race a starved pool thread.
+    ASSERT_TRUE(db->Flush().ok());
     auto stats = db->stats();
     EXPECT_EQ(stats.puts, uint64_t(kWriters) * kOpsPerWriter);
     EXPECT_GT(stats.flushes, 0u);

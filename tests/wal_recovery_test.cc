@@ -268,6 +268,142 @@ TEST(KVStoreCrashTest, CrashDuringCompactionKeepsOldTablesLive) {
   }
 }
 
+TEST(SSTableFaultTest, CorruptRecordSurfacesIteratorStatusNotSilentEof) {
+  std::string dir = TempDir("sst_corrupt_rec");
+  std::vector<InternalEntry> entries;
+  for (int i = 0; i < 100; ++i) {
+    InternalEntry e;
+    e.user_key = "key" + std::to_string(1000 + i);
+    e.seq = uint64_t(i + 1);
+    e.value = std::string(64, 'v');
+    entries.push_back(std::move(e));
+  }
+  std::string path = dir + "/rot.sst";
+  { ASSERT_TRUE(SSTable::Build(path, entries).ok()); }
+  // Bit rot in the first record's key-length varint: the decoder now
+  // demands more bytes than the data region holds.  Footer, index, and
+  // bloom are intact, so the table still opens (its max-key scan starts
+  // at the last index point, past the damage).
+  ASSERT_TRUE(FlipByte(path, /*offset=*/0).ok());
+  auto table = SSTable::Open(path);
+  ASSERT_TRUE(table.ok());
+
+  // The scan must report the damage, not stop as if the table ended.
+  SSTable::Iterator it(table.value().get());
+  it.SeekToFirst();
+  EXPECT_FALSE(it.Valid());
+  EXPECT_FALSE(it.status().ok());
+}
+
+TEST(KVStoreCrashTest, CompactionAbortsOnCorruptInputTable) {
+  std::string dir = TempDir("kv_corrupt_compact");
+  KVStoreOptions opts;
+  opts.dir = dir;
+  opts.l0_compaction_trigger = 100;  // keep compaction manual
+  {
+    auto store = KVStore::Open(opts);
+    ASSERT_TRUE(store.ok());
+    // Enough entries that the first record sits far from the last index
+    // block: reopen's max-key scan never visits it, so the damage is
+    // first encountered by the compaction's input scan.
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE(store.value()->Put("key" + std::to_string(i), "v").ok());
+    }
+    ASSERT_TRUE(store.value()->Flush().ok());
+    ASSERT_EQ(store.value()->l0_file_count(), 1u);
+  }
+  // Bit rot inside the only L0 table's first record while "offline".
+  std::string sst;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() == ".sst") sst = entry.path().string();
+  }
+  ASSERT_FALSE(sst.empty());
+  ASSERT_TRUE(FlipByte(sst, /*offset=*/0).ok());
+
+  auto reopened = KVStore::Open(opts);
+  ASSERT_TRUE(reopened.ok());
+  KVStore* db = reopened.value().get();
+  // The merge must abort rather than install a truncated output and
+  // unlink the input — which would permanently delete the durable
+  // entries that are still readable past the damaged record.
+  EXPECT_FALSE(db->CompactAll().ok());
+  EXPECT_EQ(db->l0_file_count(), 1u);
+  EXPECT_TRUE(fs::exists(sst));
+}
+
+TEST(KVStoreCrashTest, TornBatchFrameRecoversAllOrNothing) {
+  std::string dir = TempDir("kv_torn_batch");
+  KVStoreOptions opts;
+  opts.dir = dir;
+  uint64_t bytes_before_doomed = 0;
+  {
+    auto store = KVStore::Open(opts);
+    ASSERT_TRUE(store.ok());
+    WriteBatch acknowledged;
+    acknowledged.Put("a1", "v");
+    acknowledged.Put("a2", "v");
+    ASSERT_TRUE(store.value()->Write(acknowledged).ok());
+    auto size = FileSize(dir + "/wal.log");
+    ASSERT_TRUE(size.ok());
+    bytes_before_doomed = size.value();
+    WriteBatch doomed;
+    for (int i = 0; i < 10; ++i) doomed.Put("d" + std::to_string(i), "v");
+    ASSERT_TRUE(store.value()->Write(doomed).ok());
+  }
+  // Crash mid-append: half of the second batch's frame reaches disk.
+  // Write()'s contract demands the half-batch vanish entirely on
+  // recovery — replaying a prefix of it would break batch atomicity.
+  auto size = FileSize(dir + "/wal.log");
+  ASSERT_TRUE(size.ok());
+  ASSERT_TRUE(TruncateFile(dir + "/wal.log",
+                           bytes_before_doomed +
+                               (size.value() - bytes_before_doomed) / 2)
+                  .ok());
+
+  auto reopened = KVStore::Open(opts);
+  ASSERT_TRUE(reopened.ok());
+  std::string v;
+  ASSERT_TRUE(reopened.value()->Get("a1", &v).ok());
+  ASSERT_TRUE(reopened.value()->Get("a2", &v).ok());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(
+        reopened.value()->Get("d" + std::to_string(i), &v).IsNotFound())
+        << i;
+  }
+}
+
+TEST(KVStoreCrashTest, TornWalTailCannotStrandPostRecoveryWrites) {
+  std::string dir = TempDir("kv_torn_tail");
+  KVStoreOptions opts;
+  opts.dir = dir;
+  {
+    auto store = KVStore::Open(opts);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(store.value()->Put("a", "1").ok());
+    ASSERT_TRUE(store.value()->Put("b", "2").ok());
+  }
+  // Crash mid-append tears the last frame.
+  auto size = FileSize(dir + "/wal.log");
+  ASSERT_TRUE(size.ok());
+  ASSERT_TRUE(TruncateFile(dir + "/wal.log", size.value() - 3).ok());
+  {
+    auto store = KVStore::Open(opts);
+    ASSERT_TRUE(store.ok());
+    std::string v;
+    ASSERT_TRUE(store.value()->Get("a", &v).ok());
+    EXPECT_TRUE(store.value()->Get("b", &v).IsNotFound());  // torn away
+    // Recovery truncated the torn tail, so this lands right after the
+    // intact prefix — not behind garbage that replay stops at.
+    ASSERT_TRUE(store.value()->Put("c", "3").ok());
+  }
+  auto store = KVStore::Open(opts);
+  ASSERT_TRUE(store.ok());
+  std::string v;
+  ASSERT_TRUE(store.value()->Get("a", &v).ok());
+  ASSERT_TRUE(store.value()->Get("c", &v).ok());
+  EXPECT_EQ(v, "3");
+}
+
 TEST(KVStoreCrashTest, BatchAcknowledgedBeforeCrashSurvivesRecovery) {
   std::string dir = TempDir("kv_crash_batch");
   ScriptedIoFaults faults;
