@@ -22,6 +22,24 @@ std::string_view FaultKindName(FaultKind kind) {
   return "unknown";
 }
 
+FaultSchedule::FaultSchedule(net::Network* net, net::Simulator* sim)
+    : net_(net), sim_(sim) {
+  for (size_t k = 0; k < 10; ++k) {
+    injected_[k] = obs_.counter(
+        "injected",
+        {{"kind", std::string(FaultKindName(FaultKind(k)))}});
+  }
+  total_ = obs_.counter("total");
+}
+
+const ChaosStats& FaultSchedule::stats() const {
+  for (size_t k = 0; k < 10; ++k) {
+    snapshot_.injected[k] = injected_[k]->Value();
+  }
+  snapshot_.total = total_->Value();
+  return snapshot_;
+}
+
 FaultSchedule& FaultSchedule::Add(const FaultEvent& event) {
   events_.push_back(event);
   return *this;
@@ -210,8 +228,8 @@ void FaultSchedule::Apply(const FaultEvent& ev) {
       net_->ClearBurstLoss(ev.a, ev.b);
       break;
   }
-  ++stats_.injected[size_t(ev.kind)];
-  ++stats_.total;
+  injected_[size_t(ev.kind)]->Add(1);
+  total_->Add(1);
   std::string line = "t=" + std::to_string(ev.at) + " " +
                      std::string(FaultKindName(ev.kind)) +
                      " a=" + std::to_string(ev.a);

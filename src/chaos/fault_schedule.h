@@ -7,6 +7,7 @@
 
 #include "common/rng.h"
 #include "net/network.h"
+#include "obs/metrics.h"
 
 namespace deluge::chaos {
 
@@ -74,8 +75,7 @@ struct RandomScheduleOptions {
 class FaultSchedule {
  public:
   /// `net` and `sim` must outlive the schedule (and the run).
-  FaultSchedule(net::Network* net, net::Simulator* sim)
-      : net_(net), sim_(sim) {}
+  FaultSchedule(net::Network* net, net::Simulator* sim);
 
   // Scripted builders; all return *this for chaining.  `duration` > 0
   // schedules the matching end event automatically.
@@ -106,7 +106,8 @@ class FaultSchedule {
   const std::vector<std::string>& trace() const { return trace_; }
   /// Order-sensitive 64-bit fingerprint of the applied-fault trace.
   uint64_t TraceHash() const;
-  const ChaosStats& stats() const { return stats_; }
+  /// Registry-backed snapshot, refreshed on every call.
+  const ChaosStats& stats() const;
 
  private:
   void Apply(const FaultEvent& event);
@@ -115,7 +116,10 @@ class FaultSchedule {
   net::Simulator* sim_;
   std::vector<FaultEvent> events_;
   std::vector<std::string> trace_;
-  ChaosStats stats_;
+  obs::StatsScope obs_{"chaos"};
+  obs::Counter* injected_[10];  // indexed by FaultKind, {kind=…} labels
+  obs::Counter* total_;
+  mutable ChaosStats snapshot_;
   bool armed_ = false;
 };
 

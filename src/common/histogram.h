@@ -15,6 +15,10 @@ namespace deluge {
 /// by the bucket growth factor (~12% here).  This is the standard
 /// storage-engine tradeoff (cf. RocksDB's histogram) — O(1) record cost,
 /// no allocation on the hot path.
+///
+/// Not thread-safe: when multiple threads record into one histogram,
+/// use `obs::ConcurrentHistogram`, which stripes mutexed instances of
+/// this class and merges them on snapshot.
 class Histogram {
  public:
   Histogram();

@@ -8,6 +8,25 @@ namespace deluge::consistency {
 CoherencyFilter::CoherencyFilter(CoherencyContract default_contract)
     : default_contract_(default_contract) {}
 
+const CoherencyStats& CoherencyFilter::stats() const {
+  snapshot_.updates_offered = updates_offered_->Value();
+  snapshot_.updates_sent = updates_sent_->Value();
+  snapshot_.updates_suppressed = updates_suppressed_->Value();
+  snapshot_.bytes_sent = bytes_sent_->Value();
+  snapshot_.deviation_sum = deviation_sum_->Value();
+  snapshot_.deviation_max = deviation_max_->Value();
+  return snapshot_;
+}
+
+void CoherencyFilter::ResetStats() {
+  updates_offered_->Reset();
+  updates_sent_->Reset();
+  updates_suppressed_->Reset();
+  bytes_sent_->Reset();
+  deviation_sum_->Reset();
+  deviation_max_->Reset();
+}
+
 void CoherencyFilter::SetContract(uint64_t entity,
                                   const CoherencyContract& contract) {
   contracts_[entity] = contract;
@@ -21,19 +40,19 @@ const CoherencyContract& CoherencyFilter::ContractFor(uint64_t entity) const {
 bool CoherencyFilter::Decide(EntityState& st, double deviation, Micros now,
                              const CoherencyContract& contract,
                              uint64_t bytes) {
-  ++stats_.updates_offered;
+  updates_offered_->Add(1);
   bool must_send = !st.ever_sent || deviation > contract.value_bound ||
                    (now - st.last_sent_at) >= contract.max_staleness;
   if (must_send) {
-    ++stats_.updates_sent;
-    stats_.bytes_sent += bytes;
+    updates_sent_->Add(1);
+    bytes_sent_->Add(bytes);
     st.last_sent_at = now;
     st.ever_sent = true;
     return true;
   }
-  ++stats_.updates_suppressed;
-  stats_.deviation_sum += deviation;
-  stats_.deviation_max = std::max(stats_.deviation_max, deviation);
+  updates_suppressed_->Add(1);
+  deviation_sum_->Add(deviation);
+  deviation_max_->UpdateMax(deviation);
   return false;
 }
 

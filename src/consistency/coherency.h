@@ -7,6 +7,7 @@
 
 #include "common/clock.h"
 #include "geo/geometry.h"
+#include "obs/metrics.h"
 
 namespace deluge::consistency {
 
@@ -70,8 +71,9 @@ class CoherencyFilter {
   /// The value the mirror currently holds (last transmitted), if any.
   bool MirrorValue(uint64_t entity, geo::Vec3* out) const;
 
-  const CoherencyStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = CoherencyStats{}; }
+  /// Registry-backed snapshot, refreshed on every call.
+  const CoherencyStats& stats() const;
+  void ResetStats();
 
  private:
   struct EntityState {
@@ -88,7 +90,15 @@ class CoherencyFilter {
   CoherencyContract default_contract_;
   std::unordered_map<uint64_t, CoherencyContract> contracts_;
   std::unordered_map<uint64_t, EntityState> states_;
-  CoherencyStats stats_;
+  obs::StatsScope obs_{"coherency"};
+  obs::Counter* updates_offered_ = obs_.counter("updates_offered");
+  obs::Counter* updates_sent_ = obs_.counter("updates_sent");
+  obs::Counter* updates_suppressed_ = obs_.counter("updates_suppressed");
+  obs::Counter* bytes_sent_ = obs_.counter("bytes_sent");
+  obs::Gauge* deviation_sum_ = obs_.gauge("deviation_sum");
+  obs::Gauge* deviation_max_ =
+      obs_.gauge("deviation_max", obs::Gauge::Agg::kMax);
+  mutable CoherencyStats snapshot_;
 };
 
 }  // namespace deluge::consistency

@@ -25,7 +25,14 @@ TransmissionScheduler::TransmissionScheduler(net::Simulator* sim,
     : sim_(sim),
       bandwidth_(bandwidth_bytes_per_sec > 0 ? bandwidth_bytes_per_sec
                                              : 1.0),
-      policy_(policy) {}
+      policy_(policy) {
+  for (uint8_t c = 0; c < 4; ++c) {
+    obs::Labels labels{{"class", UrgencyName(Urgency(c))}};
+    m_[c].latency = obs_.histogram("latency_us", labels);
+    m_[c].delivered = obs_.counter("delivered", labels);
+    m_[c].deadline_misses = obs_.counter("deadline_misses", labels);
+  }
+}
 
 void TransmissionScheduler::Submit(PendingUpdate update) {
   queue_.push_back(Item{std::move(update), sim_->Now(), next_seq_++});
@@ -88,11 +95,11 @@ void TransmissionScheduler::MaybeStartTransmission() {
                           double(kMicrosPerSecond));
   sim_->After(tx_time, [this, item = std::move(item)]() {
     Micros now = sim_->Now();
-    ClassStats& cs = stats_[uint8_t(item.update.urgency)];
-    cs.latency.Record(now - item.enqueued_at);
-    ++cs.delivered;
+    const ClassMetrics& cm = m_[uint8_t(item.update.urgency)];
+    cm.latency->Record(now - item.enqueued_at);
+    cm.delivered->Add(1);
     if (item.update.deadline > 0 && now > item.update.deadline) {
-      ++cs.deadline_misses;
+      cm.deadline_misses->Add(1);
     }
     if (item.update.on_delivered) item.update.on_delivered(now);
     busy_ = false;
@@ -101,14 +108,19 @@ void TransmissionScheduler::MaybeStartTransmission() {
 }
 
 const ClassStats& TransmissionScheduler::stats_for(Urgency u) const {
-  return stats_[uint8_t(u)];
+  const ClassMetrics& cm = m_[uint8_t(u)];
+  ClassStats& snap = snaps_[uint8_t(u)];
+  snap.latency = cm.latency->Snapshot();
+  snap.delivered = cm.delivered->Value();
+  snap.deadline_misses = cm.deadline_misses->Value();
+  return snap;
 }
 
 uint64_t TransmissionScheduler::queued() const { return queue_.size(); }
 
 uint64_t TransmissionScheduler::total_delivered() const {
   uint64_t n = 0;
-  for (const auto& cs : stats_) n += cs.delivered;
+  for (const auto& cm : m_) n += cm.delivered->Value();
   return n;
 }
 

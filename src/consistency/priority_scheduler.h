@@ -9,6 +9,7 @@
 
 #include "common/histogram.h"
 #include "net/simulator.h"
+#include "obs/metrics.h"
 
 namespace deluge::net {
 class Network;
@@ -63,6 +64,7 @@ class TransmissionScheduler {
   /// Enqueues `update` at the current virtual time.
   void Submit(PendingUpdate update);
 
+  /// Registry-backed snapshot, refreshed on every call.
   const ClassStats& stats_for(Urgency u) const;
   uint64_t queued() const;
   uint64_t total_delivered() const;
@@ -81,7 +83,15 @@ class TransmissionScheduler {
   };
   std::deque<Item> queue_;
   uint64_t next_seq_ = 0;
-  ClassStats stats_[4];
+  obs::StatsScope obs_{"txsched"};
+  /// Per-urgency handles, labelled {class=critical|high|normal|bulk}.
+  struct ClassMetrics {
+    obs::ConcurrentHistogram* latency;
+    obs::Counter* delivered;
+    obs::Counter* deadline_misses;
+  };
+  ClassMetrics m_[4];
+  mutable ClassStats snaps_[4];
 };
 
 }  // namespace deluge::consistency

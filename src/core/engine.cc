@@ -1,6 +1,30 @@
 #include "core/engine.h"
 
+#include "obs/trace.h"
+
 namespace deluge::core {
+
+CoSpaceEngine::EngineCounters::EngineCounters(obs::StatsScope& scope)
+    : physical_updates(scope.counter("physical_updates")),
+      mirrored_updates(scope.counter("mirrored_updates")),
+      suppressed_updates(scope.counter("suppressed_updates")),
+      virtual_commands(scope.counter("virtual_commands")),
+      relayed_commands(scope.counter("relayed_commands")),
+      events_published(scope.counter("events_published")) {}
+
+void CoSpaceEngine::EngineCounters::Fill(EngineStats* out) const {
+  out->physical_updates = physical_updates->Value();
+  out->mirrored_updates = mirrored_updates->Value();
+  out->suppressed_updates = suppressed_updates->Value();
+  out->virtual_commands = virtual_commands->Value();
+  out->relayed_commands = relayed_commands->Value();
+  out->events_published = events_published->Value();
+}
+
+const EngineStats& CoSpaceEngine::stats() const {
+  c_.Fill(&snapshot_);
+  return snapshot_;
+}
 
 pubsub::Event MakeMirrorPositionEvent(EntityId id, const geo::Vec3& pos,
                                       Micros t) {
@@ -53,19 +77,20 @@ void CoSpaceEngine::SetContract(EntityId id,
 
 bool CoSpaceEngine::IngestPhysicalPosition(EntityId id, const geo::Vec3& pos,
                                            Micros t) {
-  ++stats_.physical_updates;
+  obs::Span span("ingest.position");
+  c_.physical_updates->Add(1);
   // The physical space always tracks ground truth.
   physical_.Move(id, pos, t);
 
   if (!coherency_.Offer(id, pos, t)) {
-    ++stats_.suppressed_updates;
+    c_.suppressed_updates->Add(1);
     return false;
   }
-  ++stats_.mirrored_updates;
+  c_.mirrored_updates->Add(1);
   virtual_.Move(id, pos, t);
 
   // Tell interested cyber users.
-  ++stats_.events_published;
+  c_.events_published->Add(1);
   broker_->Publish(MakeMirrorPositionEvent(id, pos, t));
   return true;
 }
@@ -86,14 +111,14 @@ Status CoSpaceEngine::IngestPhysicalAttribute(EntityId id,
   event.payload.fields["value"] = std::move(value);
   const Entity* e = physical_.Get(id);
   if (e != nullptr) event.position = e->position;
-  ++stats_.events_published;
+  c_.events_published->Add(1);
   broker_->Publish(event);
   return Status::OK();
 }
 
 size_t CoSpaceEngine::IssueVirtualCommand(const geo::AABB& region,
                                           const stream::Tuple& command) {
-  ++stats_.virtual_commands;
+  c_.virtual_commands->Add(1);
   // Affected entities are resolved against the VIRTUAL model — the
   // commander acts on what the virtual world shows (Fig. 1's
   // virtual->physical arrow), which is only coherency-bound accurate.
@@ -106,7 +131,7 @@ size_t CoSpaceEngine::IssueVirtualCommand(const geo::AABB& region,
       ++relayed;
     }
   }
-  stats_.relayed_commands += relayed;
+  c_.relayed_commands->Add(relayed);
   return affected.size();
 }
 

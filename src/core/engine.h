@@ -8,6 +8,7 @@
 
 #include "consistency/coherency.h"
 #include "core/world_space.h"
+#include "obs/metrics.h"
 #include "pubsub/broker.h"
 
 namespace deluge::core {
@@ -97,12 +98,28 @@ class CoSpaceEngine {
   uint64_t WatchRegion(net::NodeId subscriber, const geo::AABB& region,
                        pubsub::Broker::Deliver deliver);
 
-  const EngineStats& stats() const { return stats_; }
+  /// Registry-backed snapshot, refreshed on every call.
+  const EngineStats& stats() const;
   const consistency::CoherencyStats& coherency_stats() const {
     return coherency_.stats();
   }
 
  private:
+  /// Registry handles for `EngineStats` (metrics "engine.*", labelled
+  /// {subsystem=engine, instance=<id>} + `extra_labels`).
+  struct EngineCounters {
+    EngineCounters(obs::StatsScope& scope);
+    obs::Counter* physical_updates;
+    obs::Counter* mirrored_updates;
+    obs::Counter* suppressed_updates;
+    obs::Counter* virtual_commands;
+    obs::Counter* relayed_commands;
+    obs::Counter* events_published;
+
+    void Fill(EngineStats* out) const;
+  };
+  friend class ParallelEngine;  // shards reuse EngineCounters
+
   EngineOptions options_;
   Clock* clock_;
   WorldSpace physical_;
@@ -111,7 +128,9 @@ class CoSpaceEngine {
   std::unique_ptr<pubsub::Broker> broker_;
   std::vector<CommandHandler> command_handlers_;
   std::vector<std::pair<uint64_t, pubsub::Broker::Deliver>> watchers_;
-  EngineStats stats_;
+  obs::StatsScope obs_{"engine"};
+  EngineCounters c_{obs_};
+  mutable EngineStats snapshot_;
 };
 
 }  // namespace deluge::core

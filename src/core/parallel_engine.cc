@@ -5,6 +5,7 @@
 
 #include "common/parallel_for.h"
 #include "geo/morton.h"
+#include "obs/trace.h"
 
 namespace deluge::core {
 
@@ -66,13 +67,15 @@ std::vector<size_t> SpatialSharder::ShardsCovering(
 // ---------------------------------------------------------- ParallelEngine
 
 ParallelEngine::Shard::Shard(const EngineOptions& opts, size_t num_shards,
-                             pubsub::Broker::Deliver deliver)
+                             size_t index, pubsub::Broker::Deliver deliver)
     : physical(stream::Space::kPhysical, opts.world_bounds),
       virtual_space(stream::Space::kVirtual, opts.world_bounds),
       coherency(opts.default_contract),
-      broker(std::make_unique<pubsub::Broker>(opts.world_bounds,
-                                              opts.broker_cell,
-                                              std::move(deliver))),
+      broker(std::make_unique<pubsub::Broker>(
+          opts.world_bounds, opts.broker_cell, std::move(deliver),
+          obs::Labels{{"shard", std::to_string(index)}})),
+      obs("engine", obs::Labels{{"shard", std::to_string(index)}}),
+      c(obs),
       outbox(num_shards) {}
 
 ParallelEngine::ParallelEngine(ParallelEngineOptions options,
@@ -92,7 +95,7 @@ ParallelEngine::ParallelEngine(ParallelEngineOptions options,
   shards_.reserve(n);
   for (size_t s = 0; s < n; ++s) {
     shards_.push_back(std::make_unique<Shard>(
-        options_.engine, n,
+        options_.engine, n, s,
         [this](net::NodeId subscriber, const pubsub::Event& event) {
           // Dispatch to the watcher registered for this subscriber id.
           for (auto& [node, deliver] : watchers_) {
@@ -168,21 +171,21 @@ void ParallelEngine::OnPhysicalCommand(CoSpaceEngine::CommandHandler handler) {
 }
 
 bool ParallelEngine::IngestOnShard(Shard& shard, const SensedUpdate& u) {
-  ++shard.stats.physical_updates;
+  shard.c.physical_updates->Add(1);
   // The physical space always tracks ground truth.
   shard.physical.Move(u.id, u.position, u.t);
 
   if (!shard.coherency.Offer(u.id, u.position, u.t)) {
-    ++shard.stats.suppressed_updates;
+    shard.c.suppressed_updates->Add(1);
     return false;
   }
-  ++shard.stats.mirrored_updates;
+  shard.c.mirrored_updates->Add(1);
   shard.virtual_space.Move(u.id, u.position, u.t);
 
   // Stage the mirror event for phase 2 on the shard owning the event's
   // *position* — regional watches live on the shards their region
   // overlaps, so position-routing makes cross-shard delivery exact.
-  ++shard.stats.events_published;
+  shard.c.events_published->Add(1);
   shard.outbox[sharder_.ShardOf(u.position)].push_back(
       MakeMirrorPositionEvent(u.id, u.position, u.t));
   return true;
@@ -190,6 +193,7 @@ bool ParallelEngine::IngestOnShard(Shard& shard, const SensedUpdate& u) {
 
 size_t ParallelEngine::RunPipeline(
     std::vector<std::vector<SensedUpdate>> batches) {
+  obs::Span span("ingest.batch");
   std::lock_guard<std::mutex> lock(pipeline_mu_);
   const size_t n = shards_.size();
   std::vector<size_t> mirrored(n, 0);
@@ -243,7 +247,7 @@ size_t ParallelEngine::Flush() {
 size_t ParallelEngine::IssueVirtualCommand(const geo::AABB& region,
                                            const stream::Tuple& command) {
   std::lock_guard<std::mutex> lock(pipeline_mu_);
-  ++shards_[0]->stats.virtual_commands;
+  shards_[0]->c.virtual_commands->Add(1);
   // Affected entities are resolved against the VIRTUAL model, across
   // every shard in parallel (an entity may have roamed anywhere).
   const size_t n = shards_.size();
@@ -264,7 +268,7 @@ size_t ParallelEngine::IssueVirtualCommand(const geo::AABB& region,
       }
     }
   }
-  shards_[0]->stats.relayed_commands += relayed;
+  shards_[0]->c.relayed_commands->Add(relayed);
   return total;
 }
 
@@ -272,12 +276,12 @@ EngineStats ParallelEngine::TotalStats() const {
   std::lock_guard<std::mutex> lock(pipeline_mu_);
   EngineStats total;
   for (const auto& shard : shards_) {
-    total.physical_updates += shard->stats.physical_updates;
-    total.mirrored_updates += shard->stats.mirrored_updates;
-    total.suppressed_updates += shard->stats.suppressed_updates;
-    total.virtual_commands += shard->stats.virtual_commands;
-    total.relayed_commands += shard->stats.relayed_commands;
-    total.events_published += shard->stats.events_published;
+    total.physical_updates += shard->c.physical_updates->Value();
+    total.mirrored_updates += shard->c.mirrored_updates->Value();
+    total.suppressed_updates += shard->c.suppressed_updates->Value();
+    total.virtual_commands += shard->c.virtual_commands->Value();
+    total.relayed_commands += shard->c.relayed_commands->Value();
+    total.events_published += shard->c.events_published->Value();
   }
   return total;
 }
@@ -314,7 +318,8 @@ pubsub::BrokerStats ParallelEngine::TotalBrokerStats() const {
 }
 
 const EngineStats& ParallelEngine::shard_stats(size_t shard) const {
-  return shards_[shard]->stats;
+  shards_[shard]->c.Fill(&shards_[shard]->snapshot);
+  return shards_[shard]->snapshot;
 }
 
 pubsub::Broker& ParallelEngine::shard_broker(size_t shard) {

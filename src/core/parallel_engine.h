@@ -170,14 +170,19 @@ class ParallelEngine {
 
  private:
   struct Shard {
-    Shard(const EngineOptions& opts, size_t num_shards,
+    Shard(const EngineOptions& opts, size_t num_shards, size_t index,
           pubsub::Broker::Deliver deliver);
 
     WorldSpace physical;
     WorldSpace virtual_space;
     consistency::CoherencyFilter coherency;
     std::unique_ptr<pubsub::Broker> broker;
-    EngineStats stats;
+    /// Registry-backed engine counters, labelled {shard=<index>}.  Each
+    /// shard is written by exactly one pool worker per pipeline phase,
+    /// so sums stay byte-identical to the serial engine.
+    obs::StatsScope obs;
+    CoSpaceEngine::EngineCounters c;
+    mutable EngineStats snapshot;
     std::mutex staged_mu;
     std::vector<SensedUpdate> staged;
     /// Events emitted in phase 1, bucketed by destination shard.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.h"
+
 namespace deluge::fusion {
 
 std::string SourceTypeName(SourceType type) {
@@ -58,6 +60,8 @@ void EntityFuser::Expire(std::deque<Observation>* window, Micros now) const {
 }
 
 void EntityFuser::Add(const Observation& obs) {
+  // Fully qualified: the parameter `obs` shadows the namespace alias.
+  ::deluge::obs::Span span("fusion.add");
   auto& window = windows_[obs.entity];
   Expire(&window, obs.t);
 
@@ -95,6 +99,7 @@ void EntityFuser::Add(const Observation& obs) {
 
 Result<FusedEstimate> EntityFuser::EstimatePosition(const std::string& entity,
                                                     Micros now) const {
+  obs::Span span("fusion.estimate");
   auto it = windows_.find(entity);
   if (it == windows_.end()) return Status::NotFound("unknown entity");
   Expire(&it->second, now);

@@ -6,6 +6,29 @@ namespace deluge::net {
 
 Network::Network(Simulator* sim, uint64_t seed) : sim_(sim), rng_(seed) {}
 
+const NetworkStats& Network::stats() const {
+  snapshot_.messages_sent = messages_sent_->Value();
+  snapshot_.messages_delivered = messages_delivered_->Value();
+  snapshot_.messages_dropped = messages_dropped_->Value();
+  snapshot_.bytes_sent = bytes_sent_->Value();
+  snapshot_.bytes_delivered = bytes_delivered_->Value();
+  snapshot_.drops_node_down = drops_node_down_->Value();
+  snapshot_.drops_link_down = drops_link_down_->Value();
+  snapshot_.drops_burst_loss = drops_burst_loss_->Value();
+  return snapshot_;
+}
+
+void Network::ResetStats() {
+  messages_sent_->Reset();
+  messages_delivered_->Reset();
+  messages_dropped_->Reset();
+  bytes_sent_->Reset();
+  bytes_delivered_->Reset();
+  drops_node_down_->Reset();
+  drops_link_down_->Reset();
+  drops_burst_loss_->Reset();
+}
+
 NodeId Network::AddNode(Handler handler) {
   handlers_.push_back(std::move(handler));
   node_up_.push_back(1);
@@ -34,16 +57,16 @@ Status Network::Send(Message msg) {
   }
   msg.sent_at = sim_->Now();
   const uint64_t wire = msg.WireSize();
-  ++stats_.messages_sent;
-  stats_.bytes_sent += wire;
+  messages_sent_->Add(1);
+  bytes_sent_->Add(wire);
 
   if (!node_up_[msg.from] || !node_up_[msg.to]) {
-    ++stats_.messages_dropped;
-    ++stats_.drops_node_down;
+    messages_dropped_->Add(1);
+    drops_node_down_->Add(1);
     return Status::Unavailable("node down");
   }
   if (IsPartitioned(msg.from, msg.to)) {
-    ++stats_.messages_dropped;
+    messages_dropped_->Add(1);
     return Status::Unavailable("partitioned");
   }
 
@@ -51,19 +74,19 @@ Status Network::Send(Message msg) {
   auto fit = faults_.find(PairKey(msg.from, msg.to));
   if (fit != faults_.end()) fault = &fit->second;
   if (fault != nullptr && fault->down) {
-    ++stats_.messages_dropped;
-    ++stats_.drops_link_down;
+    messages_dropped_->Add(1);
+    drops_link_down_->Add(1);
     return Status::Unavailable("link down");
   }
   if (fault != nullptr && fault->has_burst && BurstDrop(*fault)) {
-    ++stats_.messages_dropped;
-    ++stats_.drops_burst_loss;
+    messages_dropped_->Add(1);
+    drops_burst_loss_->Add(1);
     return Status::OK();  // silent correlated loss
   }
 
   LinkState& link = GetLink(msg.from, msg.to);
   if (rng_.Bernoulli(link.opts.drop_probability)) {
-    ++stats_.messages_dropped;
+    messages_dropped_->Add(1);
     return Status::OK();  // silent loss, like a real network
   }
 
@@ -93,11 +116,11 @@ Status Network::Send(Message msg) {
     // partition/flap/crash starts are lost, matching TCP-less datagram
     // semantics.
     if (Blocked(m.from, m.to)) {
-      ++stats_.messages_dropped;
+      messages_dropped_->Add(1);
       return;
     }
-    ++stats_.messages_delivered;
-    stats_.bytes_delivered += wire;
+    messages_delivered_->Add(1);
+    bytes_delivered_->Add(wire);
     handlers_[to](m);
   });
   return Status::OK();

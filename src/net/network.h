@@ -11,6 +11,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "net/simulator.h"
+#include "obs/metrics.h"
 
 namespace deluge::net {
 
@@ -139,8 +140,9 @@ class Network {
   void ClearBurstLoss(NodeId a, NodeId b);
 
   size_t node_count() const { return handlers_.size(); }
-  const NetworkStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = NetworkStats{}; }
+  /// Registry-backed snapshot, refreshed on every call.
+  const NetworkStats& stats() const;
+  void ResetStats();
 
  private:
   struct LinkState {
@@ -176,7 +178,16 @@ class Network {
   std::unordered_map<uint64_t, LinkState> links_;
   std::unordered_map<uint64_t, LinkFault> faults_;
   std::unordered_set<uint64_t> partitions_;
-  NetworkStats stats_;
+  obs::StatsScope obs_{"net"};
+  obs::Counter* messages_sent_ = obs_.counter("messages_sent");
+  obs::Counter* messages_delivered_ = obs_.counter("messages_delivered");
+  obs::Counter* messages_dropped_ = obs_.counter("messages_dropped");
+  obs::Counter* bytes_sent_ = obs_.counter("bytes_sent");
+  obs::Counter* bytes_delivered_ = obs_.counter("bytes_delivered");
+  obs::Counter* drops_node_down_ = obs_.counter("drops_node_down");
+  obs::Counter* drops_link_down_ = obs_.counter("drops_link_down");
+  obs::Counter* drops_burst_loss_ = obs_.counter("drops_burst_loss");
+  mutable NetworkStats snapshot_;
 };
 
 }  // namespace deluge::net

@@ -1,0 +1,129 @@
+#include "obs/trace.h"
+
+#include <fstream>
+
+#include "obs/metrics.h"
+
+namespace deluge::obs {
+
+namespace {
+
+// Per-thread active-trace state.  POD thread_local: one TLS load on the
+// (disabled) hot path.
+struct TraceTls {
+  uint64_t trace_id = 0;
+  uint32_t next_span_id = 0;
+  uint32_t current_parent = 0;
+  uint32_t depth = 0;
+  bool sampled = false;
+};
+thread_local TraceTls tls_trace;
+
+std::string JsonEscape(const char* s) {
+  std::string out;
+  for (; *s != '\0'; ++s) {
+    char c = *s;
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out.push_back(' ');
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Tracer& Tracer::Global() {
+  static Tracer& tracer = *new Tracer();  // outlives static destructors
+  return tracer;
+}
+
+void Tracer::Enable(uint64_t sample_every_n, size_t max_records) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sample_every_.store(sample_every_n, std::memory_order_relaxed);
+  max_records_ = max_records;
+}
+
+std::vector<SpanRecord> Tracer::Drain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SpanRecord> out;
+  out.swap(records_);
+  return out;
+}
+
+size_t Tracer::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+void Tracer::Record(SpanRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (records_.size() >= max_records_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  records_.push_back(std::move(record));
+}
+
+bool Tracer::DumpJsonl(const std::string& path) {
+  std::vector<SpanRecord> records = Drain();
+  std::ofstream out(path, std::ios::app);
+  if (!out.good()) return false;
+  for (const SpanRecord& r : records) {
+    out << "{\"trace\":" << r.trace_id << ",\"span\":" << r.span_id
+        << ",\"parent\":" << r.parent_id << ",\"name\":\""
+        << JsonEscape(r.name.c_str()) << "\",\"start_us\":" << r.start_us
+        << ",\"dur_us\":" << r.dur_us << "}\n";
+  }
+  return true;
+}
+
+Span::Span(const char* name) : name_(name) {
+  TraceTls& t = tls_trace;
+  if (t.depth == 0) {
+    // Root span: consult the sampler.
+    ++t.depth;
+    uint64_t every = Tracer::Global().sample_every();
+    if (every == 0) {
+      t.sampled = false;
+      return;
+    }
+    uint64_t id = Tracer::Global().NextTraceId();
+    t.sampled = (id % every == 0);
+    t.trace_id = id;
+    t.next_span_id = 0;
+    t.current_parent = 0;
+  } else {
+    ++t.depth;
+  }
+  sampled_ = t.sampled;
+  if (sampled_) {
+    trace_id_ = t.trace_id;
+    span_id_ = ++t.next_span_id;
+    parent_id_ = t.current_parent;
+    t.current_parent = span_id_;
+    start_us_ = SteadyNowMicros();
+  }
+}
+
+Span::~Span() {
+  TraceTls& t = tls_trace;
+  if (sampled_) {
+    SpanRecord r;
+    r.trace_id = trace_id_;
+    r.span_id = span_id_;
+    r.parent_id = parent_id_;
+    r.name = name_;
+    r.start_us = start_us_;
+    r.dur_us = SteadyNowMicros() - start_us_;
+    Tracer::Global().Record(std::move(r));
+    t.current_parent = parent_id_;
+  }
+  --t.depth;
+}
+
+}  // namespace deluge::obs

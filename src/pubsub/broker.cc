@@ -4,13 +4,41 @@
 #include <cmath>
 
 #include "common/hash.h"
+#include "obs/trace.h"
 
 namespace deluge::pubsub {
 
-Broker::Broker(const geo::AABB& world, double cell_size, Deliver deliver)
+Broker::Broker(const geo::AABB& world, double cell_size, Deliver deliver,
+               obs::Labels extra_labels)
     : world_(world),
       cell_size_(cell_size > 0 ? cell_size : 1.0),
-      deliver_(std::move(deliver)) {}
+      deliver_(std::move(deliver)),
+      obs_("broker", std::move(extra_labels)),
+      events_published_(obs_.counter("events_published")),
+      deliveries_(obs_.counter("deliveries")),
+      candidates_checked_(obs_.counter("candidates_checked")),
+      deliveries_queued_(obs_.counter("deliveries_queued")),
+      deliveries_shed_(obs_.counter("deliveries_shed")),
+      queue_high_water_(obs_.gauge("queue_high_water", obs::Gauge::Agg::kMax)) {}
+
+const BrokerStats& Broker::stats() const {
+  snapshot_.events_published = events_published_->Value();
+  snapshot_.deliveries = deliveries_->Value();
+  snapshot_.candidates_checked = candidates_checked_->Value();
+  snapshot_.deliveries_queued = deliveries_queued_->Value();
+  snapshot_.deliveries_shed = deliveries_shed_->Value();
+  snapshot_.queue_high_water = uint64_t(queue_high_water_->Value());
+  return snapshot_;
+}
+
+void Broker::ResetStats() {
+  events_published_->Reset();
+  deliveries_->Reset();
+  candidates_checked_->Reset();
+  deliveries_queued_->Reset();
+  deliveries_shed_->Reset();
+  queue_high_water_->Reset();
+}
 
 Broker::CellKey Broker::CellFor(const geo::Vec3& p) const {
   auto coord = [this](double v, double lo) {
@@ -92,16 +120,15 @@ void Broker::Enqueue(net::NodeId subscriber, const Event& event) {
     // Shed the lowest-priority entry (oldest among ties); if the new
     // event itself is lowest, shed it instead.  O(log n) via the
     // worst-first heap (the seed scanned the whole queue per eviction).
-    ++stats_.deliveries_shed;
+    deliveries_shed_->Add(1);
     if (queue_.empty() || queue_.PeekWorst().event.priority >= event.priority) {
       return;  // the incoming event is the least important
     }
     queue_.PopWorst();
   }
   queue_.Push(subscriber, event, next_queue_seq_++);
-  ++stats_.deliveries_queued;
-  stats_.queue_high_water =
-      std::max<uint64_t>(stats_.queue_high_water, queue_.size());
+  deliveries_queued_->Add(1);
+  queue_high_water_->UpdateMax(double(queue_.size()));
 }
 
 size_t Broker::Drain(size_t max) {
@@ -117,14 +144,15 @@ size_t Broker::Drain(size_t max) {
 }
 
 size_t Broker::Publish(const Event& event) {
-  ++stats_.events_published;
+  obs::Span span("broker.publish");
+  events_published_->Add(1);
   size_t delivered = 0;
   auto try_deliver = [&](uint64_t sub_id) {
     auto it = subs_.find(sub_id);
     if (it == subs_.end()) return;
-    ++stats_.candidates_checked;
+    candidates_checked_->Add(1);
     if (!it->second.Matches(event)) return;
-    ++stats_.deliveries;
+    deliveries_->Add(1);
     ++delivered;
     if (queue_limit_ > 0) {
       Enqueue(it->second.subscriber, event);
@@ -163,7 +191,9 @@ BrokerOverlay::BrokerOverlay(size_t n, const geo::AABB& world,
   if (n == 0) n = 1;
   brokers_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    brokers_.push_back(std::make_unique<Broker>(world, cell_size, deliver));
+    brokers_.push_back(std::make_unique<Broker>(
+        world, cell_size, deliver,
+        obs::Labels{{"shard", std::to_string(i)}}));
   }
 }
 

@@ -8,6 +8,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "pubsub/delivery_queue.h"
 #include "pubsub/subscription.h"
 
@@ -40,8 +41,11 @@ class Broker {
   using Deliver =
       std::function<void(net::NodeId subscriber, const Event& event)>;
 
-  /// `world`/`cell` configure the regional coarse index.
-  Broker(const geo::AABB& world, double cell_size, Deliver deliver);
+  /// `world`/`cell` configure the regional coarse index.  `extra_labels`
+  /// tag this broker's registry metrics (e.g. {shard=3} in an overlay or
+  /// sharded engine).
+  Broker(const geo::AABB& world, double cell_size, Deliver deliver,
+         obs::Labels extra_labels = {});
 
   /// Registers a subscription; returns its id.
   uint64_t Subscribe(Subscription sub);
@@ -68,8 +72,9 @@ class Broker {
   size_t queue_depth() const { return queue_.size(); }
 
   size_t subscription_count() const { return subs_.size(); }
-  const BrokerStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = BrokerStats{}; }
+  /// Registry-backed snapshot, refreshed on every call.
+  const BrokerStats& stats() const;
+  void ResetStats();
 
  private:
   using CellKey = uint64_t;
@@ -91,7 +96,14 @@ class Broker {
   std::unordered_map<std::string, std::unordered_set<uint64_t>> by_topic_;
   // Grid cell -> regional subscription ids touching that cell.
   std::unordered_map<CellKey, std::unordered_set<uint64_t>> by_cell_;
-  BrokerStats stats_;
+  obs::StatsScope obs_;
+  obs::Counter* events_published_;
+  obs::Counter* deliveries_;
+  obs::Counter* candidates_checked_;
+  obs::Counter* deliveries_queued_;
+  obs::Counter* deliveries_shed_;
+  obs::Gauge* queue_high_water_;
+  mutable BrokerStats snapshot_;
 };
 
 /// A topic-sharded broker overlay (Section IV-E: "publish/subscribe

@@ -6,6 +6,16 @@ ReliableDeliverer::ReliableDeliverer(net::Network* net, net::Simulator* sim,
                                      RetryPolicy policy, uint64_t seed)
     : net_(net), sim_(sim), policy_(policy), rng_(seed) {}
 
+const ReliableStats& ReliableDeliverer::stats() const {
+  snapshot_.attempts = attempts_->Value();
+  snapshot_.sends = sends_->Value();
+  snapshot_.accepted = accepted_->Value();
+  snapshot_.retries = retries_->Value();
+  snapshot_.gave_up = gave_up_->Value();
+  snapshot_.fast_failed = fast_failed_->Value();
+  return snapshot_;
+}
+
 CircuitBreaker& ReliableDeliverer::breaker_for(net::NodeId to) {
   auto it = breakers_.find(to);
   if (it == breakers_.end()) {
@@ -16,7 +26,7 @@ CircuitBreaker& ReliableDeliverer::breaker_for(net::NodeId to) {
 
 void ReliableDeliverer::Deliver(net::NodeId from, net::NodeId to,
                                 const Event& event) {
-  ++stats_.attempts;
+  attempts_->Add(1);
   Attempt(from, to, event, RetryState(policy_, sim_->Now()));
 }
 
@@ -24,7 +34,7 @@ void ReliableDeliverer::Attempt(net::NodeId from, net::NodeId to,
                                 const Event& event, RetryState state) {
   CircuitBreaker& breaker = breaker_for(to);
   if (!breaker.Allow(sim_->Now())) {
-    ++stats_.fast_failed;
+    fast_failed_->Add(1);
     return;
   }
   net::Message msg;
@@ -33,20 +43,20 @@ void ReliableDeliverer::Attempt(net::NodeId from, net::NodeId to,
   msg.type = msg_type;
   msg.payload = event.topic;
   msg.size_bytes = event.bytes;
-  ++stats_.sends;
+  sends_->Add(1);
   Status s = net_->Send(std::move(msg));
   if (s.ok()) {
-    ++stats_.accepted;
+    accepted_->Add(1);
     breaker.RecordSuccess();
     return;
   }
   breaker.RecordFailure(sim_->Now());
   Micros delay = state.NextBackoff(sim_->Now(), &rng_);
   if (delay < 0) {
-    ++stats_.gave_up;
+    gave_up_->Add(1);
     return;
   }
-  ++stats_.retries;
+  retries_->Add(1);
   sim_->After(delay, [this, from, to, event, state]() {
     Attempt(from, to, event, state);
   });

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "common/retry.h"
+#include "obs/metrics.h"
 #include "pubsub/subscription.h"
 
 namespace deluge::pubsub {
@@ -40,7 +41,8 @@ class ReliableDeliverer {
   void Deliver(net::NodeId from, net::NodeId to, const Event& event);
 
   CircuitBreakerOptions& breaker_options() { return breaker_options_; }
-  const ReliableStats& stats() const { return stats_; }
+  /// Registry-backed snapshot, refreshed on every call.
+  const ReliableStats& stats() const;
   uint32_t msg_type = 0x9B;
 
  private:
@@ -54,7 +56,14 @@ class ReliableDeliverer {
   CircuitBreakerOptions breaker_options_;
   std::unordered_map<net::NodeId, CircuitBreaker> breakers_;
   Rng rng_;
-  ReliableStats stats_;
+  obs::StatsScope obs_{"reliable"};
+  obs::Counter* attempts_ = obs_.counter("attempts");
+  obs::Counter* sends_ = obs_.counter("sends");
+  obs::Counter* accepted_ = obs_.counter("accepted");
+  obs::Counter* retries_ = obs_.counter("retries");
+  obs::Counter* gave_up_ = obs_.counter("gave_up");
+  obs::Counter* fast_failed_ = obs_.counter("fast_failed");
+  mutable ReliableStats snapshot_;
 };
 
 }  // namespace deluge::pubsub

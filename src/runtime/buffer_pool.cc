@@ -8,6 +8,21 @@ BufferPool::BufferPool(uint64_t capacity_bytes, Fetcher fetcher,
       fetcher_(std::move(fetcher)),
       virtual_share_(virtual_share) {}
 
+const BufferPoolStats& BufferPool::stats() const {
+  snapshot_.hits = hits_->Value();
+  snapshot_.misses = misses_->Value();
+  snapshot_.evictions = evictions_->Value();
+  snapshot_.bytes_fetched = bytes_fetched_->Value();
+  return snapshot_;
+}
+
+void BufferPool::ResetStats() {
+  hits_->Reset();
+  misses_->Reset();
+  evictions_->Reset();
+  bytes_fetched_->Reset();
+}
+
 uint64_t BufferPool::BytesOf(const LruList& l) const {
   return &l == &virtual_ ? virtual_bytes_ : used_bytes_ - virtual_bytes_;
 }
@@ -37,7 +52,7 @@ void BufferPool::EvictUntilFits(uint64_t incoming_bytes,
     if (victim_list == &virtual_) virtual_bytes_ -= victim.data.size();
     pages_.erase(victim.id);
     victim_list->pop_back();
-    ++stats_.evictions;
+    evictions_->Add(1);
   }
 }
 
@@ -57,7 +72,7 @@ Status BufferPool::Get(const std::string& id, stream::Space space,
                        std::string* data) {
   auto it = pages_.find(id);
   if (it != pages_.end()) {
-    ++stats_.hits;
+    hits_->Add(1);
     // Move to front of its list.
     LruList& list = ListFor(it->second->space);
     list.splice(list.begin(), list, it->second);
@@ -65,10 +80,10 @@ Status BufferPool::Get(const std::string& id, stream::Space space,
     *data = it->second->data;
     return Status::OK();
   }
-  ++stats_.misses;
+  misses_->Add(1);
   if (!fetcher_) return Status::NotFound("no fetcher and page absent: " + id);
   std::string fetched = fetcher_(id);
-  stats_.bytes_fetched += fetched.size();
+  bytes_fetched_->Add(fetched.size());
   *data = fetched;
   InsertPage(Page{id, std::move(fetched), space});
   return Status::OK();

@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "stream/tuple.h"
 
 namespace deluge::runtime {
@@ -57,8 +58,9 @@ class BufferPool {
 
   uint64_t used_bytes() const { return used_bytes_; }
   uint64_t capacity_bytes() const { return capacity_; }
-  const BufferPoolStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = BufferPoolStats{}; }
+  /// Registry-backed snapshot, refreshed on every call.
+  const BufferPoolStats& stats() const;
+  void ResetStats();
 
  private:
   struct Page {
@@ -84,7 +86,12 @@ class BufferPool {
   std::unordered_map<std::string, LruList::iterator> pages_;
   uint64_t used_bytes_ = 0;
   uint64_t virtual_bytes_ = 0;
-  BufferPoolStats stats_;
+  obs::StatsScope obs_{"bufferpool"};
+  obs::Counter* hits_ = obs_.counter("hits");
+  obs::Counter* misses_ = obs_.counter("misses");
+  obs::Counter* evictions_ = obs_.counter("evictions");
+  obs::Counter* bytes_fetched_ = obs_.counter("bytes_fetched");
+  mutable BufferPoolStats snapshot_;
 };
 
 }  // namespace deluge::runtime

@@ -11,9 +11,18 @@ ElasticExecutorPool::ElasticExecutorPool(net::Simulator* sim,
       executors_(std::max<size_t>(1, options.min_executors)),
       last_accounted_(sim->Now()) {}
 
+const ElasticStats& ElasticExecutorPool::stats() const {
+  snapshot_.task_latency = task_latency_->Snapshot();
+  snapshot_.completed = completed_->Value();
+  snapshot_.scale_outs = scale_outs_->Value();
+  snapshot_.scale_ins = scale_ins_->Value();
+  snapshot_.executor_time = executor_time_->Value();
+  return snapshot_;
+}
+
 void ElasticExecutorPool::AccountExecutorTime() {
   Micros now = sim_->Now();
-  stats_.executor_time += double(executors_) * double(now - last_accounted_);
+  executor_time_->Add(double(executors_) * double(now - last_accounted_));
   last_accounted_ = now;
 }
 
@@ -33,8 +42,8 @@ void ElasticExecutorPool::PumpQueue() {
     ++busy_;
     sim_->After(task.cost, [this, task = std::move(task)]() {
       --busy_;
-      stats_.task_latency.Record(sim_->Now() - task.submitted_at);
-      ++stats_.completed;
+      task_latency_->Record(sim_->Now() - task.submitted_at);
+      completed_->Add(1);
       if (task.done) task.done();
       PumpQueue();
     });
@@ -48,7 +57,7 @@ void ElasticExecutorPool::AutoscaleTick() {
   if (load > options_.scale_out_queue_per_executor &&
       executors_ + pending_scale_outs_ < options_.max_executors) {
     ++pending_scale_outs_;
-    ++stats_.scale_outs;
+    scale_outs_->Add(1);
     sim_->After(options_.scale_out_delay, [this] {
       AccountExecutorTime();
       --pending_scale_outs_;
@@ -59,7 +68,7 @@ void ElasticExecutorPool::AutoscaleTick() {
              executors_ > options_.min_executors && busy_ < executors_) {
     AccountExecutorTime();
     --executors_;
-    ++stats_.scale_ins;
+    scale_ins_->Add(1);
   }
   // Keep ticking while there is (or may come) work.
   if (!queue_.empty() || busy_ > 0 || pending_scale_outs_ > 0) {

@@ -8,6 +8,7 @@
 
 #include "common/histogram.h"
 #include "net/simulator.h"
+#include "obs/metrics.h"
 
 namespace deluge::runtime {
 
@@ -51,7 +52,8 @@ class ElasticExecutorPool {
 
   size_t executors() const { return executors_; }
   size_t queued() const { return queue_.size(); }
-  const ElasticStats& stats() const { return stats_; }
+  /// Registry-backed snapshot, refreshed on every call.
+  const ElasticStats& stats() const;
 
  private:
   struct Task {
@@ -69,7 +71,13 @@ class ElasticExecutorPool {
   size_t executors_;
   size_t busy_ = 0;
   std::deque<Task> queue_;
-  ElasticStats stats_;
+  obs::StatsScope obs_{"elastic"};
+  obs::ConcurrentHistogram* task_latency_ = obs_.histogram("task_latency_us");
+  obs::Counter* completed_ = obs_.counter("completed");
+  obs::Counter* scale_outs_ = obs_.counter("scale_outs");
+  obs::Counter* scale_ins_ = obs_.counter("scale_ins");
+  obs::Gauge* executor_time_ = obs_.gauge("executor_time_us");
+  mutable ElasticStats snapshot_;
   Micros last_accounted_ = 0;
   bool autoscaler_running_ = false;
   size_t pending_scale_outs_ = 0;

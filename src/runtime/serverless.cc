@@ -8,6 +8,12 @@ ServerlessRuntime::ServerlessRuntime(net::Simulator* sim, Micros keep_alive)
 void ServerlessRuntime::Register(FunctionSpec spec) {
   FunctionState fs;
   fs.spec = spec;
+  obs::Labels labels{{"function", spec.name}};
+  fs.latency = obs_.histogram("latency_us", labels);
+  fs.invocations = obs_.counter("invocations", labels);
+  fs.cold_starts = obs_.counter("cold_starts", labels);
+  fs.billed_mb_ms = obs_.gauge("billed_mb_ms", obs::Gauge::Agg::kSum, labels);
+  fs.idle_mb_ms = obs_.gauge("idle_mb_ms", obs::Gauge::Agg::kSum, labels);
   functions_.emplace(spec.name, std::move(fs));
 }
 
@@ -18,9 +24,9 @@ void ServerlessRuntime::ScheduleReclaim(FunctionState* fs,
     // generation token (it may have been reused and re-queued since).
     for (auto it = fs->warm.begin(); it != fs->warm.end(); ++it) {
       if (it->generation == generation) {
-        fs->stats.idle_mb_ms +=
+        fs->idle_mb_ms->Add(
             double(fs->spec.memory_mb) *
-            double(sim_->Now() - it->idle_since) / double(kMicrosPerMilli);
+            double(sim_->Now() - it->idle_since) / double(kMicrosPerMilli));
         fs->warm.erase(it);
         return;
       }
@@ -39,11 +45,11 @@ void ServerlessRuntime::Invoke(const std::string& name,
                                uint8_t priority) {
   auto it = functions_.find(name);
   if (it == functions_.end()) {
-    ++dropped_;
+    dropped_->Add(1);
     return;
   }
   FunctionState& fs = it->second;
-  ++fs.stats.invocations;
+  fs.invocations->Add(1);
   Micros start = sim_->Now();
 
   if (max_concurrent_ > 0 && running_ >= max_concurrent_) {
@@ -58,7 +64,7 @@ void ServerlessRuntime::Invoke(const std::string& name,
           victim = i;
         }
       }
-      ++shed_;
+      shed_->Add(1);
       if (victim == size_t(-1) || pending_[victim].priority >= priority) {
         return;  // the incoming invocation is the least important
       }
@@ -98,21 +104,21 @@ void ServerlessRuntime::Start(FunctionState* fsp, Micros start,
     // small, matching production schedulers).
     WarmInstance inst = fs.warm.back();
     fs.warm.pop_back();
-    fs.stats.idle_mb_ms += double(fs.spec.memory_mb) *
-                           double(start - inst.idle_since) /
-                           double(kMicrosPerMilli);
+    fs.idle_mb_ms->Add(double(fs.spec.memory_mb) *
+                       double(start - inst.idle_since) /
+                       double(kMicrosPerMilli));
   } else {
-    ++fs.stats.cold_starts;
+    fs.cold_starts->Add(1);
     startup = fs.spec.cold_start;
   }
 
   Micros total = startup + fs.spec.exec_time;
   sim_->After(total, [this, fsp, start, done = std::move(done)]() {
     Micros now = sim_->Now();
-    fsp->stats.latency.Record(now - start);
-    fsp->stats.billed_mb_ms += double(fsp->spec.memory_mb) *
-                               double(fsp->spec.exec_time) /
-                               double(kMicrosPerMilli);
+    fsp->latency->Record(now - start);
+    fsp->billed_mb_ms->Add(double(fsp->spec.memory_mb) *
+                           double(fsp->spec.exec_time) /
+                           double(kMicrosPerMilli));
     // Instance goes warm; reclaim after keep-alive unless reused.
     uint64_t generation = fsp->next_generation++;
     fsp->warm.push_back(WarmInstance{now, generation});
@@ -131,7 +137,14 @@ const FunctionStats& ServerlessRuntime::stats_for(
     const std::string& name) const {
   static const FunctionStats& kEmpty = *new FunctionStats();
   auto it = functions_.find(name);
-  return it == functions_.end() ? kEmpty : it->second.stats;
+  if (it == functions_.end()) return kEmpty;
+  const FunctionState& fs = it->second;
+  fs.snapshot.latency = fs.latency->Snapshot();
+  fs.snapshot.invocations = fs.invocations->Value();
+  fs.snapshot.cold_starts = fs.cold_starts->Value();
+  fs.snapshot.billed_mb_ms = fs.billed_mb_ms->Value();
+  fs.snapshot.idle_mb_ms = fs.idle_mb_ms->Value();
+  return fs.snapshot;
 }
 
 size_t ServerlessRuntime::warm_instances(const std::string& name) const {

@@ -10,6 +10,7 @@
 
 #include "common/histogram.h"
 #include "net/simulator.h"
+#include "obs/metrics.h"
 
 namespace deluge::runtime {
 
@@ -64,10 +65,11 @@ class ServerlessRuntime {
   /// `max_concurrent` 0 = unlimited (the default, previous behavior).
   void SetConcurrencyLimit(size_t max_concurrent, size_t queue_limit);
 
+  /// Registry-backed snapshot, refreshed on every call.
   const FunctionStats& stats_for(const std::string& name) const;
-  uint64_t dropped() const { return dropped_; }
+  uint64_t dropped() const { return dropped_->Value(); }
   /// Invocations shed by the bounded admission queue.
-  uint64_t shed() const { return shed_; }
+  uint64_t shed() const { return shed_->Value(); }
   size_t running() const { return running_; }
   size_t queue_depth() const { return pending_.size(); }
   size_t warm_instances(const std::string& name) const;
@@ -79,7 +81,13 @@ class ServerlessRuntime {
   };
   struct FunctionState {
     FunctionSpec spec;
-    FunctionStats stats;
+    // Registry handles, labelled {function=<name>}.
+    obs::ConcurrentHistogram* latency = nullptr;
+    obs::Counter* invocations = nullptr;
+    obs::Counter* cold_starts = nullptr;
+    obs::Gauge* billed_mb_ms = nullptr;
+    obs::Gauge* idle_mb_ms = nullptr;
+    mutable FunctionStats snapshot;
     std::deque<WarmInstance> warm;
     uint64_t next_generation = 1;
   };
@@ -105,8 +113,9 @@ class ServerlessRuntime {
   size_t running_ = 0;
   std::vector<PendingInvocation> pending_;
   uint64_t next_pending_seq_ = 0;
-  uint64_t dropped_ = 0;
-  uint64_t shed_ = 0;
+  obs::StatsScope obs_{"serverless"};
+  obs::Counter* dropped_ = obs_.counter("dropped");
+  obs::Counter* shed_ = obs_.counter("shed");
 };
 
 }  // namespace deluge::runtime

@@ -6,6 +6,7 @@
 #include <fstream>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace deluge::storage {
 
@@ -256,6 +257,8 @@ Status KVStore::CommitWriter(Writer* w) {
   if (w->done) return w->status;  // a leader committed for us
 
   // This writer is the group leader.
+  obs::Span span("storage.commit");
+  obs::ScopedTimer timer(commit_us_);
   Status s = MakeRoomForWrite(lock, /*force_seal=*/w->batch == nullptr);
 
   Writer* last = w;
@@ -301,7 +304,7 @@ Status KVStore::CommitWriter(Writer* w) {
     }
     s = wal_.AppendBatch(records, options_.sync_wal);
     if (s.ok() && options_.sync_wal) {
-      counters_.wal_syncs.fetch_add(1, std::memory_order_relaxed);
+      wal_syncs_->Add(1);
     }
     lock.lock();
 
@@ -311,11 +314,10 @@ Status KVStore::CommitWriter(Writer* w) {
         for (const auto& op : b->ops_) {
           mem_->Add(seq++, op.type, op.key, op.value);
           if (op.type == ValueType::kValue) {
-            counters_.puts.fetch_add(1, std::memory_order_relaxed);
-            counters_.bytes_written.fetch_add(
-                op.key.size() + op.value.size(), std::memory_order_relaxed);
+            puts_->Add(1);
+            bytes_written_->Add(op.key.size() + op.value.size());
           } else {
-            counters_.deletes.fetch_add(1, std::memory_order_relaxed);
+            deletes_->Add(1);
           }
         }
       }
@@ -346,7 +348,7 @@ Status KVStore::MakeRoomForWrite(std::unique_lock<std::mutex>& lock,
     }
     if (imm_ != nullptr) {
       // Both memtables full: stall, bounded by the background flush.
-      counters_.write_stalls.fetch_add(1, std::memory_order_relaxed);
+      write_stalls_->Add(1);
       if (!flush_scheduled_ && !shutting_down_) {
         // A previous flush failed and left imm_ in place; retry it.
         flush_scheduled_ = true;
@@ -403,6 +405,8 @@ void KVStore::BackgroundFlushTask() {
 }
 
 Status KVStore::DoFlush() {
+  obs::Span span("storage.flush");
+  obs::ScopedTimer timer(flush_us_);
   std::unique_lock<std::mutex> lock(mu_);
   std::shared_ptr<MemTable> imm = imm_;
   if (imm == nullptr) {
@@ -453,7 +457,7 @@ Status KVStore::DoFlush() {
   imm_.reset();
   flush_scheduled_ = false;
   bg_error_ = Status::OK();
-  counters_.flushes.fetch_add(1, std::memory_order_relaxed);
+  flushes_->Add(1);
   // Retire the sealed memtable's WAL inside the same critical section
   // that installs its table: the manifest above durably lists the table,
   // and WAL rotation (SealMemtableLocked) also runs under mu_ and only
@@ -485,6 +489,8 @@ void KVStore::BackgroundCompactTask() {
 }
 
 Status KVStore::DoCompaction() {
+  obs::Span span("storage.compact");
+  obs::ScopedTimer timer(compact_us_);
   std::unique_lock<std::mutex> lock(mu_);
   size_t n_l0 = l0_.size();
   std::vector<std::shared_ptr<SSTable>> inputs(l0_.begin(), l0_.end());
@@ -545,8 +551,8 @@ Status KVStore::DoCompaction() {
   l0_.erase(l0_.end() - std::ptrdiff_t(n_l0), l0_.end());
   l1_.clear();
   if (output != nullptr) l1_.push_back(std::move(output));
-  counters_.compactions.fetch_add(1, std::memory_order_relaxed);
-  counters_.bytes_compacted.fetch_add(out_bytes, std::memory_order_relaxed);
+  compactions_->Add(1);
+  bytes_compacted_->Add(out_bytes);
   Status s = WriteManifestLocked();
   lock.unlock();
   if (!s.ok()) return s;
@@ -562,7 +568,8 @@ Status KVStore::DoCompaction() {
 // ------------------------------------------------------------ Read path
 
 Status KVStore::Get(std::string_view key, std::string* value) {
-  counters_.gets.fetch_add(1, std::memory_order_relaxed);
+  obs::Span span("storage.get");
+  gets_->Add(1);
   std::deque<std::shared_ptr<SSTable>> l0;
   std::vector<std::shared_ptr<SSTable>> l1;
   {
@@ -730,16 +737,15 @@ Status KVStore::WriteManifestLocked() {
 
 KVStoreStats KVStore::stats() const {
   KVStoreStats s;
-  s.puts = counters_.puts.load(std::memory_order_relaxed);
-  s.deletes = counters_.deletes.load(std::memory_order_relaxed);
-  s.gets = counters_.gets.load(std::memory_order_relaxed);
-  s.flushes = counters_.flushes.load(std::memory_order_relaxed);
-  s.compactions = counters_.compactions.load(std::memory_order_relaxed);
-  s.bytes_written = counters_.bytes_written.load(std::memory_order_relaxed);
-  s.bytes_compacted =
-      counters_.bytes_compacted.load(std::memory_order_relaxed);
-  s.write_stalls = counters_.write_stalls.load(std::memory_order_relaxed);
-  s.wal_syncs = counters_.wal_syncs.load(std::memory_order_relaxed);
+  s.puts = puts_->Value();
+  s.deletes = deletes_->Value();
+  s.gets = gets_->Value();
+  s.flushes = flushes_->Value();
+  s.compactions = compactions_->Value();
+  s.bytes_written = bytes_written_->Value();
+  s.bytes_compacted = bytes_compacted_->Value();
+  s.write_stalls = write_stalls_->Value();
+  s.wal_syncs = wal_syncs_->Value();
   if (block_cache_ != nullptr) {
     s.cache_hits = block_cache_->hits();
     s.cache_misses = block_cache_->misses();

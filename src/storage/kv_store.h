@@ -11,6 +11,7 @@
 
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
 #include "storage/block_cache.h"
 #include "storage/fault_injection.h"
 #include "storage/memtable.h"
@@ -262,18 +263,25 @@ class KVStore {
   std::unique_ptr<ThreadPool> owned_pool_;
   ThreadPool* pool_ = nullptr;  // == owned_pool_.get() or options pool
 
-  struct StatCounters {
-    std::atomic<uint64_t> puts{0};
-    std::atomic<uint64_t> deletes{0};
-    std::atomic<uint64_t> gets{0};
-    std::atomic<uint64_t> flushes{0};
-    std::atomic<uint64_t> compactions{0};
-    std::atomic<uint64_t> bytes_written{0};
-    std::atomic<uint64_t> bytes_compacted{0};
-    std::atomic<uint64_t> write_stalls{0};
-    std::atomic<uint64_t> wal_syncs{0};
-  };
-  mutable StatCounters counters_;
+  // Registry-backed counters (metrics "storage.*").  The scope member
+  // precedes nothing that uses it at destruction time; handles stay
+  // valid for the store's lifetime.
+  obs::StatsScope obs_{"storage"};
+  obs::Counter* puts_ = obs_.counter("puts");
+  obs::Counter* deletes_ = obs_.counter("deletes");
+  obs::Counter* gets_ = obs_.counter("gets");
+  obs::Counter* flushes_ = obs_.counter("flushes");
+  obs::Counter* compactions_ = obs_.counter("compactions");
+  obs::Counter* bytes_written_ = obs_.counter("bytes_written");
+  obs::Counter* bytes_compacted_ = obs_.counter("bytes_compacted");
+  obs::Counter* write_stalls_ = obs_.counter("write_stalls");
+  obs::Counter* wal_syncs_ = obs_.counter("wal_syncs");
+  // Stage-duration histograms (µs): commit covers the leader's
+  // WAL-append + memtable-insert section; flush/compact cover the
+  // background tasks end to end.
+  obs::ConcurrentHistogram* commit_us_ = obs_.histogram("commit_us");
+  obs::ConcurrentHistogram* flush_us_ = obs_.histogram("flush_us");
+  obs::ConcurrentHistogram* compact_us_ = obs_.histogram("compact_us");
 };
 
 }  // namespace deluge::storage

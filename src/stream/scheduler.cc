@@ -27,13 +27,19 @@ StreamScheduler::StreamScheduler(SimClock* clock, SchedulingPolicy policy)
 
 void StreamScheduler::Register(ContinuousQuery* query) {
   by_id_[query->id()] = queries_.size();
-  queries_.push_back(QueryState{query, {}, {}});
+  QueryState qs;
+  qs.query = query;
+  obs::Labels labels{{"query", query->id()}};
+  qs.latency = obs_.histogram("latency_us", labels);
+  qs.processed = obs_.counter("processed", labels);
+  qs.deadline_misses = obs_.counter("deadline_misses", labels);
+  queries_.push_back(std::move(qs));
 }
 
 void StreamScheduler::Enqueue(const std::string& query_id, Tuple t) {
   auto it = by_id_.find(query_id);
   if (it == by_id_.end()) {
-    ++dropped_;
+    dropped_->Add(1);
     return;
   }
   queries_[it->second].queue.push_back(
@@ -145,9 +151,9 @@ bool StreamScheduler::Step() {
   clock_->Advance(q.query->cost_per_tuple());
   q.query->Push(item.tuple);
   Micros latency = clock_->NowMicros() - item.arrival;
-  q.stats.latency.Record(latency);
-  ++q.stats.processed;
-  if (latency > q.query->qos().deadline) ++q.stats.deadline_misses;
+  q.latency->Record(latency);
+  q.processed->Add(1);
+  if (latency > q.query->qos().deadline) q.deadline_misses->Add(1);
   return true;
 }
 
@@ -162,15 +168,19 @@ const QueryStats& StreamScheduler::stats_for(
   static const QueryStats& kEmpty = *new QueryStats();
   auto it = by_id_.find(query_id);
   if (it == by_id_.end()) return kEmpty;
-  return queries_[it->second].stats;
+  const QueryState& q = queries_[it->second];
+  q.snapshot.latency = q.latency->Snapshot();
+  q.snapshot.processed = q.processed->Value();
+  q.snapshot.deadline_misses = q.deadline_misses->Value();
+  return q.snapshot;
 }
 
 QueryStats StreamScheduler::TotalStats() const {
   QueryStats total;
   for (const auto& q : queries_) {
-    total.latency.Merge(q.stats.latency);
-    total.processed += q.stats.processed;
-    total.deadline_misses += q.stats.deadline_misses;
+    total.latency.Merge(q.latency->Snapshot());
+    total.processed += q.processed->Value();
+    total.deadline_misses += q.deadline_misses->Value();
   }
   return total;
 }

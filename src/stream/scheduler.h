@@ -8,6 +8,7 @@
 
 #include "common/clock.h"
 #include "common/histogram.h"
+#include "obs/metrics.h"
 #include "stream/continuous_query.h"
 
 namespace deluge::stream {
@@ -55,12 +56,13 @@ class StreamScheduler {
   /// Processes at most one tuple; false when idle.
   bool Step();
 
+  /// Registry-backed snapshot, refreshed on every call.
   const QueryStats& stats_for(const std::string& query_id) const;
 
   /// Aggregate over all queries.
   QueryStats TotalStats() const;
 
-  uint64_t dropped() const { return dropped_; }
+  uint64_t dropped() const { return dropped_->Value(); }
   size_t pending() const;
 
  private:
@@ -72,7 +74,11 @@ class StreamScheduler {
   struct QueryState {
     ContinuousQuery* query;
     std::deque<Item> queue;
-    QueryStats stats;
+    // Registry handles, labelled {query=<id>}.
+    obs::ConcurrentHistogram* latency = nullptr;
+    obs::Counter* processed = nullptr;
+    obs::Counter* deadline_misses = nullptr;
+    mutable QueryStats snapshot;
   };
 
   /// Index into queries_ of the next queue to pop, or -1 if all empty.
@@ -84,7 +90,8 @@ class StreamScheduler {
   std::map<std::string, size_t> by_id_;
   size_t rr_cursor_ = 0;
   uint64_t next_seq_ = 0;
-  uint64_t dropped_ = 0;
+  obs::StatsScope obs_{"stream"};
+  obs::Counter* dropped_ = obs_.counter("dropped");
 };
 
 }  // namespace deluge::stream

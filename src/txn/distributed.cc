@@ -288,7 +288,7 @@ void DistributedTxnSystem::Submit(std::vector<WriteOp> writes,
   // cheaper than locking healthy shards and timing out.
   for (size_t shard : txn.participant_shards) {
     if (!breaker_for_shard(shard).Allow(sim_->Now())) {
-      ++fast_fails_;
+      fast_fails_->Add(1);
       Finish(txn, false);
       return;
     }
@@ -391,7 +391,7 @@ void DistributedTxnSystem::ScheduleRetransmit(uint64_t txn_id) {
         sent = true;
       }
     }
-    if (sent) ++retransmits_;
+    if (sent) retransmits_->Add(1);
     ScheduleRetransmit(txn_id);
   });
 }
@@ -402,7 +402,7 @@ void DistributedTxnSystem::ScheduleRedelivery(uint64_t txn_id) {
   Micros delay = it->second.retry.NextBackoff(sim_->Now(), &rng_);
   if (delay < 0) {
     // Redelivery budget exhausted with participants still unreachable.
-    ++unresolved_decisions_;
+    unresolved_decisions_->Add(1);
     pending_decisions_.erase(it);
     return;
   }
@@ -414,7 +414,7 @@ void DistributedTxnSystem::ScheduleRedelivery(uint64_t txn_id) {
       SendToShard(shard, pd.commit ? TxnMsg::kCommit : TxnMsg::kAbort,
                   txn_id, pd.payload);
     }
-    ++redeliveries_;
+    redeliveries_->Add(1);
     ScheduleRedelivery(txn_id);
   });
 }
@@ -505,11 +505,11 @@ void DistributedTxnSystem::Finish(InFlight& txn, bool committed) {
   result.committed = committed;
   result.commit_ts = txn.commit_ts;
   result.latency = sim_->Now() - txn.started_at;
-  commit_latency_.Record(result.latency);
+  commit_latency_->Record(result.latency);
   if (committed) {
-    ++committed_;
+    committed_->Add(1);
   } else {
-    ++aborted_;
+    aborted_->Add(1);
   }
   Callback cb = std::move(txn.cb);
   txn.cb = nullptr;

@@ -13,6 +13,7 @@
 #include "common/histogram.h"
 #include "common/retry.h"
 #include "net/network.h"
+#include "obs/metrics.h"
 #include "txn/mvcc.h"
 
 namespace deluge::txn {
@@ -120,9 +121,13 @@ class DistributedTxnSystem {
   /// client library with a shard map).
   Status Read(const std::string& key, std::string* value) const;
 
-  const Histogram& commit_latency() const { return commit_latency_; }
-  uint64_t committed() const { return committed_; }
-  uint64_t aborted() const { return aborted_; }
+  /// Registry-backed snapshot, refreshed on every call.
+  const Histogram& commit_latency() const {
+    latency_snapshot_ = commit_latency_->Snapshot();
+    return latency_snapshot_;
+  }
+  uint64_t committed() const { return committed_->Value(); }
+  uint64_t aborted() const { return aborted_->Value(); }
   net::NodeId coordinator_node() const { return coord_node_; }
 
   // --- Recovery machinery (chaos-hardening) ---------------------------
@@ -144,12 +149,14 @@ class DistributedTxnSystem {
   CircuitBreakerOptions& breaker_options() { return breaker_options_; }
   CircuitBreaker& breaker_for_shard(size_t shard);
 
-  uint64_t retransmits() const { return retransmits_; }
-  uint64_t fast_fails() const { return fast_fails_; }
-  uint64_t redeliveries() const { return redeliveries_; }
+  uint64_t retransmits() const { return retransmits_->Value(); }
+  uint64_t fast_fails() const { return fast_fails_->Value(); }
+  uint64_t redeliveries() const { return redeliveries_->Value(); }
   /// Decisions abandoned with participants still unreachable after the
   /// redelivery budget (should be 0 when faults eventually heal).
-  uint64_t unresolved_decisions() const { return unresolved_decisions_; }
+  uint64_t unresolved_decisions() const {
+    return unresolved_decisions_->Value();
+  }
 
  private:
   struct InFlight {
@@ -205,13 +212,16 @@ class DistributedTxnSystem {
   CircuitBreakerOptions breaker_options_;
   std::vector<CircuitBreaker> breakers_;
   Rng rng_{0xC4A05u};  ///< backoff jitter (seeded: runs are reproducible)
-  Histogram commit_latency_;
-  uint64_t committed_ = 0;
-  uint64_t aborted_ = 0;
-  uint64_t retransmits_ = 0;
-  uint64_t fast_fails_ = 0;
-  uint64_t redeliveries_ = 0;
-  uint64_t unresolved_decisions_ = 0;
+  obs::StatsScope obs_{"txn"};
+  obs::ConcurrentHistogram* commit_latency_ =
+      obs_.histogram("commit_latency_us");
+  obs::Counter* committed_ = obs_.counter("committed");
+  obs::Counter* aborted_ = obs_.counter("aborted");
+  obs::Counter* retransmits_ = obs_.counter("retransmits");
+  obs::Counter* fast_fails_ = obs_.counter("fast_fails");
+  obs::Counter* redeliveries_ = obs_.counter("redeliveries");
+  obs::Counter* unresolved_decisions_ = obs_.counter("unresolved_decisions");
+  mutable Histogram latency_snapshot_;
 };
 
 /// Wire coding helpers (exposed for tests).

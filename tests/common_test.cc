@@ -284,6 +284,41 @@ TEST(HistogramTest, RecordManyMatchesLoop) {
   EXPECT_DOUBLE_EQ(a.mean(), b.mean());
 }
 
+// Pins the empty-histogram contract the registry export relies on:
+// every percentile of an empty histogram is 0.0, across the whole
+// [0, 100] range, not just the median.
+TEST(HistogramTest, PercentileOnEmptyIsZeroEverywhere) {
+  Histogram h;
+  EXPECT_EQ(h.Percentile(0), 0.0);
+  EXPECT_EQ(h.Percentile(50), 0.0);
+  EXPECT_EQ(h.Percentile(99), 0.0);
+  EXPECT_EQ(h.Percentile(100), 0.0);
+}
+
+// Reset must return the histogram to a state indistinguishable from
+// freshly constructed — including as a Merge destination.  (A reset
+// that left a stale min_ behind would poison the next merge's min.)
+TEST(HistogramTest, MergeAfterResetMatchesFresh) {
+  Histogram recycled;
+  recycled.Record(3);
+  recycled.Record(999999);
+  recycled.Reset();
+
+  Histogram src;
+  src.Record(100);
+  src.Record(200);
+
+  Histogram fresh;
+  fresh.Merge(src);
+  recycled.Merge(src);
+
+  EXPECT_EQ(recycled.count(), fresh.count());
+  EXPECT_EQ(recycled.min(), fresh.min());
+  EXPECT_EQ(recycled.max(), fresh.max());
+  EXPECT_DOUBLE_EQ(recycled.mean(), fresh.mean());
+  EXPECT_DOUBLE_EQ(recycled.Percentile(50), fresh.Percentile(50));
+}
+
 // ------------------------------------------------------------ ThreadPool
 
 TEST(ThreadPoolTest, ExecutesAllTasks) {

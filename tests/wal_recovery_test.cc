@@ -50,7 +50,13 @@ class WalRecoveryTest : public ::testing::Test {
     wal_.Close();
   }
 
-  std::string path_ = TempDir("wal_recovery") + "/wal.log";
+  // Unique per test case: ctest runs discovered cases as separate
+  // processes in parallel, and a shared directory would let one case's
+  // fixture remove_all another's live log.
+  std::string path_ =
+      TempDir(std::string("wal_recovery_") +
+              ::testing::UnitTest::GetInstance()->current_test_info()->name()) +
+      "/wal.log";
   WriteAheadLog wal_;
 };
 

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Lints against ad-hoc metrics: new `struct *Stats` declarations outside
+# src/obs fail CI.  Subsystem counters belong in the metrics registry
+# (obs::StatsScope — see DESIGN.md §9); the structs below predate the
+# registry and survive only as snapshot *views* filled from it.  Extend
+# the allowlist only when adding another such view, never for a struct
+# that owns counters.
+set -u -o pipefail
+
+cd "$(dirname "$0")/.."
+
+# file:StructName pairs of the grandfathered snapshot-view structs.
+ALLOWED="
+src/chaos/fault_schedule.h:ChaosStats
+src/consistency/coherency.h:CoherencyStats
+src/consistency/priority_scheduler.h:ClassStats
+src/core/engine.h:EngineStats
+src/net/network.h:NetworkStats
+src/pubsub/broker.h:BrokerStats
+src/pubsub/reliable.h:ReliableStats
+src/runtime/buffer_pool.h:BufferPoolStats
+src/runtime/elastic_executor.h:ElasticStats
+src/runtime/serverless.h:FunctionStats
+src/storage/kv_store.h:KVStoreStats
+src/stream/scheduler.h:QueryStats
+"
+
+found=$(grep -rnE 'struct[[:space:]]+[A-Za-z_]*Stats\b' \
+            src tests bench examples 2>/dev/null \
+        | grep -v '^src/obs/' || true)
+
+status=0
+while IFS= read -r line; do
+  [ -z "$line" ] && continue
+  file=${line%%:*}
+  rest=${line#*:}           # "lineno:  struct FooStats {"
+  lineno=${rest%%:*}
+  name=$(printf '%s' "$rest" | grep -oE 'struct[[:space:]]+[A-Za-z_]*Stats' \
+         | awk '{print $2}')
+  if ! printf '%s\n' "$ALLOWED" | grep -qx "$file:$name"; then
+    echo "error: new stats struct '$name' at $file:$lineno" >&2
+    echo "  Counters belong in the metrics registry: give the owning" >&2
+    echo "  class an obs::StatsScope and register counters/gauges/" >&2
+    echo "  histograms on it (DESIGN.md \"Observability model\")." >&2
+    status=1
+  fi
+done <<EOF
+$found
+EOF
+
+if [ "$status" -eq 0 ]; then
+  echo "check_stats_structs: OK (no unregistered stats structs)"
+fi
+exit $status
