@@ -256,7 +256,11 @@ void BM_PubsubStalenessUnderFlaps(benchmark::State& state) {
     net::NodeId pub = net.AddNode([](const net::Message&) {});
     std::vector<Micros> published_at;
     net::NodeId sub = net.AddNode([&](const net::Message& m) {
-      size_t i = size_t(std::stoull(m.payload));
+      // The payload is the event's wire form; its topic carries the
+      // publish index.
+      pubsub::Event e;
+      if (!pubsub::Event::Decode(m.payload.slice(), &e)) return;
+      size_t i = size_t(std::stoull(e.topic));
       staleness.Record(sim.Now() - published_at[i]);
       ++delivered;
     });

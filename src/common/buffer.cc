@@ -1,0 +1,296 @@
+#include "common/buffer.h"
+
+#include <cassert>
+#include <cstring>
+#include <mutex>
+#include <new>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace deluge::common {
+
+namespace {
+
+/// Process-wide Buffer metrics (DESIGN.md §10): `bytes_copied` counts
+/// payload bytes duplicated into fresh owned storage (Buffer::CopyOf);
+/// sharing a Buffer never moves it.  `buffers_live` tracks distinct
+/// backing allocations, `payload_refs` tracks handles — refs growing
+/// while buffers stay flat is the zero-copy fan-out signature.
+struct BufferMetrics {
+  obs::Counter* bytes_copied;
+  obs::Gauge* buffers_live;
+  obs::Gauge* payload_refs;
+};
+
+BufferMetrics& Metrics() {
+  static BufferMetrics m{
+      obs::MetricsRegistry::Global().GetCounter("buffer.bytes_copied"),
+      obs::MetricsRegistry::Global().GetGauge("buffer.buffers_live"),
+      obs::MetricsRegistry::Global().GetGauge("buffer.payload_refs"),
+  };
+  return m;
+}
+
+}  // namespace
+
+// -------------------------------------------------------------- Buffer::Rep
+
+/// Shared backing store.  Slab-backed Reps (`size_class < kNumClasses`
+/// or oversized heap slabs) store their bytes inline after the struct;
+/// string-backed Reps own a moved-in std::string.  A recycled slab Rep
+/// stays constructed on the free list — reuse just resets refs/size.
+struct Buffer::Rep {
+  std::atomic<uint32_t> refs{1};
+  uint32_t size_class = kStringBacked;
+  size_t size = 0;
+  size_t capacity = 0;          // slab bytes following the struct
+  BufferArena* arena = nullptr; // owner; nullptr = string-backed / plain heap
+  std::string owner;            // string-backed storage only
+
+  static constexpr uint32_t kStringBacked = 0xFFFFFFFF;
+
+  const char* data() const {
+    return size_class == kStringBacked ? owner.data() : slab();
+  }
+  char* slab() { return reinterpret_cast<char*>(this + 1); }
+  const char* slab() const { return reinterpret_cast<const char*>(this + 1); }
+
+  static Rep* NewString(std::string s) {
+    Rep* r = new Rep();
+    r->owner = std::move(s);
+    r->size = r->owner.size();
+    return r;
+  }
+
+  static Rep* NewSlab(size_t capacity) {
+    void* mem = ::operator new(sizeof(Rep) + capacity);
+    Rep* r = new (mem) Rep();
+    r->size_class = 0;  // caller sets the real class
+    r->capacity = capacity;
+    return r;
+  }
+
+  void Destroy() {
+    if (size_class == kStringBacked) {
+      delete this;
+    } else {
+      this->~Rep();
+      ::operator delete(this);
+    }
+  }
+
+  /// Hands a dead slab back to its arena (or destroys it).  Lives on
+  /// Rep — a nested class of Buffer — so it inherits Buffer's friend
+  /// access to BufferArena::Recycle.
+  void Release() {
+    if (arena != nullptr) {
+      arena->Recycle(this);
+    } else {
+      Destroy();
+    }
+  }
+
+  // Refcount + metrics plumbing (member functions because Rep is
+  // private to Buffer).
+  void Ref();
+  void Unref();
+  /// Registers a freshly created rep with the live-buffer metrics.
+  Rep* Track();
+};
+
+void Buffer::Rep::Ref() {
+  refs.fetch_add(1, std::memory_order_relaxed);
+  Metrics().payload_refs->Add(1);
+}
+
+void Buffer::Rep::Unref() {
+  Metrics().payload_refs->Add(-1);
+  if (refs.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
+  Metrics().buffers_live->Add(-1);
+  Release();  // pooled slabs return to the arena free list
+}
+
+Buffer::Rep* Buffer::Rep::Track() {
+  Metrics().buffers_live->Add(1);
+  Metrics().payload_refs->Add(1);
+  return this;
+}
+
+// ------------------------------------------------------------------ Buffer
+
+Buffer::Buffer(std::string s) {
+  if (s.empty()) return;
+  rep_ = Rep::NewString(std::move(s))->Track();
+}
+
+Buffer::Buffer(const Buffer& other) : rep_(other.rep_) {
+  if (rep_ != nullptr) rep_->Ref();
+}
+
+Buffer::Buffer(Buffer&& other) noexcept : rep_(other.rep_) {
+  other.rep_ = nullptr;
+}
+
+Buffer& Buffer::operator=(const Buffer& other) {
+  if (this == &other) return *this;
+  if (other.rep_ != nullptr) other.rep_->Ref();
+  if (rep_ != nullptr) rep_->Unref();
+  rep_ = other.rep_;
+  return *this;
+}
+
+Buffer& Buffer::operator=(Buffer&& other) noexcept {
+  if (this == &other) return *this;
+  if (rep_ != nullptr) rep_->Unref();
+  rep_ = other.rep_;
+  other.rep_ = nullptr;
+  return *this;
+}
+
+Buffer::~Buffer() {
+  if (rep_ != nullptr) rep_->Unref();
+}
+
+Buffer Buffer::CopyOf(Slice bytes, BufferArena* arena) {
+  if (bytes.empty()) return Buffer();
+  if (arena == nullptr) arena = BufferArena::Default();
+  Rep* rep = arena->Allocate(bytes.size());
+  std::memcpy(rep->slab(), bytes.data(), bytes.size());
+  rep->size = bytes.size();
+  Metrics().bytes_copied->Add(bytes.size());
+  return Buffer(rep->Track());
+}
+
+const char* Buffer::data() const { return rep_ == nullptr ? "" : rep_->data(); }
+
+size_t Buffer::size() const { return rep_ == nullptr ? 0 : rep_->size; }
+
+uint32_t Buffer::use_count() const {
+  return rep_ == nullptr ? 0 : rep_->refs.load(std::memory_order_relaxed);
+}
+
+void Buffer::Reset() {
+  if (rep_ != nullptr) rep_->Unref();
+  rep_ = nullptr;
+}
+
+// ------------------------------------------------------------ BufferWriter
+
+BufferWriter::BufferWriter(size_t size, BufferArena* arena) : size_(size) {
+  if (size == 0) return;
+  if (arena == nullptr) arena = BufferArena::Default();
+  rep_ = arena->Allocate(size);
+  rep_->size = size;
+}
+
+BufferWriter::~BufferWriter() {
+  if (rep_ == nullptr) return;
+  // Abandoned without Finish(): the rep was never published (Track),
+  // so bypass the metric-updating Unref and release the slab directly.
+  rep_->Release();
+}
+
+char* BufferWriter::data() {
+  return rep_ == nullptr ? nullptr : rep_->slab();
+}
+
+Buffer BufferWriter::Finish() {
+  Buffer::Rep* rep = rep_;
+  rep_ = nullptr;
+  size_ = 0;
+  if (rep == nullptr) return Buffer();
+  return Buffer(rep->Track());
+}
+
+// ------------------------------------------------------------- BufferArena
+
+struct BufferArena::FreeList {
+  std::mutex mu;
+  std::vector<Buffer::Rep*> reps;
+};
+
+BufferArena* BufferArena::Default() {
+  static BufferArena* arena = new BufferArena();  // leaked: process-wide
+  return arena;
+}
+
+BufferArena::BufferArena() : free_lists_(new FreeList[kNumClasses]) {}
+
+BufferArena::~BufferArena() {
+  for (size_t c = 0; c < kNumClasses; ++c) {
+    for (Buffer::Rep* rep : free_lists_[c].reps) rep->Destroy();
+  }
+  delete[] free_lists_;
+}
+
+size_t BufferArena::ClassFor(size_t n) {
+  size_t cls = 0;
+  size_t bytes = kMinClassBytes;
+  while (bytes < n && cls < kNumClasses) {
+    bytes <<= 1;
+    ++cls;
+  }
+  return cls;  // == kNumClasses when n > kMaxClassBytes
+}
+
+Buffer::Rep* BufferArena::Allocate(size_t n) {
+  const size_t cls = ClassFor(n);
+  if (cls >= kNumClasses) {
+    // Oversized: plain heap slab, destroyed (not pooled) on release.
+    Buffer::Rep* rep = Buffer::Rep::NewSlab(n);
+    slabs_created_.fetch_add(1, std::memory_order_relaxed);
+    return rep;
+  }
+  FreeList& list = free_lists_[cls];
+  {
+    std::lock_guard<std::mutex> lock(list.mu);
+    if (!list.reps.empty()) {
+      Buffer::Rep* rep = list.reps.back();
+      list.reps.pop_back();
+      slabs_reused_.fetch_add(1, std::memory_order_relaxed);
+      rep->refs.store(1, std::memory_order_relaxed);
+      rep->size = 0;
+      return rep;
+    }
+  }
+  Buffer::Rep* rep = Buffer::Rep::NewSlab(kMinClassBytes << cls);
+  rep->size_class = uint32_t(cls);
+  rep->arena = this;
+  slabs_created_.fetch_add(1, std::memory_order_relaxed);
+  return rep;
+}
+
+void BufferArena::Recycle(Buffer::Rep* rep) {
+  assert(rep->arena == this && rep->size_class < kNumClasses);
+  FreeList& list = free_lists_[rep->size_class];
+  {
+    std::lock_guard<std::mutex> lock(list.mu);
+    if (list.reps.size() < kMaxFreePerClass) {
+      list.reps.push_back(rep);
+      slabs_recycled_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+  rep->Destroy();
+}
+
+uint64_t BufferArena::slabs_created() const {
+  return slabs_created_.load(std::memory_order_relaxed);
+}
+uint64_t BufferArena::slabs_recycled() const {
+  return slabs_recycled_.load(std::memory_order_relaxed);
+}
+uint64_t BufferArena::slabs_reused() const {
+  return slabs_reused_.load(std::memory_order_relaxed);
+}
+size_t BufferArena::free_slabs() const {
+  size_t n = 0;
+  for (size_t c = 0; c < kNumClasses; ++c) {
+    std::lock_guard<std::mutex> lock(free_lists_[c].mu);
+    n += free_lists_[c].reps.size();
+  }
+  return n;
+}
+
+}  // namespace deluge::common

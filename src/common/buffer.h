@@ -1,0 +1,183 @@
+#ifndef DELUGE_COMMON_BUFFER_H_
+#define DELUGE_COMMON_BUFFER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace deluge::common {
+
+/// An unowned view over contiguous bytes (LevelDB-style).  The viewed
+/// storage must outlive the slice; `Buffer` is the owning counterpart.
+class Slice {
+ public:
+  constexpr Slice() = default;
+  constexpr Slice(const char* data, size_t size) : data_(data), size_(size) {}
+  Slice(std::string_view s) : data_(s.data()), size_(s.size()) {}  // NOLINT
+  Slice(const std::string& s) : data_(s.data()), size_(s.size()) {}  // NOLINT
+  Slice(const char* cstr) : Slice(std::string_view(cstr)) {}  // NOLINT
+
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  char operator[](size_t i) const { return data_[i]; }
+  void remove_prefix(size_t n) {
+    data_ += n;
+    size_ -= n;
+  }
+  Slice subslice(size_t pos, size_t n) const { return Slice(data_ + pos, n); }
+
+  std::string_view view() const { return {data_, size_}; }
+  operator std::string_view() const { return view(); }  // NOLINT
+  std::string ToString() const { return std::string(data_, size_); }
+
+  friend bool operator==(Slice a, Slice b) { return a.view() == b.view(); }
+  friend bool operator!=(Slice a, Slice b) { return !(a == b); }
+
+ private:
+  const char* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+class BufferArena;
+
+/// A refcounted immutable byte buffer — the unit of payload ownership on
+/// the event path (DESIGN.md §10).
+///
+/// Copying a Buffer copies a pointer and bumps an atomic refcount; the
+/// bytes themselves are written exactly once (by `BufferWriter` into an
+/// arena slab, or by the `std::string` move-wrap constructor) and are
+/// immutable afterwards, so any number of queue slots, in-flight
+/// messages, retry closures, and WAL batches may share one Buffer across
+/// threads without synchronisation.  When the last reference drops, a
+/// slab-backed Buffer returns its slab to the owning `BufferArena`'s
+/// free list for reuse.
+class Buffer {
+ public:
+  Buffer() = default;
+  /// Wraps a string by *move* — no byte copy; the string becomes the
+  /// backing store.  Implicit on purpose: encode functions build a
+  /// std::string and hand it off (`msg.payload = std::move(encoded)`).
+  Buffer(std::string s);  // NOLINT
+  /// Literal convenience (tests, tags): copies the C string.
+  Buffer(const char* cstr) : Buffer(std::string(cstr)) {}  // NOLINT
+  Buffer(const Buffer& other);
+  Buffer(Buffer&& other) noexcept;
+  Buffer& operator=(const Buffer& other);
+  Buffer& operator=(Buffer&& other) noexcept;
+  ~Buffer();
+
+  /// Copies `bytes` into a fresh slab — the only path that duplicates
+  /// payload bytes, counted in the `buffer.bytes_copied` metric.
+  /// `arena` nullptr uses the process-wide default arena.
+  static Buffer CopyOf(Slice bytes, BufferArena* arena = nullptr);
+
+  const char* data() const;
+  size_t size() const;
+  bool empty() const { return size() == 0; }
+  Slice slice() const { return Slice(data(), size()); }
+  std::string_view view() const { return {data(), size()}; }
+  operator std::string_view() const { return view(); }  // NOLINT
+  std::string ToString() const { return std::string(data(), size()); }
+
+  /// Number of Buffer handles sharing the backing bytes (0 when empty).
+  uint32_t use_count() const;
+  /// Drops this handle's reference; the Buffer becomes empty.
+  void Reset();
+
+  friend bool operator==(const Buffer& b, std::string_view s) {
+    return b.view() == s;
+  }
+  friend bool operator==(std::string_view s, const Buffer& b) {
+    return b.view() == s;
+  }
+  friend bool operator!=(const Buffer& b, std::string_view s) {
+    return b.view() != s;
+  }
+
+ private:
+  friend class BufferArena;
+  friend class BufferWriter;
+  struct Rep;
+  explicit Buffer(Rep* rep) : rep_(rep) {}  // takes ownership of one ref
+
+  Rep* rep_ = nullptr;
+};
+
+/// Builds an immutable Buffer by writing `size` bytes into an arena slab
+/// exactly once, then sealing it with `Finish()`.  Destroying an
+/// unfinished writer returns the slab.
+class BufferWriter {
+ public:
+  /// `arena` nullptr uses the process-wide default arena.
+  explicit BufferWriter(size_t size, BufferArena* arena = nullptr);
+  BufferWriter(const BufferWriter&) = delete;
+  BufferWriter& operator=(const BufferWriter&) = delete;
+  ~BufferWriter();
+
+  char* data();
+  size_t size() const { return size_; }
+
+  /// Seals the bytes into an immutable Buffer; the writer is empty
+  /// afterwards.
+  Buffer Finish();
+
+ private:
+  Buffer::Rep* rep_ = nullptr;
+  size_t size_ = 0;
+};
+
+/// A size-class slab allocator for payload buffers.
+///
+/// Slabs are power-of-two classes from 64 B to 64 KB; a slab whose
+/// Buffer refcount drops to zero is pushed onto its class's free list
+/// (bounded) instead of hitting the heap, so the steady-state event path
+/// allocates nothing.  Oversized payloads fall through to plain heap
+/// allocation, freed on release.  Thread-safe.
+class BufferArena {
+ public:
+  /// The process-wide arena used by Buffer/BufferWriter when no arena is
+  /// passed.  `runtime::BufferPool::AllocatePayload` draws from it too.
+  static BufferArena* Default();
+
+  BufferArena();
+  BufferArena(const BufferArena&) = delete;
+  BufferArena& operator=(const BufferArena&) = delete;
+  ~BufferArena();
+
+  // Introspection for tests and the E21 bench.
+  uint64_t slabs_created() const;
+  uint64_t slabs_recycled() const;  ///< released to a free list
+  uint64_t slabs_reused() const;    ///< served from a free list
+  size_t free_slabs() const;
+
+ private:
+  friend class Buffer;
+  friend class BufferWriter;
+
+  static constexpr size_t kMinClassBytes = 64;
+  static constexpr size_t kMaxClassBytes = 64 * 1024;
+  static constexpr size_t kNumClasses = 11;  // 64 B .. 64 KB
+  static constexpr size_t kMaxFreePerClass = 64;
+
+  /// Size class for `n` payload bytes, or kNumClasses when oversized.
+  static size_t ClassFor(size_t n);
+
+  Buffer::Rep* Allocate(size_t n);
+  /// Called when a slab Buffer's refcount hits zero.
+  void Recycle(Buffer::Rep* rep);
+
+  struct FreeList;
+
+  std::atomic<uint64_t> slabs_created_{0};
+  std::atomic<uint64_t> slabs_recycled_{0};
+  std::atomic<uint64_t> slabs_reused_{0};
+  // Array of kNumClasses lists; FreeList is defined in buffer.cc.
+  FreeList* free_lists_ = nullptr;
+};
+
+}  // namespace deluge::common
+
+#endif  // DELUGE_COMMON_BUFFER_H_

@@ -1,0 +1,142 @@
+#ifndef DELUGE_COMMON_SMALL_VEC_H_
+#define DELUGE_COMMON_SMALL_VEC_H_
+
+#include <cstddef>
+#include <new>
+#include <utility>
+
+namespace deluge::common {
+
+/// A contiguous vector with N elements of inline storage.
+///
+/// The first N elements live inside the object — no heap allocation and
+/// no pointer chase — which is what makes the flat `stream::Tuple`
+/// cache-friendly: a typical sensor tuple (≤8 fields) is one contiguous
+/// block, copied by memberwise move instead of rehashing a map.  Beyond
+/// N elements it spills to the heap like std::vector (growth ×2).
+template <typename T, size_t N>
+class SmallVec {
+ public:
+  SmallVec() = default;
+
+  SmallVec(const SmallVec& other) { CopyFrom(other); }
+
+  SmallVec(SmallVec&& other) noexcept { MoveFrom(std::move(other)); }
+
+  SmallVec& operator=(const SmallVec& other) {
+    if (this != &other) {
+      Destroy();
+      CopyFrom(other);
+    }
+    return *this;
+  }
+
+  SmallVec& operator=(SmallVec&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      MoveFrom(std::move(other));
+    }
+    return *this;
+  }
+
+  ~SmallVec() { Destroy(); }
+
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+  T& operator[](size_t i) { return data_[i]; }
+  const T& operator[](size_t i) const { return data_[i]; }
+  T& back() { return data_[size_ - 1]; }
+  const T& back() const { return data_[size_ - 1]; }
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return capacity_; }
+
+  void push_back(T v) {
+    if (size_ == capacity_) Grow(size_ + 1);
+    new (data_ + size_) T(std::move(v));
+    ++size_;
+  }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == capacity_) Grow(size_ + 1);
+    T* slot = new (data_ + size_) T(std::forward<Args>(args)...);
+    ++size_;
+    return *slot;
+  }
+
+  void clear() {
+    for (size_t i = 0; i < size_; ++i) data_[i].~T();
+    size_ = 0;
+  }
+
+  void reserve(size_t n) {
+    if (n > capacity_) Grow(n);
+  }
+
+ private:
+  T* inline_ptr() { return reinterpret_cast<T*>(inline_storage_); }
+  bool is_inline() const {
+    return data_ == reinterpret_cast<const T*>(inline_storage_);
+  }
+
+  void Grow(size_t need) {
+    size_t cap = capacity_ * 2;
+    if (cap < need) cap = need;
+    T* fresh = static_cast<T*>(::operator new(cap * sizeof(T)));
+    for (size_t i = 0; i < size_; ++i) {
+      new (fresh + i) T(std::move(data_[i]));
+      data_[i].~T();
+    }
+    if (!is_inline()) ::operator delete(data_);
+    data_ = fresh;
+    capacity_ = cap;
+  }
+
+  void Destroy() {
+    clear();
+    if (!is_inline()) {
+      ::operator delete(data_);
+      data_ = inline_ptr();
+      capacity_ = N;
+    }
+  }
+
+  void CopyFrom(const SmallVec& other) {
+    if (other.size_ > N) Grow(other.size_);
+    for (size_t i = 0; i < other.size_; ++i) new (data_ + i) T(other.data_[i]);
+    size_ = other.size_;
+  }
+
+  void MoveFrom(SmallVec&& other) noexcept {
+    if (!other.is_inline()) {
+      // Steal the heap block.
+      data_ = other.data_;
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+      other.data_ = other.inline_ptr();
+      other.capacity_ = N;
+      other.size_ = 0;
+      return;
+    }
+    for (size_t i = 0; i < other.size_; ++i) {
+      new (data_ + i) T(std::move(other.data_[i]));
+    }
+    size_ = other.size_;
+    other.clear();
+  }
+
+  T* data_ = inline_ptr();
+  size_t size_ = 0;
+  size_t capacity_ = N;
+  alignas(T) unsigned char inline_storage_[N * sizeof(T)];
+};
+
+}  // namespace deluge::common
+
+#endif  // DELUGE_COMMON_SMALL_VEC_H_

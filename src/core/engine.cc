@@ -4,6 +4,16 @@
 
 namespace deluge::core {
 
+namespace {
+
+/// Hot-path field ids, interned once per process: ingest then writes
+/// tuple slots by id without touching the name table.
+const stream::FieldId kFieldEntity = stream::FieldTable::Intern("entity");
+const stream::FieldId kFieldAttribute = stream::FieldTable::Intern("attribute");
+const stream::FieldId kFieldValue = stream::FieldTable::Intern("value");
+
+}  // namespace
+
 CoSpaceEngine::EngineCounters::EngineCounters(obs::StatsScope& scope)
     : physical_updates(scope.counter("physical_updates")),
       mirrored_updates(scope.counter("mirrored_updates")),
@@ -34,7 +44,7 @@ pubsub::Event MakeMirrorPositionEvent(EntityId id, const geo::Vec3& pos,
   event.payload.event_time = t;
   event.payload.space = stream::Space::kPhysical;
   event.payload.key = std::to_string(id);
-  event.payload.Set("entity", int64_t(id));
+  event.payload.Set(kFieldEntity, int64_t(id));
   return event;
 }
 
@@ -106,9 +116,9 @@ Status CoSpaceEngine::IngestPhysicalAttribute(EntityId id,
   event.topic = "mirror.attribute";
   event.payload.event_time = t;
   event.payload.key = std::to_string(id);
-  event.payload.Set("entity", int64_t(id));
-  event.payload.Set("attribute", name);
-  event.payload.fields["value"] = std::move(value);
+  event.payload.Set(kFieldEntity, int64_t(id));
+  event.payload.Set(kFieldAttribute, name);
+  event.payload.Set(kFieldValue, std::move(value));
   const Entity* e = physical_.Get(id);
   if (e != nullptr) event.position = e->position;
   c_.events_published->Add(1);

@@ -1,0 +1,65 @@
+#include "fusion/observation.h"
+
+namespace deluge::fusion {
+
+namespace {
+
+// Interned once per process; conversion then reads/writes slots by id.
+const stream::FieldId kFSource = stream::FieldTable::Intern("source");
+const stream::FieldId kFType = stream::FieldTable::Intern("source_type");
+const stream::FieldId kFX = stream::FieldTable::Intern("x");
+const stream::FieldId kFY = stream::FieldTable::Intern("y");
+const stream::FieldId kFZ = stream::FieldTable::Intern("z");
+const stream::FieldId kFAttribute = stream::FieldTable::Intern("attribute");
+const stream::FieldId kFValue = stream::FieldTable::Intern("value");
+const stream::FieldId kFConfidence = stream::FieldTable::Intern("confidence");
+
+}  // namespace
+
+stream::Tuple Observation::ToTuple() const {
+  stream::Tuple t;
+  t.event_time = this->t;
+  t.space = type == SourceType::kVirtual ? stream::Space::kVirtual
+                                         : stream::Space::kPhysical;
+  t.key = entity;
+  t.Set(kFSource, int64_t(source_id));
+  t.Set(kFType, int64_t(type));
+  if (has_position) {
+    t.Set(kFX, position.x);
+    t.Set(kFY, position.y);
+    t.Set(kFZ, position.z);
+  }
+  if (!attribute.empty()) {
+    t.Set(kFAttribute, attribute);
+    t.Set(kFValue, value);
+  }
+  t.Set(kFConfidence, confidence);
+  return t;
+}
+
+std::optional<Observation> Observation::FromTuple(const stream::Tuple& t) {
+  auto source = t.Get<int64_t>(kFSource);
+  auto type = t.Get<int64_t>(kFType);
+  if (!source.has_value() || !type.has_value() || t.key.empty() ||
+      *type > int64_t(SourceType::kVirtual)) {
+    return std::nullopt;
+  }
+  Observation obs;
+  obs.entity = t.key;
+  obs.source_id = uint32_t(*source);
+  obs.type = SourceType(*type);
+  obs.t = t.event_time;
+  auto x = t.GetNumeric(kFX);
+  auto y = t.GetNumeric(kFY);
+  auto z = t.GetNumeric(kFZ);
+  if (x.has_value() && y.has_value() && z.has_value()) {
+    obs.position = geo::Vec3{*x, *y, *z};
+    obs.has_position = true;
+  }
+  obs.attribute = t.Get<std::string>(kFAttribute).value_or("");
+  obs.value = t.Get<std::string>(kFValue).value_or("");
+  obs.confidence = t.GetNumeric(kFConfidence).value_or(1.0);
+  return obs;
+}
+
+}  // namespace deluge::fusion

@@ -2,10 +2,12 @@
 #define DELUGE_FUSION_OBSERVATION_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "common/clock.h"
 #include "geo/geometry.h"
+#include "stream/tuple.h"
 
 namespace deluge::fusion {
 
@@ -38,6 +40,14 @@ struct Observation {
   std::string attribute;
   std::string value;
   double confidence = 1.0;
+
+  /// The observation as a flat stream tuple (event-path form): field
+  /// slots use process-interned ids, so converting on the ingest path
+  /// does no name hashing.  Round-trips through `FromTuple`.
+  stream::Tuple ToTuple() const;
+  /// Rebuilds an observation from `ToTuple` output (or any tuple with
+  /// the same fields); std::nullopt when required fields are missing.
+  static std::optional<Observation> FromTuple(const stream::Tuple& t);
 };
 
 /// A fused belief about an entity.

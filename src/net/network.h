@@ -8,6 +8,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/buffer.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "net/simulator.h"
@@ -21,11 +22,15 @@ using NodeId = uint32_t;
 /// A message in flight.  `payload` is opaque bytes; `size_bytes` may exceed
 /// payload.size() to model headers or media frames whose content we do not
 /// materialize (e.g. a "2 MB video keyframe" with a 20-byte descriptor).
+///
+/// The payload is a refcounted `common::Buffer`: assigning an encoded
+/// string moves it in (no copy), and fanning the same bytes out to many
+/// destinations or retries shares one allocation (DESIGN.md §10).
 struct Message {
   NodeId from = 0;
   NodeId to = 0;
   uint32_t type = 0;
-  std::string payload;
+  common::Buffer payload;
   uint64_t size_bytes = 0;
   Micros sent_at = 0;
 

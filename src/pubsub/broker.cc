@@ -115,13 +115,14 @@ void Broker::SetQueueLimit(size_t limit) {
   if (limit > 0 && queue_.size() > limit) queue_.TruncateNewest(limit);
 }
 
-void Broker::Enqueue(net::NodeId subscriber, const Event& event) {
+void Broker::Enqueue(net::NodeId subscriber, const EventRef& event) {
   if (queue_.size() >= queue_limit_) {
     // Shed the lowest-priority entry (oldest among ties); if the new
     // event itself is lowest, shed it instead.  O(log n) via the
     // worst-first heap (the seed scanned the whole queue per eviction).
     deliveries_shed_->Add(1);
-    if (queue_.empty() || queue_.PeekWorst().event.priority >= event.priority) {
+    if (queue_.empty() ||
+        queue_.PeekWorst().event->priority >= event->priority) {
       return;  // the incoming event is the least important
     }
     queue_.PopWorst();
@@ -137,7 +138,7 @@ size_t Broker::Drain(size_t max) {
     // Highest priority first, FIFO within a priority — O(log n) pops
     // from the best-first heap.
     DeliveryHeap::Item d = queue_.PopBest();
-    if (deliver_) deliver_(d.subscriber, d.event);
+    if (deliver_) deliver_(d.subscriber, *d.event);
     ++delivered;
   }
   return delivered;
@@ -147,6 +148,11 @@ size_t Broker::Publish(const Event& event) {
   obs::Span span("broker.publish");
   events_published_->Add(1);
   size_t delivered = 0;
+  // Queued mode: the event is copied into shared ownership at most once
+  // per publish; every matching queue slot then holds a reference, so
+  // fan-out cost per subscriber is one refcount bump (zero payload
+  // copies regardless of subscriber count).
+  EventRef shared;
   auto try_deliver = [&](uint64_t sub_id) {
     auto it = subs_.find(sub_id);
     if (it == subs_.end()) return;
@@ -155,7 +161,8 @@ size_t Broker::Publish(const Event& event) {
     deliveries_->Add(1);
     ++delivered;
     if (queue_limit_ > 0) {
-      Enqueue(it->second.subscriber, event);
+      if (shared == nullptr) shared = std::make_shared<const Event>(event);
+      Enqueue(it->second.subscriber, shared);
     } else if (deliver_) {
       deliver_(it->second.subscriber, event);
     }

@@ -79,7 +79,7 @@ class Broker {
  private:
   using CellKey = uint64_t;
 
-  void Enqueue(net::NodeId subscriber, const Event& event);
+  void Enqueue(net::NodeId subscriber, const EventRef& event);
 
   std::vector<CellKey> CellsCovering(const geo::AABB& box) const;
   CellKey CellFor(const geo::Vec3& p) const;

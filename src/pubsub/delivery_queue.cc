@@ -10,22 +10,23 @@ namespace deluge::pubsub {
 // both references are gone (refs hits 0), so a stale heap index can
 // never alias a newly pushed item.
 
+// Comparators read the slot's cached priority, never through the
+// EventRef: a dead slot drops its payload reference immediately (see
+// PopWorst/PopBest) but keeps participating in sift comparisons until
+// both heaps discard its tombstone.
+
 bool DeliveryHeap::BestBefore(size_t a, size_t b) const {
-  const Item& ia = slots_[a].item;
-  const Item& ib = slots_[b].item;
-  if (ia.event.priority != ib.event.priority) {
-    return ia.event.priority > ib.event.priority;
+  if (slots_[a].priority != slots_[b].priority) {
+    return slots_[a].priority > slots_[b].priority;
   }
-  return ia.seq < ib.seq;
+  return slots_[a].item.seq < slots_[b].item.seq;
 }
 
 bool DeliveryHeap::WorstBefore(size_t a, size_t b) const {
-  const Item& ia = slots_[a].item;
-  const Item& ib = slots_[b].item;
-  if (ia.event.priority != ib.event.priority) {
-    return ia.event.priority < ib.event.priority;
+  if (slots_[a].priority != slots_[b].priority) {
+    return slots_[a].priority < slots_[b].priority;
   }
-  return ia.seq < ib.seq;
+  return slots_[a].item.seq < slots_[b].item.seq;
 }
 
 void DeliveryHeap::SiftUp(std::vector<size_t>* heap, size_t pos, bool best) {
@@ -58,7 +59,7 @@ void DeliveryHeap::SiftDown(std::vector<size_t>* heap, size_t pos, bool best) {
 void DeliveryHeap::Release(size_t slot) {
   Slot& s = slots_[slot];
   assert(!s.alive);
-  s.item.event = Event{};  // drop payload early
+  assert(s.item.event == nullptr);  // ref was dropped at shed/pop time
   free_.push_back(slot);
 }
 
@@ -87,7 +88,7 @@ void DeliveryHeap::Prune(std::vector<size_t>* heap, bool best) {
   }
 }
 
-void DeliveryHeap::Push(net::NodeId subscriber, Event event, uint64_t seq) {
+void DeliveryHeap::Push(net::NodeId subscriber, EventRef event, uint64_t seq) {
   size_t slot;
   if (!free_.empty()) {
     slot = free_.back();
@@ -98,6 +99,7 @@ void DeliveryHeap::Push(net::NodeId subscriber, Event event, uint64_t seq) {
   }
   Slot& s = slots_[slot];
   s.item = Item{subscriber, std::move(event), seq};
+  s.priority = s.item.event->priority;
   s.alive = true;
   s.refs = 2;
   ++live_;
@@ -119,6 +121,11 @@ void DeliveryHeap::PopWorst() {
   worst_heap_.pop_back();
   if (!worst_heap_.empty()) SiftDown(&worst_heap_, 0, /*best=*/false);
   slots_[slot].alive = false;
+  // Shedding releases the payload reference *now*, not when the other
+  // heap eventually prunes the tombstone — a shed event's Buffer must
+  // free as soon as its last live queue slot is gone (the seed instead
+  // blanked the whole Event on slot reuse, pinning payloads meanwhile).
+  slots_[slot].item.event.reset();
   --live_;
   if (--slots_[slot].refs == 0) Release(slot);
 }

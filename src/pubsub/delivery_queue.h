@@ -23,16 +23,20 @@ namespace deluge::pubsub {
 /// seed's O(n) scans per pop/evict.
 class DeliveryHeap {
  public:
+  /// Queue slots hold a shared `EventRef`, not an Event copy: an event
+  /// fanned out to N subscribers occupies N slots that all point at one
+  /// immutable Event (and its one encoded payload Buffer).  Shedding or
+  /// popping a slot drops only that slot's reference.
   struct Item {
     net::NodeId subscriber = 0;
-    Event event;
+    EventRef event;
     uint64_t seq = 0;  ///< FIFO order within a priority
   };
 
   size_t size() const { return live_; }
   bool empty() const { return live_ == 0; }
 
-  void Push(net::NodeId subscriber, Event event, uint64_t seq);
+  void Push(net::NodeId subscriber, EventRef event, uint64_t seq);
 
   /// Lowest priority, oldest among ties.  Precondition: !empty().
   const Item& PeekWorst();
@@ -49,6 +53,10 @@ class DeliveryHeap {
  private:
   struct Slot {
     Item item;
+    /// Cached from the event at Push so heap comparisons never read
+    /// through `item.event` — dead slots release their EventRef
+    /// immediately but stay in the heaps as tombstones.
+    uint8_t priority = 0;
     bool alive = false;
     uint8_t refs = 0;  ///< heaps still holding this slot's index
   };

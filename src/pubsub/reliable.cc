@@ -27,11 +27,16 @@ CircuitBreaker& ReliableDeliverer::breaker_for(net::NodeId to) {
 void ReliableDeliverer::Deliver(net::NodeId from, net::NodeId to,
                                 const Event& event) {
   attempts_->Add(1);
-  Attempt(from, to, event, RetryState(policy_, sim_->Now()));
+  // Serialise at most once per event: EnsureEncoded caches the wire
+  // form on the Event, so fanning one event out to N subscribers (and
+  // every retry) shares a single refcounted Buffer.
+  Attempt(from, to, event.EnsureEncoded(), event.bytes,
+          RetryState(policy_, sim_->Now()));
 }
 
 void ReliableDeliverer::Attempt(net::NodeId from, net::NodeId to,
-                                const Event& event, RetryState state) {
+                                common::Buffer payload, uint64_t size_bytes,
+                                RetryState state) {
   CircuitBreaker& breaker = breaker_for(to);
   if (!breaker.Allow(sim_->Now())) {
     fast_failed_->Add(1);
@@ -41,8 +46,8 @@ void ReliableDeliverer::Attempt(net::NodeId from, net::NodeId to,
   msg.from = from;
   msg.to = to;
   msg.type = msg_type;
-  msg.payload = event.topic;
-  msg.size_bytes = event.bytes;
+  msg.payload = payload;  // refcount bump, not a byte copy
+  msg.size_bytes = size_bytes;
   sends_->Add(1);
   Status s = net_->Send(std::move(msg));
   if (s.ok()) {
@@ -57,9 +62,9 @@ void ReliableDeliverer::Attempt(net::NodeId from, net::NodeId to,
     return;
   }
   retries_->Add(1);
-  sim_->After(delay, [this, from, to, event, state]() {
-    Attempt(from, to, event, state);
-  });
+  sim_->After(delay,
+              [this, from, to, payload = std::move(payload), size_bytes,
+               state]() { Attempt(from, to, payload, size_bytes, state); });
 }
 
 }  // namespace deluge::pubsub

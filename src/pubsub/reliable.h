@@ -32,7 +32,9 @@ struct ReliableStats {
 class ReliableDeliverer {
  public:
   /// `net`/`sim` must outlive the deliverer.  `msg_type` tags the wire
-  /// messages; the payload carries the topic.
+  /// messages; the payload carries the event's wire encoding
+  /// (`Event::EnsureEncoded`), serialised once and shared by refcount
+  /// across subscribers and retries.
   ReliableDeliverer(net::Network* net, net::Simulator* sim,
                     RetryPolicy policy = {}, uint64_t seed = 0xE11A);
 
@@ -46,8 +48,8 @@ class ReliableDeliverer {
   uint32_t msg_type = 0x9B;
 
  private:
-  void Attempt(net::NodeId from, net::NodeId to, const Event& event,
-               RetryState state);
+  void Attempt(net::NodeId from, net::NodeId to, common::Buffer payload,
+               uint64_t size_bytes, RetryState state);
   CircuitBreaker& breaker_for(net::NodeId to);
 
   net::Network* net_;

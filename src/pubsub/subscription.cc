@@ -1,6 +1,96 @@
 #include "pubsub/subscription.h"
 
+#include <cstring>
+
+#include "storage/format.h"
+
 namespace deluge::pubsub {
+
+// Event wire format (little-endian, storage/format.h conventions):
+//   varint32 topic_len | topic | u8 flags (bit0 = has position)
+//   | [3 x fixed64 position doubles] | fixed64 bytes | u8 priority
+//   | fixed64 published_at | payload tuple (stream::Tuple wire form)
+
+namespace {
+
+size_t VarintLen(uint64_t v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+void PutDouble(std::string* dst, double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, 8);
+  storage::PutFixed64(dst, bits);
+}
+
+bool GetDouble(std::string_view* in, double* d) {
+  uint64_t bits = 0;
+  if (!storage::GetFixed64(in, &bits)) return false;
+  std::memcpy(d, &bits, 8);
+  return true;
+}
+
+}  // namespace
+
+size_t Event::EncodedSize() const {
+  return VarintLen(topic.size()) + topic.size() + 1 +
+         (position.has_value() ? 24 : 0) + 8 + 1 + 8 +
+         payload.EncodedSize();
+}
+
+const common::Buffer& Event::EnsureEncoded() const {
+  if (!encoded_.empty()) return encoded_;
+  std::string wire;
+  wire.reserve(EncodedSize());
+  storage::PutLengthPrefixed(&wire, topic);
+  wire.push_back(position.has_value() ? char(1) : char(0));
+  if (position.has_value()) {
+    PutDouble(&wire, position->x);
+    PutDouble(&wire, position->y);
+    PutDouble(&wire, position->z);
+  }
+  storage::PutFixed64(&wire, bytes);
+  wire.push_back(char(priority));
+  storage::PutFixed64(&wire, uint64_t(published_at));
+  payload.EncodeTo(&wire);
+  encoded_ = common::Buffer(std::move(wire));
+  return encoded_;
+}
+
+bool Event::Decode(common::Slice in, Event* out) {
+  std::string_view cursor = in.view();
+  std::string_view topic;
+  if (!storage::GetLengthPrefixed(&cursor, &topic)) return false;
+  out->topic.assign(topic);
+  if (cursor.empty()) return false;
+  uint8_t flags = uint8_t(cursor.front());
+  cursor.remove_prefix(1);
+  if (flags > 1) return false;
+  if (flags & 1) {
+    geo::Vec3 p;
+    if (!GetDouble(&cursor, &p.x) || !GetDouble(&cursor, &p.y) ||
+        !GetDouble(&cursor, &p.z)) {
+      return false;
+    }
+    out->position = p;
+  } else {
+    out->position.reset();
+  }
+  if (!storage::GetFixed64(&cursor, &out->bytes)) return false;
+  if (cursor.empty()) return false;
+  out->priority = uint8_t(cursor.front());
+  cursor.remove_prefix(1);
+  uint64_t published_bits = 0;
+  if (!storage::GetFixed64(&cursor, &published_bits)) return false;
+  out->published_at = Micros(published_bits);
+  if (!stream::Tuple::DecodeFrom(&cursor, &out->payload)) return false;
+  return cursor.empty();
+}
 
 bool Predicate::Matches(const stream::Tuple& t) const {
   // String equality path.

@@ -2,10 +2,12 @@
 #define DELUGE_PUBSUB_SUBSCRIPTION_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/buffer.h"
 #include "geo/geometry.h"
 #include "net/network.h"
 #include "stream/tuple.h"
@@ -28,6 +30,12 @@ struct Predicate {
 
 /// A published event: topic + payload tuple + optional position (for
 /// location-aware subscriptions, as in geo-textual pub/sub [41][21]).
+///
+/// Ownership rules (DESIGN.md §10): an Event is mutable while being
+/// built; once published it is treated as immutable and shared —
+/// queued-mode fan-out hands one `EventRef` to every queue slot, and
+/// the wire path serialises once via `EnsureEncoded()` and shares the
+/// refcounted Buffer across subscribers and retries.
 struct Event {
   std::string topic;
   stream::Tuple payload;
@@ -38,7 +46,24 @@ struct Event {
   uint8_t priority = 0;
   /// Publish time (virtual); lets subscribers measure staleness.
   Micros published_at = 0;
+
+  /// The event's wire form, encoded at most once and cached; later
+  /// calls (other subscribers, retries) share the same Buffer.  Must
+  /// not be called before the event is fully built — the cache is not
+  /// invalidated by later mutation.
+  const common::Buffer& EnsureEncoded() const;
+  /// Exact wire size in bytes.
+  size_t EncodedSize() const;
+  /// Parses a wire-form event; false on malformed input.
+  static bool Decode(common::Slice in, Event* out);
+
+ private:
+  mutable common::Buffer encoded_;  // lazily filled by EnsureEncoded
 };
+
+/// Shared handle to a published (hence immutable) event: the unit the
+/// delivery queue and fan-out paths pass around instead of Event copies.
+using EventRef = std::shared_ptr<const Event>;
 
 /// A standing interest registration.
 ///

@@ -8,6 +8,14 @@ BufferPool::BufferPool(uint64_t capacity_bytes, Fetcher fetcher,
       fetcher_(std::move(fetcher)),
       virtual_share_(virtual_share) {}
 
+common::BufferArena& BufferPool::payload_arena() {
+  return *common::BufferArena::Default();
+}
+
+common::Buffer BufferPool::AllocatePayload(common::Slice bytes) {
+  return common::Buffer::CopyOf(bytes, &payload_arena());
+}
+
 const BufferPoolStats& BufferPool::stats() const {
   snapshot_.hits = hits_->Value();
   snapshot_.misses = misses_->Value();

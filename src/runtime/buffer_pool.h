@@ -7,6 +7,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/buffer.h"
 #include "common/status.h"
 #include "obs/metrics.h"
 #include "stream/tuple.h"
@@ -55,6 +56,19 @@ class BufferPool {
   void Invalidate(const std::string& id);
 
   bool Contains(const std::string& id) const;
+
+  // --- Payload slab integration (zero-copy event path) -----------------
+
+  /// The slab arena backing refcounted payload Buffers (the process
+  /// default arena — see `common::BufferArena`).  Exposed here because
+  /// the buffer pool is the runtime's memory-tier owner: payload slabs
+  /// whose refcount drops to zero return to this arena's free lists.
+  static common::BufferArena& payload_arena();
+
+  /// Copies `bytes` into a refcounted payload Buffer backed by
+  /// `payload_arena()`.  When the last reference drops, the slab goes
+  /// back to the arena free list instead of the heap.
+  static common::Buffer AllocatePayload(common::Slice bytes);
 
   uint64_t used_bytes() const { return used_bytes_; }
   uint64_t capacity_bytes() const { return capacity_; }

@@ -290,7 +290,8 @@ Status KVStore::CommitWriter(Writer* w) {
     // may proceed meanwhile.
     lock.unlock();
     // One WAL record per batch (not per op): the frame CRC then covers
-    // the whole batch, so replay applies it all-or-nothing.
+    // the whole batch, so replay applies it all-or-nothing.  The WAL
+    // takes slices of the encoded records — no re-serialisation.
     std::vector<std::string> records;
     records.reserve(group.size());
     SequenceNumber seq = first_seq;
@@ -302,7 +303,8 @@ Status KVStore::CommitWriter(Writer* w) {
       }
       records.push_back(std::move(rec));
     }
-    s = wal_.AppendBatch(records, options_.sync_wal);
+    std::vector<common::Slice> record_slices(records.begin(), records.end());
+    s = wal_.AppendBatch(record_slices, options_.sync_wal);
     if (s.ok() && options_.sync_wal) {
       wal_syncs_->Add(1);
     }

@@ -71,13 +71,22 @@ Status WriteAheadLog::Append(std::string_view record, bool sync) {
 
 Status WriteAheadLog::AppendBatch(const std::vector<std::string>& records,
                                   bool sync) {
+  std::vector<common::Slice> slices(records.begin(), records.end());
+  return AppendBatch(slices, sync);
+}
+
+Status WriteAheadLog::AppendBatch(const std::vector<common::Slice>& records,
+                                  bool sync) {
   if (file_ == nullptr) return Status::IOError("WAL not open");
   if (records.empty()) return Status::OK();
   size_t total = 0;
   for (const auto& r : records) total += 12 + r.size();
+  // Coalescing frames into one write is I/O batching, not payload
+  // duplication — the record bytes are framed straight from the
+  // caller's slices (see DESIGN.md §10 on what `bytes_copied` counts).
   std::string frames;
   frames.reserve(total);
-  for (const auto& r : records) AppendFrame(r, &frames);
+  for (const auto& r : records) AppendFrame(r.view(), &frames);
 
   size_t to_write = frames.size();
   if (fault_injector_ != nullptr) {

@@ -7,6 +7,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/buffer.h"
 #include "common/status.h"
 #include "storage/fault_injection.h"
 
@@ -38,6 +39,13 @@ class WriteAheadLog {
   /// ONE write, one flush, and at most one fdatasync for the whole
   /// batch.  This is what lets N concurrent committers share a single
   /// sync instead of paying one each.
+  ///
+  /// Records are unowned views: the WAL frames them directly into the
+  /// coalesced write without re-serialising, so callers hand over
+  /// slices of buffers they already own (e.g. encoded WriteBatches).
+  Status AppendBatch(const std::vector<common::Slice>& records,
+                     bool sync = false);
+  /// Convenience overload for owned records.
   Status AppendBatch(const std::vector<std::string>& records,
                      bool sync = false);
 

@@ -111,10 +111,13 @@ void WindowJoinOp::Process(const Tuple& t, const Emit& emit) {
     const Tuple& right = (side == 0) ? other : t;
     Tuple joined = left;
     joined.event_time = std::max(left.event_time, right.event_time);
-    for (const auto& [name, value] : right.fields) {
-      std::string out_name =
-          joined.fields.count(name) ? right_prefix_ + name : name;
-      joined.fields[out_name] = value;
+    for (const Tuple::Field& f : right.fields()) {
+      if (joined.Find(f.id) != nullptr) {
+        // Name collision with the left side: prefix the right field.
+        joined.Set(right_prefix_ + FieldTable::Name(f.id), f.value);
+      } else {
+        joined.Set(f.id, f.value);
+      }
     }
     emit(joined);
   }

@@ -1,0 +1,253 @@
+#include "stream/tuple.h"
+
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+
+#include "storage/format.h"
+
+namespace deluge::stream {
+
+// --------------------------------------------------------------- FieldTable
+
+namespace {
+
+/// Append-only intern table.  Names live in a deque so pointers handed
+/// out by `Name` stay stable across growth; reads take a shared lock.
+struct InternTable {
+  std::shared_mutex mu;
+  std::unordered_map<std::string_view, FieldTable::Id> ids;  // keys -> names_
+  std::deque<std::string> names;
+
+  static InternTable& Instance() {
+    static InternTable* t = new InternTable();  // leaked: process-wide
+    return *t;
+  }
+};
+
+const std::string& EmptyName() {
+  static const std::string empty;
+  return empty;
+}
+
+}  // namespace
+
+FieldTable::Id FieldTable::Intern(std::string_view name) {
+  InternTable& t = InternTable::Instance();
+  {
+    std::shared_lock<std::shared_mutex> read(t.mu);
+    auto it = t.ids.find(name);
+    if (it != t.ids.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> write(t.mu);
+  auto it = t.ids.find(name);
+  if (it != t.ids.end()) return it->second;  // raced: someone else won
+  Id id = Id(t.names.size());
+  t.names.emplace_back(name);
+  t.ids.emplace(std::string_view(t.names.back()), id);
+  return id;
+}
+
+std::optional<FieldTable::Id> FieldTable::Find(std::string_view name) {
+  InternTable& t = InternTable::Instance();
+  std::shared_lock<std::shared_mutex> read(t.mu);
+  auto it = t.ids.find(name);
+  if (it == t.ids.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& FieldTable::Name(Id id) {
+  InternTable& t = InternTable::Instance();
+  std::shared_lock<std::shared_mutex> read(t.mu);
+  if (id >= t.names.size()) return EmptyName();
+  return t.names[id];  // deque: stable reference past unlock
+}
+
+size_t FieldTable::size() {
+  InternTable& t = InternTable::Instance();
+  std::shared_lock<std::shared_mutex> read(t.mu);
+  return t.names.size();
+}
+
+// -------------------------------------------------------------------- Tuple
+
+Tuple& Tuple::Set(FieldId id, Value v) {
+  for (Field& f : fields_) {
+    if (f.id == id) {
+      f.value = std::move(v);
+      return *this;
+    }
+  }
+  fields_.emplace_back(Field{id, std::move(v)});
+  return *this;
+}
+
+const Value* Tuple::Find(FieldId id) const {
+  for (const Field& f : fields_) {
+    if (f.id == id) return &f.value;
+  }
+  return nullptr;
+}
+
+const Value* Tuple::FindByName(std::string_view name) const {
+  // Non-interning: an absent name must not grow the process-wide table
+  // (predicates routinely probe fields the tuple doesn't carry).
+  std::optional<FieldId> id = FieldTable::Find(name);
+  if (!id.has_value()) return nullptr;
+  return Find(*id);
+}
+
+// Wire format (little-endian, storage/format.h conventions):
+//   fixed64 event_time | u8 space | varint32 key_len | key
+//   | varint32 field_count
+//   | per field: varint32 name_len | name | u8 type | value
+// Value encodings by type tag (= variant index):
+//   0 int64  -> fixed64    1 double -> fixed64 (bit pattern)
+//   2 string -> varint32 len + bytes              3 bool -> u8
+
+namespace {
+
+size_t VarintLen(uint64_t v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+size_t ValueEncodedSize(const Value& v) {
+  switch (v.index()) {
+    case 0:
+    case 1:
+      return 8;
+    case 2: {
+      const std::string& s = std::get<std::string>(v);
+      return VarintLen(s.size()) + s.size();
+    }
+    default:
+      return 1;
+  }
+}
+
+}  // namespace
+
+size_t Tuple::EncodedSize() const {
+  size_t n = 8 + 1 + VarintLen(key.size()) + key.size() +
+             VarintLen(fields_.size());
+  for (const Field& f : fields_) {
+    const std::string& name = FieldTable::Name(f.id);
+    n += VarintLen(name.size()) + name.size() + 1 + ValueEncodedSize(f.value);
+  }
+  return n;
+}
+
+void Tuple::EncodeTo(std::string* dst) const {
+  using storage::PutFixed64;
+  using storage::PutLengthPrefixed;
+  using storage::PutVarint32;
+  PutFixed64(dst, uint64_t(event_time));
+  dst->push_back(char(uint8_t(space)));
+  PutLengthPrefixed(dst, key);
+  PutVarint32(dst, uint32_t(fields_.size()));
+  for (const Field& f : fields_) {
+    PutLengthPrefixed(dst, FieldTable::Name(f.id));
+    dst->push_back(char(uint8_t(f.value.index())));
+    switch (f.value.index()) {
+      case 0:
+        PutFixed64(dst, uint64_t(std::get<int64_t>(f.value)));
+        break;
+      case 1: {
+        uint64_t bits;
+        double d = std::get<double>(f.value);
+        std::memcpy(&bits, &d, 8);
+        PutFixed64(dst, bits);
+        break;
+      }
+      case 2:
+        PutLengthPrefixed(dst, std::get<std::string>(f.value));
+        break;
+      default:
+        dst->push_back(std::get<bool>(f.value) ? char(1) : char(0));
+        break;
+    }
+  }
+}
+
+common::Buffer Tuple::Encode() const {
+  // One exact-size allocation; callers share the result by refcount.
+  std::string wire;
+  wire.reserve(EncodedSize());
+  EncodeTo(&wire);
+  return common::Buffer(std::move(wire));
+}
+
+bool Tuple::DecodeFrom(std::string_view* cursor, Tuple* out) {
+  using storage::GetFixed64;
+  using storage::GetLengthPrefixed;
+  using storage::GetVarint32;
+  uint64_t time_bits = 0;
+  if (!GetFixed64(cursor, &time_bits)) return false;
+  out->event_time = Micros(time_bits);
+  if (cursor->empty()) return false;
+  uint8_t space_byte = uint8_t(cursor->front());
+  if (space_byte > uint8_t(Space::kVirtual)) return false;
+  out->space = Space(space_byte);
+  cursor->remove_prefix(1);
+  std::string_view key;
+  if (!GetLengthPrefixed(cursor, &key)) return false;
+  out->key.assign(key);
+  uint32_t count = 0;
+  if (!GetVarint32(cursor, &count)) return false;
+  out->fields_.clear();
+  out->fields_.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string_view name;
+    if (!GetLengthPrefixed(cursor, &name)) return false;
+    if (cursor->empty()) return false;
+    uint8_t type = uint8_t(cursor->front());
+    cursor->remove_prefix(1);
+    Value value;
+    switch (type) {
+      case 0: {
+        uint64_t bits = 0;
+        if (!GetFixed64(cursor, &bits)) return false;
+        value = int64_t(bits);
+        break;
+      }
+      case 1: {
+        uint64_t bits = 0;
+        if (!GetFixed64(cursor, &bits)) return false;
+        double d;
+        std::memcpy(&d, &bits, 8);
+        value = d;
+        break;
+      }
+      case 2: {
+        std::string_view s;
+        if (!GetLengthPrefixed(cursor, &s)) return false;
+        value = std::string(s);
+        break;
+      }
+      case 3: {
+        if (cursor->empty()) return false;
+        value = cursor->front() != 0;
+        cursor->remove_prefix(1);
+        break;
+      }
+      default:
+        return false;
+    }
+    out->fields_.emplace_back(Field{FieldTable::Intern(name), std::move(value)});
+  }
+  return true;
+}
+
+bool Tuple::Decode(common::Slice in, Tuple* out) {
+  std::string_view cursor = in.view();
+  return DecodeFrom(&cursor, out) && cursor.empty();
+}
+
+}  // namespace deluge::stream

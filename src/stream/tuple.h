@@ -4,10 +4,12 @@
 #include <cstdint>
 #include <optional>
 #include <string>
-#include <unordered_map>
+#include <string_view>
 #include <variant>
 
+#include "common/buffer.h"
 #include "common/clock.h"
+#include "common/small_vec.h"
 
 namespace deluge::stream {
 
@@ -22,42 +24,119 @@ enum class Space : uint8_t {
 /// A dynamically-typed field value.
 using Value = std::variant<int64_t, double, std::string, bool>;
 
+/// Process-wide interned field-name table (DESIGN.md §10).
+///
+/// Field names repeat across millions of tuples ("x", "entity",
+/// "temperature"…), so tuples store a 4-byte id instead of a string.
+/// `Intern` assigns ids (insert-if-absent, for writers); `Find` is the
+/// non-inserting lookup used by read paths, so probing for an absent
+/// field never grows the table.  Ids are process-local — the wire
+/// encoding carries names, not ids.  Thread-safe; interned names are
+/// never freed (the table is append-only and bounded by schema size).
+class FieldTable {
+ public:
+  using Id = uint32_t;
+
+  static Id Intern(std::string_view name);
+  /// Id for `name` if already interned, std::nullopt otherwise.
+  static std::optional<Id> Find(std::string_view name);
+  /// Name for an id; empty string for an id never handed out.
+  static const std::string& Name(Id id);
+  /// Number of interned names.
+  static size_t size();
+};
+
+using FieldId = FieldTable::Id;
+
 /// A schema-light stream record.
 ///
 /// Metaverse streams are heterogeneous (sensor fixes, RFID reads, chat
-/// events, inventory deltas), so tuples carry a field map rather than a
-/// fixed schema; continuous queries bind the fields they need.  `key`
-/// names the entity the tuple describes (device id, shopper id, …).
-struct Tuple {
+/// events, inventory deltas), so tuples carry dynamic fields; continuous
+/// queries bind the fields they need.  `key` names the entity the tuple
+/// describes (device id, shopper id, …).
+///
+/// Layout: a flat inline vector of (FieldId, Value) slots — one
+/// contiguous block for ≤8 fields, scanned linearly (interned-id
+/// compare, no hashing) and copied without rehashing.  The previous
+/// representation was an `unordered_map<std::string, Value>`, which
+/// cost ~7 allocations per copy on the fan-out path (see E21).
+class Tuple {
+ public:
+  struct Field {
+    FieldId id = 0;
+    Value value;
+  };
+  using Fields = common::SmallVec<Field, 8>;
+
   Micros event_time = 0;
   Space space = Space::kPhysical;
   std::string key;
-  std::unordered_map<std::string, Value> fields;
 
   /// Typed field access; std::nullopt when absent or wrong type.
   template <typename T>
-  std::optional<T> Get(const std::string& name) const {
-    auto it = fields.find(name);
-    if (it == fields.end()) return std::nullopt;
-    if (const T* v = std::get_if<T>(&it->second)) return *v;
+  std::optional<T> Get(std::string_view name) const {
+    const Value* v = FindByName(name);
+    if (v == nullptr) return std::nullopt;
+    if (const T* t = std::get_if<T>(v)) return *t;
+    return std::nullopt;
+  }
+  template <typename T>
+  std::optional<T> Get(FieldId id) const {
+    const Value* v = Find(id);
+    if (v == nullptr) return std::nullopt;
+    if (const T* t = std::get_if<T>(v)) return *t;
     return std::nullopt;
   }
 
   /// Numeric access with int64->double promotion.
-  std::optional<double> GetNumeric(const std::string& name) const {
-    auto it = fields.find(name);
-    if (it == fields.end()) return std::nullopt;
-    if (const double* d = std::get_if<double>(&it->second)) return *d;
-    if (const int64_t* i = std::get_if<int64_t>(&it->second)) {
-      return double(*i);
-    }
+  std::optional<double> GetNumeric(std::string_view name) const {
+    return AsNumeric(FindByName(name));
+  }
+  std::optional<double> GetNumeric(FieldId id) const {
+    return AsNumeric(Find(id));
+  }
+
+  /// Sets (inserting or overwriting) a field.  The name overload
+  /// interns; hot paths should intern once and use the id overload.
+  Tuple& Set(std::string_view name, Value v) {
+    return Set(FieldTable::Intern(name), std::move(v));
+  }
+  Tuple& Set(FieldId id, Value v);
+
+  /// The flat field slots, in insertion order.
+  const Fields& fields() const { return fields_; }
+  size_t field_count() const { return fields_.size(); }
+  bool has_field(std::string_view name) const {
+    return FindByName(name) != nullptr;
+  }
+
+  /// Pointer to the value slot, nullptr when absent.
+  const Value* Find(FieldId id) const;
+  /// Non-interning lookup by name.
+  const Value* FindByName(std::string_view name) const;
+
+  // ---- Flat wire encoding (names on the wire, ids in memory) ----
+  /// Exact encoded size in bytes.
+  size_t EncodedSize() const;
+  /// Appends the encoding to `dst`.
+  void EncodeTo(std::string* dst) const;
+  /// Serialises once into a refcounted Buffer (exact-size arena slab).
+  common::Buffer Encode() const;
+  /// Parses a full encoding; false on malformed input.
+  static bool Decode(common::Slice in, Tuple* out);
+  /// Parses one tuple from the front of `*cursor` (for embedding in a
+  /// larger frame, e.g. the Event wire form).
+  static bool DecodeFrom(std::string_view* cursor, Tuple* out);
+
+ private:
+  static std::optional<double> AsNumeric(const Value* v) {
+    if (v == nullptr) return std::nullopt;
+    if (const double* d = std::get_if<double>(v)) return *d;
+    if (const int64_t* i = std::get_if<int64_t>(v)) return double(*i);
     return std::nullopt;
   }
 
-  Tuple& Set(const std::string& name, Value v) {
-    fields[name] = std::move(v);
-    return *this;
-  }
+  Fields fields_;
 };
 
 }  // namespace deluge::stream

@@ -110,9 +110,9 @@ void ShardNode::HandlePrepare(const net::Message& msg) {
   reply.from = node_id_;
   reply.to = msg.from;
   reply.type = uint32_t(vote_yes ? TxnMsg::kVoteYes : TxnMsg::kVoteNo);
-  std::string payload;
-  PutFixed64(&payload, txn_id);
-  reply.payload = std::move(payload);
+  std::string wire;
+  PutFixed64(&wire, txn_id);
+  reply.payload = std::move(wire);
   net::Network* net = net_;
   sim_->After(processing_cost,
               [net, reply = std::move(reply)]() { net->Send(reply); });
@@ -164,9 +164,9 @@ void ShardNode::HandleSingleRound(const net::Message& msg) {
       reply.to = msg.from;
       reply.type = uint32_t(dit->second ? TxnMsg::kSingleRoundOk
                                         : TxnMsg::kSingleRoundReject);
-      std::string payload;
-      PutFixed64(&payload, txn_id);
-      reply.payload = std::move(payload);
+      std::string wire;
+      PutFixed64(&wire, txn_id);
+      reply.payload = std::move(wire);
       net::Network* net = net_;
       sim_->After(processing_cost,
                   [net, reply = std::move(reply)]() { net->Send(reply); });
@@ -196,9 +196,9 @@ void ShardNode::HandleSingleRound(const net::Message& msg) {
   reply.to = msg.from;
   reply.type =
       uint32_t(ok ? TxnMsg::kSingleRoundOk : TxnMsg::kSingleRoundReject);
-  std::string payload;
-  PutFixed64(&payload, txn_id);
-  reply.payload = std::move(payload);
+  std::string wire;
+  PutFixed64(&wire, txn_id);
+  reply.payload = std::move(wire);
   net::Network* net = net_;
   sim_->After(processing_cost,
               [net, reply = std::move(reply)]() { net->Send(reply); });
@@ -251,14 +251,26 @@ Status DistributedTxnSystem::Read(const std::string& key,
 
 void DistributedTxnSystem::SendToShard(size_t shard, TxnMsg type,
                                        uint64_t txn_id,
-                                       const std::string& payload) {
+                                       const common::Buffer& payload) {
   (void)txn_id;
   net::Message msg;
   msg.from = coord_node_;
   msg.to = shards_[shard]->node_id();
   msg.type = uint32_t(type);
+  // Refcount bump only: all participants (and every retransmit /
+  // redelivery) of a round share one encoded payload allocation.
   msg.payload = payload;
   net_->Send(std::move(msg));
+}
+
+const common::Buffer& DistributedTxnSystem::DecisionPayload(InFlight& txn) {
+  if (txn.decision_payload.empty()) {
+    std::string decision;
+    PutFixed64(&decision, txn.txn_id);
+    PutFixed64(&decision, txn.commit_ts);
+    txn.decision_payload = common::Buffer(std::move(decision));
+  }
+  return txn.decision_payload;
 }
 
 void DistributedTxnSystem::Submit(std::vector<WriteOp> writes,
@@ -326,13 +338,11 @@ void DistributedTxnSystem::Submit(std::vector<WriteOp> writes,
       // Otherwise broadcast a best-effort abort so reachable
       // participants release their prepared locks.
       bool committed = stuck.decided && stuck.decision_commit;
-      std::string decision;
-      PutFixed64(&decision, stuck.txn_id);
-      PutFixed64(&decision, stuck.commit_ts);
+      const common::Buffer& decision = DecisionPayload(stuck);
       PendingDecision pd;
       pd.txn_id = stuck.txn_id;
       pd.commit = committed;
-      pd.payload = decision;
+      pd.payload = decision;  // shared, survives the erase below
       for (size_t i = 0; i < stuck.participant_shards.size(); ++i) {
         if (stuck.acked[i]) continue;
         size_t shard = stuck.participant_shards[i];
@@ -380,9 +390,7 @@ void DistributedTxnSystem::ScheduleRetransmit(uint64_t txn_id) {
         sent = true;
       }
     } else if (txn.decided && txn.acks_pending > 0) {
-      std::string decision;
-      PutFixed64(&decision, txn.txn_id);
-      PutFixed64(&decision, txn.commit_ts);
+      const common::Buffer& decision = DecisionPayload(txn);
       TxnMsg type =
           txn.decision_commit ? TxnMsg::kCommit : TxnMsg::kAbort;
       for (size_t i = 0; i < txn.participant_shards.size(); ++i) {
@@ -456,12 +464,11 @@ void DistributedTxnSystem::OnMessage(const net::Message& msg) {
         txn.vote_failed = true;
       }
       if (--txn.votes_pending > 0) return;
-      // All votes in: second round.
+      // All votes in: second round — one shared decision payload for
+      // every participant, kept on the txn for retransmits.
       bool commit = !txn.vote_failed;
       txn.acks_pending = txn.participant_shards.size();
-      std::string decision;
-      PutFixed64(&decision, txn.txn_id);
-      PutFixed64(&decision, txn.commit_ts);
+      const common::Buffer& decision = DecisionPayload(txn);
       for (size_t participant : txn.participant_shards) {
         SendToShard(participant, commit ? TxnMsg::kCommit : TxnMsg::kAbort,
                     txn.txn_id, decision);

@@ -10,6 +10,7 @@
 
 #include <deque>
 
+#include "common/buffer.h"
 #include "common/histogram.h"
 #include "common/retry.h"
 #include "net/network.h"
@@ -166,7 +167,12 @@ class DistributedTxnSystem {
     std::vector<size_t> participant_shards;
     std::vector<char> voted;         ///< parallel to participant_shards
     std::vector<char> acked;         ///< parallel to participant_shards
-    std::vector<std::string> round_payloads;  ///< per-participant prepare
+    /// Per-participant prepare payloads, encoded once at Submit; every
+    /// send and retransmit shares the refcounted Buffer.
+    std::vector<common::Buffer> round_payloads;
+    /// Decision payload, encoded once when the decision is reached and
+    /// shared across the commit round, retransmits, and redelivery.
+    common::Buffer decision_payload;
     size_t votes_pending = 0;
     bool vote_failed = false;
     bool decided = false;          ///< 2PC: decision reached (commit/abort)
@@ -184,7 +190,7 @@ class DistributedTxnSystem {
   struct PendingDecision {
     uint64_t txn_id;
     bool commit;
-    std::string payload;
+    common::Buffer payload;  ///< shared with the timed-out transaction
     std::vector<size_t> shards;  ///< only the still-unacked participants
     RetryState retry;
   };
@@ -192,7 +198,9 @@ class DistributedTxnSystem {
   void OnMessage(const net::Message& msg);
   void Finish(InFlight& txn, bool committed);
   void SendToShard(size_t shard, TxnMsg type, uint64_t txn_id,
-                   const std::string& payload);
+                   const common::Buffer& payload);
+  /// Builds (once) and returns the txn's shared decision payload.
+  const common::Buffer& DecisionPayload(InFlight& txn);
   void ScheduleRetransmit(uint64_t txn_id);
   void ScheduleRedelivery(uint64_t txn_id);
   /// Index of `shard` in txn.participant_shards, or npos.

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Lints against payload-by-string: new `std::string payload` members
+# outside src/common fail CI.  Payloads on the event path are refcounted
+# `common::Buffer`s (DESIGN.md §10) — a std::string payload member
+# reintroduces a per-hop deep copy that the zero-copy refactor removed.
+# There is deliberately no allowlist: converted sites must stay converted.
+set -u -o pipefail
+
+cd "$(dirname "$0")/.."
+
+# Matches declarations like `std::string payload;` / `std::string
+# payload = ...` — members and locals alike (grep can't tell them
+# apart, and a local of that name is one refactor away from becoming a
+# copied member; name encode-side temporaries `wire` instead).
+found=$(grep -rnE '(std::)?string[[:space:]]+payload[[:space:]]*(;|=)' \
+            src tests bench examples 2>/dev/null \
+        | grep -v '^src/common/' || true)
+
+status=0
+while IFS= read -r line; do
+  [ -z "$line" ] && continue
+  echo "error: std::string payload member at ${line%%:*}:$(echo "${line#*:}" | cut -d: -f1)" >&2
+  echo "  Payloads are shared, not copied: declare the member as" >&2
+  echo "  common::Buffer and move the encoded bytes in once" >&2
+  echo "  (DESIGN.md \"Memory & message model\")." >&2
+  status=1
+done <<EOF
+$found
+EOF
+
+if [ "$status" -eq 0 ]; then
+  echo "check_payload_members: OK (no std::string payload members)"
+fi
+exit $status
