@@ -87,6 +87,26 @@ FaultSchedule& FaultSchedule::PartitionWindow(Micros at, net::NodeId a,
   return Add(ev);
 }
 
+FaultSchedule& FaultSchedule::PartitionAt(Micros at, net::NodeId a,
+                                          net::NodeId b) {
+  FaultEvent ev;
+  ev.at = at;
+  ev.kind = FaultKind::kPartition;
+  ev.a = a;
+  ev.b = b;
+  return Add(ev);
+}
+
+FaultSchedule& FaultSchedule::HealAt(Micros at, net::NodeId a,
+                                     net::NodeId b) {
+  FaultEvent ev;
+  ev.at = at;
+  ev.kind = FaultKind::kHeal;
+  ev.a = a;
+  ev.b = b;
+  return Add(ev);
+}
+
 FaultSchedule& FaultSchedule::LatencySpike(Micros at, net::NodeId a,
                                            net::NodeId b, Micros extra,
                                            Micros duration) {
@@ -245,6 +265,7 @@ void FaultSchedule::Apply(const FaultEvent& ev) {
     line += " extra=" + std::to_string(ev.extra_latency);
   }
   trace_.push_back(std::move(line));
+  if (observer_) observer_(ev);
 }
 
 uint64_t FaultSchedule::TraceHash() const {

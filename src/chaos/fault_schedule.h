@@ -2,6 +2,7 @@
 #define DELUGE_CHAOS_FAULT_SCHEDULE_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -84,6 +85,15 @@ class FaultSchedule {
                           Micros down_for);
   FaultSchedule& PartitionWindow(Micros at, net::NodeId a, net::NodeId b,
                                  Micros heal_after);
+  /// Opens a partition between `a` and `b` at `at` with no scheduled
+  /// heal (use `HealAt` to close it); expresses "partition until
+  /// something else happens" scenarios.
+  FaultSchedule& PartitionAt(Micros at, net::NodeId a, net::NodeId b);
+  /// Schedules a standalone heal of the a<->b partition at `at`.
+  /// Together with `PartitionAt` this lets partition-then-heal
+  /// scenarios (the E22 anti-entropy runs) place the heal
+  /// independently of the partition that opened it.
+  FaultSchedule& HealAt(Micros at, net::NodeId a, net::NodeId b);
   FaultSchedule& LatencySpike(Micros at, net::NodeId a, net::NodeId b,
                               Micros extra, Micros duration);
   FaultSchedule& BurstLossWindow(Micros at, net::NodeId a, net::NodeId b,
@@ -102,6 +112,15 @@ class FaultSchedule {
   /// simulator.  Call once, before running the simulation.
   void Arm();
 
+  /// Observer invoked after every fault is applied (the event carries
+  /// its kind, time, and endpoints).  Lets experiments react to fault
+  /// edges — e.g. E22 kicks an anti-entropy round when a partition
+  /// heals or a crashed node restarts — without polling network state.
+  using FaultObserver = std::function<void(const FaultEvent&)>;
+  void SetFaultObserver(FaultObserver observer) {
+    observer_ = std::move(observer);
+  }
+
   const std::vector<FaultEvent>& events() const { return events_; }
   const std::vector<std::string>& trace() const { return trace_; }
   /// Order-sensitive 64-bit fingerprint of the applied-fault trace.
@@ -116,6 +135,7 @@ class FaultSchedule {
   net::Simulator* sim_;
   std::vector<FaultEvent> events_;
   std::vector<std::string> trace_;
+  FaultObserver observer_;
   obs::StatsScope obs_{"chaos"};
   obs::Counter* injected_[10];  // indexed by FaultKind, {kind=…} labels
   obs::Counter* total_;

@@ -50,10 +50,15 @@ Micros RetryState::NextBackoff(Micros now, Rng* rng) {
 // ---------------------------------------------------------- CircuitBreaker
 
 bool CircuitBreaker::Allow(Micros now) {
+  std::lock_guard<std::mutex> lock(mu_);
   switch (state_) {
     case State::kClosed:
       return true;
     case State::kOpen:
+      // The state change and the probe claim are one atomic step under
+      // mu_, so of N callers racing the cooldown edge exactly one
+      // becomes the probe; the rest fall through to the half-open
+      // rejection below on their own calls.
       if (now - opened_at_ >= opts_.open_duration) {
         state_ = State::kHalfOpen;
         probe_in_flight_ = true;
@@ -73,12 +78,14 @@ bool CircuitBreaker::Allow(Micros now) {
 }
 
 void CircuitBreaker::RecordSuccess() {
+  std::lock_guard<std::mutex> lock(mu_);
   consecutive_failures_ = 0;
   probe_in_flight_ = false;
   state_ = State::kClosed;
 }
 
 void CircuitBreaker::RecordFailure(Micros now) {
+  std::lock_guard<std::mutex> lock(mu_);
   probe_in_flight_ = false;
   if (state_ == State::kHalfOpen) {
     state_ = State::kOpen;  // failed probe: straight back to open
@@ -95,10 +102,21 @@ void CircuitBreaker::RecordFailure(Micros now) {
 }
 
 CircuitBreaker::State CircuitBreaker::state(Micros now) const {
+  std::lock_guard<std::mutex> lock(mu_);
   if (state_ == State::kOpen && now - opened_at_ >= opts_.open_duration) {
     return State::kHalfOpen;
   }
   return state_;
+}
+
+uint64_t CircuitBreaker::trips() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return trips_;
+}
+
+uint64_t CircuitBreaker::fast_fails() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fast_fails_;
 }
 
 }  // namespace deluge

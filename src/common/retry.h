@@ -2,6 +2,7 @@
 #define DELUGE_COMMON_RETRY_H_
 
 #include <cstdint>
+#include <mutex>
 
 #include "common/clock.h"
 #include "common/rng.h"
@@ -81,6 +82,11 @@ struct CircuitBreakerOptions {
 /// requests fast-fail until `open_duration` elapses.  Half-open: one
 /// probe request is admitted; success closes the breaker, failure
 /// re-opens it.  Time is caller-provided (virtual time in simulations).
+///
+/// Thread-safe: all transitions happen under one mutex, so concurrent
+/// `Allow` calls racing the open -> half-open cooldown edge admit
+/// exactly one probe (the others fast-fail) — the property callers
+/// rely on to avoid a thundering herd against a recovering dependency.
 class CircuitBreaker {
  public:
   enum class State : uint8_t { kClosed, kOpen, kHalfOpen };
@@ -89,7 +95,8 @@ class CircuitBreaker {
 
   /// True when a request may proceed at `now`; false = fast-fail.
   /// An open breaker transitions to half-open (admitting this call as
-  /// the probe) once the cooldown has elapsed.
+  /// the probe) once the cooldown has elapsed; while a probe is in
+  /// flight every other caller is rejected.
   bool Allow(Micros now);
 
   void RecordSuccess();
@@ -97,12 +104,13 @@ class CircuitBreaker {
 
   State state(Micros now) const;
   /// Times the breaker has tripped closed -> open.
-  uint64_t trips() const { return trips_; }
+  uint64_t trips() const;
   /// Requests rejected while open.
-  uint64_t fast_fails() const { return fast_fails_; }
+  uint64_t fast_fails() const;
 
  private:
   CircuitBreakerOptions opts_;
+  mutable std::mutex mu_;  // guards everything below
   State state_ = State::kClosed;
   int consecutive_failures_ = 0;
   Micros opened_at_ = 0;

@@ -1,0 +1,31 @@
+#include "consistency/session.h"
+
+namespace deluge::consistency {
+
+std::string_view ReadModeName(ReadMode mode) {
+  switch (mode) {
+    case ReadMode::kEventual: return "eventual";
+    case ReadMode::kReadYourWrites: return "read_your_writes";
+  }
+  return "unknown";
+}
+
+void Session::ObserveWrite(std::string_view key, const WriteStamp& v) {
+  WriteStamp& cur = floor_[std::string(key)];
+  if (cur < v) cur = v;
+}
+
+void Session::ObserveRead(std::string_view key, const WriteStamp& v) {
+  ObserveWrite(key, v);  // same floor: max of everything observed
+}
+
+WriteStamp Session::FloorFor(std::string_view key) const {
+  auto it = floor_.find(std::string(key));
+  return it == floor_.end() ? WriteStamp{} : it->second;
+}
+
+bool Session::Satisfies(std::string_view key, const WriteStamp& v) const {
+  return FloorFor(key) <= v;
+}
+
+}  // namespace deluge::consistency

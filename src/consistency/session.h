@@ -1,0 +1,91 @@
+#ifndef DELUGE_CONSISTENCY_SESSION_H_
+#define DELUGE_CONSISTENCY_SESSION_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace deluge::consistency {
+
+/// A per-key logical write stamp: a monotonically increasing counter
+/// plus the writer's id as a total-order tiebreak.  Replicas merge
+/// divergent copies by last-writer-wins over this stamp
+/// (DESIGN.md §11); sessions use it to express "at least as new as the
+/// write I saw".
+struct WriteStamp {
+  uint64_t counter = 0;  ///< per-key logical clock value
+  uint64_t writer = 0;   ///< id of the coordinator that issued it
+
+  bool IsZero() const { return counter == 0 && writer == 0; }
+};
+
+inline bool operator==(const WriteStamp& a, const WriteStamp& b) {
+  return a.counter == b.counter && a.writer == b.writer;
+}
+inline bool operator!=(const WriteStamp& a, const WriteStamp& b) {
+  return !(a == b);
+}
+inline bool operator<(const WriteStamp& a, const WriteStamp& b) {
+  if (a.counter != b.counter) return a.counter < b.counter;
+  return a.writer < b.writer;
+}
+inline bool operator<=(const WriteStamp& a, const WriteStamp& b) {
+  return a < b || a == b;
+}
+
+/// How a replicated read may trade freshness for availability.
+///
+/// `kEventual` answers from the first read-quorum — possibly a stale
+/// version if the freshest replica is slow, partitioned, or down;
+/// staleness is measured and exported, not hidden.  `kReadYourWrites`
+/// additionally requires the answer to be at least as new as every
+/// write (and prior read) this session has observed: the coordinator
+/// widens the read beyond the quorum until the session floor is met,
+/// or fails Unavailable when no reachable replica can meet it.
+enum class ReadMode : uint8_t {
+  kEventual,
+  kReadYourWrites,
+};
+
+std::string_view ReadModeName(ReadMode mode);
+
+/// Client-side session state backing the session guarantees of the
+/// replicated store (ROADMAP open item 2: read-your-writes vs eventual
+/// mode selection).
+///
+/// The session records the newest stamp it has written (`ObserveWrite`)
+/// or read (`ObserveRead`) per key; `FloorFor` is the minimum version a
+/// read-your-writes read of that key may return.  Observing reads as
+/// well makes the guarantee cover monotonic reads: once a session saw
+/// version v, it never goes back before v.
+///
+/// Not thread-safe: a session belongs to one logical client, like the
+/// simulator callbacks that drive it.
+class Session {
+ public:
+  /// Records that this session wrote (or learned of) version `v` of
+  /// `key`.  Keeps the maximum.
+  void ObserveWrite(std::string_view key, const WriteStamp& v);
+
+  /// Records that this session read version `v` of `key` (monotonic
+  /// reads).  Keeps the maximum.
+  void ObserveRead(std::string_view key, const WriteStamp& v);
+
+  /// The minimum acceptable version of `key` for this session (zero
+  /// stamp when the key was never observed).
+  WriteStamp FloorFor(std::string_view key) const;
+
+  /// True when version `v` of `key` satisfies the session guarantee.
+  bool Satisfies(std::string_view key, const WriteStamp& v) const;
+
+  size_t tracked_keys() const { return floor_.size(); }
+  void Reset() { floor_.clear(); }
+
+ private:
+  std::unordered_map<std::string, WriteStamp> floor_;
+};
+
+}  // namespace deluge::consistency
+
+#endif  // DELUGE_CONSISTENCY_SESSION_H_

@@ -1,5 +1,7 @@
 #include "p2p/chord.h"
 
+#include <algorithm>
+
 #include "common/hash.h"
 #include "storage/format.h"
 
@@ -35,7 +37,7 @@ bool InOpenOpen(RingId a, RingId x, RingId b) {
 }
 
 std::string EncodeRoute(uint64_t request_id, RingId target, uint32_t hops,
-                        net::NodeId reply_to, uint8_t op,
+                        net::NodeId reply_to, uint8_t op, bool force_answer,
                         const std::string& key, const std::string& value) {
   std::string out;
   PutFixed64(&out, request_id);
@@ -43,6 +45,7 @@ std::string EncodeRoute(uint64_t request_id, RingId target, uint32_t hops,
   PutFixed32(&out, hops);
   PutFixed32(&out, reply_to);
   out.push_back(char(op));
+  out.push_back(force_answer ? 1 : 0);
   PutLengthPrefixed(&out, key);
   PutLengthPrefixed(&out, value);
   return out;
@@ -54,6 +57,7 @@ struct RouteMsg {
   uint32_t hops;
   net::NodeId reply_to;
   uint8_t op;
+  bool force_answer;
   std::string key;
   std::string value;
 };
@@ -64,10 +68,12 @@ bool DecodeRoute(std::string_view payload, RouteMsg* out) {
   if (!GetFixed64(&payload, &out->request_id) ||
       !GetFixed64(&payload, &out->target) ||
       !GetFixed32(&payload, &out->hops) || !GetFixed32(&payload, &reply_to) ||
-      payload.empty()) {
+      payload.size() < 2) {
     return false;
   }
   out->op = uint8_t(payload.front());
+  payload.remove_prefix(1);
+  out->force_answer = payload.front() != 0;
   payload.remove_prefix(1);
   if (!GetLengthPrefixed(&payload, &key) ||
       !GetLengthPrefixed(&payload, &value)) {
@@ -99,14 +105,31 @@ ChordNode::ChordNode(RingId id, net::Network* net, net::Simulator* sim)
   node_id_ = net->AddNode([this](const net::Message& m) { OnMessage(m); });
 }
 
-const ChordNode::FingerEntry& ChordNode::NextHopFor(RingId target) const {
-  // Classic Chord: the farthest finger that still precedes the target.
+bool ChordNode::PickNextHop(RingId target, FingerEntry* next,
+                            bool* force_answer) const {
+  *force_answer = false;
+  // Classic Chord: the farthest finger that still precedes the target —
+  // skipping crashed peers so lookups route *around* a dead finger
+  // instead of into it (messages to a down node are silently lost).
   for (auto it = fingers_.rbegin(); it != fingers_.rend(); ++it) {
-    if (it->node_id != node_id_ && InOpenOpen(id_, it->ring_id, target)) {
-      return *it;
+    if (it->node_id != node_id_ && net_->IsNodeUp(it->node_id) &&
+        InOpenOpen(id_, it->ring_id, target)) {
+      *next = *it;
+      return true;
     }
   }
-  return successor_;
+  // No live finger precedes the target: the successor list takes over.
+  // The first live successor either owns the target, or sits past it
+  // because the true owner is down — then it must answer as fallback
+  // owner (its own range check uses a stale predecessor pointer and
+  // would route the lookup in circles).
+  for (const FingerEntry& s : successors_) {
+    if (s.node_id == node_id_ || !net_->IsNodeUp(s.node_id)) continue;
+    *next = s;
+    *force_answer = InOpenClosed(id_, target, s.ring_id);
+    return true;
+  }
+  return false;  // every candidate is down; the lookup is dropped
 }
 
 void ChordNode::OnMessage(const net::Message& msg) {
@@ -114,14 +137,15 @@ void ChordNode::OnMessage(const net::Message& msg) {
   RouteMsg route;
   if (!DecodeRoute(msg.payload, &route)) return;
   RouteOrAnswer(route.target, route.request_id, route.hops, route.reply_to,
-                route.op, route.key, route.value);
+                route.op, route.force_answer, route.key, route.value);
 }
 
 void ChordNode::RouteOrAnswer(RingId target, uint64_t request_id,
                               uint32_t hops, net::NodeId reply_to,
-                              uint8_t op, const std::string& key,
+                              uint8_t op, bool force_answer,
+                              const std::string& key,
                               const std::string& value) {
-  if (InOpenClosed(predecessor_, target, id_)) {
+  if (force_answer || InOpenClosed(predecessor_, target, id_)) {
     // This peer owns the key.
     bool found = false;
     std::string answer_value;
@@ -145,13 +169,15 @@ void ChordNode::RouteOrAnswer(RingId target, uint64_t request_id,
                 [net, reply = std::move(reply)]() { net->Send(reply); });
     return;
   }
-  const FingerEntry& next = NextHopFor(target);
+  FingerEntry next;
+  bool force = false;
+  if (!PickNextHop(target, &next, &force)) return;  // all candidates down
   net::Message fwd;
   fwd.from = node_id_;
   fwd.to = next.node_id;
   fwd.type = kMsgRoute;
-  fwd.payload =
-      EncodeRoute(request_id, target, hops + 1, reply_to, op, key, value);
+  fwd.payload = EncodeRoute(request_id, target, hops + 1, reply_to, op,
+                            force, key, value);
   net::Network* net = net_;
   sim_->After(processing_cost_,
               [net, fwd = std::move(fwd)]() { net->Send(fwd); });
@@ -249,10 +275,19 @@ void ChordRing::RebuildRoutingTables() {
     } else {
       node->predecessor_ = std::prev(it)->first;
     }
-    // Successor.
+    // Successor, plus the r-entry successor list (lookup fallback when
+    // consecutive successors crash).
     auto next = std::next(it);
     if (next == peers_.end()) next = peers_.begin();
     node->successor_ = {next->first, next->second->node_id()};
+    node->successors_.clear();
+    auto walk = next;
+    for (int k = 0;
+         k < ChordNode::kSuccessorListLen && walk->first != id; ++k) {
+      node->successors_.push_back({walk->first, walk->second->node_id()});
+      walk = std::next(walk);
+      if (walk == peers_.end()) walk = peers_.begin();
+    }
     // Fingers: successor(id + 2^k) for k = 0..63.
     node->fingers_.clear();
     for (int k = 0; k < 64; ++k) {
@@ -277,8 +312,8 @@ void ChordRing::Put(RingId origin, const std::string& key, std::string value,
   }
   uint64_t request_id = next_request_++;
   pending_[request_id] = Pending{std::move(done), sim_->Now()};
-  start->RouteOrAnswer(KeyId(key), request_id, 0, client_node_, kOpPut, key,
-                       value);
+  start->RouteOrAnswer(KeyId(key), request_id, 0, client_node_, kOpPut,
+                       /*force_answer=*/false, key, value);
 }
 
 void ChordRing::Get(RingId origin, const std::string& key,
@@ -290,8 +325,8 @@ void ChordRing::Get(RingId origin, const std::string& key,
   }
   uint64_t request_id = next_request_++;
   pending_[request_id] = Pending{std::move(done), sim_->Now()};
-  start->RouteOrAnswer(KeyId(key), request_id, 0, client_node_, kOpGet, key,
-                       "");
+  start->RouteOrAnswer(KeyId(key), request_id, 0, client_node_, kOpGet,
+                       /*force_answer=*/false, key, "");
 }
 
 void ChordRing::OnAnswer(uint64_t request_id, const LookupResult& result) {
@@ -309,6 +344,25 @@ RingId ChordRing::OwnerOf(RingId target) const {
   auto it = peers_.lower_bound(target);
   if (it == peers_.end()) it = peers_.begin();
   return it->first;
+}
+
+std::vector<RingId> ChordRing::SuccessorsOf(RingId target, int n) const {
+  std::vector<RingId> out;
+  if (peers_.empty() || n <= 0) return out;
+  auto it = peers_.lower_bound(target);
+  if (it == peers_.end()) it = peers_.begin();
+  const int count = std::min<int>(n, int(peers_.size()));
+  for (int i = 0; i < count; ++i) {
+    out.push_back(it->first);
+    ++it;
+    if (it == peers_.end()) it = peers_.begin();
+  }
+  return out;
+}
+
+net::NodeId ChordRing::NodeIdOf(RingId id) const {
+  auto it = peers_.find(id);
+  return it == peers_.end() ? 0 : it->second->node_id();
 }
 
 }  // namespace deluge::p2p

@@ -27,9 +27,14 @@ struct LookupResult {
 };
 
 /// One peer of the overlay: owns the key range (predecessor, self], keeps
-/// a log-sized finger table, and routes lookups greedily.
+/// a log-sized finger table plus a short successor list, and routes
+/// lookups greedily around crashed peers.
 class ChordNode {
  public:
+  /// Successor-list length: lookups survive up to this many consecutive
+  /// crashed successors (Chord's r-successor fault tolerance).
+  static constexpr int kSuccessorListLen = 4;
+
   ChordNode(RingId id, net::Network* net, net::Simulator* sim);
 
   RingId ring_id() const { return id_; }
@@ -48,10 +53,18 @@ class ChordNode {
 
   void OnMessage(const net::Message& msg);
   void RouteOrAnswer(RingId target, uint64_t request_id, uint32_t hops,
-                     net::NodeId reply_to, uint8_t op,
+                     net::NodeId reply_to, uint8_t op, bool force_answer,
                      const std::string& key, const std::string& value);
-  /// Closest preceding finger for `target`, falling back to successor.
-  const FingerEntry& NextHopFor(RingId target) const;
+  /// Picks the next live hop for `target`: the farthest live finger
+  /// still preceding it, else the first live entry of the successor
+  /// list.  `*force_answer` is set when the chosen hop sits at or past
+  /// `target` on the ring (the responsible peer is down, so the hop
+  /// must answer as fallback owner instead of routing on).  Returns
+  /// false when every candidate is down (the lookup is dropped).
+  /// Liveness comes from `net::Network::IsNodeUp` — the simulation
+  /// stand-in for the timeout-based probing a deployed Chord runs.
+  bool PickNextHop(RingId target, FingerEntry* next,
+                   bool* force_answer) const;
 
   RingId id_;
   net::Network* net_;
@@ -59,6 +72,7 @@ class ChordNode {
   net::NodeId node_id_ = 0;
   std::vector<FingerEntry> fingers_;  // fingers_[i] ~ successor(id + 2^i)
   FingerEntry successor_;
+  std::vector<FingerEntry> successors_;  // r immediate successors
   RingId predecessor_ = 0;
   std::map<RingId, std::string> store_;
   Micros processing_cost_ = 50;
@@ -107,6 +121,16 @@ class ChordRing {
   /// The peer responsible for `target` per the current membership
   /// (ground truth for tests).
   RingId OwnerOf(RingId target) const;
+
+  /// The first `n` distinct peers at or after `target` in ring order —
+  /// the owner followed by its successors.  This is the replica
+  /// placement ("preference") list: `deluge::replica` stores each
+  /// object on the N successor nodes of its key id.  Returns fewer
+  /// than `n` entries when the ring is smaller than `n`.
+  std::vector<RingId> SuccessorsOf(RingId target, int n) const;
+
+  /// Net node id of the peer with ring id `id` (0 when unknown).
+  net::NodeId NodeIdOf(RingId id) const;
 
  private:
   friend class ChordNode;

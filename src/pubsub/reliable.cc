@@ -1,5 +1,8 @@
 #include "pubsub/reliable.h"
 
+#include <tuple>
+#include <utility>
+
 namespace deluge::pubsub {
 
 ReliableDeliverer::ReliableDeliverer(net::Network* net, net::Simulator* sim,
@@ -19,7 +22,10 @@ const ReliableStats& ReliableDeliverer::stats() const {
 CircuitBreaker& ReliableDeliverer::breaker_for(net::NodeId to) {
   auto it = breakers_.find(to);
   if (it == breakers_.end()) {
-    it = breakers_.emplace(to, CircuitBreaker(breaker_options_)).first;
+    it = breakers_
+             .emplace(std::piecewise_construct, std::forward_as_tuple(to),
+                      std::forward_as_tuple(breaker_options_))
+             .first;
   }
   return it->second;
 }

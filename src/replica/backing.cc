@@ -1,0 +1,101 @@
+#include "replica/backing.h"
+
+namespace deluge::replica {
+
+// ---------------------------------------------------------- MemoryBacking
+
+Status MemoryBacking::Put(const std::string& key, const std::string& record) {
+  map_[key] = record;
+  return Status::OK();
+}
+
+Status MemoryBacking::Get(const std::string& key, std::string* record) {
+  auto it = map_.find(key);
+  if (it == map_.end()) return Status::NotFound("no such key");
+  *record = it->second;
+  return Status::OK();
+}
+
+Status MemoryBacking::Delete(const std::string& key) {
+  map_.erase(key);
+  return Status::OK();
+}
+
+Status MemoryBacking::Scan(const std::string& prefix, const ScanFn& fn) {
+  for (auto it = map_.lower_bound(prefix); it != map_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    fn(it->first, it->second);
+  }
+  return Status::OK();
+}
+
+// --------------------------------------------------------- KVStoreBacking
+
+Result<std::unique_ptr<KVStoreBacking>> KVStoreBacking::Open(
+    const storage::KVStoreOptions& options) {
+  auto opened = storage::KVStore::Open(options);
+  if (!opened.ok()) return opened.status();
+  auto backing = std::make_unique<KVStoreBacking>(nullptr);
+  backing->owned_ = std::move(opened).value();
+  backing->store_ = backing->owned_.get();
+  return backing;
+}
+
+Status KVStoreBacking::Put(const std::string& key,
+                           const std::string& record) {
+  return store_->Put(key, record);
+}
+
+Status KVStoreBacking::Get(const std::string& key, std::string* record) {
+  return store_->Get(key, record);
+}
+
+Status KVStoreBacking::Delete(const std::string& key) {
+  return store_->Delete(key);
+}
+
+Status KVStoreBacking::Scan(const std::string& prefix, const ScanFn& fn) {
+  storage::KVStore::Iterator it = store_->NewIterator();
+  it.Seek(prefix);
+  for (; it.Valid(); it.Next()) {
+    if (it.key().compare(0, prefix.size(), prefix) != 0) break;
+    fn(it.key(), it.value());
+  }
+  return Status::OK();
+}
+
+// ------------------------------------------------------ ObjectStoreBacking
+
+ObjectStoreBacking::ObjectStoreBacking(storage::ObjectStore* store) {
+  if (store == nullptr) {
+    owned_ = std::make_unique<storage::ObjectStore>();
+    store_ = owned_.get();
+  } else {
+    store_ = store;
+  }
+}
+
+Status ObjectStoreBacking::Put(const std::string& key,
+                               const std::string& record) {
+  return store_->Put(key, record);
+}
+
+Status ObjectStoreBacking::Get(const std::string& key, std::string* record) {
+  return store_->Get(key, record);
+}
+
+Status ObjectStoreBacking::Delete(const std::string& key) {
+  Status s = store_->Delete(key);
+  // Deleting an absent object is not an error for a backing.
+  return s.IsNotFound() ? Status::OK() : s;
+}
+
+Status ObjectStoreBacking::Scan(const std::string& prefix, const ScanFn& fn) {
+  for (const storage::ObjectInfo& info : store_->List(prefix)) {
+    std::string record;
+    if (store_->Get(info.name, &record).ok()) fn(info.name, record);
+  }
+  return Status::OK();
+}
+
+}  // namespace deluge::replica

@@ -1,0 +1,96 @@
+#ifndef DELUGE_REPLICA_BACKING_H_
+#define DELUGE_REPLICA_BACKING_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "storage/kv_store.h"
+#include "storage/object_store.h"
+
+namespace deluge::replica {
+
+/// The durable key -> encoded-record map under one replica node.
+///
+/// A replica stores its versioned data records and its queued handoff
+/// hints through this interface, so the fabric runs identically over
+/// the real LSM `storage::KVStore` (durability across crash-recovery),
+/// the blob `storage::ObjectStore`, or a plain map (fast simulation
+/// runs).  Keys are already prefixed by the node ("d!" data, "h!"
+/// hints), so prefix scans enumerate either class.
+class Backing {
+ public:
+  using ScanFn =
+      std::function<void(const std::string& key, const std::string& record)>;
+
+  virtual ~Backing() = default;
+
+  virtual Status Put(const std::string& key, const std::string& record) = 0;
+  /// NotFound when absent.
+  virtual Status Get(const std::string& key, std::string* record) = 0;
+  virtual Status Delete(const std::string& key) = 0;
+  /// Calls `fn` for every key starting with `prefix`, in key order.
+  virtual Status Scan(const std::string& prefix, const ScanFn& fn) = 0;
+};
+
+/// In-memory backing: the default for simulation-scale experiments.
+class MemoryBacking : public Backing {
+ public:
+  Status Put(const std::string& key, const std::string& record) override;
+  Status Get(const std::string& key, std::string* record) override;
+  Status Delete(const std::string& key) override;
+  Status Scan(const std::string& prefix, const ScanFn& fn) override;
+
+  size_t size() const { return map_.size(); }
+
+ private:
+  std::map<std::string, std::string> map_;
+};
+
+/// LSM-backed replica storage: every replicated record and queued hint
+/// rides the KVStore's WAL + SSTable path, so acknowledged writes (and
+/// un-replayed hints) survive a process crash — the durability half of
+/// the hinted-handoff contract.
+class KVStoreBacking : public Backing {
+ public:
+  /// Borrows `store` (must outlive the backing).
+  explicit KVStoreBacking(storage::KVStore* store) : store_(store) {}
+  /// Opens and owns a store in `options.dir`.
+  static Result<std::unique_ptr<KVStoreBacking>> Open(
+      const storage::KVStoreOptions& options);
+
+  Status Put(const std::string& key, const std::string& record) override;
+  Status Get(const std::string& key, std::string* record) override;
+  Status Delete(const std::string& key) override;
+  Status Scan(const std::string& prefix, const ScanFn& fn) override;
+
+  storage::KVStore* store() { return store_; }
+
+ private:
+  std::unique_ptr<storage::KVStore> owned_;
+  storage::KVStore* store_ = nullptr;
+};
+
+/// Blob-store backing: replica records as named objects — the Fig. 7
+/// "object store" member of the heterogeneous storage tier serving as
+/// a replica target (large immutable media payloads).
+class ObjectStoreBacking : public Backing {
+ public:
+  /// Borrows `store` when given; otherwise owns a private one.
+  explicit ObjectStoreBacking(storage::ObjectStore* store = nullptr);
+
+  Status Put(const std::string& key, const std::string& record) override;
+  Status Get(const std::string& key, std::string* record) override;
+  Status Delete(const std::string& key) override;
+  Status Scan(const std::string& prefix, const ScanFn& fn) override;
+
+ private:
+  std::unique_ptr<storage::ObjectStore> owned_;
+  storage::ObjectStore* store_ = nullptr;
+};
+
+}  // namespace deluge::replica
+
+#endif  // DELUGE_REPLICA_BACKING_H_

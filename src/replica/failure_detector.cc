@@ -1,0 +1,46 @@
+#include "replica/failure_detector.h"
+
+#include <algorithm>
+
+namespace deluge::replica {
+
+namespace {
+// log10(e): converts "elapsed in mean intervals" into the φ scale of
+// the accrual-detector literature (φ = -log10 P(heartbeat still
+// pending) under an exponential inter-arrival model).
+constexpr double kLog10E = 0.4342944819032518;
+}  // namespace
+
+void PhiAccrualDetector::Register(uint64_t peer, Micros now) {
+  PeerState& st = peers_[peer];
+  st.last = now;
+  st.mean_interval = double(std::max<Micros>(1, options_.bootstrap_interval));
+}
+
+void PhiAccrualDetector::Heartbeat(uint64_t peer, Micros now) {
+  auto it = peers_.find(peer);
+  if (it == peers_.end()) {
+    Register(peer, now);
+    return;
+  }
+  PeerState& st = it->second;
+  const double interval = double(std::max<Micros>(1, now - st.last));
+  st.mean_interval = options_.ewma_alpha * interval +
+                     (1.0 - options_.ewma_alpha) * st.mean_interval;
+  st.last = now;
+}
+
+double PhiAccrualDetector::Phi(uint64_t peer, Micros now) const {
+  auto it = peers_.find(peer);
+  if (it == peers_.end()) return 1e9;  // unknown: maximally suspect
+  const PeerState& st = it->second;
+  const double elapsed = double(std::max<Micros>(0, now - st.last));
+  return kLog10E * elapsed / std::max(1.0, st.mean_interval);
+}
+
+Micros PhiAccrualDetector::last_heartbeat(uint64_t peer) const {
+  auto it = peers_.find(peer);
+  return it == peers_.end() ? -1 : it->second.last;
+}
+
+}  // namespace deluge::replica

@@ -1,0 +1,68 @@
+#ifndef DELUGE_REPLICA_FAILURE_DETECTOR_H_
+#define DELUGE_REPLICA_FAILURE_DETECTOR_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/clock.h"
+
+namespace deluge::replica {
+
+/// Tuning for the φ-accrual failure detector.
+struct FailureDetectorOptions {
+  /// Suspicion level above which a peer counts as down.  φ grows
+  /// linearly with silence measured in mean heartbeat intervals
+  /// (φ ≈ 0.434 · elapsed/mean), so a threshold of 4 suspects a peer
+  /// after ~9 missed intervals — late heartbeats under a latency spike
+  /// raise φ smoothly instead of tripping a binary timeout.
+  double phi_threshold = 4.0;
+  /// Assumed mean inter-heartbeat interval before enough samples
+  /// arrive (normally the coordinator's ping period).
+  Micros bootstrap_interval = 100 * kMicrosPerMilli;
+  /// EWMA weight of the newest inter-arrival sample.
+  double ewma_alpha = 0.2;
+};
+
+/// A φ-accrual failure detector (Hayashibara et al.) over coordinator
+/// heartbeats: instead of a boolean timeout it outputs a continuous
+/// suspicion level φ from the observed inter-arrival distribution, so
+/// the quorum layer can pick how aggressively to reroute writes
+/// (sloppy quorums + hinted handoff) versus tolerate slow peers.
+///
+/// Not thread-safe; driven from the single-threaded simulator loop.
+class PhiAccrualDetector {
+ public:
+  explicit PhiAccrualDetector(FailureDetectorOptions options = {})
+      : options_(options) {}
+
+  /// Starts tracking `peer`; it is presumed alive as of `now`.
+  void Register(uint64_t peer, Micros now);
+
+  /// Records a heartbeat (pong) from `peer` at `now`.
+  void Heartbeat(uint64_t peer, Micros now);
+
+  /// Suspicion level of `peer` at `now` (0 = just heard from it;
+  /// +inf-ish growth while silent).  Unknown peers read as maximally
+  /// suspect.
+  double Phi(uint64_t peer, Micros now) const;
+
+  bool IsAlive(uint64_t peer, Micros now) const {
+    return Phi(peer, now) < options_.phi_threshold;
+  }
+
+  Micros last_heartbeat(uint64_t peer) const;
+  const FailureDetectorOptions& options() const { return options_; }
+
+ private:
+  struct PeerState {
+    Micros last = 0;
+    double mean_interval = 0;  // EWMA of inter-arrival times
+  };
+
+  FailureDetectorOptions options_;
+  std::unordered_map<uint64_t, PeerState> peers_;
+};
+
+}  // namespace deluge::replica
+
+#endif  // DELUGE_REPLICA_FAILURE_DETECTOR_H_

@@ -1,0 +1,266 @@
+#include "replica/node.h"
+
+#include <cstdio>
+
+#include "common/hash.h"
+#include "storage/format.h"
+
+namespace deluge::replica {
+
+namespace {
+
+using storage::GetFixed32;
+using storage::GetFixed64;
+using storage::GetLengthPrefixed;
+using storage::PutFixed32;
+using storage::PutFixed64;
+using storage::PutLengthPrefixed;
+
+}  // namespace
+
+ReplicaNode::ReplicaNode(uint64_t ring_id, net::Network* net,
+                         net::Simulator* sim,
+                         std::unique_ptr<Backing> backing)
+    : ring_id_(ring_id), net_(net), sim_(sim), backing_(std::move(backing)) {
+  if (backing_ == nullptr) backing_ = std::make_unique<MemoryBacking>();
+  node_id_ = net->AddNode([this](const net::Message& m) { OnMessage(m); });
+}
+
+std::string ReplicaNode::HintPrefix(uint64_t target_ring) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(target_ring));
+  return std::string("h!") + buf + "!";
+}
+
+std::string ReplicaNode::HintKey(uint64_t target_ring,
+                                 const std::string& key) {
+  return HintPrefix(target_ring) + key;
+}
+
+Status ReplicaNode::LocalGet(const std::string& key, Record* out) {
+  std::string raw;
+  Status s = backing_->Get(DataKey(key), &raw);
+  if (!s.ok()) return s;
+  std::string_view view(raw);
+  if (!DecodeRecord(&view, out)) return Status::Corruption("bad record");
+  return Status::OK();
+}
+
+Status ReplicaNode::LocalPut(const std::string& key, const Record& record) {
+  return backing_->Put(DataKey(key), EncodeRecord(record));
+}
+
+size_t ReplicaNode::PendingHints(uint64_t target_ring) {
+  size_t n = 0;
+  const std::string prefix =
+      target_ring == 0 ? std::string("h!") : HintPrefix(target_ring);
+  backing_->Scan(prefix, [&n](const std::string&, const std::string&) {
+    ++n;
+  });
+  return n;
+}
+
+size_t ReplicaNode::KeyCount() {
+  size_t n = 0;
+  backing_->Scan("d!", [&n](const std::string&, const std::string&) { ++n; });
+  return n;
+}
+
+Version ReplicaNode::Apply(const std::string& key, const Record& record) {
+  Record existing;
+  if (LocalGet(key, &existing).ok() && !Newer(record.version,
+                                             existing.version)) {
+    return existing.version;  // stale or duplicate: keep what we have
+  }
+  backing_->Put(DataKey(key), EncodeRecord(record));
+  return record.version;
+}
+
+void ReplicaNode::Reply(net::NodeId to, uint32_t type, std::string payload) {
+  net::Message msg;
+  msg.from = node_id_;
+  msg.to = to;
+  msg.type = type;
+  msg.payload = std::move(payload);
+  net::Network* net = net_;
+  sim_->After(processing_cost_,
+              [net, m = std::move(msg)]() mutable { net->Send(m); });
+}
+
+void ReplicaNode::OnMessage(const net::Message& msg) {
+  std::string_view payload(msg.payload);
+  switch (msg.type) {
+    case kMsgWriteReq: OnWrite(payload); break;
+    case kMsgReadReq: OnRead(payload, msg.from); break;
+    case kMsgPing: OnPing(msg.from); break;
+    case kMsgHintReplay: OnHintReplay(payload); break;
+    case kMsgDigestReq: OnDigest(payload, msg.from); break;
+    case kMsgListReq: OnList(payload, msg.from); break;
+    case kMsgSyncWrite: OnSyncWrite(payload, msg.from); break;
+    case kMsgSyncAck: OnSyncAck(payload); break;
+    default: break;
+  }
+}
+
+void ReplicaNode::OnWrite(std::string_view payload) {
+  uint64_t request_id = 0, hint_for = 0;
+  uint32_t reply_to = 0;
+  std::string_view key;
+  Record record;
+  if (!GetFixed64(&payload, &request_id) ||
+      !GetFixed64(&payload, &hint_for) ||
+      !GetFixed32(&payload, &reply_to) ||
+      !GetLengthPrefixed(&payload, &key) ||
+      !DecodeRecord(&payload, &record)) {
+    return;
+  }
+  const std::string k(key);
+  Version applied = Apply(k, record);
+  if (hint_for != 0) {
+    // This write really belongs to a peer that was down: queue the
+    // record durably so it can be replayed when the peer recovers.
+    // LWW on the hint itself keeps only the newest pending version.
+    const std::string hkey = HintKey(hint_for, k);
+    std::string existing;
+    bool keep = true;
+    if (backing_->Get(hkey, &existing).ok()) {
+      Record old;
+      std::string_view view(existing);
+      if (DecodeRecord(&view, &old) && !Newer(record.version, old.version)) {
+        keep = false;
+      }
+    }
+    if (keep) backing_->Put(hkey, EncodeRecord(record));
+  }
+  std::string out;
+  PutFixed64(&out, request_id);
+  PutFixed64(&out, ring_id_);
+  PutFixed64(&out, applied.counter);
+  PutFixed64(&out, applied.writer);
+  Reply(reply_to, kMsgWriteAck, std::move(out));
+}
+
+void ReplicaNode::OnRead(std::string_view payload, net::NodeId from) {
+  uint64_t request_id = 0;
+  std::string_view key;
+  if (!GetFixed64(&payload, &request_id) ||
+      !GetLengthPrefixed(&payload, &key)) {
+    return;
+  }
+  Record record;
+  const bool found = LocalGet(std::string(key), &record).ok();
+  std::string out;
+  PutFixed64(&out, request_id);
+  PutFixed64(&out, ring_id_);
+  out.push_back(found ? 1 : 0);
+  if (found) AppendRecord(&out, record);
+  Reply(from, kMsgReadResp, std::move(out));
+}
+
+void ReplicaNode::OnPing(net::NodeId from) {
+  std::string out;
+  PutFixed64(&out, ring_id_);
+  Reply(from, kMsgPong, std::move(out));
+}
+
+void ReplicaNode::OnHintReplay(std::string_view payload) {
+  uint64_t target_ring = 0;
+  uint32_t target_node = 0, notify = 0;
+  if (!GetFixed64(&payload, &target_ring) ||
+      !GetFixed32(&payload, &target_node) ||
+      !GetFixed32(&payload, &notify)) {
+    return;
+  }
+  const std::string prefix = HintPrefix(target_ring);
+  backing_->Scan(prefix, [&](const std::string& hkey,
+                             const std::string& raw) {
+    const uint64_t sync_id = next_sync_id_++;
+    inflight_hints_[sync_id] = PendingHint{hkey, net::NodeId(notify)};
+    std::string out;
+    PutFixed64(&out, sync_id);
+    PutLengthPrefixed(&out, hkey.substr(prefix.size()));  // original key
+    out.append(raw);  // the encoded record, verbatim
+    Reply(net::NodeId(target_node), kMsgSyncWrite, std::move(out));
+  });
+}
+
+void ReplicaNode::OnDigest(std::string_view payload, net::NodeId from) {
+  uint64_t request_id = 0, lo = 0, hi = 0;
+  if (!GetFixed64(&payload, &request_id) || !GetFixed64(&payload, &lo) ||
+      !GetFixed64(&payload, &hi)) {
+    return;
+  }
+  uint64_t digest = 0;
+  uint32_t count = 0;
+  backing_->Scan("d!", [&](const std::string& dkey, const std::string& raw) {
+    const std::string key = dkey.substr(2);
+    if (!RingInOpenClosed(lo, Hash64(key), hi)) return;
+    Record record;
+    std::string_view view(raw);
+    if (!DecodeRecord(&view, &record)) return;
+    digest ^= DigestEntry(key, record.version);
+    ++count;
+  });
+  std::string out;
+  PutFixed64(&out, request_id);
+  PutFixed64(&out, ring_id_);
+  PutFixed64(&out, digest);
+  PutFixed32(&out, count);
+  Reply(from, kMsgDigestResp, std::move(out));
+}
+
+void ReplicaNode::OnList(std::string_view payload, net::NodeId from) {
+  uint64_t request_id = 0, lo = 0, hi = 0;
+  if (!GetFixed64(&payload, &request_id) || !GetFixed64(&payload, &lo) ||
+      !GetFixed64(&payload, &hi)) {
+    return;
+  }
+  std::string entries;
+  uint32_t count = 0;
+  backing_->Scan("d!", [&](const std::string& dkey, const std::string& raw) {
+    const std::string key = dkey.substr(2);
+    if (!RingInOpenClosed(lo, Hash64(key), hi)) return;
+    PutLengthPrefixed(&entries, key);
+    PutLengthPrefixed(&entries, raw);
+    ++count;
+  });
+  std::string out;
+  PutFixed64(&out, request_id);
+  PutFixed64(&out, ring_id_);
+  PutFixed32(&out, count);
+  out.append(entries);
+  Reply(from, kMsgListResp, std::move(out));
+}
+
+void ReplicaNode::OnSyncWrite(std::string_view payload, net::NodeId from) {
+  uint64_t request_id = 0;
+  std::string_view key;
+  Record record;
+  if (!GetFixed64(&payload, &request_id) ||
+      !GetLengthPrefixed(&payload, &key) ||
+      !DecodeRecord(&payload, &record)) {
+    return;
+  }
+  Apply(std::string(key), record);
+  std::string out;
+  PutFixed64(&out, request_id);
+  PutFixed64(&out, ring_id_);
+  Reply(from, kMsgSyncAck, std::move(out));
+}
+
+void ReplicaNode::OnSyncAck(std::string_view payload) {
+  uint64_t request_id = 0;
+  if (!GetFixed64(&payload, &request_id)) return;
+  auto it = inflight_hints_.find(request_id);
+  if (it == inflight_hints_.end()) return;  // repair ack, not a hint
+  backing_->Delete(it->second.hint_key);
+  if (it->second.notify != 0) {
+    std::string out;
+    PutFixed32(&out, 1);  // hints delivered by this ack
+    Reply(it->second.notify, kMsgHintDelivered, std::move(out));
+  }
+  inflight_hints_.erase(it);
+}
+
+}  // namespace deluge::replica

@@ -1,0 +1,87 @@
+#ifndef DELUGE_REPLICA_NODE_H_
+#define DELUGE_REPLICA_NODE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "net/network.h"
+#include "net/simulator.h"
+#include "replica/backing.h"
+#include "replica/wire.h"
+
+namespace deluge::replica {
+
+/// One storage replica of the fabric: a network endpoint that applies
+/// versioned writes last-writer-wins into its `Backing`, serves reads
+/// and key-range digests, queues handoff hints durably for peers that
+/// were down, and replays them peer-to-peer on request.
+///
+/// The node is deliberately dumb about membership: placement, quorum
+/// accounting, and failure detection live in `ReplicatedStore`; the
+/// node only ever reacts to messages, so a crashed node (chaos layer
+/// `SetNodeUp(false)`) simply stops hearing them.
+class ReplicaNode {
+ public:
+  /// `ring_id` is the node's position on the Chord ring; `backing`
+  /// stores its records and hints (owned).
+  ReplicaNode(uint64_t ring_id, net::Network* net, net::Simulator* sim,
+              std::unique_ptr<Backing> backing);
+
+  uint64_t ring_id() const { return ring_id_; }
+  net::NodeId node_id() const { return node_id_; }
+  Backing* backing() { return backing_.get(); }
+
+  /// Direct (non-networked) accessors for tests and audits.
+  Status LocalGet(const std::string& key, Record* out);
+  Status LocalPut(const std::string& key, const Record& record);
+  /// Hints queued for `target_ring` (0 = all targets).
+  size_t PendingHints(uint64_t target_ring = 0);
+  /// Data keys currently stored.
+  size_t KeyCount();
+
+ private:
+  static std::string DataKey(const std::string& key) { return "d!" + key; }
+  static std::string HintPrefix(uint64_t target_ring);
+  static std::string HintKey(uint64_t target_ring, const std::string& key);
+
+  void OnMessage(const net::Message& msg);
+  void OnWrite(std::string_view payload);
+  void OnRead(std::string_view payload, net::NodeId from);
+  void OnPing(net::NodeId from);
+  void OnHintReplay(std::string_view payload);
+  void OnDigest(std::string_view payload, net::NodeId from);
+  void OnList(std::string_view payload, net::NodeId from);
+  void OnSyncWrite(std::string_view payload, net::NodeId from);
+  void OnSyncAck(std::string_view payload);
+
+  /// Applies `record` to `key` iff it is newer than the stored copy
+  /// (LWW merge — idempotent, so retries, read repair, hint replay,
+  /// and anti-entropy pushes all reuse it).  Returns the version now
+  /// stored.
+  Version Apply(const std::string& key, const Record& record);
+
+  /// Sends `payload` as `type` to `to` after the processing delay.
+  void Reply(net::NodeId to, uint32_t type, std::string payload);
+
+  uint64_t ring_id_;
+  net::Network* net_;
+  net::Simulator* sim_;
+  net::NodeId node_id_ = 0;
+  std::unique_ptr<Backing> backing_;
+  Micros processing_cost_ = 50;
+
+  /// Hint-replay bookkeeping: sync request id -> (hint storage key,
+  /// coordinator to notify on delivery).
+  struct PendingHint {
+    std::string hint_key;
+    net::NodeId notify = 0;
+  };
+  std::unordered_map<uint64_t, PendingHint> inflight_hints_;
+  uint64_t next_sync_id_ = 1;
+};
+
+}  // namespace deluge::replica
+
+#endif  // DELUGE_REPLICA_NODE_H_

@@ -1,0 +1,41 @@
+#include "replica/wire.h"
+
+#include "common/hash.h"
+#include "storage/format.h"
+
+namespace deluge::replica {
+
+void AppendRecord(std::string* out, const Record& record) {
+  storage::PutFixed64(out, record.version.counter);
+  storage::PutFixed64(out, record.version.writer);
+  out->push_back(record.tombstone ? 1 : 0);
+  storage::PutLengthPrefixed(out, record.value);
+}
+
+std::string EncodeRecord(const Record& record) {
+  std::string out;
+  AppendRecord(&out, record);
+  return out;
+}
+
+bool DecodeRecord(std::string_view* input, Record* out) {
+  std::string_view value;
+  if (!storage::GetFixed64(input, &out->version.counter) ||
+      !storage::GetFixed64(input, &out->version.writer) || input->empty()) {
+    return false;
+  }
+  out->tombstone = input->front() != 0;
+  input->remove_prefix(1);
+  if (!storage::GetLengthPrefixed(input, &value)) return false;
+  out->value.assign(value);
+  return true;
+}
+
+uint64_t DigestEntry(std::string_view key, const Version& version) {
+  std::string buf(key);
+  storage::PutFixed64(&buf, version.counter);
+  storage::PutFixed64(&buf, version.writer);
+  return Hash64(buf, /*seed=*/0x5EED);
+}
+
+}  // namespace deluge::replica

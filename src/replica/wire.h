@@ -1,0 +1,68 @@
+#ifndef DELUGE_REPLICA_WIRE_H_
+#define DELUGE_REPLICA_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "consistency/session.h"
+
+namespace deluge::replica {
+
+/// Replica versions are the session layer's write stamps: a per-key
+/// logical clock plus writer id, merged last-writer-wins.
+using Version = consistency::WriteStamp;
+
+/// One versioned copy of a key as stored on (and shipped between)
+/// replicas.  Deletes travel as tombstone records so a removed key
+/// cannot resurrect from a stale replica.
+struct Record {
+  Version version;
+  bool tombstone = false;
+  std::string value;
+};
+
+/// True when `a` supersedes `b` under last-writer-wins.
+inline bool Newer(const Version& a, const Version& b) { return b < a; }
+
+/// Record wire form: counter, writer, tombstone byte, value.
+std::string EncodeRecord(const Record& record);
+void AppendRecord(std::string* out, const Record& record);
+bool DecodeRecord(std::string_view* input, Record* out);
+
+/// x in (a, b] on the 64-bit ring (wraps; a == b spans the whole
+/// ring).  The range test behind digest walks and replica placement.
+inline bool RingInOpenClosed(uint64_t a, uint64_t x, uint64_t b) {
+  if (a == b) return true;
+  if (a < b) return x > a && x <= b;
+  return x > a || x <= b;
+}
+
+/// Order-independent digest contribution of one (key, version) pair;
+/// a replica's range digest is the XOR over its keys in the range, so
+/// two replicas holding the same versions produce the same digest
+/// regardless of scan order.
+uint64_t DigestEntry(std::string_view key, const Version& version);
+
+// Message types of the replication protocol (distinct from the Chord
+// routing messages; replica traffic flows coordinator <-> replica and
+// replica <-> replica over the same simulated network, so every
+// chaos-layer fault applies to it).
+inline constexpr uint32_t kMsgWriteReq = 0x5201;   ///< coord -> replica
+inline constexpr uint32_t kMsgWriteAck = 0x5202;   ///< replica -> coord
+inline constexpr uint32_t kMsgReadReq = 0x5203;    ///< coord -> replica
+inline constexpr uint32_t kMsgReadResp = 0x5204;   ///< replica -> coord
+inline constexpr uint32_t kMsgPing = 0x5205;       ///< coord -> replica
+inline constexpr uint32_t kMsgPong = 0x5206;       ///< replica -> coord
+inline constexpr uint32_t kMsgHintReplay = 0x5207;  ///< coord -> holder
+inline constexpr uint32_t kMsgHintDelivered = 0x5208;  ///< holder -> coord
+inline constexpr uint32_t kMsgDigestReq = 0x5209;  ///< coord -> replica
+inline constexpr uint32_t kMsgDigestResp = 0x520A; ///< replica -> coord
+inline constexpr uint32_t kMsgListReq = 0x520B;    ///< coord -> replica
+inline constexpr uint32_t kMsgListResp = 0x520C;   ///< replica -> coord
+inline constexpr uint32_t kMsgSyncWrite = 0x520D;  ///< repair/handoff push
+inline constexpr uint32_t kMsgSyncAck = 0x520E;    ///< push acknowledged
+
+}  // namespace deluge::replica
+
+#endif  // DELUGE_REPLICA_WIRE_H_

@@ -218,7 +218,9 @@ class DistributedTxnSystem {
   RetryPolicy retransmit_policy_;
   RetryPolicy redelivery_policy_;
   CircuitBreakerOptions breaker_options_;
-  std::vector<CircuitBreaker> breakers_;
+  // Deque: grows without relocating (CircuitBreaker owns a mutex and is
+  // neither movable nor copyable).
+  std::deque<CircuitBreaker> breakers_;
   Rng rng_{0xC4A05u};  ///< backoff jitter (seeded: runs are reproducible)
   obs::StatsScope obs_{"txn"};
   obs::ConcurrentHistogram* commit_latency_ =

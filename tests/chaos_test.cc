@@ -83,6 +83,38 @@ TEST(FaultScheduleTest, ScriptedEventsApplyAndCount) {
   EXPECT_EQ(schedule.trace().size(), 6u);
 }
 
+TEST(FaultScheduleTest, UnpairedPartitionAndHealWithObserver) {
+  net::Simulator sim;
+  net::Network net(&sim);
+  net::NodeId a = net.AddNode([](const net::Message&) {});
+  net::NodeId b = net.AddNode([](const net::Message&) {});
+  chaos::FaultSchedule schedule(&net, &sim);
+  // PartitionAt/HealAt are independent events, so protocol code (e.g.
+  // anti-entropy) can be triggered exactly at the heal edge.
+  schedule.PartitionAt(10 * kMicrosPerMilli, a, b)
+      .HealAt(40 * kMicrosPerMilli, a, b);
+  std::vector<chaos::FaultKind> seen;
+  std::vector<Micros> seen_at;
+  schedule.SetFaultObserver([&](const chaos::FaultEvent& ev) {
+    seen.push_back(ev.kind);
+    seen_at.push_back(ev.at);
+    EXPECT_EQ(ev.a, a);
+    EXPECT_EQ(ev.b, b);
+  });
+  schedule.Arm();
+
+  sim.At(20 * kMicrosPerMilli, [&] { EXPECT_TRUE(net.IsPartitioned(a, b)); });
+  sim.Run();
+
+  EXPECT_FALSE(net.IsPartitioned(a, b));
+  ASSERT_EQ(seen.size(), 2u);  // observer fired once per applied fault
+  EXPECT_EQ(seen[0], chaos::FaultKind::kPartition);
+  EXPECT_EQ(seen[1], chaos::FaultKind::kHeal);
+  EXPECT_EQ(seen_at[0], 10 * kMicrosPerMilli);
+  EXPECT_EQ(seen_at[1], 40 * kMicrosPerMilli);
+  EXPECT_EQ(schedule.stats().total, 2u);
+}
+
 // ------------------------------------------------------- network fault API
 
 class NetFaultTest : public ::testing::Test {

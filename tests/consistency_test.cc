@@ -4,6 +4,7 @@
 #include "consistency/coherency.h"
 #include "consistency/lod.h"
 #include "consistency/priority_scheduler.h"
+#include "consistency/session.h"
 #include "net/simulator.h"
 
 namespace deluge::consistency {
@@ -260,6 +261,52 @@ TEST(TxSchedulerTest, StatsPerClass) {
   EXPECT_EQ(sched.stats_for(Urgency::kHigh).delivered, 3u);
   EXPECT_EQ(sched.stats_for(Urgency::kNormal).delivered, 2u);
   EXPECT_EQ(sched.queued(), 0u);
+}
+
+// ---------------------------------------------------- session guarantees
+
+TEST(WriteStampTest, TotalOrderByCounterThenWriter) {
+  WriteStamp a{1, 1};
+  WriteStamp b{1, 2};
+  WriteStamp c{2, 1};
+  EXPECT_TRUE(a < b);   // same counter: writer id breaks the tie
+  EXPECT_TRUE(b < c);   // counter dominates the writer id
+  EXPECT_TRUE(a < c);
+  EXPECT_FALSE(c < a);
+  EXPECT_TRUE(a <= a);
+  EXPECT_TRUE(a == (WriteStamp{1, 1}));
+  EXPECT_TRUE(a != b);
+}
+
+TEST(SessionTest, FloorIsZeroUntilObserved) {
+  Session session;
+  EXPECT_TRUE(session.FloorFor("k").IsZero());
+  EXPECT_TRUE(session.Satisfies("k", WriteStamp{}));  // trivially met
+}
+
+TEST(SessionTest, WriteRaisesTheFloorPerKey) {
+  Session session;
+  session.ObserveWrite("a", {3, 1});
+  EXPECT_EQ(session.FloorFor("a").counter, 3u);
+  EXPECT_TRUE(session.FloorFor("b").IsZero());  // floors are per key
+  EXPECT_TRUE(session.Satisfies("a", {3, 1}));
+  EXPECT_TRUE(session.Satisfies("a", {4, 1}));  // anything newer is fine
+  EXPECT_FALSE(session.Satisfies("a", {2, 9}));
+}
+
+TEST(SessionTest, FloorIsMonotoneUnderStaleObservations) {
+  Session session;
+  session.ObserveWrite("k", {5, 1});
+  session.ObserveRead("k", {3, 1});  // a stale read must not lower it
+  EXPECT_EQ(session.FloorFor("k").counter, 5u);
+  session.ObserveRead("k", {7, 2});  // a fresher read raises it
+  EXPECT_EQ(session.FloorFor("k").counter, 7u);
+  EXPECT_FALSE(session.Satisfies("k", {6, 9}));
+}
+
+TEST(SessionTest, ReadModeNamesAreStable) {
+  EXPECT_EQ(ReadModeName(ReadMode::kEventual), "eventual");
+  EXPECT_EQ(ReadModeName(ReadMode::kReadYourWrites), "read_your_writes");
 }
 
 }  // namespace

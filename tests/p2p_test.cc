@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <string>
 #include <vector>
@@ -155,6 +156,47 @@ TEST_F(ChordTest, LatencyReflectsNetworkAndHops) {
 TEST(ChordKeyTest, KeyIdDeterministic) {
   EXPECT_EQ(ChordRing::KeyId("a"), ChordRing::KeyId("a"));
   EXPECT_NE(ChordRing::KeyId("a"), ChordRing::KeyId("b"));
+}
+
+TEST_F(ChordTest, SuccessorsOfWalksTheRingInOrder) {
+  auto ids = AddPeers(8);
+  std::vector<RingId> sorted = ids;
+  std::sort(sorted.begin(), sorted.end());
+  const RingId target = ChordRing::KeyId("some object");
+  auto succ = ring_.SuccessorsOf(target, 3);
+  ASSERT_EQ(succ.size(), 3u);
+  EXPECT_EQ(succ[0], ring_.OwnerOf(target));
+  // Expected: the owner and the next peers clockwise, wrapping.
+  auto it = std::lower_bound(sorted.begin(), sorted.end(), target);
+  if (it == sorted.end()) it = sorted.begin();
+  for (size_t i = 0; i < succ.size(); ++i) {
+    EXPECT_EQ(succ[i], *it) << "position " << i;
+    if (++it == sorted.end()) it = sorted.begin();
+  }
+  // Asking for more successors than peers returns every peer once.
+  auto all = ring_.SuccessorsOf(target, 100);
+  EXPECT_EQ(all.size(), ids.size());
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(all, sorted);
+}
+
+TEST_F(ChordTest, LookupCompletesWhenTheOwnerIsDead) {
+  auto ids = AddPeers(32);
+  const RingId owner = ring_.OwnerOf(ChordRing::KeyId("hot-key"));
+  ASSERT_TRUE(PutSync(ids[0], "hot-key", "v").found);
+  // Fail-stop the owner's node without removing it from the overlay:
+  // fingers and successor pointers still reference it, as they would
+  // between a real crash and the next stabilization round.
+  net_.SetNodeUp(ring_.NodeIdOf(owner), false);
+
+  RingId origin = ids[0] == owner ? ids[1] : ids[0];
+  auto r = GetSync(origin, "hot-key");
+  // The successor-list fallback answers from the next live peer instead
+  // of dropping the lookup: the value (stored only on the dead owner) is
+  // gone, but the routing layer still terminates.
+  EXPECT_FALSE(r.found);
+  EXPECT_NE(r.owner, owner);
+  EXPECT_GT(r.hops, 0u);
 }
 
 }  // namespace

@@ -18,6 +18,7 @@ src/core/engine.h:EngineStats
 src/net/network.h:NetworkStats
 src/pubsub/broker.h:BrokerStats
 src/pubsub/reliable.h:ReliableStats
+src/replica/replicated_store.h:ReplicaStats
 src/runtime/buffer_pool.h:BufferPoolStats
 src/runtime/elastic_executor.h:ElasticStats
 src/runtime/serverless.h:FunctionStats
