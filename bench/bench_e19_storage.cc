@@ -205,6 +205,73 @@ BENCHMARK(BM_E19_PointGet)
     ->UseRealTime()
     ->Unit(benchmark::kMicrosecond);
 
+// --- write amplification under a range-localized ingest ---------------
+//
+// Metaverse ingest is spatially clustered: each producer writes its own
+// key range, so successive L0 batches carry non-overlapping ranges.
+// Range-partitioned leveled compaction only rewrites the L1 slice a
+// flush actually overlaps, so bytes_compacted tracks the overlapped
+// range, not the database size (the old single-run engine rewrote the
+// whole DB every compaction).  Arg = max_subcompactions (1 = serial
+// merge, 4 = parallel slices); the headline counter is write_amp =
+// bytes_compacted / bytes_flushed.
+
+void BM_E19_WriteAmp(benchmark::State& state) {
+  const int subcompactions = int(state.range(0));
+  const std::string value(256, 'v');
+  constexpr int kRounds = 24, kPutsPerRound = 5000;
+  constexpr int kKeysPerRange = 5000;
+  KVStoreStats stats;
+  size_t l1_tables = 0;
+  for (auto _ : state) {
+    KVStoreOptions opts;
+    opts.dir = FreshDir("write_amp");
+    opts.memtable_max_bytes = 256u << 10;
+    opts.l0_compaction_trigger = 4;
+    opts.max_subcompactions = subcompactions;
+    // Tables roll at 512 KB so a ~2 MB range merge splits into several
+    // concurrent slices (and overlap picking stays fine-grained).
+    opts.l1_target_table_bytes = 512u << 10;
+    auto db = std::move(KVStore::Open(opts).value());
+    Rng rng(7);
+    char key[32];
+    // Each round is one producer writing its own disjoint key range;
+    // every flush within a round is confined to that range, so a
+    // compaction's L0 set overlaps only that range's slice of L1.
+    for (int round = 0; round < kRounds; ++round) {
+      const int range = round;
+      for (int i = 0; i < kPutsPerRound; ++i) {
+        std::snprintf(
+            key, sizeof(key), "r%02d-%08llu", range,
+            static_cast<unsigned long long>(rng.Uniform(kKeysPerRange)));
+        benchmark::DoNotOptimize(db->Put(key, value));
+      }
+    }
+    db->Flush();
+    db->CompactAll();
+    stats = db->stats();
+    l1_tables = db->l1_file_count();
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * kRounds *
+                          kPutsPerRound);
+  state.counters["write_amp"] =
+      stats.bytes_flushed > 0
+          ? double(stats.bytes_compacted) / double(stats.bytes_flushed)
+          : 0.0;
+  state.counters["bytes_compacted_mb"] =
+      double(stats.bytes_compacted) / (1024.0 * 1024.0);
+  state.counters["compactions"] = double(stats.compactions);
+  state.counters["subcompactions"] = double(stats.subcompactions);
+  state.counters["l1_tables"] = double(l1_tables);
+  state.counters["write_stalls"] = double(stats.write_stalls);
+  state.counters["stall_ms"] = double(stats.stall_time_us) / 1000.0;
+}
+BENCHMARK(BM_E19_WriteAmp)
+    ->ArgNames({"subcompactions"})
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
 // --- snapshot scan over a multi-level store ---------------------------
 
 void BM_E19_SnapshotScan(benchmark::State& state) {

@@ -1,0 +1,80 @@
+#ifndef DELUGE_COMMON_MERGE_ITER_H_
+#define DELUGE_COMMON_MERGE_ITER_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace deluge {
+
+/// A streaming k-way merge over already-sorted sources.
+///
+/// `Source` must expose `bool Valid()`, `void Next()`, and
+/// `const T& entry()`; `Compare` is a 3-way comparator over `T`
+/// (negative / zero / positive).  The merge holds one heap slot per
+/// source — memory is O(k), independent of the total entry count — and
+/// yields entries in globally sorted order.  Ties between sources break
+/// toward the lower source index, so callers that order sources
+/// newest-first get the newest duplicate first (the LSM shadowing
+/// rule), deterministically.
+///
+/// Sources are borrowed, not owned, and must be positioned (e.g. via
+/// `SeekToFirst`/`Seek`) before construction.  `entry()` returns a
+/// reference into the front source; `Next()` invalidates it.
+///
+/// Not internally synchronized: one merge instance per thread.
+template <typename Source, typename Compare>
+class KWayMergeIterator {
+ public:
+  KWayMergeIterator(std::vector<Source*> sources, Compare cmp)
+      : sources_(std::move(sources)), cmp_(std::move(cmp)) {
+    heap_.reserve(sources_.size());
+    for (size_t i = 0; i < sources_.size(); ++i) {
+      if (sources_[i]->Valid()) heap_.push_back(i);
+    }
+    std::make_heap(heap_.begin(), heap_.end(), HeapOrder{this});
+  }
+
+  bool Valid() const { return !heap_.empty(); }
+
+  /// The globally smallest entry.  Only when `Valid()`.
+  const auto& entry() const { return sources_[heap_.front()]->entry(); }
+
+  /// Index (into the constructor's vector) of the source currently at
+  /// the front.
+  size_t source_index() const { return heap_.front(); }
+
+  /// Advances past the front entry; the exhausted source drops out of
+  /// the heap.
+  void Next() {
+    std::pop_heap(heap_.begin(), heap_.end(), HeapOrder{this});
+    size_t idx = heap_.back();
+    sources_[idx]->Next();
+    if (sources_[idx]->Valid()) {
+      std::push_heap(heap_.begin(), heap_.end(), HeapOrder{this});
+    } else {
+      heap_.pop_back();
+    }
+  }
+
+ private:
+  /// std::*_heap keeps the max at the front; inverting the comparator
+  /// (and the index tie-break) makes that the smallest entry.
+  struct HeapOrder {
+    const KWayMergeIterator* m;
+    bool operator()(size_t a, size_t b) const {
+      int c = m->cmp_(m->sources_[a]->entry(), m->sources_[b]->entry());
+      if (c != 0) return c > 0;
+      return a > b;  // equal entries: lower source index surfaces first
+    }
+  };
+
+  std::vector<Source*> sources_;
+  Compare cmp_;
+  std::vector<size_t> heap_;  // indices into sources_, min-heap by entry
+};
+
+}  // namespace deluge
+
+#endif  // DELUGE_COMMON_MERGE_ITER_H_

@@ -1,0 +1,166 @@
+#include "storage/compaction.h"
+
+#include <algorithm>
+
+#include "common/merge_iter.h"
+#include "storage/format.h"
+
+namespace deluge::storage {
+
+namespace {
+
+// Per-table budget of split-point candidates drawn from the sparse
+// index.  Enough resolution to land boundaries near even data weight;
+// small enough that picking stays trivially cheap.
+constexpr size_t kSamplesPerTable = 48;
+
+struct EntryOrder {
+  int operator()(const InternalEntry& a, const InternalEntry& b) const {
+    return InternalEntryComparator()(a, b);
+  }
+};
+
+}  // namespace
+
+std::vector<std::string> PickSubcompactionBoundaries(
+    const std::vector<std::shared_ptr<SSTable>>& inputs, size_t max_parts) {
+  std::vector<std::string> boundaries;
+  if (max_parts <= 1 || inputs.empty()) return boundaries;
+
+  // Candidates are index-point keys: each stands for ~kIndexInterval
+  // entries of its table, so a sorted pool of them approximates the
+  // merged data distribution without reading any data blocks.
+  std::vector<std::string> pool;
+  for (const auto& t : inputs) {
+    auto samples = t->IndexSampleKeys(kSamplesPerTable);
+    pool.insert(pool.end(), std::make_move_iterator(samples.begin()),
+                std::make_move_iterator(samples.end()));
+  }
+  if (pool.empty()) return boundaries;
+  std::sort(pool.begin(), pool.end());
+  pool.erase(std::unique(pool.begin(), pool.end()), pool.end());
+
+  // A boundary equal to the global minimum would make the first span
+  // empty; the minimum is pool.front() (every table's min key is its
+  // first index point).
+  if (!pool.empty()) pool.erase(pool.begin());
+  if (pool.empty()) return boundaries;
+
+  const size_t want = std::min(max_parts - 1, pool.size());
+  boundaries.reserve(want);
+  for (size_t i = 0; i < want; ++i) {
+    // Evenly spaced picks over the candidate pool; index i+1 of want+1
+    // segments, scaled to the pool, never selects pool.end().
+    size_t pos = (i + 1) * pool.size() / (want + 1);
+    if (pos >= pool.size()) pos = pool.size() - 1;
+    boundaries.push_back(pool[pos]);
+  }
+  boundaries.erase(std::unique(boundaries.begin(), boundaries.end()),
+                   boundaries.end());
+  return boundaries;
+}
+
+std::vector<KeySpan> SpansFromBoundaries(
+    const std::vector<std::string>& boundaries) {
+  std::vector<KeySpan> spans(boundaries.size() + 1);
+  for (size_t i = 0; i < boundaries.size(); ++i) {
+    spans[i].has_end = true;
+    spans[i].end = boundaries[i];
+    spans[i + 1].has_begin = true;
+    spans[i + 1].begin = boundaries[i];
+  }
+  return spans;
+}
+
+SubcompactionResult RunSubcompaction(const CompactionJob& job,
+                                     const KeySpan& span) {
+  SubcompactionResult result;
+
+  // Position one iterator per input at the span's lower bound.  Iterator
+  // storage must not reallocate once the merge holds pointers into it.
+  std::vector<SSTable::Iterator> iters;
+  iters.reserve(job.inputs.size());
+  std::vector<SSTable::Iterator*> sources;
+  sources.reserve(job.inputs.size());
+  for (const auto& t : job.inputs) {
+    iters.emplace_back(t.get());
+    if (span.has_begin) {
+      iters.back().Seek(span.begin);
+    } else {
+      iters.back().SeekToFirst();
+    }
+    sources.push_back(&iters.back());
+  }
+
+  KWayMergeIterator<SSTable::Iterator, EntryOrder> merge(sources,
+                                                         EntryOrder{});
+
+  std::unique_ptr<SSTableBuilder> builder;
+  std::string last_key;
+  bool have_last = false;
+  auto finish_output = [&]() -> Status {
+    auto table = builder->Finish(job.cache);
+    builder.reset();
+    if (!table.ok()) return table.status();
+    result.outputs.push_back(std::move(table.value()));
+    return Status::OK();
+  };
+
+  while (merge.Valid()) {
+    const InternalEntry& e = merge.entry();
+    if (span.has_end && e.user_key >= span.end) break;
+    ++result.entries_read;
+    // Sources are newest-first and the merge tie-breaks toward the
+    // lower source index, so the first occurrence of a user key is its
+    // newest version; everything after is shadowed.
+    if (have_last && e.user_key == last_key) {
+      merge.Next();
+      continue;
+    }
+    have_last = true;
+    last_key = e.user_key;
+    if (e.type == ValueType::kTombstone) {
+      // Newest version is a delete and nothing below this level exists:
+      // the key (and the marker itself) is gone.
+      merge.Next();
+      continue;
+    }
+    if (builder == nullptr) {
+      builder = std::make_unique<SSTableBuilder>(
+          job.next_output_path(), job.bloom_bits_per_key, job.faults);
+    }
+    result.bytes_out += e.ApproximateSize();
+    Status s = builder->Add(e);
+    if (!s.ok()) {
+      result.status = s;
+      return result;  // builder's destructor abandons the partial file
+    }
+    if (builder->data_bytes() >= job.target_table_bytes) {
+      s = finish_output();
+      if (!s.ok()) {
+        result.status = s;
+        return result;
+      }
+    }
+    merge.Next();
+  }
+
+  // The merge silently drops a source that stops being Valid, which is
+  // also what an I/O error looks like.  Distinguish clean exhaustion
+  // from failure here: installing a merge missing an input's tail would
+  // unlink tables that still hold acknowledged data.
+  for (auto& it : iters) {
+    if (!it.status().ok()) {
+      result.status = it.status();
+      return result;
+    }
+  }
+
+  if (builder != nullptr) {
+    Status s = finish_output();
+    if (!s.ok()) result.status = s;
+  }
+  return result;
+}
+
+}  // namespace deluge::storage

@@ -1,0 +1,96 @@
+#ifndef DELUGE_STORAGE_COMPACTION_H_
+#define DELUGE_STORAGE_COMPACTION_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/block_cache.h"
+#include "storage/fault_injection.h"
+#include "storage/sstable.h"
+
+namespace deluge::storage {
+
+/// One compaction's shared, read-only description: the input table set
+/// plus everything a sub-compaction needs to emit outputs.  One job is
+/// shared by all of its sub-compactions, which may run concurrently —
+/// every field must be safe for concurrent reads, and `next_output_path`
+/// must be internally synchronized (it allocates file numbers).
+struct CompactionJob {
+  /// Input tables, newest first.  An entry's first occurrence across
+  /// this order is its newest version — the k-way merge's tie-break
+  /// (lowest source index wins) implements LSM shadowing directly.
+  std::vector<std::shared_ptr<SSTable>> inputs;
+  /// Output tables roll to a new file once their data region reaches
+  /// this size — the bound on both builder memory and L1 table size.
+  uint64_t target_table_bytes = 2u << 20;
+  int bloom_bits_per_key = 10;
+  /// Test hook forwarded to output builders.  Not owned; may be null.
+  IoFaultInjector* faults = nullptr;
+  /// Block cache attached to output readers.  Not owned; may be null.
+  BlockCache* cache = nullptr;
+  /// Allocates the path for the next output table.  Must be thread-safe:
+  /// concurrent sub-compactions call it whenever they roll an output.
+  std::function<std::string()> next_output_path;
+};
+
+/// The key span one sub-compaction owns: `[begin, end)` over user keys,
+/// with absent bounds meaning -inf / +inf.  Spans produced by
+/// `PickSubcompactionBoundaries` partition the keyspace exactly, so
+/// every input entry is consumed by exactly one sub-compaction and all
+/// versions of one user key land in the same span (versions share the
+/// user key) — which is what makes per-span version dedup and tombstone
+/// dropping correct.
+struct KeySpan {
+  bool has_begin = false;
+  std::string begin;  // inclusive; ignored unless has_begin
+  bool has_end = false;
+  std::string end;  // exclusive; ignored unless has_end
+};
+
+/// What one sub-compaction produced.  `outputs` are finished, opened
+/// tables in ascending key order; on failure `status` is the cause and
+/// `outputs` holds whatever tables finished before it (the caller
+/// unlinks them — a failed compaction installs nothing).
+struct SubcompactionResult {
+  Status status;
+  std::vector<std::shared_ptr<SSTable>> outputs;
+  /// Input entries consumed from the merge.  Summed across a job's
+  /// sub-compactions this must equal the inputs' total entry count —
+  /// the truncation check that keeps a short scan (silent I/O error)
+  /// from installing a partial merge.
+  uint64_t entries_read = 0;
+  /// Logical bytes of the emitted (surviving) entries — the rewrite
+  /// cost this sub-compaction paid, feeding the write-amp metric.
+  uint64_t bytes_out = 0;
+};
+
+/// Runs one sub-compaction: streams a k-way merge of `job.inputs`
+/// restricted to `span`, keeps the newest version per user key, drops
+/// tombstones (the output level is the bottom level and the job holds
+/// every overlapping table, so nothing older can resurface), and rolls
+/// outputs at `job.target_table_bytes`.  Memory is O(k + one output
+/// builder), independent of input size.  Thread-safe with respect to
+/// sibling sub-compactions on disjoint spans.
+SubcompactionResult RunSubcompaction(const CompactionJob& job,
+                                     const KeySpan& span);
+
+/// Picks up to `max_parts - 1` interior boundary keys that split the
+/// inputs into roughly data-weighted spans, from the tables' in-memory
+/// sparse indexes (no I/O).  Returned keys are sorted, distinct, and
+/// strictly greater than the smallest input key, so no span is trivially
+/// empty.  Fewer boundaries than requested (possibly none) come back
+/// when the inputs are small or their keys heavily overlap.
+std::vector<std::string> PickSubcompactionBoundaries(
+    const std::vector<std::shared_ptr<SSTable>>& inputs, size_t max_parts);
+
+/// Expands boundary keys into the spans they delimit: boundaries
+/// {b0, b1} become [-inf, b0), [b0, b1), [b1, +inf).
+std::vector<KeySpan> SpansFromBoundaries(
+    const std::vector<std::string>& boundaries);
+
+}  // namespace deluge::storage
+
+#endif  // DELUGE_STORAGE_COMPACTION_H_

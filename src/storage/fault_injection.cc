@@ -9,6 +9,7 @@
 namespace deluge::storage {
 
 size_t ScriptedIoFaults::BeforeWrite(size_t frame_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (tear_countdown_ < 0) return frame_bytes;
   if (tear_countdown_-- > 0) return frame_bytes;
   ++torn_writes_;
@@ -16,6 +17,7 @@ size_t ScriptedIoFaults::BeforeWrite(size_t frame_bytes) {
 }
 
 bool ScriptedIoFaults::FailSync() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (sync_countdown_ < 0) return false;
   if (sync_countdown_-- > 0) return false;
   ++failed_syncs_;

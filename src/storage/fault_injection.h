@@ -2,6 +2,7 @@
 #define DELUGE_STORAGE_FAULT_INJECTION_H_
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 
 #include "common/status.h"
@@ -32,23 +33,38 @@ class IoFaultInjector {
 /// Counters record what actually fired so tests can assert the fault
 /// took effect (an injection test that silently injects nothing is
 /// worse than no test).
+///
+/// Thread-safe: parallel sub-compactions share one injector, so the
+/// countdown and counters are guarded — exactly one writer tears even
+/// when several race through `BeforeWrite` concurrently.
 class ScriptedIoFaults : public IoFaultInjector {
  public:
   /// The (n+1)-th write from now is torn to `keep_bytes` bytes.
   void TearWriteAfter(int n, size_t keep_bytes) {
+    std::lock_guard<std::mutex> lock(mu_);
     tear_countdown_ = n;
     tear_keep_bytes_ = keep_bytes;
   }
   /// The (n+1)-th sync from now fails.
-  void FailSyncAfter(int n) { sync_countdown_ = n; }
+  void FailSyncAfter(int n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    sync_countdown_ = n;
+  }
 
   size_t BeforeWrite(size_t frame_bytes) override;
   bool FailSync() override;
 
-  uint64_t torn_writes() const { return torn_writes_; }
-  uint64_t failed_syncs() const { return failed_syncs_; }
+  uint64_t torn_writes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return torn_writes_;
+  }
+  uint64_t failed_syncs() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return failed_syncs_;
+  }
 
  private:
+  mutable std::mutex mu_;
   int tear_countdown_ = -1;
   size_t tear_keep_bytes_ = 0;
   int sync_countdown_ = -1;

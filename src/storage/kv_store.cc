@@ -1,12 +1,16 @@
 #include "storage/kv_store.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 
 #include "common/logging.h"
+#include "common/parallel_for.h"
 #include "obs/trace.h"
+#include "storage/compaction.h"
 
 namespace deluge::storage {
 
@@ -43,6 +47,43 @@ bool DecodeWalOp(std::string_view* rec, SequenceNumber* seq, ValueType* type,
   rec->remove_prefix(1);
   return GetLengthPrefixed(rec, key) && GetLengthPrefixed(rec, value);
 }
+
+// Manifest v2 key-range fields: keys are arbitrary binary, the manifest
+// is whitespace-delimited text — hex-encode, with "-" for the empty
+// string (which would otherwise vanish between the delimiters).
+std::string HexKey(const std::string& key) {
+  if (key.empty()) return "-";
+  static const char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(key.size() * 2);
+  for (unsigned char c : key) {
+    out.push_back(kDigits[c >> 4]);
+    out.push_back(kDigits[c & 0xF]);
+  }
+  return out;
+}
+
+bool UnhexKey(const std::string& hex, std::string* key) {
+  key->clear();
+  if (hex == "-") return true;
+  if (hex.size() % 2 != 0) return false;
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    return -1;
+  };
+  key->reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    int hi = nibble(hex[i]), lo = nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) return false;
+    key->push_back(static_cast<char>(hi << 4 | lo));
+  }
+  return true;
+}
+
+// First line of the range-aware manifest format.  A file that starts
+// with a number instead is the original single-run format.
+constexpr char kManifestMagicV2[] = "DELUGEMANIFEST2";
 
 }  // namespace
 
@@ -90,6 +131,14 @@ Result<std::unique_ptr<KVStore>> KVStore::Open(const KVStoreOptions& options) {
     return Status::InvalidArgument(
         "KVStoreOptions.bloom_bits_per_key must be positive");
   }
+  if (options.l1_target_table_bytes == 0) {
+    return Status::InvalidArgument(
+        "KVStoreOptions.l1_target_table_bytes must be positive");
+  }
+  if (options.max_subcompactions <= 0) {
+    return Status::InvalidArgument(
+        "KVStoreOptions.max_subcompactions must be positive");
+  }
   std::error_code ec;
   fs::create_directories(options.dir, ec);
   if (ec) return Status::IOError("cannot create dir " + options.dir);
@@ -124,23 +173,56 @@ void KVStore::RemoveOrphanTablesLocked() {
 }
 
 Status KVStore::Recover() {
-  // 1. Manifest: "next_file next_seq" then one "level number" per line.
+  // 1. Manifest.  v2 leads with a magic line and carries hex-encoded L1
+  // key ranges; the original format leads straight with "next_file
+  // next_seq" and lists a single L1 run — both recover, so a store
+  // written by the pre-leveled engine upgrades in place on its first
+  // manifest rewrite.
   const std::string manifest_path = options_.dir + "/MANIFEST";
   std::ifstream manifest(manifest_path);
   if (manifest.good()) {
-    manifest >> next_file_number_ >> next_seq_;
-    int level;
-    uint64_t number;
-    while (manifest >> level >> number) {
-      auto table = SSTable::Open(TableFileName(number), block_cache_.get());
-      if (!table.ok()) return table.status();
-      if (level == 0) {
-        l0_.push_back(table.value());  // manifest lists newest first
+    std::string first;
+    if (manifest >> first) {
+      const bool v2 = first == kManifestMagicV2;
+      if (v2) {
+        manifest >> next_file_number_ >> next_seq_;
       } else {
-        l1_.push_back(table.value());
+        next_file_number_ = std::strtoull(first.c_str(), nullptr, 10);
+        manifest >> next_seq_;
+      }
+      int level;
+      uint64_t number;
+      while (manifest >> level >> number) {
+        std::string decoded;
+        if (v2 && level == 1) {
+          // The manifest's range copy is advisory (the table footer is
+          // authoritative) but must parse: garbage here means a damaged
+          // manifest, not a missing feature.
+          std::string hex_min, hex_max;
+          if (!(manifest >> hex_min >> hex_max) ||
+              !UnhexKey(hex_min, &decoded) || !UnhexKey(hex_max, &decoded)) {
+            return Status::Corruption("manifest L1 entry has a bad range");
+          }
+        }
+        auto table = SSTable::Open(TableFileName(number), block_cache_.get());
+        if (!table.ok()) return table.status();
+        table.value()->set_probe_counters(bloom_checks_, bloom_useful_);
+        if (level == 0) {
+          l0_.push_back(table.value());  // manifest lists newest first
+        } else {
+          l1_.push_back(table.value());
+        }
       }
     }
   }
+  // The read path binary-searches l1_ by range; order it regardless of
+  // the manifest's listing order (a v0 manifest has one run at most, but
+  // nothing is lost by never trusting the order on disk).
+  std::sort(l1_.begin(), l1_.end(),
+            [](const std::shared_ptr<SSTable>& a,
+               const std::shared_ptr<SSTable>& b) {
+              return a->min_key() < b->min_key();
+            });
 
   // 2. Unreferenced .sst files are wreckage of an interrupted
   // flush/compaction build; their data is still covered by the WALs or
@@ -167,25 +249,20 @@ Status KVStore::Recover() {
         });
     if (!replayed.ok()) return replayed.status();
     if (imm.entry_count() > 0) {
-      std::vector<InternalEntry> entries;
-      entries.reserve(imm.entry_count());
-      MemTable::Iterator it(&imm);
-      for (it.SeekToFirst(); it.Valid(); it.Next()) {
-        entries.push_back(it.entry());
-      }
       uint64_t number = next_file_number_++;
-      auto table =
-          SSTable::Build(TableFileName(number), entries,
-                         options_.bloom_bits_per_key,
-                         /*faults=*/nullptr, block_cache_.get());
+      uint64_t logical = 0;
+      auto table = BuildTableFromMemtable(&imm, number, /*faults=*/nullptr,
+                                          &logical);
       if (!table.ok()) return table.status();
       l0_.push_front(table.value());  // newer than every manifest table
+      bytes_flushed_->Add(logical);
       next_seq_ = std::max(next_seq_, max_seq + 1);
       Status s = WriteManifestLocked();  // durable before dropping the log
       if (!s.ok()) return s;
     }
     std::remove(ImmWalPath().c_str());
   }
+  UpdateLevelGaugesLocked();
 
   // 4. Active WAL replay into the fresh memtable.
   uint64_t valid_prefix = 0;
@@ -356,7 +433,12 @@ Status KVStore::MakeRoomForWrite(std::unique_lock<std::mutex>& lock,
         flush_scheduled_ = true;
         ScheduleBackground(&KVStore::BackgroundFlushTask);
       }
+      const auto stall_start = std::chrono::steady_clock::now();
       bg_cv_.wait(lock);
+      stall_time_us_->Add(uint64_t(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - stall_start)
+              .count()));
       continue;
     }
     if (force_seal && mem_->entry_count() == 0) return Status::OK();
@@ -418,17 +500,12 @@ Status KVStore::DoFlush() {
   uint64_t number = next_file_number_++;
   lock.unlock();
 
-  // Build off-lock: writers keep committing into mem_ meanwhile.
-  std::vector<InternalEntry> entries;
-  entries.reserve(imm->entry_count());
-  MemTable::Iterator it(imm.get());
-  for (it.SeekToFirst(); it.Valid(); it.Next()) {
-    entries.push_back(it.entry());
-  }
-  auto table =
-      SSTable::Build(TableFileName(number), entries,
-                     options_.bloom_bits_per_key, options_.table_faults,
-                     block_cache_.get());
+  // Build off-lock: writers keep committing into mem_ meanwhile.  The
+  // memtable streams straight into the table builder — no materialized
+  // entry vector between them.
+  uint64_t logical_bytes = 0;
+  auto table = BuildTableFromMemtable(imm.get(), number,
+                                      options_.table_faults, &logical_bytes);
 
   lock.lock();
   if (!table.ok()) {
@@ -460,6 +537,9 @@ Status KVStore::DoFlush() {
   flush_scheduled_ = false;
   bg_error_ = Status::OK();
   flushes_->Add(1);
+  bytes_flushed_->Add(logical_bytes);
+  UpdateLevelGaugesLocked();
+  UpdateWriteAmpGauge();
   // Retire the sealed memtable's WAL inside the same critical section
   // that installs its table: the manifest above durably lists the table,
   // and WAL rotation (SealMemtableLocked) also runs under mu_ and only
@@ -494,55 +574,127 @@ Status KVStore::DoCompaction() {
   obs::Span span("storage.compact");
   obs::ScopedTimer timer(compact_us_);
   std::unique_lock<std::mutex> lock(mu_);
-  size_t n_l0 = l0_.size();
+  const size_t n_l0 = l0_.size();
+  // With no L0 there is nothing to push down: the leveled L1 is already
+  // sorted and non-overlapping.
+  if (n_l0 == 0) return Status::OK();
+
+  // Input picking: every L0 table, plus only the contiguous run of L1
+  // tables whose key ranges overlap the L0 set's span.  Because l1_ is
+  // sorted by min_key with disjoint ranges, the overlapping tables form
+  // a contiguous slice [overlap_lo, overlap_hi); everything outside it
+  // is untouched — the rewrite cost tracks overlap size, not database
+  // size.
+  std::string l0_min, l0_max;
+  bool have_span = false;
+  for (const auto& t : l0_) {
+    if (t->entry_count() == 0) continue;
+    if (!have_span || t->min_key() < l0_min) l0_min = t->min_key();
+    if (!have_span || t->max_key() > l0_max) l0_max = t->max_key();
+    have_span = true;
+  }
+  size_t overlap_lo = 0, overlap_hi = 0;
+  if (have_span) {
+    while (overlap_lo < l1_.size() && l1_[overlap_lo]->max_key() < l0_min) {
+      ++overlap_lo;
+    }
+    overlap_hi = overlap_lo;
+    while (overlap_hi < l1_.size() && l1_[overlap_hi]->min_key() <= l0_max) {
+      ++overlap_hi;
+    }
+  }
+
+  // Newest first: all of L0 (already newest-first), then the L1 slice —
+  // the merge's source-order tie-break then implements shadowing.
   std::vector<std::shared_ptr<SSTable>> inputs(l0_.begin(), l0_.end());
-  inputs.insert(inputs.end(), l1_.begin(), l1_.end());
-  if (n_l0 == 0 && l1_.size() <= 1) return Status::OK();
-  uint64_t number = next_file_number_++;
+  inputs.insert(inputs.end(), l1_.begin() + std::ptrdiff_t(overlap_lo),
+                l1_.begin() + std::ptrdiff_t(overlap_hi));
+
+  uint64_t expected_entries = 0;
+  uint64_t input_bytes = 0;
+  for (const auto& t : inputs) {
+    expected_entries += t->entry_count();
+    input_bytes += t->file_size();
+  }
+
+  // Size-aware split: never more slices than the data would fill with
+  // target-sized tables, so small merges stay one table on one thread.
+  const uint64_t size_cap = std::max<uint64_t>(
+      1, input_bytes / std::max<uint64_t>(1, options_.l1_target_table_bytes));
+  const size_t max_parts = size_t(std::min<uint64_t>(
+      uint64_t(options_.max_subcompactions), size_cap));
   lock.unlock();
 
   // Merge + build off-lock.  The inputs are immutable tables read via
   // positional I/O, so concurrent Gets on them are unaffected.  Newer
   // L0 tables flushed while we merge are NOT in `inputs` and survive
   // the install below untouched.  Dropping tombstones is legal because
-  // the inputs are the complete table set as of the snapshot — anything
-  // newer shadows us, anything a tombstone shadowed is in the inputs.
-  uint64_t expected = 0;
-  for (const auto& t : inputs) expected += t->entry_count();
-  std::vector<InternalEntry> all;
-  all.reserve(expected);
-  for (const auto& t : inputs) {
-    SSTable::Iterator it(t.get());
-    for (it.SeekToFirst(); it.Valid(); it.Next()) {
-      all.push_back(it.entry());
-    }
-    // A scan that did not end cleanly (I/O error, truncated record) must
-    // abort the whole compaction: installing a partial merge would
-    // unlink input tables that still hold durable, acknowledged data.
-    if (!it.status().ok()) return it.status();
-  }
-  if (all.size() != expected) {
-    return Status::Corruption("compaction input scan truncated: read " +
-                              std::to_string(all.size()) + " of " +
-                              std::to_string(expected) + " entries");
-  }
-  std::vector<InternalEntry> merged =
-      MergeEntries(std::move(all), /*drop_tombstones=*/true);
+  // L1 is the bottom level and every table overlapping the merged range
+  // is an input — anything newer shadows us, anything a tombstone
+  // shadowed is in the inputs.
+  CompactionJob job;
+  job.inputs = inputs;
+  job.target_table_bytes = options_.l1_target_table_bytes;
+  job.bloom_bits_per_key = options_.bloom_bits_per_key;
+  job.faults = options_.table_faults;
+  job.cache = block_cache_.get();
+  job.next_output_path = [this] {
+    std::lock_guard<std::mutex> path_lock(mu_);
+    return TableFileName(next_file_number_++);
+  };
+
+  const auto spans =
+      SpansFromBoundaries(PickSubcompactionBoundaries(inputs, max_parts));
+  std::vector<SubcompactionResult> results(spans.size());
+  // Disjoint key spans stream concurrently on the shared pool; the
+  // caller participates, so this also makes progress when the pool is
+  // busy (or is the 2-thread private pool already running this task).
+  ParallelFor(pool_, spans.size(),
+              [&](size_t i) { results[i] = RunSubcompaction(job, spans[i]); });
+
+  Status failure;
+  uint64_t consumed_entries = 0;
   uint64_t out_bytes = 0;
-  for (const auto& e : merged) out_bytes += e.ApproximateSize();
-
-  std::shared_ptr<SSTable> output;
-  if (!merged.empty()) {
-    auto table =
-        SSTable::Build(TableFileName(number), merged,
-                       options_.bloom_bits_per_key, options_.table_faults,
-                       block_cache_.get());
-    if (!table.ok()) return table.status();
-    output = table.value();
+  std::vector<std::shared_ptr<SSTable>> outputs;
+  for (auto& r : results) {
+    if (!r.status.ok() && failure.ok()) failure = r.status;
+    consumed_entries += r.entries_read;
+    out_bytes += r.bytes_out;
+    // Span order is key order, so concatenation keeps outputs sorted
+    // and disjoint.
+    outputs.insert(outputs.end(), r.outputs.begin(), r.outputs.end());
+  }
+  if (failure.ok() && consumed_entries != expected_entries) {
+    // A scan that did not end cleanly must abort the whole compaction:
+    // installing a partial merge would unlink input tables that still
+    // hold durable, acknowledged data.  (Sub-compaction spans partition
+    // the keyspace, so the consumed total must match exactly.)
+    failure = Status::Corruption(
+        "compaction input scan truncated: read " +
+        std::to_string(consumed_entries) + " of " +
+        std::to_string(expected_entries) + " entries");
+  }
+  if (!failure.ok()) {
+    // All-or-nothing: drop every finished output of every slice.  The
+    // readers close with their shared_ptrs; unlink reclaims the files
+    // now instead of waiting for the next recovery's orphan sweep.
+    for (auto& table : outputs) {
+      std::string path = table->path();
+      uint64_t id = table->table_id();
+      table.reset();
+      std::remove(path.c_str());
+      if (block_cache_ != nullptr) block_cache_->EraseTable(id);
+    }
+    return failure;
+  }
+  for (const auto& t : outputs) {
+    t->set_probe_counters(bloom_checks_, bloom_useful_);
   }
 
-  // Short critical section: swap the snapshot inputs for the merged run
-  // (the compacted L0 tables are the *oldest* suffix of l0_).
+  // Short critical section: splice the outputs over the inputs (the
+  // compacted L0 tables are the *oldest* suffix of l0_; the replaced L1
+  // slice sits where the outputs' span belongs, so sortedness and
+  // disjointness of l1_ are preserved).
   lock.lock();
   std::vector<std::string> obsolete_paths;
   std::vector<uint64_t> obsolete_ids;
@@ -551,10 +703,19 @@ Status KVStore::DoCompaction() {
     obsolete_ids.push_back(t->table_id());
   }
   l0_.erase(l0_.end() - std::ptrdiff_t(n_l0), l0_.end());
-  l1_.clear();
-  if (output != nullptr) l1_.push_back(std::move(output));
+  std::vector<std::shared_ptr<SSTable>> new_l1;
+  new_l1.reserve(l1_.size() - (overlap_hi - overlap_lo) + outputs.size());
+  new_l1.insert(new_l1.end(), l1_.begin(),
+                l1_.begin() + std::ptrdiff_t(overlap_lo));
+  new_l1.insert(new_l1.end(), outputs.begin(), outputs.end());
+  new_l1.insert(new_l1.end(), l1_.begin() + std::ptrdiff_t(overlap_hi),
+                l1_.end());
+  l1_ = std::move(new_l1);
   compactions_->Add(1);
+  subcompactions_->Add(spans.size());
   bytes_compacted_->Add(out_bytes);
+  UpdateLevelGaugesLocked();
+  UpdateWriteAmpGauge();
   Status s = WriteManifestLocked();
   lock.unlock();
   if (!s.ok()) return s;
@@ -592,6 +753,9 @@ Status KVStore::Get(std::string_view key, std::string* value) {
   // compactions.
   InternalEntry e;
   for (const auto& table : l0) {  // newest first
+    // Cheap range gate before the bloom: L0 tables may overlap, but a
+    // key outside a table's span cannot be in it.
+    if (key < table->min_key() || key > table->max_key()) continue;
     Status s = table->Get(key, kMaxSequence, &e);
     if (s.ok()) {
       if (e.type == ValueType::kTombstone) return Status::NotFound();
@@ -600,14 +764,25 @@ Status KVStore::Get(std::string_view key, std::string* value) {
     }
     if (!s.IsNotFound()) return s;
   }
-  for (const auto& table : l1) {
-    Status s = table->Get(key, kMaxSequence, &e);
-    if (s.ok()) {
-      if (e.type == ValueType::kTombstone) return Status::NotFound();
-      *value = std::move(e.value);
-      return Status::OK();
+  // L1 ranges are sorted and disjoint: binary search finds the single
+  // table that can hold the key, so probes (and bloom checks) stay O(1)
+  // no matter how many tables the level splits into.
+  auto it = std::upper_bound(
+      l1.begin(), l1.end(), key,
+      [](std::string_view k, const std::shared_ptr<SSTable>& t) {
+        return k < t->min_key();
+      });
+  if (it != l1.begin()) {
+    const auto& table = *(it - 1);
+    if (key <= table->max_key()) {
+      Status s = table->Get(key, kMaxSequence, &e);
+      if (s.ok()) {
+        if (e.type == ValueType::kTombstone) return Status::NotFound();
+        *value = std::move(e.value);
+        return Status::OK();
+      }
+      if (!s.IsNotFound()) return s;
     }
-    if (!s.IsNotFound()) return s;
   }
   return Status::NotFound();
 }
@@ -721,6 +896,7 @@ Status KVStore::WriteManifestLocked() {
   {
     std::ofstream out(tmp, std::ios::trunc);
     if (!out.good()) return Status::IOError("cannot write manifest");
+    out << kManifestMagicV2 << "\n";
     out << next_file_number_ << " " << next_seq_ << "\n";
     auto number_of = [](const std::string& path) {
       // .../NNNNNN.sst -> NNNNNN
@@ -728,13 +904,48 @@ Status KVStore::WriteManifestLocked() {
       return std::stoull(path.substr(slash + 1));
     };
     for (const auto& t : l0_) out << 0 << " " << number_of(t->path()) << "\n";
-    for (const auto& t : l1_) out << 1 << " " << number_of(t->path()) << "\n";
+    // L1 in range order, each with its hex-encoded key span — the
+    // partition is inspectable (and checkable) without opening tables.
+    for (const auto& t : l1_) {
+      out << 1 << " " << number_of(t->path()) << " " << HexKey(t->min_key())
+          << " " << HexKey(t->max_key()) << "\n";
+    }
     if (!out.good()) return Status::IOError("manifest write failed");
   }
   std::error_code ec;
   fs::rename(tmp, final_path, ec);
   if (ec) return Status::IOError("manifest rename failed");
   return Status::OK();
+}
+
+void KVStore::UpdateLevelGaugesLocked() {
+  l0_tables_->Set(double(l0_.size()));
+  l1_tables_->Set(double(l1_.size()));
+}
+
+void KVStore::UpdateWriteAmpGauge() {
+  const uint64_t flushed = bytes_flushed_->Value();
+  if (flushed == 0) return;
+  write_amp_->Set(double(bytes_compacted_->Value()) / double(flushed));
+}
+
+Result<std::shared_ptr<SSTable>> KVStore::BuildTableFromMemtable(
+    MemTable* mem, uint64_t file_number, IoFaultInjector* faults,
+    uint64_t* logical_bytes) {
+  SSTableBuilder builder(TableFileName(file_number),
+                         options_.bloom_bits_per_key, faults);
+  uint64_t logical = 0;
+  MemTable::Iterator it(mem);
+  for (it.SeekToFirst(); it.Valid(); it.Next()) {
+    logical += it.entry().ApproximateSize();
+    Status s = builder.Add(it.entry());
+    if (!s.ok()) return s;
+  }
+  auto table = builder.Finish(block_cache_.get());
+  if (!table.ok()) return table.status();
+  table.value()->set_probe_counters(bloom_checks_, bloom_useful_);
+  *logical_bytes = logical;
+  return table;
 }
 
 KVStoreStats KVStore::stats() const {
@@ -746,8 +957,13 @@ KVStoreStats KVStore::stats() const {
   s.compactions = compactions_->Value();
   s.bytes_written = bytes_written_->Value();
   s.bytes_compacted = bytes_compacted_->Value();
+  s.bytes_flushed = bytes_flushed_->Value();
+  s.subcompactions = subcompactions_->Value();
   s.write_stalls = write_stalls_->Value();
+  s.stall_time_us = stall_time_us_->Value();
   s.wal_syncs = wal_syncs_->Value();
+  s.bloom_checks = bloom_checks_->Value();
+  s.bloom_useful = bloom_useful_->Value();
   if (block_cache_ != nullptr) {
     s.cache_hits = block_cache_->hits();
     s.cache_misses = block_cache_->misses();

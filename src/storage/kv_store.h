@@ -28,6 +28,15 @@ struct KVStoreOptions {
   size_t memtable_max_bytes = 4u << 20;
   /// Number of L0 files that triggers a merge into L1 (must be positive).
   int l0_compaction_trigger = 4;
+  /// L1 output tables roll to a new file at this data size (must be
+  /// positive).  Bounds both per-table size (so compactions can pick
+  /// overlapping tables instead of rewriting one giant run) and the
+  /// streaming builder's memory.
+  uint64_t l1_target_table_bytes = 2u << 20;
+  /// Upper bound on concurrent per-key-range sub-compactions within one
+  /// compaction (must be positive).  The effective count also scales
+  /// with input size — small merges stay single-table, single-threaded.
+  int max_subcompactions = 4;
   /// fdatasync the WAL on every commit (durability vs throughput).
   bool sync_wal = false;
   /// Bloom filter density for new SSTables (must be positive).
@@ -57,8 +66,17 @@ struct KVStoreStats {
   uint64_t compactions = 0;
   uint64_t bytes_written = 0;
   uint64_t bytes_compacted = 0;
+  /// Logical bytes flushed from memtables into L0 — the write-amp
+  /// denominator (storage.write_amp = bytes_compacted / bytes_flushed).
+  uint64_t bytes_flushed = 0;
+  /// Per-key-range compaction slices executed (>= compactions; the gap
+  /// is the parallelism the range partitioning bought).
+  uint64_t subcompactions = 0;
   /// Commit groups whose leader had to stall for a memtable slot.
   uint64_t write_stalls = 0;
+  /// Total time commit leaders spent stalled waiting for a memtable
+  /// slot, in microseconds.
+  uint64_t stall_time_us = 0;
   /// WAL sync calls actually issued (vs commits: the group-commit win).
   uint64_t wal_syncs = 0;
   /// Block-cache counters (zero when the cache is disabled).
@@ -67,6 +85,12 @@ struct KVStoreStats {
   /// Aggregate SSTable probe counters across live tables.
   uint64_t bloom_negatives = 0;
   uint64_t disk_probes = 0;
+  /// Registry-backed filter effectiveness (storage.bloom_checks /
+  /// storage.bloom_useful): filters consulted, and consultations that
+  /// skipped a disk probe.  Unlike the per-table counters above, these
+  /// survive table deletion, so they are the E19 reporting source.
+  uint64_t bloom_checks = 0;
+  uint64_t bloom_useful = 0;
 };
 
 /// A batch of writes applied atomically (one commit, one WAL sync, one
@@ -104,13 +128,23 @@ class WriteBatch {
 /// A log-structured merge key-value store — Deluge's durable "KV store"
 /// tier from the disaggregated cloud-storage layer (Fig. 7 of the paper).
 ///
-/// Two levels: L0 holds flushed memtables (possibly overlapping, searched
-/// newest-first); when L0 reaches the trigger, the table set merges into
-/// a single sorted L1 run, dropping shadowed versions and tombstones.
+/// Two levels, leveled-compaction style: L0 holds flushed memtables
+/// (possibly overlapping, searched newest-first); L1 is a range
+/// partition — multiple bounded SSTables, sorted by key range and
+/// non-overlapping, so a point read probes at most one of them (binary
+/// search on the ranges).  When L0 reaches the trigger, compaction picks
+/// the whole L0 set plus only the L1 tables whose ranges overlap it,
+/// streams a k-way merge (O(k) memory, never O(DB)), drops shadowed
+/// versions and tombstones, and splits large merges into per-key-range
+/// sub-compactions that run in parallel on the background pool.  L1
+/// tables outside the overlap are untouched — write amplification
+/// tracks overlap size, not database size.
 /// Crash recovery replays the WAL into a fresh memtable; the MANIFEST
-/// file records the live table set atomically (write-temp + rename).
-/// On-disk formats (WAL framing, SSTable layout, MANIFEST protocol) are
-/// byte-compatible with the serial engine.
+/// file records the live table set (with L1 key ranges) atomically
+/// (write-temp + rename) and still reads the older single-run format.
+/// WAL framing and the SSTable data/index regions are byte-compatible
+/// with the serial engine; SSTable footers gained a version that
+/// persists the key range (old tables still open).
 ///
 /// Thread-safety: all public methods are safe to call concurrently.
 /// Writers join a leader/follower commit group (one WAL append + at most
@@ -150,8 +184,10 @@ class KVStore {
   /// (no-op when empty).
   Status Flush();
 
-  /// Flushes, then merges all levels into a single L1 run (synchronous;
-  /// waits out any in-flight background compaction first).
+  /// Flushes, then synchronously drains L0 into the leveled L1 partition
+  /// (waiting out any in-flight background compaction first).  Small
+  /// stores end up as one L1 table; larger ones as several bounded,
+  /// non-overlapping tables.
   Status CompactAll();
 
   /// A merged snapshot scan over the whole store in key order, newest
@@ -214,6 +250,17 @@ class KVStore {
   Status DoCompaction();
   void MaybeScheduleCompactionLocked();
   Status WriteManifestLocked();
+  /// Refreshes the per-level table-count gauges (mu_ held).
+  void UpdateLevelGaugesLocked();
+  /// Publishes bytes_compacted / bytes_flushed to the write_amp gauge.
+  void UpdateWriteAmpGauge();
+  /// Streams a memtable into a new SSTable via the incremental builder
+  /// (sorted scan, no materialized entry vector).  On success the table
+  /// has the registry probe counters attached and `*logical_bytes`
+  /// holds the entries' logical size (the write-amp denominator).
+  Result<std::shared_ptr<SSTable>> BuildTableFromMemtable(
+      MemTable* mem, uint64_t file_number, IoFaultInjector* faults,
+      uint64_t* logical_bytes);
   /// Deletes *.sst files in dir not referenced by the manifest (wreckage
   /// of flushes/compactions that crashed mid-build).
   void RemoveOrphanTablesLocked();
@@ -242,7 +289,9 @@ class KVStore {
   std::shared_ptr<MemTable> imm_;      // sealed, being flushed (or null)
   WriteAheadLog wal_;                  // covers mem_; imm_ is covered by
                                        // wal.imm.log until its flush lands
-  // levels_[0]: newest-first L0 tables; levels_[1]: single merged run.
+  // l0_: newest-first flushed memtables (ranges may overlap).
+  // l1_: the leveled partition — ascending by min_key, ranges disjoint;
+  // compactions splice sub-ranges of it, reads binary-search it.
   std::deque<std::shared_ptr<SSTable>> l0_;
   std::vector<std::shared_ptr<SSTable>> l1_;
   SequenceNumber next_seq_ = 1;
@@ -274,8 +323,19 @@ class KVStore {
   obs::Counter* compactions_ = obs_.counter("compactions");
   obs::Counter* bytes_written_ = obs_.counter("bytes_written");
   obs::Counter* bytes_compacted_ = obs_.counter("bytes_compacted");
+  obs::Counter* bytes_flushed_ = obs_.counter("bytes_flushed");
+  obs::Counter* subcompactions_ = obs_.counter("subcompactions");
   obs::Counter* write_stalls_ = obs_.counter("write_stalls");
+  obs::Counter* stall_time_us_ = obs_.counter("stall_time_us");
   obs::Counter* wal_syncs_ = obs_.counter("wal_syncs");
+  // Filter effectiveness, aggregated across tables (tables hold bare
+  // pointers to these; the scope outlives every table the store opens).
+  obs::Counter* bloom_checks_ = obs_.counter("bloom_checks");
+  obs::Counter* bloom_useful_ = obs_.counter("bloom_useful");
+  // Level shape and rewrite cost, refreshed at every install.
+  obs::Gauge* l0_tables_ = obs_.gauge("l0_tables", obs::Gauge::Agg::kLast);
+  obs::Gauge* l1_tables_ = obs_.gauge("l1_tables", obs::Gauge::Agg::kLast);
+  obs::Gauge* write_amp_ = obs_.gauge("write_amp", obs::Gauge::Agg::kLast);
   // Stage-duration histograms (µs): commit covers the leader's
   // WAL-append + memtable-insert section; flush/compact cover the
   // background tasks end to end.

@@ -35,52 +35,12 @@ SSTable::~SSTable() {
 Result<std::shared_ptr<SSTable>> SSTable::Build(
     const std::string& path, const std::vector<InternalEntry>& entries,
     int bloom_bits_per_key, IoFaultInjector* faults, BlockCache* cache) {
-  std::string data;
-  std::string index;
-  uint64_t index_count = 0;
-  BloomFilter bloom(entries.size(), bloom_bits_per_key);
-
-  for (size_t i = 0; i < entries.size(); ++i) {
-    if (i % kIndexInterval == 0) {
-      PutVarint32(&index, static_cast<uint32_t>(entries[i].user_key.size()));
-      index.append(entries[i].user_key);
-      PutFixed64(&index, data.size());
-      ++index_count;
-    }
-    bloom.Add(entries[i].user_key);
-    EncodeEntry(entries[i], &data);
+  SSTableBuilder builder(path, bloom_bits_per_key, faults);
+  for (const auto& e : entries) {
+    Status s = builder.Add(e);
+    if (!s.ok()) return s;
   }
-
-  const std::string bloom_bytes = bloom.Serialize();
-  std::string footer;
-  PutFixed64(&footer, data.size());                       // index_off
-  PutFixed64(&footer, index_count);                       // index_count
-  PutFixed64(&footer, data.size() + index.size());        // bloom_off
-  PutFixed64(&footer, bloom_bytes.size());                // bloom_len
-  PutFixed64(&footer, entries.size());                    // entry_count
-  PutFixed64(&footer, kMagic);
-
-  // O_TRUNC: a crashed build's partial file with the same number is
-  // simply overwritten on retry.  Offsets are 64-bit throughout — the
-  // writer never seeks, readers use positional I/O.
-  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) {
-    return Status::IOError("cannot create SSTable " + path + ": " +
-                           std::strerror(errno));
-  }
-  std::string file_bytes = data + index + bloom_bytes + footer;
-  size_t to_write = file_bytes.size();
-  if (faults != nullptr) to_write = faults->BeforeWrite(file_bytes.size());
-  size_t written = 0;
-  while (written < to_write) {
-    ssize_t n = ::write(fd, file_bytes.data() + written, to_write - written);
-    if (n <= 0) break;
-    written += size_t(n);
-  }
-  bool ok = written == to_write && to_write == file_bytes.size();
-  ok = ::close(fd) == 0 && ok;
-  if (!ok) return Status::IOError("SSTable write failed: " + path);
-  return Open(path, cache);
+  return builder.Finish(cache);
 }
 
 Result<std::shared_ptr<SSTable>> SSTable::Open(const std::string& path,
@@ -121,19 +81,40 @@ Status SSTable::LoadFooterAndIndex() {
   uint64_t file_len = uint64_t(st.st_size);
   if (file_len < 48) return Status::Corruption("SSTable too small: " + path_);
 
-  char footer_buf[48];
-  Status s = ReadAt(file_len - 48, 48, footer_buf);
+  // The last word is the magic in both formats; it selects the footer
+  // shape before anything else is parsed.
+  char magic_buf[8];
+  Status s = ReadAt(file_len - 8, 8, magic_buf);
   if (!s.ok()) return s;
-  std::string_view fv(footer_buf, 48);
-  uint64_t index_off, index_count, bloom_off, bloom_len, magic;
+  uint64_t magic = 0;
+  {
+    std::string_view mv(magic_buf, 8);
+    GetFixed64(&mv, &magic);
+  }
+  const bool v2 = magic == kMagicV2;
+  if (!v2 && magic != kMagic) {
+    return Status::Corruption("bad magic in " + path_);
+  }
+
+  uint64_t index_off = 0, index_count = 0, bloom_off = 0, bloom_len = 0;
+  uint64_t range_off = 0;
+  const uint64_t footer_len = v2 ? 56 : 48;
+  if (file_len < footer_len) {
+    return Status::Corruption("SSTable too small: " + path_);
+  }
+  char footer_buf[56];
+  s = ReadAt(file_len - footer_len, footer_len, footer_buf);
+  if (!s.ok()) return s;
+  std::string_view fv(footer_buf, footer_len);
   GetFixed64(&fv, &index_off);
   GetFixed64(&fv, &index_count);
   GetFixed64(&fv, &bloom_off);
   GetFixed64(&fv, &bloom_len);
+  if (v2) GetFixed64(&fv, &range_off);
   GetFixed64(&fv, &entry_count_);
-  GetFixed64(&fv, &magic);
-  if (magic != kMagic) return Status::Corruption("bad magic in " + path_);
-  if (index_off > bloom_off || bloom_off + bloom_len + 48 > file_len) {
+  if (!v2) range_off = file_len - footer_len;  // degenerate: empty block
+  if (index_off > bloom_off || bloom_off + bloom_len > range_off ||
+      range_off + footer_len > file_len) {
     return Status::Corruption("bad footer offsets in " + path_);
   }
   data_end_ = index_off;
@@ -165,7 +146,30 @@ Status SSTable::LoadFooterAndIndex() {
   if (!s.ok()) return s;
   bloom_ = BloomFilter::Deserialize(bloom_bytes);
 
-  // Max key: read the last entry (scan from last index point).
+  if (v2) {
+    // Range block: the key range is persisted, so v2 tables open
+    // without touching the data region at all.
+    const uint64_t range_len = file_len - footer_len - range_off;
+    std::string range_bytes(range_len, '\0');
+    s = ReadAt(range_off, range_len, range_bytes.data());
+    if (!s.ok()) return s;
+    std::string_view rv(range_bytes);
+    uint32_t klen = 0;
+    if (!GetVarint32(&rv, &klen) || rv.size() < klen) {
+      return Status::Corruption("bad range block in " + path_);
+    }
+    min_key_.assign(rv.substr(0, klen));
+    rv.remove_prefix(klen);
+    if (!GetVarint32(&rv, &klen) || rv.size() < klen) {
+      return Status::Corruption("bad range block in " + path_);
+    }
+    max_key_.assign(rv.substr(0, klen));
+    return Status::OK();
+  }
+
+  // v1 (legacy) tables carry no range block: recover the max key by
+  // scanning forward from the last index point.  This per-open tail
+  // scan is exactly what the v2 format exists to remove.
   if (entry_count_ > 0 && !index_.empty()) {
     Iterator it(this);
     it.Seek(index_.back().key);
@@ -178,6 +182,17 @@ Status SSTable::LoadFooterAndIndex() {
     max_key_ = last;
   }
   return Status::OK();
+}
+
+std::vector<std::string> SSTable::IndexSampleKeys(size_t max_samples) const {
+  std::vector<std::string> out;
+  if (max_samples == 0 || index_.empty()) return out;
+  const size_t n = std::min(max_samples, index_.size());
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(index_[i * index_.size() / n].key);
+  }
+  return out;
 }
 
 BlockCache::ChunkPtr SSTable::ReadChunk(uint64_t chunk_index,
@@ -202,8 +217,10 @@ BlockCache::ChunkPtr SSTable::ReadChunk(uint64_t chunk_index,
 Status SSTable::Get(std::string_view key, SequenceNumber snapshot,
                     InternalEntry* entry) const {
   if (index_.empty()) return Status::NotFound();
+  if (bloom_checks_ != nullptr) bloom_checks_->Increment();
   if (!bloom_.MayContain(key)) {
     bloom_negative_count.fetch_add(1, std::memory_order_relaxed);
+    if (bloom_useful_ != nullptr) bloom_useful_->Increment();
     return Status::NotFound();
   }
   disk_probe_count.fetch_add(1, std::memory_order_relaxed);
@@ -332,6 +349,137 @@ bool SSTable::Iterator::ReadEntryAt(uint64_t offset) {
   // catches the clean case before ever calling here).
   status_ = Status::Corruption("truncated record in " + table_->path_);
   return false;
+}
+
+// ------------------------------------------------------------- Builder
+
+namespace {
+// Pending data-region bytes spill to disk at this size; together with
+// the producing compaction's roll threshold it bounds builder memory.
+constexpr size_t kBuilderBufferBytes = 256 * 1024;
+}  // namespace
+
+SSTableBuilder::SSTableBuilder(std::string path, int bloom_bits_per_key,
+                               IoFaultInjector* faults)
+    : path_(std::move(path)),
+      bloom_bits_per_key_(bloom_bits_per_key),
+      faults_(faults) {
+  // O_TRUNC: a crashed build's partial file with the same number is
+  // simply overwritten on retry.  Offsets are 64-bit throughout — the
+  // writer never seeks, readers use positional I/O.
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd_ < 0) {
+    status_ = Status::IOError("cannot create SSTable " + path_ + ": " +
+                              std::strerror(errno));
+  }
+}
+
+SSTableBuilder::~SSTableBuilder() {
+  if (!finished_) Abandon();
+}
+
+Status SSTableBuilder::Add(const InternalEntry& e) {
+  if (!status_.ok()) return status_;
+  if (entry_count_ % SSTable::kIndexInterval == 0) {
+    PutVarint32(&index_, static_cast<uint32_t>(e.user_key.size()));
+    index_.append(e.user_key);
+    PutFixed64(&index_, data_bytes());
+    ++index_count_;
+  }
+  if (entry_count_ == 0) min_key_ = e.user_key;
+  max_key_ = e.user_key;  // sorted input: the latest key is the max
+  // Adjacent versions of one user key need a single bloom entry.
+  if (keys_.empty() || keys_.back() != e.user_key) {
+    keys_.push_back(e.user_key);
+  }
+  EncodeEntry(e, &buffer_);
+  ++entry_count_;
+  if (buffer_.size() >= kBuilderBufferBytes) return FlushBuffer();
+  return status_;
+}
+
+Status SSTableBuilder::WriteRaw(std::string_view bytes) {
+  if (!status_.ok()) return status_;
+  size_t to_write = bytes.size();
+  if (faults_ != nullptr) to_write = faults_->BeforeWrite(bytes.size());
+  size_t written = 0;
+  while (written < to_write) {
+    ssize_t n = ::write(fd_, bytes.data() + written, to_write - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      status_ = Status::IOError("SSTable write failed: " + path_ + ": " +
+                                std::strerror(errno));
+      return status_;
+    }
+    if (n == 0) break;
+    written += size_t(n);
+  }
+  if (written != bytes.size()) {
+    // A torn write is the crash the injector simulates: fail the build
+    // immediately; the partial file never becomes an installed table.
+    status_ = Status::IOError("SSTable write torn: " + path_);
+  }
+  return status_;
+}
+
+Status SSTableBuilder::FlushBuffer() {
+  if (buffer_.empty()) return status_;
+  Status s = WriteRaw(buffer_);
+  if (s.ok()) {
+    data_written_ += buffer_.size();
+    buffer_.clear();
+  }
+  return s;
+}
+
+Result<std::shared_ptr<SSTable>> SSTableBuilder::Finish(BlockCache* cache) {
+  if (!status_.ok()) return status_;
+  Status s = FlushBuffer();
+  if (!s.ok()) return s;
+
+  BloomFilter bloom(keys_.size(), bloom_bits_per_key_);
+  for (const auto& k : keys_) bloom.Add(k);
+  const std::string bloom_bytes = bloom.Serialize();
+
+  const uint64_t index_off = data_written_;
+  const uint64_t bloom_off = index_off + index_.size();
+  const uint64_t range_off = bloom_off + bloom_bytes.size();
+  std::string tail;
+  tail.reserve(index_.size() + bloom_bytes.size() + min_key_.size() +
+               max_key_.size() + 80);
+  tail.append(index_);
+  tail.append(bloom_bytes);
+  PutVarint32(&tail, static_cast<uint32_t>(min_key_.size()));
+  tail.append(min_key_);
+  PutVarint32(&tail, static_cast<uint32_t>(max_key_.size()));
+  tail.append(max_key_);
+  PutFixed64(&tail, index_off);
+  PutFixed64(&tail, index_count_);
+  PutFixed64(&tail, bloom_off);
+  PutFixed64(&tail, bloom_bytes.size());
+  PutFixed64(&tail, range_off);
+  PutFixed64(&tail, entry_count_);
+  PutFixed64(&tail, SSTable::kMagicV2);
+
+  s = WriteRaw(tail);
+  if (!s.ok()) return s;
+  int rc = ::close(fd_);
+  fd_ = -1;
+  if (rc != 0) {
+    status_ = Status::IOError("SSTable close failed: " + path_);
+    return status_;
+  }
+  finished_ = true;
+  return SSTable::Open(path_, cache);
+}
+
+void SSTableBuilder::Abandon() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  if (!finished_) ::unlink(path_.c_str());
+  finished_ = true;
 }
 
 }  // namespace deluge::storage

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "storage/block_cache.h"
 #include "storage/bloom.h"
 #include "storage/fault_injection.h"
@@ -16,15 +17,22 @@ namespace deluge::storage {
 
 /// An immutable sorted run on disk.
 ///
-/// File layout:
+/// File layout (format v2):
 /// ```
 ///   data:   repeated [varint klen][key][fixed64 seq][u8 type]
 ///                    [varint vlen][value]
 ///   index:  every kIndexInterval-th entry: [varint klen][key][fixed64 off]
 ///   bloom:  serialized BloomFilter over user keys
-///   footer: fixed64 x6: index_off, index_count, bloom_off, bloom_len,
-///           entry_count, magic
+///   range:  [varint klen][min_key][varint klen][max_key]
+///   footer: fixed64 x7: index_off, index_count, bloom_off, bloom_len,
+///           range_off, entry_count, magic (kMagicV2)
 /// ```
+/// The v1 format lacks the range block and has a 6-word footer ending in
+/// `kMagic`; `Open` still reads it, recovering `max_key_` by scanning
+/// from the last index point (v2 tables skip that tail scan entirely —
+/// the key range is in the footer).  Data and index regions are
+/// byte-identical across versions.
+///
 /// Readers keep the sparse index and bloom filter in memory; point lookups
 /// do one bounded forward scan from the preceding index point.
 ///
@@ -35,7 +43,8 @@ namespace deluge::storage {
 /// optional shared `BlockCache` can serve without touching the disk.
 class SSTable {
  public:
-  static constexpr uint64_t kMagic = 0xDE11A6E0DB5557ULL;
+  static constexpr uint64_t kMagic = 0xDE11A6E0DB5557ULL;    // v1 (legacy)
+  static constexpr uint64_t kMagicV2 = 0xDE11A6E0DB5558ULL;  // v2 (+range)
   static constexpr size_t kIndexInterval = 16;
   /// Granularity of data-region reads and of block-cache entries.
   static constexpr size_t kReadChunkSize = 64 * 1024;
@@ -46,18 +55,21 @@ class SSTable {
   SSTable& operator=(const SSTable&) = delete;
 
   /// Writes `entries` (already sorted by InternalEntryComparator) to
-  /// `path` and returns an opened reader.  `faults`, when set, can tear
-  /// the file write (crash mid-build); the partial file fails Open with
-  /// Corruption, never a silently short table.  `cache`, when set, is
-  /// attached to the returned reader (not owned).
+  /// `path` and returns an opened reader.  A convenience wrapper over
+  /// `SSTableBuilder` for callers that already hold the full entry set
+  /// (tests, small fixtures); streaming producers use the builder
+  /// directly.  `faults`, when set, can tear the file write (crash
+  /// mid-build); the partial file fails Open with Corruption, never a
+  /// silently short table.  `cache`, when set, is attached to the
+  /// returned reader (not owned).
   static Result<std::shared_ptr<SSTable>> Build(
       const std::string& path, const std::vector<InternalEntry>& entries,
       int bloom_bits_per_key = 10, IoFaultInjector* faults = nullptr,
       BlockCache* cache = nullptr);
 
-  /// Opens an existing table, loading its index and bloom filter.
-  /// Every open assigns a process-unique `table_id` (the block-cache
-  /// namespace for this reader).
+  /// Opens an existing table (v1 or v2), loading its index, bloom
+  /// filter, and key range.  Every open assigns a process-unique
+  /// `table_id` (the block-cache namespace for this reader).
   static Result<std::shared_ptr<SSTable>> Open(const std::string& path,
                                                BlockCache* cache = nullptr);
 
@@ -112,11 +124,26 @@ class SSTable {
   const std::string& min_key() const { return min_key_; }
   const std::string& max_key() const { return max_key_; }
 
+  /// Up to `max_samples` evenly spaced keys from the in-memory sparse
+  /// index, in ascending order — cheap split-point candidates for
+  /// range-partitioned sub-compactions.  No I/O.
+  std::vector<std::string> IndexSampleKeys(size_t max_samples) const;
+
+  /// Hooks this table's bloom-probe outcomes into registry counters
+  /// (storage.bloom_checks / storage.bloom_useful).  Called by the
+  /// owning store before the table is published to readers; the
+  /// counters must outlive every probe (the store's StatsScope does).
+  void set_probe_counters(obs::Counter* checks, obs::Counter* useful) {
+    bloom_checks_ = checks;
+    bloom_useful_ = useful;
+  }
+
   /// Cumulative probe counters (for experiments on bloom effectiveness).
   mutable std::atomic<uint64_t> bloom_negative_count{0};
   mutable std::atomic<uint64_t> disk_probe_count{0};
 
  private:
+  friend class SSTableBuilder;
   SSTable() = default;
 
   struct IndexEntry {
@@ -146,6 +173,65 @@ class SSTable {
   uint64_t entry_count_ = 0;
   std::string min_key_;
   std::string max_key_;
+  // Registry promotion of the per-table atomics above (null = not wired).
+  obs::Counter* bloom_checks_ = nullptr;
+  obs::Counter* bloom_useful_ = nullptr;
+};
+
+/// Streaming SSTable writer: entries are appended in sorted order and
+/// spill to disk in bounded buffered writes, so building a table costs
+/// O(buffer + index + keys-for-bloom) memory — bounded by the roll
+/// threshold of the producing compaction, never by the total database
+/// size.  The sparse index and the key set (for the bloom filter, which
+/// needs the final count) stay in memory until `Finish`.
+///
+/// Lifecycle: `Add`* then exactly one of `Finish` (writes index + bloom
+/// + range + footer, returns an opened reader) or `Abandon` (closes and
+/// unlinks the partial file).  The destructor abandons an unfinished
+/// build.  Any I/O error is sticky: later calls return it unchanged.
+class SSTableBuilder {
+ public:
+  SSTableBuilder(std::string path, int bloom_bits_per_key = 10,
+                 IoFaultInjector* faults = nullptr);
+  ~SSTableBuilder();
+
+  SSTableBuilder(const SSTableBuilder&) = delete;
+  SSTableBuilder& operator=(const SSTableBuilder&) = delete;
+
+  /// Appends one entry; entries must arrive in InternalEntryComparator
+  /// order (the caller is a sorted merge or memtable scan).
+  Status Add(const InternalEntry& e);
+
+  Result<std::shared_ptr<SSTable>> Finish(BlockCache* cache = nullptr);
+
+  /// Closes and unlinks the partial file.  Safe to call after an error.
+  void Abandon();
+
+  /// Data-region bytes so far (written + buffered) — the roll signal.
+  uint64_t data_bytes() const { return data_written_ + buffer_.size(); }
+  uint64_t entry_count() const { return entry_count_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  /// Writes `bytes` through the fault injector; a torn or failed write
+  /// is sticky.
+  Status WriteRaw(std::string_view bytes);
+  Status FlushBuffer();
+
+  std::string path_;
+  int fd_ = -1;
+  int bloom_bits_per_key_;
+  IoFaultInjector* faults_;
+  std::string buffer_;          // pending data-region bytes
+  uint64_t data_written_ = 0;   // data-region bytes already on disk
+  std::string index_;
+  uint64_t index_count_ = 0;
+  uint64_t entry_count_ = 0;
+  std::vector<std::string> keys_;  // bloom input (needs final count)
+  std::string min_key_;
+  std::string max_key_;
+  Status status_;
+  bool finished_ = false;
 };
 
 }  // namespace deluge::storage
