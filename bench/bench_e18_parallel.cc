@@ -14,12 +14,37 @@
 
 #include "bench_json.h"
 
+#include <cstdint>
+#include <cstdlib>
 #include <memory>
+#include <new>
 #include <vector>
 
 #include "core/engine.h"
 #include "core/parallel_engine.h"
 #include "core/sensors.h"
+
+// --- allocation accounting ----------------------------------------------
+//
+// Replaces the binary's global new/delete with a counting malloc shim so
+// BM_ShardRoutingAllocFree below can assert the routing hot path
+// (ShardOf / ShardsCovering) performs zero heap allocations.  The
+// counter is thread-local: shard worker threads allocating in other
+// benchmarks never perturb the measuring thread's count.
+namespace {
+thread_local uint64_t g_thread_allocs = 0;
+}  // namespace
+
+void* operator new(std::size_t size) {
+  ++g_thread_allocs;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -201,6 +226,54 @@ BENCHMARK(BM_IngestBatchSize)
     ->Arg(20000)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
+
+// ------------------------------------------------------- alloc-free routing
+
+// ShardOf runs once per ingested update and ShardsCovering once per
+// watch registration; both must stay off the heap (results return into
+// a caller-owned SmallVec).  The new/delete shim above counts this
+// thread's allocations across a full sweep of both calls — any nonzero
+// count fails the benchmark.
+void BM_ShardRoutingAllocFree(benchmark::State& state) {
+  const Workload& w = SharedWorkload();
+  SpatialSharder sharder(kWorld, 25.0, 8);
+  size_t per_axis = 8;
+  double span_x = (kWorld.max.x - kWorld.min.x) / double(per_axis);
+  double span_y = (kWorld.max.y - kWorld.min.y) / double(per_axis);
+
+  uint64_t queries = 0;
+  uint64_t allocs = 0;
+  SpatialSharder::ShardList covering;
+  for (auto _ : state) {
+    const uint64_t before = g_thread_allocs;
+    size_t acc = 0;
+    for (const auto& batch : w.batches) {
+      for (const SensedUpdate& u : batch) {
+        acc += sharder.ShardOf(u.position);
+        ++queries;
+      }
+    }
+    for (size_t i = 0; i < kWatchers; ++i) {
+      size_t gx = i % per_axis, gy = i / per_axis;
+      geo::AABB region({kWorld.min.x + double(gx) * span_x,
+                        kWorld.min.y + double(gy) * span_y, kWorld.min.z},
+                       {kWorld.min.x + double(gx + 1) * span_x,
+                        kWorld.min.y + double(gy + 1) * span_y, kWorld.max.z});
+      covering.clear();
+      sharder.ShardsCovering(region, &covering);
+      acc += covering.size();
+      ++queries;
+    }
+    benchmark::DoNotOptimize(acc);
+    allocs += g_thread_allocs - before;
+  }
+  state.SetItemsProcessed(int64_t(queries));
+  state.counters["allocs"] = double(allocs);
+  if (allocs != 0) {
+    state.SkipWithError("shard routing allocated on the hot path");
+  }
+}
+BENCHMARK(BM_ShardRoutingAllocFree)->Unit(benchmark::kMillisecond);
 
 // ------------------------------------------------------------- determinism
 

@@ -260,6 +260,18 @@ void BM_E19_WriteAmp(benchmark::State& state) {
           : 0.0;
   state.counters["bytes_compacted_mb"] =
       double(stats.bytes_compacted) / (1024.0 * 1024.0);
+  // Per-level physical breakdown of the same traffic: L0 is flush
+  // output, L1 is compaction rewrite — the L1 share is where leveled
+  // compaction's amplification actually lands on disk.
+  state.counters["l0_write_mb"] =
+      double(stats.l0_write_bytes) / (1024.0 * 1024.0);
+  state.counters["l1_write_mb"] =
+      double(stats.l1_write_bytes) / (1024.0 * 1024.0);
+  state.counters["l1_write_share"] =
+      stats.l0_write_bytes + stats.l1_write_bytes > 0
+          ? double(stats.l1_write_bytes) /
+                double(stats.l0_write_bytes + stats.l1_write_bytes)
+          : 0.0;
   state.counters["compactions"] = double(stats.compactions);
   state.counters["subcompactions"] = double(stats.subcompactions);
   state.counters["l1_tables"] = double(l1_tables);

@@ -37,7 +37,7 @@ const CoherencyContract& CoherencyFilter::ContractFor(uint64_t entity) const {
   return it == contracts_.end() ? default_contract_ : it->second;
 }
 
-bool CoherencyFilter::Decide(EntityState& st, double deviation, Micros now,
+bool CoherencyFilter::Decide(MirrorState& st, double deviation, Micros now,
                              const CoherencyContract& contract,
                              uint64_t bytes) {
   updates_offered_->Add(1);
@@ -58,7 +58,7 @@ bool CoherencyFilter::Decide(EntityState& st, double deviation, Micros now,
 
 bool CoherencyFilter::Offer(uint64_t entity, const geo::Vec3& value,
                             Micros now, uint64_t bytes) {
-  EntityState& st = states_[entity];
+  MirrorState& st = states_[entity];
   double deviation =
       st.ever_sent ? geo::Distance(st.last_sent_vec, value) : 0.0;
   bool send = Decide(st, deviation, now, ContractFor(entity), bytes);
@@ -68,7 +68,7 @@ bool CoherencyFilter::Offer(uint64_t entity, const geo::Vec3& value,
 
 bool CoherencyFilter::OfferScalar(uint64_t entity, double value, Micros now,
                                   uint64_t bytes) {
-  EntityState& st = states_[entity];
+  MirrorState& st = states_[entity];
   double deviation =
       st.ever_sent ? std::fabs(st.last_sent_scalar - value) : 0.0;
   bool send = Decide(st, deviation, now, ContractFor(entity), bytes);
@@ -81,6 +81,19 @@ bool CoherencyFilter::MirrorValue(uint64_t entity, geo::Vec3* out) const {
   if (it == states_.end() || !it->second.ever_sent) return false;
   *out = it->second.last_sent_vec;
   return true;
+}
+
+bool CoherencyFilter::ExtractEntity(uint64_t entity, MirrorState* out) {
+  auto it = states_.find(entity);
+  if (it == states_.end()) return false;
+  *out = it->second;
+  states_.erase(it);
+  return true;
+}
+
+void CoherencyFilter::RestoreEntity(uint64_t entity,
+                                    const MirrorState& state) {
+  states_[entity] = state;
 }
 
 }  // namespace deluge::consistency

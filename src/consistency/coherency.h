@@ -46,6 +46,17 @@ struct CoherencyStats {
   }
 };
 
+/// The portable per-entity filter state: what the mirror last received
+/// and when.  Extracted/restored verbatim when an entity's ownership
+/// migrates between sharded engine slices, so suppression decisions
+/// after a handoff are identical to a run that never migrated.
+struct MirrorState {
+  geo::Vec3 last_sent_vec;
+  double last_sent_scalar = 0.0;
+  Micros last_sent_at = INT64_MIN;
+  bool ever_sent = false;
+};
+
 /// Decides, per entity, whether a new source value must be pushed to the
 /// mirror under that entity's coherency contract.  Generic over the value
 /// kind via a distance function; concrete aliases below cover positions
@@ -71,25 +82,27 @@ class CoherencyFilter {
   /// The value the mirror currently holds (last transmitted), if any.
   bool MirrorValue(uint64_t entity, geo::Vec3* out) const;
 
+  /// Removes `entity`'s filter state and returns it in `*out`; false
+  /// when the filter holds no state for it (never offered).  Counters
+  /// are unaffected — migration moves state, not history.
+  bool ExtractEntity(uint64_t entity, MirrorState* out);
+
+  /// Installs filter state for `entity` (the other half of a handoff).
+  /// Overwrites any existing state.
+  void RestoreEntity(uint64_t entity, const MirrorState& state);
+
   /// Registry-backed snapshot, refreshed on every call.
   const CoherencyStats& stats() const;
   void ResetStats();
 
  private:
-  struct EntityState {
-    geo::Vec3 last_sent_vec;
-    double last_sent_scalar = 0.0;
-    Micros last_sent_at = INT64_MIN;
-    bool ever_sent = false;
-  };
-
-  bool Decide(EntityState& st, double deviation, Micros now,
+  bool Decide(MirrorState& st, double deviation, Micros now,
               const CoherencyContract& contract, uint64_t bytes);
   const CoherencyContract& ContractFor(uint64_t entity) const;
 
   CoherencyContract default_contract_;
   std::unordered_map<uint64_t, CoherencyContract> contracts_;
-  std::unordered_map<uint64_t, EntityState> states_;
+  std::unordered_map<uint64_t, MirrorState> states_;
   obs::StatsScope obs_{"coherency"};
   obs::Counter* updates_offered_ = obs_.counter("updates_offered");
   obs::Counter* updates_sent_ = obs_.counter("updates_sent");

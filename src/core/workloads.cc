@@ -1,0 +1,283 @@
+#include "core/workloads.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace deluge::core {
+
+// --------------------------------------------------------- UniformWorkload
+
+UniformWorkload::UniformWorkload(const geo::AABB& world,
+                                 WorkloadOptions options)
+    : world_(world), options_(options), rng_(options.seed) {
+  states_.resize(options_.num_entities);
+  for (auto& s : states_) {
+    s.position = {rng_.UniformDouble(world.min.x, world.max.x),
+                  rng_.UniformDouble(world.min.y, world.max.y),
+                  rng_.UniformDouble(world.min.z, world.max.z)};
+    double heading = rng_.UniformDouble(0, 2 * M_PI);
+    double speed = rng_.UniformDouble(0.2, options_.max_speed);
+    s.velocity = {speed * std::cos(heading), speed * std::sin(heading), 0};
+  }
+}
+
+void UniformWorkload::MaybeTurn(EntityState* s) {
+  if (!rng_.Bernoulli(options_.turn_probability)) return;
+  double heading = rng_.UniformDouble(0, 2 * M_PI);
+  double speed = rng_.UniformDouble(0.2, options_.max_speed);
+  s->velocity = {speed * std::cos(heading), speed * std::sin(heading), 0};
+}
+
+void UniformWorkload::Bounce(EntityState* s) {
+  auto bounce_axis = [](double& p, double& v, double lo, double hi) {
+    if (p < lo) {
+      p = lo + (lo - p);
+      v = -v;
+    } else if (p > hi) {
+      p = hi - (p - hi);
+      v = -v;
+    }
+    p = std::clamp(p, lo, hi);
+  };
+  bounce_axis(s->position.x, s->velocity.x, world_.min.x, world_.max.x);
+  bounce_axis(s->position.y, s->velocity.y, world_.min.y, world_.max.y);
+  bounce_axis(s->position.z, s->velocity.z, world_.min.z, world_.max.z);
+}
+
+std::vector<SensedUpdate> UniformWorkload::Tick(Micros dt, Micros now) {
+  std::vector<SensedUpdate> out;
+  out.reserve(states_.size());
+  double dt_s = double(dt) / double(kMicrosPerSecond);
+  for (size_t i = 0; i < states_.size(); ++i) {
+    EntityState& s = states_[i];
+    MaybeTurn(&s);
+    s.position += s.velocity * dt_s;
+    Bounce(&s);
+    out.push_back({EntityId(i + 1), s.position, now});
+  }
+  return out;
+}
+
+const geo::Vec3& UniformWorkload::Position(EntityId id) const {
+  return states_.at(size_t(id - 1)).position;
+}
+
+// ------------------------------------------------------ FlashCrowdWorkload
+
+namespace {
+
+/// Crowd sizing shared by the hotspot workloads: skew k ⇒ the hotspot
+/// receives 1 − 1/k of all updates (k = 1 is uniform).
+size_t CrowdSize(size_t num_entities, double skew) {
+  double fraction = std::clamp(1.0 - 1.0 / std::max(1.0, skew), 0.0, 0.95);
+  return size_t(std::llround(fraction * double(num_entities)));
+}
+
+/// The crowd band: a thin horizontal strip — half the X extent long,
+/// 1.5% of the Y extent tall (a parade route) — centered at `center`.
+/// Band tiles share their y-tile bits, which is what defeats modulo
+/// striping; the length spreads the load over enough tiles that a
+/// load-sized contiguous-range assignment can flatten it.
+geo::AABB BandAt(const geo::AABB& world, const geo::Vec3& center) {
+  const double half_x = 0.25 * (world.max.x - world.min.x);
+  const double half_y = 0.0075 * (world.max.y - world.min.y);
+  return {{center.x - half_x, center.y - half_y, world.min.z},
+          {center.x + half_x, center.y + half_y, world.max.z}};
+}
+
+/// One step of hotspot behaviour: rush toward the band center while
+/// outside it, jitter at wander speed inside.
+void CrowdStep(Rng& rng, const geo::AABB& spot, double rush_speed,
+               double jitter_speed, double dt_s, geo::Vec3* p) {
+  const geo::Vec3 center = spot.Center();
+  if (!spot.Contains(*p)) {
+    geo::Vec3 to_center = center - *p;
+    double dist = std::sqrt(to_center.Dot(to_center));
+    double step = rush_speed * dt_s;
+    *p = dist <= step ? center : *p + to_center * (step / dist);
+    return;
+  }
+  double heading = rng.UniformDouble(0, 2 * M_PI);
+  geo::Vec3 next = *p + geo::Vec3{jitter_speed * std::cos(heading),
+                                  jitter_speed * std::sin(heading), 0} *
+                            dt_s;
+  // Jitter that would leave the band is folded back toward its center.
+  *p = spot.Contains(next) ? next : *p + (center - *p) * 0.1;
+}
+
+}  // namespace
+
+FlashCrowdWorkload::FlashCrowdWorkload(const geo::AABB& world,
+                                       WorkloadOptions options, double skew)
+    : base_(world, options) {
+  const double ext_x = world.max.x - world.min.x;
+  const double ext_y = world.max.y - world.min.y;
+  // Deliberately off-center (30%, 35%) so the band straddles tiles
+  // asymmetrically.
+  geo::Vec3 center{world.min.x + 0.30 * ext_x, world.min.y + 0.35 * ext_y,
+                   world.Center().z};
+  hotspot_ = BandAt(world, center);
+  crowd_size_ = CrowdSize(options.num_entities, skew);
+  rush_speed_ = 4.0 * options.max_speed;
+  // The crowd has already formed: place members uniformly in the band.
+  for (size_t i = 0; i < crowd_size_; ++i) {
+    base_.states_[i].position = {
+        base_.rng_.UniformDouble(hotspot_.min.x, hotspot_.max.x),
+        base_.rng_.UniformDouble(hotspot_.min.y, hotspot_.max.y),
+        base_.rng_.UniformDouble(world.min.z, world.max.z)};
+  }
+}
+
+std::vector<SensedUpdate> FlashCrowdWorkload::Tick(Micros dt, Micros now) {
+  std::vector<SensedUpdate> out;
+  out.reserve(base_.states_.size());
+  const double dt_s = double(dt) / double(kMicrosPerSecond);
+  for (size_t i = 0; i < base_.states_.size(); ++i) {
+    UniformWorkload::EntityState& s = base_.states_[i];
+    if (i < crowd_size_) {
+      CrowdStep(base_.rng_, hotspot_, rush_speed_, base_.options_.max_speed,
+                dt_s, &s.position);
+    } else {
+      base_.MaybeTurn(&s);
+      s.position += s.velocity * dt_s;
+      base_.Bounce(&s);
+    }
+    out.push_back({EntityId(i + 1), s.position, now});
+  }
+  return out;
+}
+
+const geo::Vec3& FlashCrowdWorkload::Position(EntityId id) const {
+  return base_.Position(id);
+}
+
+// ----------------------------------------------------- DiurnalWaveWorkload
+
+DiurnalWaveWorkload::DiurnalWaveWorkload(const geo::AABB& world,
+                                         WorkloadOptions options, double skew,
+                                         Micros period)
+    : base_(world, options), period_(period > 0 ? period : 1) {
+  const double ext_x = world.max.x - world.min.x;
+  const double ext_y = world.max.y - world.min.y;
+  orbit_radius_ = 0.30 * std::min(ext_x, ext_y);
+  geo::AABB band = BandAt(world, world.Center());
+  band_half_extent_ = (band.max - band.min) * 0.5;
+  crowd_size_ = CrowdSize(options.num_entities, skew);
+  // The crowd must outrun the orbiting band or the wave smears out.
+  const double orbit_speed =
+      2 * M_PI * orbit_radius_ / (double(period_) / kMicrosPerSecond);
+  rush_speed_ = std::max(4.0 * options.max_speed, 2.0 * orbit_speed);
+  // The wave starts formed, in the band's t=0 position.
+  geo::AABB spot = Hotspot(0);
+  for (size_t i = 0; i < crowd_size_; ++i) {
+    base_.states_[i].position = {
+        base_.rng_.UniformDouble(spot.min.x, spot.max.x),
+        base_.rng_.UniformDouble(spot.min.y, spot.max.y),
+        base_.rng_.UniformDouble(world.min.z, world.max.z)};
+  }
+}
+
+geo::AABB DiurnalWaveWorkload::Hotspot(Micros t) const {
+  const double phase = 2 * M_PI * double(t % period_) / double(period_);
+  geo::Vec3 c = base_.world_.Center();
+  geo::Vec3 center{c.x + orbit_radius_ * std::cos(phase),
+                   c.y + orbit_radius_ * std::sin(phase), c.z};
+  return {{center.x - band_half_extent_.x, center.y - band_half_extent_.y,
+           base_.world_.min.z},
+          {center.x + band_half_extent_.x, center.y + band_half_extent_.y,
+           base_.world_.max.z}};
+}
+
+std::vector<SensedUpdate> DiurnalWaveWorkload::Tick(Micros dt, Micros now) {
+  std::vector<SensedUpdate> out;
+  out.reserve(base_.states_.size());
+  const double dt_s = double(dt) / double(kMicrosPerSecond);
+  const geo::AABB spot = Hotspot(now);
+  for (size_t i = 0; i < base_.states_.size(); ++i) {
+    UniformWorkload::EntityState& s = base_.states_[i];
+    if (i < crowd_size_) {
+      CrowdStep(base_.rng_, spot, rush_speed_, base_.options_.max_speed,
+                dt_s, &s.position);
+    } else {
+      base_.MaybeTurn(&s);
+      s.position += s.velocity * dt_s;
+      base_.Bounce(&s);
+    }
+    out.push_back({EntityId(i + 1), s.position, now});
+  }
+  return out;
+}
+
+const geo::Vec3& DiurnalWaveWorkload::Position(EntityId id) const {
+  return base_.Position(id);
+}
+
+// ---------------------------------------------------- RoamingSwarmWorkload
+
+RoamingSwarmWorkload::RoamingSwarmWorkload(const geo::AABB& world,
+                                           WorkloadOptions options,
+                                           size_t num_swarms, double spread)
+    : world_(world),
+      options_(options),
+      rng_(options.seed),
+      spread_(spread > 0 ? spread : 1.0) {
+  swarms_.resize(std::max<size_t>(1, num_swarms));
+  for (auto& sw : swarms_) {
+    sw.center = {rng_.UniformDouble(world.min.x, world.max.x),
+                 rng_.UniformDouble(world.min.y, world.max.y),
+                 world.Center().z};
+    double heading = rng_.UniformDouble(0, 2 * M_PI);
+    // Swarms cruise at full speed: the point is that the hot tiles move.
+    sw.velocity = {options_.max_speed * std::cos(heading),
+                   options_.max_speed * std::sin(heading), 0};
+  }
+  positions_.resize(options_.num_entities);
+  for (size_t i = 0; i < positions_.size(); ++i) {
+    const Swarm& sw = swarms_[i % swarms_.size()];
+    positions_[i] = {sw.center.x + rng_.Gaussian(0, spread_ / 2),
+                     sw.center.y + rng_.Gaussian(0, spread_ / 2),
+                     sw.center.z};
+  }
+}
+
+std::vector<SensedUpdate> RoamingSwarmWorkload::Tick(Micros dt, Micros now) {
+  const double dt_s = double(dt) / double(kMicrosPerSecond);
+  auto bounce_axis = [](double& p, double& v, double lo, double hi) {
+    if (p < lo) {
+      p = lo + (lo - p);
+      v = -v;
+    } else if (p > hi) {
+      p = hi - (p - hi);
+      v = -v;
+    }
+    p = std::clamp(p, lo, hi);
+  };
+  for (auto& sw : swarms_) {
+    if (rng_.Bernoulli(options_.turn_probability)) {
+      double heading = rng_.UniformDouble(0, 2 * M_PI);
+      sw.velocity = {options_.max_speed * std::cos(heading),
+                     options_.max_speed * std::sin(heading), 0};
+    }
+    sw.center += sw.velocity * dt_s;
+    bounce_axis(sw.center.x, sw.velocity.x, world_.min.x, world_.max.x);
+    bounce_axis(sw.center.y, sw.velocity.y, world_.min.y, world_.max.y);
+  }
+  std::vector<SensedUpdate> out;
+  out.reserve(positions_.size());
+  for (size_t i = 0; i < positions_.size(); ++i) {
+    const Swarm& sw = swarms_[i % swarms_.size()];
+    geo::Vec3 p{sw.center.x + rng_.Gaussian(0, spread_ / 2),
+                sw.center.y + rng_.Gaussian(0, spread_ / 2), sw.center.z};
+    p.x = std::clamp(p.x, world_.min.x, world_.max.x);
+    p.y = std::clamp(p.y, world_.min.y, world_.max.y);
+    positions_[i] = p;
+    out.push_back({EntityId(i + 1), p, now});
+  }
+  return out;
+}
+
+const geo::Vec3& RoamingSwarmWorkload::Position(EntityId id) const {
+  return positions_.at(size_t(id - 1));
+}
+
+}  // namespace deluge::core

@@ -1,0 +1,153 @@
+#ifndef DELUGE_CORE_WORKLOADS_H_
+#define DELUGE_CORE_WORKLOADS_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "core/parallel_engine.h"
+#include "geo/geometry.h"
+
+namespace deluge::core {
+
+/// Shared knobs for the skewed movement workloads (E23).  Unlike
+/// `SensorFleet` these generators model *where load concentrates*, not
+/// sensor physics — no noise or drops, every entity reports every tick,
+/// so a serial and a sharded engine can be driven with identical input.
+struct WorkloadOptions {
+  size_t num_entities = 1000;
+  double max_speed = 5.0;  ///< m/s background wander speed
+  /// Direction change probability per tick for wandering entities.
+  double turn_probability = 0.1;
+  uint64_t seed = 42;
+};
+
+/// Uniform random-waypoint baseline: every entity wanders independently.
+/// The control arm of the E23 sweep (skew 1×).
+class UniformWorkload {
+ public:
+  UniformWorkload(const geo::AABB& world, WorkloadOptions options);
+
+  /// Advances every entity by `dt` and returns one update per entity,
+  /// timestamped `now`, in entity-id order.
+  std::vector<SensedUpdate> Tick(Micros dt, Micros now);
+
+  const geo::Vec3& Position(EntityId id) const;
+  size_t size() const { return states_.size(); }
+  static constexpr EntityId first_id() { return 1; }
+
+ private:
+  friend class FlashCrowdWorkload;
+  friend class DiurnalWaveWorkload;
+  struct EntityState {
+    geo::Vec3 position;
+    geo::Vec3 velocity;
+  };
+
+  void MaybeTurn(EntityState* s);
+  void Bounce(EntityState* s);
+
+  geo::AABB world_;
+  WorkloadOptions options_;
+  Rng rng_;
+  std::vector<EntityState> states_;  // index 0 => entity id 1
+};
+
+/// Flash crowd (ROADMAP item 3): a skew-controlled fraction of the
+/// fleet packs into a hotspot — a concert, a parade route — and jitters
+/// there while the rest wander uniformly.
+///
+/// The hotspot is a thin horizontal *band* (crowds form along streets
+/// and stadium rows, not in neat squares), which is exactly the shape
+/// that melts a static Z-order striping: every band tile shares its
+/// y-tile bits, so tile Morton codes taken modulo a power-of-two shard
+/// count collapse onto half (or fewer) of the shards no matter how many
+/// tiles the band spans.
+///
+/// `skew ≥ 1` sets the concentration: the band receives `1 − 1/skew` of
+/// all updates (skew 1 = uniform, skew 10 pins 90% of the fleet into
+/// <1% of the world).  The crowd spawns inside the band — this models
+/// the formed crowd; build-up dynamics are DiurnalWaveWorkload's job.
+class FlashCrowdWorkload {
+ public:
+  FlashCrowdWorkload(const geo::AABB& world, WorkloadOptions options,
+                     double skew);
+
+  std::vector<SensedUpdate> Tick(Micros dt, Micros now);
+
+  const geo::Vec3& Position(EntityId id) const;
+  size_t size() const { return base_.size(); }
+  static constexpr EntityId first_id() { return 1; }
+
+  /// Entities pinned to the hotspot (prefix of the id range).
+  size_t crowd_size() const { return crowd_size_; }
+  const geo::AABB& hotspot() const { return hotspot_; }
+
+ private:
+  UniformWorkload base_;  // background wanderers + state storage
+  geo::AABB hotspot_;
+  size_t crowd_size_ = 0;
+  double rush_speed_ = 0.0;  ///< stragglers head to the hotspot at this
+};
+
+/// Diurnal wave: the crowd band orbits the world once per `period`,
+/// dragging the crowd with it — the follow-the-sun load drift that
+/// makes any one-shot assignment stale within a fraction of a cycle,
+/// so sustained balance needs *repeated* incremental migrations.
+/// Same band hotspot and `skew` semantics as FlashCrowdWorkload.
+class DiurnalWaveWorkload {
+ public:
+  DiurnalWaveWorkload(const geo::AABB& world, WorkloadOptions options,
+                      double skew, Micros period);
+
+  std::vector<SensedUpdate> Tick(Micros dt, Micros now);
+
+  const geo::Vec3& Position(EntityId id) const;
+  size_t size() const { return base_.size(); }
+  static constexpr EntityId first_id() { return 1; }
+
+  /// Hotspot band at time `t` (its center orbits the world center).
+  geo::AABB Hotspot(Micros t) const;
+
+ private:
+  UniformWorkload base_;
+  Micros period_;
+  double orbit_radius_ = 0.0;
+  geo::Vec3 band_half_extent_;
+  size_t crowd_size_ = 0;
+  double rush_speed_ = 0.0;
+};
+
+/// Roaming swarms: cohesive clusters (guild raids, tour groups) doing
+/// random-waypoint motion as groups, members jittering around their
+/// swarm's center.  Load stays bursty per-tile but the bursts *move*,
+/// exercising repeated migration rather than one split.
+class RoamingSwarmWorkload {
+ public:
+  RoamingSwarmWorkload(const geo::AABB& world, WorkloadOptions options,
+                       size_t num_swarms, double spread);
+
+  std::vector<SensedUpdate> Tick(Micros dt, Micros now);
+
+  const geo::Vec3& Position(EntityId id) const;
+  size_t size() const { return positions_.size(); }
+  static constexpr EntityId first_id() { return 1; }
+
+  size_t num_swarms() const { return swarms_.size(); }
+
+ private:
+  struct Swarm {
+    geo::Vec3 center;
+    geo::Vec3 velocity;
+  };
+
+  geo::AABB world_;
+  WorkloadOptions options_;
+  Rng rng_;
+  double spread_;
+  std::vector<Swarm> swarms_;
+  std::vector<geo::Vec3> positions_;  // index 0 => entity id 1
+};
+
+}  // namespace deluge::core
+
+#endif  // DELUGE_CORE_WORKLOADS_H_

@@ -256,6 +256,7 @@ Status KVStore::Recover() {
       if (!table.ok()) return table.status();
       l0_.push_front(table.value());  // newer than every manifest table
       bytes_flushed_->Add(logical);
+      l0_write_bytes_->Add(table.value()->file_size());
       next_seq_ = std::max(next_seq_, max_seq + 1);
       Status s = WriteManifestLocked();  // durable before dropping the log
       if (!s.ok()) return s;
@@ -538,6 +539,7 @@ Status KVStore::DoFlush() {
   bg_error_ = Status::OK();
   flushes_->Add(1);
   bytes_flushed_->Add(logical_bytes);
+  l0_write_bytes_->Add(table.value()->file_size());
   UpdateLevelGaugesLocked();
   UpdateWriteAmpGauge();
   // Retire the sealed memtable's WAL inside the same critical section
@@ -714,6 +716,7 @@ Status KVStore::DoCompaction() {
   compactions_->Add(1);
   subcompactions_->Add(spans.size());
   bytes_compacted_->Add(out_bytes);
+  l1_write_bytes_->Add(out_bytes);
   UpdateLevelGaugesLocked();
   UpdateWriteAmpGauge();
   Status s = WriteManifestLocked();
@@ -958,6 +961,8 @@ KVStoreStats KVStore::stats() const {
   s.bytes_written = bytes_written_->Value();
   s.bytes_compacted = bytes_compacted_->Value();
   s.bytes_flushed = bytes_flushed_->Value();
+  s.l0_write_bytes = l0_write_bytes_->Value();
+  s.l1_write_bytes = l1_write_bytes_->Value();
   s.subcompactions = subcompactions_->Value();
   s.write_stalls = write_stalls_->Value();
   s.stall_time_us = stall_time_us_->Value();

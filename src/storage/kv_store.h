@@ -69,6 +69,13 @@ struct KVStoreStats {
   /// Logical bytes flushed from memtables into L0 — the write-amp
   /// denominator (storage.write_amp = bytes_compacted / bytes_flushed).
   uint64_t bytes_flushed = 0;
+  /// Physical SSTable bytes written per level (storage.l0_write_bytes /
+  /// storage.l1_write_bytes).  L0 is flush output, L1 is compaction
+  /// output; their sum is the total table-file write traffic, and the
+  /// L1 share is the rewrite cost leveled compaction pays for read
+  /// locality.
+  uint64_t l0_write_bytes = 0;
+  uint64_t l1_write_bytes = 0;
   /// Per-key-range compaction slices executed (>= compactions; the gap
   /// is the parallelism the range partitioning bought).
   uint64_t subcompactions = 0;
@@ -324,6 +331,11 @@ class KVStore {
   obs::Counter* bytes_written_ = obs_.counter("bytes_written");
   obs::Counter* bytes_compacted_ = obs_.counter("bytes_compacted");
   obs::Counter* bytes_flushed_ = obs_.counter("bytes_flushed");
+  // Physical per-level breakdown of the write-amp numerator: bytes of
+  // SSTable file actually written into each level (flush outputs land
+  // in L0, compaction outputs in L1).
+  obs::Counter* l0_write_bytes_ = obs_.counter("l0_write_bytes");
+  obs::Counter* l1_write_bytes_ = obs_.counter("l1_write_bytes");
   obs::Counter* subcompactions_ = obs_.counter("subcompactions");
   obs::Counter* write_stalls_ = obs_.counter("write_stalls");
   obs::Counter* stall_time_us_ = obs_.counter("stall_time_us");

@@ -57,7 +57,8 @@ TEST(SpatialSharderTest, CoveringShardsContainEveryInteriorPoint) {
   for (int i = 0; i < 200; ++i) {
     geo::Vec3 c{rng.UniformDouble(100, 900), rng.UniformDouble(100, 900), 50};
     geo::AABB box = geo::AABB::Cube(c, rng.UniformDouble(10, 150));
-    std::vector<size_t> shards = sharder.ShardsCovering(box);
+    SpatialSharder::ShardList shards;
+    sharder.ShardsCovering(box, &shards);
     for (int j = 0; j < 20; ++j) {
       geo::Vec3 p{rng.UniformDouble(box.min.x, box.max.x),
                   rng.UniformDouble(box.min.y, box.max.y), 50};
@@ -70,7 +71,80 @@ TEST(SpatialSharderTest, CoveringShardsContainEveryInteriorPoint) {
 
 TEST(SpatialSharderTest, WorldSpanningBoxCoversAllShards) {
   SpatialSharder sharder(kWorld, 50.0, 8);
-  EXPECT_EQ(sharder.ShardsCovering(kWorld).size(), 8u);
+  SpatialSharder::ShardList shards;
+  sharder.ShardsCovering(kWorld, &shards);
+  EXPECT_EQ(shards.size(), 8u);
+}
+
+TEST(SpatialSharderTest, PositionsOutsideWorldClampToBoundaryTiles) {
+  SpatialSharder sharder(kWorld, 50.0, 4);
+  // Below the min corner and beyond the max corner land on the same
+  // tiles as the corners themselves — no out-of-range table reads.
+  EXPECT_EQ(sharder.ShardOf({-500, -500, -50}), sharder.ShardOf(kWorld.min));
+  EXPECT_EQ(sharder.ShardOf({5000, 5000, 500}), sharder.ShardOf(kWorld.max));
+  // Mixed: one axis out, the other in.
+  EXPECT_EQ(sharder.ShardOf({-1, 475, 50}), sharder.ShardOf({0, 475, 50}));
+  EXPECT_EQ(sharder.ShardOf({475, 1e9, 50}),
+            sharder.ShardOf({475, kWorld.max.y, 50}));
+  // Exactly on the max boundary is a valid shard (not one past the end).
+  EXPECT_LT(sharder.ShardOf(kWorld.max), 4u);
+  EXPECT_LT(sharder.TileCodeOf(kWorld.max), sharder.tile_code_limit());
+}
+
+TEST(SpatialSharderTest, CoveringFallsBackToAllShardsPastThreshold) {
+  // 20x20 tile grid, 2 shards: the enumeration budget is 64*2 = 128
+  // tiles, so the 400-tile world box takes the all-shards fallback and
+  // a one-tile box still enumerates exactly one shard.
+  SpatialSharder sharder(kWorld, 50.0, 2);
+  SpatialSharder::ShardList shards;
+  sharder.ShardsCovering(kWorld, &shards);
+  EXPECT_EQ(shards.size(), 2u);
+
+  geo::AABB one_tile({10, 10, 0}, {20, 20, 100});
+  shards.clear();
+  sharder.ShardsCovering(one_tile, &shards);
+  ASSERT_EQ(shards.size(), 1u);
+  EXPECT_EQ(shards[0], sharder.ShardOf({15, 15, 50}));
+
+  // Shard counts past the 64-bit seen-mask always answer all-shards,
+  // even for a one-tile box.
+  SpatialSharder wide(kWorld, 50.0, 65);
+  shards.clear();
+  wide.ShardsCovering(one_tile, &shards);
+  EXPECT_EQ(shards.size(), 65u);
+}
+
+TEST(SpatialSharderTest, SingleShardConfigOwnsEverything) {
+  SpatialSharder sharder(kWorld, 50.0, 1);
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    geo::Vec3 p{rng.UniformDouble(-100, 1100), rng.UniformDouble(-100, 1100),
+                50};
+    EXPECT_EQ(sharder.ShardOf(p), 0u);
+  }
+  SpatialSharder::ShardList shards;
+  sharder.ShardsCovering(kWorld, &shards);
+  ASSERT_EQ(shards.size(), 1u);
+  EXPECT_EQ(shards[0], 0u);
+}
+
+TEST(SpatialSharderTest, BalancedAssignmentSplitsHotRangeAcrossShards) {
+  // All load on the first quarter of the code space: the balanced cut
+  // must spread that hot prefix over all shards instead of handing it
+  // to whoever owned it under striping.
+  std::vector<double> load(256, 0.0);
+  for (size_t t = 0; t < 64; ++t) load[t] = 1.0;
+  auto next = SpatialSharder::BalancedAssignment(load, 4);
+  ASSERT_EQ(next.size(), 256u);
+  // Per-shard load within the fair share of 16.
+  std::vector<double> per_shard(4, 0.0);
+  for (size_t t = 0; t < 256; ++t) {
+    ASSERT_LT(next[t], 4u);
+    per_shard[next[t]] += load[t];
+  }
+  for (double l : per_shard) EXPECT_NEAR(l, 16.0, 1.0);
+  // Contiguous ranges: shard ids never revisit an earlier range.
+  for (size_t t = 1; t < 256; ++t) EXPECT_GE(next[t], next[t - 1]);
 }
 
 // ------------------------------------------------- single-thread parity
@@ -319,6 +393,218 @@ TEST(ParallelEngineTest, IssueVirtualCommandSpansShards) {
   EXPECT_EQ(relayed, (std::vector<EntityId>{1, 2, 3, 4}));
   EXPECT_EQ(engine.TotalStats().virtual_commands, 1u);
   EXPECT_EQ(engine.TotalStats().relayed_commands, 4u);
+}
+
+// ------------------------------------------------- elastic rebalancing
+//
+// The Elastic* tests below also run under ThreadSanitizer in CI
+// (DELUGE_SANITIZE=thread) — the handoff path takes route_mu_
+// exclusively against concurrent Enqueue readers.
+
+ParallelEngineOptions ElasticOptionsFor(size_t shards) {
+  ParallelEngineOptions opts = ShardedOptions(shards);
+  opts.elastic.enabled = true;
+  opts.elastic.min_batches_between_rebalances = 1;
+  opts.elastic.rebalance_threshold = 1.2;
+  opts.elastic.min_shard_load = 1.0;
+  return opts;
+}
+
+/// A band-hotspot walk: entity `id`'s tick-`r` position.  The band is
+/// thin enough to pin a single y tile (the 4-shard engine derives a
+/// 31.25 m cell for kWorld, and [490, 499] sits inside tile row 15),
+/// which collapses Morton codes mod a power-of-two shard count onto
+/// half the shards — the shape a static striping cannot balance.
+SensedUpdate BandWalk(EntityId id, size_t r) {
+  double x = 100.0 + double((id * 37 + r * 11) % 800);
+  double y = 490.0 + double((id + r) % 20) * 0.45;
+  return {id, {x, y, 50}, Micros(r + 1) * 100 * kMicrosPerMilli};
+}
+
+TEST(ParallelEngineTest, ElasticRebalanceTriggersAndMatchesSerial) {
+  constexpr size_t kEntities = 300;
+  constexpr size_t kRounds = 30;
+  SimClock clock;
+  CoSpaceEngine serial(BaseOptions(), &clock);
+  ThreadPool pool(4);
+  ParallelEngine sharded(ElasticOptionsFor(4), &pool, &clock);
+
+  for (EntityId id = 1; id <= kEntities; ++id) {
+    Entity e;
+    e.id = id;
+    e.position = BandWalk(id, 0).position;
+    serial.SpawnPhysical(e);
+    sharded.SpawnPhysical(e);
+  }
+  uint64_t serial_deliveries = 0;
+  std::atomic<uint64_t> sharded_deliveries{0};
+  geo::AABB region({0, 400, 0}, {1000, 600, 100});
+  serial.WatchRegion(1, region, [&](net::NodeId, const pubsub::Event&) {
+    ++serial_deliveries;
+  });
+  sharded.WatchRegion(1, region, [&](net::NodeId, const pubsub::Event&) {
+    sharded_deliveries.fetch_add(1, std::memory_order_relaxed);
+  });
+
+  for (size_t r = 0; r < kRounds; ++r) {
+    std::vector<SensedUpdate> batch;
+    for (EntityId id = 1; id <= kEntities; ++id) {
+      batch.push_back(BandWalk(id, r + 1));
+      serial.IngestPhysicalPosition(batch.back().id, batch.back().position,
+                                    batch.back().t);
+    }
+    sharded.IngestBatch(batch);
+  }
+
+  // The banded load must trip the natural cadence/threshold gate (no
+  // forced Rebalance() here) and migrate the crowd...
+  EXPECT_GE(sharded.rebalance_count(), 1u);
+  EXPECT_GT(sharded.entities_migrated(), 0u);
+  EXPECT_GT(sharded.tiles_moved(), 0u);
+  EXPECT_LT(sharded.LoadImbalance(), 2.0);
+  // ...without perturbing a single statistic or delivery.
+  ExpectStatsEqual(serial.stats(), sharded.TotalStats());
+  EXPECT_EQ(serial_deliveries, sharded_deliveries.load());
+  EXPECT_GT(serial_deliveries, 0u);
+  for (EntityId id = 1; id <= kEntities; ++id) {
+    const Entity* a = serial.virtual_space().Get(id);
+    const Entity* b = sharded.FindVirtual(id);
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(a->position.x, b->position.x);
+    EXPECT_EQ(a->updated_at, b->updated_at);
+  }
+}
+
+TEST(ParallelEngineTest, ElasticStagedUpdatesFollowMigratedEntities) {
+  ThreadPool pool(4);
+  ParallelEngineOptions elastic_opts = ElasticOptionsFor(4);
+  // Accounting on, automatic trigger off: the one Rebalance() below
+  // must be the first to touch the assignment, while updates are
+  // parked in the staging queues.
+  elastic_opts.elastic.rebalance_threshold = 1e9;
+  ParallelEngine engine(elastic_opts, &pool);
+  constexpr size_t kEntities = 64;
+  for (EntityId id = 1; id <= kEntities; ++id) {
+    Entity e;
+    e.id = id;
+    e.position = BandWalk(id, 0).position;
+    engine.SpawnPhysical(e);
+  }
+  // One ingested batch seeds the EWMA with the banded load (a forced
+  // rebalance on a zero ledger is a deliberate no-op).
+  std::vector<SensedUpdate> prime;
+  for (EntityId id = 1; id <= kEntities; ++id) prime.push_back(BandWalk(id, 1));
+  EXPECT_EQ(engine.IngestBatch(prime), kEntities);
+
+  // Stage two updates per entity, then force a migration while they
+  // sit in the staging queues: the handoff must re-route them to the
+  // new owners without dropping one or flipping their order.
+  for (EntityId id = 1; id <= kEntities; ++id) engine.Enqueue(BandWalk(id, 2));
+  for (EntityId id = 1; id <= kEntities; ++id) engine.Enqueue(BandWalk(id, 3));
+  EXPECT_TRUE(engine.Rebalance());
+  EXPECT_GT(engine.entities_migrated(), 0u);
+  EXPECT_EQ(engine.Flush(), 2 * kEntities);
+
+  EXPECT_EQ(engine.TotalStats().physical_updates, 3 * kEntities);
+  for (EntityId id = 1; id <= kEntities; ++id) {
+    const Entity* m = engine.FindVirtual(id);
+    ASSERT_NE(m, nullptr);
+    // The later staged update won (order preserved through migration).
+    EXPECT_EQ(m->position.x, BandWalk(id, 3).position.x);
+    EXPECT_EQ(m->updated_at, BandWalk(id, 3).t);
+  }
+}
+
+TEST(ParallelEngineTest, ElasticWatchDeliveriesExactAcrossRebalances) {
+  ThreadPool pool(4);
+  ParallelEngineOptions opts = ElasticOptionsFor(4);
+  opts.engine.default_contract = {0.0, 0};  // every update mirrors
+  ParallelEngine engine(opts, &pool);
+  Entity e;
+  e.id = 1;
+  e.position = {500, 495, 50};
+  engine.SpawnPhysical(e);
+
+  std::atomic<int> delivered{0};
+  geo::AABB region({0, 400, 0}, {1000, 600, 100});
+  engine.WatchRegion(9, region, [&](net::NodeId, const pubsub::Event&) {
+    delivered.fetch_add(1);
+  });
+
+  // Alternate in-region updates with forced handoffs: exactly one
+  // delivery per update, regardless of which shard owns the watch leg
+  // at the time.
+  int expected = 0;
+  for (size_t r = 1; r <= 10; ++r) {
+    std::vector<SensedUpdate> batch{BandWalk(1, r)};
+    EXPECT_EQ(engine.IngestBatch(batch), 1u);
+    ++expected;
+    EXPECT_EQ(delivered.load(), expected) << "round " << r;
+    engine.Rebalance();
+  }
+  EXPECT_GT(engine.rebalance_count(), 0u);
+}
+
+TEST(ParallelEngineTest, ElasticConcurrentEnqueueDuringRebalance) {
+  constexpr size_t kThreads = 4;
+  constexpr size_t kEntitiesPerThread = 25;
+  constexpr size_t kRounds = 40;
+  constexpr size_t kEntities = kThreads * kEntitiesPerThread;
+
+  ThreadPool pool(4);
+  ParallelEngine engine(ElasticOptionsFor(4), &pool);
+  for (EntityId id = 1; id <= kEntities; ++id) {
+    Entity e;
+    e.id = id;
+    e.position = BandWalk(id, 0).position;
+    engine.SpawnPhysical(e);
+  }
+
+  // Producers stage through the shared-locked Enqueue path while the
+  // main thread forces migrations and flushes — the exact writer/reader
+  // contention on route_mu_ the handoff protocol must survive.
+  std::vector<std::thread> producers;
+  for (size_t t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&, t] {
+      for (size_t r = 1; r <= kRounds; ++r) {
+        for (size_t i = 0; i < kEntitiesPerThread; ++i) {
+          engine.Enqueue(BandWalk(EntityId(t * kEntitiesPerThread + i + 1), r));
+        }
+      }
+    });
+  }
+  for (int i = 0; i < 20; ++i) {
+    engine.Rebalance();
+    engine.Flush();
+  }
+  for (auto& p : producers) p.join();
+  engine.Flush();
+
+  EXPECT_EQ(engine.TotalStats().physical_updates, kEntities * kRounds);
+  for (EntityId id = 1; id <= kEntities; ++id) {
+    const Entity* m = engine.FindVirtual(id);
+    ASSERT_NE(m, nullptr);
+    // Per-entity order held: the final mirror is the last-round update.
+    EXPECT_EQ(m->updated_at, BandWalk(id, kRounds).t);
+  }
+}
+
+TEST(ParallelEngineTest, ElasticDisabledKeepsStaticStriping) {
+  ThreadPool pool(2);
+  ParallelEngine engine(ShardedOptions(4), &pool);  // elastic off
+  Entity e;
+  e.id = 1;
+  e.position = {500, 495, 50};
+  engine.SpawnPhysical(e);
+  for (size_t r = 1; r <= 8; ++r) {
+    std::vector<SensedUpdate> batch{BandWalk(1, r)};
+    engine.IngestBatch(batch);
+  }
+  // No accounting, no automatic rebalances, imbalance reads as flat.
+  EXPECT_EQ(engine.rebalance_count(), 0u);
+  EXPECT_EQ(engine.entities_migrated(), 0u);
+  EXPECT_EQ(engine.LoadImbalance(), 1.0);
 }
 
 TEST(ParallelEngineTest, SingleShardNullPoolRunsSerially) {
