@@ -23,6 +23,7 @@ using namespace deluge::p2p;  // NOLINT
 struct Overlay {
   net::Simulator sim;
   std::unique_ptr<net::Network> net;
+  std::unique_ptr<net::SimTransport> transport;
   std::unique_ptr<ChordRing> ring;
   std::vector<RingId> peers;
 };
@@ -32,7 +33,8 @@ std::unique_ptr<Overlay> MakeOverlay(size_t n, Micros latency) {
   o->net = std::make_unique<net::Network>(&o->sim);
   o->net->default_link().latency = latency;
   o->net->default_link().bandwidth_bytes_per_sec = 0;
-  o->ring = std::make_unique<ChordRing>(o->net.get(), &o->sim);
+  o->transport = std::make_unique<net::SimTransport>(o->net.get(), &o->sim);
+  o->ring = std::make_unique<ChordRing>(o->transport.get());
   for (size_t i = 0; i < n; ++i) {
     o->peers.push_back(o->ring->AddPeer("peer" + std::to_string(i)));
   }

@@ -148,7 +148,8 @@ void BM_WireFanout(benchmark::State& state) {
   }
   net.default_link().latency = 0;
   net.default_link().bandwidth_bytes_per_sec = 0;
-  pubsub::ReliableDeliverer deliverer(&net, &sim);
+  net::SimTransport transport(&net, &sim);
+  pubsub::ReliableDeliverer deliverer(&transport);
   pubsub::Event event = MakeSensorEvent();
 
   uint64_t allocs0 = g_allocs.load();

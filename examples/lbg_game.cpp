@@ -68,7 +68,8 @@ int main() {
   net::Simulator sim;
   net::Network net(&sim);
   net.default_link() = net::LinkOptions{};  // defaults: 1 ms, 1 Gbps
-  p2p::ChordRing overlay(&net, &sim);
+  net::SimTransport transport(&net, &sim);
+  p2p::ChordRing overlay(&transport);
   std::vector<p2p::RingId> guild_nodes;
   for (int i = 0; i < 32; ++i) {
     guild_nodes.push_back(overlay.AddPeer("guild-node-" + std::to_string(i)));

@@ -22,8 +22,7 @@ std::string_view FaultKindName(FaultKind kind) {
   return "unknown";
 }
 
-FaultSchedule::FaultSchedule(net::Network* net, net::Simulator* sim)
-    : net_(net), sim_(sim) {
+FaultSchedule::FaultSchedule(net::Transport* net) : net_(net) {
   for (size_t k = 0; k < 10; ++k) {
     injected_[k] = obs_.counter(
         "injected",
@@ -210,8 +209,11 @@ void FaultSchedule::Arm() {
                    [](const FaultEvent& x, const FaultEvent& y) {
                      return x.at < y.at;
                    });
+  // Event times are relative to the clock at arming (zero on a fresh
+  // simulator, so existing schedules are unchanged; on wall-clock
+  // transports "t=0" naturally means "now").
   for (const FaultEvent& ev : events_) {
-    sim_->At(ev.at, [this, ev]() { Apply(ev); });
+    net_->After(ev.at, [this, ev]() { Apply(ev); });
   }
 }
 

@@ -7,7 +7,7 @@
 #include <vector>
 
 #include "common/rng.h"
-#include "net/network.h"
+#include "net/transport.h"
 #include "obs/metrics.h"
 
 namespace deluge::chaos {
@@ -75,8 +75,8 @@ struct RandomScheduleOptions {
 /// which is the property chaos tests pin down.
 class FaultSchedule {
  public:
-  /// `net` and `sim` must outlive the schedule (and the run).
-  FaultSchedule(net::Network* net, net::Simulator* sim);
+  /// `net` must outlive the schedule (and the run).
+  explicit FaultSchedule(net::Transport* net);
 
   // Scripted builders; all return *this for chaining.  `duration` > 0
   // schedules the matching end event automatically.
@@ -109,7 +109,10 @@ class FaultSchedule {
                       const RandomScheduleOptions& options);
 
   /// Sorts events by (time, insertion order) and schedules them on the
-  /// simulator.  Call once, before running the simulation.
+  /// transport's timer strand, with event times interpreted relative to
+  /// the transport clock's value at the moment of arming (the sim clock
+  /// starts at zero, so sim schedules are unchanged).  Call once,
+  /// before running.
   void Arm();
 
   /// Observer invoked after every fault is applied (the event carries
@@ -131,8 +134,7 @@ class FaultSchedule {
  private:
   void Apply(const FaultEvent& event);
 
-  net::Network* net_;
-  net::Simulator* sim_;
+  net::Transport* net_;
   std::vector<FaultEvent> events_;
   std::vector<std::string> trace_;
   FaultObserver observer_;

@@ -1,0 +1,88 @@
+#include "net/frame.h"
+
+#include <cstring>
+
+namespace deluge::net {
+
+namespace {
+
+/// Bytes of header covered by the length prefix (from/to/type/size).
+constexpr size_t kHeaderBody = kFrameHeaderBytes - 4;
+
+inline void PutU32(char* out, uint32_t v) {
+  out[0] = char(v & 0xFF);
+  out[1] = char((v >> 8) & 0xFF);
+  out[2] = char((v >> 16) & 0xFF);
+  out[3] = char((v >> 24) & 0xFF);
+}
+
+inline void PutU64(char* out, uint64_t v) {
+  PutU32(out, uint32_t(v & 0xFFFFFFFFu));
+  PutU32(out + 4, uint32_t(v >> 32));
+}
+
+inline uint32_t GetU32(const char* in) {
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(in);
+  return uint32_t(p[0]) | (uint32_t(p[1]) << 8) | (uint32_t(p[2]) << 16) |
+         (uint32_t(p[3]) << 24);
+}
+
+inline uint64_t GetU64(const char* in) {
+  return uint64_t(GetU32(in)) | (uint64_t(GetU32(in + 4)) << 32);
+}
+
+}  // namespace
+
+void EncodeFrameHeader(const Message& msg, char* out) {
+  PutU32(out, uint32_t(kHeaderBody + msg.payload.size()));
+  PutU32(out + 4, msg.from);
+  PutU32(out + 8, msg.to);
+  PutU32(out + 12, msg.type);
+  PutU64(out + 16, msg.size_bytes);
+}
+
+std::string EncodeFrame(const Message& msg) {
+  std::string out;
+  out.resize(kFrameHeaderBytes);
+  EncodeFrameHeader(msg, out.data());
+  out.append(msg.payload.data(), msg.payload.size());
+  return out;
+}
+
+Status FrameDecoder::Feed(const char* data, size_t n,
+                          std::vector<Message>* out) {
+  if (!status_.ok()) return status_;
+  pending_.append(data, n);
+  size_t pos = 0;
+  while (pending_.size() - pos >= 4) {
+    const uint32_t length = GetU32(pending_.data() + pos);
+    if (length < kHeaderBody) {
+      status_ = Status::Corruption("frame length shorter than header");
+      break;
+    }
+    const size_t payload_len = length - kHeaderBody;
+    if (payload_len > max_frame_bytes_) {
+      status_ = Status::Corruption("frame exceeds maximum size");
+      break;
+    }
+    if (pending_.size() - pos < 4 + size_t(length)) break;  // incomplete
+    const char* h = pending_.data() + pos + 4;
+    Message msg;
+    msg.from = GetU32(h);
+    msg.to = GetU32(h + 4);
+    msg.type = GetU32(h + 8);
+    msg.size_bytes = GetU64(h + 12);
+    if (payload_len > 0) {
+      msg.payload = common::Buffer::CopyOf(
+          common::Slice(h + kHeaderBody, payload_len));
+    }
+    out->push_back(std::move(msg));
+    ++frames_decoded_;
+    pos += 4 + size_t(length);
+  }
+  pending_.erase(0, pos);
+  if (!status_.ok()) pending_.clear();  // poisoned: stop buffering
+  return status_;
+}
+
+}  // namespace deluge::net

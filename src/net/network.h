@@ -11,34 +11,11 @@
 #include "common/buffer.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "net/message.h"
 #include "net/simulator.h"
 #include "obs/metrics.h"
 
 namespace deluge::net {
-
-/// Identifier of a simulated node (device, broker, executor, data center).
-using NodeId = uint32_t;
-
-/// A message in flight.  `payload` is opaque bytes; `size_bytes` may exceed
-/// payload.size() to model headers or media frames whose content we do not
-/// materialize (e.g. a "2 MB video keyframe" with a 20-byte descriptor).
-///
-/// The payload is a refcounted `common::Buffer`: assigning an encoded
-/// string moves it in (no copy), and fanning the same bytes out to many
-/// destinations or retries shares one allocation (DESIGN.md §10).
-struct Message {
-  NodeId from = 0;
-  NodeId to = 0;
-  uint32_t type = 0;
-  common::Buffer payload;
-  uint64_t size_bytes = 0;
-  Micros sent_at = 0;
-
-  /// Effective size used for bandwidth accounting.
-  uint64_t WireSize() const {
-    return size_bytes > 0 ? size_bytes : payload.size() + 64;
-  }
-};
 
 /// Per-directed-edge link characteristics.
 struct LinkOptions {
@@ -46,31 +23,6 @@ struct LinkOptions {
   double bandwidth_bytes_per_sec = 125e6;  ///< 1 Gbps default
   Micros jitter = 0;                       ///< uniform +/- jitter bound
   double drop_probability = 0.0;           ///< i.i.d. loss
-};
-
-/// Gilbert–Elliott two-state burst-loss model.  Real links lose packets
-/// in correlated bursts, not i.i.d. (congestion, fading, handover); the
-/// chain sits in a Good or Bad state with per-message transition
-/// probabilities and a loss rate per state.
-struct BurstLossModel {
-  double p_good_to_bad = 0.01;  ///< per-message Good -> Bad probability
-  double p_bad_to_good = 0.25;  ///< per-message Bad -> Good probability
-  double loss_good = 0.0;       ///< loss rate while Good
-  double loss_bad = 1.0;        ///< loss rate while Bad
-};
-
-/// Counters exposed for experiments.
-struct NetworkStats {
-  uint64_t messages_sent = 0;
-  uint64_t messages_delivered = 0;
-  uint64_t messages_dropped = 0;
-  uint64_t bytes_sent = 0;
-  uint64_t bytes_delivered = 0;
-  // Drop breakdown by injected-fault cause (all also counted in
-  // `messages_dropped`).
-  uint64_t drops_node_down = 0;
-  uint64_t drops_link_down = 0;
-  uint64_t drops_burst_loss = 0;
 };
 
 /// A simulated message-passing network over a `Simulator`.

@@ -1,0 +1,142 @@
+#include "net/node_config.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace deluge::net {
+
+std::string SocketEndpoint::ToString() const {
+  if (is_unix()) return "unix:" + unix_path;
+  return "tcp:" + host + ":" + std::to_string(port);
+}
+
+const ProcessSpec* ClusterConfig::process(uint32_t id) const {
+  for (const ProcessSpec& p : processes) {
+    if (p.id == id) return &p;
+  }
+  return nullptr;
+}
+
+const ProcessSpec* ClusterConfig::process_of(NodeId node) const {
+  for (const NodeSpec& n : nodes) {
+    if (n.node == node) return process(n.process);
+  }
+  return nullptr;
+}
+
+const NodeSpec* ClusterConfig::node(NodeId id) const {
+  for (const NodeSpec& n : nodes) {
+    if (n.node == id) return &n;
+  }
+  return nullptr;
+}
+
+std::vector<NodeId> ClusterConfig::nodes_of(uint32_t process) const {
+  std::vector<NodeId> out;
+  for (const NodeSpec& n : nodes) {
+    if (n.process == process) out.push_back(n.node);
+  }
+  return out;
+}
+
+std::string ClusterConfig::Serialize() const {
+  std::ostringstream out;
+  out << "# deluge cluster config v1\n";
+  for (const ProcessSpec& p : processes) {
+    if (p.endpoint.is_unix()) {
+      out << "process " << p.id << " unix " << p.endpoint.unix_path << "\n";
+    } else {
+      out << "process " << p.id << " tcp " << p.endpoint.host << " "
+          << p.endpoint.port << "\n";
+    }
+  }
+  for (const NodeSpec& n : nodes) {
+    out << "node " << n.node << " " << n.process << " "
+        << (n.role.empty() ? "node" : n.role);
+    if (!n.name.empty()) out << " " << n.name;
+    out << "\n";
+  }
+  return out.str();
+}
+
+Status ClusterConfig::Parse(std::string_view text, ClusterConfig* out) {
+  ClusterConfig cfg;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string kind;
+    if (!(ls >> kind)) continue;  // blank
+    const std::string where = " at line " + std::to_string(lineno);
+    if (kind == "process") {
+      ProcessSpec p;
+      std::string proto;
+      if (!(ls >> p.id >> proto)) {
+        return Status::InvalidArgument("malformed process" + where);
+      }
+      if (proto == "unix") {
+        if (!(ls >> p.endpoint.unix_path)) {
+          return Status::InvalidArgument("missing unix path" + where);
+        }
+      } else if (proto == "tcp") {
+        unsigned port = 0;
+        if (!(ls >> p.endpoint.host >> port) || port > 65535) {
+          return Status::InvalidArgument("malformed tcp endpoint" + where);
+        }
+        p.endpoint.port = uint16_t(port);
+        p.endpoint.unix_path.clear();
+      } else {
+        return Status::InvalidArgument("unknown protocol '" + proto + "'" +
+                                       where);
+      }
+      if (cfg.process(p.id) != nullptr) {
+        return Status::InvalidArgument("duplicate process id" + where);
+      }
+      cfg.processes.push_back(std::move(p));
+    } else if (kind == "node") {
+      NodeSpec n;
+      if (!(ls >> n.node >> n.process >> n.role)) {
+        return Status::InvalidArgument("malformed node" + where);
+      }
+      ls >> n.name;  // optional
+      if (cfg.node(n.node) != nullptr) {
+        return Status::InvalidArgument("duplicate node id" + where);
+      }
+      cfg.nodes.push_back(std::move(n));
+    } else {
+      return Status::InvalidArgument("unknown directive '" + kind + "'" +
+                                     where);
+    }
+  }
+  for (const NodeSpec& n : cfg.nodes) {
+    if (cfg.process(n.process) == nullptr) {
+      return Status::InvalidArgument("node " + std::to_string(n.node) +
+                                     " names unknown process " +
+                                     std::to_string(n.process));
+    }
+  }
+  *out = std::move(cfg);
+  return Status::OK();
+}
+
+Status ClusterConfig::Load(const std::string& path, ClusterConfig* out) {
+  std::ifstream in(path);
+  if (!in.good()) return Status::NotFound("cannot open " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return Parse(text.str(), out);
+}
+
+Status ClusterConfig::Save(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.good()) return Status::Unavailable("cannot write " + path);
+  out << Serialize();
+  out.flush();
+  return out.good() ? Status::OK() : Status::Unavailable("write failed");
+}
+
+}  // namespace deluge::net

@@ -1,0 +1,79 @@
+#ifndef DELUGE_NET_NODE_CONFIG_H_
+#define DELUGE_NET_NODE_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "net/message.h"
+
+namespace deluge::net {
+
+/// Where a process listens.  `unix_path` non-empty selects an
+/// AF_UNIX stream socket; otherwise TCP on host:port.
+struct SocketEndpoint {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  std::string unix_path;
+
+  bool is_unix() const { return !unix_path.empty(); }
+  std::string ToString() const;
+};
+
+/// One OS process of the cluster.
+struct ProcessSpec {
+  uint32_t id = 0;
+  SocketEndpoint endpoint;
+};
+
+/// Message types spoken by `tools/deluge_node` "sink" endpoints: any
+/// other type below the reserved range is counted, and a
+/// `kSinkCountReq` answers with `kSinkCountResp` carrying fixed64
+/// {messages_received, wire_bytes_received} — how a driver process
+/// audits fan-out delivery across the cluster (bench E24).
+inline constexpr uint32_t kSinkCountReq = 0x7E01;
+inline constexpr uint32_t kSinkCountResp = 0x7E02;
+
+/// One endpoint (engine shard, broker, replica, driver) pinned to the
+/// process hosting it.  `role`/`name` tell `tools/deluge_node` what to
+/// construct; the transport itself only cares about the placement.
+struct NodeSpec {
+  NodeId node = 0;
+  uint32_t process = 0;
+  std::string role;  ///< e.g. "driver", "replica", "sink"
+  std::string name;  ///< role-specific (replica ring name, ...)
+};
+
+/// The shared map every process of a multi-process cluster loads: who
+/// listens where, and which node ids live in which process.  Node ids
+/// are cluster-global; each process's transport assigns its local ids
+/// in the order they appear here, so protocol objects constructed in
+/// config order land on the ids the rest of the cluster expects
+/// (`SocketTransport` enforces the count, the hello handshake carries
+/// the process id).
+///
+/// Text format, one directive per line ('#' comments):
+///   process <id> unix <path>
+///   process <id> tcp <host> <port>
+///   node <id> <process> <role> [name]
+struct ClusterConfig {
+  std::vector<ProcessSpec> processes;
+  std::vector<NodeSpec> nodes;
+
+  const ProcessSpec* process(uint32_t id) const;
+  /// Process hosting `node`, or nullptr when unknown.
+  const ProcessSpec* process_of(NodeId node) const;
+  const NodeSpec* node(NodeId id) const;
+  /// Node ids hosted by `process`, in declaration order.
+  std::vector<NodeId> nodes_of(uint32_t process) const;
+
+  std::string Serialize() const;
+  static Status Parse(std::string_view text, ClusterConfig* out);
+  static Status Load(const std::string& path, ClusterConfig* out);
+  Status Save(const std::string& path) const;
+};
+
+}  // namespace deluge::net
+
+#endif  // DELUGE_NET_NODE_CONFIG_H_

@@ -1,0 +1,258 @@
+#ifndef DELUGE_NET_SOCKET_TRANSPORT_H_
+#define DELUGE_NET_SOCKET_TRANSPORT_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/retry.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "net/frame.h"
+#include "net/node_config.h"
+#include "net/transport.h"
+#include "obs/metrics.h"
+
+namespace deluge::net {
+
+// Control message types the transport consumes itself (never delivered
+// to handlers).  All are >= kReservedTypeBase, which application
+// protocols must stay below.
+inline constexpr uint32_t kTypeHello = kReservedTypeBase + 1;  ///< process id
+inline constexpr uint32_t kTypePing = kReservedTypeBase + 2;   ///< u64 ts
+inline constexpr uint32_t kTypePong = kReservedTypeBase + 3;   ///< echoed ts
+
+struct SocketTransportOptions {
+  /// The shared cluster map (who listens where, node placement).
+  ClusterConfig config;
+  /// Which process of `config` this transport is.
+  uint32_t local_process = 0;
+  /// Worker pool the event loop and per-peer sender tasks run on.  Must
+  /// outlive the transport and have at least `1 + remote process count`
+  /// threads free, since those tasks occupy workers for the transport's
+  /// lifetime.
+  ThreadPool* pool = nullptr;
+  /// Backoff for (re)connecting to a peer process.  When the budget is
+  /// exhausted the queued frames are dropped (counted) and the budget
+  /// resets on the next send — datagram semantics over a stream.  The
+  /// default is generous because cluster processes start in any order.
+  RetryPolicy reconnect = [] {
+    RetryPolicy p;
+    p.max_attempts = 30;
+    p.initial_backoff = 20 * kMicrosPerMilli;
+    p.max_backoff = kMicrosPerSecond;
+    return p;
+  }();
+  /// Frames above this are rejected by the decoder (connection dropped).
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Interval between transport-level pings to each peer process;
+  /// responses feed the `transport.rtt_us` histogram.  0 disables.
+  Micros ping_period = 0;
+  /// Frames a peer's send queue may hold before Send fast-fails with
+  /// Unavailable (backpressure instead of unbounded memory).
+  size_t max_send_queue_frames = 1u << 16;
+  /// Seed for the local burst-loss chains (fault injection).
+  uint64_t seed = 42;
+};
+
+/// The real-socket `Transport` backend: length-prefixed frames (frame.h)
+/// over TCP or Unix-domain stream sockets, so protocol objects written
+/// against `Transport` run as separate OS processes in wall-clock time.
+///
+/// Threading: one long-running *event loop* task owns the listen socket,
+/// every accepted connection, and the timer heap — handlers and timer
+/// callbacks all run there, giving the same single-strand contract as
+/// the simulator backend.  Each remote process additionally gets one
+/// *sender* task draining that peer's frame queue (blocking connect with
+/// `RetryPolicy` backoff, then writev of header + zero-copy payload
+/// Buffer).  `Send` may be called from any thread.
+///
+/// Clock: `Now()` is monotonic wall-clock micros since construction.
+///
+/// Fault hooks model a *local view*: SetNodeUp(n, false) makes this
+/// process drop traffic to and from `n` (send- and receive-side
+/// filters), which from the local protocols' perspective is exactly a
+/// crashed peer; partitions, link flaps, extra latency, and burst loss
+/// filter the same way.  Counted in the same NetworkStats buckets as
+/// the simulator so chaos experiments read identically.
+class SocketTransport final : public Transport {
+ public:
+  explicit SocketTransport(SocketTransportOptions opts);
+  ~SocketTransport() override;
+
+  SocketTransport(const SocketTransport&) = delete;
+  SocketTransport& operator=(const SocketTransport&) = delete;
+
+  /// Binds the listen socket and launches the event loop + sender
+  /// tasks.  Call after registering local nodes with AddNode.
+  Status Start();
+
+  /// Stops the loops, joins the tasks (they return to the pool), closes
+  /// every socket.  Idempotent; the destructor calls it.
+  void Stop();
+
+  // --- Transport interface ---------------------------------------------
+
+  /// Returns the next cluster-global id configured for this process
+  /// (config order).  Registering more nodes than the config pins to
+  /// this process is a programming error.
+  NodeId AddNode(Handler handler) override;
+
+  Status Send(Message msg) override;
+  Micros Now() const override;
+  void After(Micros delay, std::function<void()> fn) override;
+  size_t node_count() const override;
+
+  void SetNodeUp(NodeId n, bool up) override;
+  bool IsNodeUp(NodeId n) const override;
+  void Partition(NodeId a, NodeId b) override;
+  void Heal(NodeId a, NodeId b) override;
+  bool IsPartitioned(NodeId a, NodeId b) const override;
+  void SetLinkDown(NodeId a, NodeId b, bool down) override;
+  bool IsLinkDown(NodeId a, NodeId b) const override;
+  void SetExtraLatency(NodeId a, NodeId b, Micros extra) override;
+  void SetBurstLoss(NodeId a, NodeId b, const BurstLossModel& model) override;
+  void ClearBurstLoss(NodeId a, NodeId b) override;
+
+  const NetworkStats& stats() const override;
+  void ResetStats() override;
+
+  const ClusterConfig& config() const { return opts_.config; }
+  uint32_t local_process() const { return opts_.local_process; }
+  /// True while the event loop is running.
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+ private:
+  /// One frame queued toward a peer process: encoded header plus the
+  /// payload Buffer (written separately — the payload is never copied).
+  struct OutFrame {
+    std::string header;
+    common::Buffer payload;
+  };
+
+  /// Send side of one remote process.
+  struct Peer {
+    uint32_t process = 0;
+    SocketEndpoint endpoint;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<OutFrame> queue;
+    int fd = -1;
+    bool ever_connected = false;
+  };
+
+  /// Receive side of one accepted connection.
+  struct Conn {
+    int fd = -1;
+    FrameDecoder decoder;
+    explicit Conn(int f, size_t max_frame) : fd(f), decoder(max_frame) {}
+  };
+
+  struct Timer {
+    Micros at = 0;
+    uint64_t seq = 0;  // FIFO among equal deadlines
+    std::function<void()> fn;
+    bool operator>(const Timer& o) const {
+      return at != o.at ? at > o.at : seq > o.seq;
+    }
+  };
+
+  struct LinkFault {
+    bool down = false;
+    Micros extra_latency = 0;
+    bool has_burst = false;
+    BurstLossModel burst;
+    bool burst_bad = false;
+  };
+
+  static uint64_t PairKey(NodeId a, NodeId b) {
+    return (uint64_t(a) << 32) | b;
+  }
+
+  Status Listen();
+  void EventLoop();
+  void SenderLoop(Peer* peer);
+  /// Blocking connect to `peer` honouring the retry policy; returns the
+  /// fd or -1 when the budget is exhausted or the transport stopped.
+  int ConnectPeer(Peer* peer);
+  bool WriteFrame(int fd, const OutFrame& frame);
+  /// False when the peer is unknown or its queue is full.
+  bool EnqueueToPeer(uint32_t process, OutFrame frame, bool front = false);
+
+  /// Drains readable bytes from `conn`; false = close the connection.
+  bool ReadConn(Conn* conn);
+  /// Routes one decoded or locally-sent message on the event strand.
+  void Dispatch(const Message& msg);
+  void HandleControl(const Message& msg);
+
+  /// Send-side fault filter, counting into the sim-compatible stats
+  /// buckets.  Returns the status Send should report: OK-and-deliver
+  /// only when `*deliver` is true.
+  Status ApplySendFaults(const Message& msg, Micros* extra, bool* deliver);
+  /// Receive-side filter (remote frames): true = drop.
+  bool ReceiveBlocked(const Message& msg);
+  bool BurstDropLocked(LinkFault& fault);
+
+  /// Schedules `msg` for handler dispatch on the strand after `extra`.
+  void ScheduleDelivery(Message msg, Micros extra);
+  /// Counts and invokes the destination handler (event strand only).
+  void DeliverNow(const Message& msg);
+
+  void WakeLoop();
+  NodeId FirstLocalNode() const;
+  void SendPings();
+
+  SocketTransportOptions opts_;
+  std::vector<NodeId> local_ids_;  // config order
+  Micros epoch_;                   // SteadyNowMicros at construction
+
+  mutable std::mutex state_mu_;  // handlers, faults, timers
+  std::unordered_map<NodeId, Handler> handlers_;
+  size_t next_local_ = 0;
+  std::unordered_set<NodeId> nodes_down_;
+  std::unordered_set<uint64_t> partitions_;
+  std::unordered_map<uint64_t, LinkFault> faults_;
+  Rng rng_;
+  std::priority_queue<Timer, std::vector<Timer>, std::greater<Timer>> timers_;
+  uint64_t timer_seq_ = 0;
+
+  std::vector<std::unique_ptr<Peer>> peers_;  // one per remote process
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> started_{false};
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  std::mutex tasks_mu_;
+  std::condition_variable tasks_cv_;
+  int live_tasks_ = 0;
+
+  obs::StatsScope obs_{"transport"};
+  obs::Counter* messages_sent_ = obs_.counter("messages_sent");
+  obs::Counter* messages_delivered_ = obs_.counter("messages_delivered");
+  obs::Counter* messages_dropped_ = obs_.counter("messages_dropped");
+  obs::Counter* bytes_sent_ = obs_.counter("bytes_sent");
+  obs::Counter* bytes_delivered_ = obs_.counter("bytes_delivered");
+  obs::Counter* drops_node_down_ = obs_.counter("drops_node_down");
+  obs::Counter* drops_link_down_ = obs_.counter("drops_link_down");
+  obs::Counter* drops_burst_loss_ = obs_.counter("drops_burst_loss");
+  obs::Counter* frames_sent_ = obs_.counter("frames_sent");
+  obs::Counter* frames_received_ = obs_.counter("frames_received");
+  obs::Counter* wire_bytes_sent_ = obs_.counter("wire_bytes_sent");
+  obs::Counter* wire_bytes_received_ = obs_.counter("wire_bytes_received");
+  obs::Counter* reconnects_ = obs_.counter("reconnects");
+  obs::ConcurrentHistogram* rtt_us_ = obs_.histogram("rtt_us");
+  mutable NetworkStats snapshot_;
+};
+
+}  // namespace deluge::net
+
+#endif  // DELUGE_NET_SOCKET_TRANSPORT_H_

@@ -1,0 +1,171 @@
+#ifndef DELUGE_NET_TRANSPORT_H_
+#define DELUGE_NET_TRANSPORT_H_
+
+#include <functional>
+
+#include "common/status.h"
+#include "net/message.h"
+#include "net/network.h"
+#include "net/simulator.h"
+
+namespace deluge::net {
+
+/// The messaging + time substrate every distributed-protocol layer
+/// (txn coordinator, reliable pub/sub delivery, replica fabric, Chord
+/// overlay, chaos schedules) is written against (DESIGN.md §12).
+///
+/// Two backends implement it:
+///  - `SimTransport` wraps the discrete-event `Network`/`Simulator`
+///    pair: virtual time, deterministic delivery, full link modelling.
+///    The in-process default for tests and experiments.
+///  - `SocketTransport` (socket_transport.h) speaks length-prefixed
+///    frames over real TCP or Unix-domain sockets, so the same protocol
+///    objects run as separate OS processes in wall-clock time.
+///
+/// The interface deliberately merges the old `(Network*, Simulator*)`
+/// pair: protocols need a time source and timers wherever their
+/// messages travel, and which clock that is (virtual vs wall) is
+/// exactly a property of the transport.
+///
+/// Threading contract: every handler and timer callback is invoked on
+/// the transport's single event strand (the simulator loop, or the
+/// socket backend's receive loop), never concurrently.  Protocol
+/// objects therefore stay single-threaded, as before.  Code outside
+/// the strand (a bench main thread) must marshal calls in via `Post`.
+///
+/// Fault-hook semantics differ per backend and are documented on each
+/// virtual; the default implementations are no-ops so a backend only
+/// models the faults that make sense for it.
+class Transport {
+ public:
+  using Handler = std::function<void(const Message&)>;  ///< delivery callback
+
+  virtual ~Transport() = default;
+
+  /// Registers a local endpoint with its delivery handler; returns its
+  /// node id.  Sim backend: the next dense id.  Socket backend: the
+  /// next cluster-global id configured for this process (AddNode order
+  /// must match the config's node order — the handshake layer checks).
+  virtual NodeId AddNode(Handler handler) = 0;
+
+  /// Sends `msg` (msg.from/to must be valid nodes).  Delivery is
+  /// asynchronous on the event strand; a synchronous error means the
+  /// message will never arrive (unknown node, partitioned pair, dead
+  /// endpoint, full send queue).  Silent losses stay silent, as on a
+  /// real datagram fabric.
+  virtual Status Send(Message msg) = 0;
+
+  /// Current time on this transport's clock: virtual micros under the
+  /// simulator, monotonic wall-clock micros under sockets.
+  virtual Micros Now() const = 0;
+
+  /// Runs `fn` on the event strand `delay` micros from now.
+  virtual void After(Micros delay, std::function<void()> fn) = 0;
+
+  /// Runs `fn` on the event strand as soon as possible.  The way for
+  /// threads outside the strand to touch protocol objects safely.
+  virtual void Post(std::function<void()> fn) { After(0, std::move(fn)); }
+
+  /// Endpoints registered locally (sim: all nodes; socket: this
+  /// process's nodes).
+  virtual size_t node_count() const = 0;
+
+  // --- Fault hooks (driven by chaos::FaultSchedule) --------------------
+  //
+  // Sim backend: global truth — every node observes the fault.
+  // Socket backend: a *local view* — this process stops sending to /
+  // accepting from the named nodes, which from this process's protocols
+  // is indistinguishable from the real fault.  See DESIGN.md §12.
+
+  virtual void SetNodeUp(NodeId n, bool up) { (void)n, (void)up; }
+  virtual bool IsNodeUp(NodeId n) const {
+    (void)n;
+    return true;
+  }
+  virtual void Partition(NodeId a, NodeId b) { (void)a, (void)b; }
+  virtual void Heal(NodeId a, NodeId b) { (void)a, (void)b; }
+  virtual bool IsPartitioned(NodeId a, NodeId b) const {
+    (void)a, (void)b;
+    return false;
+  }
+  virtual void SetLinkDown(NodeId a, NodeId b, bool down) {
+    (void)a, (void)b, (void)down;
+  }
+  virtual bool IsLinkDown(NodeId a, NodeId b) const {
+    (void)a, (void)b;
+    return false;
+  }
+  /// Added one-way latency (sim models it exactly; the socket backend
+  /// applies it as a delivery delay on received frames from/to the
+  /// pair — congestion you can inject on loopback).
+  virtual void SetExtraLatency(NodeId a, NodeId b, Micros extra) {
+    (void)a, (void)b, (void)extra;
+  }
+  virtual void SetBurstLoss(NodeId a, NodeId b, const BurstLossModel& model) {
+    (void)a, (void)b, (void)model;
+  }
+  virtual void ClearBurstLoss(NodeId a, NodeId b) { (void)a, (void)b; }
+
+  /// Registry-backed snapshot, refreshed on every call.
+  virtual const NetworkStats& stats() const = 0;
+  virtual void ResetStats() {}
+};
+
+/// The simulator backend: a thin veneer over the existing
+/// `Network` + `Simulator` pair.  Behavior (delivery order, link
+/// models, fault semantics, stats) is byte-identical to driving the
+/// `Network` directly — every pre-transport experiment reproduces
+/// exactly through this wrapper.
+class SimTransport final : public Transport {
+ public:
+  /// `net` and `sim` must outlive the transport (they are typically the
+  /// fixture's own members; `sim` must be the simulator `net` runs on).
+  SimTransport(Network* net, Simulator* sim) : net_(net), sim_(sim) {}
+
+  NodeId AddNode(Handler handler) override {
+    return net_->AddNode(std::move(handler));
+  }
+  Status Send(Message msg) override { return net_->Send(std::move(msg)); }
+  Micros Now() const override { return sim_->Now(); }
+  void After(Micros delay, std::function<void()> fn) override {
+    sim_->After(delay, std::move(fn));
+  }
+  size_t node_count() const override { return net_->node_count(); }
+
+  void SetNodeUp(NodeId n, bool up) override { net_->SetNodeUp(n, up); }
+  bool IsNodeUp(NodeId n) const override { return net_->IsNodeUp(n); }
+  void Partition(NodeId a, NodeId b) override { net_->Partition(a, b); }
+  void Heal(NodeId a, NodeId b) override { net_->Heal(a, b); }
+  bool IsPartitioned(NodeId a, NodeId b) const override {
+    return net_->IsPartitioned(a, b);
+  }
+  void SetLinkDown(NodeId a, NodeId b, bool down) override {
+    net_->SetLinkDown(a, b, down);
+  }
+  bool IsLinkDown(NodeId a, NodeId b) const override {
+    return net_->IsLinkDown(a, b);
+  }
+  void SetExtraLatency(NodeId a, NodeId b, Micros extra) override {
+    net_->SetExtraLatency(a, b, extra);
+  }
+  void SetBurstLoss(NodeId a, NodeId b, const BurstLossModel& model) override {
+    net_->SetBurstLoss(a, b, model);
+  }
+  void ClearBurstLoss(NodeId a, NodeId b) override {
+    net_->ClearBurstLoss(a, b);
+  }
+
+  const NetworkStats& stats() const override { return net_->stats(); }
+  void ResetStats() override { net_->ResetStats(); }
+
+  Network* network() { return net_; }
+  Simulator* simulator() { return sim_; }
+
+ private:
+  Network* net_;
+  Simulator* sim_;
+};
+
+}  // namespace deluge::net
+
+#endif  // DELUGE_NET_TRANSPORT_H_

@@ -100,8 +100,7 @@ std::string EncodeAnswer(uint64_t request_id, RingId owner, bool found,
 
 // -------------------------------------------------------------- ChordNode
 
-ChordNode::ChordNode(RingId id, net::Network* net, net::Simulator* sim)
-    : id_(id), net_(net), sim_(sim) {
+ChordNode::ChordNode(RingId id, net::Transport* net) : id_(id), net_(net) {
   node_id_ = net->AddNode([this](const net::Message& m) { OnMessage(m); });
 }
 
@@ -164,8 +163,8 @@ void ChordNode::RouteOrAnswer(RingId target, uint64_t request_id,
     reply.to = reply_to;
     reply.type = kMsgAnswer;
     reply.payload = EncodeAnswer(request_id, id_, found, hops, answer_value);
-    net::Network* net = net_;
-    sim_->After(processing_cost_,
+    net::Transport* net = net_;
+    net_->After(processing_cost_,
                 [net, reply = std::move(reply)]() { net->Send(reply); });
     return;
   }
@@ -178,15 +177,14 @@ void ChordNode::RouteOrAnswer(RingId target, uint64_t request_id,
   fwd.type = kMsgRoute;
   fwd.payload = EncodeRoute(request_id, target, hops + 1, reply_to, op,
                             force, key, value);
-  net::Network* net = net_;
-  sim_->After(processing_cost_,
+  net::Transport* net = net_;
+  net_->After(processing_cost_,
               [net, fwd = std::move(fwd)]() { net->Send(fwd); });
 }
 
 // -------------------------------------------------------------- ChordRing
 
-ChordRing::ChordRing(net::Network* net, net::Simulator* sim)
-    : net_(net), sim_(sim) {
+ChordRing::ChordRing(net::Transport* net) : net_(net) {
   // The ring manager owns a network endpoint that receives answers on
   // behalf of issuing clients.
   net::NodeId self = net->AddNode([this](const net::Message& m) {
@@ -217,7 +215,7 @@ RingId ChordRing::KeyId(const std::string& key) { return Hash64(key); }
 RingId ChordRing::AddPeer(const std::string& name) {
   RingId id = Hash64(name, /*seed=*/0xC0DE);
   while (peers_.count(id) > 0) id = Mix64(id);  // collision: re-derive
-  auto node = std::make_unique<ChordNode>(id, net_, sim_);
+  auto node = std::make_unique<ChordNode>(id, net_);
 
   // Key migration: the new peer takes (predecessor, id] from its
   // successor.
@@ -311,7 +309,7 @@ void ChordRing::Put(RingId origin, const std::string& key, std::string value,
     return;
   }
   uint64_t request_id = next_request_++;
-  pending_[request_id] = Pending{std::move(done), sim_->Now()};
+  pending_[request_id] = Pending{std::move(done), net_->Now()};
   start->RouteOrAnswer(KeyId(key), request_id, 0, client_node_, kOpPut,
                        /*force_answer=*/false, key, value);
 }
@@ -324,7 +322,7 @@ void ChordRing::Get(RingId origin, const std::string& key,
     return;
   }
   uint64_t request_id = next_request_++;
-  pending_[request_id] = Pending{std::move(done), sim_->Now()};
+  pending_[request_id] = Pending{std::move(done), net_->Now()};
   start->RouteOrAnswer(KeyId(key), request_id, 0, client_node_, kOpGet,
                        /*force_answer=*/false, key, "");
 }
@@ -333,7 +331,7 @@ void ChordRing::OnAnswer(uint64_t request_id, const LookupResult& result) {
   auto it = pending_.find(request_id);
   if (it == pending_.end()) return;
   LookupResult full = result;
-  full.latency = sim_->Now() - it->second.issued_at;
+  full.latency = net_->Now() - it->second.issued_at;
   hops_.Record(full.hops);
   LookupCallback cb = std::move(it->second.cb);
   pending_.erase(it);

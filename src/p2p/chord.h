@@ -10,7 +10,7 @@
 
 #include "common/histogram.h"
 #include "common/status.h"
-#include "net/network.h"
+#include "net/transport.h"
 
 namespace deluge::p2p {
 
@@ -35,7 +35,7 @@ class ChordNode {
   /// crashed successors (Chord's r-successor fault tolerance).
   static constexpr int kSuccessorListLen = 4;
 
-  ChordNode(RingId id, net::Network* net, net::Simulator* sim);
+  ChordNode(RingId id, net::Transport* net);
 
   RingId ring_id() const { return id_; }
   net::NodeId node_id() const { return node_id_; }
@@ -61,14 +61,13 @@ class ChordNode {
   /// `target` on the ring (the responsible peer is down, so the hop
   /// must answer as fallback owner instead of routing on).  Returns
   /// false when every candidate is down (the lookup is dropped).
-  /// Liveness comes from `net::Network::IsNodeUp` — the simulation
+  /// Liveness comes from `net::Transport::IsNodeUp` — the simulation
   /// stand-in for the timeout-based probing a deployed Chord runs.
   bool PickNextHop(RingId target, FingerEntry* next,
                    bool* force_answer) const;
 
   RingId id_;
-  net::Network* net_;
-  net::Simulator* sim_;
+  net::Transport* net_;
   net::NodeId node_id_ = 0;
   std::vector<FingerEntry> fingers_;  // fingers_[i] ~ successor(id + 2^i)
   FingerEntry successor_;
@@ -94,7 +93,7 @@ class ChordRing {
  public:
   using LookupCallback = std::function<void(const LookupResult&)>;
 
-  explicit ChordRing(net::Network* net, net::Simulator* sim);
+  explicit ChordRing(net::Transport* net);
 
   /// Adds a peer with ring position derived from `name`; keys it now
   /// owns migrate from its successor.  Returns its ring id.
@@ -139,8 +138,7 @@ class ChordRing {
   ChordNode* PeerFor(RingId id);
   void OnAnswer(uint64_t request_id, const LookupResult& result);
 
-  net::Network* net_;
-  net::Simulator* sim_;
+  net::Transport* net_;
   net::NodeId client_node_ = 0;  ///< receives lookup answers
   std::map<RingId, std::unique_ptr<ChordNode>> peers_;  // sorted by ring id
   uint64_t next_request_ = 1;

@@ -5,9 +5,9 @@
 
 namespace deluge::pubsub {
 
-ReliableDeliverer::ReliableDeliverer(net::Network* net, net::Simulator* sim,
-                                     RetryPolicy policy, uint64_t seed)
-    : net_(net), sim_(sim), policy_(policy), rng_(seed) {}
+ReliableDeliverer::ReliableDeliverer(net::Transport* net, RetryPolicy policy,
+                                     uint64_t seed)
+    : net_(net), policy_(policy), rng_(seed) {}
 
 const ReliableStats& ReliableDeliverer::stats() const {
   snapshot_.attempts = attempts_->Value();
@@ -37,14 +37,14 @@ void ReliableDeliverer::Deliver(net::NodeId from, net::NodeId to,
   // form on the Event, so fanning one event out to N subscribers (and
   // every retry) shares a single refcounted Buffer.
   Attempt(from, to, event.EnsureEncoded(), event.bytes,
-          RetryState(policy_, sim_->Now()));
+          RetryState(policy_, net_->Now()));
 }
 
 void ReliableDeliverer::Attempt(net::NodeId from, net::NodeId to,
                                 common::Buffer payload, uint64_t size_bytes,
                                 RetryState state) {
   CircuitBreaker& breaker = breaker_for(to);
-  if (!breaker.Allow(sim_->Now())) {
+  if (!breaker.Allow(net_->Now())) {
     fast_failed_->Add(1);
     return;
   }
@@ -61,14 +61,14 @@ void ReliableDeliverer::Attempt(net::NodeId from, net::NodeId to,
     breaker.RecordSuccess();
     return;
   }
-  breaker.RecordFailure(sim_->Now());
-  Micros delay = state.NextBackoff(sim_->Now(), &rng_);
+  breaker.RecordFailure(net_->Now());
+  Micros delay = state.NextBackoff(net_->Now(), &rng_);
   if (delay < 0) {
     gave_up_->Add(1);
     return;
   }
   retries_->Add(1);
-  sim_->After(delay,
+  net_->After(delay,
               [this, from, to, payload = std::move(payload), size_bytes,
                state]() { Attempt(from, to, payload, size_bytes, state); });
 }

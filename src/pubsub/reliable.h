@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "common/retry.h"
+#include "net/transport.h"
 #include "obs/metrics.h"
 #include "pubsub/subscription.h"
 
@@ -31,12 +32,12 @@ struct ReliableStats {
 /// in the real datagram fabric.
 class ReliableDeliverer {
  public:
-  /// `net`/`sim` must outlive the deliverer.  `msg_type` tags the wire
+  /// `net` must outlive the deliverer.  `msg_type` tags the wire
   /// messages; the payload carries the event's wire encoding
   /// (`Event::EnsureEncoded`), serialised once and shared by refcount
   /// across subscribers and retries.
-  ReliableDeliverer(net::Network* net, net::Simulator* sim,
-                    RetryPolicy policy = {}, uint64_t seed = 0xE11A);
+  explicit ReliableDeliverer(net::Transport* net, RetryPolicy policy = {},
+                             uint64_t seed = 0xE11A);
 
   /// Sends `event` from `from` to `to`, retrying on synchronous
   /// unavailability until the policy's budget runs out.
@@ -52,8 +53,7 @@ class ReliableDeliverer {
                uint64_t size_bytes, RetryState state);
   CircuitBreaker& breaker_for(net::NodeId to);
 
-  net::Network* net_;
-  net::Simulator* sim_;
+  net::Transport* net_;
   RetryPolicy policy_;
   CircuitBreakerOptions breaker_options_;
   std::unordered_map<net::NodeId, CircuitBreaker> breakers_;

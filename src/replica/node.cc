@@ -18,10 +18,13 @@ using storage::PutLengthPrefixed;
 
 }  // namespace
 
-ReplicaNode::ReplicaNode(uint64_t ring_id, net::Network* net,
-                         net::Simulator* sim,
+uint64_t ReplicaNode::RingIdFor(const std::string& name) {
+  return Hash64(name, /*seed=*/0xC0DE);
+}
+
+ReplicaNode::ReplicaNode(uint64_t ring_id, net::Transport* net,
                          std::unique_ptr<Backing> backing)
-    : ring_id_(ring_id), net_(net), sim_(sim), backing_(std::move(backing)) {
+    : ring_id_(ring_id), net_(net), backing_(std::move(backing)) {
   if (backing_ == nullptr) backing_ = std::make_unique<MemoryBacking>();
   node_id_ = net->AddNode([this](const net::Message& m) { OnMessage(m); });
 }
@@ -83,8 +86,8 @@ void ReplicaNode::Reply(net::NodeId to, uint32_t type, std::string payload) {
   msg.to = to;
   msg.type = type;
   msg.payload = std::move(payload);
-  net::Network* net = net_;
-  sim_->After(processing_cost_,
+  net::Transport* net = net_;
+  net_->After(processing_cost_,
               [net, m = std::move(msg)]() mutable { net->Send(m); });
 }
 

@@ -6,8 +6,7 @@
 #include <string>
 #include <unordered_map>
 
-#include "net/network.h"
-#include "net/simulator.h"
+#include "net/transport.h"
 #include "replica/backing.h"
 #include "replica/wire.h"
 
@@ -26,12 +25,18 @@ class ReplicaNode {
  public:
   /// `ring_id` is the node's position on the Chord ring; `backing`
   /// stores its records and hints (owned).
-  ReplicaNode(uint64_t ring_id, net::Network* net, net::Simulator* sim,
+  ReplicaNode(uint64_t ring_id, net::Transport* net,
               std::unique_ptr<Backing> backing);
 
   uint64_t ring_id() const { return ring_id_; }
   net::NodeId node_id() const { return node_id_; }
   Backing* backing() { return backing_.get(); }
+
+  /// Ring position derived from a replica name.  The same derivation as
+  /// `ChordRing::AddPeer` and `ReplicatedStore::AddRemoteReplica`, so a
+  /// replica hosted in another process (`tools/deluge_node`) and the
+  /// coordinator registering it agree on placement without talking.
+  static uint64_t RingIdFor(const std::string& name);
 
   /// Direct (non-networked) accessors for tests and audits.
   Status LocalGet(const std::string& key, Record* out);
@@ -66,8 +71,7 @@ class ReplicaNode {
   void Reply(net::NodeId to, uint32_t type, std::string payload);
 
   uint64_t ring_id_;
-  net::Network* net_;
-  net::Simulator* sim_;
+  net::Transport* net_;
   net::NodeId node_id_ = 0;
   std::unique_ptr<Backing> backing_;
   Micros processing_cost_ = 50;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/hash.h"
 #include "storage/format.h"
 
 namespace deluge::replica {
@@ -17,11 +18,9 @@ using storage::PutLengthPrefixed;
 
 }  // namespace
 
-ReplicatedStore::ReplicatedStore(net::Network* net, net::Simulator* sim,
-                                 p2p::ChordRing* ring,
+ReplicatedStore::ReplicatedStore(net::Transport* net, p2p::ChordRing* ring,
                                  ReplicaOptions options)
     : net_(net),
-      sim_(sim),
       ring_(ring),
       options_(options),
       rng_(options.seed) {
@@ -35,13 +34,34 @@ ReplicatedStore::ReplicatedStore(net::Network* net, net::Simulator* sim,
 
 ReplicatedStore::~ReplicatedStore() { Stop(); }
 
+uint64_t ReplicatedStore::RingIdFor(const std::string& name) const {
+  // Must agree with ChordRing::AddPeer and the remote hosts, which
+  // derive their ring ids from the same names.
+  uint64_t id = ReplicaNode::RingIdFor(name);
+  while (peer_nodes_.count(id) > 0) id = Mix64(id);  // collision: re-derive
+  return id;
+}
+
+void ReplicatedStore::RegisterPeer(uint64_t rid, net::NodeId node) {
+  peer_nodes_[rid] = node;
+  detector_.Register(rid, net_->Now());
+  last_alive_[rid] = true;
+}
+
 uint64_t ReplicatedStore::AddReplica(const std::string& name,
                                      std::unique_ptr<Backing> backing) {
-  const uint64_t rid = ring_->AddPeer(name);
+  const uint64_t rid =
+      ring_ != nullptr ? ring_->AddPeer(name) : RingIdFor(name);
   replicas_[rid] =
-      std::make_unique<ReplicaNode>(rid, net_, sim_, std::move(backing));
-  detector_.Register(rid, sim_->Now());
-  last_alive_[rid] = true;
+      std::make_unique<ReplicaNode>(rid, net_, std::move(backing));
+  RegisterPeer(rid, replicas_[rid]->node_id());
+  return rid;
+}
+
+uint64_t ReplicatedStore::AddRemoteReplica(const std::string& name,
+                                           net::NodeId node) {
+  const uint64_t rid = RingIdFor(name);
+  RegisterPeer(rid, node);
   return rid;
 }
 
@@ -49,10 +69,10 @@ void ReplicatedStore::Start() {
   if (started_) return;
   started_ = true;
   if (options_.heartbeat_period > 0) {
-    sim_->After(options_.heartbeat_period, [this] { HeartbeatTick(); });
+    net_->After(options_.heartbeat_period, [this] { HeartbeatTick(); });
   }
   if (options_.anti_entropy_period > 0) {
-    sim_->After(options_.anti_entropy_period, [this] { AntiEntropyTick(); });
+    net_->After(options_.anti_entropy_period, [this] { AntiEntropyTick(); });
   }
 }
 
@@ -93,7 +113,23 @@ Version ReplicatedStore::AckedVersion(const std::string& key) const {
 
 std::vector<uint64_t> ReplicatedStore::PreferenceList(
     const std::string& key) const {
-  return ring_->SuccessorsOf(p2p::ChordRing::KeyId(key), options_.n);
+  return SuccessorsOf(p2p::ChordRing::KeyId(key), options_.n);
+}
+
+std::vector<uint64_t> ReplicatedStore::SuccessorsOf(uint64_t id,
+                                                    int n) const {
+  if (ring_ != nullptr) return ring_->SuccessorsOf(id, n);
+  std::vector<uint64_t> out;
+  if (peer_nodes_.empty() || n <= 0) return out;
+  out.reserve(static_cast<size_t>(n));
+  auto it = peer_nodes_.lower_bound(id);
+  while (static_cast<int>(out.size()) < n &&
+         out.size() < peer_nodes_.size()) {
+    if (it == peer_nodes_.end()) it = peer_nodes_.begin();
+    out.push_back(it->first);
+    ++it;
+  }
+  return out;
 }
 
 void ReplicatedStore::SendTo(const Target& t, uint32_t type,
@@ -119,13 +155,11 @@ void ReplicatedStore::PushRecord(net::NodeId to, const std::string& key,
 
 std::vector<ReplicatedStore::Target> ReplicatedStore::PickTargets(
     const std::string& key, bool for_write) {
-  const Micros now = sim_->Now();
+  const Micros now = net_->Now();
   const p2p::RingId kid = p2p::ChordRing::KeyId(key);
-  const std::vector<uint64_t> preferred =
-      ring_->SuccessorsOf(kid, options_.n);
+  const std::vector<uint64_t> preferred = SuccessorsOf(kid, options_.n);
   // Fallback candidates beyond the preference list, in ring order.
-  const std::vector<uint64_t> extended =
-      ring_->SuccessorsOf(kid, 2 * options_.n);
+  const std::vector<uint64_t> extended = SuccessorsOf(kid, 2 * options_.n);
   std::unordered_set<uint64_t> used(preferred.begin(), preferred.end());
 
   std::vector<Target> out;
@@ -133,11 +167,11 @@ std::vector<ReplicatedStore::Target> ReplicatedStore::PickTargets(
   size_t next_sub = 0;
   bool substituted = false;
   for (uint64_t p : preferred) {
-    auto rep = replicas_.find(p);
-    if (rep == replicas_.end()) continue;  // chord-only peer: no storage
+    auto rep = peer_nodes_.find(p);
+    if (rep == peer_nodes_.end()) continue;  // chord-only peer: no storage
     Target t;
     t.ring = p;
-    t.node = rep->second->node_id();
+    t.node = rep->second;
     if (PeerUsable(p, now) || !options_.sloppy_quorum) {
       out.push_back(t);
       continue;
@@ -147,7 +181,7 @@ std::vector<ReplicatedStore::Target> ReplicatedStore::PickTargets(
     uint64_t sub = 0;
     while (next_sub < extended.size()) {
       const uint64_t c = extended[next_sub++];
-      if (used.count(c) || !replicas_.count(c)) continue;
+      if (used.count(c) || !peer_nodes_.count(c)) continue;
       if (!PeerUsable(c, now)) continue;
       sub = c;
       break;
@@ -160,7 +194,7 @@ std::vector<ReplicatedStore::Target> ReplicatedStore::PickTargets(
     substituted = true;
     Target s;
     s.ring = sub;
-    s.node = replicas_[sub]->node_id();
+    s.node = peer_nodes_[sub];
     if (for_write) {
       s.hint_for = p;  // substitute queues a durable handoff hint
       hinted_handoffs_->Increment();
@@ -209,8 +243,8 @@ void ReplicatedStore::DoWrite(const std::string& key, Record record,
   pw.targets = std::move(targets);
   pw.session = options.session;
   pw.done = std::move(done);
-  pw.retry = RetryState(options_.retry, sim_->Now());
-  pw.started_at = sim_->Now();
+  pw.retry = RetryState(options_.retry, net_->Now());
+  pw.started_at = net_->Now();
   SendWrites(id, pw, /*only_unacked=*/false);
   ArmWriteTimer(id, pw.attempt);
 }
@@ -230,7 +264,7 @@ void ReplicatedStore::SendWrites(uint64_t id, PendingWrite& pw,
 }
 
 void ReplicatedStore::ArmWriteTimer(uint64_t id, int attempt) {
-  sim_->After(options_.write_timeout,
+  net_->After(options_.write_timeout,
               [this, id, attempt] { OnWriteTimeout(id, attempt); });
 }
 
@@ -239,7 +273,7 @@ void ReplicatedStore::OnWriteTimeout(uint64_t id, int attempt) {
   if (it == writes_.end()) return;
   PendingWrite& pw = it->second;
   if (pw.attempt != attempt) return;  // superseded by a retry
-  const Micros now = sim_->Now();
+  const Micros now = net_->Now();
   for (const Target& t : pw.targets) {
     if (!pw.acked.count(t.ring)) BreakerFor(t.ring).RecordFailure(now);
   }
@@ -258,7 +292,7 @@ void ReplicatedStore::OnWriteTimeout(uint64_t id, int attempt) {
   }
   write_retries_->Increment();
   const int expected = ++pw.attempt;
-  sim_->After(backoff, [this, id, expected] {
+  net_->After(backoff, [this, id, expected] {
     auto it2 = writes_.find(id);
     if (it2 == writes_.end() || it2->second.attempt != expected) return;
     SendWrites(id, it2->second, /*only_unacked=*/true);
@@ -292,7 +326,7 @@ void ReplicatedStore::OnWriteAck(std::string_view payload) {
     Version& acked = acked_[pw.key];
     if (acked < version) acked = version;
     if (pw.session) pw.session->ObserveWrite(pw.key, version);
-    write_us_->Record(sim_->Now() - pw.started_at);
+    write_us_->Record(net_->Now() - pw.started_at);
     done = std::move(pw.done);
   }
   if (pw.acked.size() == pw.targets.size()) FinishWrite(id, pw);
@@ -321,8 +355,8 @@ void ReplicatedStore::Get(const std::string& key, ReadOptions options,
   pr.session = options.session;
   pr.targets = std::move(targets);
   pr.done = std::move(done);
-  pr.retry = RetryState(options_.retry, sim_->Now());
-  pr.started_at = sim_->Now();
+  pr.retry = RetryState(options_.retry, net_->Now());
+  pr.started_at = net_->Now();
   SendReads(id, pr, /*only_unanswered=*/false);
   ArmReadTimer(id, pr.attempt);
 }
@@ -339,7 +373,7 @@ void ReplicatedStore::SendReads(uint64_t id, PendingRead& pr,
 }
 
 void ReplicatedStore::ArmReadTimer(uint64_t id, int attempt) {
-  sim_->After(options_.read_timeout,
+  net_->After(options_.read_timeout,
               [this, id, attempt] { OnReadTimeout(id, attempt); });
 }
 
@@ -372,7 +406,7 @@ void ReplicatedStore::MaybeCompleteRead(uint64_t id, PendingRead& pr) {
       pr.completed = true;
       version = merged.record.version;
       if (pr.session) pr.session->ObserveRead(pr.key, version);
-      read_us_->Record(sim_->Now() - pr.started_at);
+      read_us_->Record(net_->Now() - pr.started_at);
       if (pr.mode == consistency::ReadMode::kEventual) {
         auto a = acked_.find(pr.key);
         if (a != acked_.end() && version < a->second) {
@@ -408,9 +442,9 @@ void ReplicatedStore::FinishRead(uint64_t id, PendingRead& pr) {
         if (resp.found && !Newer(merged.record.version, resp.record.version)) {
           continue;
         }
-        auto rep = replicas_.find(ring);
-        if (rep == replicas_.end()) continue;
-        PushRecord(rep->second->node_id(), pr.key, merged.record);
+        auto rep = peer_nodes_.find(ring);
+        if (rep == peer_nodes_.end()) continue;
+        PushRecord(rep->second, pr.key, merged.record);
         read_repairs_->Increment();
       }
     }
@@ -423,7 +457,7 @@ void ReplicatedStore::OnReadTimeout(uint64_t id, int attempt) {
   if (it == reads_.end()) return;
   PendingRead& pr = it->second;
   if (pr.attempt != attempt) return;
-  const Micros now = sim_->Now();
+  const Micros now = net_->Now();
   for (const Target& t : pr.targets) {
     if (!pr.responses.count(t.ring)) BreakerFor(t.ring).RecordFailure(now);
   }
@@ -446,7 +480,7 @@ void ReplicatedStore::OnReadTimeout(uint64_t id, int attempt) {
   }
   read_retries_->Increment();
   const int expected = ++pr.attempt;
-  sim_->After(backoff, [this, id, expected] {
+  net_->After(backoff, [this, id, expected] {
     auto it2 = reads_.find(id);
     if (it2 == reads_.end() || it2->second.attempt != expected) return;
     SendReads(id, it2->second, /*only_unanswered=*/true);
@@ -474,39 +508,39 @@ void ReplicatedStore::OnReadResp(std::string_view payload) {
 
 void ReplicatedStore::HeartbeatTick() {
   if (!started_) return;
-  const Micros now = sim_->Now();
-  for (auto& [rid, rep] : replicas_) {
+  const Micros now = net_->Now();
+  for (auto& [rid, nid] : peer_nodes_) {
     const bool alive = detector_.IsAlive(rid, now);
     bool& was = last_alive_[rid];
     if (alive && !was) TriggerHintReplay(rid);  // peer came back
     was = alive;
     net::Message ping;
     ping.from = coordinator_node_;
-    ping.to = rep->node_id();
+    ping.to = nid;
     ping.type = kMsgPing;
     net_->Send(std::move(ping));  // bypasses breakers on purpose
   }
-  sim_->After(options_.heartbeat_period, [this] { HeartbeatTick(); });
+  net_->After(options_.heartbeat_period, [this] { HeartbeatTick(); });
 }
 
 void ReplicatedStore::OnPong(std::string_view payload) {
   uint64_t ring = 0;
   if (!GetFixed64(&payload, &ring)) return;
-  detector_.Heartbeat(ring, sim_->Now());
+  detector_.Heartbeat(ring, net_->Now());
 }
 
 void ReplicatedStore::TriggerHintReplay(uint64_t target_ring) {
-  auto target = replicas_.find(target_ring);
-  if (target == replicas_.end()) return;
-  const net::NodeId target_node = target->second->node_id();
-  for (auto& [rid, rep] : replicas_) {
+  auto target = peer_nodes_.find(target_ring);
+  if (target == peer_nodes_.end()) return;
+  const net::NodeId target_node = target->second;
+  for (auto& [rid, nid] : peer_nodes_) {
     if (rid == target_ring) continue;
     std::string out;
     PutFixed64(&out, target_ring);
     PutFixed32(&out, target_node);
     PutFixed32(&out, coordinator_node_);
     Target t;
-    t.node = rep->node_id();
+    t.node = nid;
     SendTo(t, kMsgHintReplay, std::move(out));
   }
 }
@@ -524,7 +558,7 @@ void ReplicatedStore::AntiEntropyTick() {
   if (ae_run_ == nullptr) {
     RunAntiEntropy([](const AntiEntropyReport&) {});
   }
-  sim_->After(options_.anti_entropy_period, [this] { AntiEntropyTick(); });
+  net_->After(options_.anti_entropy_period, [this] { AntiEntropyTick(); });
 }
 
 void ReplicatedStore::RunAntiEntropy(AntiEntropyCallback done) {
@@ -536,7 +570,9 @@ void ReplicatedStore::RunAntiEntropy(AntiEntropyCallback done) {
   ae_run_ = std::make_unique<AntiEntropyRun>();
   ae_run_->done = std::move(done);
 
-  std::vector<uint64_t> rings = replica_rings();
+  std::vector<uint64_t> rings;
+  rings.reserve(peer_nodes_.size());
+  for (const auto& [rid, _] : peer_nodes_) rings.push_back(rid);
   if (rings.size() < 2) {
     FinishAntiEntropyRun();
     return;
@@ -544,8 +580,7 @@ void ReplicatedStore::RunAntiEntropy(AntiEntropyCallback done) {
   for (size_t i = 0; i < rings.size(); ++i) {
     const uint64_t owner = rings[i];
     const uint64_t pred = rings[(i + rings.size() - 1) % rings.size()];
-    const std::vector<uint64_t> owners =
-        ring_->SuccessorsOf(owner, options_.n);
+    const std::vector<uint64_t> owners = SuccessorsOf(owner, options_.n);
     if (owners.size() < 2) continue;  // nothing to compare against
 
     const uint64_t id = next_request_++;
@@ -553,11 +588,11 @@ void ReplicatedStore::RunAntiEntropy(AntiEntropyCallback done) {
     st.lo = pred;
     st.hi = owner;
     for (uint64_t o : owners) {
-      auto rep = replicas_.find(o);
-      if (rep == replicas_.end()) continue;
+      auto rep = peer_nodes_.find(o);
+      if (rep == peer_nodes_.end()) continue;
       Target t;
       t.ring = o;
-      t.node = rep->second->node_id();
+      t.node = rep->second;
       st.owners.push_back(t);
     }
     ae_run_->outstanding++;
@@ -569,7 +604,7 @@ void ReplicatedStore::RunAntiEntropy(AntiEntropyCallback done) {
       PutFixed64(&out, st.hi);
       SendTo(t, kMsgDigestReq, std::move(out));
     }
-    sim_->After(options_.read_timeout,
+    net_->After(options_.read_timeout,
                 [this, id] { ResolveSegmentDigests(id); });
   }
   if (ae_run_->outstanding == 0) FinishAntiEntropyRun();
@@ -616,8 +651,8 @@ void ReplicatedStore::ResolveSegmentDigests(uint64_t digest_id) {
   }
   ae_run_->report.divergent++;
   for (const auto& [ring, d] : st.digests) {
-    auto rep = replicas_.find(ring);
-    if (rep == replicas_.end()) continue;
+    auto rep = peer_nodes_.find(ring);
+    if (rep == peer_nodes_.end()) continue;
     const uint64_t lid = next_request_++;
     ae_run_->list_reqs[lid] = digest_id;
     std::string out;
@@ -626,10 +661,10 @@ void ReplicatedStore::ResolveSegmentDigests(uint64_t digest_id) {
     PutFixed64(&out, st.hi);
     Target t;
     t.ring = ring;
-    t.node = rep->second->node_id();
+    t.node = rep->second;
     SendTo(t, kMsgListReq, std::move(out));
   }
-  sim_->After(options_.read_timeout,
+  net_->After(options_.read_timeout,
               [this, digest_id] { ReconcileSegment(digest_id); });
 }
 
@@ -678,14 +713,14 @@ void ReplicatedStore::ReconcileSegment(uint64_t digest_id) {
     }
   }
   for (const auto& [ring, entries] : st.listings) {
-    auto rep = replicas_.find(ring);
-    if (rep == replicas_.end()) continue;
+    auto rep = peer_nodes_.find(ring);
+    if (rep == peer_nodes_.end()) continue;
     for (const auto& [key, rec] : newest) {
       auto e = entries.find(key);
       if (e != entries.end() && !Newer(rec.version, e->second.version)) {
         continue;
       }
-      PushRecord(rep->second->node_id(), key, rec);
+      PushRecord(rep->second, key, rec);
       ae_run_->report.keys_synced++;
     }
   }

@@ -14,8 +14,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "consistency/session.h"
-#include "net/network.h"
-#include "net/simulator.h"
+#include "net/transport.h"
 #include "obs/metrics.h"
 #include "p2p/chord.h"
 #include "replica/failure_detector.h"
@@ -115,12 +114,14 @@ struct AntiEntropyReport {
 /// through key-range digests — so a single replica crash or a healed
 /// partition converges back to full redundancy without operator action.
 ///
-/// All replica traffic flows over the simulated `net::Network`, so every
+/// All replica traffic flows over a `net::Transport`, so every
 /// chaos-layer fault (crashes, partitions, latency spikes, burst loss)
 /// applies to it; E22 measures the resulting availability / staleness
-/// trade-off across quorum configurations.
+/// trade-off across quorum configurations.  Under `SocketTransport` the
+/// replicas may live in other OS processes: register them with
+/// `AddRemoteReplica` and the coordinator quorums over the wire (E24).
 ///
-/// Single-threaded: driven entirely from the simulator loop.
+/// Single-threaded: driven entirely from the transport's event strand.
 class ReplicatedStore {
  public:
   using WriteCallback = std::function<void(const Status&, Version)>;
@@ -128,10 +129,14 @@ class ReplicatedStore {
       std::function<void(const Status&, const std::string&, Version)>;
   using AntiEntropyCallback = std::function<void(const AntiEntropyReport&)>;
 
-  /// `net`, `sim`, and `ring` must outlive the store.  Peers added to
-  /// the store are also added to `ring` (which supplies placement).
-  ReplicatedStore(net::Network* net, net::Simulator* sim,
-                  p2p::ChordRing* ring, ReplicaOptions options = {});
+  /// `net` (and `ring` when given) must outlive the store.  With a
+  /// ring, peers added to the store are also added to it (the ring
+  /// supplies placement); `ring` may be nullptr, in which case the
+  /// store keeps its own successor map over the registered replicas —
+  /// the multi-process configuration, where no in-process ChordRing
+  /// spans the cluster.
+  ReplicatedStore(net::Transport* net, p2p::ChordRing* ring,
+                  ReplicaOptions options = {});
   ~ReplicatedStore();
 
   /// True when R + W > N: every read quorum overlaps every write
@@ -142,6 +147,12 @@ class ReplicatedStore {
   /// Returns its ring id.
   uint64_t AddReplica(const std::string& name,
                       std::unique_ptr<Backing> backing = nullptr);
+
+  /// Registers a replica that lives in another process: `node` is its
+  /// cluster-global transport node id, `name` must be the name its
+  /// hosting process used to construct it (ring ids are derived from
+  /// the name on both sides, so placement agrees).  Returns its ring id.
+  uint64_t AddRemoteReplica(const std::string& name, net::NodeId node);
 
   /// Starts heartbeats (failure detection, hint replay on recovery) and
   /// periodic anti-entropy when configured.
@@ -287,15 +298,28 @@ class ReplicatedStore {
   void SendTo(const Target& t, uint32_t type, std::string payload);
   void PushRecord(net::NodeId to, const std::string& key,
                   const Record& record);
+  /// Ring id for a replica name: the ChordRing's derivation when a ring
+  /// is attached, the identical hash chain otherwise.
+  uint64_t RingIdFor(const std::string& name) const;
+  /// The first `n` distinct storage peers at or after `id` in ring
+  /// order (wrapping).  Uses `ring_` when present — which may include
+  /// chord-only peers the caller must skip — and `peer_nodes_`
+  /// otherwise.
+  std::vector<uint64_t> SuccessorsOf(uint64_t id, int n) const;
+  /// Registers `rid` in the peer map, detector, and liveness cache.
+  void RegisterPeer(uint64_t rid, net::NodeId node);
 
-  net::Network* net_;
-  net::Simulator* sim_;
-  p2p::ChordRing* ring_;
+  net::Transport* net_;
+  p2p::ChordRing* ring_;  ///< nullptr in multi-process mode
   ReplicaOptions options_;
   Rng rng_;
   net::NodeId coordinator_node_ = 0;
 
   std::map<uint64_t, std::unique_ptr<ReplicaNode>> replicas_;  // by ring
+  /// Every storage peer — local and remote — by ring id (ring order),
+  /// mapped to its transport node.  The delivery-target source of
+  /// truth; `replicas_` holds only the locally-hosted subset.
+  std::map<uint64_t, net::NodeId> peer_nodes_;
   std::unordered_map<uint64_t, std::unique_ptr<CircuitBreaker>> breakers_;
   PhiAccrualDetector detector_;
   std::unordered_map<uint64_t, bool> last_alive_;

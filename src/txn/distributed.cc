@@ -45,8 +45,7 @@ bool DecodeWrites(std::string_view payload, uint64_t* txn_id, Timestamp* ts,
 
 // -------------------------------------------------------------- ShardNode
 
-ShardNode::ShardNode(net::Network* net, net::Simulator* sim)
-    : net_(net), sim_(sim) {
+ShardNode::ShardNode(net::Transport* net) : net_(net) {
   node_id_ = net->AddNode([this](const net::Message& m) { OnMessage(m); });
 }
 
@@ -113,8 +112,8 @@ void ShardNode::HandlePrepare(const net::Message& msg) {
   std::string wire;
   PutFixed64(&wire, txn_id);
   reply.payload = std::move(wire);
-  net::Network* net = net_;
-  sim_->After(processing_cost,
+  net::Transport* net = net_;
+  net_->After(processing_cost,
               [net, reply = std::move(reply)]() { net->Send(reply); });
 }
 
@@ -142,8 +141,8 @@ void ShardNode::HandleCommit(const net::Message& msg, bool commit) {
   std::string ack;
   PutFixed64(&ack, txn_id);
   reply.payload = std::move(ack);
-  net::Network* net = net_;
-  sim_->After(processing_cost,
+  net::Transport* net = net_;
+  net_->After(processing_cost,
               [net, reply = std::move(reply)]() { net->Send(reply); });
 }
 
@@ -167,8 +166,8 @@ void ShardNode::HandleSingleRound(const net::Message& msg) {
       std::string wire;
       PutFixed64(&wire, txn_id);
       reply.payload = std::move(wire);
-      net::Network* net = net_;
-      sim_->After(processing_cost,
+      net::Transport* net = net_;
+      net_->After(processing_cost,
                   [net, reply = std::move(reply)]() { net->Send(reply); });
       return;
     }
@@ -199,17 +198,16 @@ void ShardNode::HandleSingleRound(const net::Message& msg) {
   std::string wire;
   PutFixed64(&wire, txn_id);
   reply.payload = std::move(wire);
-  net::Network* net = net_;
-  sim_->After(processing_cost,
+  net::Transport* net = net_;
+  net_->After(processing_cost,
               [net, reply = std::move(reply)]() { net->Send(reply); });
 }
 
 // --------------------------------------------------- DistributedTxnSystem
 
-DistributedTxnSystem::DistributedTxnSystem(net::Network* net,
-                                           net::Simulator* sim,
+DistributedTxnSystem::DistributedTxnSystem(net::Transport* net,
                                            std::vector<ShardNode*> shards)
-    : net_(net), sim_(sim), shards_(std::move(shards)) {
+    : net_(net), shards_(std::move(shards)) {
   coord_node_ = net->AddNode([this](const net::Message& m) { OnMessage(m); });
   for (size_t i = 0; i < shards_.size(); ++i) {
     node_to_shard_[shards_[i]->node_id()] = i;
@@ -280,7 +278,7 @@ void DistributedTxnSystem::Submit(std::vector<WriteOp> writes,
   txn.txn_id = next_txn_id_++;
   txn.protocol = protocol;
   txn.writes = std::move(writes);
-  txn.started_at = sim_->Now();
+  txn.started_at = net_->Now();
   txn.timeout = timeout;
   txn.commit_ts = next_ts_++;
   txn.cb = std::move(cb);
@@ -299,7 +297,7 @@ void DistributedTxnSystem::Submit(std::vector<WriteOp> writes,
   // Fast-fail when any participant's breaker is open: aborting now is
   // cheaper than locking healthy shards and timing out.
   for (size_t shard : txn.participant_shards) {
-    if (!breaker_for_shard(shard).Allow(sim_->Now())) {
+    if (!breaker_for_shard(shard).Allow(net_->Now())) {
       fast_fails_->Add(1);
       Finish(txn, false);
       return;
@@ -311,7 +309,7 @@ void DistributedTxnSystem::Submit(std::vector<WriteOp> writes,
       (per_txn.deadline == 0 || per_txn.deadline > timeout)) {
     per_txn.deadline = timeout;  // never retransmit past the abort point
   }
-  txn.retransmit = RetryState(per_txn, sim_->Now());
+  txn.retransmit = RetryState(per_txn, net_->Now());
 
   TxnMsg round_type = protocol == CommitProtocol::kTwoPhase
                           ? TxnMsg::kPrepare
@@ -329,7 +327,7 @@ void DistributedTxnSystem::Submit(std::vector<WriteOp> writes,
   // Safety net: a lost message or partition must not wedge the
   // transaction (and its locks) forever.
   if (timeout > 0) {
-    sim_->After(timeout, [this, id]() {
+    net_->After(timeout, [this, id]() {
       auto it = in_flight_.find(id);
       if (it == in_flight_.end()) return;  // already decided
       InFlight& stuck = it->second;
@@ -352,14 +350,14 @@ void DistributedTxnSystem::Submit(std::vector<WriteOp> writes,
         // Silence during the whole transaction = a strike against the
         // shard; enough strikes open its breaker.
         if (!stuck.voted[i]) {
-          breaker_for_shard(shard).RecordFailure(sim_->Now());
+          breaker_for_shard(shard).RecordFailure(net_->Now());
         }
       }
       // The decision outlives the transaction: keep re-driving it until
       // every participant applies it (commits must not be lost, aborted
       // locks must not leak) or the redelivery budget runs out.
       if (!pd.shards.empty()) {
-        pd.retry = RetryState(redelivery_policy_, sim_->Now());
+        pd.retry = RetryState(redelivery_policy_, net_->Now());
         pending_decisions_.emplace(stuck.txn_id, std::move(pd));
         ScheduleRedelivery(stuck.txn_id);
       }
@@ -372,9 +370,9 @@ void DistributedTxnSystem::Submit(std::vector<WriteOp> writes,
 void DistributedTxnSystem::ScheduleRetransmit(uint64_t txn_id) {
   auto it = in_flight_.find(txn_id);
   if (it == in_flight_.end()) return;
-  Micros delay = it->second.retransmit.NextBackoff(sim_->Now(), &rng_);
+  Micros delay = it->second.retransmit.NextBackoff(net_->Now(), &rng_);
   if (delay < 0) return;  // budget spent; the timeout net decides
-  sim_->After(delay, [this, txn_id]() {
+  net_->After(delay, [this, txn_id]() {
     auto it = in_flight_.find(txn_id);
     if (it == in_flight_.end()) return;  // decided meanwhile
     InFlight& txn = it->second;
@@ -407,14 +405,14 @@ void DistributedTxnSystem::ScheduleRetransmit(uint64_t txn_id) {
 void DistributedTxnSystem::ScheduleRedelivery(uint64_t txn_id) {
   auto it = pending_decisions_.find(txn_id);
   if (it == pending_decisions_.end()) return;
-  Micros delay = it->second.retry.NextBackoff(sim_->Now(), &rng_);
+  Micros delay = it->second.retry.NextBackoff(net_->Now(), &rng_);
   if (delay < 0) {
     // Redelivery budget exhausted with participants still unreachable.
     unresolved_decisions_->Add(1);
     pending_decisions_.erase(it);
     return;
   }
-  sim_->After(delay, [this, txn_id]() {
+  net_->After(delay, [this, txn_id]() {
     auto it = pending_decisions_.find(txn_id);
     if (it == pending_decisions_.end()) return;  // fully acknowledged
     PendingDecision& pd = it->second;
@@ -511,7 +509,7 @@ void DistributedTxnSystem::Finish(InFlight& txn, bool committed) {
   TxnResult result;
   result.committed = committed;
   result.commit_ts = txn.commit_ts;
-  result.latency = sim_->Now() - txn.started_at;
+  result.latency = net_->Now() - txn.started_at;
   commit_latency_->Record(result.latency);
   if (committed) {
     committed_->Add(1);

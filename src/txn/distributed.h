@@ -13,7 +13,7 @@
 #include "common/buffer.h"
 #include "common/histogram.h"
 #include "common/retry.h"
-#include "net/network.h"
+#include "net/transport.h"
 #include "obs/metrics.h"
 #include "txn/mvcc.h"
 
@@ -60,7 +60,7 @@ class ShardNode {
  public:
   /// Registers the shard on `net` and returns it; alive until the
   /// owning DistributedTxnSystem is destroyed.
-  ShardNode(net::Network* net, net::Simulator* sim);
+  explicit ShardNode(net::Transport* net);
 
   net::NodeId node_id() const { return node_id_; }
   MvccStore& store() { return store_; }
@@ -78,8 +78,7 @@ class ShardNode {
   /// eviction once the cache exceeds its cap.
   void RememberDecision(uint64_t txn_id, bool outcome);
 
-  net::Network* net_;
-  net::Simulator* sim_;
+  net::Transport* net_;
   net::NodeId node_id_ = 0;
   MvccStore store_;
   // txn id -> prepared writes awaiting commit.
@@ -100,8 +99,7 @@ class DistributedTxnSystem {
 
   /// `shards` are created by the caller (placed into DCs as desired);
   /// the system registers one coordinator node on `net`.
-  DistributedTxnSystem(net::Network* net, net::Simulator* sim,
-                       std::vector<ShardNode*> shards);
+  DistributedTxnSystem(net::Transport* net, std::vector<ShardNode*> shards);
 
   /// The shard index owning `key`.
   size_t ShardOf(const std::string& key) const;
@@ -206,8 +204,7 @@ class DistributedTxnSystem {
   /// Index of `shard` in txn.participant_shards, or npos.
   static size_t ParticipantIndex(const InFlight& txn, size_t shard);
 
-  net::Network* net_;
-  net::Simulator* sim_;
+  net::Transport* net_;
   std::vector<ShardNode*> shards_;
   std::unordered_map<net::NodeId, size_t> node_to_shard_;
   net::NodeId coord_node_ = 0;

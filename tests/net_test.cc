@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
+#include "net/frame.h"
 #include "net/network.h"
 #include "net/simulator.h"
 #include "net/topology.h"
@@ -252,6 +254,139 @@ TEST(TopologyTest, PresetsAreSane) {
   EXPECT_GT(LinkPresets::IntraDc().bandwidth_bytes_per_sec,
             LinkPresets::Constrained().bandwidth_bytes_per_sec);
   EXPECT_GT(LinkPresets::Constrained().drop_probability, 0.0);
+}
+
+// ----------------------------------------------------------------- Frame
+
+Message MakeMessage(NodeId from, NodeId to, uint32_t type,
+                    const std::string& payload, uint64_t size_bytes = 0) {
+  Message m;
+  m.from = from;
+  m.to = to;
+  m.type = type;
+  m.payload = payload;
+  m.size_bytes = size_bytes;
+  return m;
+}
+
+TEST(FrameTest, RoundTripsHeaderAndPayload) {
+  const std::string wire =
+      EncodeFrame(MakeMessage(3, 9, 42, "hello frame", /*size_bytes=*/4096));
+  EXPECT_EQ(wire.size(), kFrameHeaderBytes + 11);
+  FrameDecoder dec;
+  std::vector<Message> out;
+  ASSERT_TRUE(dec.Feed(wire.data(), wire.size(), &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].from, 3u);
+  EXPECT_EQ(out[0].to, 9u);
+  EXPECT_EQ(out[0].type, 42u);
+  EXPECT_EQ(out[0].size_bytes, 4096u);
+  EXPECT_EQ(std::string_view(out[0].payload), "hello frame");
+  EXPECT_EQ(dec.buffered(), 0u);
+}
+
+TEST(FrameTest, ZeroLengthPayloadRoundTrips) {
+  const std::string wire = EncodeFrame(MakeMessage(1, 2, 7, ""));
+  EXPECT_EQ(wire.size(), kFrameHeaderBytes);
+  FrameDecoder dec;
+  std::vector<Message> out;
+  ASSERT_TRUE(dec.Feed(wire.data(), wire.size(), &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].type, 7u);
+  EXPECT_EQ(out[0].payload.size(), 0u);
+}
+
+TEST(FrameTest, ReassemblesAcrossPartialReads) {
+  // Two frames delivered one byte at a time: every prefix of the stream
+  // is a legal partial read, and no message may surface early.
+  std::string wire = EncodeFrame(MakeMessage(1, 2, 10, "first payload"));
+  wire += EncodeFrame(MakeMessage(2, 1, 11, "second"));
+  FrameDecoder dec;
+  std::vector<Message> out;
+  for (size_t i = 0; i < wire.size(); ++i) {
+    ASSERT_TRUE(dec.Feed(wire.data() + i, 1, &out).ok());
+  }
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(std::string_view(out[0].payload), "first payload");
+  EXPECT_EQ(std::string_view(out[1].payload), "second");
+  EXPECT_EQ(dec.frames_decoded(), 2u);
+  EXPECT_EQ(dec.buffered(), 0u);
+}
+
+TEST(FrameTest, TornLengthPrefixReassembles) {
+  // Split inside the 4-byte length prefix itself — the nastiest tear.
+  const std::string wire = EncodeFrame(MakeMessage(5, 6, 3, "abc"));
+  for (size_t split = 1; split < 4; ++split) {
+    FrameDecoder dec;
+    std::vector<Message> out;
+    ASSERT_TRUE(dec.Feed(wire.data(), split, &out).ok());
+    EXPECT_TRUE(out.empty()) << "message surfaced from a torn prefix";
+    EXPECT_EQ(dec.buffered(), split);
+    ASSERT_TRUE(dec.Feed(wire.data() + split, wire.size() - split, &out).ok());
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(std::string_view(out[0].payload), "abc");
+  }
+}
+
+TEST(FrameTest, MultipleFramesPerRead) {
+  std::string wire;
+  for (uint32_t i = 0; i < 5; ++i) {
+    wire += EncodeFrame(MakeMessage(i, i + 1, i, std::string(i, 'x')));
+  }
+  FrameDecoder dec;
+  std::vector<Message> out;
+  ASSERT_TRUE(dec.Feed(wire.data(), wire.size(), &out).ok());
+  ASSERT_EQ(out.size(), 5u);
+  for (uint32_t i = 0; i < 5; ++i) EXPECT_EQ(out[i].payload.size(), i);
+}
+
+TEST(FrameTest, OversizedFrameRejectedBeforeAllocation) {
+  // A hostile length prefix declaring a huge payload must be rejected
+  // from the 4 prefix bytes alone — no buffering of a giant frame, and
+  // the decoder stays poisoned afterwards.
+  char prefix[4];
+  const uint32_t huge = 1u << 30;  // 1 GiB declared payload
+  prefix[0] = char(huge & 0xFF);
+  prefix[1] = char((huge >> 8) & 0xFF);
+  prefix[2] = char((huge >> 16) & 0xFF);
+  prefix[3] = char((huge >> 24) & 0xFF);
+  FrameDecoder dec(/*max_frame_bytes=*/1 << 20);
+  std::vector<Message> out;
+  Status s = dec.Feed(prefix, sizeof(prefix), &out);
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(dec.buffered(), 0u) << "poisoned decoder must not buffer";
+  // Sticky: a valid frame after the poison still fails.
+  const std::string good = EncodeFrame(MakeMessage(1, 2, 3, "ok"));
+  EXPECT_FALSE(dec.Feed(good.data(), good.size(), &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(FrameTest, ImpossiblyShortLengthRejected) {
+  // length < header body can't be a frame (would imply negative payload).
+  char prefix[4] = {1, 0, 0, 0};
+  FrameDecoder dec;
+  std::vector<Message> out;
+  EXPECT_FALSE(dec.Feed(prefix, sizeof(prefix), &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(FrameTest, MaxFrameBoundaryAccepted) {
+  // Exactly max_frame_bytes of payload is legal; one more is not.
+  FrameDecoder dec(/*max_frame_bytes=*/64);
+  std::vector<Message> out;
+  const std::string at_limit =
+      EncodeFrame(MakeMessage(1, 2, 3, std::string(64, 'p')));
+  ASSERT_TRUE(dec.Feed(at_limit.data(), at_limit.size(), &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].payload.size(), 64u);
+
+  FrameDecoder dec2(/*max_frame_bytes=*/64);
+  out.clear();
+  const std::string over =
+      EncodeFrame(MakeMessage(1, 2, 3, std::string(65, 'p')));
+  EXPECT_FALSE(dec2.Feed(over.data(), over.size(), &out).ok());
+  EXPECT_TRUE(out.empty());
 }
 
 }  // namespace

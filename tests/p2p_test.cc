@@ -14,7 +14,8 @@ class ChordTest : public ::testing::Test {
  protected:
   net::Simulator sim_;
   net::Network net_{&sim_};
-  ChordRing ring_{&net_, &sim_};
+  net::SimTransport transport_{&net_, &sim_};
+  ChordRing ring_{&transport_};
 
   std::vector<RingId> AddPeers(int n) {
     std::vector<RingId> ids;

@@ -15,12 +15,13 @@ class TxnFailureTest : public ::testing::Test {
  protected:
   void SetUp() override {
     net_ = std::make_unique<net::Network>(&sim_);
+    transport_ = std::make_unique<net::SimTransport>(net_.get(), &sim_);
     for (int i = 0; i < 3; ++i) {
-      shards_.push_back(std::make_unique<ShardNode>(net_.get(), &sim_));
+      shards_.push_back(std::make_unique<ShardNode>(transport_.get()));
     }
     std::vector<ShardNode*> ptrs;
     for (auto& s : shards_) ptrs.push_back(s.get());
-    system_ = std::make_unique<DistributedTxnSystem>(net_.get(), &sim_, ptrs);
+    system_ = std::make_unique<DistributedTxnSystem>(transport_.get(), ptrs);
     net_->default_link().latency = 5 * kMicrosPerMilli;
     net_->default_link().bandwidth_bytes_per_sec = 0;
   }
@@ -35,6 +36,7 @@ class TxnFailureTest : public ::testing::Test {
 
   net::Simulator sim_;
   std::unique_ptr<net::Network> net_;
+  std::unique_ptr<net::SimTransport> transport_;
   std::vector<std::unique_ptr<ShardNode>> shards_;
   std::unique_ptr<DistributedTxnSystem> system_;
 };
