@@ -37,7 +37,6 @@ void BM_MultiQueryScheduling(benchmark::State& state) {
       QosSpec qos;
       // Deadlines from 1 ms (interactive) to 1 s (analytics).
       qos.deadline = kMicrosPerMilli << rng.Uniform(11);
-      qos.weight = 1.0;
       auto query = std::make_unique<ContinuousQuery>(
           "q" + std::to_string(q), qos, /*cost=*/20 + rng.Uniform(80));
       query->Sink([](const Tuple&) {});
@@ -74,7 +73,7 @@ void BM_MultiQueryScheduling(benchmark::State& state) {
   state.counters["p99_ms"] = p99 / double(kMicrosPerMilli);
 }
 // Args: {policy, #queries}.  Policies: 0=RR 1=FIFO 2=EDF 3=least-slack
-// 4=weighted 5=space-aware.
+// 4=weighted 5=class-aware.
 BENCHMARK(BM_MultiQueryScheduling)
     ->Args({0, 64})->Args({1, 64})->Args({2, 64})->Args({3, 64})
     ->Args({2, 8})->Args({2, 256})
@@ -117,7 +116,7 @@ void BM_SpaceAwareProtection(benchmark::State& state) {
 }
 BENCHMARK(BM_SpaceAwareProtection)
     ->Arg(int(SchedulingPolicy::kFifo))
-    ->Arg(int(SchedulingPolicy::kSpaceAware))
+    ->Arg(int(SchedulingPolicy::kClassAware))
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

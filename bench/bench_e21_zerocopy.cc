@@ -66,7 +66,7 @@ pubsub::Event MakeSensorEvent() {
   pubsub::Event e;
   e.topic = "sensor.pose";
   e.position = geo::Vec3{500, 500, 10};
-  e.priority = 1;
+  e.qos = QosClass::kInteractive;
   e.payload.event_time = 12345;
   e.payload.key = "entity-000042";
   e.payload.Set("entity", int64_t(42));

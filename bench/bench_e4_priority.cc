@@ -27,14 +27,14 @@ void RunWorkload(TransmissionScheduler* sched, net::Simulator* sim,
     sim->At(at, [sched, &rng, bulk_fraction, at]() {
       PendingUpdate u;
       if (rng.Bernoulli(bulk_fraction)) {
-        u.urgency = Urgency::kBulk;
+        u.qos = QosClass::kBulk;
         u.bytes = 20000 + rng.Uniform(50000);  // media chunk
       } else if (rng.Bernoulli(0.1)) {
-        u.urgency = Urgency::kCritical;
+        u.qos = QosClass::kRealtime;
         u.bytes = 200;
         u.deadline = at + 200 * kMicrosPerMilli;
       } else {
-        u.urgency = Urgency::kHigh;
+        u.qos = QosClass::kInteractive;
         u.bytes = 500;
         u.deadline = at + 500 * kMicrosPerMilli;
       }
@@ -54,9 +54,9 @@ void BM_PriorityVsFifo(benchmark::State& state) {
     // Constrained link: 1 Mbps field radio.
     TransmissionScheduler sched(&sim, 125e3, policy);
     RunWorkload(&sched, &sim, bulk_fraction, 3000);
-    critical_latency.Merge(sched.stats_for(Urgency::kCritical).latency);
-    misses += sched.stats_for(Urgency::kCritical).deadline_misses;
-    delivered += sched.stats_for(Urgency::kCritical).delivered;
+    critical_latency.Merge(sched.stats_for(QosClass::kRealtime).latency);
+    misses += sched.stats_for(QosClass::kRealtime).deadline_misses;
+    delivered += sched.stats_for(QosClass::kRealtime).delivered;
   }
   state.counters["policy"] = double(state.range(0));
   state.counters["bulk_pct"] = double(state.range(1));

@@ -34,7 +34,7 @@ int main() {
     now += 100 * kMicrosPerMilli;
     // Vitals packet: tiny, critical, 50 ms deadline.
     consistency::PendingUpdate vitals;
-    vitals.urgency = consistency::Urgency::kCritical;
+    vitals.qos = QosClass::kRealtime;
     vitals.bytes = 512;
     vitals.deadline = now + 50 * kMicrosPerMilli;
     Micros submitted = now;
@@ -47,7 +47,7 @@ int main() {
     });
     // Imagery: a 60 KB camera frame every tick (bulk).
     consistency::PendingUpdate frame;
-    frame.urgency = consistency::Urgency::kBulk;
+    frame.qos = QosClass::kBulk;
     frame.bytes = 60000;
     sim.At(now, [&uplink, frame]() mutable {
       uplink.Submit(std::move(frame));
@@ -58,7 +58,7 @@ int main() {
               vitals_delivered,
               double(vitals_latency_max) / kMicrosPerMilli,
               static_cast<unsigned long long>(
-                  uplink.stats_for(consistency::Urgency::kCritical)
+                  uplink.stats_for(QosClass::kRealtime)
                       .deadline_misses));
 
   // ---- 2. LOD: which hologram tiles go full-res this second? -----------

@@ -95,7 +95,7 @@ int main() {
     // Every second: one casualty report (critical) amid bulk map tiles.
     if (tick % 10 == 0) {
       consistency::PendingUpdate report;
-      report.urgency = consistency::Urgency::kCritical;
+      report.qos = QosClass::kRealtime;
       report.bytes = 256;
       report.deadline = now + 300 * kMicrosPerMilli;
       Micros submitted = now;
@@ -106,7 +106,7 @@ int main() {
       field_link.Submit(std::move(report));
       for (int i = 0; i < 3; ++i) {
         consistency::PendingUpdate tile;
-        tile.urgency = consistency::Urgency::kBulk;
+        tile.qos = QosClass::kBulk;
         tile.bytes = 30000;  // map imagery
         field_link.Submit(std::move(tile));
       }
@@ -133,7 +133,7 @@ int main() {
                                  : 0.0,
               static_cast<unsigned long long>(
                   field_link
-                      .stats_for(consistency::Urgency::kCritical)
+                      .stats_for(QosClass::kRealtime)
                       .deadline_misses));
   std::printf("air raid on %s: %zu units in the virtual model, "
               "%d ground troops perished\n",

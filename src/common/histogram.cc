@@ -86,6 +86,27 @@ double Histogram::Percentile(double p) const {
   return double(max_);
 }
 
+double Histogram::FractionBelow(int64_t threshold) const {
+  if (count_ == 0) return 1.0;
+  if (threshold < 0) return 0.0;
+  const auto& bounds = Bounds();
+  const size_t cut = BucketFor(threshold);
+  double below = 0.0;
+  for (size_t i = 0; i < cut; ++i) below += double(buckets_[i]);
+  // Uniform interpolation inside the bucket containing the threshold
+  // (same assumption Percentile makes).
+  if (cut < buckets_.size() && buckets_[cut] > 0) {
+    const double lo = cut == 0 ? 0.0 : double(bounds[cut - 1]);
+    const double hi = cut < bounds.size()
+                          ? double(bounds[cut])
+                          : double(std::max(max_, threshold));
+    const double frac =
+        hi > lo ? (double(threshold) + 1.0 - lo) / (hi - lo) : 1.0;
+    below += std::clamp(frac, 0.0, 1.0) * double(buckets_[cut]);
+  }
+  return std::clamp(below / double(count_), 0.0, 1.0);
+}
+
 std::string Histogram::ToString() const {
   char buf[256];
   std::snprintf(buf, sizeof(buf),

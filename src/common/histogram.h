@@ -43,6 +43,12 @@ class Histogram {
   /// Approximate value at percentile `p` in [0, 100].
   double Percentile(double p) const;
 
+  /// Approximate fraction of observations <= `threshold`, in [0, 1] —
+  /// the SLO-attainment query (how much of the traffic met its
+  /// target).  Empty histograms answer 1.0: a target nothing was
+  /// measured against is vacuously met.
+  double FractionBelow(int64_t threshold) const;
+
   double P50() const { return Percentile(50.0); }
   double P95() const { return Percentile(95.0); }
   double P99() const { return Percentile(99.0); }

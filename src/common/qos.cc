@@ -1,0 +1,65 @@
+#include "common/qos.h"
+
+namespace deluge {
+
+const char* QosClassName(QosClass c) {
+  switch (c) {
+    case QosClass::kRealtime:
+      return "realtime";
+    case QosClass::kInteractive:
+      return "interactive";
+    case QosClass::kTelemetry:
+      return "telemetry";
+    case QosClass::kBulk:
+      return "bulk";
+  }
+  return "bulk";
+}
+
+QosPolicy::QosPolicy() {
+  // Defaults mirror the §II application mix.  Latency targets are
+  // virtual-time and sized for DEBUG builds so the E25 gate is about
+  // behaviour (sheds, retry budgets, durability), not machine speed.
+  QosTarget& rt = targets_[uint8_t(QosClass::kRealtime)];
+  rt.freshness_us = 50 * kMicrosPerMilli;
+  rt.delivery_p99_us = 20 * kMicrosPerMilli;
+  rt.commit_p99_us = 0;  // never durable: a fresher mirror supersedes
+  rt.durable_commit = false;
+  rt.max_retry_attempts = 1;  // no redelivery — staleness beats replay
+  rt.weight = 8.0;
+  rt.min_attainment = 0.99;
+
+  QosTarget& ia = targets_[uint8_t(QosClass::kInteractive)];
+  ia.freshness_us = 100 * kMicrosPerMilli;
+  ia.delivery_p99_us = 50 * kMicrosPerMilli;
+  ia.commit_p99_us = 100 * kMicrosPerMilli;
+  ia.durable_commit = false;
+  ia.max_retry_attempts = 2;
+  ia.weight = 4.0;
+  ia.min_attainment = 0.95;
+
+  QosTarget& tm = targets_[uint8_t(QosClass::kTelemetry)];
+  tm.freshness_us = kMicrosPerSecond;
+  tm.delivery_p99_us = 200 * kMicrosPerMilli;
+  tm.commit_p99_us = 200 * kMicrosPerMilli;
+  tm.durable_commit = true;  // hospital telemetry must survive a crash
+  tm.max_retry_attempts = 4;
+  tm.weight = 2.0;
+  tm.min_attainment = 0.99;
+
+  QosTarget& bk = targets_[uint8_t(QosClass::kBulk)];
+  bk.freshness_us = 0;  // no freshness claim
+  bk.delivery_p99_us = kMicrosPerSecond;
+  bk.commit_p99_us = kMicrosPerSecond;
+  bk.durable_commit = false;
+  bk.max_retry_attempts = 6;
+  bk.weight = 1.0;
+  bk.min_attainment = 0.50;  // bulk may shed under overload
+}
+
+const QosPolicy& QosPolicy::Default() {
+  static const QosPolicy kDefault;
+  return kDefault;
+}
+
+}  // namespace deluge

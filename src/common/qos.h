@@ -1,0 +1,114 @@
+#ifndef DELUGE_COMMON_QOS_H_
+#define DELUGE_COMMON_QOS_H_
+
+#include <array>
+#include <cstdint>
+
+#include "common/clock.h"
+
+namespace deluge {
+
+/// The one service-class taxonomy shared by every layer (DESIGN.md §13).
+///
+/// The paper's §II applications map onto four classes with sharply
+/// different freshness / latency / durability needs:
+///
+///   kRealtime    — live event streaming mirrors: pose/position updates
+///                  whose value decays in tens of milliseconds.  Never
+///                  shed first, never durable (a fresher update always
+///                  supersedes a lost one).
+///   kInteractive — city-scale AR navigation: user-facing request/
+///                  response traffic (route queries, scene deltas).
+///   kTelemetry   — digital-twin hospital telemetry: modest rates, but
+///                  every committed sample must survive a crash.
+///   kBulk        — map-tile prefetch, backfill, anti-entropy: shed
+///                  first, retried patiently, no freshness claim.
+///
+/// Numeric order is rank order: lower value = more important.  All
+/// scheduling layers derive ordering from this single enum — adding a
+/// local priority enum elsewhere is a lint error
+/// (tools/check_qos_enums.sh).
+enum class QosClass : uint8_t {
+  kRealtime = 0,
+  kInteractive = 1,
+  kTelemetry = 2,
+  kBulk = 3,
+};
+
+inline constexpr int kQosClassCount = 4;
+
+/// Stable lowercase label for metric labels ({qos=...}) and logs.
+const char* QosClassName(QosClass c);
+
+/// All classes, most- to least-important, for iteration.
+inline constexpr std::array<QosClass, kQosClassCount> kAllQosClasses = {
+    QosClass::kRealtime, QosClass::kInteractive, QosClass::kTelemetry,
+    QosClass::kBulk};
+
+/// Shedding/serving rank: higher survives overload longer and is served
+/// first.  This is the bridge to "bigger number wins" call sites
+/// (DeliveryHeap slots, serverless admission queue).
+constexpr uint8_t QosRank(QosClass c) {
+  return uint8_t(kQosClassCount - 1) - uint8_t(c);
+}
+
+/// Clamps an arbitrary byte to a valid class (out-of-range → kBulk).
+constexpr QosClass QosClassFromByte(uint8_t b) {
+  return b < kQosClassCount ? QosClass(b) : QosClass::kBulk;
+}
+
+/// Wire tag for a class.  kBulk encodes as 0 so a class-untagged legacy
+/// frame (which carries 0 in the tag position) decodes as kBulk, and a
+/// default-class message encodes byte-identically to the legacy format.
+constexpr uint8_t QosWireTag(QosClass c) {
+  return c == QosClass::kBulk ? 0 : uint8_t(uint8_t(c) + 1);
+}
+
+/// Inverse of `QosWireTag`; unknown future tags degrade to kBulk rather
+/// than failing decode, so old nodes tolerate newer senders.
+constexpr QosClass QosFromWireTag(uint8_t tag) {
+  return (tag == 0 || tag > kQosClassCount) ? QosClass::kBulk
+                                            : QosClass(tag - 1);
+}
+
+/// Per-class service-level targets.  All latencies are virtual-time
+/// microseconds measured end-to-end from publish/ingest:
+///   freshness  — mirror-refresh staleness at the coherency layer,
+///   delivery   — broker → subscriber delivery latency,
+///   commit     — storage commit latency (enqueue → durable/acked).
+struct QosTarget {
+  Micros freshness_us = 0;      ///< 0 = no freshness claim
+  Micros delivery_p99_us = 0;   ///< 0 = no delivery-latency claim
+  Micros commit_p99_us = 0;     ///< 0 = no commit-latency claim
+  bool durable_commit = false;  ///< class requires fdatasync'd commits
+  int max_retry_attempts = 1;   ///< redelivery budget (incl. first try)
+  double weight = 1.0;          ///< weighted-fair share for schedulers
+  double min_attainment = 0.0;  ///< fraction of samples that must meet
+                                ///< the p99-style targets (SLO gate)
+};
+
+/// The per-class target table.  One process-wide default mirrors the
+/// §II application mix; scenario code may construct bespoke tables.
+class QosPolicy {
+ public:
+  QosPolicy();
+
+  /// The process-wide default policy (DESIGN.md §13 table).
+  static const QosPolicy& Default();
+
+  const QosTarget& target(QosClass c) const {
+    return targets_[uint8_t(c) < kQosClassCount ? uint8_t(c)
+                                                : kQosClassCount - 1];
+  }
+  QosTarget& mutable_target(QosClass c) {
+    return targets_[uint8_t(c) < kQosClassCount ? uint8_t(c)
+                                                : kQosClassCount - 1];
+  }
+
+ private:
+  std::array<QosTarget, kQosClassCount> targets_;
+};
+
+}  // namespace deluge
+
+#endif  // DELUGE_COMMON_QOS_H_

@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "common/clock.h"
+#include "common/qos.h"
 #include "geo/geometry.h"
 #include "obs/metrics.h"
 
@@ -71,13 +72,15 @@ class CoherencyFilter {
 
   /// Offers a new position for `entity` at `now`; returns true when the
   /// update must be transmitted (and records it as sent, charging
-  /// `bytes`).  False means the mirror stays within bounds.
+  /// `bytes`).  False means the mirror stays within bounds.  `qos`
+  /// labels the refresh-gap sample this transmission closes — the
+  /// freshness leg of the per-class SLO accounting.
   bool Offer(uint64_t entity, const geo::Vec3& value, Micros now,
-             uint64_t bytes = 64);
+             uint64_t bytes = 64, QosClass qos = QosClass::kRealtime);
 
   /// Scalar variant (sensor readings, stock counts, …).
   bool OfferScalar(uint64_t entity, double value, Micros now,
-                   uint64_t bytes = 16);
+                   uint64_t bytes = 16, QosClass qos = QosClass::kTelemetry);
 
   /// The value the mirror currently holds (last transmitted), if any.
   bool MirrorValue(uint64_t entity, geo::Vec3* out) const;
@@ -97,7 +100,8 @@ class CoherencyFilter {
 
  private:
   bool Decide(MirrorState& st, double deviation, Micros now,
-              const CoherencyContract& contract, uint64_t bytes);
+              const CoherencyContract& contract, uint64_t bytes,
+              QosClass qos);
   const CoherencyContract& ContractFor(uint64_t entity) const;
 
   CoherencyContract default_contract_;
@@ -111,6 +115,9 @@ class CoherencyFilter {
   obs::Gauge* deviation_sum_ = obs_.gauge("deviation_sum");
   obs::Gauge* deviation_max_ =
       obs_.gauge("deviation_max", obs::Gauge::Agg::kMax);
+  // Virtual-time gap between consecutive mirror refreshes of an entity
+  // — the staleness the mirror actually carried, per QoS class.
+  obs::ConcurrentHistogram* refresh_gap_us_[kQosClassCount] = {};
   mutable CoherencyStats snapshot_;
 };
 

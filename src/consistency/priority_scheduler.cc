@@ -5,20 +5,6 @@
 
 namespace deluge::consistency {
 
-std::string UrgencyName(Urgency u) {
-  switch (u) {
-    case Urgency::kCritical:
-      return "critical";
-    case Urgency::kHigh:
-      return "high";
-    case Urgency::kNormal:
-      return "normal";
-    case Urgency::kBulk:
-      return "bulk";
-  }
-  return "?";
-}
-
 TransmissionScheduler::TransmissionScheduler(net::Simulator* sim,
                                              double bandwidth_bytes_per_sec,
                                              TxPolicy policy)
@@ -26,11 +12,11 @@ TransmissionScheduler::TransmissionScheduler(net::Simulator* sim,
       bandwidth_(bandwidth_bytes_per_sec > 0 ? bandwidth_bytes_per_sec
                                              : 1.0),
       policy_(policy) {
-  for (uint8_t c = 0; c < 4; ++c) {
-    obs::Labels labels{{"class", UrgencyName(Urgency(c))}};
-    m_[c].latency = obs_.histogram("latency_us", labels);
-    m_[c].delivered = obs_.counter("delivered", labels);
-    m_[c].deadline_misses = obs_.counter("deadline_misses", labels);
+  for (QosClass c : kAllQosClasses) {
+    obs::Labels labels{{"qos", QosClassName(c)}};
+    m_[uint8_t(c)].latency = obs_.histogram("latency_us", labels);
+    m_[uint8_t(c)].delivered = obs_.counter("delivered", labels);
+    m_[uint8_t(c)].deadline_misses = obs_.counter("deadline_misses", labels);
   }
 }
 
@@ -52,7 +38,7 @@ void TransmissionScheduler::MaybeStartTransmission() {
       uint8_t best_class = 255;
       uint64_t best_seq = std::numeric_limits<uint64_t>::max();
       for (size_t i = 0; i < queue_.size(); ++i) {
-        uint8_t cls = uint8_t(queue_[i].update.urgency);
+        uint8_t cls = uint8_t(queue_[i].update.qos);
         if (cls < best_class ||
             (cls == best_class && queue_[i].seq < best_seq)) {
           best_class = cls;
@@ -68,7 +54,7 @@ void TransmissionScheduler::MaybeStartTransmission() {
       uint64_t best_seq = std::numeric_limits<uint64_t>::max();
       for (size_t i = 0; i < queue_.size(); ++i) {
         const Item& it = queue_[i];
-        uint8_t cls = uint8_t(it.update.urgency);
+        uint8_t cls = uint8_t(it.update.qos);
         Micros dl = it.update.deadline > 0
                         ? it.update.deadline
                         : std::numeric_limits<Micros>::max();
@@ -95,7 +81,7 @@ void TransmissionScheduler::MaybeStartTransmission() {
                           double(kMicrosPerSecond));
   sim_->After(tx_time, [this, item = std::move(item)]() {
     Micros now = sim_->Now();
-    const ClassMetrics& cm = m_[uint8_t(item.update.urgency)];
+    const ClassMetrics& cm = m_[uint8_t(item.update.qos)];
     cm.latency->Record(now - item.enqueued_at);
     cm.delivered->Add(1);
     if (item.update.deadline > 0 && now > item.update.deadline) {
@@ -107,9 +93,9 @@ void TransmissionScheduler::MaybeStartTransmission() {
   });
 }
 
-const ClassStats& TransmissionScheduler::stats_for(Urgency u) const {
-  const ClassMetrics& cm = m_[uint8_t(u)];
-  ClassStats& snap = snaps_[uint8_t(u)];
+const ClassStats& TransmissionScheduler::stats_for(QosClass c) const {
+  const ClassMetrics& cm = m_[uint8_t(c)];
+  ClassStats& snap = snaps_[uint8_t(c)];
   snap.latency = cm.latency->Snapshot();
   snap.delivered = cm.delivered->Value();
   snap.deadline_misses = cm.deadline_misses->Value();

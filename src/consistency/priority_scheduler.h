@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/histogram.h"
+#include "common/qos.h"
 #include "net/simulator.h"
 #include "obs/metrics.h"
 
@@ -17,21 +18,14 @@ class Network;
 
 namespace deluge::consistency {
 
-/// Urgency classes for cross-space transmission (Section IV-C: "more
-/// critical data can be transmitted first before less critical data").
-enum class Urgency : uint8_t {
-  kCritical = 0,  ///< e.g. casualty reports, air-raid orders
-  kHigh = 1,      ///< live entity positions
-  kNormal = 2,    ///< attribute refreshes
-  kBulk = 3,      ///< media, map tiles, logs
-};
-
-std::string UrgencyName(Urgency u);
-
-/// One pending transmission.
+/// One pending transmission.  The ordering class is the process-wide
+/// `QosClass` taxonomy (Section IV-C: "more critical data can be
+/// transmitted first before less critical data"): kRealtime = casualty
+/// reports / live poses, kInteractive = user-facing responses,
+/// kTelemetry = attribute refreshes, kBulk = media, map tiles, logs.
 struct PendingUpdate {
   uint64_t id = 0;
-  Urgency urgency = Urgency::kNormal;
+  QosClass qos = QosClass::kTelemetry;
   uint64_t bytes = 0;
   Micros deadline = 0;  ///< absolute; 0 => none
   std::function<void(Micros delivered_at)> on_delivered;
@@ -39,12 +33,13 @@ struct PendingUpdate {
 
 /// Link-scheduling disciplines compared by E4.
 enum class TxPolicy {
-  kFifo,             ///< arrival order, urgency-blind
-  kStrictPriority,   ///< critical > high > normal > bulk, FIFO within
+  kFifo,             ///< arrival order, class-blind
+  kStrictPriority,   ///< realtime > interactive > telemetry > bulk,
+                     ///< FIFO within a class
   kEdfWithinClass,   ///< strict priority; EDF ordering inside a class
 };
 
-/// Per-urgency-class delivery statistics.
+/// Per-QoS-class delivery statistics.
 struct ClassStats {
   Histogram latency;
   uint64_t delivered = 0;
@@ -65,7 +60,7 @@ class TransmissionScheduler {
   void Submit(PendingUpdate update);
 
   /// Registry-backed snapshot, refreshed on every call.
-  const ClassStats& stats_for(Urgency u) const;
+  const ClassStats& stats_for(QosClass c) const;
   uint64_t queued() const;
   uint64_t total_delivered() const;
 
@@ -84,14 +79,14 @@ class TransmissionScheduler {
   std::deque<Item> queue_;
   uint64_t next_seq_ = 0;
   obs::StatsScope obs_{"txsched"};
-  /// Per-urgency handles, labelled {class=critical|high|normal|bulk}.
+  /// Per-class handles, labelled {qos=realtime|interactive|telemetry|bulk}.
   struct ClassMetrics {
     obs::ConcurrentHistogram* latency;
     obs::Counter* delivered;
     obs::Counter* deadline_misses;
   };
-  ClassMetrics m_[4];
-  mutable ClassStats snaps_[4];
+  ClassMetrics m_[kQosClassCount];
+  mutable ClassStats snaps_[kQosClassCount];
 };
 
 }  // namespace deluge::consistency

@@ -20,7 +20,12 @@ CoSpaceEngine::EngineCounters::EngineCounters(obs::StatsScope& scope)
       suppressed_updates(scope.counter("suppressed_updates")),
       virtual_commands(scope.counter("virtual_commands")),
       relayed_commands(scope.counter("relayed_commands")),
-      events_published(scope.counter("events_published")) {}
+      events_published(scope.counter("events_published")) {
+  for (QosClass c : kAllQosClasses) {
+    ingest_us[uint8_t(c)] =
+        scope.histogram("ingest_us", {{"qos", QosClassName(c)}});
+  }
+}
 
 void CoSpaceEngine::EngineCounters::Fill(EngineStats* out) const {
   out->physical_updates = physical_updates->Value();
@@ -37,12 +42,15 @@ const EngineStats& CoSpaceEngine::stats() const {
 }
 
 pubsub::Event MakeMirrorPositionEvent(EntityId id, const geo::Vec3& pos,
-                                      Micros t) {
+                                      Micros t, QosClass qos) {
   pubsub::Event event;
   event.topic = "mirror.position";
   event.position = pos;
+  event.qos = qos;
+  event.published_at = t;
   event.payload.event_time = t;
   event.payload.space = stream::Space::kPhysical;
+  event.payload.qos = qos;
   event.payload.key = std::to_string(id);
   event.payload.Set(kFieldEntity, int64_t(id));
   return event;
@@ -86,13 +94,14 @@ void CoSpaceEngine::SetContract(EntityId id,
 }
 
 bool CoSpaceEngine::IngestPhysicalPosition(EntityId id, const geo::Vec3& pos,
-                                           Micros t) {
+                                           Micros t, QosClass qos) {
   obs::Span span("ingest.position");
+  obs::ScopedTimer ingest_timer(c_.ingest_us[uint8_t(qos)]);
   c_.physical_updates->Add(1);
   // The physical space always tracks ground truth.
   physical_.Move(id, pos, t);
 
-  if (!coherency_.Offer(id, pos, t)) {
+  if (!coherency_.Offer(id, pos, t, /*bytes=*/64, qos)) {
     c_.suppressed_updates->Add(1);
     return false;
   }
@@ -101,20 +110,25 @@ bool CoSpaceEngine::IngestPhysicalPosition(EntityId id, const geo::Vec3& pos,
 
   // Tell interested cyber users.
   c_.events_published->Add(1);
-  broker_->Publish(MakeMirrorPositionEvent(id, pos, t));
+  broker_->Publish(MakeMirrorPositionEvent(id, pos, t, qos));
   return true;
 }
 
 Status CoSpaceEngine::IngestPhysicalAttribute(EntityId id,
                                               const std::string& name,
-                                              stream::Value value, Micros t) {
+                                              stream::Value value, Micros t,
+                                              QosClass qos) {
+  obs::ScopedTimer ingest_timer(c_.ingest_us[uint8_t(qos)]);
   Status s = physical_.SetAttribute(id, name, value);
   if (!s.ok()) return s;
   s = virtual_.SetAttribute(id, name, value);
   if (!s.ok()) return s;
   pubsub::Event event;
   event.topic = "mirror.attribute";
+  event.qos = qos;
+  event.published_at = t;
   event.payload.event_time = t;
+  event.payload.qos = qos;
   event.payload.key = std::to_string(id);
   event.payload.Set(kFieldEntity, int64_t(id));
   event.payload.Set(kFieldAttribute, name);

@@ -15,9 +15,12 @@ namespace deluge::core {
 
 /// Builds the "mirror.position" event a mirror refresh publishes.
 /// Shared by `CoSpaceEngine` and `ParallelEngine` so the sharded
-/// pipeline emits a byte-identical event stream.
+/// pipeline emits a byte-identical event stream.  The event carries the
+/// ingest's QoS class end-to-end (event, payload tuple, published_at =
+/// ingest time) so downstream hops shed/schedule/account by class.
 pubsub::Event MakeMirrorPositionEvent(EntityId id, const geo::Vec3& pos,
-                                      Micros t);
+                                      Micros t,
+                                      QosClass qos = QosClass::kRealtime);
 
 /// Engine configuration.
 struct EngineOptions {
@@ -74,13 +77,16 @@ class CoSpaceEngine {
   /// Ingests a sensed physical position (the sensor->engine arrow).
   /// Updates the physical space always; refreshes the virtual mirror
   /// only when the coherency contract demands it.  Returns true when
-  /// the mirror was refreshed.
-  bool IngestPhysicalPosition(EntityId id, const geo::Vec3& pos, Micros t);
+  /// the mirror was refreshed.  `qos` rides the published event and
+  /// labels the ingest/coherency hop metrics.
+  bool IngestPhysicalPosition(EntityId id, const geo::Vec3& pos, Micros t,
+                              QosClass qos = QosClass::kRealtime);
 
   /// Ingests a sensed attribute (always mirrored — attributes are
   /// low-rate; positions are the firehose).
   Status IngestPhysicalAttribute(EntityId id, const std::string& name,
-                                 stream::Value value, Micros t);
+                                 stream::Value value, Micros t,
+                                 QosClass qos = QosClass::kTelemetry);
 
   /// An action taken in the virtual space targeted at physical entities
   /// inside `region` (e.g. a simulated air raid).  The command is
@@ -115,6 +121,9 @@ class CoSpaceEngine {
     obs::Counter* virtual_commands;
     obs::Counter* relayed_commands;
     obs::Counter* events_published;
+    /// Wall-clock cost of the ingest hop, per QoS class
+    /// (engine.ingest_us{qos=...}).
+    obs::ConcurrentHistogram* ingest_us[kQosClassCount];
 
     void Fill(EngineStats* out) const;
   };

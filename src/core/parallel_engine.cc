@@ -161,6 +161,12 @@ ParallelEngine::ParallelEngine(ParallelEngineOptions options,
                          (8.0 * double(std::max<size_t>(1,
                                                         options.num_shards))),
                options.num_shards) {
+  // An out-of-range (or NaN) smoothing factor would stall or explode
+  // the EWMA; fall back to the default rather than propagate it.
+  if (!(options_.elastic.ewma_alpha > 0.0 &&
+        options_.elastic.ewma_alpha <= 1.0)) {
+    options_.elastic.ewma_alpha = ElasticOptions{}.ewma_alpha;
+  }
   const size_t n = sharder_.num_shards();
   const size_t accounting_tiles =
       options_.elastic.enabled ? sharder_.tile_code_limit() : 0;
@@ -259,6 +265,7 @@ void ParallelEngine::ChargeTile(Shard& shard, uint32_t tile, double amount) {
 }
 
 bool ParallelEngine::IngestOnShard(Shard& shard, const SensedUpdate& u) {
+  obs::ScopedTimer ingest_timer(shard.c.ingest_us[uint8_t(u.qos)]);
   shard.c.physical_updates->Add(1);
   const uint32_t pos_tile = sharder_.TileCodeOf(u.position);
   if (options_.elastic.enabled) {
@@ -271,7 +278,7 @@ bool ParallelEngine::IngestOnShard(Shard& shard, const SensedUpdate& u) {
   // The physical space always tracks ground truth.
   shard.physical.Move(u.id, u.position, u.t);
 
-  if (!shard.coherency.Offer(u.id, u.position, u.t)) {
+  if (!shard.coherency.Offer(u.id, u.position, u.t, /*bytes=*/64, u.qos)) {
     shard.c.suppressed_updates->Add(1);
     return false;
   }
@@ -283,7 +290,7 @@ bool ParallelEngine::IngestOnShard(Shard& shard, const SensedUpdate& u) {
   // overlaps, so position-routing makes cross-shard delivery exact.
   shard.c.events_published->Add(1);
   shard.outbox[sharder_.assignment()[pos_tile]].push_back(
-      MakeMirrorPositionEvent(u.id, u.position, u.t));
+      MakeMirrorPositionEvent(u.id, u.position, u.t, u.qos));
   return true;
 }
 
@@ -666,6 +673,11 @@ const EngineStats& ParallelEngine::shard_stats(size_t shard) const {
 
 pubsub::Broker& ParallelEngine::shard_broker(size_t shard) {
   return *shards_[shard]->broker;
+}
+
+void ParallelEngine::SetQosClock(const Clock* clock) {
+  std::lock_guard<std::mutex> lock(pipeline_mu_);
+  for (auto& shard : shards_) shard->broker->SetClock(clock);
 }
 
 const Entity* ParallelEngine::FindPhysical(EntityId id) const {

@@ -20,6 +20,9 @@ struct SensedUpdate {
   EntityId id = 0;
   geo::Vec3 position;
   Micros t = 0;
+  /// Rides the emitted mirror event end-to-end (shedding, scheduling,
+  /// per-class SLO accounting downstream).
+  QosClass qos = QosClass::kRealtime;
 };
 
 /// Maps positions to spatial shards through an explicit tile→shard
@@ -107,7 +110,11 @@ struct ElasticOptions {
   /// and skips all load accounting — zero overhead on the E18 path.
   bool enabled = false;
   /// EWMA smoothing factor folded once per pipeline run:
-  /// ewma = (1-alpha)*ewma + alpha*batch_load.
+  /// ewma = (1-alpha)*ewma + alpha*batch_load.  Higher values track
+  /// load drift faster at the cost of rebalancing on noise; values
+  /// outside (0, 1] fall back to the default at engine construction.  See
+  /// EXPERIMENTS.md E23 for the drift-adaptation limitation this knob
+  /// trades against.
   double ewma_alpha = 0.3;
   /// Rebalance when max/mean per-shard EWMA load exceeds this.
   double rebalance_threshold = 1.25;
@@ -273,6 +280,12 @@ class ParallelEngine {
 
   const EngineStats& shard_stats(size_t shard) const;
   pubsub::Broker& shard_broker(size_t shard);
+
+  /// Installs `clock` as the QoS delivery-latency clock on every shard
+  /// broker (see `Broker::SetClock`).  Pass the workload's virtual-time
+  /// clock so `broker.delivery_us{qos=...}` measures publish→deliver in
+  /// the same timebase as `Event::published_at`.  Null disables.
+  void SetQosClock(const Clock* clock);
 
   /// Looks up an entity in its home shard's spaces; nullptr if absent.
   const Entity* FindPhysical(EntityId id) const;

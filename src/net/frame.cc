@@ -31,6 +31,10 @@ inline uint64_t GetU64(const char* in) {
   return uint64_t(GetU32(in)) | (uint64_t(GetU32(in + 4)) << 32);
 }
 
+/// The QoS wire tag rides the top byte of the size field; modelled
+/// sizes are far below 2^56 so the packing is lossless.
+constexpr uint64_t kSizeMask = (uint64_t(1) << 56) - 1;
+
 }  // namespace
 
 void EncodeFrameHeader(const Message& msg, char* out) {
@@ -38,7 +42,8 @@ void EncodeFrameHeader(const Message& msg, char* out) {
   PutU32(out + 4, msg.from);
   PutU32(out + 8, msg.to);
   PutU32(out + 12, msg.type);
-  PutU64(out + 16, msg.size_bytes);
+  PutU64(out + 16, (msg.size_bytes & kSizeMask) |
+                       (uint64_t(QosWireTag(msg.qos)) << 56));
 }
 
 std::string EncodeFrame(const Message& msg) {
@@ -71,7 +76,9 @@ Status FrameDecoder::Feed(const char* data, size_t n,
     msg.from = GetU32(h);
     msg.to = GetU32(h + 4);
     msg.type = GetU32(h + 8);
-    msg.size_bytes = GetU64(h + 12);
+    const uint64_t size_and_qos = GetU64(h + 12);
+    msg.size_bytes = size_and_qos & kSizeMask;
+    msg.qos = QosFromWireTag(uint8_t(size_and_qos >> 56));
     if (payload_len > 0) {
       msg.payload = common::Buffer::CopyOf(
           common::Slice(h + kHeaderBody, payload_len));

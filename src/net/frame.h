@@ -20,8 +20,11 @@ namespace deluge::net {
 ///   u32 from        sender node id (cluster-global)
 ///   u32 to          destination node id
 ///   u32 type        application message type
-///   u64 size_bytes  modelled size (0 = use payload + overhead), so
-///                   bandwidth accounting matches the simulator's
+///   u64 size+qos    bits 0..55: modelled size (0 = payload + overhead,
+///                   so bandwidth accounting matches the simulator's);
+///                   bits 56..63: QoS wire tag (`QosWireTag`).  Legacy
+///                   encoders wrote sizes < 2^56 with zero top bits, so
+///                   their frames decode with qos = kBulk unchanged.
 ///   ...payload      `length - 20` opaque bytes
 ///
 /// The payload is the same zero-copy `common::Buffer` encoding the sim

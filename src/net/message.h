@@ -5,6 +5,7 @@
 
 #include "common/buffer.h"
 #include "common/clock.h"
+#include "common/qos.h"
 
 namespace deluge::net {
 
@@ -47,6 +48,10 @@ struct Message {
   common::Buffer payload;
   uint64_t size_bytes = 0;
   Micros sent_at = 0;
+  /// Service class (DESIGN.md §13).  Rides the frame header's size
+  /// field top byte on the socket path (sizes stay < 2^56); legacy
+  /// frames carry tag 0 there and decode as kBulk.
+  QosClass qos = QosClass::kBulk;
 
   /// Effective size used for bandwidth accounting (both backends).
   uint64_t WireSize() const {

@@ -4,7 +4,12 @@
 
 namespace deluge::net {
 
-Network::Network(Simulator* sim, uint64_t seed) : sim_(sim), rng_(seed) {}
+Network::Network(Simulator* sim, uint64_t seed) : sim_(sim), rng_(seed) {
+  for (QosClass c : kAllQosClasses) {
+    send_us_[uint8_t(c)] =
+        obs_.histogram("send_us", {{"qos", QosClassName(c)}});
+  }
+}
 
 const NetworkStats& Network::stats() const {
   snapshot_.messages_sent = messages_sent_->Value();
@@ -121,6 +126,7 @@ Status Network::Send(Message msg) {
     }
     messages_delivered_->Add(1);
     bytes_delivered_->Add(wire);
+    send_us_[uint8_t(m.qos)]->Record(sim_->Now() - m.sent_at);
     handlers_[to](m);
   });
   return Status::OK();

@@ -144,6 +144,10 @@ class Network {
   obs::Counter* drops_node_down_ = obs_.counter("drops_node_down");
   obs::Counter* drops_link_down_ = obs_.counter("drops_link_down");
   obs::Counter* drops_burst_loss_ = obs_.counter("drops_burst_loss");
+  /// Virtual-time send→deliver latency per QoS class
+  /// (net.send_us{qos=...}) — the transport hop of the per-class SLO
+  /// accounting.
+  obs::ConcurrentHistogram* send_us_[kQosClassCount] = {};
   mutable NetworkStats snapshot_;
 };
 

@@ -19,7 +19,14 @@ Broker::Broker(const geo::AABB& world, double cell_size, Deliver deliver,
       candidates_checked_(obs_.counter("candidates_checked")),
       deliveries_queued_(obs_.counter("deliveries_queued")),
       deliveries_shed_(obs_.counter("deliveries_shed")),
-      queue_high_water_(obs_.gauge("queue_high_water", obs::Gauge::Agg::kMax)) {}
+      queue_high_water_(obs_.gauge("queue_high_water", obs::Gauge::Agg::kMax)) {
+  for (QosClass c : kAllQosClasses) {
+    obs::Labels qos{{"qos", QosClassName(c)}};
+    delivery_us_[uint8_t(c)] = obs_.histogram("delivery_us", qos);
+    class_delivered_[uint8_t(c)] = obs_.counter("class_delivered", qos);
+    class_shed_[uint8_t(c)] = obs_.counter("class_shed", qos);
+  }
+}
 
 const BrokerStats& Broker::stats() const {
   snapshot_.events_published = events_published_->Value();
@@ -117,14 +124,16 @@ void Broker::SetQueueLimit(size_t limit) {
 
 void Broker::Enqueue(net::NodeId subscriber, const EventRef& event) {
   if (queue_.size() >= queue_limit_) {
-    // Shed the lowest-priority entry (oldest among ties); if the new
-    // event itself is lowest, shed it instead.  O(log n) via the
+    // Shed the lowest-class entry (oldest among ties); if the new
+    // event itself ranks lowest, shed it instead.  O(log n) via the
     // worst-first heap (the seed scanned the whole queue per eviction).
     deliveries_shed_->Add(1);
     if (queue_.empty() ||
-        queue_.PeekWorst().event->priority >= event->priority) {
+        QosRank(queue_.PeekWorst().event->qos) >= QosRank(event->qos)) {
+      class_shed_[uint8_t(event->qos)]->Add(1);
       return;  // the incoming event is the least important
     }
+    class_shed_[uint8_t(queue_.PeekWorst().event->qos)]->Add(1);
     queue_.PopWorst();
   }
   queue_.Push(subscriber, event, next_queue_seq_++);
@@ -132,13 +141,24 @@ void Broker::Enqueue(net::NodeId subscriber, const EventRef& event) {
   queue_high_water_->UpdateMax(double(queue_.size()));
 }
 
+void Broker::DeliverOne(net::NodeId subscriber, const Event& event) {
+  if (clock_ != nullptr) {
+    class_delivered_[uint8_t(event.qos)]->Add(1);
+    if (event.published_at > 0) {
+      delivery_us_[uint8_t(event.qos)]->Record(clock_->NowMicros() -
+                                               event.published_at);
+    }
+  }
+  if (deliver_) deliver_(subscriber, event);
+}
+
 size_t Broker::Drain(size_t max) {
   size_t delivered = 0;
   while (delivered < max && !queue_.empty()) {
-    // Highest priority first, FIFO within a priority — O(log n) pops
+    // Highest class rank first, FIFO within a class — O(log n) pops
     // from the best-first heap.
     DeliveryHeap::Item d = queue_.PopBest();
-    if (deliver_) deliver_(d.subscriber, *d.event);
+    DeliverOne(d.subscriber, *d.event);
     ++delivered;
   }
   return delivered;
@@ -163,8 +183,8 @@ size_t Broker::Publish(const Event& event) {
     if (queue_limit_ > 0) {
       if (shared == nullptr) shared = std::make_shared<const Event>(event);
       Enqueue(it->second.subscriber, shared);
-    } else if (deliver_) {
-      deliver_(it->second.subscriber, event);
+    } else {
+      DeliverOne(it->second.subscriber, event);
     }
   };
 

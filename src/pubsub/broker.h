@@ -21,7 +21,7 @@ struct BrokerStats {
   uint64_t candidates_checked = 0;  ///< subscriptions evaluated exactly
   // Bounded-queue mode only:
   uint64_t deliveries_queued = 0;
-  uint64_t deliveries_shed = 0;  ///< dropped by priority shedding
+  uint64_t deliveries_shed = 0;  ///< dropped by QoS-class shedding
   uint64_t queue_high_water = 0;
 };
 
@@ -60,14 +60,20 @@ class Broker {
   /// Switches to bounded-queue delivery (graceful degradation): Publish
   /// enqueues matched deliveries instead of invoking the callback
   /// inline, and `Drain` pumps them.  When the queue is full, the
-  /// lowest-priority entry (oldest among ties) is shed and counted —
-  /// overload degrades bulk traffic first instead of growing without
+  /// lowest-class entry (oldest among ties) is shed and counted —
+  /// overload degrades kBulk traffic first instead of growing without
   /// bound or dropping silently.  `limit` 0 restores inline delivery.
   void SetQueueLimit(size_t limit);
 
-  /// Delivers up to `max` queued entries in (priority, FIFO) order.
+  /// Delivers up to `max` queued entries in (class rank, FIFO) order.
   /// Returns the number delivered.  No-op in inline mode.
   size_t Drain(size_t max = size_t(-1));
+
+  /// Enables per-class delivery-latency accounting: each delivery of an
+  /// event with `published_at > 0` records (now - published_at) into
+  /// `broker.delivery_us{qos=...}`.  Null disables (the default), so
+  /// standalone brokers pay only a branch per delivery.
+  void SetClock(const Clock* clock) { clock_ = clock; }
 
   size_t queue_depth() const { return queue_.size(); }
 
@@ -80,6 +86,7 @@ class Broker {
   using CellKey = uint64_t;
 
   void Enqueue(net::NodeId subscriber, const EventRef& event);
+  void DeliverOne(net::NodeId subscriber, const Event& event);
 
   std::vector<CellKey> CellsCovering(const geo::AABB& box) const;
   CellKey CellFor(const geo::Vec3& p) const;
@@ -96,6 +103,7 @@ class Broker {
   std::unordered_map<std::string, std::unordered_set<uint64_t>> by_topic_;
   // Grid cell -> regional subscription ids touching that cell.
   std::unordered_map<CellKey, std::unordered_set<uint64_t>> by_cell_;
+  const Clock* clock_ = nullptr;  // per-class latency source (optional)
   obs::StatsScope obs_;
   obs::Counter* events_published_;
   obs::Counter* deliveries_;
@@ -103,6 +111,10 @@ class Broker {
   obs::Counter* deliveries_queued_;
   obs::Counter* deliveries_shed_;
   obs::Gauge* queue_high_water_;
+  // Per-QoS-class hop accounting, indexed by uint8_t(QosClass).
+  obs::ConcurrentHistogram* delivery_us_[kQosClassCount];
+  obs::Counter* class_delivered_[kQosClassCount];
+  obs::Counter* class_shed_[kQosClassCount];
   mutable BrokerStats snapshot_;
 };
 

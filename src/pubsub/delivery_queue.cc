@@ -99,7 +99,7 @@ void DeliveryHeap::Push(net::NodeId subscriber, EventRef event, uint64_t seq) {
   }
   Slot& s = slots_[slot];
   s.item = Item{subscriber, std::move(event), seq};
-  s.priority = s.item.event->priority;
+  s.priority = QosRank(s.item.event->qos);
   s.alive = true;
   s.refs = 2;
   ++live_;

@@ -53,8 +53,8 @@ class DeliveryHeap {
  private:
   struct Slot {
     Item item;
-    /// Cached from the event at Push so heap comparisons never read
-    /// through `item.event` — dead slots release their EventRef
+    /// `QosRank(event->qos)`, cached at Push so heap comparisons never
+    /// read through `item.event` — dead slots release their EventRef
     /// immediately but stay in the heaps as tombstones.
     uint8_t priority = 0;
     bool alive = false;

@@ -35,12 +35,17 @@ class ReliableDeliverer {
   /// `net` must outlive the deliverer.  `msg_type` tags the wire
   /// messages; the payload carries the event's wire encoding
   /// (`Event::EnsureEncoded`), serialised once and shared by refcount
-  /// across subscribers and retries.
+  /// across subscribers and retries.  `qos_policy` (default:
+  /// `QosPolicy::Default()`) caps the retry budget per class — the
+  /// effective attempts for an event are
+  /// min(policy.max_attempts, target(qos).max_retry_attempts), so
+  /// kRealtime fails fast while kBulk retries patiently.
   explicit ReliableDeliverer(net::Transport* net, RetryPolicy policy = {},
-                             uint64_t seed = 0xE11A);
+                             uint64_t seed = 0xE11A,
+                             const QosPolicy* qos_policy = nullptr);
 
   /// Sends `event` from `from` to `to`, retrying on synchronous
-  /// unavailability until the policy's budget runs out.
+  /// unavailability until the event's class budget runs out.
   void Deliver(net::NodeId from, net::NodeId to, const Event& event);
 
   CircuitBreakerOptions& breaker_options() { return breaker_options_; }
@@ -50,11 +55,12 @@ class ReliableDeliverer {
 
  private:
   void Attempt(net::NodeId from, net::NodeId to, common::Buffer payload,
-               uint64_t size_bytes, RetryState state);
+               uint64_t size_bytes, QosClass qos, RetryState state);
   CircuitBreaker& breaker_for(net::NodeId to);
 
   net::Transport* net_;
   RetryPolicy policy_;
+  const QosPolicy* qos_policy_;
   CircuitBreakerOptions breaker_options_;
   std::unordered_map<net::NodeId, CircuitBreaker> breakers_;
   Rng rng_;
@@ -65,6 +71,8 @@ class ReliableDeliverer {
   obs::Counter* retries_ = obs_.counter("retries");
   obs::Counter* gave_up_ = obs_.counter("gave_up");
   obs::Counter* fast_failed_ = obs_.counter("fast_failed");
+  // Per-class giveups: the SLO gate reads these as delivery failures.
+  obs::Counter* class_gave_up_[kQosClassCount] = {};
   mutable ReliableStats snapshot_;
 };
 

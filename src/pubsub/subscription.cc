@@ -8,8 +8,12 @@ namespace deluge::pubsub {
 
 // Event wire format (little-endian, storage/format.h conventions):
 //   varint32 topic_len | topic | u8 flags (bit0 = has position)
-//   | [3 x fixed64 position doubles] | fixed64 bytes | u8 priority
+//   | [3 x fixed64 position doubles] | fixed64 bytes | u8 qos_tag
 //   | fixed64 published_at | payload tuple (stream::Tuple wire form)
+//
+// qos_tag is QosWireTag(qos): 0 = kBulk, so legacy frames (which wrote
+// a zero priority byte here) decode as kBulk, and a default-class event
+// encodes byte-identically to the pre-QoS format.
 
 namespace {
 
@@ -55,7 +59,7 @@ const common::Buffer& Event::EnsureEncoded() const {
     PutDouble(&wire, position->z);
   }
   storage::PutFixed64(&wire, bytes);
-  wire.push_back(char(priority));
+  wire.push_back(char(QosWireTag(qos)));
   storage::PutFixed64(&wire, uint64_t(published_at));
   payload.EncodeTo(&wire);
   encoded_ = common::Buffer(std::move(wire));
@@ -83,7 +87,7 @@ bool Event::Decode(common::Slice in, Event* out) {
   }
   if (!storage::GetFixed64(&cursor, &out->bytes)) return false;
   if (cursor.empty()) return false;
-  out->priority = uint8_t(cursor.front());
+  out->qos = QosFromWireTag(uint8_t(cursor.front()));
   cursor.remove_prefix(1);
   uint64_t published_bits = 0;
   if (!storage::GetFixed64(&cursor, &published_bits)) return false;

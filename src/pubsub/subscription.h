@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/buffer.h"
+#include "common/qos.h"
 #include "geo/geometry.h"
 #include "net/network.h"
 #include "stream/tuple.h"
@@ -41,9 +42,9 @@ struct Event {
   stream::Tuple payload;
   std::optional<geo::Vec3> position;
   uint64_t bytes = 256;
-  /// Delivery priority under overload: higher survives shedding longer
-  /// (0 = bulk telemetry, higher = safety/interaction critical).
-  uint8_t priority = 0;
+  /// Service class (DESIGN.md §13): decides shed order under overload,
+  /// redelivery budget, and which SLO row the delivery counts against.
+  QosClass qos = QosClass::kBulk;
   /// Publish time (virtual); lets subscribers measure staleness.
   Micros published_at = 0;
 

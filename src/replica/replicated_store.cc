@@ -18,6 +18,21 @@ using storage::PutLengthPrefixed;
 
 }  // namespace
 
+void TuneTimeoutsFromRtt(ReplicaOptions* options, Micros floor, Micros cap) {
+  Histogram rtt;
+  for (const auto& sample : obs::MetricsRegistry::Global().Snapshot()) {
+    if (sample.kind == obs::MetricKind::kHistogram &&
+        sample.name == "transport.rtt_us") {
+      rtt.Merge(sample.hist);
+    }
+  }
+  if (rtt.count() == 0) return;
+  const Micros timeout =
+      std::clamp(Micros(4.0 * rtt.P99()), floor, std::max(floor, cap));
+  options->write_timeout = timeout;
+  options->read_timeout = timeout;
+}
+
 ReplicatedStore::ReplicatedStore(net::Transport* net, p2p::ChordRing* ring,
                                  ReplicaOptions options)
     : net_(net),

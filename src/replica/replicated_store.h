@@ -62,6 +62,19 @@ struct ReplicaOptions {
   uint64_t seed = 42;
 };
 
+/// Replaces the static per-attempt timeouts with ones derived from
+/// measured transport round-trips: both timeouts become
+/// clamp(4 × p99(transport.rtt_us), floor, cap), the TCP-RTO-style
+/// envelope (cf. SRTT + 4·RTTVAR).  The RTT histograms come from the
+/// socket transport's ping/pong loop (`SocketTransportOptions::
+/// ping_period`), merged across every transport instance in the
+/// process; with no RTT samples recorded yet `options` is left
+/// untouched, so callers can apply this unconditionally at startup and
+/// re-apply once pings have flowed.
+void TuneTimeoutsFromRtt(ReplicaOptions* options,
+                         Micros floor = 10 * kMicrosPerMilli,
+                         Micros cap = 500 * kMicrosPerMilli);
+
 /// Per-request write knobs.
 struct WriteOptions {
   int w = 0;  ///< ack quorum override (0 = store default)

@@ -3,7 +3,13 @@
 namespace deluge::runtime {
 
 ServerlessRuntime::ServerlessRuntime(net::Simulator* sim, Micros keep_alive)
-    : sim_(sim), keep_alive_(keep_alive) {}
+    : sim_(sim), keep_alive_(keep_alive) {
+  for (QosClass c : kAllQosClasses) {
+    obs::Labels qos{{"qos", QosClassName(c)}};
+    queue_wait_us_[uint8_t(c)] = obs_.histogram("queue_wait_us", qos);
+    class_shed_[uint8_t(c)] = obs_.counter("class_shed", qos);
+  }
+}
 
 void ServerlessRuntime::Register(FunctionSpec spec) {
   FunctionState fs;
@@ -41,8 +47,7 @@ void ServerlessRuntime::SetConcurrencyLimit(size_t max_concurrent,
 }
 
 void ServerlessRuntime::Invoke(const std::string& name,
-                               std::function<void()> done,
-                               uint8_t priority) {
+                               std::function<void()> done, QosClass qos) {
   auto it = functions_.find(name);
   if (it == functions_.end()) {
     dropped_->Add(1);
@@ -51,6 +56,7 @@ void ServerlessRuntime::Invoke(const std::string& name,
   FunctionState& fs = it->second;
   fs.invocations->Add(1);
   Micros start = sim_->Now();
+  const uint8_t priority = QosRank(qos);
 
   if (max_concurrent_ > 0 && running_ >= max_concurrent_) {
     // At capacity: queue, or shed the least important invocation.
@@ -66,11 +72,13 @@ void ServerlessRuntime::Invoke(const std::string& name,
       }
       shed_->Add(1);
       if (victim == size_t(-1) || pending_[victim].priority >= priority) {
+        class_shed_[uint8_t(qos)]->Add(1);
         return;  // the incoming invocation is the least important
       }
+      class_shed_[uint8_t(pending_[victim].qos)]->Add(1);
       pending_.erase(pending_.begin() + long(victim));
     }
-    pending_.push_back(PendingInvocation{&fs, std::move(done), priority,
+    pending_.push_back(PendingInvocation{&fs, std::move(done), priority, qos,
                                          start, next_pending_seq_++});
     return;
   }
@@ -90,6 +98,7 @@ void ServerlessRuntime::DrainQueue() {
     }
     PendingInvocation inv = std::move(pending_[best]);
     pending_.erase(pending_.begin() + long(best));
+    queue_wait_us_[uint8_t(inv.qos)]->Record(sim_->Now() - inv.enqueued_at);
     Start(inv.fs, inv.enqueued_at, std::move(inv.done));
   }
 }

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/histogram.h"
+#include "common/qos.h"
 #include "net/simulator.h"
 #include "obs/metrics.h"
 
@@ -52,16 +53,17 @@ class ServerlessRuntime {
 
   /// Invokes `name`; `done` (optional) fires at completion in virtual
   /// time.  Unknown functions are dropped (counted).  Under a
-  /// concurrency limit, `priority` decides who waits and who is shed.
+  /// concurrency limit, the QoS class decides who waits and who is shed
+  /// (same taxonomy as every other layer, DESIGN.md §13).
   void Invoke(const std::string& name, std::function<void()> done = nullptr,
-              uint8_t priority = 0);
+              QosClass qos = QosClass::kBulk);
 
   /// Bounds concurrent executions (graceful degradation).  Excess
-  /// invocations wait in a bounded queue served highest-priority-first;
-  /// when the queue is also full, the lowest-priority waiter (or the
-  /// incoming invocation, if it is the least important) is shed and
-  /// counted — admission latency grows before anything is lost, and
-  /// what is lost is the bulk tier, never silently.
+  /// invocations wait in a bounded queue served best-class-first; when
+  /// the queue is also full, the lowest-class waiter (or the incoming
+  /// invocation, if it is the least important) is shed and counted —
+  /// admission latency grows before anything is lost, and what is lost
+  /// is the kBulk tier, never silently.
   /// `max_concurrent` 0 = unlimited (the default, previous behavior).
   void SetConcurrencyLimit(size_t max_concurrent, size_t queue_limit);
 
@@ -94,9 +96,10 @@ class ServerlessRuntime {
   struct PendingInvocation {
     FunctionState* fs;
     std::function<void()> done;
-    uint8_t priority;
+    uint8_t priority;  ///< QosRank(qos): bigger = admitted first
+    QosClass qos;
     Micros enqueued_at;
-    uint64_t seq;  ///< FIFO within a priority
+    uint64_t seq;  ///< FIFO within a class
   };
 
   void ScheduleReclaim(FunctionState* fs, uint64_t generation);
@@ -116,6 +119,9 @@ class ServerlessRuntime {
   obs::StatsScope obs_{"serverless"};
   obs::Counter* dropped_ = obs_.counter("dropped");
   obs::Counter* shed_ = obs_.counter("shed");
+  // Per-class admission accounting, indexed by uint8_t(QosClass).
+  obs::ConcurrentHistogram* queue_wait_us_[kQosClassCount] = {};
+  obs::Counter* class_shed_[kQosClassCount] = {};
 };
 
 }  // namespace deluge::runtime

@@ -100,6 +100,11 @@ KVStore::KVStore(const KVStoreOptions& options)
     owned_pool_ = std::make_unique<ThreadPool>(2);
     pool_ = owned_pool_.get();
   }
+  for (QosClass c : kAllQosClasses) {
+    commit_qos_us_[uint8_t(c)] =
+        obs_.histogram("commit_us", {{"qos", QosClassName(c)}});
+  }
+  qos_forced_syncs_ = obs_.counter("qos_forced_syncs");
 }
 
 KVStore::~KVStore() {
@@ -296,23 +301,24 @@ Status KVStore::Recover() {
 
 // ----------------------------------------------------------- Write path
 
-Status KVStore::Put(std::string_view key, std::string_view value) {
+Status KVStore::Put(std::string_view key, std::string_view value,
+                    const WriteOptions& opts) {
   if (key.empty()) return Status::InvalidArgument("empty key");
   WriteBatch batch;
   batch.Put(key, value);
-  Writer w(&batch);
+  Writer w(&batch, opts.qos, opts.WantsSync());
   return CommitWriter(&w);
 }
 
-Status KVStore::Delete(std::string_view key) {
+Status KVStore::Delete(std::string_view key, const WriteOptions& opts) {
   if (key.empty()) return Status::InvalidArgument("empty key");
   WriteBatch batch;
   batch.Delete(key);
-  Writer w(&batch);
+  Writer w(&batch, opts.qos, opts.WantsSync());
   return CommitWriter(&w);
 }
 
-Status KVStore::Write(const WriteBatch& batch) {
+Status KVStore::Write(const WriteBatch& batch, const WriteOptions& opts) {
   if (batch.ops_.empty()) return Status::OK();
   // A batch is one WAL record; replay rejects records over 64 MB as
   // corruption, so an oversized batch would be acknowledged yet
@@ -324,15 +330,24 @@ Status KVStore::Write(const WriteBatch& batch) {
   for (const auto& op : batch.ops_) {
     if (op.key.empty()) return Status::InvalidArgument("empty key");
   }
-  Writer w(&batch);
+  Writer w(&batch, opts.qos, opts.WantsSync());
   return CommitWriter(&w);
 }
 
 Status KVStore::CommitWriter(Writer* w) {
+  const int64_t enqueued_us = obs::SteadyNowMicros();
   std::unique_lock<std::mutex> lock(mu_);
   writers_.push_back(w);
   while (!w->done && w != writers_.front()) w->cv.wait(lock);
-  if (w->done) return w->status;  // a leader committed for us
+  if (w->done) {
+    // A leader committed for us; the recorded latency includes the
+    // group wait, which is what a caller of Put/Write experiences.
+    if (w->batch != nullptr) {
+      commit_qos_us_[uint8_t(w->qos)]->Record(obs::SteadyNowMicros() -
+                                              enqueued_us);
+    }
+    return w->status;
+  }
 
   // This writer is the group leader.
   obs::Span span("storage.commit");
@@ -342,6 +357,9 @@ Status KVStore::CommitWriter(Writer* w) {
   Writer* last = w;
   std::vector<const WriteBatch*> group;
   size_t group_ops = 0;
+  // One durable writer upgrades the whole group: the group shares one
+  // WAL append, so its sync covers every member's record.
+  bool group_sync = options_.sync_wal || w->sync;
   if (s.ok() && w->batch != nullptr) {
     group.push_back(w->batch);
     group_ops = w->batch->ops_.size();
@@ -354,6 +372,7 @@ Status KVStore::CommitWriter(Writer* w) {
         group.push_back(follower->batch);
         group_ops += follower->batch->ops_.size();
         group_bytes += follower->batch->approximate_bytes();
+        group_sync = group_sync || follower->sync;
         last = follower;
       }
     }
@@ -382,9 +401,10 @@ Status KVStore::CommitWriter(Writer* w) {
       records.push_back(std::move(rec));
     }
     std::vector<common::Slice> record_slices(records.begin(), records.end());
-    s = wal_.AppendBatch(record_slices, options_.sync_wal);
-    if (s.ok() && options_.sync_wal) {
+    s = wal_.AppendBatch(record_slices, group_sync);
+    if (s.ok() && group_sync) {
       wal_syncs_->Add(1);
+      if (!options_.sync_wal) qos_forced_syncs_->Add(1);
     }
     lock.lock();
 
@@ -416,6 +436,10 @@ Status KVStore::CommitWriter(Writer* w) {
     if (ready == last) break;
   }
   if (!writers_.empty()) writers_.front()->cv.notify_one();
+  if (w->batch != nullptr) {
+    commit_qos_us_[uint8_t(w->qos)]->Record(obs::SteadyNowMicros() -
+                                            enqueued_us);
+  }
   return s;
 }
 

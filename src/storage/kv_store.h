@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/qos.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
@@ -54,6 +55,25 @@ struct KVStoreOptions {
   /// Test hook: fault injector for SSTable builds (flush/compaction
   /// output files).  Not owned.
   IoFaultInjector* table_faults = nullptr;
+};
+
+/// Per-write options.  The QoS class maps onto the group-commit vs
+/// async-ack durability split (DESIGN.md §13): classes whose policy row
+/// sets `durable_commit` (kTelemetry by default) force the commit
+/// group's WAL sync even when the store runs `sync_wal = false`, while
+/// other classes ride the store default.  One durable writer in a
+/// commit group upgrades the whole group — followers get durability for
+/// free, the group still pays at most one fdatasync.
+struct WriteOptions {
+  QosClass qos = QosClass::kBulk;
+  /// Policy table consulted for `durable_commit`; null = process default.
+  const QosPolicy* policy = nullptr;
+
+  bool WantsSync() const {
+    return (policy != nullptr ? *policy : QosPolicy::Default())
+        .target(qos)
+        .durable_commit;
+  }
 };
 
 /// Operational counters (a consistent-enough snapshot; internally the
@@ -177,12 +197,15 @@ class KVStore {
   KVStore(const KVStore&) = delete;
   KVStore& operator=(const KVStore&) = delete;
 
-  Status Put(std::string_view key, std::string_view value);
-  Status Delete(std::string_view key);
+  Status Put(std::string_view key, std::string_view value,
+             const WriteOptions& opts = {});
+  Status Delete(std::string_view key, const WriteOptions& opts = {});
 
   /// Commits every operation in `batch` atomically: one commit-group
-  /// slot, one WAL append, at most one sync.
-  Status Write(const WriteBatch& batch);
+  /// slot, one WAL append, at most one sync.  `opts.qos` decides
+  /// durability (see `WriteOptions`) and which `{qos=...}` commit
+  /// histogram the latency lands in.
+  Status Write(const WriteBatch& batch, const WriteOptions& opts = {});
 
   /// Point lookup of the newest visible version.
   Status Get(std::string_view key, std::string* value);
@@ -231,8 +254,12 @@ class KVStore {
   /// The front of `writers_` is the group leader; followers sleep on
   /// their own cv until the leader commits for them.
   struct Writer {
-    explicit Writer(const WriteBatch* b) : batch(b) {}
+    explicit Writer(const WriteBatch* b, QosClass q = QosClass::kBulk,
+                    bool s = false)
+        : batch(b), qos(q), sync(s) {}
     const WriteBatch* batch;
+    QosClass qos;
+    bool sync;  ///< this writer's class requires a durable commit
     Status status;
     bool done = false;
     std::condition_variable cv;
@@ -354,6 +381,12 @@ class KVStore {
   obs::ConcurrentHistogram* commit_us_ = obs_.histogram("commit_us");
   obs::ConcurrentHistogram* flush_us_ = obs_.histogram("flush_us");
   obs::ConcurrentHistogram* compact_us_ = obs_.histogram("compact_us");
+  // Per-class commit latency (enqueue -> committed, leaders and
+  // followers alike) — the storage hop of the {qos=...} SLO accounting.
+  obs::ConcurrentHistogram* commit_qos_us_[kQosClassCount] = {};
+  // Commit-group syncs forced by a durable class on a sync_wal=false
+  // store (vs `wal_syncs`, which counts every sync issued).
+  obs::Counter* qos_forced_syncs_ = nullptr;
 };
 
 }  // namespace deluge::storage

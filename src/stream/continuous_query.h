@@ -6,21 +6,25 @@
 #include <vector>
 
 #include "common/histogram.h"
+#include "common/qos.h"
 #include "stream/operators.h"
 
 namespace deluge::stream {
 
 /// Quality-of-service contract of a continuous query (Section IV-C:
 /// "schedule multiple (continuous) queries that meet different QoS
-/// metrics").
+/// metrics").  The importance axis is the process-wide `QosClass`
+/// taxonomy (DESIGN.md §13) — the scheduler derives its weight from the
+/// class's policy row instead of a free-floating per-query number.
 struct QosSpec {
+  /// The query's service class; orders queries under kClassAware and
+  /// supplies the fair-share weight under kWeighted.
+  QosClass cls = QosClass::kInteractive;
   /// Soft latency target from tuple arrival to sink output.
   Micros deadline = 100 * kMicrosPerMilli;
-  /// Relative importance for weighted schedulers (> 0).
-  double weight = 1.0;
-  /// Priority class boost for physical-space-origin tuples (space-aware
-  /// scheduling, Section IV-G).
-  bool prioritize_physical = false;
+
+  /// Fair-share weight from the class policy row.
+  double weight() const { return QosPolicy::Default().target(cls).weight; }
 };
 
 /// A standing dataflow: a linear pipeline of operators with a sink.

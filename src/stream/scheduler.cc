@@ -16,14 +16,19 @@ std::string PolicyName(SchedulingPolicy policy) {
       return "least-slack";
     case SchedulingPolicy::kWeighted:
       return "weighted";
-    case SchedulingPolicy::kSpaceAware:
-      return "space-aware";
+    case SchedulingPolicy::kClassAware:
+      return "class-aware";
   }
   return "unknown";
 }
 
 StreamScheduler::StreamScheduler(SimClock* clock, SchedulingPolicy policy)
-    : clock_(clock), policy_(policy) {}
+    : clock_(clock), policy_(policy) {
+  for (QosClass c : kAllQosClasses) {
+    class_latency_us_[uint8_t(c)] =
+        obs_.histogram("latency_us", {{"qos", QosClassName(c)}});
+  }
+}
 
 void StreamScheduler::Register(ContinuousQuery* query) {
   by_id_[query->id()] = queries_.size();
@@ -109,7 +114,7 @@ int StreamScheduler::PickNext() const {
         const auto& q = queries_[i];
         if (q.queue.empty()) continue;
         double age = double(now - q.queue.front().arrival) + 1.0;
-        double score = -age * q.query->qos().weight;
+        double score = -age * q.query->qos().weight();
         if (score < best_score) {
           best_score = score;
           best = int(i);
@@ -117,17 +122,25 @@ int StreamScheduler::PickNext() const {
       }
       return best;
     }
-    case SchedulingPolicy::kSpaceAware: {
-      // Physical first; FIFO inside a class.
+    case SchedulingPolicy::kClassAware: {
+      // Best QoS class first (tuple-level, so one query's kRealtime
+      // tuples outrank another's kBulk); physical-space origin breaks
+      // class ties (Section IV-G); FIFO inside a (class, space) pair.
       uint64_t best_seq = std::numeric_limits<uint64_t>::max();
+      int best_rank = -1;
       bool best_physical = false;
       for (size_t i = 0; i < queries_.size(); ++i) {
         const auto& q = queries_[i];
         if (q.queue.empty()) continue;
         const Item& item = q.queue.front();
+        int rank = QosRank(item.tuple.qos);
         bool physical = item.tuple.space == Space::kPhysical;
-        if ((physical && !best_physical) ||
-            (physical == best_physical && item.seq < best_seq)) {
+        bool better = rank > best_rank ||
+                      (rank == best_rank &&
+                       ((physical && !best_physical) ||
+                        (physical == best_physical && item.seq < best_seq)));
+        if (better) {
+          best_rank = rank;
           best_physical = physical;
           best_seq = item.seq;
           best = int(i);
@@ -152,6 +165,7 @@ bool StreamScheduler::Step() {
   q.query->Push(item.tuple);
   Micros latency = clock_->NowMicros() - item.arrival;
   q.latency->Record(latency);
+  class_latency_us_[uint8_t(item.tuple.qos)]->Record(latency);
   q.processed->Add(1);
   if (latency > q.query->qos().deadline) q.deadline_misses->Add(1);
   return true;

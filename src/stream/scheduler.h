@@ -19,8 +19,9 @@ enum class SchedulingPolicy {
   kFifo,         ///< global arrival order
   kEdf,          ///< earliest absolute deadline first
   kLeastSlack,   ///< minimum (deadline - now - cost) first
-  kWeighted,     ///< age x QoS-weight priority (aged weighted fair)
-  kSpaceAware,   ///< physical-space tuples first, FIFO within class
+  kWeighted,     ///< age x class-weight priority (aged weighted fair)
+  kClassAware,   ///< best QosClass first (physical-space breaks ties),
+                 ///< FIFO within a class
 };
 
 std::string PolicyName(SchedulingPolicy policy);
@@ -92,6 +93,9 @@ class StreamScheduler {
   uint64_t next_seq_ = 0;
   obs::StatsScope obs_{"stream"};
   obs::Counter* dropped_ = obs_.counter("dropped");
+  // Per-class processing latency, indexed by uint8_t(QosClass) — the
+  // query-layer hop of the end-to-end {qos=...} accounting.
+  obs::ConcurrentHistogram* class_latency_us_[kQosClassCount] = {};
 };
 
 }  // namespace deluge::stream

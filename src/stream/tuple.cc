@@ -100,9 +100,11 @@ const Value* Tuple::FindByName(std::string_view name) const {
 }
 
 // Wire format (little-endian, storage/format.h conventions):
-//   fixed64 event_time | u8 space | varint32 key_len | key
+//   fixed64 event_time | u8 space_qos | varint32 key_len | key
 //   | varint32 field_count
 //   | per field: varint32 name_len | name | u8 type | value
+// space_qos packs bit 0 = Space and bits 1.. = QosWireTag(qos); legacy
+// encoders wrote only 0/1 here, which decodes as (space, kBulk).
 // Value encodings by type tag (= variant index):
 //   0 int64  -> fixed64    1 double -> fixed64 (bit pattern)
 //   2 string -> varint32 len + bytes              3 bool -> u8
@@ -149,7 +151,7 @@ void Tuple::EncodeTo(std::string* dst) const {
   using storage::PutLengthPrefixed;
   using storage::PutVarint32;
   PutFixed64(dst, uint64_t(event_time));
-  dst->push_back(char(uint8_t(space)));
+  dst->push_back(char(uint8_t(space) | uint8_t(QosWireTag(qos) << 1)));
   PutLengthPrefixed(dst, key);
   PutVarint32(dst, uint32_t(fields_.size()));
   for (const Field& f : fields_) {
@@ -193,8 +195,9 @@ bool Tuple::DecodeFrom(std::string_view* cursor, Tuple* out) {
   out->event_time = Micros(time_bits);
   if (cursor->empty()) return false;
   uint8_t space_byte = uint8_t(cursor->front());
-  if (space_byte > uint8_t(Space::kVirtual)) return false;
-  out->space = Space(space_byte);
+  out->space = Space(space_byte & 1);
+  // Unknown future tags degrade to kBulk rather than failing decode.
+  out->qos = QosFromWireTag(uint8_t(space_byte >> 1));
   cursor->remove_prefix(1);
   std::string_view key;
   if (!GetLengthPrefixed(cursor, &key)) return false;

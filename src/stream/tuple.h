@@ -9,6 +9,7 @@
 
 #include "common/buffer.h"
 #include "common/clock.h"
+#include "common/qos.h"
 #include "common/small_vec.h"
 
 namespace deluge::stream {
@@ -70,6 +71,10 @@ class Tuple {
 
   Micros event_time = 0;
   Space space = Space::kPhysical;
+  /// Service class (DESIGN.md §13).  Shares the space wire byte
+  /// (bit 0 = space, bits 1.. = QoS tag) so legacy encodings — which
+  /// only ever wrote 0 or 1 — decode unchanged as kBulk.
+  QosClass qos = QosClass::kBulk;
   std::string key;
 
   /// Typed field access; std::nullopt when absent or wrong type.

@@ -305,7 +305,7 @@ TEST(EventWireTest, EncodeDecodeRoundTrip) {
   e.topic = "alerts";
   e.position = geo::Vec3{1.5, -2.5, 10.0};
   e.bytes = 2048;
-  e.priority = 7;
+  e.qos = QosClass::kInteractive;
   e.published_at = 42;
   e.payload.key = "sensor-9";
   e.payload.Set("reading", 3.25);
@@ -323,7 +323,7 @@ TEST(EventWireTest, EncodeDecodeRoundTrip) {
   EXPECT_EQ(back.position->y, -2.5);
   EXPECT_EQ(back.position->z, 10.0);
   EXPECT_EQ(back.bytes, 2048u);
-  EXPECT_EQ(back.priority, 7);
+  EXPECT_EQ(back.qos, QosClass::kInteractive);
   EXPECT_EQ(back.published_at, 42);
   EXPECT_EQ(back.payload.key, "sensor-9");
   EXPECT_EQ(back.payload.Get<double>("reading"), 3.25);
@@ -380,7 +380,7 @@ TEST(DeliveryHeapShedTest, BrokerSheddingFreesPayloadBuffers) {
   for (int i = 0; i < 50; ++i) {
     pubsub::Event e;
     e.topic = "bulk";
-    e.priority = uint8_t(i % 3);
+    e.qos = kAllQosClasses[i % 3];
     e.payload.Set("seq", int64_t{i});
     e.EnsureEncoded();  // give the event a live payload Buffer
     broker.Publish(e);

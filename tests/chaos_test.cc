@@ -216,11 +216,11 @@ TEST_F(NetFaultTest, BurstLossDropsSilently) {
 
 // -------------------------------------------------- graceful degradation
 
-TEST(BrokerSheddingTest, BoundedQueueShedsLowestPriorityFirst) {
-  std::vector<uint8_t> delivered;
+TEST(BrokerSheddingTest, BoundedQueueShedsLowestClassFirst) {
+  std::vector<QosClass> delivered;
   pubsub::Broker broker(geo::AABB({0, 0, 0}, {100, 100, 100}), 10.0,
                         [&](net::NodeId, const pubsub::Event& e) {
-                          delivered.push_back(e.priority);
+                          delivered.push_back(e.qos);
                         });
   pubsub::Subscription sub;
   sub.subscriber = 1;
@@ -228,24 +228,29 @@ TEST(BrokerSheddingTest, BoundedQueueShedsLowestPriorityFirst) {
   broker.Subscribe(sub);
   broker.SetQueueLimit(3);
 
-  for (uint8_t priority : {0, 1, 2, 3, 0}) {
+  for (QosClass qos : {QosClass::kBulk, QosClass::kTelemetry,
+                       QosClass::kInteractive, QosClass::kRealtime,
+                       QosClass::kBulk}) {
     pubsub::Event e;
     e.topic = "t";
-    e.priority = priority;
+    e.qos = qos;
     broker.Publish(e);
   }
-  // Queue holds {1,2,3}: the first p0 was evicted by p3, the second p0
-  // was refused at the door.
+  // Queue holds {telemetry,interactive,realtime}: the first bulk event
+  // was evicted by realtime, the second bulk refused at the door.
   EXPECT_EQ(broker.stats().deliveries_shed, 2u);
   EXPECT_EQ(broker.queue_depth(), 3u);
   EXPECT_EQ(broker.stats().queue_high_water, 3u);
 
   EXPECT_EQ(broker.Drain(), 3u);
-  EXPECT_EQ(delivered, (std::vector<uint8_t>{3, 2, 1}));
+  EXPECT_EQ(delivered,
+            (std::vector<QosClass>{QosClass::kRealtime,
+                                   QosClass::kInteractive,
+                                   QosClass::kTelemetry}));
   EXPECT_EQ(broker.queue_depth(), 0u);
 }
 
-TEST(ServerlessSheddingTest, ConcurrencyLimitShedsAndServesByPriority) {
+TEST(ServerlessSheddingTest, ConcurrencyLimitShedsAndServesByClass) {
   net::Simulator sim;
   runtime::ServerlessRuntime rt(&sim, /*keep_alive=*/0);
   runtime::FunctionSpec spec;
@@ -255,21 +260,22 @@ TEST(ServerlessSheddingTest, ConcurrencyLimitShedsAndServesByPriority) {
   rt.Register(spec);
   rt.SetConcurrencyLimit(/*max_concurrent=*/1, /*queue_limit=*/2);
 
-  std::vector<int> completed;
-  auto invoke = [&](int priority) {
-    rt.Invoke("f", [&completed, priority] { completed.push_back(priority); },
-              uint8_t(priority));
+  std::vector<QosClass> completed;
+  auto invoke = [&](QosClass qos) {
+    rt.Invoke("f", [&completed, qos] { completed.push_back(qos); }, qos);
   };
-  invoke(0);  // runs immediately
-  invoke(1);  // queued
-  invoke(2);  // queued
-  invoke(3);  // queue full: evicts the p1 waiter
-  invoke(0);  // queue full of higher priorities: shed at the door
+  invoke(QosClass::kBulk);         // runs immediately
+  invoke(QosClass::kTelemetry);    // queued
+  invoke(QosClass::kInteractive);  // queued
+  invoke(QosClass::kRealtime);     // queue full: evicts the telemetry waiter
+  invoke(QosClass::kBulk);  // queue full of higher classes: shed at the door
   EXPECT_EQ(rt.shed(), 2u);
   EXPECT_EQ(rt.queue_depth(), 2u);
   sim.Run();
   // The free slot always goes to the most important waiter.
-  EXPECT_EQ(completed, (std::vector<int>{0, 3, 2}));
+  EXPECT_EQ(completed,
+            (std::vector<QosClass>{QosClass::kBulk, QosClass::kRealtime,
+                                   QosClass::kInteractive}));
   EXPECT_EQ(rt.queue_depth(), 0u);
 }
 

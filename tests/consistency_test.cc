@@ -171,7 +171,7 @@ TEST(TxSchedulerTest, FifoDeliversInOrder) {
     PendingUpdate u;
     u.id = i;
     u.bytes = 100;  // 100 ms each
-    u.urgency = Urgency::kBulk;
+    u.qos = QosClass::kBulk;
     u.on_delivered = [&order, i](Micros) { order.push_back(i); };
     sched.Submit(std::move(u));
   }
@@ -189,12 +189,12 @@ TEST(TxSchedulerTest, StrictPriorityJumpsBulkBacklog) {
   for (int i = 0; i < 10; ++i) {
     PendingUpdate u;
     u.bytes = 1000;
-    u.urgency = Urgency::kBulk;
+    u.qos = QosClass::kBulk;
     sched.Submit(std::move(u));
   }
   PendingUpdate critical;
   critical.bytes = 100;
-  critical.urgency = Urgency::kCritical;
+  critical.qos = QosClass::kRealtime;
   critical.on_delivered = [&](Micros t) { critical_delivery = t; };
   sched.Submit(std::move(critical));
   sim.Run();
@@ -210,18 +210,18 @@ TEST(TxSchedulerTest, FifoMakesCriticalWaitBehindBacklog) {
   for (int i = 0; i < 10; ++i) {
     PendingUpdate u;
     u.bytes = 1000;
-    u.urgency = Urgency::kBulk;
+    u.qos = QosClass::kBulk;
     sched.Submit(std::move(u));
   }
   PendingUpdate critical;
   critical.bytes = 100;
-  critical.urgency = Urgency::kCritical;
+  critical.qos = QosClass::kRealtime;
   critical.deadline = 2 * kMicrosPerSecond;
   critical.on_delivered = [&](Micros t) { critical_delivery = t; };
   sched.Submit(std::move(critical));
   sim.Run();
   EXPECT_GE(critical_delivery, Micros(10 * kMicrosPerSecond));
-  EXPECT_EQ(sched.stats_for(Urgency::kCritical).deadline_misses, 1u);
+  EXPECT_EQ(sched.stats_for(QosClass::kRealtime).deadline_misses, 1u);
 }
 
 TEST(TxSchedulerTest, EdfOrdersWithinClass) {
@@ -232,14 +232,14 @@ TEST(TxSchedulerTest, EdfOrdersWithinClass) {
   // scheduler must choose among them.
   PendingUpdate dummy;
   dummy.bytes = 100;
-  dummy.urgency = Urgency::kHigh;
+  dummy.qos = QosClass::kInteractive;
   sched.Submit(std::move(dummy));
 
   for (uint64_t i = 0; i < 3; ++i) {
     PendingUpdate u;
     u.id = i;
     u.bytes = 100;
-    u.urgency = Urgency::kHigh;
+    u.qos = QosClass::kInteractive;
     u.deadline = Micros((3 - i) * kMicrosPerSecond);  // later items more urgent
     u.on_delivered = [&order, i](Micros) { order.push_back(i); };
     sched.Submit(std::move(u));
@@ -254,12 +254,12 @@ TEST(TxSchedulerTest, StatsPerClass) {
   for (int i = 0; i < 5; ++i) {
     PendingUpdate u;
     u.bytes = 1000;
-    u.urgency = i % 2 == 0 ? Urgency::kHigh : Urgency::kNormal;
+    u.qos = i % 2 == 0 ? QosClass::kInteractive : QosClass::kTelemetry;
     sched.Submit(std::move(u));
   }
   sim.Run();
-  EXPECT_EQ(sched.stats_for(Urgency::kHigh).delivered, 3u);
-  EXPECT_EQ(sched.stats_for(Urgency::kNormal).delivered, 2u);
+  EXPECT_EQ(sched.stats_for(QosClass::kInteractive).delivered, 3u);
+  EXPECT_EQ(sched.stats_for(QosClass::kTelemetry).delivered, 2u);
   EXPECT_EQ(sched.queued(), 0u);
 }
 

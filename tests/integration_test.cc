@@ -199,14 +199,14 @@ TEST(IntegrationTest, CoherencyPlusPriorityLinkKeepsCommandsTimely) {
     for (const auto& r : fleet.Tick(100 * kMicrosPerMilli, now)) {
       if (filter.Offer(r.entity, r.position, r.t)) {
         consistency::PendingUpdate u;
-        u.urgency = consistency::Urgency::kHigh;
+        u.qos = QosClass::kInteractive;
         u.bytes = 64;
         link.Submit(std::move(u));
       }
     }
     if (tick % 10 == 5) {
       consistency::PendingUpdate cmd;
-      cmd.urgency = consistency::Urgency::kCritical;
+      cmd.qos = QosClass::kRealtime;
       cmd.bytes = 128;
       Micros sent = sim.Now();
       cmd.on_delivered = [&, sent](Micros at) {

@@ -229,13 +229,13 @@ TEST(BrokerOverlayTest, LoadSpreadsAcrossBrokers) {
 }
 
 // The heap-backed delivery queue must drain in exactly the order the
-// seed's linear scans produced: priority descending, FIFO within a
-// priority — here across hundreds of interleaved priorities, where a
-// subtle heap bug (e.g. unstable ties) would scramble the sequence.
-TEST(BrokerQueueTest, HeapDrainMatchesPriorityThenFifoOrder) {
-  std::vector<std::pair<uint8_t, int>> delivered;  // (priority, payload id)
+// seed's linear scans produced: QoS rank descending, FIFO within a
+// class — here across hundreds of interleaved classes, where a subtle
+// heap bug (e.g. unstable ties) would scramble the sequence.
+TEST(BrokerQueueTest, HeapDrainMatchesClassRankThenFifoOrder) {
+  std::vector<std::pair<uint8_t, int>> delivered;  // (qos rank, payload id)
   Broker broker(kWorld, 50.0, [&](net::NodeId, const Event& e) {
-    delivered.emplace_back(e.priority,
+    delivered.emplace_back(QosRank(e.qos),
                            int(*e.payload.Get<int64_t>("id")));
   });
   Subscription sub;
@@ -248,12 +248,12 @@ TEST(BrokerQueueTest, HeapDrainMatchesPriorityThenFifoOrder) {
   std::vector<std::pair<uint8_t, int>> expected;
   for (int i = 0; i < 400; ++i) {
     Event e = MakeEvent("t");
-    e.priority = uint8_t(rng.Uniform(8));
+    e.qos = kAllQosClasses[rng.Uniform(kQosClassCount)];
     e.payload.Set("id", int64_t(i));
-    expected.emplace_back(e.priority, i);
+    expected.emplace_back(QosRank(e.qos), i);
     broker.Publish(e);
   }
-  // Priority descending; insertion (seq) order within each priority.
+  // Rank descending; insertion (seq) order within each class.
   std::stable_sort(expected.begin(), expected.end(),
                    [](const auto& a, const auto& b) {
                      return a.first > b.first;
@@ -263,9 +263,9 @@ TEST(BrokerQueueTest, HeapDrainMatchesPriorityThenFifoOrder) {
 }
 
 // Shedding through the worst-first heap: evictions strike the lowest
-// priority (oldest first), and an incoming event no better than the
+// class (oldest first), and an incoming event no better than the
 // current worst is refused at the door.
-TEST(BrokerQueueTest, HeapShedsLowestPriorityOldestFirst) {
+TEST(BrokerQueueTest, HeapShedsLowestClassOldestFirst) {
   std::vector<int> delivered;
   Broker broker(kWorld, 50.0, [&](net::NodeId, const Event& e) {
     delivered.push_back(int(*e.payload.Get<int64_t>("id")));
@@ -276,27 +276,29 @@ TEST(BrokerQueueTest, HeapShedsLowestPriorityOldestFirst) {
   broker.Subscribe(sub);
   broker.SetQueueLimit(4);
 
-  // Fill with two p1s and two p0s, then push two p2s: the p0s go first
-  // (oldest first), then a p0 arrival is refused outright.
+  // Fill with two telemetry and two bulk events, then push two
+  // interactive ones: the bulks go first (oldest first), then a bulk
+  // arrival is refused outright.
   int id = 0;
-  auto publish = [&](uint8_t priority) {
+  auto publish = [&](QosClass qos) {
     Event e = MakeEvent("t");
-    e.priority = priority;
+    e.qos = qos;
     e.payload.Set("id", int64_t(id++));
     broker.Publish(e);
   };
-  publish(1);  // id 0
-  publish(0);  // id 1
-  publish(1);  // id 2
-  publish(0);  // id 3
-  publish(2);  // id 4 — evicts id 1 (lowest priority, oldest)
-  publish(2);  // id 5 — evicts id 3 (the remaining p0)
-  publish(0);  // id 6 — refused: the queue's worst (p1) outranks it
+  publish(QosClass::kTelemetry);    // id 0
+  publish(QosClass::kBulk);         // id 1
+  publish(QosClass::kTelemetry);    // id 2
+  publish(QosClass::kBulk);         // id 3
+  publish(QosClass::kInteractive);  // id 4 — evicts id 1 (lowest, oldest)
+  publish(QosClass::kInteractive);  // id 5 — evicts id 3 (remaining bulk)
+  publish(QosClass::kBulk);  // id 6 — refused: queue's worst outranks it
   EXPECT_EQ(broker.stats().deliveries_shed, 3u);
   EXPECT_EQ(broker.queue_depth(), 4u);
 
   EXPECT_EQ(broker.Drain(), 4u);
-  // p2s first (FIFO: 4 then 5), then the surviving p1s (0 then 2).
+  // Interactive first (FIFO: 4 then 5), then the surviving telemetry
+  // events (0 then 2).
   EXPECT_EQ(delivered, (std::vector<int>{4, 5, 0, 2}));
 }
 

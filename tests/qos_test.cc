@@ -1,0 +1,292 @@
+// The QoS class model (DESIGN.md §13): taxonomy invariants, the
+// policy table, wire compatibility of class-tagged encodings (frames,
+// events, tuples) with the pre-QoS formats, the SLO-attainment query,
+// RTT-tuned replica timeouts, and the E25 mixed-scenario composition.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/qos.h"
+#include "core/scenarios.h"
+#include "net/frame.h"
+#include "obs/metrics.h"
+#include "pubsub/subscription.h"
+#include "replica/replicated_store.h"
+#include "stream/tuple.h"
+
+namespace {
+
+using namespace deluge;  // NOLINT
+
+TEST(QosTaxonomyTest, RankOrdersClassesMostImportantFirst) {
+  // Numeric order is rank order; QosRank bridges "bigger wins" sites.
+  EXPECT_GT(QosRank(QosClass::kRealtime), QosRank(QosClass::kInteractive));
+  EXPECT_GT(QosRank(QosClass::kInteractive), QosRank(QosClass::kTelemetry));
+  EXPECT_GT(QosRank(QosClass::kTelemetry), QosRank(QosClass::kBulk));
+  EXPECT_EQ(QosRank(QosClass::kBulk), 0);
+  EXPECT_EQ(kAllQosClasses.front(), QosClass::kRealtime);
+  EXPECT_EQ(kAllQosClasses.back(), QosClass::kBulk);
+}
+
+TEST(QosTaxonomyTest, ByteClampAndWireTagRoundTrip) {
+  for (QosClass c : kAllQosClasses) {
+    EXPECT_EQ(QosClassFromByte(uint8_t(c)), c);
+    EXPECT_EQ(QosFromWireTag(QosWireTag(c)), c);
+  }
+  // Out-of-range bytes and unknown future wire tags degrade to kBulk.
+  EXPECT_EQ(QosClassFromByte(4), QosClass::kBulk);
+  EXPECT_EQ(QosClassFromByte(255), QosClass::kBulk);
+  EXPECT_EQ(QosFromWireTag(0), QosClass::kBulk);  // legacy untagged
+  EXPECT_EQ(QosFromWireTag(5), QosClass::kBulk);
+  EXPECT_EQ(QosFromWireTag(255), QosClass::kBulk);
+  // kBulk is the identity tag: default-class encodings stay
+  // byte-identical to the legacy format.
+  EXPECT_EQ(QosWireTag(QosClass::kBulk), 0);
+}
+
+TEST(QosPolicyTest, DefaultTableMatchesTheApplicationMix) {
+  const QosPolicy& policy = QosPolicy::Default();
+  const QosTarget& rt = policy.target(QosClass::kRealtime);
+  const QosTarget& ia = policy.target(QosClass::kInteractive);
+  const QosTarget& tm = policy.target(QosClass::kTelemetry);
+  const QosTarget& bk = policy.target(QosClass::kBulk);
+
+  // Freshness and delivery tighten with importance.
+  EXPECT_LT(rt.freshness_us, ia.freshness_us);
+  EXPECT_LT(ia.freshness_us, tm.freshness_us);
+  EXPECT_LT(rt.delivery_p99_us, ia.delivery_p99_us);
+  EXPECT_LT(ia.delivery_p99_us, tm.delivery_p99_us);
+  EXPECT_LT(tm.delivery_p99_us, bk.delivery_p99_us);
+  // Only telemetry demands durable commits; realtime never does (a
+  // fresher update supersedes a lost one).
+  EXPECT_FALSE(rt.durable_commit);
+  EXPECT_TRUE(tm.durable_commit);
+  EXPECT_FALSE(bk.durable_commit);
+  // Retry budgets grow as urgency drops: kRealtime fails fast.
+  EXPECT_LT(rt.max_retry_attempts, ia.max_retry_attempts);
+  EXPECT_LT(ia.max_retry_attempts, bk.max_retry_attempts);
+  // Weighted-fair shares decrease monotonically.
+  EXPECT_GT(rt.weight, ia.weight);
+  EXPECT_GT(ia.weight, tm.weight);
+  EXPECT_GT(tm.weight, bk.weight);
+  // Out-of-range classes clamp instead of reading past the table.
+  EXPECT_EQ(policy.target(QosClass(200)).weight, bk.weight);
+}
+
+// --- Wire compatibility -----------------------------------------------
+
+TEST(QosWireCompatTest, FrameHeaderRoundTripsEveryClass) {
+  for (QosClass c : kAllQosClasses) {
+    net::Message m;
+    m.from = 1;
+    m.to = 2;
+    m.type = 0x77;
+    m.payload = common::Buffer(std::string("hello"));
+    m.size_bytes = 4096;
+    m.qos = c;
+    const std::string frame = net::EncodeFrame(m);
+
+    net::FrameDecoder decoder;
+    std::vector<net::Message> out;
+    ASSERT_TRUE(decoder.Feed(frame.data(), frame.size(), &out).ok());
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].qos, c);
+    EXPECT_EQ(out[0].size_bytes, 4096u);
+    EXPECT_EQ(out[0].payload.view(), "hello");
+  }
+}
+
+TEST(QosWireCompatTest, LegacyUntaggedFrameDecodesAsBulk) {
+  net::Message m;
+  m.from = 3;
+  m.to = 4;
+  m.type = 9;
+  m.payload = common::Buffer(std::string("payload"));
+  m.size_bytes = 123;
+  m.qos = QosClass::kBulk;
+  std::string frame = net::EncodeFrame(m);
+  // The default class writes tag 0 into the size field's top byte —
+  // exactly what legacy encoders (sizes < 2^56, zero top bits) wrote.
+  // Offset 23 is the most-significant byte of the little-endian
+  // u64 at bytes 16..23 (after length/from/to/type).
+  ASSERT_EQ(frame[23], 0);
+
+  // A frame from a *newer* sender with an unknown tag still decodes,
+  // degrading to kBulk rather than failing.
+  frame[23] = char(0x09);
+  net::FrameDecoder decoder;
+  std::vector<net::Message> out;
+  ASSERT_TRUE(decoder.Feed(frame.data(), frame.size(), &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].qos, QosClass::kBulk);
+  EXPECT_EQ(out[0].size_bytes, 123u);
+}
+
+TEST(QosWireCompatTest, EventEncodingRoundTripsEveryClass) {
+  for (QosClass c : kAllQosClasses) {
+    pubsub::Event e;
+    e.topic = "mirror.position";
+    e.position = geo::Vec3{1, 2, 3};
+    e.bytes = 512;
+    e.qos = c;
+    e.published_at = 777;
+    e.payload.key = "42";
+    pubsub::Event back;
+    ASSERT_TRUE(pubsub::Event::Decode(e.EnsureEncoded().slice(), &back));
+    EXPECT_EQ(back.qos, c);
+    EXPECT_EQ(back.published_at, 777);
+    EXPECT_EQ(back.topic, "mirror.position");
+  }
+}
+
+TEST(QosWireCompatTest, LegacyEventPriorityByteDecodesAsBulk) {
+  pubsub::Event e;  // empty topic, no position: fixed layout
+  e.bytes = 99;
+  e.qos = QosClass::kBulk;
+  std::string wire(e.EnsureEncoded().view());
+  // Layout: varint topic_len (1) | flags (1) | bytes fixed64 (8) |
+  // qos tag (1) | published_at (8) | payload.  The tag byte sits at
+  // offset 10 — and the default class leaves it 0, the legacy value.
+  ASSERT_EQ(wire[10], 0);
+
+  wire[10] = char(0xC8);  // unknown future tag
+  pubsub::Event back;
+  ASSERT_TRUE(pubsub::Event::Decode(common::Slice(wire), &back));
+  EXPECT_EQ(back.qos, QosClass::kBulk);
+  EXPECT_EQ(back.bytes, 99u);
+}
+
+TEST(QosWireCompatTest, TupleSpaceByteRoundTripsSpaceAndClass) {
+  for (QosClass c : kAllQosClasses) {
+    for (stream::Space space :
+         {stream::Space::kPhysical, stream::Space::kVirtual}) {
+      stream::Tuple t;
+      t.event_time = 1234;
+      t.space = space;
+      t.qos = c;
+      t.key = "k";
+      stream::Tuple back;
+      ASSERT_TRUE(stream::Tuple::Decode(t.Encode().slice(), &back));
+      EXPECT_EQ(back.space, space);
+      EXPECT_EQ(back.qos, c);
+    }
+  }
+}
+
+TEST(QosWireCompatTest, LegacyTupleSpaceByteDecodesAsBulk) {
+  stream::Tuple t;
+  t.event_time = 5;
+  t.space = stream::Space::kVirtual;
+  t.qos = QosClass::kBulk;
+  std::string wire;
+  t.EncodeTo(&wire);
+  // space_qos byte follows the fixed64 event_time; legacy encoders
+  // wrote only 0/1 (the space bit), which is what kBulk emits.
+  ASSERT_EQ(uint8_t(wire[8]), 1u);
+
+  wire[8] = char(uint8_t(6 << 1) | 1);  // unknown tag, same space bit
+  stream::Tuple back;
+  ASSERT_TRUE(stream::Tuple::Decode(common::Slice(wire), &back));
+  EXPECT_EQ(back.space, stream::Space::kVirtual);
+  EXPECT_EQ(back.qos, QosClass::kBulk);
+}
+
+// --- SLO attainment ---------------------------------------------------
+
+TEST(HistogramFractionBelowTest, EmptyHistogramIsVacuouslyMet) {
+  Histogram h;
+  EXPECT_EQ(h.FractionBelow(1000), 1.0);
+}
+
+TEST(HistogramFractionBelowTest, CountsObservationsAtOrBelowThreshold) {
+  Histogram h;
+  for (int i = 0; i < 50; ++i) h.Record(5);
+  for (int i = 0; i < 50; ++i) h.Record(2000);
+  EXPECT_DOUBLE_EQ(h.FractionBelow(5), 0.5);
+  EXPECT_NEAR(h.FractionBelow(1000), 0.5, 0.01);
+  EXPECT_EQ(h.FractionBelow(1 << 20), 1.0);
+  EXPECT_EQ(h.FractionBelow(1), 0.0);
+  EXPECT_EQ(h.FractionBelow(-1), 0.0);
+}
+
+TEST(HistogramFractionBelowTest, AgreesWithPercentileAtTheTail) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.Record(i);
+  const double p99 = h.Percentile(99.0);
+  // At the p99 value, ~99% of observations sit at or below.
+  EXPECT_NEAR(h.FractionBelow(int64_t(p99)), 0.99, 0.02);
+}
+
+// --- RTT-tuned replica timeouts ---------------------------------------
+
+TEST(RttTimeoutTuningTest, TimeoutsTrackMeasuredRttWithinClamps) {
+  replica::ReplicaOptions untouched;
+  const Micros default_write = untouched.write_timeout;
+  // A floor above any plausible 4×p99 in this process isolates the
+  // test from RTT samples other tests may have recorded.
+  replica::TuneTimeoutsFromRtt(&untouched, /*floor=*/0,
+                               /*cap=*/10 * kMicrosPerSecond);
+
+  obs::StatsScope scope("transport");
+  auto* rtt = scope.histogram("rtt_us");
+  for (int i = 0; i < 1000; ++i) rtt->Record(2000);  // steady 2 ms RTT
+
+  replica::ReplicaOptions tuned;
+  replica::TuneTimeoutsFromRtt(&tuned, /*floor=*/kMicrosPerMilli,
+                               /*cap=*/10 * kMicrosPerSecond);
+  // 4×p99 of a (possibly pre-polluted) distribution whose new mass
+  // sits at 2 ms: the timeout must leave the static default and land
+  // in the clamp window.
+  EXPECT_GE(tuned.write_timeout, kMicrosPerMilli);
+  EXPECT_LE(tuned.write_timeout, 10 * kMicrosPerSecond);
+  EXPECT_EQ(tuned.write_timeout, tuned.read_timeout);
+  EXPECT_NE(tuned.write_timeout, default_write);
+
+  // The floor and cap clamp both ways.
+  replica::ReplicaOptions floored;
+  replica::TuneTimeoutsFromRtt(&floored, /*floor=*/kMicrosPerSecond,
+                               /*cap=*/2 * kMicrosPerSecond);
+  EXPECT_GE(floored.write_timeout, kMicrosPerSecond);
+  replica::ReplicaOptions capped;
+  replica::TuneTimeoutsFromRtt(&capped, /*floor=*/1, /*cap=*/100);
+  EXPECT_LE(capped.write_timeout, 100);
+}
+
+// --- E25 composition --------------------------------------------------
+
+TEST(ScenarioTest, MixedScenarioExercisesEveryTierAndMeetsSlos) {
+  core::ScenarioOptions options;
+  options.ticks = 12;
+  options.crowd_entities = 96;
+  options.ar_entities = 48;
+  options.patients = 16;
+  options.num_shards = 2;
+  // No storage_dir: the storage leg is optional and skipped.
+  core::MixedScenario scenario(options);
+  const core::ScenarioTotals totals = scenario.Run();
+
+  EXPECT_GT(totals.updates_ingested, 0u);
+  EXPECT_GT(totals.mirror_refreshes, 0u);
+  EXPECT_GT(totals.broker_deliveries, 0u);
+  EXPECT_GT(totals.nav_completed, 0u);
+  EXPECT_GT(totals.remote_forwarded, 0u);
+  EXPECT_GT(totals.remote_received, 0u);
+  EXPECT_EQ(totals.telemetry_commits, 0u);  // storage leg skipped
+
+  const core::SloReport report = core::ComputeSloReport();
+  const core::LegSlo* delivery =
+      report.leg(QosClass::kRealtime, "broker.delivery_us");
+  ASSERT_NE(delivery, nullptr);
+  EXPECT_GT(delivery->samples, 0u);
+  EXPECT_TRUE(delivery->met);
+  // Every class has a full row of legs, and the report is printable.
+  for (QosClass c : kAllQosClasses) {
+    EXPECT_EQ(report.for_class(c).legs.size(), 5u);
+  }
+  EXPECT_NE(report.ToString().find("realtime"), std::string::npos);
+}
+
+}  // namespace

@@ -258,12 +258,12 @@ class SchedulerTest : public ::testing::Test {
  protected:
   SimClock clock_;
 
-  std::unique_ptr<ContinuousQuery> MakeQuery(const std::string& id,
-                                             Micros deadline, double weight,
-                                             Micros cost) {
+  std::unique_ptr<ContinuousQuery> MakeQuery(
+      const std::string& id, Micros deadline, Micros cost,
+      QosClass cls = QosClass::kInteractive) {
     QosSpec qos;
     qos.deadline = deadline;
-    qos.weight = weight;
+    qos.cls = cls;
     auto q = std::make_unique<ContinuousQuery>(id, qos, cost);
     q->Sink([](const Tuple&) {});
     return q;
@@ -272,7 +272,7 @@ class SchedulerTest : public ::testing::Test {
 
 TEST_F(SchedulerTest, ProcessesEverythingOnce) {
   StreamScheduler sched(&clock_, SchedulingPolicy::kFifo);
-  auto q = MakeQuery("q", 1000, 1.0, 10);
+  auto q = MakeQuery("q", 1000, 10);
   sched.Register(q.get());
   for (int i = 0; i < 100; ++i) sched.Enqueue("q", MakeTuple(0, "k", 1.0));
   EXPECT_EQ(sched.RunUntilDrained(), 100u);
@@ -290,8 +290,8 @@ TEST_F(SchedulerTest, UnknownQueryDropped) {
 
 TEST_F(SchedulerTest, EdfPrefersUrgentQuery) {
   StreamScheduler sched(&clock_, SchedulingPolicy::kEdf);
-  auto urgent = MakeQuery("urgent", 100, 1.0, 50);
-  auto lax = MakeQuery("lax", 100000, 1.0, 50);
+  auto urgent = MakeQuery("urgent", 100, 50);
+  auto lax = MakeQuery("lax", 100000, 50);
   sched.Register(lax.get());
   sched.Register(urgent.get());
   // Backlog: many lax items enqueued before the urgent one.
@@ -305,8 +305,8 @@ TEST_F(SchedulerTest, EdfPrefersUrgentQuery) {
 
 TEST_F(SchedulerTest, FifoStarvesUrgentUnderBacklog) {
   StreamScheduler sched(&clock_, SchedulingPolicy::kFifo);
-  auto urgent = MakeQuery("urgent", 100, 1.0, 50);
-  auto lax = MakeQuery("lax", 100000, 1.0, 50);
+  auto urgent = MakeQuery("urgent", 100, 50);
+  auto lax = MakeQuery("lax", 100000, 50);
   sched.Register(lax.get());
   sched.Register(urgent.get());
   for (int i = 0; i < 50; ++i) sched.Enqueue("lax", MakeTuple(0, "k", 1.0));
@@ -333,9 +333,9 @@ TEST_F(SchedulerTest, RoundRobinAlternates) {
 }
 
 TEST_F(SchedulerTest, SpaceAwarePrefersPhysicalTuples) {
-  StreamScheduler sched(&clock_, SchedulingPolicy::kSpaceAware);
-  auto q = MakeQuery("virt", 1000000, 1.0, 100);
-  auto p = MakeQuery("phys", 1000000, 1.0, 100);
+  StreamScheduler sched(&clock_, SchedulingPolicy::kClassAware);
+  auto q = MakeQuery("virt", 1000000, 100);
+  auto p = MakeQuery("phys", 1000000, 100);
   sched.Register(q.get());
   sched.Register(p.get());
   for (int i = 0; i < 20; ++i) {
@@ -349,8 +349,8 @@ TEST_F(SchedulerTest, SpaceAwarePrefersPhysicalTuples) {
 
 TEST_F(SchedulerTest, WeightedFavoursHeavyQuery) {
   StreamScheduler sched(&clock_, SchedulingPolicy::kWeighted);
-  auto heavy = MakeQuery("heavy", 1000000, 10.0, 10);
-  auto light = MakeQuery("light", 1000000, 1.0, 10);
+  auto heavy = MakeQuery("heavy", 1000000, 10, QosClass::kRealtime);
+  auto light = MakeQuery("light", 1000000, 10, QosClass::kBulk);
   sched.Register(light.get());
   sched.Register(heavy.get());
   clock_.Advance(10);  // non-zero ages
@@ -365,8 +365,8 @@ TEST_F(SchedulerTest, WeightedFavoursHeavyQuery) {
 
 TEST_F(SchedulerTest, TotalStatsAggregates) {
   StreamScheduler sched(&clock_, SchedulingPolicy::kFifo);
-  auto a = MakeQuery("a", 1000, 1.0, 10);
-  auto b = MakeQuery("b", 1000, 1.0, 10);
+  auto a = MakeQuery("a", 1000, 10);
+  auto b = MakeQuery("b", 1000, 10);
   sched.Register(a.get());
   sched.Register(b.get());
   sched.Enqueue("a", MakeTuple(0, "k", 1.0));

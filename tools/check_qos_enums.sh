@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Lints against priority-notion drift: `deluge::QosClass` (common/qos.h,
+# DESIGN.md §13) is the ONE service-class taxonomy.  PR 10 folded four
+# ad-hoc priority enums/ints into it; this check keeps a fifth from
+# growing back.  Any new enum whose name smells like a priority ladder
+# (Priority/Urgency/Importance/ServiceClass/QosLevel/Criticality)
+# declared outside src/common fails CI.  Derive ordering from QosClass
+# (QosRank, QosPolicy weights) instead of restating it.
+set -u -o pipefail
+
+cd "$(dirname "$0")/.."
+
+# file:EnumName pairs allowed to keep their enum.  (Currently empty on
+# purpose — extend only for an enum that is genuinely NOT a service
+# class, never for a new priority ladder.)
+ALLOWED="
+"
+
+found=$(grep -rnE \
+    'enum[[:space:]]+(class[[:space:]]+|struct[[:space:]]+)?[A-Za-z_]*(Priority|Urgency|Importance|ServiceClass|QosLevel|QosClass|Criticality)[A-Za-z_]*' \
+            src tests bench examples 2>/dev/null \
+        | grep -v '^src/common/' || true)
+
+status=0
+while IFS= read -r line; do
+  [ -z "$line" ] && continue
+  file=${line%%:*}
+  rest=${line#*:}           # "lineno:  enum class FooPriority {"
+  lineno=${rest%%:*}
+  name=$(printf '%s' "$rest" \
+         | grep -oE 'enum[[:space:]]+(class[[:space:]]+|struct[[:space:]]+)?[A-Za-z_]+' \
+         | awk '{print $NF}')
+  if ! printf '%s\n' "$ALLOWED" | grep -qx "$file:$name"; then
+    echo "error: local priority enum '$name' at $file:$lineno" >&2
+    echo "  There is one service-class taxonomy: deluge::QosClass" >&2
+    echo "  (src/common/qos.h).  Thread a QosClass through instead and" >&2
+    echo "  derive ordering from QosRank / QosPolicy (DESIGN.md \"QoS" >&2
+    echo "  model\")." >&2
+    status=1
+  fi
+done <<EOF
+$found
+EOF
+
+if [ "$status" -eq 0 ]; then
+  echo "check_qos_enums: OK (one QoS taxonomy)"
+fi
+exit $status

@@ -15,7 +15,7 @@ src/chaos/fault_schedule.h:ChaosStats
 src/consistency/coherency.h:CoherencyStats
 src/consistency/priority_scheduler.h:ClassStats
 src/core/engine.h:EngineStats
-src/net/network.h:NetworkStats
+src/net/message.h:NetworkStats
 src/pubsub/broker.h:BrokerStats
 src/pubsub/reliable.h:ReliableStats
 src/replica/replicated_store.h:ReplicaStats
